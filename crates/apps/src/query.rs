@@ -1,0 +1,191 @@
+//! Subgraph querying / listing (§2.2, Listing 5) and the q1–q8 evaluation
+//! queries of Fig. 14.
+//!
+//! The query application is pattern-induced: subgraphs grow guided by the
+//! user pattern along a connected matching order with Grochow–Kellis
+//! symmetry breaking, so every instance is listed exactly once
+//! (`graph.pfractoid(query).expand(query.nvertices).subgraphs()`).
+//!
+//! The Fig. 14 query set is reconstructed from the paper's textual clues
+//! (the figure itself is an image): the queries come from SEED [33], with
+//! q1, q4 and q5 cliques ("SEED outperforms Fractal for cliques (q1, q4,
+//! and q5)"), q7 obtainable by joining two q3 matches and highly symmetric,
+//! and q2/q3 edge-light. We use: q1 = triangle, q2 = square, q3 = chordal
+//! square (diamond), q4 = 4-clique, q5 = 5-clique, q6 = house, q7 =
+//! near-5-clique (5-clique minus one edge — the join of two diamonds),
+//! q8 = double square (two squares sharing an edge).
+
+use fractal_core::{ExecutionReport, FractalGraph, Fractoid, SubgraphData};
+use fractal_pattern::Pattern;
+
+/// The Listing 5 fractoid: `pfractoid(query).expand(query.nvertices)`.
+/// Labels are matched when the query carries any non-zero label.
+pub fn query_fractoid(fg: &FractalGraph, query: &Pattern) -> Fractoid {
+    let labeled_vertices = (0..query.num_vertices()).any(|v| query.vertex_label(v) != 0);
+    let labeled_edges = query.edges().iter().any(|&(_, _, l)| l != 0);
+    fg.pfractoid_with_labels(query, labeled_vertices, labeled_edges)
+        .expand(query.num_vertices())
+}
+
+/// Lists all instances of `query` in the graph.
+pub fn subgraph_querying(fg: &FractalGraph, query: &Pattern) -> Vec<SubgraphData> {
+    query_fractoid(fg, query).subgraphs()
+}
+
+/// Counts instances of `query` without materializing them.
+pub fn count_matches(fg: &FractalGraph, query: &Pattern) -> u64 {
+    query_fractoid(fg, query).count()
+}
+
+/// Count plus execution report (for the harness).
+pub fn count_matches_with_report(fg: &FractalGraph, query: &Pattern) -> (u64, ExecutionReport) {
+    query_fractoid(fg, query).count_with_report()
+}
+
+/// The q1–q8 evaluation queries (see module docs for the reconstruction).
+pub fn evaluation_queries() -> Vec<(&'static str, Pattern)> {
+    vec![
+        ("q1", Pattern::clique(3)),
+        ("q2", Pattern::cycle(4)),
+        ("q3", diamond()),
+        ("q4", Pattern::clique(4)),
+        ("q5", Pattern::clique(5)),
+        ("q6", house()),
+        ("q7", near_5_clique()),
+        ("q8", double_square()),
+    ]
+}
+
+/// Chordal square: K4 minus one edge (two triangles sharing an edge).
+pub fn diamond() -> Pattern {
+    Pattern::unlabeled(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+}
+
+/// House: a square with a triangular roof.
+pub fn house() -> Pattern {
+    Pattern::unlabeled(5, &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 4), (1, 4)])
+}
+
+/// Near-5-clique: K5 minus one edge.
+pub fn near_5_clique() -> Pattern {
+    let mut edges = Vec::new();
+    for u in 0..5u8 {
+        for v in (u + 1)..5 {
+            if (u, v) != (3, 4) {
+                edges.push((u, v));
+            }
+        }
+    }
+    Pattern::unlabeled(5, &edges)
+}
+
+/// Double square: two 4-cycles sharing an edge.
+pub fn double_square() -> Pattern {
+    Pattern::unlabeled(6, &[(0, 1), (1, 2), (2, 3), (0, 3), (2, 4), (4, 5), (3, 5)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractal_core::FractalContext;
+    use fractal_graph::builder::{graph_from_edges, unlabeled_from_edges};
+    use fractal_graph::gen;
+    use fractal_runtime::ClusterConfig;
+
+    fn fg_of(g: fractal_graph::Graph) -> FractalGraph {
+        FractalContext::new(ClusterConfig::local(1, 2)).fractal_graph(g)
+    }
+
+    #[test]
+    fn queries_are_connected_and_distinct() {
+        let qs = evaluation_queries();
+        assert_eq!(qs.len(), 8);
+        for (name, q) in &qs {
+            assert!(q.is_connected(), "{name} disconnected");
+        }
+        // All canonically distinct.
+        let codes: std::collections::HashSet<_> = qs
+            .iter()
+            .map(|(_, q)| fractal_pattern::canon::canonical_code(q))
+            .collect();
+        assert_eq!(codes.len(), 8);
+    }
+
+    #[test]
+    fn triangle_query_counts_triangles() {
+        let fg = fg_of(gen::erdos_renyi(50, 220, 1, 5));
+        let via_query = count_matches(&fg, &Pattern::clique(3));
+        let via_cliques = crate::cliques::count(&fg, 3);
+        assert_eq!(via_query, via_cliques);
+    }
+
+    #[test]
+    fn square_query_on_known_graph() {
+        // A 4-cycle plus chord: squares = exactly 1 (the chordless check is
+        // not induced, so the C4 with chord still matches C4 — pattern
+        // matching is NOT induced; the cycle 0-1-2-3 matches).
+        let fg = fg_of(unlabeled_from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)]));
+        assert_eq!(count_matches(&fg, &Pattern::cycle(4)), 1);
+        // The diamond (q3) matches exactly once too (two triangles sharing
+        // edge 0-2).
+        assert_eq!(count_matches(&fg, &diamond()), 1);
+    }
+
+    #[test]
+    fn all_queries_run_on_random_graph() {
+        let fg = fg_of(gen::youtube_like(200, 1, 31));
+        for (name, q) in evaluation_queries() {
+            let n = count_matches(&fg, &q);
+            // Dense preferential-attachment graphs contain the small ones.
+            if name == "q1" {
+                assert!(n > 0, "no triangles in test graph");
+            }
+        }
+    }
+
+    #[test]
+    fn labeled_query_respects_labels() {
+        let g = graph_from_edges(
+            &[0, 1, 2, 0],
+            &[(0, 1, 0), (1, 2, 0), (0, 2, 0), (0, 3, 0), (1, 3, 0)],
+        );
+        let fg = fg_of(g);
+        // Triangle with labels {0,1,2}: only vertices 0,1,2 qualify.
+        let q = Pattern::new(vec![0, 1, 2], vec![(0, 1, 0), (1, 2, 0), (0, 2, 0)]);
+        assert_eq!(count_matches(&fg, &q), 1);
+        // Triangle with labels {0,0,1}: vertices {0,3,1}.
+        let q2 = Pattern::new(vec![0, 0, 1], vec![(0, 1, 0), (1, 2, 0), (0, 2, 0)]);
+        assert_eq!(count_matches(&fg, &q2), 1);
+    }
+
+    #[test]
+    fn listing_returns_pattern_edges_only() {
+        // Matching a square in a graph with a chord: the result subgraph
+        // carries exactly the 4 matched edges, not the chord.
+        let fg = fg_of(unlabeled_from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)]));
+        let subs = subgraph_querying(&fg, &Pattern::cycle(4));
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].edges.len(), 4);
+        assert_eq!(subs[0].vertices.len(), 4);
+    }
+
+    #[test]
+    fn near_5_clique_in_k5() {
+        let fg = fg_of(gen::complete(5));
+        // K5 contains C(5,2) = 10 near-5-cliques (choose the missing edge).
+        assert_eq!(count_matches(&fg, &near_5_clique()), 10);
+        // And exactly one 5-clique.
+        assert_eq!(count_matches(&fg, &Pattern::clique(5)), 1);
+    }
+
+    #[test]
+    fn double_square_on_prism() {
+        // The cube graph contains double squares; a direct small check:
+        // two squares glued on an edge = the pattern itself.
+        let fg = fg_of(unlabeled_from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (0, 3), (2, 4), (4, 5), (3, 5)],
+        ));
+        assert_eq!(count_matches(&fg, &double_square()), 1);
+    }
+}

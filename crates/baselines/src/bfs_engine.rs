@@ -1,0 +1,602 @@
+//! The Arabesque-like BFS engine [53].
+//!
+//! First-generation general-purpose GPM systems enumerate level by level:
+//! all embeddings of size `k` are **materialized and stored** between
+//! synchronization steps, then expanded in parallel into the size-`k+1`
+//! set. Load is balanced at each step boundary (embeddings are re-chunked
+//! across threads), but the stored state grows with the combinatorial
+//! explosion — the exact failure mode Fractal's from-scratch DFS design
+//! eliminates (§4.1, Table 2).
+//!
+//! Storage is either flat embedding arrays or a prefix forest
+//! ([`crate::trie::PrefixForest`]) standing in for Arabesque's ODAGs.
+
+use crate::budget::{Budget, BudgetTracker, Outcome};
+use crate::trie::PrefixForest;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use fractal_enum::canonical::{canonical_edge_extension, canonical_vertex_extension};
+use fractal_graph::{EdgeId, Graph, VertexId};
+use fractal_pattern::canon::CodeCache;
+use fractal_pattern::{CanonicalCode, Pattern};
+use std::collections::{HashMap, HashSet};
+
+/// How embeddings are stored between levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Storage {
+    /// Plain embedding arrays.
+    Flat,
+    /// Prefix-shared (ODAG-like) storage.
+    Odag,
+}
+
+/// Growth mode of the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    VertexInduced,
+    EdgeInduced,
+}
+
+/// The stored embedding set of one level.
+struct LevelStore {
+    storage: Storage,
+    flat: Vec<Vec<u32>>,
+    trie: PrefixForest,
+}
+
+impl LevelStore {
+    fn new(storage: Storage) -> Self {
+        LevelStore {
+            storage,
+            flat: Vec::new(),
+            trie: PrefixForest::new(),
+        }
+    }
+
+    fn insert(&mut self, seq: &[u32]) {
+        match self.storage {
+            Storage::Flat => self.flat.push(seq.to_vec()),
+            Storage::Odag => self.trie.insert(seq),
+        }
+    }
+
+    /// Finalizes the level (drops ODAG build scaffolding) before its
+    /// resident size is charged as stored state.
+    fn seal(&mut self) {
+        if self.storage == Storage::Odag {
+            self.trie.seal();
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self.storage {
+            Storage::Flat => self.flat.len(),
+            Storage::Odag => self.trie.len(),
+        }
+    }
+
+    fn resident_bytes(&self) -> usize {
+        match self.storage {
+            Storage::Flat => self
+                .flat
+                .iter()
+                .map(|e| 24 + e.capacity() * 4)
+                .sum::<usize>(),
+            Storage::Odag => self.trie.resident_bytes(),
+        }
+    }
+
+    fn materialize(&self) -> Vec<Vec<u32>> {
+        match self.storage {
+            Storage::Flat => self.flat.clone(),
+            Storage::Odag => self.trie.iter_sequences().collect(),
+        }
+    }
+}
+
+/// The engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BfsConfig {
+    /// Parallel expansion threads.
+    pub threads: usize,
+    /// Embedding storage flavour.
+    pub storage: Storage,
+    /// Memory/time budget.
+    pub budget: Budget,
+}
+
+impl BfsConfig {
+    /// A config with the given thread count, ODAG storage and no budget.
+    pub fn new(threads: usize) -> Self {
+        BfsConfig {
+            threads: threads.max(1),
+            storage: Storage::Odag,
+            budget: Budget::unlimited(),
+        }
+    }
+
+    /// Overrides the storage flavour.
+    pub fn with_storage(mut self, storage: Storage) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Overrides the budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+/// Expands one level in parallel; `keep` prunes new embeddings.
+///
+/// The memory budget is enforced *during* expansion (not only at the
+/// level barrier): a single level of an exploding query can otherwise
+/// outgrow physical memory before any check runs. Returns `None` when the
+/// budget tripped mid-expansion.
+fn expand_level(
+    g: &Graph,
+    mode: Mode,
+    current: &[Vec<u32>],
+    threads: usize,
+    keep: &(dyn Fn(&[u32]) -> bool + Sync),
+    max_bytes: u64,
+    produced_bytes: &AtomicU64,
+) -> Option<Vec<Vec<u32>>> {
+    let chunk = current.len().div_ceil(threads.max(1)).max(1);
+    let chunks: Vec<&[Vec<u32>]> = current.chunks(chunk).collect();
+    let abort = AtomicBool::new(false);
+    let mut out: Vec<Vec<u32>> = Vec::new();
+    std::thread::scope(|s| {
+        let abort = &abort;
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move || {
+                    let mut local: Vec<Vec<u32>> = Vec::new();
+                    let mut cands: Vec<u32> = Vec::new();
+                    let mut reported_len = 0usize;
+                    for emb in chunk {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        cands.clear();
+                        match mode {
+                            Mode::VertexInduced => {
+                                for &v in emb.iter() {
+                                    for &u in g.neighbors(VertexId(v)) {
+                                        if !emb.contains(&u) {
+                                            cands.push(u);
+                                        }
+                                    }
+                                }
+                                cands.sort_unstable();
+                                cands.dedup();
+                                for &u in &cands {
+                                    if canonical_vertex_extension(g, emb, u) {
+                                        let mut next = Vec::with_capacity(emb.len() + 1);
+                                        next.extend_from_slice(emb);
+                                        next.push(u);
+                                        if keep(&next) {
+                                            local.push(next);
+                                        }
+                                    }
+                                }
+                            }
+                            Mode::EdgeInduced => {
+                                let mut verts: Vec<u32> = Vec::new();
+                                for &e in emb.iter() {
+                                    let (a, b) = g.edge_endpoints(EdgeId(e));
+                                    verts.push(a.raw());
+                                    verts.push(b.raw());
+                                }
+                                verts.sort_unstable();
+                                verts.dedup();
+                                for &v in &verts {
+                                    for &e in g.incident_edges(VertexId(v)) {
+                                        if !emb.contains(&e) {
+                                            cands.push(e);
+                                        }
+                                    }
+                                }
+                                cands.sort_unstable();
+                                cands.dedup();
+                                for &e in &cands {
+                                    if canonical_edge_extension(g, emb, e) {
+                                        let mut next = Vec::with_capacity(emb.len() + 1);
+                                        next.extend_from_slice(emb);
+                                        next.push(e);
+                                        if keep(&next) {
+                                            local.push(next);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        // Charge produced bytes as we go; trip the abort
+                        // flag the moment the level alone exceeds budget.
+                        if local.len() - reported_len >= 1024 {
+                            let delta: u64 = local[reported_len..]
+                                .iter()
+                                .map(|e| 24 + 4 * e.capacity() as u64)
+                                .sum();
+                            if produced_bytes.fetch_add(delta, Ordering::Relaxed) + delta
+                                > max_bytes
+                            {
+                                abort.store(true, Ordering::Relaxed);
+                            }
+                            reported_len = local.len();
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            out.append(&mut h.join().expect("bfs worker panicked"));
+        }
+    });
+    if abort.load(Ordering::Relaxed) {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+/// The pattern of a vertex-induced embedding.
+fn vertex_pattern(g: &Graph, emb: &[u32], use_labels: bool) -> Pattern {
+    Pattern::from_vertex_induced(g, emb, use_labels, use_labels)
+}
+
+/// Generic BFS run: grow to `depth`, pruning with `keep`, folding each
+/// final embedding with `fold`. Returns the fold accumulator.
+fn run_bfs<T: Send>(
+    g: &Graph,
+    mode: Mode,
+    depth: usize,
+    cfg: &BfsConfig,
+    keep: &(dyn Fn(&[u32]) -> bool + Sync),
+    roots: Vec<Vec<u32>>,
+    mut fold: impl FnMut(&[u32], &mut T),
+    mut acc: T,
+) -> Outcome<T> {
+    let mut tracker = BudgetTracker::start(cfg.budget);
+    let mut store = LevelStore::new(cfg.storage);
+    for r in &roots {
+        if keep(r) {
+            store.insert(r);
+        }
+    }
+    store.seal();
+    if !tracker.track_state(store.resident_bytes() as u64, store.len() as u64) {
+        return tracker.finish_oom();
+    }
+    for _level in 1..depth {
+        if tracker.timed_out() {
+            return tracker.finish_timeout();
+        }
+        let current = store.materialize();
+        let produced = AtomicU64::new(0);
+        let Some(next) = expand_level(
+            g,
+            mode,
+            &current,
+            cfg.threads,
+            keep,
+            cfg.budget.max_state_bytes,
+            &produced,
+        ) else {
+            tracker.track_state(produced.load(Ordering::Relaxed), 0);
+            return tracker.finish_oom();
+        };
+        let mut new_store = LevelStore::new(cfg.storage);
+        for e in &next {
+            new_store.insert(e);
+        }
+        new_store.seal();
+        // Both levels are alive during the swap, as in a real BFS system.
+        let both = (store.resident_bytes() + new_store.resident_bytes()) as u64;
+        let items = new_store.len() as u64;
+        store = new_store;
+        if !tracker.track_state(both, items) {
+            return tracker.finish_oom();
+        }
+        if store.len() == 0 {
+            break;
+        }
+    }
+    for emb in store.materialize() {
+        fold(&emb, &mut acc);
+    }
+    let stats = tracker.finish();
+    Outcome::Ok(acc, stats)
+}
+
+/// Arabesque-like motif counting: vertex-induced BFS to `k`, patterns
+/// aggregated at the final level.
+pub fn motifs_bfs(
+    g: &Graph,
+    k: usize,
+    cfg: &BfsConfig,
+    use_labels: bool,
+) -> Outcome<HashMap<CanonicalCode, u64>> {
+    let roots: Vec<Vec<u32>> = (0..g.num_vertices() as u32).map(|v| vec![v]).collect();
+    let mut cache = CodeCache::new();
+    run_bfs(
+        g,
+        Mode::VertexInduced,
+        k,
+        cfg,
+        &|_| true,
+        roots,
+        move |emb, acc: &mut HashMap<CanonicalCode, u64>| {
+            let p = vertex_pattern(g, emb, use_labels);
+            let code = cache.canonical_form(&p).code.clone();
+            *acc.entry(code).or_insert(0) += 1;
+        },
+        HashMap::new(),
+    )
+}
+
+/// Arabesque-like clique counting: vertex-induced BFS with the clique
+/// filter applied at every level.
+pub fn cliques_bfs(g: &Graph, k: usize, cfg: &BfsConfig) -> Outcome<u64> {
+    let roots: Vec<Vec<u32>> = (0..g.num_vertices() as u32).map(|v| vec![v]).collect();
+    let is_clique = |emb: &[u32]| -> bool {
+        let last = *emb.last().unwrap();
+        emb[..emb.len() - 1]
+            .iter()
+            .all(|&v| g.are_adjacent(VertexId(v), VertexId(last)))
+    };
+    run_bfs(
+        g,
+        Mode::VertexInduced,
+        k,
+        cfg,
+        &is_clique,
+        roots,
+        |_emb, acc: &mut u64| *acc += 1,
+        0,
+    )
+}
+
+/// Arabesque-like subgraph querying: edge-induced BFS to `|E(q)|` with
+/// coarse per-level pruning, isomorphism check at the end. This is the
+/// configuration that exhausts memory on edge-heavy queries (Fig. 15).
+pub fn query_bfs(g: &Graph, query: &Pattern, cfg: &BfsConfig) -> Outcome<u64> {
+    let qn = query.num_vertices();
+    let qmax_deg = (0..qn).map(|v| query.degree(v)).max().unwrap_or(0);
+    let target = fractal_pattern::canon::canonical_code(query);
+    let roots: Vec<Vec<u32>> = (0..g.num_edges() as u32).map(|e| vec![e]).collect();
+    let prune = move |emb: &[u32]| -> bool {
+        // Vertex count and degree bounds must stay within the query's.
+        let mut verts: Vec<u32> = Vec::with_capacity(emb.len() * 2);
+        for &e in emb {
+            let (a, b) = g.edge_endpoints(EdgeId(e));
+            verts.push(a.raw());
+            verts.push(b.raw());
+        }
+        verts.sort_unstable();
+        verts.dedup();
+        if verts.len() > qn {
+            return false;
+        }
+        let mut deg_ok = true;
+        for &v in &verts {
+            let d = emb
+                .iter()
+                .filter(|&&e| {
+                    let (a, b) = g.edge_endpoints(EdgeId(e));
+                    a.raw() == v || b.raw() == v
+                })
+                .count();
+            if d > qmax_deg {
+                deg_ok = false;
+                break;
+            }
+        }
+        deg_ok
+    };
+    let mut cache = CodeCache::new();
+    run_bfs(
+        g,
+        Mode::EdgeInduced,
+        query.num_edges(),
+        cfg,
+        &prune,
+        roots,
+        move |emb, acc: &mut u64| {
+            let (p, _) = Pattern::from_edge_induced(g, emb, false, false);
+            if cache.canonical_form(&p).code == target {
+                *acc += 1;
+            }
+        },
+        0u64,
+    )
+}
+
+/// Exact minimum-image support of a set of edge-induced embeddings,
+/// grouped by canonical pattern (shared with the FSM baselines).
+pub fn group_supports(
+    g: &Graph,
+    embeddings: &[Vec<u32>],
+) -> HashMap<CanonicalCode, (u64, Vec<HashSet<u32>>)> {
+    let mut cache = CodeCache::new();
+    let mut orbit_cache: HashMap<CanonicalCode, Vec<u8>> = HashMap::new();
+    let mut out: HashMap<CanonicalCode, (u64, Vec<HashSet<u32>>)> = HashMap::new();
+    for emb in embeddings {
+        let (p, vmap) = Pattern::from_edge_induced(g, emb, true, true);
+        let form = cache.canonical_form(&p);
+        let reps = orbit_cache.entry(form.code.clone()).or_insert_with(|| {
+            let pat = form.code.to_pattern();
+            let auts = fractal_pattern::autom::automorphisms(&pat);
+            (0..pat.num_vertices())
+                .map(|v| fractal_pattern::autom::orbit(&auts, v)[0])
+                .collect()
+        });
+        let entry = out
+            .entry(form.code.clone())
+            .or_insert_with(|| (0, vec![HashSet::new(); p.num_vertices()]));
+        entry.0 += 1;
+        for (i, &v) in vmap.iter().enumerate() {
+            let pos = form.perm[i] as usize;
+            entry.1[reps[pos] as usize].insert(v);
+        }
+    }
+    out
+}
+
+/// The support of grouped domains: min over non-empty domains.
+pub fn min_image_support(domains: &[HashSet<u32>]) -> u64 {
+    domains
+        .iter()
+        .filter(|d| !d.is_empty())
+        .map(|d| d.len() as u64)
+        .min()
+        .unwrap_or(0)
+}
+
+/// Arabesque-like FSM: level-synchronous edge-induced growth; after each
+/// level, patterns below `min_support` are pruned and only embeddings of
+/// frequent patterns are kept for the next level.
+pub fn fsm_bfs(
+    g: &Graph,
+    min_support: u64,
+    max_edges: usize,
+    cfg: &BfsConfig,
+) -> Outcome<Vec<(CanonicalCode, u64)>> {
+    let mut tracker = BudgetTracker::start(cfg.budget);
+    let mut frequent: Vec<(CanonicalCode, u64)> = Vec::new();
+    let mut current: Vec<Vec<u32>> = (0..g.num_edges() as u32).map(|e| vec![e]).collect();
+    for _size in 1..=max_edges {
+        if tracker.timed_out() {
+            return tracker.finish_timeout();
+        }
+        let groups = group_supports(g, &current);
+        let mut keep_codes: HashSet<CanonicalCode> = HashSet::new();
+        for (code, (_, domains)) in &groups {
+            let sup = min_image_support(domains);
+            if sup >= min_support {
+                keep_codes.insert(code.clone());
+                frequent.push((code.clone(), sup));
+            }
+        }
+        // Keep only embeddings of frequent patterns (stored state!).
+        let mut cache = CodeCache::new();
+        current.retain(|emb| {
+            let (p, _) = Pattern::from_edge_induced(g, emb, true, true);
+            keep_codes.contains(&cache.canonical_form(&p).code)
+        });
+        let store_bytes: usize = current.iter().map(|e| 24 + e.capacity() * 4).sum();
+        if !tracker.track_state(store_bytes as u64, current.len() as u64) {
+            return tracker.finish_oom();
+        }
+        if current.is_empty() {
+            break;
+        }
+        let produced = AtomicU64::new(0);
+        let Some(next) = expand_level(
+            g,
+            Mode::EdgeInduced,
+            &current,
+            cfg.threads,
+            &|_| true,
+            cfg.budget.max_state_bytes,
+            &produced,
+        ) else {
+            tracker.track_state(produced.load(Ordering::Relaxed), 0);
+            return tracker.finish_oom();
+        };
+        current = next;
+        let next_bytes: usize = current.iter().map(|e| 24 + e.capacity() * 4).sum();
+        if !tracker.track_state((store_bytes + next_bytes) as u64, current.len() as u64) {
+            return tracker.finish_oom();
+        }
+    }
+    let stats = tracker.finish();
+    Outcome::Ok(frequent, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractal_graph::builder::unlabeled_from_edges;
+    use fractal_graph::gen;
+    use std::time::Duration;
+
+    fn cfg() -> BfsConfig {
+        BfsConfig::new(2).with_storage(Storage::Flat)
+    }
+
+    #[test]
+    fn motifs_on_triangle_tail() {
+        let g = unlabeled_from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let m = motifs_bfs(&g, 3, &cfg(), false).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.values().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn cliques_on_k6() {
+        let g = gen::complete(6);
+        assert_eq!(cliques_bfs(&g, 3, &cfg()).unwrap(), 20);
+        assert_eq!(cliques_bfs(&g, 4, &cfg()).unwrap(), 15);
+    }
+
+    #[test]
+    fn odag_storage_same_results_less_memory() {
+        let g = gen::mico_like(150, 2, 7);
+        let flat = motifs_bfs(&g, 3, &BfsConfig::new(2).with_storage(Storage::Flat), false);
+        let odag = motifs_bfs(&g, 3, &BfsConfig::new(2).with_storage(Storage::Odag), false);
+        let (fm, fs) = flat.unwrap_with_stats();
+        let (om, os) = odag.unwrap_with_stats();
+        assert_eq!(fm, om);
+        assert!(
+            os.peak_state_bytes < fs.peak_state_bytes,
+            "odag {} >= flat {}",
+            os.peak_state_bytes,
+            fs.peak_state_bytes
+        );
+    }
+
+    #[test]
+    fn memory_budget_trips_oom() {
+        let g = gen::mico_like(200, 2, 9);
+        let tight = BfsConfig::new(2).with_budget(Budget::new(10_000, Duration::from_secs(60)));
+        let out = motifs_bfs(&g, 4, &tight, false);
+        assert_eq!(out.status(), "OOM");
+        assert!(out.stats().peak_state_bytes > 10_000);
+    }
+
+    #[test]
+    fn query_bfs_counts_squares() {
+        let g = unlabeled_from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)]);
+        let q = Pattern::cycle(4);
+        assert_eq!(query_bfs(&g, &q, &cfg()).unwrap(), 1);
+        let tri = Pattern::clique(3);
+        assert_eq!(query_bfs(&g, &tri, &cfg()).unwrap(), 2);
+    }
+
+    #[test]
+    fn fsm_bfs_on_k4() {
+        let g = gen::complete(4);
+        let freq = fsm_bfs(&g, 4, 2, &cfg()).unwrap();
+        // Single edge pattern (support 4) and the 2-edge path (support 4).
+        assert_eq!(freq.len(), 2);
+        for (_, sup) in &freq {
+            assert_eq!(*sup, 4);
+        }
+    }
+
+    #[test]
+    fn memory_grows_with_level() {
+        let g = gen::mico_like(200, 2, 3);
+        let (_, s3) = motifs_bfs(&g, 3, &cfg(), false).unwrap_with_stats();
+        let (_, s4) = motifs_bfs(&g, 4, &cfg(), false).unwrap_with_stats();
+        assert!(
+            s4.peak_state_bytes > 2 * s3.peak_state_bytes,
+            "BFS state should explode with depth: {} vs {}",
+            s4.peak_state_bytes,
+            s3.peak_state_bytes
+        );
+    }
+}

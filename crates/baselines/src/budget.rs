@@ -1,0 +1,188 @@
+//! Memory/time budgets and run outcomes.
+//!
+//! The paper reports baseline failures as first-class results: MRSUB and
+//! GraphFrames "often ran out of memory", Arabesque fails on the larger
+//! queries, keyword search without reduction "did not terminate within a
+//! time limit of four hours". Budgets make those outcomes reproducible.
+
+use std::time::{Duration, Instant};
+
+/// A memory/time budget for a baseline run.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Maximum tracked intermediate state, in bytes.
+    pub max_state_bytes: u64,
+    /// Maximum wall-clock duration.
+    pub max_elapsed: Duration,
+}
+
+impl Budget {
+    /// A budget that never trips (for correctness tests).
+    pub fn unlimited() -> Self {
+        Budget {
+            max_state_bytes: u64::MAX,
+            max_elapsed: Duration::from_secs(u64::MAX / 2),
+        }
+    }
+
+    /// A budget with the given limits.
+    pub fn new(max_state_bytes: u64, max_elapsed: Duration) -> Self {
+        Budget {
+            max_state_bytes,
+            max_elapsed,
+        }
+    }
+}
+
+/// Statistics of a baseline run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Peak tracked intermediate state, in bytes.
+    pub peak_state_bytes: u64,
+    /// Stored items (embeddings / rows) at the largest level.
+    pub peak_items: u64,
+    /// Bytes moved through simulated shuffles (MR baselines).
+    pub shuffled_bytes: u64,
+}
+
+/// The outcome of a budgeted run.
+#[derive(Debug, Clone)]
+pub enum Outcome<T> {
+    /// Completed within budget.
+    Ok(T, RunStats),
+    /// Exceeded the memory budget ("OOM" in the paper's figures).
+    Oom(RunStats),
+    /// Exceeded the time budget.
+    Timeout(RunStats),
+}
+
+impl<T> Outcome<T> {
+    /// The value, panicking on OOM/timeout (tests).
+    pub fn unwrap(self) -> T {
+        match self {
+            Outcome::Ok(v, _) => v,
+            Outcome::Oom(s) => panic!("baseline ran out of memory: {s:?}"),
+            Outcome::Timeout(s) => panic!("baseline timed out: {s:?}"),
+        }
+    }
+
+    /// The value and stats, panicking on failure.
+    pub fn unwrap_with_stats(self) -> (T, RunStats) {
+        match self {
+            Outcome::Ok(v, s) => (v, s),
+            Outcome::Oom(s) => panic!("baseline ran out of memory: {s:?}"),
+            Outcome::Timeout(s) => panic!("baseline timed out: {s:?}"),
+        }
+    }
+
+    /// Whether the run completed.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Outcome::Ok(..))
+    }
+
+    /// The stats regardless of outcome.
+    pub fn stats(&self) -> &RunStats {
+        match self {
+            Outcome::Ok(_, s) | Outcome::Oom(s) | Outcome::Timeout(s) => s,
+        }
+    }
+
+    /// A short status label for harness tables.
+    pub fn status(&self) -> &'static str {
+        match self {
+            Outcome::Ok(..) => "ok",
+            Outcome::Oom(_) => "OOM",
+            Outcome::Timeout(_) => "TIMEOUT",
+        }
+    }
+}
+
+/// Tracks a run against its budget.
+#[derive(Debug)]
+pub struct BudgetTracker {
+    budget: Budget,
+    started: Instant,
+    stats: RunStats,
+}
+
+impl BudgetTracker {
+    /// Starts tracking.
+    pub fn start(budget: Budget) -> Self {
+        BudgetTracker {
+            budget,
+            started: Instant::now(),
+            stats: RunStats::default(),
+        }
+    }
+
+    /// Records the current state size; returns `false` when the memory
+    /// budget is exceeded.
+    pub fn track_state(&mut self, bytes: u64, items: u64) -> bool {
+        self.stats.peak_state_bytes = self.stats.peak_state_bytes.max(bytes);
+        self.stats.peak_items = self.stats.peak_items.max(items);
+        bytes <= self.budget.max_state_bytes
+    }
+
+    /// Adds shuffled bytes (MR baselines).
+    pub fn add_shuffle(&mut self, bytes: u64) {
+        self.stats.shuffled_bytes += bytes;
+    }
+
+    /// Whether the time budget is exceeded.
+    pub fn timed_out(&self) -> bool {
+        self.started.elapsed() > self.budget.max_elapsed
+    }
+
+    /// Finishes, producing final stats.
+    pub fn finish(mut self) -> RunStats {
+        self.stats.elapsed = self.started.elapsed();
+        self.stats
+    }
+
+    /// Finishes as OOM.
+    pub fn finish_oom<T>(self) -> Outcome<T> {
+        let stats = self.finish();
+        Outcome::Oom(stats)
+    }
+
+    /// Finishes as timeout.
+    pub fn finish_timeout<T>(self) -> Outcome<T> {
+        let stats = self.finish();
+        Outcome::Timeout(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_flags_oom() {
+        let mut t = BudgetTracker::start(Budget::new(100, Duration::from_secs(60)));
+        assert!(t.track_state(50, 1));
+        assert!(!t.track_state(200, 2));
+        let stats = t.finish();
+        assert_eq!(stats.peak_state_bytes, 200);
+        assert_eq!(stats.peak_items, 2);
+    }
+
+    #[test]
+    fn tracker_flags_timeout() {
+        let t = BudgetTracker::start(Budget::new(u64::MAX, Duration::from_nanos(1)));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(t.timed_out());
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let ok: Outcome<u32> = Outcome::Ok(5, RunStats::default());
+        assert!(ok.is_ok());
+        assert_eq!(ok.status(), "ok");
+        assert_eq!(ok.unwrap(), 5);
+        let oom: Outcome<u32> = Outcome::Oom(RunStats::default());
+        assert_eq!(oom.status(), "OOM");
+        assert!(!oom.is_ok());
+    }
+}

@@ -1,0 +1,176 @@
+//! A G-Miner-like task-oriented GPM engine [10] (§7 related work).
+//!
+//! G-Miner processes GPM workloads as a pool of **coarse-grained tasks**
+//! (one per seed vertex/edge) drained by a thread pool from a global
+//! queue. Unlike Fractal there is no fine-grained sharing of a task's
+//! sub-tree: once a thread picks a seed, it owns the seed's entire
+//! enumeration subtree. On skewed (scale-free) inputs the largest seed
+//! task dominates the makespan — the behaviour Fractal's
+//! enumerator-level stealing removes. The global queue also serializes
+//! task handoff, a contention point the hierarchical design avoids.
+
+use crate::budget::{Budget, BudgetTracker, Outcome};
+use fractal_enum::canonical::canonical_vertex_extension;
+use fractal_graph::{Graph, VertexId};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-run statistics: per-thread busy nanoseconds (for imbalance) plus
+/// the task-count histogram.
+#[derive(Debug, Clone, Default)]
+pub struct GminerStats {
+    /// Busy time per worker thread, nanoseconds.
+    pub thread_busy_ns: Vec<u64>,
+    /// Number of seed tasks each thread processed.
+    pub thread_tasks: Vec<u64>,
+}
+
+impl GminerStats {
+    /// Coefficient of variation of per-thread busy time.
+    pub fn imbalance(&self) -> f64 {
+        let n = self.thread_busy_ns.len() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let mean = self.thread_busy_ns.iter().sum::<u64>() as f64 / n;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .thread_busy_ns
+            .iter()
+            .map(|&t| (t as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        var.sqrt() / mean
+    }
+}
+
+/// Counts connected induced `k`-vertex subgraphs (optionally cliques
+/// only) with the coarse task model: one task per seed vertex, global
+/// queue, no subtree sharing.
+pub fn gminer_count(
+    g: &Graph,
+    k: usize,
+    cliques_only: bool,
+    threads: usize,
+    budget: Budget,
+) -> Outcome<(u64, GminerStats)> {
+    let tracker = BudgetTracker::start(budget);
+    let queue: Mutex<VecDeque<u32>> = Mutex::new((0..g.num_vertices() as u32).collect());
+    let total = AtomicU64::new(0);
+    let threads = threads.max(1);
+    let mut stats = GminerStats {
+        thread_busy_ns: vec![0; threads],
+        thread_tasks: vec![0; threads],
+    };
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let queue = &queue;
+                let total = &total;
+                s.spawn(move || {
+                    let mut busy = 0u64;
+                    let mut tasks = 0u64;
+                    let mut prefix: Vec<u32> = Vec::with_capacity(k);
+                    loop {
+                        let seed = {
+                            let mut q = queue.lock();
+                            q.pop_front()
+                        };
+                        let Some(seed) = seed else { break };
+                        let t0 = std::time::Instant::now();
+                        prefix.clear();
+                        prefix.push(seed);
+                        let mut local = 0u64;
+                        dfs(g, k, cliques_only, &mut prefix, &mut local);
+                        total.fetch_add(local, Ordering::Relaxed);
+                        busy += t0.elapsed().as_nanos() as u64;
+                        tasks += 1;
+                    }
+                    (busy, tasks)
+                })
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let (busy, tasks) = h.join().expect("gminer worker panicked");
+            stats.thread_busy_ns[i] = busy;
+            stats.thread_tasks[i] = tasks;
+        }
+    });
+
+    let run = tracker.finish();
+    let mut out = Outcome::Ok((total.load(Ordering::Relaxed), stats), run);
+    if let Outcome::Ok(_, s) = &mut out {
+        // The coarse model holds only the DFS stack: tiny state.
+        s.peak_state_bytes = (k * 4) as u64;
+    }
+    out
+}
+
+fn dfs(g: &Graph, k: usize, cliques_only: bool, prefix: &mut Vec<u32>, count: &mut u64) {
+    if prefix.len() == k {
+        *count += 1;
+        return;
+    }
+    let mut cands: Vec<u32> = prefix
+        .iter()
+        .flat_map(|&v| g.neighbors(VertexId(v)).iter().copied())
+        .filter(|u| !prefix.contains(u))
+        .collect();
+    cands.sort_unstable();
+    cands.dedup();
+    for u in cands {
+        if !canonical_vertex_extension(g, prefix, u) {
+            continue;
+        }
+        if cliques_only
+            && !prefix
+                .iter()
+                .all(|&v| g.are_adjacent(VertexId(v), VertexId(u)))
+        {
+            continue;
+        }
+        prefix.push(u);
+        dfs(g, k, cliques_only, prefix, count);
+        prefix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractal_graph::gen;
+
+    #[test]
+    fn counts_match_reference() {
+        let g = gen::mico_like(150, 2, 3);
+        let (n, _) = gminer_count(&g, 3, false, 2, Budget::unlimited()).unwrap();
+        let reference = crate::single_thread::gtries_motifs(&g, 3)
+            .values()
+            .sum::<u64>();
+        assert_eq!(n, reference);
+    }
+
+    #[test]
+    fn clique_counts_match() {
+        let g = gen::complete(7);
+        let (n, _) = gminer_count(&g, 4, true, 3, Budget::unlimited()).unwrap();
+        assert_eq!(n, 35);
+    }
+
+    #[test]
+    fn coarse_tasks_skew_on_hub_graphs() {
+        // A hub-dominated graph: the hub's seed task dwarfs the others, so
+        // per-thread busy times diverge (no subtree sharing).
+        let g = gen::barabasi_albert(800, 6, 1, 1, 7);
+        let (_, stats) = gminer_count(&g, 4, false, 4, Budget::unlimited()).unwrap();
+        assert_eq!(stats.thread_busy_ns.len(), 4);
+        assert!(stats.thread_tasks.iter().sum::<u64>() == 800);
+        // Imbalance exists; the exact value is machine-dependent, just
+        // assert the statistic is computed.
+        let _ = stats.imbalance();
+    }
+}

@@ -1,0 +1,251 @@
+//! MapReduce-style baselines: MRSUB-like motif counting [47] and
+//! QKCount-like clique counting [19].
+//!
+//! Both proceed in rounds; every round materializes the full set of
+//! partial embeddings and **shuffles** it — serializing each embedding and
+//! hash-partitioning the bytes — before the next round begins. The
+//! shuffle doubles the resident state (embeddings + partition buffers)
+//! and adds byte-copy work, which is why MRSUB trails every other system
+//! in Fig. 11 and "ran out of memory in one instance".
+
+use crate::budget::{Budget, BudgetTracker, Outcome};
+use fractal_enum::canonical::canonical_vertex_extension;
+use fractal_graph::{Graph, VertexId};
+use fractal_pattern::canon::CodeCache;
+use fractal_pattern::{CanonicalCode, Pattern};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Simulates one shuffle: serialize embeddings into `partitions` buffers
+/// by hash; returns (buffers, shuffled bytes).
+fn shuffle(embeddings: &[Vec<u32>], partitions: usize) -> (Vec<Vec<u8>>, u64) {
+    let mut buffers: Vec<Vec<u8>> = vec![Vec::new(); partitions.max(1)];
+    let mut total = 0u64;
+    for emb in embeddings {
+        let mut h = DefaultHasher::new();
+        emb.hash(&mut h);
+        let p = (h.finish() as usize) % buffers.len();
+        let buf = &mut buffers[p];
+        buf.extend_from_slice(&(emb.len() as u32).to_le_bytes());
+        for &w in emb {
+            buf.extend_from_slice(&w.to_le_bytes());
+        }
+        total += 4 + 4 * emb.len() as u64;
+    }
+    (buffers, total)
+}
+
+fn deserialize_all(buffers: &[Vec<u8>]) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    for buf in buffers {
+        let mut i = 0usize;
+        while i < buf.len() {
+            let len = u32::from_le_bytes(buf[i..i + 4].try_into().unwrap()) as usize;
+            i += 4;
+            let mut emb = Vec::with_capacity(len);
+            for _ in 0..len {
+                emb.push(u32::from_le_bytes(buf[i..i + 4].try_into().unwrap()));
+                i += 4;
+            }
+            out.push(emb);
+        }
+    }
+    out
+}
+
+/// One expansion round over partitioned embeddings, in parallel.
+fn expand_round(
+    g: &Graph,
+    embeddings: Vec<Vec<u32>>,
+    threads: usize,
+    cliques_only: bool,
+    max_bytes: u64,
+    produced_bytes: &AtomicU64,
+) -> Option<Vec<Vec<u32>>> {
+    let chunk = embeddings.len().div_ceil(threads.max(1)).max(1);
+    let chunks: Vec<&[Vec<u32>]> = embeddings.chunks(chunk).collect();
+    let abort = AtomicBool::new(false);
+    let mut out = Vec::new();
+    std::thread::scope(|s| {
+        let abort = &abort;
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    let mut cands: Vec<u32> = Vec::new();
+                    let mut reported_len = 0usize;
+                    for emb in chunk {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        cands.clear();
+                        for &v in emb.iter() {
+                            for &u in g.neighbors(VertexId(v)) {
+                                if !emb.contains(&u) {
+                                    cands.push(u);
+                                }
+                            }
+                        }
+                        cands.sort_unstable();
+                        cands.dedup();
+                        for &u in &cands {
+                            if !canonical_vertex_extension(g, emb, u) {
+                                continue;
+                            }
+                            if cliques_only
+                                && !emb
+                                    .iter()
+                                    .all(|&v| g.are_adjacent(VertexId(v), VertexId(u)))
+                            {
+                                continue;
+                            }
+                            let mut next = Vec::with_capacity(emb.len() + 1);
+                            next.extend_from_slice(emb);
+                            next.push(u);
+                            local.push(next);
+                        }
+                        if local.len() - reported_len >= 1024 {
+                            let delta: u64 = local[reported_len..]
+                                .iter()
+                                .map(|e: &Vec<u32>| 24 + 4 * e.capacity() as u64)
+                                .sum();
+                            if produced_bytes.fetch_add(delta, Ordering::Relaxed) + delta
+                                > max_bytes
+                            {
+                                abort.store(true, Ordering::Relaxed);
+                            }
+                            reported_len = local.len();
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            out.append(&mut h.join().expect("mr worker panicked"));
+        }
+    });
+    if abort.load(Ordering::Relaxed) {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+fn run_rounds(
+    g: &Graph,
+    k: usize,
+    threads: usize,
+    cliques_only: bool,
+    budget: Budget,
+) -> Outcome<Vec<Vec<u32>>> {
+    let mut tracker = BudgetTracker::start(budget);
+    let mut embeddings: Vec<Vec<u32>> = (0..g.num_vertices() as u32).map(|v| vec![v]).collect();
+    for _round in 1..k {
+        if tracker.timed_out() {
+            return tracker.finish_timeout();
+        }
+        let produced = AtomicU64::new(0);
+        let Some(next) =
+            expand_round(g, embeddings, threads, cliques_only, budget.max_state_bytes, &produced)
+        else {
+            tracker.track_state(produced.load(Ordering::Relaxed), 0);
+            return tracker.finish_oom();
+        };
+        embeddings = next;
+        // Shuffle: serialize + partition; both representations are alive.
+        let (buffers, moved) = shuffle(&embeddings, threads.max(2));
+        tracker.add_shuffle(moved);
+        let emb_bytes: usize = embeddings.iter().map(|e| 24 + 4 * e.capacity()).sum();
+        let buf_bytes: usize = buffers.iter().map(|b| b.capacity()).sum();
+        if !tracker.track_state((emb_bytes + buf_bytes) as u64, embeddings.len() as u64) {
+            return tracker.finish_oom();
+        }
+        // The next round reads the shuffled copy (as reducers would).
+        embeddings = deserialize_all(&buffers);
+        if embeddings.is_empty() {
+            break;
+        }
+    }
+    let stats = tracker.finish();
+    Outcome::Ok(embeddings, stats)
+}
+
+/// MRSUB-like motif counting: `k-1` map/shuffle rounds, patterns counted
+/// in the final reduce.
+pub fn mrsub_motifs(
+    g: &Graph,
+    k: usize,
+    threads: usize,
+    budget: Budget,
+) -> Outcome<HashMap<CanonicalCode, u64>> {
+    match run_rounds(g, k, threads, false, budget) {
+        Outcome::Ok(embeddings, stats) => {
+            let mut cache = CodeCache::new();
+            let mut counts: HashMap<CanonicalCode, u64> = HashMap::new();
+            for emb in &embeddings {
+                let p = Pattern::from_vertex_induced(g, emb, false, false);
+                *counts.entry(cache.canonical_form(&p).code.clone()).or_insert(0) += 1;
+            }
+            Outcome::Ok(counts, stats)
+        }
+        Outcome::Oom(s) => Outcome::Oom(s),
+        Outcome::Timeout(s) => Outcome::Timeout(s),
+    }
+}
+
+/// QKCount-like clique counting: rounds keep only clique-extending
+/// embeddings but still pay the full shuffle.
+pub fn qkcount_cliques(g: &Graph, k: usize, threads: usize, budget: Budget) -> Outcome<u64> {
+    match run_rounds(g, k, threads, true, budget) {
+        Outcome::Ok(embeddings, stats) => Outcome::Ok(embeddings.len() as u64, stats),
+        Outcome::Oom(s) => Outcome::Oom(s),
+        Outcome::Timeout(s) => Outcome::Timeout(s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractal_graph::gen;
+
+    #[test]
+    fn shuffle_roundtrip() {
+        let embs = vec![vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 9]];
+        let (buffers, moved) = shuffle(&embs, 3);
+        assert_eq!(moved, 3 * (4 + 12));
+        let mut back = deserialize_all(&buffers);
+        back.sort();
+        let mut orig = embs.clone();
+        orig.sort();
+        assert_eq!(back, orig);
+    }
+
+    #[test]
+    fn motif_counts_match_reference() {
+        let g = gen::mico_like(120, 2, 3);
+        let mr = mrsub_motifs(&g, 3, 2, Budget::unlimited()).unwrap();
+        let reference =
+            crate::bfs_engine::motifs_bfs(&g, 3, &crate::bfs_engine::BfsConfig::new(2), false)
+                .unwrap();
+        assert_eq!(mr, reference);
+    }
+
+    #[test]
+    fn clique_counts_match() {
+        let g = gen::complete(7);
+        assert_eq!(qkcount_cliques(&g, 4, 2, Budget::unlimited()).unwrap(), 35);
+    }
+
+    #[test]
+    fn shuffles_tracked_and_oom_possible() {
+        let g = gen::mico_like(150, 2, 5);
+        let (_, stats) = mrsub_motifs(&g, 3, 2, Budget::unlimited()).unwrap_with_stats();
+        assert!(stats.shuffled_bytes > 0);
+        let tight = Budget::new(5_000, std::time::Duration::from_secs(60));
+        assert_eq!(mrsub_motifs(&g, 4, 2, tight).status(), "OOM");
+    }
+}

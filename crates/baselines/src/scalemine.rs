@@ -1,0 +1,202 @@
+//! The ScaleMine-like two-phase FSM baseline [1].
+//!
+//! ScaleMine first runs an **approximation phase**: sampled subgraph
+//! probes estimate which patterns are likely frequent and how expensive
+//! each is to evaluate; the estimates then drive static task placement in
+//! the **exact phase**, which confirms the frequent set with early
+//! termination (so reported supports are approximate while the *set* of
+//! frequent patterns is exact — exactly what §5.1 describes).
+//!
+//! Phase 1's cost is why ScaleMine loses to Fractal "when there is less
+//! overall work": the sampling pass is paid regardless of how small the
+//! mining task turns out to be.
+
+use crate::budget::{Budget, BudgetTracker, Outcome};
+use crate::pattern_growth::{children, label_universe, match_pattern, mni_support, single_edge_patterns};
+use fractal_graph::{Graph, VertexId};
+use fractal_pattern::canon::CodeCache;
+use fractal_pattern::{CanonicalCode, ExplorationPlan, Pattern};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Result of the sampling phase: per-pattern estimated cost (embedding
+/// probes until exhaustion or sample cap).
+#[derive(Debug, Clone)]
+pub struct LoadEstimate {
+    /// Estimated number of embeddings (scaled from the sample).
+    pub est_embeddings: f64,
+}
+
+/// Phase 1: estimates a pattern's embedding count by sampling random
+/// starts and counting matches reachable from them, scaled to the full
+/// graph. The probe count is the knob that makes phase 1 expensive.
+pub fn estimate_load(g: &Graph, pattern: &Pattern, probes: usize, seed: u64) -> LoadEstimate {
+    let plan = ExplorationPlan::new(pattern);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.num_vertices().max(1);
+    let mut sampled = 0u64;
+    let mut hits = 0u64;
+    for _ in 0..probes {
+        let start = rng.gen_range(0..n) as u32;
+        sampled += 1;
+        if g.vertex_label(VertexId(start)).raw() != plan.label_at(0) {
+            continue;
+        }
+        // Count matches rooted at the sampled vertex (bounded walk).
+        let mut local = 0u64;
+        let mut budget = 200u64;
+        match_pattern_rooted(g, &plan, start, &mut |_| {
+            local += 1;
+            budget -= 1;
+            budget > 0
+        });
+        hits += local;
+    }
+    LoadEstimate {
+        est_embeddings: hits as f64 * n as f64 / sampled.max(1) as f64,
+    }
+}
+
+/// Matches the plan with position 0 pinned to `root`.
+fn match_pattern_rooted(
+    g: &Graph,
+    plan: &ExplorationPlan,
+    root: u32,
+    cb: &mut dyn FnMut(&[u32]) -> bool,
+) {
+    // Reuse the generic matcher by filtering on the first position.
+    match_pattern(g, plan, &mut |m| {
+        if m[0] != root {
+            return true; // skip, keep searching
+        }
+        cb(m)
+    });
+}
+
+/// The two-phase FSM. `probes` controls phase-1 effort; `threads` the
+/// phase-2 parallelism.
+pub fn scalemine_fsm(
+    g: &Graph,
+    min_support: u64,
+    max_edges: usize,
+    threads: usize,
+    probes: usize,
+    budget: Budget,
+) -> Outcome<Vec<(CanonicalCode, u64)>> {
+    let mut tracker = BudgetTracker::start(budget);
+    let (vl, el) = label_universe(g);
+    let mut out: Vec<(CanonicalCode, u64)> = Vec::new();
+    let mut cache = CodeCache::new();
+
+    let mut frontier: Vec<Pattern> = single_edge_patterns(g)
+        .into_iter()
+        .map(|c| c.to_pattern())
+        .collect();
+    let mut seed = 0u64;
+
+    for _size in 1..=max_edges {
+        if tracker.timed_out() {
+            return tracker.finish_timeout();
+        }
+        // Phase 1: estimate per-candidate load (the expensive sampling
+        // pass).
+        let estimates: Vec<LoadEstimate> = frontier
+            .iter()
+            .map(|p| {
+                seed += 1;
+                estimate_load(g, p, probes, seed)
+            })
+            .collect();
+        // Order tasks by estimated load, largest first (LPT placement),
+        // then evaluate in parallel with early termination at the
+        // threshold.
+        let mut order: Vec<usize> = (0..frontier.len()).collect();
+        order.sort_by(|&a, &b| {
+            estimates[b]
+                .est_embeddings
+                .partial_cmp(&estimates[a].est_embeddings)
+                .unwrap()
+        });
+        let results: Mutex<Vec<(usize, u64)>> = Mutex::new(Vec::new());
+        let next_task = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads.max(1) {
+                s.spawn(|| loop {
+                    let t = next_task.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if t >= order.len() {
+                        return;
+                    }
+                    let idx = order[t];
+                    let sup = mni_support(g, &frontier[idx], Some(min_support));
+                    results.lock().push((idx, sup));
+                });
+            }
+        });
+        let results = results.into_inner();
+        // Track phase-2 state: per-task domains are bounded by the early
+        // termination; account for the estimates table + result rows.
+        let state = (frontier.len() * 64 + results.len() * 16) as u64;
+        if !tracker.track_state(state, results.len() as u64) {
+            return tracker.finish_oom();
+        }
+        let mut next_frontier: Vec<Pattern> = Vec::new();
+        let mut seen: HashSet<CanonicalCode> = HashSet::new();
+        for (idx, sup) in results {
+            if sup >= min_support {
+                let p = &frontier[idx];
+                out.push((cache.canonical_form(p).code.clone(), sup));
+                for child in children(p, &vl, &el) {
+                    let code = cache.canonical_form(&child).code.clone();
+                    if seen.insert(code) {
+                        next_frontier.push(child);
+                    }
+                }
+            }
+        }
+        frontier = next_frontier;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    let stats = tracker.finish();
+    Outcome::Ok(out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractal_graph::gen;
+
+    #[test]
+    fn estimates_scale_with_density() {
+        let sparse = gen::path(50);
+        let dense = gen::complete(20);
+        let edge = Pattern::unlabeled(2, &[(0, 1)]);
+        let es = estimate_load(&sparse, &edge, 30, 1);
+        let ed = estimate_load(&dense, &edge, 30, 1);
+        assert!(ed.est_embeddings > es.est_embeddings);
+    }
+
+    #[test]
+    fn frequent_set_matches_exact_baseline() {
+        let g = gen::patents_like(100, 3, 41);
+        let exact = crate::pattern_growth::pattern_growth_fsm(&g, 10, 2, None);
+        let scalemine = scalemine_fsm(&g, 10, 2, 2, 10, Budget::unlimited()).unwrap();
+        let a: HashSet<&CanonicalCode> = exact.iter().map(|(c, _)| c).collect();
+        let b: HashSet<&CanonicalCode> = scalemine.iter().map(|(c, _)| c).collect();
+        assert_eq!(a, b, "frequent sets must agree");
+        // Counts are approximate: capped at the threshold.
+        for (_, sup) in &scalemine {
+            assert!(*sup >= 10 || scalemine.is_empty());
+        }
+    }
+
+    #[test]
+    fn impossible_threshold_yields_empty() {
+        let g = gen::complete(4);
+        let r = scalemine_fsm(&g, 1000, 3, 2, 5, Budget::unlimited()).unwrap();
+        assert!(r.is_empty());
+    }
+}

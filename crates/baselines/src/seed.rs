@@ -1,0 +1,395 @@
+//! The SEED-like join-based subgraph lister [33].
+//!
+//! SEED "computes larger subgraphs by joining smaller ones": the query is
+//! decomposed into *units* (cliques and edges), each unit's matches are
+//! materialized, and units are hash-joined on their shared query vertices.
+//! Clique-shaped queries collapse to a single unit and are extremely fast
+//! (why SEED wins q1/q4/q5 and the overlap-friendly q7 in Fig. 15), while
+//! path/cycle-shaped queries materialize large intermediates — memory the
+//! budget tracker charges faithfully.
+
+use crate::budget::{Budget, BudgetTracker, Outcome};
+use fractal_graph::{Graph, VertexId};
+use fractal_pattern::{Pattern, SymmetryConditions};
+use std::collections::HashMap;
+
+/// One decomposition unit: the query vertices it covers.
+#[derive(Debug, Clone)]
+pub struct Unit {
+    /// Query vertex ids covered by this unit.
+    pub vertices: Vec<u8>,
+    /// Whether the unit is a clique over those vertices (else a single
+    /// edge).
+    pub is_clique: bool,
+}
+
+/// A left-deep join plan over units.
+#[derive(Debug, Clone)]
+pub struct JoinPlan {
+    /// Units in join order (first = largest).
+    pub units: Vec<Unit>,
+}
+
+/// Greedy decomposition: repeatedly take the largest clique of uncovered
+/// query edges (≥ 3 vertices), then cover the remaining edges as edge
+/// units.
+pub fn plan(query: &Pattern) -> JoinPlan {
+    let n = query.num_vertices();
+    let mut covered: Vec<Vec<bool>> = vec![vec![false; n]; n];
+    let mut units: Vec<Unit> = Vec::new();
+    loop {
+        // Find the largest clique whose edges are not all covered.
+        let mut best: Option<Vec<u8>> = None;
+        for mask in 1u32..(1 << n) {
+            let vs: Vec<u8> = (0..n as u8).filter(|&v| mask >> v & 1 == 1).collect();
+            if vs.len() < 3 {
+                continue;
+            }
+            let is_clique = vs
+                .iter()
+                .enumerate()
+                .all(|(i, &u)| vs[i + 1..].iter().all(|&v| query.adjacent(u as usize, v as usize)));
+            if !is_clique {
+                continue;
+            }
+            let covers_new = vs.iter().enumerate().any(|(i, &u)| {
+                vs[i + 1..].iter().any(|&v| !covered[u as usize][v as usize])
+            });
+            if covers_new && best.as_ref().map_or(true, |b| vs.len() > b.len()) {
+                best = Some(vs);
+            }
+        }
+        match best {
+            Some(vs) => {
+                for (i, &u) in vs.iter().enumerate() {
+                    for &v in &vs[i + 1..] {
+                        covered[u as usize][v as usize] = true;
+                        covered[v as usize][u as usize] = true;
+                    }
+                }
+                units.push(Unit {
+                    vertices: vs,
+                    is_clique: true,
+                });
+            }
+            None => break,
+        }
+    }
+    for &(u, v, _) in query.edges() {
+        if !covered[u as usize][v as usize] {
+            units.push(Unit {
+                vertices: vec![u, v],
+                is_clique: false,
+            });
+        }
+    }
+    // Join order: largest unit first, then units sharing vertices with the
+    // joined prefix (connected order), preferring larger units.
+    units.sort_by_key(|u| std::cmp::Reverse(u.vertices.len()));
+    let mut ordered: Vec<Unit> = Vec::new();
+    let mut in_prefix = vec![false; n];
+    while !units.is_empty() {
+        let pos = units
+            .iter()
+            .position(|u| {
+                ordered.is_empty() || u.vertices.iter().any(|&v| in_prefix[v as usize])
+            })
+            .unwrap_or(0);
+        let u = units.remove(pos);
+        for &v in &u.vertices {
+            in_prefix[v as usize] = true;
+        }
+        ordered.push(u);
+    }
+    JoinPlan { units: ordered }
+}
+
+/// Lists all k-cliques of `g` as sorted vertex arrays (the unit matcher's
+/// clique engine: out-neighborhood intersection, each clique once).
+pub fn list_cliques(g: &Graph, k: usize) -> Vec<Vec<u32>> {
+    let n = g.num_vertices();
+    let mut dag: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for v in 0..n as u32 {
+        let dv = g.degree(VertexId(v));
+        for &u in g.neighbors(VertexId(v)) {
+            if (dv, v) < (g.degree(VertexId(u)), u) {
+                dag[v as usize].push(u);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let mut prefix: Vec<u32> = Vec::new();
+    fn rec(
+        dag: &[Vec<u32>],
+        cands: &[u32],
+        k: usize,
+        prefix: &mut Vec<u32>,
+        out: &mut Vec<Vec<u32>>,
+    ) {
+        if prefix.len() == k {
+            out.push(prefix.clone());
+            return;
+        }
+        for &v in cands {
+            let next: Vec<u32> = cands
+                .iter()
+                .copied()
+                .filter(|&u| dag[v as usize].binary_search(&u).is_ok())
+                .collect();
+            prefix.push(v);
+            rec(dag, &next, k, prefix, out);
+            prefix.pop();
+        }
+    }
+    let all: Vec<u32> = (0..n as u32).collect();
+    rec(&dag, &all, k, &mut prefix, &mut out);
+    out
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    fn rec(n: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == n {
+            out.push(cur.clone());
+            return;
+        }
+        for v in 0..n {
+            if !cur.contains(&v) {
+                cur.push(v);
+                rec(n, cur, out);
+                cur.pop();
+            }
+        }
+    }
+    rec(n, &mut cur, &mut out);
+    out
+}
+
+/// Counts instances of `query` in `g` by unit decomposition + hash joins.
+/// Unlabeled matching (the Fig. 15 queries are topology-only).
+pub fn seed_count(g: &Graph, query: &Pattern, budget: Budget) -> Outcome<u64> {
+    let mut tracker = BudgetTracker::start(budget);
+    let jp = plan(query);
+    let conds = SymmetryConditions::for_pattern(query);
+    let n = query.num_vertices();
+
+    // Fast path: the whole query is one clique unit — list cliques
+    // directly, one row per instance (this is SEED's clique advantage).
+    if jp.units.len() == 1 && jp.units[0].is_clique && jp.units[0].vertices.len() == n {
+        let cliques = list_cliques(g, n);
+        let bytes = (cliques.len() * (24 + 4 * n)) as u64;
+        if !tracker.track_state(bytes, cliques.len() as u64) {
+            return tracker.finish_oom();
+        }
+        let count = cliques.len() as u64;
+        let stats = tracker.finish();
+        return Outcome::Ok(count, stats);
+    }
+
+    // General path: materialize each unit's assignments and hash-join.
+    // A row assigns graph vertices to the query vertices covered so far.
+    let mut covered: Vec<u8> = Vec::new();
+    let mut rows: Vec<Vec<u32>> = Vec::new();
+    for (ui, unit) in jp.units.iter().enumerate() {
+        if tracker.timed_out() {
+            return tracker.finish_timeout();
+        }
+        // Materialize the unit's assignment rows (all orderings).
+        let mut unit_rows: Vec<Vec<u32>> = Vec::new();
+        if unit.is_clique {
+            let k = unit.vertices.len();
+            let perms = permutations(k);
+            for clique in list_cliques(g, k) {
+                for perm in &perms {
+                    unit_rows.push(perm.iter().map(|&i| clique[i]).collect());
+                }
+            }
+        } else {
+            for e in g.edges() {
+                let (a, b) = g.edge_endpoints(e);
+                unit_rows.push(vec![a.raw(), b.raw()]);
+                unit_rows.push(vec![b.raw(), a.raw()]);
+            }
+        }
+        let unit_bytes = unit_rows.len() * (24 + 4 * unit.vertices.len());
+        if !tracker.track_state(unit_bytes as u64, unit_rows.len() as u64) {
+            return tracker.finish_oom();
+        }
+
+        if ui == 0 {
+            covered = unit.vertices.clone();
+            rows = unit_rows;
+        } else {
+            // Join on shared query vertices.
+            let shared: Vec<u8> = unit
+                .vertices
+                .iter()
+                .copied()
+                .filter(|v| covered.contains(v))
+                .collect();
+            let fresh: Vec<u8> = unit
+                .vertices
+                .iter()
+                .copied()
+                .filter(|v| !covered.contains(v))
+                .collect();
+            // Hash the unit rows by their shared-vertex values.
+            let mut index: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+            for (i, r) in unit_rows.iter().enumerate() {
+                let key: Vec<u32> = shared
+                    .iter()
+                    .map(|v| r[unit.vertices.iter().position(|x| x == v).unwrap()])
+                    .collect();
+                index.entry(key).or_default().push(i);
+            }
+            let mut joined: Vec<Vec<u32>> = Vec::new();
+            let mut next_check = 65_536usize;
+            for row in &rows {
+                // Joins can explode within a single unit; keep the budget
+                // honest mid-join rather than only at unit barriers.
+                if joined.len() >= next_check {
+                    let bytes = joined.len() * (24 + 4 * (covered.len() + 1));
+                    if !tracker.track_state(bytes as u64, joined.len() as u64) {
+                        return tracker.finish_oom();
+                    }
+                    if tracker.timed_out() {
+                        return tracker.finish_timeout();
+                    }
+                    next_check = joined.len() + 65_536;
+                }
+                let key: Vec<u32> = shared
+                    .iter()
+                    .map(|v| row[covered.iter().position(|x| x == v).unwrap()])
+                    .collect();
+                if let Some(matches) = index.get(&key) {
+                    'probe: for &i in matches {
+                        let ur = &unit_rows[i];
+                        let mut merged = row.clone();
+                        for &fv in &fresh {
+                            let gv = ur[unit.vertices.iter().position(|x| *x == fv).unwrap()];
+                            // Injectivity.
+                            if merged.contains(&gv) {
+                                continue 'probe;
+                            }
+                            merged.push(gv);
+                        }
+                        joined.push(merged);
+                    }
+                }
+            }
+            for &fv in &fresh {
+                covered.push(fv);
+            }
+            rows = joined;
+        }
+        let rows_bytes: usize = rows.len() * (24 + 4 * covered.len());
+        if !tracker.track_state((rows_bytes + unit_bytes) as u64, rows.len() as u64) {
+            return tracker.finish_oom();
+        }
+    }
+
+    // Verify edges not implied by the units (none — units cover all query
+    // edges), check symmetry conditions to count each instance once.
+    let mut count = 0u64;
+    for row in &rows {
+        // Reorder into query-vertex order.
+        let mut byv = vec![0u32; n];
+        for (i, &qv) in covered.iter().enumerate() {
+            byv[qv as usize] = row[i];
+        }
+        if conds.check(&byv) {
+            count += 1;
+        }
+    }
+    let stats = tracker.finish();
+    Outcome::Ok(count, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractal_graph::builder::unlabeled_from_edges;
+    use fractal_graph::gen;
+
+    #[test]
+    fn plan_for_clique_is_single_unit() {
+        let jp = plan(&Pattern::clique(4));
+        assert_eq!(jp.units.len(), 1);
+        assert!(jp.units[0].is_clique);
+        assert_eq!(jp.units[0].vertices.len(), 4);
+    }
+
+    #[test]
+    fn plan_for_square_is_edges() {
+        let jp = plan(&Pattern::cycle(4));
+        assert_eq!(jp.units.len(), 4);
+        assert!(jp.units.iter().all(|u| !u.is_clique));
+    }
+
+    #[test]
+    fn plan_for_near5clique_uses_overlapping_cliques() {
+        let q = {
+            let mut edges = Vec::new();
+            for u in 0..5u8 {
+                for v in (u + 1)..5 {
+                    if (u, v) != (3, 4) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            Pattern::unlabeled(5, &edges)
+        };
+        let jp = plan(&q);
+        // Two K4 units cover everything.
+        assert_eq!(jp.units.len(), 2);
+        assert!(jp.units.iter().all(|u| u.is_clique && u.vertices.len() == 4));
+    }
+
+    #[test]
+    fn clique_counts_direct() {
+        let g = gen::complete(6);
+        assert_eq!(seed_count(&g, &Pattern::clique(3), Budget::unlimited()).unwrap(), 20);
+        assert_eq!(seed_count(&g, &Pattern::clique(4), Budget::unlimited()).unwrap(), 15);
+    }
+
+    #[test]
+    fn square_count_on_known_graph() {
+        let g = unlabeled_from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)]);
+        assert_eq!(seed_count(&g, &Pattern::cycle(4), Budget::unlimited()).unwrap(), 1);
+    }
+
+    #[test]
+    fn diamond_join_count() {
+        // Diamond query on the same graph: 1 instance.
+        let q = Pattern::unlabeled(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        let g = unlabeled_from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)]);
+        assert_eq!(seed_count(&g, &q, Budget::unlimited()).unwrap(), 1);
+    }
+
+    #[test]
+    fn list_cliques_matches_binomials() {
+        let g = gen::complete(5);
+        assert_eq!(list_cliques(&g, 3).len(), 10);
+        for c in list_cliques(&g, 3) {
+            assert!(c.windows(2).all(|w| w[0] != w[1]));
+        }
+    }
+
+    #[test]
+    fn near5clique_count_in_k5() {
+        let q = {
+            let mut edges = Vec::new();
+            for u in 0..5u8 {
+                for v in (u + 1)..5 {
+                    if (u, v) != (3, 4) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            Pattern::unlabeled(5, &edges)
+        };
+        let g = gen::complete(5);
+        assert_eq!(seed_count(&g, &q, Budget::unlimited()).unwrap(), 10);
+    }
+}

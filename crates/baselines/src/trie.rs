@@ -1,0 +1,162 @@
+//! A prefix forest over word sequences — the ODAG stand-in.
+//!
+//! Arabesque compresses the embeddings stored between BFS levels into
+//! per-pattern ODAGs. This forest provides the same essential behaviour:
+//! embeddings sharing a prefix share storage, the structure reports its
+//! exact resident size, and iteration re-materializes every sequence.
+//!
+//! Insertion uses a hash index over `(parent, word)` edges; once a level
+//! is fully built the index is dropped ([`PrefixForest::seal`]) and the
+//! resident state between BFS steps is only the node pool and leaf list —
+//! mirroring how ODAGs are finalized before being shipped/stored.
+
+use std::collections::HashMap;
+
+/// A node-compressed set of equal-length `u32` sequences.
+#[derive(Debug, Default)]
+pub struct PrefixForest {
+    /// Flat node pool: `(word, parent_index)`; parent `u32::MAX` = root.
+    nodes: Vec<(u32, u32)>,
+    /// Indices of nodes that terminate a stored sequence.
+    leaves: Vec<u32>,
+    /// Build-time child lookup; dropped by [`seal`](Self::seal).
+    index: Option<HashMap<(u32, u32), u32>>,
+    len: usize,
+}
+
+impl PrefixForest {
+    /// An empty forest.
+    pub fn new() -> Self {
+        PrefixForest {
+            nodes: Vec::new(),
+            leaves: Vec::new(),
+            index: Some(HashMap::new()),
+            len: 0,
+        }
+    }
+
+    /// Inserts a sequence (duplicates allowed; each insert adds a leaf).
+    /// Panics after [`seal`](Self::seal).
+    pub fn insert(&mut self, seq: &[u32]) {
+        let index = self.index.as_mut().expect("insert after seal");
+        let mut parent = u32::MAX;
+        for &w in seq {
+            let next_id = self.nodes.len() as u32;
+            let node = *index.entry((parent, w)).or_insert_with(|| {
+                // Deferred push below keeps the borrow checker happy.
+                next_id
+            });
+            if node == next_id && self.nodes.len() as u32 == next_id {
+                self.nodes.push((w, parent));
+            }
+            parent = node;
+        }
+        debug_assert_ne!(parent, u32::MAX, "empty sequence");
+        self.leaves.push(parent);
+        self.len += 1;
+    }
+
+    /// Drops the build index; the forest becomes read-only and its
+    /// resident size shrinks to the node pool + leaves.
+    pub fn seal(&mut self) {
+        self.index = None;
+    }
+
+    /// Number of stored sequences.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the forest is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct trie nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Exact resident bytes (sealed: node pool + leaf list; unsealed: plus
+    /// the build index).
+    pub fn resident_bytes(&self) -> usize {
+        let base = self.nodes.len() * 8 + self.leaves.len() * 4;
+        match &self.index {
+            Some(ix) => base + ix.len() * 16,
+            None => base,
+        }
+    }
+
+    /// Re-materializes every stored sequence (in leaf insertion order).
+    pub fn iter_sequences(&self) -> impl Iterator<Item = Vec<u32>> + '_ {
+        self.leaves.iter().map(|&leaf| {
+            let mut seq = Vec::new();
+            let mut cur = leaf;
+            while cur != u32::MAX {
+                let (w, parent) = self.nodes[cur as usize];
+                seq.push(w);
+                cur = parent;
+            }
+            seq.reverse();
+            seq
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_sharing() {
+        let mut f = PrefixForest::new();
+        f.insert(&[1, 2, 3]);
+        f.insert(&[1, 2, 4]);
+        f.insert(&[5, 6, 7]);
+        assert_eq!(f.len(), 3);
+        let seqs: Vec<Vec<u32>> = f.iter_sequences().collect();
+        assert_eq!(seqs, vec![vec![1, 2, 3], vec![1, 2, 4], vec![5, 6, 7]]);
+        // Prefix [1,2] shared: 7 nodes, not 9.
+        assert_eq!(f.num_nodes(), 7);
+    }
+
+    #[test]
+    fn sealed_forest_is_compact_and_still_iterates() {
+        let mut f = PrefixForest::new();
+        let mut flat_bytes = 0usize;
+        for a in 0..20u32 {
+            for b in 0..20u32 {
+                f.insert(&[0, 1, a + 2, b + 30]);
+                flat_bytes += 24 + 4 * 4; // Vec header + 4 words, as the flat store pays
+            }
+        }
+        assert_eq!(f.len(), 400);
+        let unsealed = f.resident_bytes();
+        f.seal();
+        let sealed = f.resident_bytes();
+        assert!(sealed < unsealed);
+        assert!(
+            sealed < flat_bytes,
+            "sealed trie {sealed} >= flat {flat_bytes}"
+        );
+        assert_eq!(f.iter_sequences().count(), 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "insert after seal")]
+    fn insert_after_seal_panics() {
+        let mut f = PrefixForest::new();
+        f.insert(&[1]);
+        f.seal();
+        f.insert(&[2]);
+    }
+
+    #[test]
+    fn duplicates_both_materialize() {
+        let mut f = PrefixForest::new();
+        f.insert(&[1, 2]);
+        f.insert(&[1, 2]);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.iter_sequences().count(), 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Cross-system agreement: every baseline must produce the same answers
+//! as the Fractal implementation before any of them is timed against it
+//! (the harness relies on this).
+
+use fractal_baselines::bfs_engine::{self, BfsConfig};
+use fractal_baselines::{mr, scalemine, seed, single_thread, Budget};
+use fractal_core::FractalContext;
+use fractal_pattern::CanonicalCode;
+use fractal_runtime::ClusterConfig;
+use std::collections::HashMap;
+
+fn ctx() -> FractalContext {
+    FractalContext::new(ClusterConfig::local(2, 2))
+}
+
+#[test]
+fn motifs_agree_across_all_systems() {
+    let g = fractal_graph::gen::mico_like(180, 3, 51);
+    let fg = ctx().fractal_graph(g.clone());
+    let fractal = fractal_apps::motifs::motifs(&fg, 3);
+    let bfs = bfs_engine::motifs_bfs(&g, 3, &BfsConfig::new(2), false).unwrap();
+    let mrsub = mr::mrsub_motifs(&g, 3, 2, Budget::unlimited()).unwrap();
+    let gtries = single_thread::gtries_motifs(&g, 3);
+    assert_eq!(fractal, bfs);
+    assert_eq!(fractal, mrsub);
+    assert_eq!(fractal, gtries);
+}
+
+#[test]
+fn cliques_agree_across_all_systems() {
+    let g = fractal_graph::gen::youtube_like(220, 2, 52);
+    let fg = ctx().fractal_graph(g.clone());
+    for k in 3..=4 {
+        let fractal = fractal_apps::cliques::count(&fg, k);
+        let kclist_frac = fractal_apps::cliques::count_kclist(&fg, k);
+        let bfs = bfs_engine::cliques_bfs(&g, k, &BfsConfig::new(2)).unwrap();
+        let qk = mr::qkcount_cliques(&g, k, 2, Budget::unlimited()).unwrap();
+        let st_gtries = single_thread::gtries_cliques(&g, k);
+        let st_kclist = single_thread::kclist_cliques(&g, k);
+        assert_eq!(fractal, kclist_frac, "k={k}");
+        assert_eq!(fractal, bfs, "k={k}");
+        assert_eq!(fractal, qk, "k={k}");
+        assert_eq!(fractal, st_gtries, "k={k}");
+        assert_eq!(fractal, st_kclist, "k={k}");
+    }
+}
+
+#[test]
+fn triangles_agree_everywhere() {
+    let g = fractal_graph::gen::orkut_like(200, 53);
+    let fg = ctx().fractal_graph(g.clone());
+    let fractal = fractal_apps::cliques::triangles(&fg);
+    assert_eq!(fractal, single_thread::node_iterator_triangles(&g));
+    assert_eq!(
+        fractal,
+        single_thread::graphframes_triangles(&g, Budget::unlimited()).unwrap()
+    );
+    assert_eq!(
+        fractal,
+        seed::seed_count(&g, &fractal_pattern::Pattern::clique(3), Budget::unlimited()).unwrap()
+    );
+}
+
+#[test]
+fn queries_agree_across_systems() {
+    let g = fractal_graph::gen::patents_like(150, 1, 54);
+    let fg = ctx().fractal_graph(g.clone());
+    for (name, q) in fractal_apps::query::evaluation_queries() {
+        if q.num_edges() > 5 {
+            // The edge-heavy queries are exactly where the BFS baseline
+            // blows up (the paper's OOM rows); the harness runs them under
+            // a budget, the test sticks to the tractable ones.
+            continue;
+        }
+        let fractal = fractal_apps::query::count_matches(&fg, &q);
+        let seed_n = seed::seed_count(&g, &q, Budget::unlimited()).unwrap();
+        let st = single_thread::query_single(&g, &q);
+        let bfs = bfs_engine::query_bfs(&g, &q, &BfsConfig::new(2)).unwrap();
+        assert_eq!(fractal, seed_n, "{name} fractal vs seed");
+        assert_eq!(fractal, st, "{name} fractal vs single-thread");
+        assert_eq!(fractal, bfs, "{name} fractal vs bfs");
+    }
+}
+
+#[test]
+fn fsm_frequent_sets_agree() {
+    let g = fractal_graph::gen::patents_like(90, 3, 55);
+    let fg = ctx().fractal_graph(g.clone());
+    let min_sup = 12;
+    let fractal: HashMap<CanonicalCode, u64> =
+        fractal_apps::fsm::frequent_map(&fractal_apps::fsm::fsm(&fg, min_sup, 2));
+    let bfs: HashMap<CanonicalCode, u64> = bfs_engine::fsm_bfs(&g, min_sup, 2, &BfsConfig::new(2))
+        .unwrap()
+        .into_iter()
+        .collect();
+    let grami: HashMap<CanonicalCode, u64> =
+        single_thread::grami_fsm(&g, min_sup, 2).into_iter().collect();
+    let sm: HashMap<CanonicalCode, u64> =
+        scalemine::scalemine_fsm(&g, min_sup, 2, 2, 8, Budget::unlimited())
+            .unwrap()
+            .into_iter()
+            .collect();
+    // Exact systems agree on sets AND supports.
+    assert_eq!(fractal, bfs);
+    assert_eq!(fractal, grami);
+    // ScaleMine agrees on the set (counts are approximate).
+    let a: std::collections::BTreeSet<_> = fractal.keys().collect();
+    let b: std::collections::BTreeSet<_> = sm.keys().collect();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,110 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * work-stealing mode (off / internal / external / both),
+//! * simulated network latency for external steals,
+//! * BFS baseline storage flavour (flat vs ODAG-like),
+//! * generic vs KClist clique enumeration,
+//! * sampling keep-probability.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fractal_baselines::bfs_engine::{self, BfsConfig, Storage};
+use fractal_core::FractalContext;
+use fractal_enum::{SamplingEnumerator, VertexInducedEnumerator};
+use fractal_runtime::{ClusterConfig, WsMode};
+
+fn bench_ws_modes(c: &mut Criterion) {
+    let g = fractal_graph::gen::barabasi_albert(600, 6, 1, 1, 3);
+    let mut group = c.benchmark_group("ablation_ws_mode");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("disabled", WsMode::Disabled),
+        ("internal", WsMode::InternalOnly),
+        ("external", WsMode::ExternalOnly),
+        ("both", WsMode::Both),
+    ] {
+        group.bench_function(name, |b| {
+            let fg = FractalContext::new(ClusterConfig::local(2, 2).with_ws(mode))
+                .fractal_graph(g.clone());
+            b.iter(|| fractal_apps::cliques::count(&fg, 4))
+        });
+    }
+    group.finish();
+}
+
+fn bench_latency(c: &mut Criterion) {
+    let g = fractal_graph::gen::barabasi_albert(500, 6, 1, 1, 5);
+    let mut group = c.benchmark_group("ablation_net_latency");
+    group.sample_size(10);
+    for us in [0u64, 100, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(us), &us, |b, &us| {
+            let cfg = ClusterConfig::local(2, 2)
+                .with_ws(WsMode::ExternalOnly)
+                .with_latency_us(us);
+            let fg = FractalContext::new(cfg).fractal_graph(g.clone());
+            b.iter(|| fractal_apps::cliques::count(&fg, 4))
+        });
+    }
+    group.finish();
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let g = fractal_graph::gen::mico_like(300, 1, 7);
+    let mut group = c.benchmark_group("ablation_bfs_storage");
+    group.sample_size(10);
+    for (name, storage) in [("flat", Storage::Flat), ("odag", Storage::Odag)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                bfs_engine::motifs_bfs(&g, 3, &BfsConfig::new(2).with_storage(storage), false)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_clique_enumerators(c: &mut Criterion) {
+    let g = fractal_graph::gen::youtube_like(500, 1, 9);
+    let fg = FractalContext::new(ClusterConfig::local(1, 2)).fractal_graph(g);
+    let mut group = c.benchmark_group("ablation_clique_enumerator");
+    group.sample_size(10);
+    group.bench_function("generic_filtered", |b| {
+        b.iter(|| fractal_apps::cliques::count(&fg, 4))
+    });
+    group.bench_function("kclist", |b| {
+        b.iter(|| fractal_apps::cliques::count_kclist(&fg, 4))
+    });
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let g = fractal_graph::gen::youtube_like(600, 1, 11);
+    let fg = FractalContext::new(ClusterConfig::local(1, 2)).fractal_graph(g);
+    let mut group = c.benchmark_group("ablation_sampling_p");
+    group.sample_size(10);
+    for p in [1.0f64, 0.5, 0.1] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                fg.vfractoid_with(move |_| {
+                    Box::new(SamplingEnumerator::new(
+                        Box::new(VertexInducedEnumerator::new()),
+                        p,
+                        7,
+                    ))
+                })
+                .expand(4)
+                .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ws_modes,
+    bench_latency,
+    bench_storage,
+    bench_clique_enumerators,
+    bench_sampling
+);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Criterion microbenchmarks for the performance-critical components:
+//! canonicality checks, pattern canonicalization, extension queues,
+//! subgraph push/pop and neighborhood intersection.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fractal_enum::canonical::canonical_vertex_extension;
+use fractal_enum::{ExtensionQueue, Subgraph};
+use fractal_graph::{gen, VertexId};
+use fractal_pattern::canon::{canonical_form, CodeCache};
+use fractal_pattern::Pattern;
+
+fn bench_canonical_check(c: &mut Criterion) {
+    let g = gen::mico_like(2000, 1, 7);
+    let prefix: Vec<u32> = {
+        // A real connected prefix: greedily walk neighbors.
+        let mut p = vec![0u32];
+        while p.len() < 4 {
+            let last = *p.last().unwrap();
+            let next = g
+                .neighbors(VertexId(last))
+                .iter()
+                .copied()
+                .find(|u| !p.contains(u))
+                .unwrap();
+            p.push(next);
+        }
+        p
+    };
+    c.bench_function("canonical_vertex_extension/k4", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for u in 0..64u32 {
+                acc += canonical_vertex_extension(&g, black_box(&prefix), u) as u32;
+            }
+            acc
+        })
+    });
+}
+
+fn bench_pattern_canon(c: &mut Criterion) {
+    let patterns: Vec<Pattern> = vec![
+        Pattern::clique(4),
+        Pattern::cycle(5),
+        Pattern::unlabeled(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]),
+    ];
+    c.bench_function("canonical_form/5v", |b| {
+        b.iter(|| {
+            for p in &patterns {
+                black_box(canonical_form(p));
+            }
+        })
+    });
+    c.bench_function("canonical_form_cached/5v", |b| {
+        let mut cache = CodeCache::new();
+        b.iter(|| {
+            for p in &patterns {
+                black_box(cache.canonical_form(p));
+            }
+        })
+    });
+}
+
+fn bench_extension_queue(c: &mut Criterion) {
+    c.bench_function("extension_queue/claim_1k", |b| {
+        b.iter_with_setup(
+            || ExtensionQueue::new((0..1024).collect()),
+            |q| {
+                let mut acc = 0u64;
+                while let Some(w) = q.claim() {
+                    acc += w;
+                }
+                acc
+            },
+        )
+    });
+}
+
+fn bench_subgraph_push_pop(c: &mut Criterion) {
+    let g = gen::complete(16);
+    c.bench_function("subgraph/push_pop_vertex_induced", |b| {
+        let mut sg = Subgraph::new(&g);
+        b.iter(|| {
+            for v in 0..8u64 {
+                sg.push_vertex_induced(&g, v as u32);
+            }
+            for _ in 0..8 {
+                sg.pop_vertex_induced();
+            }
+        })
+    });
+}
+
+fn bench_intersection(c: &mut Criterion) {
+    let g = gen::orkut_like(2000, 3);
+    let hub = (0..g.num_vertices() as u32)
+        .max_by_key(|&v| g.degree(VertexId(v)))
+        .unwrap();
+    let other = g.neighbors(VertexId(hub))[0];
+    c.bench_function("graph/intersect_neighbors_hub", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| g.intersect_neighbors(VertexId(hub), VertexId(other), black_box(&mut buf)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_canonical_check,
+    bench_pattern_canon,
+    bench_extension_queue,
+    bench_subgraph_push_pop,
+    bench_intersection
+);
+criterion_main!(benches);

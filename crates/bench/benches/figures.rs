@@ -1,0 +1,118 @@
+//! Criterion benches mirroring the paper's figures at micro scale: one
+//! bench per evaluation kernel (motifs, cliques generic + KClist, FSM,
+//! querying, keyword search, triangles) plus Fractal-vs-baseline pairs.
+//! The full-size reproduction lives in the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fractal_baselines::bfs_engine::{self, BfsConfig};
+use fractal_baselines::single_thread;
+use fractal_core::FractalContext;
+use fractal_runtime::ClusterConfig;
+
+fn ctx() -> FractalContext {
+    FractalContext::new(ClusterConfig::local(1, 4))
+}
+
+/// Fig. 11 shape: motifs, Fractal vs the BFS engine.
+fn bench_motifs(c: &mut Criterion) {
+    let g = fractal_graph::gen::mico_like(400, 1, 7);
+    let fg = ctx().fractal_graph(g.clone());
+    let mut group = c.benchmark_group("fig11_motifs_k3");
+    group.sample_size(10);
+    group.bench_function("fractal", |b| {
+        b.iter(|| fractal_apps::motifs::motifs(&fg, 3))
+    });
+    group.bench_function("arabesque_like", |b| {
+        b.iter(|| bfs_engine::motifs_bfs(&g, 3, &BfsConfig::new(4), false).unwrap())
+    });
+    group.finish();
+}
+
+/// Fig. 12/20b shape: cliques, generic vs KClist vs single-thread.
+fn bench_cliques(c: &mut Criterion) {
+    let g = fractal_graph::gen::youtube_like(500, 1, 9);
+    let fg = ctx().fractal_graph(g.clone());
+    let mut group = c.benchmark_group("fig12_cliques_k4");
+    group.sample_size(10);
+    group.bench_function("fractal", |b| {
+        b.iter(|| fractal_apps::cliques::count(&fg, 4))
+    });
+    group.bench_function("fractal_kclist", |b| {
+        b.iter(|| fractal_apps::cliques::count_kclist(&fg, 4))
+    });
+    group.bench_function("kclist_single_thread", |b| {
+        b.iter(|| single_thread::kclist_cliques(&g, 4))
+    });
+    group.finish();
+}
+
+/// Fig. 13 shape: FSM across supports.
+fn bench_fsm(c: &mut Criterion) {
+    let g = fractal_graph::gen::patents_like(300, 5, 11);
+    let fg = ctx().fractal_graph(g.clone());
+    let mut group = c.benchmark_group("fig13_fsm");
+    group.sample_size(10);
+    for support in [20u64, 40] {
+        group.bench_with_input(BenchmarkId::new("fractal", support), &support, |b, &s| {
+            b.iter(|| fractal_apps::fsm::fsm(&fg, s, 2))
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 15 shape: one easy and one hard query.
+fn bench_query(c: &mut Criterion) {
+    let g = fractal_graph::gen::patents_like(500, 1, 13);
+    let fg = ctx().fractal_graph(g.clone());
+    let queries = fractal_apps::query::evaluation_queries();
+    let mut group = c.benchmark_group("fig15_query");
+    group.sample_size(10);
+    for (name, q) in queries.into_iter().filter(|(n, _)| *n == "q1" || *n == "q3") {
+        group.bench_function(name, |b| {
+            b.iter(|| fractal_apps::query::count_matches(&fg, &q))
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 17 shape: keyword search with and without graph reduction.
+fn bench_keyword(c: &mut Criterion) {
+    let g = fractal_graph::gen::wikidata_like(3000, 200, 15);
+    let fg = ctx().fractal_graph(g);
+    let words = ["kw0", "kw5"];
+    let mut group = c.benchmark_group("fig17_keyword");
+    group.sample_size(10);
+    group.bench_function("no_reduction", |b| {
+        b.iter(|| fractal_apps::keyword::keyword_search_str(&fg, &words, false).unwrap())
+    });
+    group.bench_function("with_reduction", |b| {
+        b.iter(|| fractal_apps::keyword::keyword_search_str(&fg, &words, true).unwrap())
+    });
+    group.finish();
+}
+
+/// Fig. 20a shape: triangles across engines.
+fn bench_triangles(c: &mut Criterion) {
+    let g = fractal_graph::gen::orkut_like(400, 17);
+    let fg = ctx().fractal_graph(g.clone());
+    let mut group = c.benchmark_group("fig20a_triangles");
+    group.sample_size(10);
+    group.bench_function("fractal", |b| {
+        b.iter(|| fractal_apps::cliques::triangles(&fg))
+    });
+    group.bench_function("node_iterator", |b| {
+        b.iter(|| single_thread::node_iterator_triangles(&g))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_motifs,
+    bench_cliques,
+    bench_fsm,
+    bench_query,
+    bench_keyword,
+    bench_triangles
+);
+criterion_main!(benches);

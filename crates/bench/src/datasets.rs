@@ -1,0 +1,114 @@
+//! The evaluation dataset registry (Table 1 stand-ins) at three scales.
+//!
+//! Each entry mirrors one of the paper's graphs in *shape* — degree skew,
+//! relative density, label cardinality — scaled down so the full harness
+//! completes in minutes (see DESIGN.md, Substitutions). `-SL` variants are
+//! single-labeled, `-ML` multi-labeled, as in §5.
+
+use fractal_graph::gen;
+use fractal_graph::Graph;
+
+/// Harness scale: controls dataset sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long smoke runs (CI).
+    Tiny,
+    /// The default: minutes for the full harness.
+    Small,
+    /// Larger runs for more pronounced shapes.
+    Paper,
+}
+
+impl Scale {
+    /// Parses a `--scale` argument.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    fn factor(self) -> usize {
+        match self {
+            Scale::Tiny => 1,
+            Scale::Small => 4,
+            Scale::Paper => 10,
+        }
+    }
+}
+
+/// Mico-like co-authorship graph, single-labeled.
+pub fn mico_sl(scale: Scale) -> Graph {
+    gen::mico_like(400 * scale.factor(), 1, 0x41C0)
+}
+
+/// Mico-like, multi-labeled (29 labels, as the original).
+pub fn mico_ml(scale: Scale) -> Graph {
+    gen::mico_like(400 * scale.factor(), 29, 0x41C0)
+}
+
+/// Patents-like citation graph, single-labeled.
+pub fn patents_sl(scale: Scale) -> Graph {
+    gen::patents_like(800 * scale.factor(), 1, 0x9A7)
+}
+
+/// Patents-like, multi-labeled (37 labels).
+pub fn patents_ml(scale: Scale) -> Graph {
+    gen::patents_like(800 * scale.factor(), 37, 0x9A7)
+}
+
+/// Youtube-like related-videos graph, single-labeled.
+pub fn youtube_sl(scale: Scale) -> Graph {
+    gen::youtube_like(600 * scale.factor(), 1, 0x717)
+}
+
+/// Youtube-like, multi-labeled (80 labels).
+pub fn youtube_ml(scale: Scale) -> Graph {
+    gen::youtube_like(600 * scale.factor(), 80, 0x717)
+}
+
+/// Wikidata-like attributed knowledge graph (keywords on vertices/edges).
+pub fn wikidata(scale: Scale) -> Graph {
+    gen::wikidata_like(2500 * scale.factor(), 120 * scale.factor(), 0x3141)
+}
+
+/// Orkut-like dense friendship graph (Appendix C triangles).
+pub fn orkut(scale: Scale) -> Graph {
+    gen::orkut_like(300 * scale.factor(), 0x0DC)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_datasets_build_at_tiny() {
+        for g in [
+            mico_sl(Scale::Tiny),
+            mico_ml(Scale::Tiny),
+            patents_sl(Scale::Tiny),
+            patents_ml(Scale::Tiny),
+            youtube_sl(Scale::Tiny),
+            youtube_ml(Scale::Tiny),
+            wikidata(Scale::Tiny),
+            orkut(Scale::Tiny),
+        ] {
+            g.validate().unwrap();
+            assert!(g.num_edges() > 0);
+        }
+    }
+
+    #[test]
+    fn scales_grow() {
+        assert!(mico_sl(Scale::Small).num_vertices() > mico_sl(Scale::Tiny).num_vertices());
+        assert!(wikidata(Scale::Small).num_edges() > wikidata(Scale::Tiny).num_edges());
+    }
+
+    #[test]
+    fn label_cardinalities_differ() {
+        assert_eq!(mico_sl(Scale::Tiny).num_vertex_labels(), 1);
+        assert!(mico_ml(Scale::Tiny).num_vertex_labels() > 5);
+    }
+}

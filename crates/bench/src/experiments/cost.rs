@@ -1,0 +1,248 @@
+//! COST analysis (§5.2.4, Fig. 18 and Fig. 20b) and strong scalability
+//! (Fig. 19).
+//!
+//! COST [38] = number of threads a parallel system needs to beat an
+//! efficient single-thread implementation. The paper measures 2–4 threads
+//! for most kernels, blowing up on short tasks where setup overheads
+//! dominate.
+
+use crate::datasets::{self, Scale};
+use crate::row;
+use crate::table::Table;
+use crate::{secs, timed};
+use fractal_baselines::single_thread;
+use fractal_core::FractalContext;
+use fractal_runtime::ClusterConfig;
+use std::path::Path;
+use std::time::Duration;
+
+/// Sweeps Fractal thread counts until it beats `baseline`; returns
+/// `(cost_threads, fractal_time_at_cost)`.
+fn cost_sweep(
+    baseline: Duration,
+    mut run: impl FnMut(usize) -> Duration,
+) -> (Option<usize>, Duration) {
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // Sweeping past the host's parallelism cannot help; on a single-core
+    // host the sweep degenerates entirely, so probe just enough points to
+    // report the (flat) shape.
+    let points: &[usize] = if host == 1 {
+        &[1, 2, 4]
+    } else {
+        &[1, 2, 3, 4, 6, 8, 12, 16]
+    };
+    let mut best = Duration::MAX;
+    for &threads in points {
+        if threads > 2 * host {
+            break;
+        }
+        let t = run(threads);
+        best = best.min(t);
+        if t < baseline {
+            return (Some(threads), t);
+        }
+    }
+    (None, best)
+}
+
+fn cluster(threads: usize) -> ClusterConfig {
+    // Single simulated machine: COST measures thread scaling.
+    ClusterConfig::local(1, threads)
+}
+
+/// Fig. 18: COST of motifs, cliques, FSM and two queries against the
+/// Gtries-like / GraMi-like single-thread baselines.
+pub fn fig18(scale: Scale, out_dir: &Path) {
+    print_parallelism_note();
+    let mut t = Table::new(
+        "Fig 18 — COST: threads to beat a single-thread baseline",
+        &["kernel", "baseline(s)", "COST", "fractal(s)@COST"],
+    );
+
+    // Motifs on Mico-like.
+    let gm = datasets::mico_sl(scale);
+    let (st, st_t) = timed(|| single_thread::gtries_motifs(&gm, 4));
+    let (cost, ft) = cost_sweep(st_t, |threads| {
+        let fg = FractalContext::new(cluster(threads)).fractal_graph(gm.clone());
+        let (m, d) = timed(|| fractal_apps::motifs::motifs(&fg, 4));
+        assert_eq!(m, st, "motif counts disagree");
+        d
+    });
+    t.row(row!["motifs k=4 (vs gtries-like)", secs(st_t), fmt_cost(cost), secs(ft)]);
+
+    // Cliques on Youtube-like.
+    let gy = datasets::youtube_sl(scale);
+    let (stc, stc_t) = timed(|| single_thread::gtries_cliques(&gy, 4));
+    let (cost, ft) = cost_sweep(stc_t, |threads| {
+        let fg = FractalContext::new(cluster(threads)).fractal_graph(gy.clone());
+        let (c, d) = timed(|| fractal_apps::cliques::count(&fg, 4));
+        assert_eq!(c, stc, "clique counts disagree");
+        d
+    });
+    t.row(row!["cliques k=4 (vs gtries-like)", secs(stc_t), fmt_cost(cost), secs(ft)]);
+
+    // FSM on Patents-like.
+    let gp = datasets::patents_ml(scale);
+    let support = match scale {
+        Scale::Tiny => 25,
+        Scale::Small => 100,
+        Scale::Paper => 250,
+    };
+    let (stf, stf_t) = timed(|| single_thread::grami_fsm(&gp, support, 2));
+    let (cost, ft) = cost_sweep(stf_t, |threads| {
+        let fg = FractalContext::new(cluster(threads)).fractal_graph(gp.clone());
+        let (r, d) = timed(|| fractal_apps::fsm::fsm(&fg, support, 2));
+        assert_eq!(r.frequent.len(), stf.len(), "frequent sets disagree");
+        d
+    });
+    t.row(row!["fsm (vs grami-like)", secs(stf_t), fmt_cost(cost), secs(ft)]);
+
+    // Queries q2, q3 on Patents-like.
+    let gq = datasets::patents_sl(scale);
+    for (qname, q) in fractal_apps::query::evaluation_queries()
+        .into_iter()
+        .filter(|(n, _)| *n == "q2" || *n == "q3")
+    {
+        let (stq, stq_t) = timed(|| single_thread::query_single(&gq, &q));
+        let (cost, ft) = cost_sweep(stq_t, |threads| {
+            let fg = FractalContext::new(cluster(threads)).fractal_graph(gq.clone());
+            let (c, d) = timed(|| fractal_apps::query::count_matches(&fg, &q));
+            assert_eq!(c, stq, "{qname} counts disagree");
+            d
+        });
+        t.row(row![
+            format!("query {qname} (vs single-thread)"),
+            secs(stq_t),
+            fmt_cost(cost),
+            secs(ft)
+        ]);
+    }
+
+    t.print();
+    t.write_csv(out_dir.join("fig18.csv")).ok();
+}
+
+/// Thread-scaling shapes require real hardware parallelism; on a
+/// single-CPU host the sweep degenerates (threads serialize) and the
+/// balance statistics of Fig. 16 are the meaningful signal instead.
+fn print_parallelism_note() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("[host parallelism: {cores} hardware threads]");
+    if cores < 4 {
+        println!("[note: <4 hardware threads — COST/efficiency columns will degenerate]");
+    }
+}
+
+fn fmt_cost(c: Option<usize>) -> String {
+    match c {
+        Some(n) => n.to_string(),
+        None => ">16".to_string(),
+    }
+}
+
+/// Fig. 20b: COST of the optimized (KClist-enumerator) cliques and of
+/// triangles against the single-thread KClist / Neo4j-like baselines.
+pub fn fig20b(scale: Scale, out_dir: &Path) {
+    let mut t = Table::new(
+        "Fig 20b — COST of optimized cliques and triangles",
+        &["kernel", "baseline(s)", "COST", "fractal(s)@COST"],
+    );
+    let gm = datasets::mico_sl(scale);
+    let (stk, stk_t) = timed(|| single_thread::kclist_cliques(&gm, 5));
+    let (cost, ft) = cost_sweep(stk_t, |threads| {
+        let fg = FractalContext::new(cluster(threads)).fractal_graph(gm.clone());
+        let (c, d) = timed(|| fractal_apps::cliques::count_kclist(&fg, 5));
+        assert_eq!(c, stk, "kclist counts disagree");
+        d
+    });
+    t.row(row!["cliques k=5 kclist (vs kclist)", secs(stk_t), fmt_cost(cost), secs(ft)]);
+
+    let go = datasets::orkut(scale);
+    let (stt, stt_t) = timed(|| single_thread::node_iterator_triangles(&go));
+    let (cost, ft) = cost_sweep(stt_t, |threads| {
+        let fg = FractalContext::new(cluster(threads)).fractal_graph(go.clone());
+        let (c, d) = timed(|| fractal_apps::cliques::count_kclist(&fg, 3));
+        assert_eq!(c, stt, "triangle counts disagree");
+        d
+    });
+    t.row(row!["triangles orkut (vs neo4j-like)", secs(stt_t), fmt_cost(cost), secs(ft)]);
+
+    t.print();
+    t.write_csv(out_dir.join("fig20b.csv")).ok();
+}
+
+/// Fig. 19: strong scalability — runtime and parallel efficiency as cores
+/// grow, for the four most time-consuming kernels.
+pub fn fig19(scale: Scale, out_dir: &Path) {
+    print_parallelism_note();
+    let mut t = Table::new(
+        "Fig 19 — Strong scalability (runtime s / parallel efficiency)",
+        &["kernel", "cores=1", "cores=2", "cores=4", "cores=8", "eff@8"],
+    );
+    let support = match scale {
+        Scale::Tiny => 25,
+        Scale::Small => 100,
+        Scale::Paper => 250,
+    };
+    let gm = datasets::mico_sl(scale);
+    let gy = datasets::youtube_sl(scale);
+    let gp = datasets::patents_ml(scale);
+    let gq = datasets::youtube_sl(scale);
+    let q6 = fractal_apps::query::house();
+
+    type Kernel<'a> = (&'a str, Box<dyn Fn(usize) -> Duration + 'a>);
+    let kernels: Vec<Kernel> = vec![
+        (
+            "motifs k=4 mico",
+            Box::new(|cores| {
+                let fg = FractalContext::new(split_cluster(cores)).fractal_graph(gm.clone());
+                timed(|| fractal_apps::motifs::motifs(&fg, 4)).1
+            }),
+        ),
+        (
+            "cliques k=4 youtube",
+            Box::new(|cores| {
+                let fg = FractalContext::new(split_cluster(cores)).fractal_graph(gy.clone());
+                timed(|| fractal_apps::cliques::count(&fg, 4)).1
+            }),
+        ),
+        (
+            "fsm patents",
+            Box::new(|cores| {
+                let fg = FractalContext::new(split_cluster(cores)).fractal_graph(gp.clone());
+                timed(|| fractal_apps::fsm::fsm(&fg, support, 2)).1
+            }),
+        ),
+        (
+            "query q6 youtube",
+            Box::new(|cores| {
+                let fg = FractalContext::new(split_cluster(cores)).fractal_graph(gq.clone());
+                timed(|| fractal_apps::query::count_matches(&fg, &q6)).1
+            }),
+        ),
+    ];
+    for (name, run) in kernels {
+        let times: Vec<Duration> = [1usize, 2, 4, 8].iter().map(|&c| run(c)).collect();
+        let eff = times[0].as_secs_f64() / (8.0 * times[3].as_secs_f64().max(1e-9));
+        t.row(row![
+            name,
+            secs(times[0]),
+            secs(times[1]),
+            secs(times[2]),
+            secs(times[3]),
+            format!("{:.0}%", eff * 100.0)
+        ]);
+    }
+    t.print();
+    t.write_csv(out_dir.join("fig19.csv")).ok();
+}
+
+/// Splits `cores` across up to two simulated workers (mirroring the
+/// paper's multi-machine sweep).
+fn split_cluster(cores: usize) -> ClusterConfig {
+    if cores <= 2 {
+        ClusterConfig::local(1, cores)
+    } else {
+        ClusterConfig::local(2, cores / 2)
+    }
+}

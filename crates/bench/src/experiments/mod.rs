@@ -1,0 +1,70 @@
+//! One module per evaluation artifact; see DESIGN.md's per-experiment
+//! index for the table/figure ↔ module mapping.
+
+pub mod cost;
+pub mod drilldown;
+pub mod perf;
+pub mod reduction;
+
+use crate::datasets::Scale;
+use std::path::Path;
+
+/// All experiment ids, in the order `repro all` runs them.
+pub const ALL: &[&str] = &[
+    "fig8",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20a",
+    "fig20b",
+    "table2",
+    "memest",
+    "reduction-ec",
+    "ws-overhead",
+];
+
+/// Dispatches one experiment by id; returns false for unknown ids.
+pub fn run(id: &str, scale: Scale, out_dir: &Path) -> bool {
+    match id {
+        "fig8" => drilldown::fig8(scale, out_dir),
+        "fig11" => perf::fig11(scale, out_dir),
+        "fig12" => perf::fig12(scale, out_dir),
+        "fig13" => perf::fig13(scale, out_dir),
+        "fig15" => perf::fig15(scale, out_dir),
+        "fig16" => drilldown::fig16(scale, out_dir),
+        "fig17" => reduction::fig17(scale, out_dir),
+        "fig18" => cost::fig18(scale, out_dir),
+        "fig19" => cost::fig19(scale, out_dir),
+        "fig20a" => perf::fig20a(scale, out_dir),
+        "fig20b" => cost::fig20b(scale, out_dir),
+        "table2" => drilldown::table2(scale, out_dir),
+        "memest" => drilldown::memest(scale, out_dir),
+        "reduction-ec" => reduction::reduction_ec(scale, out_dir),
+        "ws-overhead" => drilldown::ws_overhead(scale, out_dir),
+        _ => return false,
+    }
+    true
+}
+
+/// The default simulated cluster for comparative runs: 2 workers × 4
+/// cores, full hierarchical work stealing.
+pub fn default_cluster() -> fractal_runtime::ClusterConfig {
+    fractal_runtime::ClusterConfig::local(2, 4)
+}
+
+/// A budget for baselines, scaled so failure modes (OOM/timeout) appear at
+/// the paper's relative positions without stalling the harness.
+pub fn baseline_budget(scale: Scale) -> fractal_baselines::Budget {
+    use std::time::Duration;
+    let (mb, secs) = match scale {
+        Scale::Tiny => (96, 30),
+        Scale::Small => (768, 120),
+        Scale::Paper => (2048, 600),
+    };
+    fractal_baselines::Budget::new(mb * 1024 * 1024, Duration::from_secs(secs))
+}

@@ -1,0 +1,221 @@
+//! Comparative performance experiments (§5.1): Figs. 11, 12, 13, 15 and
+//! the Appendix C triangle benchmark (Fig. 20a).
+
+use super::{baseline_budget, default_cluster};
+use crate::datasets::{self, Scale};
+use crate::table::Table;
+use crate::{secs, timed};
+use crate::row;
+use fractal_baselines::bfs_engine::{self, BfsConfig};
+use fractal_baselines::{mr, scalemine, seed, single_thread, Outcome};
+use fractal_core::FractalContext;
+use std::path::Path;
+
+fn fctx() -> FractalContext {
+    FractalContext::new(default_cluster())
+}
+
+fn outcome_cell<T>(out: &Outcome<T>, elapsed_of_ok: std::time::Duration) -> String {
+    match out {
+        Outcome::Ok(..) => secs(elapsed_of_ok),
+        other => other.status().to_string(),
+    }
+}
+
+/// Fig. 11: Motifs runtime on Mico-SL and Youtube-SL — Fractal vs the
+/// Arabesque-like BFS engine vs the MRSUB-like MR kernel.
+///
+/// Paper shape: Arabesque wins the smallest task (Fractal pays work
+/// stealing setup), Fractal wins as k or the graph grows, MRSUB trails
+/// everywhere and can OOM.
+pub fn fig11(scale: Scale, out_dir: &Path) {
+    let mut t = Table::new(
+        "Fig 11 — Motifs runtime (s)",
+        &["graph", "k", "fractal", "arabesque-like", "mrsub-like", "agree"],
+    );
+    let budget = baseline_budget(scale);
+    for (gname, g) in [
+        ("mico-sl", datasets::mico_sl(scale)),
+        ("youtube-sl", datasets::youtube_sl(scale)),
+    ] {
+        let fg = fctx().fractal_graph(g.clone());
+        // k = 5 multiplies the subgraph count by orders of magnitude
+        // (the paper's point); reserve it for --scale paper runs.
+        let kmax = if scale == Scale::Paper && gname == "mico-sl" { 5 } else { 4 };
+        for k in 3..=kmax {
+            let (fr, ft) = timed(|| fractal_apps::motifs::motifs(&fg, k));
+            let (ar, at) = timed(|| {
+                bfs_engine::motifs_bfs(&g, k, &BfsConfig::new(8).with_budget(budget), false)
+            });
+            let (mrr, mt) = timed(|| mr::mrsub_motifs(&g, k, 8, budget));
+            let agree = match (&ar, &mrr) {
+                (Outcome::Ok(a, _), Outcome::Ok(m, _)) => *a == fr && *m == fr,
+                (Outcome::Ok(a, _), _) => *a == fr,
+                _ => true,
+            };
+            t.row(row![
+                gname,
+                k,
+                secs(ft),
+                outcome_cell(&ar, at),
+                outcome_cell(&mrr, mt),
+                agree
+            ]);
+        }
+    }
+    t.print();
+    t.write_csv(out_dir.join("fig11.csv")).ok();
+}
+
+/// Fig. 12: Cliques runtime on Mico-SL and Youtube-SL — Fractal vs
+/// Arabesque-like vs QKCount-like; GraphFrames-like is triangles-only and
+/// memory-hungry (often OOM in the paper).
+pub fn fig12(scale: Scale, out_dir: &Path) {
+    let mut t = Table::new(
+        "Fig 12 — Cliques runtime (s); arab-state shows the stored-embedding growth \
+         that drives the paper-scale gap",
+        &["graph", "k", "fractal", "arabesque-like", "arab-state(MiB)", "qkcount-like", "graphframes-like", "agree"],
+    );
+    let budget = baseline_budget(scale);
+    for (gname, g) in [
+        ("mico-sl", datasets::mico_sl(scale)),
+        ("youtube-sl", datasets::youtube_sl(scale)),
+    ] {
+        let fg = fctx().fractal_graph(g.clone());
+        for k in 3..=6 {
+            let (fr, ft) = timed(|| fractal_apps::cliques::count(&fg, k));
+            let (ar, at) =
+                timed(|| bfs_engine::cliques_bfs(&g, k, &BfsConfig::new(8).with_budget(budget)));
+            let (qk, qt) = timed(|| mr::qkcount_cliques(&g, k, 8, budget));
+            let gf_cell = if k == 3 {
+                let (gf, gt) = timed(|| single_thread::graphframes_triangles(&g, budget));
+                outcome_cell(&gf, gt)
+            } else {
+                "n/a".to_string()
+            };
+            let agree = match (&ar, &qk) {
+                (Outcome::Ok(a, _), Outcome::Ok(q, _)) => *a == fr && *q == fr,
+                _ => true,
+            };
+            let arab_state = crate::mib(ar.stats().peak_state_bytes);
+            t.row(row![gname, k, secs(ft), outcome_cell(&ar, at), arab_state, outcome_cell(&qk, qt), gf_cell, agree]);
+        }
+    }
+    t.print();
+    t.write_csv(out_dir.join("fig12.csv")).ok();
+}
+
+/// Fig. 13: FSM runtime vs minimum support on Mico-ML and Patents-ML —
+/// Fractal vs Arabesque-like vs ScaleMine-like (approximate counts).
+pub fn fig13(scale: Scale, out_dir: &Path) {
+    let mut t = Table::new(
+        "Fig 13 — FSM runtime (s), max 3 edges",
+        &["graph", "support", "fractal", "arabesque-like", "scalemine-like", "frequent"],
+    );
+    let budget = baseline_budget(scale);
+    let max_edges = 3;
+    for (gname, g, supports) in [
+        ("mico-ml", datasets::mico_ml(scale), supports_for(scale, true)),
+        ("patents-ml", datasets::patents_ml(scale), supports_for(scale, false)),
+    ] {
+        let fg = fctx().fractal_graph(g.clone());
+        for sup in supports {
+            let (fr, ft) = timed(|| fractal_apps::fsm::fsm(&fg, sup, max_edges));
+            let (ar, at) = timed(|| {
+                bfs_engine::fsm_bfs(&g, sup, max_edges, &BfsConfig::new(8).with_budget(budget))
+            });
+            let (sm, st) =
+                timed(|| scalemine::scalemine_fsm(&g, sup, max_edges, 8, 40, budget));
+            t.row(row![
+                gname,
+                sup,
+                secs(ft),
+                outcome_cell(&ar, at),
+                outcome_cell(&sm, st),
+                fr.frequent.len()
+            ]);
+        }
+    }
+    t.print();
+    t.write_csv(out_dir.join("fig13.csv")).ok();
+}
+
+fn supports_for(scale: Scale, dense: bool) -> Vec<u64> {
+    let base = match scale {
+        Scale::Tiny => 30,
+        Scale::Small => 120,
+        Scale::Paper => 300,
+    };
+    if dense {
+        vec![base, base * 2, base * 3]
+    } else {
+        vec![base / 2, base, base * 2]
+    }
+}
+
+/// Fig. 15: Subgraph querying q1–q8 on Patents-SL and Youtube-SL —
+/// Fractal vs SEED-like vs Arabesque-like.
+///
+/// Paper shape: SEED wins clique-shaped queries (single-unit plans),
+/// Fractal wins or ties elsewhere; Arabesque OOMs on edge-heavy queries.
+pub fn fig15(scale: Scale, out_dir: &Path) {
+    let mut t = Table::new(
+        "Fig 15 — Subgraph querying runtime (s)",
+        &["graph", "query", "fractal", "seed-like", "arabesque-like", "matches"],
+    );
+    let budget = baseline_budget(scale);
+    for (gname, g) in [
+        ("patents-sl", datasets::patents_sl(scale)),
+        ("youtube-sl", datasets::youtube_sl(scale)),
+    ] {
+        let fg = fctx().fractal_graph(g.clone());
+        for (qname, q) in fractal_apps::query::evaluation_queries() {
+            let (fr, ft) = timed(|| fractal_apps::query::count_matches(&fg, &q));
+            let (se, st) = timed(|| seed::seed_count(&g, &q, budget));
+            let (ar, at) =
+                timed(|| bfs_engine::query_bfs(&g, &q, &BfsConfig::new(8).with_budget(budget)));
+            if let Outcome::Ok(n, _) = &se {
+                assert_eq!(*n, fr, "{gname}/{qname}: seed disagrees");
+            }
+            if let Outcome::Ok(n, _) = &ar {
+                assert_eq!(*n, fr, "{gname}/{qname}: bfs disagrees");
+            }
+            t.row(row![gname, qname, secs(ft), outcome_cell(&se, st), outcome_cell(&ar, at), fr]);
+        }
+    }
+    t.print();
+    t.write_csv(out_dir.join("fig15.csv")).ok();
+}
+
+/// Fig. 20a: Triangle counting across graphs — Fractal vs Arabesque-like
+/// vs GraphFrames-like vs a GraphX-like MR kernel.
+pub fn fig20a(scale: Scale, out_dir: &Path) {
+    let mut t = Table::new(
+        "Fig 20a — Triangles runtime (s)",
+        &["graph", "fractal", "arabesque-like", "graphframes-like", "graphx-like", "triangles"],
+    );
+    let budget = baseline_budget(scale);
+    for (gname, g) in [
+        ("mico-sl", datasets::mico_sl(scale)),
+        ("patents-sl", datasets::patents_sl(scale)),
+        ("youtube-sl", datasets::youtube_sl(scale)),
+        ("orkut-like", datasets::orkut(scale)),
+    ] {
+        let fg = fctx().fractal_graph(g.clone());
+        let (fr, ft) = timed(|| fractal_apps::cliques::triangles(&fg));
+        let (ar, at) =
+            timed(|| bfs_engine::cliques_bfs(&g, 3, &BfsConfig::new(8).with_budget(budget)));
+        let (gf, gt) = timed(|| single_thread::graphframes_triangles(&g, budget));
+        let (gx, xt) = timed(|| mr::qkcount_cliques(&g, 3, 8, budget));
+        t.row(row![
+            gname,
+            secs(ft),
+            outcome_cell(&ar, at),
+            outcome_cell(&gf, gt),
+            outcome_cell(&gx, xt),
+            fr
+        ]);
+    }
+    t.print();
+    t.write_csv(out_dir.join("fig20a.csv")).ok();
+}

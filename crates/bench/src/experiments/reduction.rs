@@ -1,0 +1,128 @@
+//! Graph reduction experiments: Fig. 17 (keyword search with/without the
+//! reduced graph, core sweep) and the §4.3/§6 extension-cost numbers.
+
+use crate::datasets::{self, Scale};
+use crate::row;
+use crate::table::Table;
+use crate::{secs, timed};
+use fractal_core::FractalContext;
+use fractal_graph::bitset::Bitset;
+use fractal_runtime::ClusterConfig;
+use std::path::Path;
+
+/// The four evaluation keyword queries (the paper's Q1–Q4 name movie
+/// keywords; the synthetic vocabulary is `kw<rank>` with zipfian
+/// frequency, so low ranks are common words and high ranks rare ones).
+fn queries() -> Vec<(&'static str, Vec<&'static str>)> {
+    // Selective queries: like the paper's (movie keywords such as "mel
+    // gibson"), the terms are rare-to-moderate vocabulary ranks — a query
+    // of only the most common words would keep most of the graph and
+    // neutralize the reduction.
+    vec![
+        ("Q1", vec!["kw18", "kw35", "kw52"]),
+        ("Q2", vec!["kw44", "kw71", "kw23"]),
+        ("Q3", vec!["kw27", "kw58", "kw90", "kw36"]),
+        ("Q4", vec!["kw31", "kw66", "kw104"]),
+    ]
+}
+
+/// Fig. 17: keyword-search runtime with and without graph reduction as
+/// the number of cores grows (one to two orders of magnitude improvement
+/// in the paper).
+pub fn fig17(scale: Scale, out_dir: &Path) {
+    let g = datasets::wikidata(scale);
+    let mut t = Table::new(
+        "Fig 17 — Keyword search: graph reduction x cores (runtime s)",
+        &["query", "cores", "no-reduction", "with-reduction", "speedup", "results"],
+    );
+    for (qname, words) in queries() {
+        for cores in [1usize, 2, 4, 8] {
+            let ctx = FractalContext::new(ClusterConfig::local(cores.min(2), cores.div_ceil(2)));
+            let fg = ctx.fractal_graph(g.clone());
+            let (plain, pt) = timed(|| {
+                fractal_apps::keyword::keyword_search_str(&fg, &words, false).expect("known kw")
+            });
+            let (red, rt) = timed(|| {
+                fractal_apps::keyword::keyword_search_str(&fg, &words, true).expect("known kw")
+            });
+            assert_eq!(
+                plain.subgraphs.len(),
+                red.subgraphs.len(),
+                "{qname}: reduction changed the result set"
+            );
+            let speedup = pt.as_secs_f64() / rt.as_secs_f64().max(1e-9);
+            t.row(row![
+                qname,
+                cores,
+                secs(pt),
+                secs(rt),
+                format!("{speedup:.1}x"),
+                red.subgraphs.len()
+            ]);
+        }
+    }
+    t.print();
+    t.write_csv(out_dir.join("fig17.csv")).ok();
+}
+
+/// §4.3 motivating numbers and the §6 counter-example:
+///
+/// * keyword queries: % vertices/edges removed by the reduction and the
+///   extension-cost (EC) reduction it buys;
+/// * cliques: reducing Mico to the vertices/edges participating in
+///   k-cliques shrinks the graph but leaves EC (and so runtime)
+///   essentially unchanged — reduction only pays when the subgraphs of
+///   interest are localized.
+pub fn reduction_ec(scale: Scale, out_dir: &Path) {
+    let mut t = Table::new(
+        "§4.3/§6 — Graph reduction: input and extension-cost reduction",
+        &["workload", "V-reduction", "E-reduction", "EC-before", "EC-after", "EC-reduction"],
+    );
+    // Keyword searches on the Wikidata-like graph.
+    let g = datasets::wikidata(scale);
+    let ctx = FractalContext::new(super::default_cluster());
+    let fg = ctx.fractal_graph(g.clone());
+    for (qname, words) in queries().into_iter().take(2) {
+        let plain = fractal_apps::keyword::keyword_search_str(&fg, &words, false).unwrap();
+        let red = fractal_apps::keyword::keyword_search_str(&fg, &words, true).unwrap();
+        let vred = 1.0 - red.reduced_vertices as f64 / g.num_vertices() as f64;
+        let ered = 1.0 - red.reduced_edges as f64 / g.num_edges() as f64;
+        let ec_b = plain.report.total_ec();
+        let ec_a = red.report.total_ec();
+        t.row(row![
+            format!("keyword {qname}"),
+            format!("{:.1}%", vred * 100.0),
+            format!("{:.1}%", ered * 100.0),
+            ec_b,
+            ec_a,
+            format!("{:.1}%", (1.0 - ec_a as f64 / ec_b.max(1) as f64) * 100.0)
+        ]);
+    }
+    // Clique counter-example on Mico-like: reduce to elements in >= 1
+    // k-clique; EC stays (§6: "the extension cost remains unchanged").
+    let k = 4;
+    let gm = datasets::mico_sl(scale);
+    let fgm = ctx.fractal_graph(gm.clone());
+    let (count_before, report_before) = fractal_apps::cliques::count_with_report(&fgm, k);
+    // Participation of k-cliques.
+    let tracked = fractal_apps::cliques::cliques_fractoid(&fgm, k).execute_tracking_participation();
+    let part = tracked.participation.expect("tracking enabled");
+    let vmask: Bitset = part.vertices;
+    let emask: Bitset = part.edges;
+    let vred = 1.0 - vmask.count() as f64 / gm.num_vertices() as f64;
+    let ered = 1.0 - emask.count() as f64 / gm.num_edges() as f64;
+    let reduced = fgm.wrap_reduced(gm.reduce(&vmask, &emask));
+    let (count_after, report_after) = fractal_apps::cliques::count_with_report(&reduced, k);
+    assert_eq!(count_before, count_after, "reduction changed clique count");
+    let (ec_b, ec_a) = (report_before.total_ec(), report_after.total_ec());
+    t.row(row![
+        format!("cliques k={k} (counter-example)"),
+        format!("{:.1}%", vred * 100.0),
+        format!("{:.1}%", ered * 100.0),
+        ec_b,
+        ec_a,
+        format!("{:.1}%", (1.0 - ec_a as f64 / ec_b.max(1) as f64) * 100.0)
+    ]);
+    t.print();
+    t.write_csv(out_dir.join("reduction-ec.csv")).ok();
+}

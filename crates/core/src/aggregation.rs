@@ -1,0 +1,298 @@
+//! The aggregation primitive (A): type-erased named aggregations.
+//!
+//! An aggregation is defined by the paper's four functions (Fig. 4, W2):
+//! key extraction, value extraction, value reduction and an optional final
+//! filter over the reduced mapping. Each core accumulates into a private
+//! *shard*; shards are merged at the step barrier and the merged result is
+//! stored under the aggregation's name for downstream aggregation filters
+//! (W4) and output operators (O2).
+
+use crate::view::SubgraphView;
+use std::any::Any;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// Object-safe aggregation specification (type-erased over K/V).
+pub trait AggregatorSpec: Send + Sync {
+    /// The aggregation's name (the paper's `aggName`).
+    fn name(&self) -> &str;
+    /// Creates an empty per-core shard.
+    fn new_shard(&self) -> Box<dyn AggShard>;
+}
+
+/// A per-core accumulation shard.
+pub trait AggShard: Send + Sync {
+    /// Folds one subgraph into the shard.
+    fn accumulate(&mut self, view: &SubgraphView<'_>);
+    /// Merges another shard of the same aggregation into this one.
+    fn merge_from(&mut self, other: Box<dyn AggShard>);
+    /// Applies the final `aggFilter`, dropping entries that fail it.
+    fn finalize(&mut self);
+    /// Number of reduced entries.
+    fn len(&self) -> usize;
+    /// Whether the shard holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Estimated live bytes (memory accounting).
+    fn resident_bytes(&self) -> usize;
+    /// Downcast support.
+    fn as_any(&self) -> &dyn Any;
+    /// Downcast support (owned).
+    fn into_any(self: Box<Self>) -> Box<dyn Any + Send>;
+}
+
+/// A typed aggregation over keys `K` and values `V` — the generic engine
+/// behind [`crate::Fractoid::aggregate`].
+pub struct Aggregator<K, V> {
+    name: String,
+    key_fn: Arc<dyn Fn(&SubgraphView<'_>) -> K + Send + Sync>,
+    value_fn: Arc<dyn Fn(&SubgraphView<'_>) -> V + Send + Sync>,
+    reduce_fn: Arc<dyn Fn(&mut V, V) + Send + Sync>,
+    agg_filter: Option<Arc<dyn Fn(&K, &V) -> bool + Send + Sync>>,
+}
+
+impl<K, V> Aggregator<K, V>
+where
+    K: Eq + Hash + Clone + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    /// Builds an aggregation from the paper's three core functions.
+    pub fn new(
+        name: impl Into<String>,
+        key_fn: impl Fn(&SubgraphView<'_>) -> K + Send + Sync + 'static,
+        value_fn: impl Fn(&SubgraphView<'_>) -> V + Send + Sync + 'static,
+        reduce_fn: impl Fn(&mut V, V) + Send + Sync + 'static,
+    ) -> Self {
+        Aggregator {
+            name: name.into(),
+            key_fn: Arc::new(key_fn),
+            value_fn: Arc::new(value_fn),
+            reduce_fn: Arc::new(reduce_fn),
+            agg_filter: None,
+        }
+    }
+
+    /// Adds the optional final filter over reduced `(key, value)` entries.
+    pub fn with_filter(mut self, f: impl Fn(&K, &V) -> bool + Send + Sync + 'static) -> Self {
+        self.agg_filter = Some(Arc::new(f));
+        self
+    }
+}
+
+struct TypedShard<K, V> {
+    map: HashMap<K, V>,
+    key_fn: Arc<dyn Fn(&SubgraphView<'_>) -> K + Send + Sync>,
+    value_fn: Arc<dyn Fn(&SubgraphView<'_>) -> V + Send + Sync>,
+    reduce_fn: Arc<dyn Fn(&mut V, V) + Send + Sync>,
+    agg_filter: Option<Arc<dyn Fn(&K, &V) -> bool + Send + Sync>>,
+    /// Rough per-entry size estimate maintained incrementally.
+    approx_bytes: usize,
+}
+
+impl<K, V> AggregatorSpec for Aggregator<K, V>
+where
+    K: Eq + Hash + Clone + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn new_shard(&self) -> Box<dyn AggShard> {
+        Box::new(TypedShard {
+            map: HashMap::new(),
+            key_fn: self.key_fn.clone(),
+            value_fn: self.value_fn.clone(),
+            reduce_fn: self.reduce_fn.clone(),
+            agg_filter: self.agg_filter.clone(),
+            approx_bytes: 0,
+        })
+    }
+}
+
+impl<K, V> AggShard for TypedShard<K, V>
+where
+    K: Eq + Hash + Clone + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    fn accumulate(&mut self, view: &SubgraphView<'_>) {
+        let key = (self.key_fn)(view);
+        let value = (self.value_fn)(view);
+        match self.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                (self.reduce_fn)(e.get_mut(), value);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.approx_bytes += std::mem::size_of::<K>() + std::mem::size_of::<V>() + 32;
+                e.insert(value);
+            }
+        }
+    }
+
+    fn merge_from(&mut self, other: Box<dyn AggShard>) {
+        let other = other
+            .into_any()
+            .downcast::<TypedShard<K, V>>()
+            .expect("merging shards of different aggregations");
+        for (k, v) in other.map {
+            match self.map.entry(k) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    (self.reduce_fn)(e.get_mut(), v);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    self.approx_bytes += std::mem::size_of::<K>() + std::mem::size_of::<V>() + 32;
+                    e.insert(v);
+                }
+            }
+        }
+    }
+
+    fn finalize(&mut self) {
+        if let Some(f) = &self.agg_filter {
+            self.map.retain(|k, v| f(k, v));
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any + Send> {
+        self
+    }
+}
+
+/// A merged, finalized aggregation result stored under its name.
+pub struct AggResult {
+    shard: Box<dyn AggShard>,
+}
+
+impl AggResult {
+    pub(crate) fn new(shard: Box<dyn AggShard>) -> Self {
+        AggResult { shard }
+    }
+
+    /// The reduced mapping, downcast to its concrete types. Panics when the
+    /// requested types differ from the aggregation's actual types.
+    pub fn map<K, V>(&self) -> &HashMap<K, V>
+    where
+        K: Eq + Hash + Clone + Send + Sync + 'static,
+        V: Send + Sync + 'static,
+    {
+        &self
+            .shard
+            .as_any()
+            .downcast_ref::<TypedShard<K, V>>()
+            .expect("aggregation type mismatch")
+            .map
+    }
+
+    /// Whether `key` is present (the usual aggregation-filter probe).
+    pub fn contains_key<K, V>(&self, key: &K) -> bool
+    where
+        K: Eq + Hash + Clone + Send + Sync + 'static,
+        V: Send + Sync + 'static,
+    {
+        self.map::<K, V>().contains_key(key)
+    }
+
+    /// Number of reduced entries.
+    pub fn len(&self) -> usize {
+        self.shard.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shard.is_empty()
+    }
+
+    /// Estimated live bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.shard.resident_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractal_enum::Subgraph;
+    use fractal_graph::builder::unlabeled_from_edges;
+
+    fn count_agg() -> Aggregator<usize, u64> {
+        Aggregator::new(
+            "counts",
+            |view| view.num_vertices(),
+            |_| 1u64,
+            |acc, v| *acc += v,
+        )
+    }
+
+    #[test]
+    fn accumulate_and_reduce() {
+        let g = unlabeled_from_edges(3, &[(0, 1), (1, 2)]);
+        let spec = count_agg();
+        let mut shard = spec.new_shard();
+        let mut sg = Subgraph::new(&g);
+        sg.push_vertex_induced(&g, 0);
+        shard.accumulate(&SubgraphView { graph: &g, subgraph: &sg });
+        sg.push_vertex_induced(&g, 1);
+        shard.accumulate(&SubgraphView { graph: &g, subgraph: &sg });
+        shard.accumulate(&SubgraphView { graph: &g, subgraph: &sg });
+        let result = AggResult::new(shard);
+        assert_eq!(result.map::<usize, u64>()[&1], 1);
+        assert_eq!(result.map::<usize, u64>()[&2], 2);
+        assert_eq!(result.len(), 2);
+        assert!(result.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn merge_shards() {
+        let g = unlabeled_from_edges(2, &[(0, 1)]);
+        let spec = count_agg();
+        let mut a = spec.new_shard();
+        let mut b = spec.new_shard();
+        let mut sg = Subgraph::new(&g);
+        sg.push_vertex_induced(&g, 0);
+        a.accumulate(&SubgraphView { graph: &g, subgraph: &sg });
+        b.accumulate(&SubgraphView { graph: &g, subgraph: &sg });
+        a.merge_from(b);
+        let result = AggResult::new(a);
+        assert_eq!(result.map::<usize, u64>()[&1], 2);
+    }
+
+    #[test]
+    fn final_filter_drops_entries() {
+        let g = unlabeled_from_edges(3, &[(0, 1), (1, 2)]);
+        let spec = count_agg().with_filter(|_, &v| v >= 2);
+        let mut shard = spec.new_shard();
+        let mut sg = Subgraph::new(&g);
+        sg.push_vertex_induced(&g, 0);
+        shard.accumulate(&SubgraphView { graph: &g, subgraph: &sg });
+        sg.push_vertex_induced(&g, 1);
+        shard.accumulate(&SubgraphView { graph: &g, subgraph: &sg });
+        shard.accumulate(&SubgraphView { graph: &g, subgraph: &sg });
+        shard.finalize();
+        let result = AggResult::new(shard);
+        assert_eq!(result.len(), 1);
+        assert!(result.contains_key::<usize, u64>(&2));
+        assert!(!result.contains_key::<usize, u64>(&1));
+    }
+
+    #[test]
+    #[should_panic(expected = "aggregation type mismatch")]
+    fn downcast_mismatch_panics() {
+        let spec = count_agg();
+        let result = AggResult::new(spec.new_shard());
+        let _ = result.map::<u64, u64>();
+    }
+}

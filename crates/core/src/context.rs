@@ -1,0 +1,238 @@
+//! `FractalContext` and `FractalGraph`: the entry points of the API
+//! (Fig. 2/3).
+
+use crate::fractoid::{EnumFactory, Fractoid};
+use fractal_enum::enumerator::{
+    EdgeInducedEnumerator, PatternEnumerator, VertexInducedEnumerator,
+};
+use fractal_enum::SubgraphEnumerator;
+use fractal_graph::{EdgeId, Graph, GraphError, VertexId};
+use fractal_pattern::{ExplorationPlan, Pattern};
+use fractal_runtime::ClusterConfig;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Configures and initializes the resources needed to run Fractal
+/// applications (the paper's `FractalContext`, C1). Where the original
+/// wraps a `SparkContext`, this wraps the simulated cluster configuration.
+#[derive(Debug, Clone)]
+pub struct FractalContext {
+    config: ClusterConfig,
+}
+
+impl FractalContext {
+    /// Creates a context over the given simulated cluster.
+    pub fn new(config: ClusterConfig) -> Self {
+        FractalContext { config }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Wraps an in-memory graph as a fractal graph.
+    pub fn fractal_graph(&self, graph: Graph) -> FractalGraph {
+        FractalGraph {
+            graph: Arc::new(graph),
+            config: self.config.clone(),
+            orig: None,
+        }
+    }
+
+    /// Loads a graph in the adjacency-list format (the paper's
+    /// `adjacencyList` initialization operator, I1).
+    pub fn adjacency_list(&self, path: impl AsRef<Path>) -> Result<FractalGraph, GraphError> {
+        Ok(self.fractal_graph(fractal_graph::io::load_adjacency_list(path)?))
+    }
+}
+
+/// Maps a reduced graph's dense ids back to the original input graph.
+#[derive(Debug)]
+pub(crate) struct OrigIds {
+    pub vertices: Vec<u32>,
+    pub edges: Vec<u32>,
+}
+
+/// An input graph bound to a cluster configuration; the factory for
+/// fractoids (B1–B3) and the carrier of graph reduction (§4.3, Fig. 10).
+#[derive(Clone)]
+pub struct FractalGraph {
+    pub(crate) graph: Arc<Graph>,
+    pub(crate) config: ClusterConfig,
+    /// Present when this graph is a reduction of a larger input; output
+    /// operators translate result ids through it.
+    pub(crate) orig: Option<Arc<OrigIds>>,
+}
+
+impl FractalGraph {
+    /// The underlying (possibly reduced) graph.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// The cluster configuration this graph executes on.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Whether this graph is a reduced view.
+    pub fn is_reduced(&self) -> bool {
+        self.orig.is_some()
+    }
+
+    /// B1: a vertex-induced fractoid.
+    pub fn vfractoid(&self) -> Fractoid {
+        let factory: EnumFactory =
+            Arc::new(|_g: &Graph| Box::new(VertexInducedEnumerator::new()) as Box<dyn SubgraphEnumerator>);
+        Fractoid::new(self.clone(), factory)
+    }
+
+    /// B1 with a custom subgraph enumerator (Appendix B, Listing 7): the
+    /// factory is invoked once per core.
+    pub fn vfractoid_with(
+        &self,
+        factory: impl Fn(&Graph) -> Box<dyn SubgraphEnumerator> + Send + Sync + 'static,
+    ) -> Fractoid {
+        Fractoid::new(self.clone(), Arc::new(factory))
+    }
+
+    /// B2: an edge-induced fractoid.
+    pub fn efractoid(&self) -> Fractoid {
+        let factory: EnumFactory =
+            Arc::new(|_g: &Graph| Box::new(EdgeInducedEnumerator::new()) as Box<dyn SubgraphEnumerator>);
+        Fractoid::new(self.clone(), factory)
+    }
+
+    /// B3: a pattern-induced fractoid matching vertex and edge labels.
+    pub fn pfractoid(&self, pattern: &Pattern) -> Fractoid {
+        self.pfractoid_with_labels(pattern, true, true)
+    }
+
+    /// B3 ignoring all labels (pure topology matching).
+    pub fn pfractoid_unlabeled(&self, pattern: &Pattern) -> Fractoid {
+        self.pfractoid_with_labels(pattern, false, false)
+    }
+
+    /// B3 with explicit label-matching flags.
+    pub fn pfractoid_with_labels(
+        &self,
+        pattern: &Pattern,
+        match_vertex_labels: bool,
+        match_edge_labels: bool,
+    ) -> Fractoid {
+        let plan = Arc::new(ExplorationPlan::new(pattern));
+        let factory: EnumFactory = Arc::new(move |_g: &Graph| {
+            Box::new(PatternEnumerator::new(
+                plan.clone(),
+                match_vertex_labels,
+                match_edge_labels,
+            )) as Box<dyn SubgraphEnumerator>
+        });
+        Fractoid::new(self.clone(), factory)
+    }
+
+    /// R1 (`vfilter`): materializes the reduced graph keeping vertices that
+    /// satisfy `f` (plus edges between survivors).
+    pub fn vfilter(&self, f: impl FnMut(VertexId, &Graph) -> bool) -> FractalGraph {
+        let r = self.graph.vfilter(f);
+        self.wrap_reduced(r)
+    }
+
+    /// R2 (`efilter`): materializes the reduced graph keeping edges that
+    /// satisfy `f` (vertices with no surviving edge are dropped).
+    pub fn efilter(&self, f: impl FnMut(EdgeId, &Graph) -> bool) -> FractalGraph {
+        let r = self.graph.efilter(f);
+        self.wrap_reduced(r)
+    }
+
+    /// Wraps a reduction of this graph, composing id maps when this graph
+    /// is itself reduced.
+    pub fn wrap_reduced(&self, r: fractal_graph::ReducedGraph) -> FractalGraph {
+        let (vmap, emap) = match &self.orig {
+            None => (r.orig_vertices.clone(), r.orig_edges.clone()),
+            Some(prev) => (
+                r.orig_vertices.iter().map(|&v| prev.vertices[v as usize]).collect(),
+                r.orig_edges.iter().map(|&e| prev.edges[e as usize]).collect(),
+            ),
+        };
+        FractalGraph {
+            graph: Arc::new(r.graph),
+            config: self.config.clone(),
+            orig: Some(Arc::new(OrigIds {
+                vertices: vmap,
+                edges: emap,
+            })),
+        }
+    }
+
+    /// Translates a vertex id of this (possibly reduced) graph to the
+    /// original input graph.
+    pub fn orig_vertex(&self, v: u32) -> u32 {
+        match &self.orig {
+            None => v,
+            Some(m) => m.vertices[v as usize],
+        }
+    }
+
+    /// Translates an edge id of this (possibly reduced) graph to the
+    /// original input graph.
+    pub fn orig_edge(&self, e: u32) -> u32 {
+        match &self.orig {
+            None => e,
+            Some(m) => m.edges[e as usize],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractal_graph::builder::graph_from_edges;
+    use fractal_graph::Label;
+
+    fn ctx() -> FractalContext {
+        FractalContext::new(ClusterConfig::local(1, 2))
+    }
+
+    #[test]
+    fn context_wraps_graph() {
+        let g = graph_from_edges(&[0, 1], &[(0, 1, 0)]);
+        let fg = ctx().fractal_graph(g);
+        assert_eq!(fg.graph().num_edges(), 1);
+        assert!(!fg.is_reduced());
+        assert_eq!(fg.orig_vertex(1), 1);
+    }
+
+    #[test]
+    fn reduction_composes_maps() {
+        // Path 0-1-2-3 with labels 0,1,1,1; reduce twice.
+        let g = graph_from_edges(&[0, 1, 1, 1], &[(0, 1, 0), (1, 2, 0), (2, 3, 0)]);
+        let fg = ctx().fractal_graph(g);
+        // Keep label-1 vertices: 1,2,3 -> path of 3 (ids 0,1,2).
+        let r1 = fg.vfilter(|v, g| g.vertex_label(v) == Label(1));
+        assert!(r1.is_reduced());
+        assert_eq!(r1.graph().num_vertices(), 3);
+        assert_eq!(r1.orig_vertex(0), 1);
+        // Reduce again: drop the vertex that was originally 3.
+        let r2 = r1.vfilter(|v, _| r1.orig_vertex(v.raw()) != 3);
+        assert_eq!(r2.graph().num_vertices(), 2);
+        assert_eq!(r2.orig_vertex(0), 1);
+        assert_eq!(r2.orig_vertex(1), 2);
+        // Edge map composes as well: the surviving edge is original edge 1.
+        assert_eq!(r2.graph().num_edges(), 1);
+        assert_eq!(r2.orig_edge(0), 1);
+    }
+
+    #[test]
+    fn adjacency_list_loader() {
+        let g = graph_from_edges(&[0, 0, 0], &[(0, 1, 0), (1, 2, 0)]);
+        let dir = std::env::temp_dir().join("fractal_core_ctx_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.adj");
+        fractal_graph::io::save_adjacency_list(&g, &path).unwrap();
+        let fg = ctx().adjacency_list(&path).unwrap();
+        assert_eq!(fg.graph().num_edges(), 2);
+        std::fs::remove_file(path).ok();
+    }
+}

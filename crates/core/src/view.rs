@@ -1,0 +1,166 @@
+//! User-facing views of subgraphs during and after execution.
+
+use fractal_enum::Subgraph;
+use fractal_graph::{EdgeId, Graph, VertexId};
+use fractal_pattern::canon::{CanonicalForm, CodeCache};
+use fractal_pattern::{CanonicalCode, Pattern};
+use std::cell::RefCell;
+use std::sync::Arc;
+
+thread_local! {
+    /// Per-thread canonicalization cache: enumeration revisits the same few
+    /// raw pattern shapes constantly, so this makes the hot aggregation key
+    /// a single hash lookup.
+    static CODE_CACHE: RefCell<CodeCache> = RefCell::new(CodeCache::new());
+}
+
+/// Canonical form of `p` through the per-thread memo cache.
+pub fn canonical_form_cached(p: &Pattern) -> Arc<CanonicalForm> {
+    CODE_CACHE.with(|c| c.borrow_mut().canonical_form(p))
+}
+
+/// The live subgraph a filter / aggregation closure observes (read-only).
+///
+/// Ids are in terms of the graph the fractoid executes on; when that graph
+/// is a reduction of a larger one, output operators translate back to
+/// original ids, but filters see the compact ids (matching the paper, where
+/// filters run on the materialized reduced view).
+pub struct SubgraphView<'a> {
+    /// The input graph of the executing step.
+    pub graph: &'a Graph,
+    /// The subgraph under the cursor of the DFS.
+    pub subgraph: &'a Subgraph,
+}
+
+impl SubgraphView<'_> {
+    /// Vertices in insertion order.
+    #[inline]
+    pub fn vertices(&self) -> &[u32] {
+        self.subgraph.vertices()
+    }
+
+    /// Edges in insertion order.
+    #[inline]
+    pub fn edges(&self) -> &[u32] {
+        self.subgraph.edges()
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.subgraph.num_vertices()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.subgraph.num_edges()
+    }
+
+    /// The most recently added edge.
+    #[inline]
+    pub fn last_edge(&self) -> Option<EdgeId> {
+        self.subgraph.last_edge()
+    }
+
+    /// The most recently added vertex.
+    #[inline]
+    pub fn last_vertex(&self) -> Option<VertexId> {
+        self.subgraph.last_vertex()
+    }
+
+    /// Edges added by the latest vertex extension (Listing 2's clique
+    /// check compares this against `num_vertices - 1`).
+    #[inline]
+    pub fn last_level_edge_count(&self) -> usize {
+        self.subgraph.last_level_edge_count()
+    }
+
+    /// Whether the current subgraph is a complete clique.
+    pub fn is_clique(&self) -> bool {
+        let k = self.num_vertices();
+        self.num_edges() == k * (k - 1) / 2
+    }
+
+    /// The raw (uncanonicalized) pattern of this subgraph.
+    pub fn pattern(&self, use_vlabels: bool, use_elabels: bool) -> Pattern {
+        self.subgraph.pattern(self.graph, use_vlabels, use_elabels)
+    }
+
+    /// The canonical code of this subgraph's pattern (cached per thread) —
+    /// the paper's `ρ(S)`, the usual aggregation key.
+    pub fn pattern_code(&self, use_vlabels: bool, use_elabels: bool) -> CanonicalCode {
+        canonical_form_cached(&self.pattern(use_vlabels, use_elabels))
+            .code
+            .clone()
+    }
+
+    /// Canonical form (code + permutation of the subgraph's vertex order
+    /// onto canonical positions); FSM's minimum-image support needs the
+    /// permutation.
+    pub fn canonical_form(&self, use_vlabels: bool, use_elabels: bool) -> Arc<CanonicalForm> {
+        canonical_form_cached(&self.pattern(use_vlabels, use_elabels))
+    }
+}
+
+/// An owned result subgraph reported by the output operators, with ids
+/// already translated to the **original** input graph when the fractoid ran
+/// on a reduced view.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SubgraphData {
+    /// Vertex ids (original graph).
+    pub vertices: Vec<u32>,
+    /// Edge ids (original graph).
+    pub edges: Vec<u32>,
+}
+
+impl SubgraphData {
+    /// Sorted copy (for set comparisons in tests).
+    pub fn normalized(mut self) -> Self {
+        self.vertices.sort_unstable();
+        self.edges.sort_unstable();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractal_graph::builder::unlabeled_from_edges;
+
+    #[test]
+    fn view_accessors_and_clique_check() {
+        let g = unlabeled_from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let mut sg = Subgraph::new(&g);
+        sg.push_vertex_induced(&g, 0);
+        sg.push_vertex_induced(&g, 1);
+        sg.push_vertex_induced(&g, 2);
+        let view = SubgraphView {
+            graph: &g,
+            subgraph: &sg,
+        };
+        assert_eq!(view.num_vertices(), 3);
+        assert!(view.is_clique());
+        assert_eq!(view.last_level_edge_count(), 2);
+        assert_eq!(view.pattern_code(false, false).num_vertices(), 3);
+    }
+
+    #[test]
+    fn cached_form_is_stable() {
+        let p = Pattern::clique(3);
+        let a = canonical_form_cached(&p);
+        let b = canonical_form_cached(&p);
+        assert_eq!(a.code, b.code);
+    }
+
+    #[test]
+    fn normalized_sorts() {
+        let d = SubgraphData {
+            vertices: vec![3, 1],
+            edges: vec![5, 2],
+        }
+        .normalized();
+        assert_eq!(d.vertices, vec![1, 3]);
+        assert_eq!(d.edges, vec![2, 5]);
+    }
+}

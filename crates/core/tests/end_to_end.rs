@@ -1,0 +1,164 @@
+//! End-to-end fractal-core tests: the public API against brute-force
+//! oracles, across cluster shapes and stealing modes.
+
+use fractal_core::prelude::*;
+use fractal_graph::gen;
+use fractal_pattern::Pattern;
+use fractal_runtime::{ClusterConfig, WsMode};
+use std::collections::HashMap;
+
+fn contexts() -> Vec<FractalContext> {
+    vec![
+        FractalContext::new(ClusterConfig::single_thread()),
+        FractalContext::new(ClusterConfig::local(1, 4)),
+        FractalContext::new(ClusterConfig::local(2, 2).with_ws(WsMode::Both)),
+        FractalContext::new(ClusterConfig::local(2, 2).with_ws(WsMode::ExternalOnly)),
+        FractalContext::new(ClusterConfig::local(3, 2).with_ws(WsMode::InternalOnly)),
+    ]
+}
+
+#[test]
+fn motif_counting_is_shape_invariant() {
+    let g = gen::mico_like(250, 4, 21);
+    let mut reference: Option<HashMap<fractal_pattern::CanonicalCode, u64>> = None;
+    for ctx in contexts() {
+        let fg = ctx.fractal_graph(g.clone());
+        let motifs = fg
+            .vfractoid()
+            .expand(3)
+            .aggregate(
+                "motifs",
+                |s| s.pattern_code(false, false),
+                |_| 1u64,
+                |a, v| *a += v,
+            )
+            .aggregation::<fractal_pattern::CanonicalCode, u64>("motifs");
+        // 3-vertex connected motifs: path and triangle only.
+        assert_eq!(motifs.len(), 2);
+        match &reference {
+            None => reference = Some(motifs),
+            Some(r) => assert_eq!(&motifs, r),
+        }
+    }
+}
+
+#[test]
+fn clique_counts_match_pattern_matching() {
+    let g = gen::youtube_like(300, 2, 9);
+    let ctx = FractalContext::new(ClusterConfig::local(2, 2));
+    let fg = ctx.fractal_graph(g);
+    for k in [3usize, 4] {
+        let via_filter = fg
+            .vfractoid()
+            .expand(1)
+            .filter(|s| s.last_level_edge_count() == s.num_vertices().saturating_sub(1))
+            .explore(k)
+            .count();
+        let via_pattern = fg
+            .pfractoid_unlabeled(&Pattern::clique(k))
+            .expand(k)
+            .count();
+        assert_eq!(via_filter, via_pattern, "k={k}");
+        assert!(via_filter > 0, "k={k}: no cliques in the test graph");
+    }
+}
+
+#[test]
+fn edge_vs_vertex_induction_agree_on_triangles() {
+    let g = gen::erdos_renyi(60, 240, 1, 4);
+    let ctx = FractalContext::new(ClusterConfig::local(1, 3));
+    let fg = ctx.fractal_graph(g);
+    // Triangles via edge induction: 3-edge connected subgraphs with 3
+    // vertices.
+    let edge_triangles = fg
+        .efractoid()
+        .expand(3)
+        .filter(|s| s.num_vertices() == 3)
+        .count();
+    let vertex_triangles = fg
+        .vfractoid()
+        .expand(3)
+        .filter(|s| s.is_clique())
+        .count();
+    assert_eq!(edge_triangles, vertex_triangles);
+}
+
+#[test]
+fn iterative_derivation_reuses_aggregations() {
+    // Simulates the FSM loop shape: derive, aggregate, filter, extend —
+    // and verify the second execution does not recompute step 0 (the store
+    // is shared along the chain).
+    let g = gen::patents_like(150, 3, 33);
+    let ctx = FractalContext::new(ClusterConfig::local(1, 2));
+    let fg = ctx.fractal_graph(g);
+    let bootstrap = fg.efractoid().expand(1).aggregate(
+        "support",
+        |s| s.pattern_code(true, true),
+        |_| 1u64,
+        |a, v| *a += v,
+    );
+    let first = bootstrap.aggregation::<fractal_pattern::CanonicalCode, u64>("support");
+    assert!(!first.is_empty());
+    let next = bootstrap
+        .clone()
+        .filter_agg("support", |s, agg| {
+            agg.contains_key::<fractal_pattern::CanonicalCode, u64>(&s.pattern_code(true, true))
+        })
+        .expand(1)
+        .aggregate(
+            "support2",
+            |s| s.pattern_code(true, true),
+            |_| 1u64,
+            |a, v| *a += v,
+        );
+    // The derived workflow contains a W4 filter whose source is already
+    // computed -> single step.
+    let report = next.execute();
+    assert_eq!(report.num_steps(), 1);
+    let second = next.aggregation::<fractal_pattern::CanonicalCode, u64>("support2");
+    assert!(!second.is_empty());
+    // 2-edge patterns have 3 vertices (paths) or... every 2-edge connected
+    // subgraph has 3 vertices here (no multi-edges), so all keys decode to
+    // 3-vertex patterns.
+    for code in second.keys() {
+        assert_eq!(code.num_vertices(), 3);
+    }
+}
+
+#[test]
+fn keyword_style_reduction_end_to_end() {
+    let g = gen::wikidata_like(500, 40, 8);
+    let ctx = FractalContext::new(ClusterConfig::local(1, 2));
+    let fg = ctx.fractal_graph(g.clone());
+    let kw = g.keyword_table().unwrap().get("kw0").unwrap();
+    // Reduce to edges whose document (edge + endpoints) carries kw0.
+    let reduced = fg.efilter(|e, g| {
+        let (s, d) = g.edge_endpoints(e);
+        g.edge_keywords(e).contains(&kw)
+            || g.vertex_keywords(s).contains(&kw)
+            || g.vertex_keywords(d).contains(&kw)
+    });
+    assert!(reduced.graph().num_edges() < g.num_edges());
+    let subs = reduced.efractoid().expand(1).subgraphs();
+    // Every result edge, translated to original ids, carries the keyword.
+    assert_eq!(subs.len(), reduced.graph().num_edges());
+    for s in subs {
+        let e = fractal_graph::EdgeId(s.edges[0]);
+        let (a, b) = g.edge_endpoints(e);
+        assert!(
+            g.edge_keywords(e).contains(&kw)
+                || g.vertex_keywords(a).contains(&kw)
+                || g.vertex_keywords(b).contains(&kw)
+        );
+    }
+}
+
+#[test]
+fn counts_deterministic_across_repeats() {
+    let g = gen::mico_like(200, 3, 2);
+    let ctx = FractalContext::new(ClusterConfig::local(2, 3));
+    let fg = ctx.fractal_graph(g);
+    let runs: Vec<u64> = (0..3).map(|_| fg.vfractoid().expand(3).count()).collect();
+    assert_eq!(runs[0], runs[1]);
+    assert_eq!(runs[1], runs[2]);
+}

@@ -1,0 +1,138 @@
+//! Property tests for the execution engine: random workflows on random
+//! graphs, validated against a sequential oracle that mirrors the
+//! documented semantics primitive by primitive.
+
+use fractal_core::prelude::*;
+use fractal_enum::canonical::canonical_vertex_extension;
+use fractal_graph::{Graph, VertexId};
+use fractal_runtime::{ClusterConfig, WsMode};
+use proptest::prelude::*;
+
+/// Oracle: sequential DFS over [expand, filter]* with the same canonical
+/// rule and filter semantics as the engine.
+fn oracle_count(g: &Graph, levels: &[Option<u32>]) -> u64 {
+    fn rec(g: &Graph, levels: &[Option<u32>], prefix: &mut Vec<u32>, edge_count: &mut usize) -> u64 {
+        let depth = prefix.len();
+        if depth == levels.len() {
+            return 1;
+        }
+        let cands: Vec<u32> = if prefix.is_empty() {
+            (0..g.num_vertices() as u32).collect()
+        } else {
+            let mut c: Vec<u32> = prefix
+                .iter()
+                .flat_map(|&v| g.neighbors(VertexId(v)).iter().copied())
+                .filter(|u| !prefix.contains(u))
+                .collect();
+            c.sort_unstable();
+            c.dedup();
+            c
+        };
+        let mut total = 0;
+        for u in cands {
+            if !canonical_vertex_extension(g, prefix, u) {
+                continue;
+            }
+            // Edges the vertex-induced push would add.
+            let added = prefix
+                .iter()
+                .filter(|&&v| g.are_adjacent(VertexId(v), VertexId(u)))
+                .count();
+            // The level's filter: min edge-added threshold (None = none).
+            if let Some(min_added) = levels[depth] {
+                if (added as u32) < min_added && depth > 0 {
+                    continue;
+                }
+            }
+            prefix.push(u);
+            *edge_count += added;
+            total += rec(g, levels, prefix, edge_count);
+            *edge_count -= added;
+            prefix.pop();
+        }
+        total
+    }
+    let mut prefix = Vec::new();
+    let mut ec = 0;
+    rec(g, levels, &mut prefix, &mut ec)
+}
+
+/// Engine: the same workflow built from fractoid operators.
+fn engine_count(g: &Graph, levels: &[Option<u32>], cfg: ClusterConfig) -> u64 {
+    let fc = FractalContext::new(cfg);
+    let fg = fc.fractal_graph(g.clone());
+    let mut f = fg.vfractoid();
+    for (depth, &min_added) in levels.iter().enumerate() {
+        f = f.expand(1);
+        if let Some(min_added) = min_added {
+            f = f.filter(move |s| {
+                depth == 0 || s.last_level_edge_count() as u32 >= min_added
+            });
+        }
+    }
+    f.count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random [expand, filter?]* workflows: engine == oracle across
+    /// cluster shapes and stealing modes.
+    #[test]
+    fn random_workflows_match_oracle(
+        n in 6usize..20,
+        seed in 0u64..500,
+        levels in proptest::collection::vec(proptest::option::of(0u32..3), 2..5),
+    ) {
+        let g = fractal_graph::gen::erdos_renyi(n, n * 2, 2, seed);
+        let expect = oracle_count(&g, &levels);
+        for cfg in [
+            ClusterConfig::single_thread(),
+            ClusterConfig::local(2, 2).with_ws(WsMode::Both).with_latency_us(1),
+        ] {
+            let got = engine_count(&g, &levels, cfg);
+            prop_assert_eq!(got, expect, "levels {:?}", levels);
+        }
+    }
+
+    /// Aggregation totals equal plain counts: summing a unit-valued
+    /// aggregation over any key function must reproduce count().
+    #[test]
+    fn aggregation_total_equals_count(n in 6usize..18, seed in 0u64..300, k in 2usize..4) {
+        let g = fractal_graph::gen::erdos_renyi(n, n * 2, 2, seed);
+        let fc = FractalContext::new(ClusterConfig::local(1, 2));
+        let fg = fc.fractal_graph(g);
+        let count = fg.vfractoid().expand(k).count();
+        let agg = fg
+            .vfractoid()
+            .expand(k)
+            .aggregate("x", |s| s.num_edges() % 3, |_| 1u64, |a, v| *a += v)
+            .aggregation::<usize, u64>("x");
+        let total: u64 = agg.values().sum();
+        prop_assert_eq!(total, count);
+    }
+
+    /// Participation masks contain exactly the union of result subgraphs.
+    #[test]
+    fn participation_is_exact_union(n in 6usize..16, seed in 0u64..200) {
+        let g = fractal_graph::gen::erdos_renyi(n, n * 2, 1, seed);
+        let fc = FractalContext::new(ClusterConfig::local(1, 2));
+        let fg = fc.fractal_graph(g);
+        let fr = fg.vfractoid().expand(3).filter(|s| s.is_clique());
+        let subs = fr.subgraphs();
+        let report = fr.execute_tracking_participation();
+        let p = report.participation.unwrap();
+        let mut vexpect = std::collections::BTreeSet::new();
+        let mut eexpect = std::collections::BTreeSet::new();
+        for s in &subs {
+            vexpect.extend(s.vertices.iter().copied());
+            eexpect.extend(s.edges.iter().copied());
+        }
+        let vgot: std::collections::BTreeSet<u32> =
+            p.vertices.iter_ones().map(|i| i as u32).collect();
+        let egot: std::collections::BTreeSet<u32> =
+            p.edges.iter_ones().map(|i| i as u32).collect();
+        prop_assert_eq!(vgot, vexpect);
+        prop_assert_eq!(egot, eexpect);
+    }
+}

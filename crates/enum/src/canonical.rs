@@ -1,0 +1,312 @@
+//! Canonicality checks: each connected subgraph enumerated exactly once.
+//!
+//! For vertex(edge)-induced extension the paper combines extension with
+//! *canonical subgraph checking* in the style of Arabesque [53]. The rule
+//! implemented here accepts a growth sequence iff it is the
+//! lexicographically smallest connected ordering of its element set:
+//!
+//! * the first element is the minimum of the set, and
+//! * every element appended after the position of its first "anchor"
+//!   (earliest prefix element it is adjacent to) must be **greater** than
+//!   all elements placed between that anchor and itself.
+//!
+//! Equivalently, the sequence is the greedy "always append the smallest
+//! attached element" ordering, which exists and is unique for every
+//! connected set — so exactly one growth sequence per subgraph survives.
+//! The property tests at the crate root verify this against brute force.
+
+use fractal_graph::{EdgeId, Graph, VertexId};
+
+/// Whether appending vertex `u` to the vertex-induced prefix
+/// `prefix` keeps the sequence canonical. The caller guarantees `u` is not
+/// already in the prefix.
+///
+/// Returns `false` when `u` is not adjacent to the prefix at all (except
+/// for the empty prefix, where every vertex is a canonical root).
+#[inline]
+pub fn canonical_vertex_extension(g: &Graph, prefix: &[u32], u: u32) -> bool {
+    let Some((&first, rest)) = prefix.split_first() else {
+        return true;
+    };
+    if u < first {
+        return false;
+    }
+    let mut found = g.are_adjacent(VertexId(first), VertexId(u));
+    for &w in rest {
+        if found {
+            if w > u {
+                return false;
+            }
+        } else if g.are_adjacent(VertexId(w), VertexId(u)) {
+            found = true;
+        }
+    }
+    found
+}
+
+/// Whether two distinct edges share an endpoint.
+#[inline]
+pub fn edges_adjacent(g: &Graph, a: u32, b: u32) -> bool {
+    let (s1, d1) = g.edge_endpoints(EdgeId(a));
+    let (s2, d2) = g.edge_endpoints(EdgeId(b));
+    s1 == s2 || s1 == d2 || d1 == s2 || d1 == d2
+}
+
+/// Whether appending edge `e` to the edge-induced prefix `prefix` keeps the
+/// sequence canonical — the same rule as
+/// [`canonical_vertex_extension`], over edge ids with adjacency =
+/// sharing an endpoint. The caller guarantees `e` is not in the prefix.
+#[inline]
+pub fn canonical_edge_extension(g: &Graph, prefix: &[u32], e: u32) -> bool {
+    let Some((&first, rest)) = prefix.split_first() else {
+        return true;
+    };
+    if e < first {
+        return false;
+    }
+    let mut found = edges_adjacent(g, first, e);
+    for &w in rest {
+        if found {
+            if w > e {
+                return false;
+            }
+        } else if edges_adjacent(g, w, e) {
+            found = true;
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractal_graph::builder::unlabeled_from_edges;
+    use std::collections::BTreeSet;
+
+    /// DFS enumeration of vertex-induced subgraphs of size `k` using the
+    /// canonical rule; returns the multiset of vertex sets produced.
+    fn enumerate_vertex_induced(g: &Graph, k: usize) -> Vec<BTreeSet<u32>> {
+        let mut out = Vec::new();
+        let mut prefix: Vec<u32> = Vec::new();
+        fn rec(g: &Graph, k: usize, prefix: &mut Vec<u32>, out: &mut Vec<BTreeSet<u32>>) {
+            if prefix.len() == k {
+                out.push(prefix.iter().copied().collect());
+                return;
+            }
+            // Candidates: all vertices when empty, else neighbors of the
+            // prefix.
+            let cands: Vec<u32> = if prefix.is_empty() {
+                (0..g.num_vertices() as u32).collect()
+            } else {
+                let mut c: Vec<u32> = prefix
+                    .iter()
+                    .flat_map(|&v| g.neighbors(VertexId(v)).iter().copied())
+                    .filter(|&u| !prefix.contains(&u))
+                    .collect();
+                c.sort_unstable();
+                c.dedup();
+                c
+            };
+            for u in cands {
+                if canonical_vertex_extension(g, prefix, u) {
+                    prefix.push(u);
+                    rec(g, k, prefix, out);
+                    prefix.pop();
+                }
+            }
+        }
+        rec(g, k, &mut prefix, &mut out);
+        out
+    }
+
+    /// Brute force: all k-subsets of vertices that induce a connected
+    /// subgraph.
+    fn brute_force_connected_sets(g: &Graph, k: usize) -> Vec<BTreeSet<u32>> {
+        let n = g.num_vertices();
+        let mut out = Vec::new();
+        let mut subset: Vec<u32> = Vec::new();
+        fn rec(
+            g: &Graph,
+            k: usize,
+            start: u32,
+            subset: &mut Vec<u32>,
+            out: &mut Vec<BTreeSet<u32>>,
+        ) {
+            if subset.len() == k {
+                if connected(g, subset) {
+                    out.push(subset.iter().copied().collect());
+                }
+                return;
+            }
+            for v in start..g.num_vertices() as u32 {
+                subset.push(v);
+                rec(g, k, v + 1, subset, out);
+                subset.pop();
+            }
+        }
+        fn connected(g: &Graph, vs: &[u32]) -> bool {
+            let mut seen = vec![vs[0]];
+            let mut frontier = vec![vs[0]];
+            while let Some(v) = frontier.pop() {
+                for &u in g.neighbors(VertexId(v)) {
+                    if vs.contains(&u) && !seen.contains(&u) {
+                        seen.push(u);
+                        frontier.push(u);
+                    }
+                }
+            }
+            seen.len() == vs.len()
+        }
+        let _ = n;
+        rec(g, k, 0, &mut subset, &mut out);
+        out
+    }
+
+    fn sample_graphs() -> Vec<Graph> {
+        vec![
+            // Triangle with tail.
+            unlabeled_from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]),
+            // Square with diagonal.
+            unlabeled_from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)]),
+            // Two triangles sharing a vertex.
+            unlabeled_from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]),
+            // Star.
+            fractal_graph::gen::star(5),
+            // Complete graph.
+            fractal_graph::gen::complete(5),
+            // Disconnected pair of edges.
+            unlabeled_from_edges(4, &[(0, 1), (2, 3)]),
+        ]
+    }
+
+    #[test]
+    fn vertex_rule_matches_brute_force() {
+        for g in sample_graphs() {
+            for k in 1..=4 {
+                let mut got = enumerate_vertex_induced(&g, k);
+                let mut want = brute_force_connected_sets(&g, k);
+                got.sort();
+                want.sort();
+                // No duplicates: each set exactly once.
+                let dedup_len = {
+                    let mut d = got.clone();
+                    d.dedup();
+                    d.len()
+                };
+                assert_eq!(dedup_len, got.len(), "duplicates for k={k}");
+                assert_eq!(got, want, "mismatch for k={k}");
+            }
+        }
+    }
+
+    /// DFS enumeration of edge-induced subgraphs of size `k` edges.
+    fn enumerate_edge_induced(g: &Graph, k: usize) -> Vec<BTreeSet<u32>> {
+        let mut out = Vec::new();
+        let mut prefix: Vec<u32> = Vec::new();
+        fn rec(g: &Graph, k: usize, prefix: &mut Vec<u32>, out: &mut Vec<BTreeSet<u32>>) {
+            if prefix.len() == k {
+                out.push(prefix.iter().copied().collect());
+                return;
+            }
+            let cands: Vec<u32> = if prefix.is_empty() {
+                (0..g.num_edges() as u32).collect()
+            } else {
+                let mut c: Vec<u32> = Vec::new();
+                for &e in prefix.iter() {
+                    let (s, d) = g.edge_endpoints(EdgeId(e));
+                    for v in [s, d] {
+                        for &e2 in g.incident_edges(v) {
+                            if !prefix.contains(&e2) {
+                                c.push(e2);
+                            }
+                        }
+                    }
+                }
+                c.sort_unstable();
+                c.dedup();
+                c
+            };
+            for e in cands {
+                if canonical_edge_extension(g, prefix, e) {
+                    prefix.push(e);
+                    rec(g, k, prefix, out);
+                    prefix.pop();
+                }
+            }
+        }
+        rec(g, k, &mut prefix, &mut out);
+        out
+    }
+
+    /// Brute force: all k-subsets of edges forming a connected line graph.
+    fn brute_force_connected_edge_sets(g: &Graph, k: usize) -> Vec<BTreeSet<u32>> {
+        let m = g.num_edges() as u32;
+        let mut out = Vec::new();
+        let mut subset: Vec<u32> = Vec::new();
+        fn connected(g: &Graph, es: &[u32]) -> bool {
+            let mut seen = vec![es[0]];
+            let mut frontier = vec![es[0]];
+            while let Some(e) = frontier.pop() {
+                for &f in es {
+                    if !seen.contains(&f) && edges_adjacent(g, e, f) {
+                        seen.push(f);
+                        frontier.push(f);
+                    }
+                }
+            }
+            seen.len() == es.len()
+        }
+        fn rec(g: &Graph, k: usize, start: u32, m: u32, subset: &mut Vec<u32>, out: &mut Vec<BTreeSet<u32>>) {
+            if subset.len() == k {
+                if connected(g, subset) {
+                    out.push(subset.iter().copied().collect());
+                }
+                return;
+            }
+            for e in start..m {
+                subset.push(e);
+                rec(g, k, e + 1, m, subset, out);
+                subset.pop();
+            }
+        }
+        rec(g, k, 0, m, &mut subset, &mut out);
+        out
+    }
+
+    #[test]
+    fn edge_rule_matches_brute_force() {
+        for g in sample_graphs() {
+            for k in 1..=3 {
+                let mut got = enumerate_edge_induced(&g, k);
+                let mut want = brute_force_connected_edge_sets(&g, k);
+                got.sort();
+                want.sort();
+                let dedup_len = {
+                    let mut d = got.clone();
+                    d.dedup();
+                    d.len()
+                };
+                assert_eq!(dedup_len, got.len(), "duplicates for k={k}");
+                assert_eq!(got, want, "mismatch for k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn root_is_always_canonical() {
+        let g = fractal_graph::gen::path(3);
+        for v in 0..3 {
+            assert!(canonical_vertex_extension(&g, &[], v));
+        }
+        for e in 0..2 {
+            assert!(canonical_edge_extension(&g, &[], e));
+        }
+    }
+
+    #[test]
+    fn smaller_than_first_rejected() {
+        let g = fractal_graph::gen::complete(4);
+        assert!(!canonical_vertex_extension(&g, &[2], 0));
+        assert!(canonical_vertex_extension(&g, &[2], 3));
+    }
+}

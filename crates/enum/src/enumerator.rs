@@ -1,0 +1,425 @@
+//! The subgraph enumerator abstraction (Fig. 7) and its three built-in
+//! extension strategies.
+//!
+//! An enumerator knows how to compute the extension candidates of the
+//! current subgraph (`compute_extensions`) and how to apply/undo one
+//! extension word (`extend`/`retract`). Enumerators may carry custom state
+//! (the KClist enumerator of Appendix B keeps per-level candidate sets);
+//! when a stolen work unit lands on another core the state is **rebuilt
+//! from the prefix** — the "from scratch" philosophy applied to stolen
+//! work, which keeps steal messages small (§4.2).
+
+use crate::canonical::{canonical_edge_extension, canonical_vertex_extension};
+use crate::subgraph::Subgraph;
+use fractal_graph::{Graph, VertexId};
+use fractal_pattern::ExplorationPlan;
+use std::sync::Arc;
+
+/// A strategy for growing subgraphs one word at a time (Fig. 7).
+///
+/// `compute_extensions` returns the number of candidate tests performed —
+/// the paper's *extension cost* (EC) metric (§4.3).
+pub trait SubgraphEnumerator: Send {
+    /// Computes the extension words of `sg` into `out` (cleared first).
+    /// Returns the number of candidate tests performed.
+    fn compute_extensions(&mut self, g: &Graph, sg: &Subgraph, out: &mut Vec<u64>) -> u64;
+
+    /// Applies extension `word` to `sg` (and any custom state).
+    fn extend(&mut self, g: &Graph, sg: &mut Subgraph, word: u64);
+
+    /// Undoes the most recent extension.
+    fn retract(&mut self, g: &Graph, sg: &mut Subgraph);
+
+    /// Clears custom state (called before rebuilding from a prefix).
+    fn reset_state(&mut self, _g: &Graph) {}
+
+    /// Rebuilds `sg` and custom state from a word prefix (stolen work).
+    fn rebuild(&mut self, g: &Graph, sg: &mut Subgraph, words: &[u64]) {
+        sg.reset();
+        self.reset_state(g);
+        for &w in words {
+            self.extend(g, sg, w);
+        }
+    }
+
+    /// A fresh clone for another core (shared immutable state may be
+    /// reference-counted).
+    fn clone_boxed(&self) -> Box<dyn SubgraphEnumerator>;
+}
+
+impl Clone for Box<dyn SubgraphEnumerator> {
+    fn clone(&self) -> Self {
+        self.clone_boxed()
+    }
+}
+
+/// Vertex-induced extension (Fig. 1): add a neighbor vertex plus all its
+/// edges into the subgraph, filtered by the canonicality rule.
+#[derive(Debug, Default, Clone)]
+pub struct VertexInducedEnumerator {
+    scratch: Vec<u32>,
+}
+
+impl VertexInducedEnumerator {
+    /// Creates the enumerator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SubgraphEnumerator for VertexInducedEnumerator {
+    fn compute_extensions(&mut self, g: &Graph, sg: &Subgraph, out: &mut Vec<u64>) -> u64 {
+        out.clear();
+        if sg.num_vertices() == 0 {
+            out.extend(0..g.num_vertices() as u64);
+            return g.num_vertices() as u64;
+        }
+        // Gather neighbor candidates of the prefix, dedup, filter.
+        self.scratch.clear();
+        for &v in sg.vertices() {
+            for &u in g.neighbors(VertexId(v)) {
+                if !sg.has_vertex(u) {
+                    self.scratch.push(u);
+                }
+            }
+        }
+        self.scratch.sort_unstable();
+        self.scratch.dedup();
+        let tests = self.scratch.len() as u64;
+        for &u in &self.scratch {
+            if canonical_vertex_extension(g, sg.vertices(), u) {
+                out.push(u as u64);
+            }
+        }
+        tests
+    }
+
+    fn extend(&mut self, g: &Graph, sg: &mut Subgraph, word: u64) {
+        sg.push_vertex_induced(g, word as u32);
+    }
+
+    fn retract(&mut self, _g: &Graph, sg: &mut Subgraph) {
+        sg.pop_vertex_induced();
+    }
+
+    fn clone_boxed(&self) -> Box<dyn SubgraphEnumerator> {
+        Box::new(VertexInducedEnumerator::new())
+    }
+}
+
+/// Edge-induced extension (Fig. 1): add an incident edge, filtered by the
+/// canonicality rule over edge ids.
+#[derive(Debug, Default, Clone)]
+pub struct EdgeInducedEnumerator {
+    scratch: Vec<u32>,
+}
+
+impl EdgeInducedEnumerator {
+    /// Creates the enumerator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SubgraphEnumerator for EdgeInducedEnumerator {
+    fn compute_extensions(&mut self, g: &Graph, sg: &Subgraph, out: &mut Vec<u64>) -> u64 {
+        out.clear();
+        if sg.num_edges() == 0 {
+            out.extend(0..g.num_edges() as u64);
+            return g.num_edges() as u64;
+        }
+        self.scratch.clear();
+        for &v in sg.vertices() {
+            for &e in g.incident_edges(VertexId(v)) {
+                if !sg.has_edge(e) {
+                    self.scratch.push(e);
+                }
+            }
+        }
+        self.scratch.sort_unstable();
+        self.scratch.dedup();
+        let tests = self.scratch.len() as u64;
+        for &e in &self.scratch {
+            if canonical_edge_extension(g, sg.edges(), e) {
+                out.push(e as u64);
+            }
+        }
+        tests
+    }
+
+    fn extend(&mut self, g: &Graph, sg: &mut Subgraph, word: u64) {
+        sg.push_edge(g, word as u32);
+    }
+
+    fn retract(&mut self, _g: &Graph, sg: &mut Subgraph) {
+        sg.pop_edge();
+    }
+
+    fn clone_boxed(&self) -> Box<dyn SubgraphEnumerator> {
+        Box::new(EdgeInducedEnumerator::new())
+    }
+}
+
+/// Pattern-induced extension (Fig. 1): grow matches of a reference pattern
+/// position by position along an [`ExplorationPlan`], with Grochow–Kellis
+/// symmetry breaking removing automorphic duplicates.
+#[derive(Clone)]
+pub struct PatternEnumerator {
+    plan: Arc<ExplorationPlan>,
+    /// Whether graph vertex labels must equal pattern vertex labels.
+    match_vertex_labels: bool,
+    /// Whether graph edge labels must equal pattern edge labels.
+    match_edge_labels: bool,
+    edge_scratch: Vec<u32>,
+}
+
+impl PatternEnumerator {
+    /// Builds an enumerator for `plan`, matching labels as configured.
+    pub fn new(plan: Arc<ExplorationPlan>, match_vertex_labels: bool, match_edge_labels: bool) -> Self {
+        PatternEnumerator {
+            plan,
+            match_vertex_labels,
+            match_edge_labels,
+            edge_scratch: Vec::new(),
+        }
+    }
+
+    /// The plan driving this enumerator.
+    pub fn plan(&self) -> &ExplorationPlan {
+        &self.plan
+    }
+
+    /// Whether `cand` satisfies every constraint of position `pos` given
+    /// the current match (`sg.vertices()`, by position).
+    fn candidate_ok(&self, g: &Graph, matched: &[u32], pos: usize, cand: u32) -> bool {
+        if matched.contains(&cand) {
+            return false;
+        }
+        if self.match_vertex_labels
+            && g.vertex_label(VertexId(cand)).raw() != self.plan.label_at(pos)
+        {
+            return false;
+        }
+        for &(epos, elabel) in self.plan.back_edges(pos) {
+            match g.edge_between(VertexId(matched[epos as usize]), VertexId(cand)) {
+                Some(e) => {
+                    if self.match_edge_labels && g.edge_label(e).raw() != elabel {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
+        }
+        for &q in self.plan.must_be_less_than(pos) {
+            if cand >= matched[q as usize] {
+                return false;
+            }
+        }
+        for &q in self.plan.must_be_greater_than(pos) {
+            if cand <= matched[q as usize] {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl SubgraphEnumerator for PatternEnumerator {
+    fn compute_extensions(&mut self, g: &Graph, sg: &Subgraph, out: &mut Vec<u64>) -> u64 {
+        out.clear();
+        let pos = sg.num_vertices();
+        if pos >= self.plan.len() {
+            return 0;
+        }
+        let matched = sg.vertices();
+        if pos == 0 {
+            let mut tests = 0u64;
+            for v in 0..g.num_vertices() as u32 {
+                tests += 1;
+                if !self.match_vertex_labels
+                    || g.vertex_label(VertexId(v)).raw() == self.plan.label_at(0)
+                {
+                    out.push(v as u64);
+                }
+            }
+            return tests;
+        }
+        // Candidates come from the adjacency of the matched back-edge
+        // anchor with the smallest neighborhood.
+        let back = self.plan.back_edges(pos);
+        debug_assert!(!back.is_empty(), "plan orders are connected");
+        let anchor = back
+            .iter()
+            .map(|&(p, _)| matched[p as usize])
+            .min_by_key(|&v| g.degree(VertexId(v)))
+            .unwrap();
+        let mut tests = 0u64;
+        for &cand in g.neighbors(VertexId(anchor)) {
+            tests += 1;
+            if self.candidate_ok(g, matched, pos, cand) {
+                out.push(cand as u64);
+            }
+        }
+        tests
+    }
+
+    fn extend(&mut self, g: &Graph, sg: &mut Subgraph, word: u64) {
+        let pos = sg.num_vertices();
+        let v = word as u32;
+        self.edge_scratch.clear();
+        for &(epos, _) in self.plan.back_edges(pos) {
+            let u = sg.vertices()[epos as usize];
+            let e = g
+                .edge_between(VertexId(u), VertexId(v))
+                .expect("extend called with a non-adjacent candidate");
+            self.edge_scratch.push(e.raw());
+        }
+        let edges = std::mem::take(&mut self.edge_scratch);
+        sg.push_matched(v, &edges);
+        self.edge_scratch = edges;
+    }
+
+    fn retract(&mut self, _g: &Graph, sg: &mut Subgraph) {
+        sg.pop_matched();
+    }
+
+    fn clone_boxed(&self) -> Box<dyn SubgraphEnumerator> {
+        Box::new(PatternEnumerator::new(
+            self.plan.clone(),
+            self.match_vertex_labels,
+            self.match_edge_labels,
+        ))
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use fractal_graph::builder::{graph_from_edges, unlabeled_from_edges};
+    use fractal_pattern::Pattern;
+
+    /// Drives an enumerator to a fixed depth, returning all complete
+    /// subgraph snapshots.
+    pub(crate) fn run_to_depth(
+        g: &Graph,
+        mut enumerator: Box<dyn SubgraphEnumerator>,
+        depth: usize,
+    ) -> Vec<(Vec<u32>, Vec<u32>)> {
+        let mut sg = Subgraph::new(g);
+        let mut out = Vec::new();
+        fn rec(
+            g: &Graph,
+            en: &mut Box<dyn SubgraphEnumerator>,
+            sg: &mut Subgraph,
+            depth: usize,
+            out: &mut Vec<(Vec<u32>, Vec<u32>)>,
+        ) {
+            if depth == 0 {
+                out.push(sg.snapshot());
+                return;
+            }
+            let mut exts = Vec::new();
+            en.compute_extensions(g, sg, &mut exts);
+            for w in exts {
+                en.extend(g, sg, w);
+                rec(g, en, sg, depth - 1, out);
+                en.retract(g, sg);
+            }
+        }
+        rec(g, &mut enumerator, &mut sg, depth, &mut out);
+        out
+    }
+
+    #[test]
+    fn vertex_induced_counts_triangles() {
+        // Triangle + tail: exactly one 3-vertex clique, three connected
+        // 3-vertex subgraphs total ({0,1,2}, {0,2,3}, {1,2,3}).
+        let g = unlabeled_from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let subs = run_to_depth(&g, Box::new(VertexInducedEnumerator::new()), 3);
+        assert_eq!(subs.len(), 3);
+        let cliques = subs.iter().filter(|(_, es)| es.len() == 3).count();
+        assert_eq!(cliques, 1);
+    }
+
+    #[test]
+    fn edge_induced_counts_paths() {
+        // Path 0-1-2: 2 single edges, 1 two-edge subgraph.
+        let g = unlabeled_from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(run_to_depth(&g, Box::new(EdgeInducedEnumerator::new()), 1).len(), 2);
+        assert_eq!(run_to_depth(&g, Box::new(EdgeInducedEnumerator::new()), 2).len(), 1);
+    }
+
+    #[test]
+    fn pattern_enumerator_counts_triangles_once() {
+        let g = unlabeled_from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let plan = Arc::new(ExplorationPlan::new(&Pattern::clique(3)));
+        let subs = run_to_depth(&g, Box::new(PatternEnumerator::new(plan, false, false)), 3);
+        assert_eq!(subs.len(), 1);
+        let (vs, es) = &subs[0];
+        let mut vs = vs.clone();
+        vs.sort_unstable();
+        assert_eq!(vs, vec![0, 1, 2]);
+        assert_eq!(es.len(), 3);
+    }
+
+    #[test]
+    fn pattern_without_symmetry_overcounts_by_group_size() {
+        let g = unlabeled_from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let plan = Arc::new(ExplorationPlan::without_symmetry(&Pattern::clique(3)));
+        let subs = run_to_depth(&g, Box::new(PatternEnumerator::new(plan, false, false)), 3);
+        assert_eq!(subs.len(), 6); // |Aut(K3)| = 6 images of the one triangle
+    }
+
+    #[test]
+    fn pattern_respects_vertex_labels() {
+        // Triangle with labels 0,1,1 — query a 0-1-1 triangle.
+        let g = graph_from_edges(&[0, 1, 1], &[(0, 1, 0), (1, 2, 0), (0, 2, 0)]);
+        let q = Pattern::new(vec![0, 1, 1], vec![(0, 1, 0), (1, 2, 0), (0, 2, 0)]);
+        let plan = Arc::new(ExplorationPlan::new(&q));
+        let subs = run_to_depth(&g, Box::new(PatternEnumerator::new(plan, true, false)), 3);
+        assert_eq!(subs.len(), 1);
+        // A 0-0-0 query matches nothing.
+        let q0 = Pattern::new(vec![0, 0, 0], vec![(0, 1, 0), (1, 2, 0), (0, 2, 0)]);
+        let plan0 = Arc::new(ExplorationPlan::new(&q0));
+        let subs0 = run_to_depth(&g, Box::new(PatternEnumerator::new(plan0, true, false)), 3);
+        assert!(subs0.is_empty());
+    }
+
+    #[test]
+    fn pattern_respects_edge_labels() {
+        let g = graph_from_edges(&[0, 0, 0], &[(0, 1, 5), (1, 2, 5), (0, 2, 9)]);
+        // Path of two label-5 edges: only 0-1-2 matches (centered at 1).
+        let q = Pattern::new(vec![0, 0, 0], vec![(0, 1, 5), (1, 2, 5)]);
+        let plan = Arc::new(ExplorationPlan::new(&q));
+        let subs = run_to_depth(&g, Box::new(PatternEnumerator::new(plan, false, true)), 3);
+        assert_eq!(subs.len(), 1);
+    }
+
+    #[test]
+    fn rebuild_reproduces_state() {
+        let g = unlabeled_from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let mut en: Box<dyn SubgraphEnumerator> = Box::new(VertexInducedEnumerator::new());
+        let mut sg = Subgraph::new(&g);
+        en.extend(&g, &mut sg, 0);
+        en.extend(&g, &mut sg, 1);
+        let snap = sg.snapshot();
+        let mut en2: Box<dyn SubgraphEnumerator> = en.clone_boxed();
+        let mut sg2 = Subgraph::new(&g);
+        en2.rebuild(&g, &mut sg2, &[0, 1]);
+        assert_eq!(sg2.snapshot(), snap);
+    }
+
+    #[test]
+    fn extension_cost_counts_tests() {
+        let g = fractal_graph::gen::complete(4);
+        let mut en = VertexInducedEnumerator::new();
+        let mut sg = Subgraph::new(&g);
+        let mut exts = Vec::new();
+        // Root: n tests.
+        assert_eq!(en.compute_extensions(&g, &sg, &mut exts), 4);
+        sg.push_vertex_induced(&g, 0);
+        // All 3 other vertices are candidates.
+        assert_eq!(en.compute_extensions(&g, &sg, &mut exts), 3);
+        assert_eq!(exts.len(), 3);
+    }
+}

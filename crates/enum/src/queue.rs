@@ -1,0 +1,123 @@
+//! Shared extension queues: the unit of work sharing.
+//!
+//! The paper implements work stealing "directly over the subgraph
+//! enumerator abstraction": the extension list of each enumeration level is
+//! a thread-safe queue; the owning core and thieves consume extensions with
+//! a single atomic fetch-add — the "very short critical section" of §4.2.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed list of extension words with an atomic claim cursor.
+///
+/// Words are `u64`-encoded vertex or edge ids. Claiming is wait-free; once
+/// the cursor passes the end the queue is exhausted for everyone.
+#[derive(Debug)]
+pub struct ExtensionQueue {
+    items: Vec<u64>,
+    cursor: AtomicUsize,
+}
+
+impl ExtensionQueue {
+    /// Wraps a computed extension list.
+    pub fn new(items: Vec<u64>) -> Self {
+        ExtensionQueue {
+            items,
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Claims the next unconsumed word, if any. Safe to call from any
+    /// thread; each word is returned exactly once.
+    #[inline]
+    pub fn claim(&self) -> Option<u64> {
+        // fetch_add may overshoot past the end under contention; that is
+        // harmless (cursor only ever grows, claims past len return None).
+        let idx = self.cursor.fetch_add(1, Ordering::Relaxed);
+        self.items.get(idx).copied()
+    }
+
+    /// Number of words not yet claimed (racy snapshot — may be stale by the
+    /// time the caller acts on it, which stealing tolerates).
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.items.len().saturating_sub(self.cursor.load(Ordering::Relaxed))
+    }
+
+    /// Whether any unclaimed word remains (racy snapshot).
+    #[inline]
+    pub fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Total number of words the queue started with.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue started empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The underlying word list (for diagnostics and serialization).
+    pub fn items(&self) -> &[u64] {
+        &self.items
+    }
+
+    /// Approximate resident bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.items.capacity() * 8 + std::mem::size_of::<AtomicUsize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn claims_each_word_once() {
+        let q = ExtensionQueue::new(vec![10, 20, 30]);
+        assert_eq!(q.remaining(), 3);
+        assert_eq!(q.claim(), Some(10));
+        assert_eq!(q.claim(), Some(20));
+        assert_eq!(q.remaining(), 1);
+        assert!(q.has_remaining());
+        assert_eq!(q.claim(), Some(30));
+        assert_eq!(q.claim(), None);
+        assert_eq!(q.claim(), None);
+        assert_eq!(q.remaining(), 0);
+    }
+
+    #[test]
+    fn concurrent_claims_are_exclusive() {
+        let q = Arc::new(ExtensionQueue::new((0..10_000).collect()));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let q = q.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(w) = q.claim() {
+                    got.push(w);
+                }
+                got
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..10_000).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn empty_queue() {
+        let q = ExtensionQueue::new(Vec::new());
+        assert!(q.is_empty());
+        assert_eq!(q.claim(), None);
+        assert!(!q.has_remaining());
+    }
+}

@@ -1,0 +1,269 @@
+//! Property tests: enumeration strategies vs brute-force oracles on random
+//! graphs.
+
+use fractal_enum::enumerator::{
+    EdgeInducedEnumerator, PatternEnumerator, SubgraphEnumerator, VertexInducedEnumerator,
+};
+use fractal_enum::{KClistEnumerator, Subgraph};
+use fractal_graph::{Graph, GraphBuilder, Label, VertexId};
+use fractal_pattern::{ExplorationPlan, Pattern};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (4usize..16, 0u64..1000).prop_map(|(n, seed)| {
+        // Density high enough to create triangles regularly.
+        fractal_graph::gen::erdos_renyi(n, n * 2, 2, seed)
+    })
+}
+
+/// Drives any enumerator to `depth`, returning all snapshots.
+fn run(g: &Graph, mut en: Box<dyn SubgraphEnumerator>, depth: usize) -> Vec<(Vec<u32>, Vec<u32>)> {
+    fn rec(
+        g: &Graph,
+        en: &mut Box<dyn SubgraphEnumerator>,
+        sg: &mut Subgraph,
+        depth: usize,
+        out: &mut Vec<(Vec<u32>, Vec<u32>)>,
+    ) {
+        if depth == 0 {
+            out.push(sg.snapshot());
+            return;
+        }
+        let mut exts = Vec::new();
+        en.compute_extensions(g, sg, &mut exts);
+        for w in exts {
+            en.extend(g, sg, w);
+            rec(g, en, sg, depth - 1, out);
+            en.retract(g, sg);
+        }
+    }
+    let mut sg = Subgraph::new(g);
+    let mut out = Vec::new();
+    rec(g, &mut en, &mut sg, depth, &mut out);
+    out
+}
+
+/// Brute force: connected induced k-vertex subgraphs as vertex sets.
+fn oracle_connected_vertex_sets(g: &Graph, k: usize) -> BTreeSet<BTreeSet<u32>> {
+    fn connected(g: &Graph, vs: &[u32]) -> bool {
+        let mut seen = vec![vs[0]];
+        let mut stack = vec![vs[0]];
+        while let Some(v) = stack.pop() {
+            for &u in g.neighbors(VertexId(v)) {
+                if vs.contains(&u) && !seen.contains(&u) {
+                    seen.push(u);
+                    stack.push(u);
+                }
+            }
+        }
+        seen.len() == vs.len()
+    }
+    let mut out = BTreeSet::new();
+    let n = g.num_vertices() as u32;
+    let mut subset: Vec<u32> = Vec::new();
+    fn rec(
+        g: &Graph,
+        k: usize,
+        start: u32,
+        n: u32,
+        subset: &mut Vec<u32>,
+        out: &mut BTreeSet<BTreeSet<u32>>,
+        connected: &dyn Fn(&Graph, &[u32]) -> bool,
+    ) {
+        if subset.len() == k {
+            if connected(g, subset) {
+                out.insert(subset.iter().copied().collect());
+            }
+            return;
+        }
+        for v in start..n {
+            subset.push(v);
+            rec(g, k, v + 1, n, subset, out, connected);
+            subset.pop();
+        }
+    }
+    rec(g, k, 0, n, &mut subset, &mut out, &connected);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Vertex-induced enumeration produces every connected induced
+    /// subgraph exactly once.
+    #[test]
+    fn vertex_induced_complete_and_unique(g in arb_graph(), k in 2usize..5) {
+        let subs = run(&g, Box::new(VertexInducedEnumerator::new()), k);
+        let sets: Vec<BTreeSet<u32>> =
+            subs.iter().map(|(vs, _)| vs.iter().copied().collect()).collect();
+        let unique: BTreeSet<BTreeSet<u32>> = sets.iter().cloned().collect();
+        prop_assert_eq!(unique.len(), sets.len(), "duplicate enumeration");
+        prop_assert_eq!(unique, oracle_connected_vertex_sets(&g, k));
+    }
+
+    /// Edge-induced enumeration is unique and every result is connected
+    /// with exactly k edges.
+    #[test]
+    fn edge_induced_unique(g in arb_graph(), k in 1usize..4) {
+        let subs = run(&g, Box::new(EdgeInducedEnumerator::new()), k);
+        let sets: Vec<BTreeSet<u32>> =
+            subs.iter().map(|(_, es)| es.iter().copied().collect()).collect();
+        let unique: BTreeSet<BTreeSet<u32>> = sets.iter().cloned().collect();
+        prop_assert_eq!(unique.len(), sets.len(), "duplicate enumeration");
+        for (_, es) in &subs {
+            prop_assert_eq!(es.len(), k);
+        }
+    }
+
+    /// KClist lists exactly the k-cliques found by filtering the generic
+    /// vertex-induced enumeration.
+    #[test]
+    fn kclist_agrees_with_generic(g in arb_graph(), k in 2usize..5) {
+        let kclist = run(&g, Box::new(KClistEnumerator::new(&g)), k);
+        let generic: Vec<_> = run(&g, Box::new(VertexInducedEnumerator::new()), k)
+            .into_iter()
+            .filter(|(_, es)| es.len() == k * (k - 1) / 2)
+            .collect();
+        prop_assert_eq!(kclist.len(), generic.len());
+        let a: BTreeSet<BTreeSet<u32>> =
+            kclist.iter().map(|(vs, _)| vs.iter().copied().collect()).collect();
+        let b: BTreeSet<BTreeSet<u32>> =
+            generic.iter().map(|(vs, _)| vs.iter().copied().collect()).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Pattern-induced triangle matching agrees with clique filtering, and
+    /// each triangle is matched exactly once.
+    #[test]
+    fn pattern_triangles_agree(g in arb_graph()) {
+        let plan = Arc::new(ExplorationPlan::new(&Pattern::clique(3)));
+        let matches = run(&g, Box::new(PatternEnumerator::new(plan, false, false)), 3);
+        let sets: BTreeSet<BTreeSet<u32>> =
+            matches.iter().map(|(vs, _)| vs.iter().copied().collect()).collect();
+        prop_assert_eq!(sets.len(), matches.len(), "duplicate matches");
+        let cliques: BTreeSet<BTreeSet<u32>> = run(&g, Box::new(VertexInducedEnumerator::new()), 3)
+            .into_iter()
+            .filter(|(_, es)| es.len() == 3)
+            .map(|(vs, _)| vs.into_iter().collect())
+            .collect();
+        prop_assert_eq!(sets, cliques);
+    }
+
+    /// Pattern matching without symmetry breaking overcounts by exactly
+    /// |Aut(P)| per match.
+    #[test]
+    fn symmetry_breaking_factor(g in arb_graph()) {
+        let p = Pattern::clique(3);
+        let with = run(
+            &g,
+            Box::new(PatternEnumerator::new(Arc::new(ExplorationPlan::new(&p)), false, false)),
+            3,
+        )
+        .len();
+        let without = run(
+            &g,
+            Box::new(PatternEnumerator::new(
+                Arc::new(ExplorationPlan::without_symmetry(&p)),
+                false,
+                false,
+            )),
+            3,
+        )
+        .len();
+        prop_assert_eq!(without, with * 6);
+    }
+
+    /// Stolen-prefix rebuild: continuing enumeration from a rebuilt state
+    /// yields the same completions as continuing in place.
+    #[test]
+    fn rebuild_equivalence(g in arb_graph()) {
+        let mut en: Box<dyn SubgraphEnumerator> = Box::new(VertexInducedEnumerator::new());
+        let mut sg = Subgraph::new(&g);
+        let mut exts = Vec::new();
+        en.compute_extensions(&g, &sg, &mut exts);
+        if exts.is_empty() { return Ok(()); }
+        en.extend(&g, &mut sg, exts[exts.len() / 2]);
+        let prefix = sg.vertices().iter().map(|&v| v as u64).collect::<Vec<u64>>();
+
+        // Continue in place.
+        let mut in_place = Vec::new();
+        let mut exts2 = Vec::new();
+        en.compute_extensions(&g, &sg, &mut exts2);
+        for w in exts2 {
+            en.extend(&g, &mut sg, w);
+            in_place.push(sg.snapshot());
+            en.retract(&g, &mut sg);
+        }
+
+        // Rebuild on a fresh enumerator (thief side).
+        let mut en2: Box<dyn SubgraphEnumerator> = Box::new(VertexInducedEnumerator::new());
+        let mut sg2 = Subgraph::new(&g);
+        en2.rebuild(&g, &mut sg2, &prefix);
+        let mut stolen = Vec::new();
+        let mut exts3 = Vec::new();
+        en2.compute_extensions(&g, &sg2, &mut exts3);
+        for w in exts3 {
+            en2.extend(&g, &mut sg2, w);
+            stolen.push(sg2.snapshot());
+            en2.retract(&g, &mut sg2);
+        }
+        prop_assert_eq!(in_place, stolen);
+    }
+
+    /// Push/pop round trips leave the subgraph in its prior state for all
+    /// three growth modes.
+    #[test]
+    fn push_pop_roundtrip(g in arb_graph()) {
+        let mut sg = Subgraph::new(&g);
+        if g.num_edges() == 0 { return Ok(()); }
+        sg.push_edge(&g, 0);
+        let snap = sg.snapshot();
+        if g.num_edges() > 1 {
+            sg.push_edge(&g, 1);
+            sg.pop_edge();
+        }
+        prop_assert_eq!(sg.snapshot(), snap);
+    }
+}
+
+/// Labeled pattern matching against an oracle that checks all injective
+/// assignments.
+#[test]
+fn labeled_pattern_matching_oracle() {
+    // Build a labeled graph and a labeled path query; compare against a
+    // brute-force matcher.
+    let mut b = GraphBuilder::new();
+    for l in [0u32, 1, 0, 1, 0] {
+        b.add_vertex(Label(l));
+    }
+    for &(u, v, l) in &[(0u32, 1u32, 0u32), (1, 2, 1), (2, 3, 0), (3, 4, 1), (0, 4, 0), (1, 3, 0)] {
+        b.add_edge(VertexId(u), VertexId(v), Label(l)).unwrap();
+    }
+    let g = b.build();
+    // Query: path 0 -1- 1 with vertex labels [0, 1] and edge label 0.
+    let q = Pattern::new(vec![0, 1], vec![(0, 1, 0)]);
+    let plan = Arc::new(ExplorationPlan::new(&q));
+    let matches = run(&g, Box::new(PatternEnumerator::new(plan, true, true)), 2);
+    // Oracle: ordered pairs (a, b) with labels (0, 1), adjacent with edge
+    // label 0 — symmetry breaking on an asymmetric (labeled) pattern keeps
+    // all distinct assignments, but pattern vertices are distinguishable so
+    // each edge maps once.
+    let mut expect = 0;
+    for a in g.vertices() {
+        for bb in g.vertices() {
+            if a == bb {
+                continue;
+            }
+            if g.vertex_label(a) == Label(0) && g.vertex_label(bb) == Label(1) {
+                if let Some(e) = g.edge_between(a, bb) {
+                    if g.edge_label(e) == Label(0) {
+                        expect += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(matches.len(), expect);
+}

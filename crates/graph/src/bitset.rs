@@ -1,0 +1,152 @@
+//! A plain fixed-capacity bitset over `u64` words.
+//!
+//! Used for O(1) membership tests in the enumeration hot path (subgraph
+//! membership) and for the vertex/edge masks of graph reduction.
+
+/// Fixed-capacity bitset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitset {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitset {
+    /// All-zeros bitset with capacity for `len` bits.
+    pub fn new(len: usize) -> Self {
+        Bitset {
+            words: vec![0u64; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// All-ones bitset with capacity for `len` bits.
+    pub fn full(len: usize) -> Self {
+        let mut s = Self::new(len);
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        if len % 64 != 0 {
+            if let Some(last) = s.words.last_mut() {
+                *last = (1u64 << (len % 64)) - 1;
+            }
+        }
+        s
+    }
+
+    /// Bit capacity.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the capacity is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i >> 6] |= 1u64 << (i & 63);
+    }
+
+    /// Clears bit `i`.
+    #[inline(always)]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i >> 6] &= !(1u64 << (i & 63));
+    }
+
+    /// Tests bit `i`.
+    #[inline(always)]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i >> 6] >> (i & 63)) & 1 == 1
+    }
+
+    /// Clears all bits (keeps capacity).
+    pub fn clear_all(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place union with `other` (capacities must match).
+    pub fn union_with(&mut self, other: &Bitset) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// Iterator over the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Resident bytes of the word array.
+    pub fn resident_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = Bitset::new(130);
+        assert!(!b.get(0));
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(129));
+        assert_eq!(b.count(), 4);
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count(), 3);
+        b.clear_all();
+        assert_eq!(b.count(), 0);
+    }
+
+    #[test]
+    fn full_respects_tail() {
+        let b = Bitset::full(70);
+        assert_eq!(b.count(), 70);
+        assert!(b.get(69));
+        let b64 = Bitset::full(64);
+        assert_eq!(b64.count(), 64);
+    }
+
+    #[test]
+    fn union_and_iter() {
+        let mut a = Bitset::new(100);
+        let mut b = Bitset::new(100);
+        a.set(1);
+        a.set(70);
+        b.set(2);
+        b.set(70);
+        a.union_with(&b);
+        let ones: Vec<usize> = a.iter_ones().collect();
+        assert_eq!(ones, vec![1, 2, 70]);
+    }
+}

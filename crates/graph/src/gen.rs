@@ -1,0 +1,404 @@
+//! Deterministic synthetic graph generators.
+//!
+//! The paper evaluates on Mico, Patents, Youtube, Wikidata and Orkut
+//! (Table 1 / Appendix C). Those datasets are not redistributable here, so
+//! each gets a *shape-matched* synthetic stand-in (see DESIGN.md,
+//! Substitutions): a preferential-attachment core reproduces the scale-free
+//! degree skew that drives GPM load imbalance, average degree and label
+//! cardinality are scaled from the real graph, and the Wikidata stand-in
+//! additionally carries zipfian keyword sets on vertices and edges.
+//!
+//! All generators are deterministic given their seed.
+
+use crate::{Graph, GraphBuilder, Label, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Zipf-like sampler over `0..n` with exponent `s`, backed by a precomputed
+/// CDF (rand 0.8 has no zipf distribution in its core crate).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `s` (s = 0 is uniform).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Erdős–Rényi G(n, m): `m` distinct undirected edges chosen uniformly,
+/// with zipf(1.0) labels over `num_labels`.
+pub fn erdos_renyi(n: usize, m: usize, num_labels: u32, seed: u64) -> Graph {
+    assert!(n >= 2, "need at least two vertices");
+    let max_edges = n * (n - 1) / 2;
+    let m = m.min(max_edges);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let label_dist = Zipf::new(num_labels.max(1) as usize, 1.0);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for _ in 0..n {
+        let l = label_dist.sample(&mut rng) as u32;
+        b.add_vertex(Label(l));
+    }
+    let mut added = 0usize;
+    while added < m {
+        let u = rng.gen_range(0..n) as u32;
+        let v = rng.gen_range(0..n) as u32;
+        if u == v {
+            continue;
+        }
+        if b.add_edge_dedup(VertexId(u), VertexId(v), Label(0)).is_some() {
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new vertex to `m_attach` existing vertices chosen
+/// proportionally to degree. Produces the scale-free skew that makes GPM
+/// load balancing hard (§4.2). Vertex labels are zipf(1.0) over
+/// `num_labels`; edge labels are zipf(1.2) over `num_edge_labels`.
+pub fn barabasi_albert(
+    n: usize,
+    m_attach: usize,
+    num_labels: u32,
+    num_edge_labels: u32,
+    seed: u64,
+) -> Graph {
+    let m_attach = m_attach.max(1);
+    assert!(n > m_attach, "need more vertices than the attachment count");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vlabel_dist = Zipf::new(num_labels.max(1) as usize, 1.0);
+    let elabel_dist = Zipf::new(num_edge_labels.max(1) as usize, 1.2);
+    let mut b = GraphBuilder::with_capacity(n, n * m_attach);
+    for _ in 0..n {
+        let l = vlabel_dist.sample(&mut rng) as u32;
+        b.add_vertex(Label(l));
+    }
+    // Endpoint multiset for degree-proportional sampling.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m_attach);
+    // Seed clique over the first m_attach + 1 vertices.
+    let seed_n = m_attach + 1;
+    for u in 0..seed_n as u32 {
+        for v in (u + 1)..seed_n as u32 {
+            let l = elabel_dist.sample(&mut rng) as u32;
+            if b.add_edge_dedup(VertexId(u), VertexId(v), Label(l)).is_some() {
+                endpoints.push(u);
+                endpoints.push(v);
+            }
+        }
+    }
+    for v in seed_n..n {
+        let mut attached = 0usize;
+        let mut guard = 0usize;
+        while attached < m_attach && guard < 50 * m_attach {
+            guard += 1;
+            let target = endpoints[rng.gen_range(0..endpoints.len())];
+            if target as usize == v {
+                continue;
+            }
+            let l = elabel_dist.sample(&mut rng) as u32;
+            if b
+                .add_edge_dedup(VertexId(v as u32), VertexId(target), Label(l))
+                .is_some()
+            {
+                endpoints.push(v as u32);
+                endpoints.push(target);
+                attached += 1;
+            }
+        }
+    }
+    b.build()
+}
+
+/// Mico-like graph: co-authorship shape — dense scale-free core, average
+/// degree ≈ 21 in the original (100K vertices, 1.08M edges, 29 labels).
+/// `n` scales the instance; labels default to 29.
+pub fn mico_like(n: usize, num_labels: u32, seed: u64) -> Graph {
+    barabasi_albert(n.max(16), 10, num_labels.max(1), 1, seed)
+}
+
+/// Patents-like graph: citation shape — sparser (avg degree ≈ 10), 37
+/// labels in the original.
+pub fn patents_like(n: usize, num_labels: u32, seed: u64) -> Graph {
+    barabasi_albert(n.max(16), 5, num_labels.max(1), 1, seed)
+}
+
+/// Youtube-like graph: related-videos shape — avg degree ≈ 19, 80 labels
+/// in the original.
+pub fn youtube_like(n: usize, num_labels: u32, seed: u64) -> Graph {
+    barabasi_albert(n.max(16), 9, num_labels.max(1), 1, seed)
+}
+
+/// Orkut-like graph: friendship shape — dense (avg degree ≈ 76 in the
+/// original); used by the triangle-counting experiment (Appendix C). The
+/// attachment count is capped to keep harness runs quick.
+pub fn orkut_like(n: usize, seed: u64) -> Graph {
+    barabasi_albert(n.max(32), 18, 1, 1, seed)
+}
+
+/// Wikidata-like attributed knowledge graph: very sparse (avg degree ≈ 2.4),
+/// with zipfian keyword sets on vertices and edges drawn from a vocabulary
+/// of `vocab` words named `kw0..`. Edge labels model predicates.
+pub fn wikidata_like(n: usize, vocab: usize, seed: u64) -> Graph {
+    let n = n.max(32);
+    let vocab = vocab.max(8);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kw_dist = Zipf::new(vocab, 1.05);
+    let pred_dist = Zipf::new(64, 1.2);
+    // Sparse preferential-attachment skeleton, ~1.2 edges per vertex.
+    let mut b = GraphBuilder::with_capacity(n, (n as f64 * 1.2) as usize);
+    for _ in 0..n {
+        b.add_vertex(Label(0));
+    }
+    let kws: Vec<crate::KeywordId> = (0..vocab).map(|i| b.intern_keyword(&format!("kw{i}"))).collect();
+    let mut endpoints: Vec<u32> = vec![0, 1];
+    b.add_edge(VertexId(0), VertexId(1), Label(0)).unwrap();
+    let mut edges: Vec<crate::EdgeId> = Vec::new();
+    for v in 2..n as u32 {
+        // One guaranteed attachment keeps the graph connected-ish; a second
+        // with probability 0.2 matches the 1.2 average.
+        let attach = 1 + usize::from(rng.gen_bool(0.2));
+        for _ in 0..attach {
+            let target = endpoints[rng.gen_range(0..endpoints.len())];
+            if target == v {
+                continue;
+            }
+            let l = pred_dist.sample(&mut rng) as u32;
+            if let Some(e) = b.add_edge_dedup(VertexId(v), VertexId(target), Label(l)) {
+                endpoints.push(v);
+                endpoints.push(target);
+                edges.push(e);
+            }
+        }
+    }
+    // Keyword sets: 1–3 per vertex, 1–2 per edge, zipf-ranked vocabulary.
+    for v in 0..n {
+        let cnt = rng.gen_range(1..=3);
+        for _ in 0..cnt {
+            let k = kws[kw_dist.sample(&mut rng)];
+            b.add_vertex_keyword(VertexId(v as u32), k);
+        }
+    }
+    for &e in &edges {
+        let cnt = rng.gen_range(1..=2);
+        for _ in 0..cnt {
+            let k = kws[kw_dist.sample(&mut rng)];
+            b.add_edge_keyword(e, k);
+        }
+    }
+    b.build()
+}
+
+/// R-MAT recursive-matrix generator (Chakrabarti et al.): each edge lands
+/// in a quadrant with probabilities `(a, b, c, d)`, recursively. The
+/// standard skew `(0.57, 0.19, 0.19, 0.05)` yields power-law degree
+/// distributions with community structure — a common benchmark shape for
+/// graph systems. Self-loops and duplicates are re-drawn.
+pub fn rmat(scale_exp: u32, m: usize, num_labels: u32, seed: u64) -> Graph {
+    let n = 1usize << scale_exp;
+    let (a, b, c) = (0.57, 0.19, 0.19);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let label_dist = Zipf::new(num_labels.max(1) as usize, 1.0);
+    let mut builder = GraphBuilder::with_capacity(n, m);
+    for _ in 0..n {
+        let l = label_dist.sample(&mut rng) as u32;
+        builder.add_vertex(Label(l));
+    }
+    let mut added = 0usize;
+    let mut guard = 0usize;
+    while added < m && guard < 100 * m {
+        guard += 1;
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale_exp {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        if u == v {
+            continue;
+        }
+        if builder
+            .add_edge_dedup(VertexId(u as u32), VertexId(v as u32), Label(0))
+            .is_some()
+        {
+            added += 1;
+        }
+    }
+    builder.build()
+}
+
+/// Complete graph on `k` vertices (labels zero).
+pub fn complete(k: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(k, k * (k - 1) / 2);
+    for _ in 0..k {
+        b.add_vertex(Label(0));
+    }
+    for u in 0..k as u32 {
+        for v in (u + 1)..k as u32 {
+            b.add_edge(VertexId(u), VertexId(v), Label(0)).unwrap();
+        }
+    }
+    b.build()
+}
+
+/// Path graph on `k` vertices.
+pub fn path(k: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(k, k.saturating_sub(1));
+    for _ in 0..k {
+        b.add_vertex(Label(0));
+    }
+    for v in 1..k as u32 {
+        b.add_edge(VertexId(v - 1), VertexId(v), Label(0)).unwrap();
+    }
+    b.build()
+}
+
+/// Cycle graph on `k ≥ 3` vertices.
+pub fn cycle(k: usize) -> Graph {
+    assert!(k >= 3, "a cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::with_capacity(k, k);
+    for _ in 0..k {
+        b.add_vertex(Label(0));
+    }
+    for v in 0..k as u32 {
+        b.add_edge(VertexId(v), VertexId((v + 1) % k as u32), Label(0))
+            .unwrap();
+    }
+    b.build()
+}
+
+/// Star graph: one center adjacent to `k` leaves.
+pub fn star(k: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(k + 1, k);
+    for _ in 0..=k {
+        b.add_vertex(Label(0));
+    }
+    for v in 1..=k as u32 {
+        b.add_edge(VertexId(0), VertexId(v), Label(0)).unwrap();
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[9] * 3, "rank 0 should dominate: {counts:?}");
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn er_respects_parameters() {
+        let g = erdos_renyi(50, 100, 5, 42);
+        g.validate().unwrap();
+        assert_eq!(g.num_vertices(), 50);
+        assert_eq!(g.num_edges(), 100);
+        assert!(g.num_vertex_labels() <= 5);
+    }
+
+    #[test]
+    fn er_deterministic() {
+        let g1 = erdos_renyi(30, 60, 3, 7);
+        let g2 = erdos_renyi(30, 60, 3, 7);
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        for v in g1.vertices() {
+            assert_eq!(g1.neighbors(v), g2.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn ba_is_skewed() {
+        let g = barabasi_albert(500, 4, 8, 3, 9);
+        g.validate().unwrap();
+        assert_eq!(g.num_vertices(), 500);
+        // Scale-free: the hub degree should far exceed the average.
+        let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(g.max_degree() as f64 > 4.0 * avg, "max {} avg {avg}", g.max_degree());
+    }
+
+    #[test]
+    fn dataset_stand_ins_build() {
+        for g in [
+            mico_like(300, 29, 1),
+            patents_like(300, 37, 2),
+            youtube_like(300, 80, 3),
+            orkut_like(300, 4),
+        ] {
+            g.validate().unwrap();
+            assert_eq!(g.num_vertices(), 300);
+            assert!(g.num_edges() > 300);
+        }
+    }
+
+    #[test]
+    fn wikidata_like_has_keywords() {
+        let g = wikidata_like(400, 50, 5);
+        g.validate().unwrap();
+        assert!(g.keyword_table().is_some());
+        assert!(g.num_edges() < 2 * g.num_vertices(), "should be sparse");
+        let with_kw = g.vertices().filter(|&v| !g.vertex_keywords(v).is_empty()).count();
+        assert_eq!(with_kw, g.num_vertices());
+        let edges_with_kw = g.edges().filter(|&e| !g.edge_keywords(e).is_empty()).count();
+        assert!(edges_with_kw > g.num_edges() / 2);
+    }
+
+    #[test]
+    fn rmat_shape() {
+        let g = rmat(9, 1500, 4, 11);
+        g.validate().unwrap();
+        assert_eq!(g.num_vertices(), 512);
+        assert!(g.num_edges() > 1200, "rmat produced too few edges");
+        // Skewed: hub degree well above average.
+        let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(g.max_degree() as f64 > 3.0 * avg);
+        // Deterministic.
+        let g2 = rmat(9, 1500, 4, 11);
+        assert_eq!(g.num_edges(), g2.num_edges());
+    }
+
+    #[test]
+    fn small_shapes() {
+        assert_eq!(complete(5).num_edges(), 10);
+        assert_eq!(path(4).num_edges(), 3);
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert_eq!(star(6).num_edges(), 6);
+        assert_eq!(star(6).degree(VertexId(0)), 6);
+    }
+}

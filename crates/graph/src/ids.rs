@@ -1,0 +1,90 @@
+//! Strongly-typed identifiers for graph elements.
+//!
+//! All ids are thin `u32` newtypes: dense, `Copy`, and cheap to pack into the
+//! flat arrays the enumeration hot path works on. The `raw`/`index` accessors
+//! keep conversions explicit at API boundaries while the hot loops operate on
+//! `u32` slices directly.
+
+/// Identifier of a vertex in a [`crate::Graph`]. Dense in `0..num_vertices`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VertexId(pub u32);
+
+/// Identifier of an undirected edge in a [`crate::Graph`]. Dense in
+/// `0..num_edges`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub u32);
+
+/// Primary label of a vertex or edge (the paper's `L(G)` when each element
+/// carries a single label; keyword sets extend this to the power-set map).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(pub u32);
+
+/// Interned keyword identifier, resolved through a
+/// [`crate::keywords::KeywordTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KeywordId(pub u32);
+
+macro_rules! id_impls {
+    ($t:ident) => {
+        impl $t {
+            /// The raw `u32` value.
+            #[inline(always)]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// The value as a `usize` array index.
+            #[inline(always)]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds the id from a `usize` index (debug-asserted to fit).
+            #[inline(always)]
+            pub fn from_index(i: usize) -> Self {
+                debug_assert!(i <= u32::MAX as usize);
+                $t(i as u32)
+            }
+        }
+
+        impl From<u32> for $t {
+            #[inline(always)]
+            fn from(v: u32) -> Self {
+                $t(v)
+            }
+        }
+
+        impl std::fmt::Display for $t {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+id_impls!(VertexId);
+id_impls!(EdgeId);
+id_impls!(Label);
+id_impls!(KeywordId);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_ordering() {
+        let a = VertexId::from_index(3);
+        let b = VertexId(7);
+        assert!(a < b);
+        assert_eq!(a.index(), 3);
+        assert_eq!(b.raw(), 7);
+        assert_eq!(VertexId::from(9).to_string(), "9");
+    }
+
+    #[test]
+    fn ids_are_distinct_types() {
+        // Purely a compile-time property; keep a runtime witness for size.
+        assert_eq!(std::mem::size_of::<EdgeId>(), 4);
+        assert_eq!(std::mem::size_of::<Option<Label>>(), 8);
+    }
+}

@@ -1,0 +1,263 @@
+//! Graph file formats.
+//!
+//! Two formats are supported so that the real evaluation datasets (Mico,
+//! Patents, Youtube, Wikidata — Table 1) can be dropped in when available:
+//!
+//! - **Adjacency-list format** (the format used by Arabesque and the
+//!   original Fractal release): one line per vertex,
+//!   `vertex_id vertex_label neighbor1 [neighbor2 ...]`, with every
+//!   undirected edge appearing in both endpoint lines. A labeled variant
+//!   writes `neighbor,edge_label` pairs.
+//! - **Edge-list format**: header `n m`, then one `u v [label]` line per
+//!   edge; vertex labels optionally given by `v <vid> <label>` lines.
+
+use crate::{Graph, GraphBuilder, GraphError, Label, VertexId};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Loads a graph in the Arabesque adjacency-list format from `path`.
+pub fn load_adjacency_list(path: impl AsRef<Path>) -> Result<Graph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_adjacency_list(BufReader::new(file))
+}
+
+/// Reads the adjacency-list format from any reader.
+///
+/// Lines are `vid vlabel nbr1 [nbr2 ...]`; a neighbor token may be
+/// `nbr,elabel` to carry an edge label. Vertex ids must be dense `0..n` and
+/// lines must appear in id order (the format used by Arabesque's datasets).
+pub fn read_adjacency_list<R: Read>(reader: BufReader<R>) -> Result<Graph, GraphError> {
+    struct Pending {
+        u: u32,
+        v: u32,
+        label: u32,
+    }
+    let mut labels: Vec<u32> = Vec::new();
+    let mut pending: Vec<Pending> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        let vid: u32 = tok
+            .next()
+            .unwrap()
+            .parse()
+            .map_err(|_| GraphError::Parse(lineno + 1, "bad vertex id".into()))?;
+        if vid as usize != labels.len() {
+            return Err(GraphError::Parse(
+                lineno + 1,
+                format!("vertex ids must be dense and ordered, got {vid}"),
+            ));
+        }
+        let vlabel: u32 = tok
+            .next()
+            .ok_or_else(|| GraphError::Parse(lineno + 1, "missing vertex label".into()))?
+            .parse()
+            .map_err(|_| GraphError::Parse(lineno + 1, "bad vertex label".into()))?;
+        labels.push(vlabel);
+        for t in tok {
+            let (nbr, elabel) = match t.split_once(',') {
+                Some((n, l)) => (
+                    n.parse()
+                        .map_err(|_| GraphError::Parse(lineno + 1, "bad neighbor id".into()))?,
+                    l.parse()
+                        .map_err(|_| GraphError::Parse(lineno + 1, "bad edge label".into()))?,
+                ),
+                None => (
+                    t.parse()
+                        .map_err(|_| GraphError::Parse(lineno + 1, "bad neighbor id".into()))?,
+                    0u32,
+                ),
+            };
+            // Each undirected edge appears twice; keep the (u < v) copy.
+            if vid < nbr {
+                pending.push(Pending { u: vid, v: nbr, label: elabel });
+            }
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(labels.len(), pending.len());
+    for &l in &labels {
+        b.add_vertex(Label(l));
+    }
+    for p in pending {
+        b.add_edge(VertexId(p.u), VertexId(p.v), Label(p.label))?;
+    }
+    Ok(b.build())
+}
+
+/// Writes `g` in the adjacency-list format (with `nbr,elabel` tokens when
+/// the graph has non-zero edge labels).
+pub fn write_adjacency_list(g: &Graph, mut w: impl Write) -> std::io::Result<()> {
+    let labeled_edges = g.num_edge_labels() > 1;
+    for v in g.vertices() {
+        write!(w, "{} {}", v.raw(), g.vertex_label(v).raw())?;
+        for (&nbr, &e) in g.neighbors(v).iter().zip(g.incident_edges(v)) {
+            if labeled_edges {
+                write!(w, " {},{}", nbr, g.edge_labels[e as usize])?;
+            } else {
+                write!(w, " {nbr}")?;
+            }
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Saves `g` to `path` in the adjacency-list format.
+pub fn save_adjacency_list(g: &Graph, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_adjacency_list(g, BufWriter::new(file))
+}
+
+/// Loads an edge-list file: header `n m`, then `m` lines `u v [elabel]`,
+/// optionally preceded by `v <vid> <vlabel>` vertex-label lines.
+pub fn load_edge_list(path: impl AsRef<Path>) -> Result<Graph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(BufReader::new(file))
+}
+
+/// Reads the edge-list format from any reader.
+pub fn read_edge_list<R: Read>(reader: BufReader<R>) -> Result<Graph, GraphError> {
+    let mut lines = reader.lines().enumerate();
+    let (n, _m) = loop {
+        match lines.next() {
+            Some((lineno, line)) => {
+                let line = line?;
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                let mut tok = line.split_whitespace();
+                let n: usize = tok
+                    .next()
+                    .unwrap()
+                    .parse()
+                    .map_err(|_| GraphError::Parse(lineno + 1, "bad vertex count".into()))?;
+                let m: usize = tok
+                    .next()
+                    .ok_or_else(|| GraphError::Parse(lineno + 1, "missing edge count".into()))?
+                    .parse()
+                    .map_err(|_| GraphError::Parse(lineno + 1, "bad edge count".into()))?;
+                break (n, m);
+            }
+            None => return Err(GraphError::Parse(0, "empty edge-list file".into())),
+        }
+    };
+    let mut vlabels = vec![0u32; n];
+    let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+    for (lineno, line) in lines {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        let first = tok.next().unwrap();
+        if first == "v" {
+            let vid: usize = tok
+                .next()
+                .ok_or_else(|| GraphError::Parse(lineno + 1, "missing vertex id".into()))?
+                .parse()
+                .map_err(|_| GraphError::Parse(lineno + 1, "bad vertex id".into()))?;
+            let l: u32 = tok
+                .next()
+                .ok_or_else(|| GraphError::Parse(lineno + 1, "missing vertex label".into()))?
+                .parse()
+                .map_err(|_| GraphError::Parse(lineno + 1, "bad vertex label".into()))?;
+            if vid >= n {
+                return Err(GraphError::Parse(lineno + 1, "vertex id out of range".into()));
+            }
+            vlabels[vid] = l;
+        } else {
+            let u: u32 = first
+                .parse()
+                .map_err(|_| GraphError::Parse(lineno + 1, "bad edge endpoint".into()))?;
+            let v: u32 = tok
+                .next()
+                .ok_or_else(|| GraphError::Parse(lineno + 1, "missing edge endpoint".into()))?
+                .parse()
+                .map_err(|_| GraphError::Parse(lineno + 1, "bad edge endpoint".into()))?;
+            let l: u32 = match tok.next() {
+                Some(t) => t
+                    .parse()
+                    .map_err(|_| GraphError::Parse(lineno + 1, "bad edge label".into()))?,
+                None => 0,
+            };
+            edges.push((u, v, l));
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for &l in &vlabels {
+        b.add_vertex(Label(l));
+    }
+    for (u, v, l) in edges {
+        b.add_edge(VertexId(u), VertexId(v), Label(l))?;
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use std::io::BufReader;
+
+    #[test]
+    fn adjacency_roundtrip_unlabeled_edges() {
+        let g = graph_from_edges(&[1, 2, 1, 0], &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (0, 3, 0)]);
+        let mut buf = Vec::new();
+        write_adjacency_list(&g, &mut buf).unwrap();
+        let g2 = read_adjacency_list(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(g2.num_vertices(), 4);
+        assert_eq!(g2.num_edges(), 4);
+        for v in g.vertices() {
+            assert_eq!(g.neighbors(v), g2.neighbors(v));
+            assert_eq!(g.vertex_label(v), g2.vertex_label(v));
+        }
+    }
+
+    #[test]
+    fn adjacency_roundtrip_labeled_edges() {
+        let g = graph_from_edges(&[1, 2, 1], &[(0, 1, 5), (1, 2, 9)]);
+        let mut buf = Vec::new();
+        write_adjacency_list(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains("1,5"));
+        let g2 = read_adjacency_list(BufReader::new(buf.as_slice())).unwrap();
+        let e = g2.edge_between(VertexId(1), VertexId(2)).unwrap();
+        assert_eq!(g2.edge_label(e), Label(9));
+    }
+
+    #[test]
+    fn adjacency_rejects_sparse_ids() {
+        let input = b"0 1 1\n2 1 0\n" as &[u8];
+        assert!(read_adjacency_list(BufReader::new(input)).is_err());
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let input = b"# comment\n4 3\nv 0 7\nv 3 2\n0 1 4\n1 2\n2 3 1\n" as &[u8];
+        let g = read_edge_list(BufReader::new(input)).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.vertex_label(VertexId(0)), Label(7));
+        assert_eq!(g.vertex_label(VertexId(1)), Label(0));
+        let e = g.edge_between(VertexId(0), VertexId(1)).unwrap();
+        assert_eq!(g.edge_label(e), Label(4));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = graph_from_edges(&[0, 0, 0], &[(0, 1, 0), (1, 2, 0)]);
+        let dir = std::env::temp_dir().join("fractal_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.adj");
+        save_adjacency_list(&g, &path).unwrap();
+        let g2 = load_adjacency_list(&path).unwrap();
+        assert_eq!(g2.num_edges(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,195 @@
+//! Keyword (attribute) support for attributed graphs.
+//!
+//! The keyword-search workload (§2.2, Listing 4) operates on graphs whose
+//! vertices and edges carry *sets* of keywords — the paper's label map
+//! `f_L : V(G) ∪ E(G) → P(L(G))`. Keywords are interned into dense
+//! [`KeywordId`]s through a [`KeywordTable`]; per-element sets are stored in
+//! a flattened CSR-like [`KeywordSets`] with each set sorted for O(log s)
+//! membership tests.
+
+use crate::KeywordId;
+use std::collections::HashMap;
+
+/// Bidirectional dictionary interning keyword strings to dense ids.
+#[derive(Debug, Clone, Default)]
+pub struct KeywordTable {
+    by_name: HashMap<String, KeywordId>,
+    names: Vec<String>,
+}
+
+impl KeywordTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, name: &str) -> KeywordId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = KeywordId::from_index(self.names.len());
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned keyword.
+    pub fn get(&self, name: &str) -> Option<KeywordId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The string for `id`.
+    pub fn name(&self, id: KeywordId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct keywords.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Flattened storage of one sorted keyword set per element (vertex or edge).
+#[derive(Debug, Clone)]
+pub struct KeywordSets {
+    offsets: Vec<u32>,
+    flat: Vec<KeywordId>,
+}
+
+impl KeywordSets {
+    /// Builds from per-element sets; each inner set is sorted + deduped.
+    pub fn from_sets(mut sets: Vec<Vec<KeywordId>>) -> Self {
+        let mut offsets = Vec::with_capacity(sets.len() + 1);
+        let mut flat = Vec::new();
+        offsets.push(0u32);
+        for set in &mut sets {
+            set.sort_unstable();
+            set.dedup();
+            flat.extend_from_slice(set);
+            debug_assert!(flat.len() <= u32::MAX as usize);
+            offsets.push(flat.len() as u32);
+        }
+        KeywordSets { offsets, flat }
+    }
+
+    /// The sorted keyword set of element `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &[KeywordId] {
+        &self.flat[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Number of elements covered.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether element `i` carries keyword `k`.
+    #[inline]
+    pub fn contains(&self, i: usize, k: KeywordId) -> bool {
+        self.get(i).binary_search(&k).is_ok()
+    }
+
+    /// Bytes resident in the flattened arrays.
+    pub fn resident_bytes(&self) -> usize {
+        self.offsets.len() * 4 + self.flat.len() * 4
+    }
+}
+
+/// Inverted index: keyword → sorted list of element ids (edges, typically)
+/// that carry it. This is the index the keyword-search application of
+/// Listing 4 takes as input.
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    postings: Vec<Vec<u32>>,
+}
+
+impl InvertedIndex {
+    /// Builds an inverted index over `num_keywords` keywords from the given
+    /// per-element keyword sets.
+    pub fn build(num_keywords: usize, sets: &KeywordSets) -> Self {
+        let mut postings = vec![Vec::new(); num_keywords];
+        for i in 0..sets.len() {
+            for &k in sets.get(i) {
+                postings[k.index()].push(i as u32);
+            }
+        }
+        InvertedIndex { postings }
+    }
+
+    /// Sorted element ids carrying keyword `k`.
+    #[inline]
+    pub fn postings(&self, k: KeywordId) -> &[u32] {
+        &self.postings[k.index()]
+    }
+
+    /// Whether element `doc` carries keyword `k` (the Listing 4
+    /// `containsDoc` check).
+    #[inline]
+    pub fn contains_doc(&self, k: KeywordId, doc: u32) -> bool {
+        self.postings(k).binary_search(&doc).is_ok()
+    }
+
+    /// Number of keywords indexed.
+    pub fn num_keywords(&self) -> usize {
+        self.postings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_roundtrip() {
+        let mut t = KeywordTable::new();
+        let a = t.intern("paris");
+        let b = t.intern("revolution");
+        assert_eq!(t.intern("paris"), a);
+        assert_ne!(a, b);
+        assert_eq!(t.name(a), "paris");
+        assert_eq!(t.get("revolution"), Some(b));
+        assert_eq!(t.get("missing"), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn sets_sorted_and_deduped() {
+        let sets = KeywordSets::from_sets(vec![
+            vec![KeywordId(3), KeywordId(1), KeywordId(3)],
+            vec![],
+            vec![KeywordId(0)],
+        ]);
+        assert_eq!(sets.len(), 3);
+        assert_eq!(sets.get(0), &[KeywordId(1), KeywordId(3)]);
+        assert!(sets.get(1).is_empty());
+        assert!(sets.contains(0, KeywordId(3)));
+        assert!(!sets.contains(0, KeywordId(0)));
+        assert!(sets.contains(2, KeywordId(0)));
+    }
+
+    #[test]
+    fn inverted_index_postings() {
+        let sets = KeywordSets::from_sets(vec![
+            vec![KeywordId(0), KeywordId(2)],
+            vec![KeywordId(2)],
+            vec![KeywordId(1)],
+        ]);
+        let idx = InvertedIndex::build(3, &sets);
+        assert_eq!(idx.postings(KeywordId(2)), &[0, 1]);
+        assert_eq!(idx.postings(KeywordId(1)), &[2]);
+        assert!(idx.contains_doc(KeywordId(0), 0));
+        assert!(!idx.contains_doc(KeywordId(0), 1));
+        assert_eq!(idx.num_keywords(), 3);
+    }
+}

@@ -1,0 +1,158 @@
+//! Automorphism-group enumeration for patterns.
+//!
+//! An automorphism is an isomorphism from a pattern to itself. The
+//! enumeration backtracks over candidate images constrained by the refined
+//! colors of [`crate::canon::refine_colors`] (automorphisms can only map
+//! within refinement cells), checking adjacency and edge labels against the
+//! already-assigned prefix. Patterns here are subgraph templates (≲ 10
+//! vertices), so explicit enumeration is cheap — and the symmetry-breaking
+//! derivation (Grochow–Kellis) needs the explicit group anyway.
+
+use crate::canon::refine_colors;
+use crate::Pattern;
+
+/// All automorphisms of `p`, each as `perm[v] = image of v`. The identity
+/// is always included; the result is never empty.
+pub fn automorphisms(p: &Pattern) -> Vec<Vec<u8>> {
+    let n = p.num_vertices();
+    if n == 0 {
+        return vec![Vec::new()];
+    }
+    let colors = refine_colors(p);
+    let mut out = Vec::new();
+    let mut perm: Vec<u8> = Vec::with_capacity(n);
+    let mut used: u32 = 0;
+    backtrack(p, &colors, &mut perm, &mut used, &mut out);
+    debug_assert!(out.iter().any(|a| a.iter().enumerate().all(|(i, &v)| i == v as usize)));
+    out
+}
+
+fn backtrack(
+    p: &Pattern,
+    colors: &[u32],
+    perm: &mut Vec<u8>,
+    used: &mut u32,
+    out: &mut Vec<Vec<u8>>,
+) {
+    let n = p.num_vertices();
+    let v = perm.len();
+    if v == n {
+        out.push(perm.clone());
+        return;
+    }
+    for img in 0..n {
+        if *used >> img & 1 == 1 || colors[img] != colors[v] {
+            continue;
+        }
+        // Check consistency with the assigned prefix.
+        let mut ok = p.vertex_label(img) == p.vertex_label(v);
+        for u in 0..v {
+            if !ok {
+                break;
+            }
+            let adj = p.adjacent(u, v);
+            let adj_img = p.adjacent(perm[u] as usize, img);
+            if adj != adj_img {
+                ok = false;
+            } else if adj && p.edge_label(u, v) != p.edge_label(perm[u] as usize, img) {
+                ok = false;
+            }
+        }
+        if ok {
+            perm.push(img as u8);
+            *used |= 1 << img;
+            backtrack(p, colors, perm, used, out);
+            *used &= !(1 << img);
+            perm.pop();
+        }
+    }
+}
+
+/// The orbit of vertex `v` under the group `auts`: the sorted set of images
+/// of `v`.
+pub fn orbit(auts: &[Vec<u8>], v: usize) -> Vec<u8> {
+    let mut o: Vec<u8> = auts.iter().map(|a| a[v]).collect();
+    o.sort_unstable();
+    o.dedup();
+    o
+}
+
+/// The stabilizer subgroup fixing vertex `v`.
+pub fn stabilizer(auts: &[Vec<u8>], v: usize) -> Vec<Vec<u8>> {
+    auts.iter().filter(|a| a[v] as usize == v).cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_has_six_automorphisms() {
+        assert_eq!(automorphisms(&Pattern::clique(3)).len(), 6);
+    }
+
+    #[test]
+    fn clique_group_sizes() {
+        assert_eq!(automorphisms(&Pattern::clique(4)).len(), 24);
+        assert_eq!(automorphisms(&Pattern::clique(5)).len(), 120);
+    }
+
+    #[test]
+    fn path_has_reversal_only() {
+        let auts = automorphisms(&Pattern::path(4));
+        assert_eq!(auts.len(), 2);
+        assert!(auts.contains(&vec![3, 2, 1, 0]));
+    }
+
+    #[test]
+    fn cycle_group_is_dihedral() {
+        // |Aut(C_5)| = 2 * 5.
+        assert_eq!(automorphisms(&Pattern::cycle(5)).len(), 10);
+    }
+
+    #[test]
+    fn star_group_permutes_leaves() {
+        // Star with 4 leaves: 4! leaf permutations.
+        assert_eq!(automorphisms(&Pattern::star(4)).len(), 24);
+    }
+
+    #[test]
+    fn labels_restrict_group() {
+        // Triangle with one distinct vertex label: only the swap of the two
+        // like-labeled vertices survives (plus identity).
+        let p = Pattern::new(vec![1, 0, 0], vec![(0, 1, 0), (1, 2, 0), (0, 2, 0)]);
+        assert_eq!(automorphisms(&p).len(), 2);
+        // Distinct edge label breaks symmetry too.
+        let q = Pattern::new(vec![0, 0, 0], vec![(0, 1, 9), (1, 2, 0), (0, 2, 0)]);
+        assert_eq!(automorphisms(&q).len(), 2);
+    }
+
+    #[test]
+    fn orbits_and_stabilizers() {
+        let auts = automorphisms(&Pattern::clique(3));
+        assert_eq!(orbit(&auts, 0), vec![0, 1, 2]);
+        let stab = stabilizer(&auts, 0);
+        assert_eq!(stab.len(), 2);
+        assert_eq!(orbit(&stab, 1), vec![1, 2]);
+    }
+
+    #[test]
+    fn asymmetric_pattern_trivial_group() {
+        // A path with distinct labels has only the identity.
+        let p = Pattern::new(vec![0, 1, 2], vec![(0, 1, 0), (1, 2, 0)]);
+        assert_eq!(automorphisms(&p).len(), 1);
+    }
+
+    #[test]
+    fn group_closure_property() {
+        // Composition of any two automorphisms is an automorphism.
+        let p = Pattern::cycle(4);
+        let auts = automorphisms(&p);
+        for a in &auts {
+            for b in &auts {
+                let comp: Vec<u8> = (0..4).map(|v| a[b[v] as usize]).collect();
+                assert!(auts.contains(&comp));
+            }
+        }
+    }
+}

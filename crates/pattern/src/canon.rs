@@ -1,0 +1,449 @@
+//! Canonical labeling of patterns.
+//!
+//! Two patterns are isomorphic iff their canonical codes are equal (the
+//! paper's `ρ(S)` function, §2.1). The algorithm is a practical canonical
+//! labeling in the nauty/bliss family, sized for subgraph templates:
+//!
+//! 1. **Color refinement** (1-WL): vertices start colored by
+//!    `(vertex label, degree)` and are iteratively split by the multiset of
+//!    `(edge label, neighbor color)` pairs until stable. Color ids are
+//!    assigned by sorting explicit signature vectors, so they are
+//!    isomorphism-invariant by construction.
+//! 2. **Branch and bound** over orderings that respect the refined color
+//!    cells, minimizing a fixed adjacency encoding. The minimal encoding is
+//!    the canonical code; the ordering that produced it is the canonical
+//!    permutation.
+//!
+//! The canonical permutation is what lets FSM map an embedding's vertices
+//! onto canonical pattern positions for minimum-image support counting.
+
+use crate::Pattern;
+use std::collections::HashMap;
+
+/// An isomorphism-invariant encoding of a pattern.
+///
+/// Layout: `[n, vlabel(0..n) in canonical order, column(1), column(2), …]`
+/// where `column(j)` holds, for `i < j`, `edge_label + 1` when canonical
+/// vertices `i` and `j` are adjacent and `0` otherwise.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CanonicalCode(pub Vec<u32>);
+
+impl CanonicalCode {
+    /// Number of vertices of the encoded pattern.
+    pub fn num_vertices(&self) -> usize {
+        self.0[0] as usize
+    }
+
+    /// Reconstructs the pattern this code encodes (canonical vertex order).
+    pub fn to_pattern(&self) -> Pattern {
+        let n = self.num_vertices();
+        let labels = self.0[1..1 + n].to_vec();
+        let mut edges = Vec::new();
+        let mut idx = 1 + n;
+        for j in 1..n {
+            for i in 0..j {
+                let cell = self.0[idx];
+                idx += 1;
+                if cell != 0 {
+                    edges.push((i as u8, j as u8, cell - 1));
+                }
+            }
+        }
+        Pattern::new(labels, edges)
+    }
+}
+
+impl std::fmt::Display for CanonicalCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "C[")?;
+        for (i, w) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{w}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A canonical code together with the permutation that produced it:
+/// `perm[original_vertex] = canonical_position`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalForm {
+    /// The canonical code.
+    pub code: CanonicalCode,
+    /// Maps each original pattern vertex to its canonical position.
+    pub perm: Vec<u8>,
+}
+
+/// Runs color refinement; returns one dense, isomorphism-invariant color
+/// per vertex (equal colors ⇒ indistinguishable by 1-WL).
+pub fn refine_colors(p: &Pattern) -> Vec<u32> {
+    let n = p.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Round 0: (label, degree) signatures.
+    let mut sigs: Vec<Vec<u32>> = (0..n)
+        .map(|v| vec![p.vertex_label(v), p.degree(v) as u32])
+        .collect();
+    let mut colors = dense_ids(&sigs);
+    loop {
+        let num_colors = 1 + *colors.iter().max().unwrap() as usize;
+        if num_colors == n {
+            break;
+        }
+        for v in 0..n {
+            let mut nbr_sig: Vec<(u32, u32)> = Vec::with_capacity(p.degree(v));
+            for u in 0..n {
+                if p.adjacent(u, v) {
+                    nbr_sig.push((p.edge_label(u, v).unwrap_or(0), colors[u]));
+                }
+            }
+            nbr_sig.sort_unstable();
+            let mut s = Vec::with_capacity(1 + 2 * nbr_sig.len());
+            s.push(colors[v]);
+            for (el, c) in nbr_sig {
+                s.push(el);
+                s.push(c);
+            }
+            sigs[v] = s;
+        }
+        let new_colors = dense_ids(&sigs);
+        let new_num = 1 + *new_colors.iter().max().unwrap() as usize;
+        let stable = new_num == num_colors;
+        colors = new_colors;
+        if stable {
+            break;
+        }
+    }
+    colors
+}
+
+/// Assigns dense ids `0..k` to signature vectors by lexicographic order.
+fn dense_ids(sigs: &[Vec<u32>]) -> Vec<u32> {
+    let mut order: Vec<usize> = (0..sigs.len()).collect();
+    order.sort_by(|&a, &b| sigs[a].cmp(&sigs[b]));
+    let mut ids = vec![0u32; sigs.len()];
+    let mut next = 0u32;
+    for w in 0..order.len() {
+        if w > 0 && sigs[order[w]] != sigs[order[w - 1]] {
+            next += 1;
+        }
+        ids[order[w]] = next;
+    }
+    ids
+}
+
+/// State for the branch-and-bound canonical ordering search.
+struct Search<'a> {
+    p: &'a Pattern,
+    /// Cell id (refined color) of each vertex.
+    colors: Vec<u32>,
+    /// Candidate ordering being built: `slot[pos] = original vertex`.
+    slot: Vec<u8>,
+    used: u32,
+    /// Current code prefix (shares layout with `CanonicalCode`).
+    cur: Vec<u32>,
+    /// Best complete code so far and its ordering.
+    best: Option<(Vec<u32>, Vec<u8>)>,
+}
+
+impl Search<'_> {
+    fn run(&mut self) {
+        let n = self.p.num_vertices();
+        let pos = self.slot.len();
+        if pos == n {
+            let better = match &self.best {
+                None => true,
+                Some((b, _)) => self.cur < *b,
+            };
+            if better {
+                self.best = Some((self.cur.clone(), self.slot.clone()));
+            }
+            return;
+        }
+        // Candidates: unused vertices of the smallest eligible cell. All
+        // positions in `pos..` must follow cell order, so the next vertex
+        // must belong to the minimum color among unused vertices.
+        let mut min_color = u32::MAX;
+        for v in 0..n {
+            if self.used >> v & 1 == 0 {
+                min_color = min_color.min(self.colors[v]);
+            }
+        }
+        for v in 0..n {
+            if self.used >> v & 1 == 1 || self.colors[v] != min_color {
+                continue;
+            }
+            // Append column for position `pos`: vertex label cell was fixed
+            // by cell order; adjacency entries vs. earlier positions.
+            let checkpoint = self.cur.len();
+            for i in 0..pos {
+                let u = self.slot[i] as usize;
+                let entry = if self.p.adjacent(u, v) {
+                    self.p.edge_label(u, v).unwrap_or(0) + 1
+                } else {
+                    0
+                };
+                self.cur.push(entry);
+            }
+            // Prune: compare the appended region against the best code.
+            let prune = match &self.best {
+                Some((b, _)) => {
+                    let region = &self.cur[..];
+                    let bregion = &b[..region.len().min(b.len())];
+                    region > bregion
+                }
+                None => false,
+            };
+            if !prune {
+                self.slot.push(v as u8);
+                self.used |= 1 << v;
+                self.run();
+                self.used &= !(1 << v);
+                self.slot.pop();
+            }
+            self.cur.truncate(checkpoint);
+        }
+    }
+}
+
+/// Computes the canonical form (code + permutation) of `p`.
+pub fn canonical_form(p: &Pattern) -> CanonicalForm {
+    let n = p.num_vertices();
+    if n == 0 {
+        return CanonicalForm {
+            code: CanonicalCode(vec![0]),
+            perm: Vec::new(),
+        };
+    }
+    let colors = refine_colors(p);
+    // Header: n then vertex labels in cell order. Labels are constant per
+    // cell (cells refine the label partition), so the header is fixed.
+    let mut header = Vec::with_capacity(1 + n);
+    header.push(n as u32);
+    let mut by_color: Vec<usize> = (0..n).collect();
+    by_color.sort_by_key(|&v| (colors[v], v));
+    for &v in &by_color {
+        header.push(p.vertex_label(v));
+    }
+    let mut search = Search {
+        p,
+        colors,
+        slot: Vec::with_capacity(n),
+        used: 0,
+        cur: header,
+        best: None,
+    };
+    search.run();
+    let (code, slots) = search.best.expect("canonical search found no ordering");
+    let mut perm = vec![0u8; n];
+    for (pos, &v) in slots.iter().enumerate() {
+        perm[v as usize] = pos as u8;
+    }
+    CanonicalForm {
+        code: CanonicalCode(code),
+        perm,
+    }
+}
+
+/// Computes just the canonical code of `p`.
+pub fn canonical_code(p: &Pattern) -> CanonicalCode {
+    canonical_form(p).code
+}
+
+/// Whether `p` and `q` are isomorphic (Definition 3), via code equality.
+pub fn are_isomorphic(p: &Pattern, q: &Pattern) -> bool {
+    if p.num_vertices() != q.num_vertices() || p.num_edges() != q.num_edges() {
+        return false;
+    }
+    canonical_code(p) == canonical_code(q)
+}
+
+/// A memoizing cache from raw patterns to canonical forms.
+///
+/// Subgraph enumeration produces the same few motif shapes over and over in
+/// different raw vertex orders; the number of distinct raw `Pattern` keys is
+/// bounded by (shapes × orderings), so a plain map is effective and the hot
+/// path becomes a single hash lookup.
+#[derive(Debug, Default)]
+pub struct CodeCache {
+    map: HashMap<Pattern, std::sync::Arc<CanonicalForm>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CodeCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the canonical form of `p`, computing and caching on miss.
+    pub fn canonical_form(&mut self, p: &Pattern) -> std::sync::Arc<CanonicalForm> {
+        if let Some(f) = self.map.get(p) {
+            self.hits += 1;
+            return f.clone();
+        }
+        self.misses += 1;
+        let f = std::sync::Arc::new(canonical_form(p));
+        self.map.insert(p.clone(), f.clone());
+        f
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of distinct raw patterns cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refinement_distinguishes_degrees() {
+        // Path 0-1-2: endpoints share a color, middle differs.
+        let p = Pattern::path(3);
+        let c = refine_colors(&p);
+        assert_eq!(c[0], c[2]);
+        assert_ne!(c[0], c[1]);
+    }
+
+    #[test]
+    fn refinement_respects_labels() {
+        let p = Pattern::new(vec![0, 1], vec![(0, 1, 0)]);
+        let c = refine_colors(&p);
+        assert_ne!(c[0], c[1]);
+    }
+
+    #[test]
+    fn code_invariant_under_permutation() {
+        let p = Pattern::new(vec![0, 1, 0, 1], vec![(0, 1, 1), (1, 2, 0), (2, 3, 1), (0, 3, 0)]);
+        let base = canonical_code(&p);
+        // All 24 permutations give the same code.
+        let perms4: Vec<Vec<u8>> = permutations(4);
+        for perm in perms4 {
+            let q = p.permuted(&perm);
+            assert_eq!(canonical_code(&q), base, "perm {perm:?}");
+        }
+    }
+
+    #[test]
+    fn code_distinguishes_non_isomorphic() {
+        assert_ne!(canonical_code(&Pattern::path(4)), canonical_code(&Pattern::star(3)));
+        assert_ne!(canonical_code(&Pattern::cycle(4)), canonical_code(&Pattern::path(4)));
+        assert_ne!(
+            canonical_code(&Pattern::clique(4)),
+            canonical_code(&Pattern::cycle(4))
+        );
+        // Same topology, different labels.
+        let a = Pattern::new(vec![0, 0], vec![(0, 1, 0)]);
+        let b = Pattern::new(vec![0, 1], vec![(0, 1, 0)]);
+        let c = Pattern::new(vec![0, 0], vec![(0, 1, 1)]);
+        assert_ne!(canonical_code(&a), canonical_code(&b));
+        assert_ne!(canonical_code(&a), canonical_code(&c));
+    }
+
+    #[test]
+    fn canonical_perm_maps_onto_code_pattern() {
+        let p = Pattern::new(vec![3, 1, 2], vec![(0, 1, 7), (1, 2, 8)]);
+        let f = canonical_form(&p);
+        // Applying the permutation to p must reproduce the decoded pattern.
+        let q = p.permuted(&f.perm);
+        assert_eq!(q, f.code.to_pattern());
+    }
+
+    #[test]
+    fn code_roundtrips_via_to_pattern() {
+        for p in [
+            Pattern::clique(4),
+            Pattern::cycle(5),
+            Pattern::star(3),
+            Pattern::new(vec![1, 2, 3], vec![(0, 1, 4), (1, 2, 5), (0, 2, 6)]),
+        ] {
+            let code = canonical_code(&p);
+            assert_eq!(canonical_code(&code.to_pattern()), code);
+        }
+    }
+
+    #[test]
+    fn isomorphism_check() {
+        let p = Pattern::unlabeled(4, &[(0, 1), (1, 2), (2, 3)]);
+        let q = Pattern::unlabeled(4, &[(2, 0), (0, 3), (3, 1)]);
+        assert!(are_isomorphic(&p, &q));
+        assert!(!are_isomorphic(&p, &Pattern::star(3)));
+    }
+
+    #[test]
+    fn motif_shape_counts_k4() {
+        // There are exactly 6 connected unlabeled graphs on 4 vertices.
+        use std::collections::HashSet;
+        let mut shapes: HashSet<CanonicalCode> = HashSet::new();
+        // Enumerate all graphs on 4 vertices by edge bitmask.
+        let pairs = [(0u8, 1u8), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        for mask in 0u32..64 {
+            let edges: Vec<(u8, u8)> = pairs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &e)| e)
+                .collect();
+            let p = Pattern::unlabeled(4, &edges);
+            if p.is_connected() {
+                shapes.insert(canonical_code(&p));
+            }
+        }
+        assert_eq!(shapes.len(), 6);
+    }
+
+    #[test]
+    fn cache_hits() {
+        let mut cache = CodeCache::new();
+        let p = Pattern::clique(3);
+        let a = cache.canonical_form(&p);
+        let b = cache.canonical_form(&p);
+        assert_eq!(a, b);
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn empty_pattern() {
+        let f = canonical_form(&Pattern::unlabeled(0, &[]));
+        assert_eq!(f.code.num_vertices(), 0);
+        assert!(f.perm.is_empty());
+    }
+
+    /// All permutations of 0..n (test helper).
+    pub(super) fn permutations(n: usize) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        let mut cur: Vec<u8> = Vec::new();
+        fn rec(n: usize, cur: &mut Vec<u8>, out: &mut Vec<Vec<u8>>) {
+            if cur.len() == n {
+                out.push(cur.clone());
+                return;
+            }
+            for v in 0..n as u8 {
+                if !cur.contains(&v) {
+                    cur.push(v);
+                    rec(n, cur, out);
+                    cur.pop();
+                }
+            }
+        }
+        rec(n, &mut cur, &mut out);
+        out
+    }
+}

@@ -1,0 +1,31 @@
+//! # fractal-pattern
+//!
+//! Patterns, canonical labeling, isomorphism and symmetry breaking.
+//!
+//! A *pattern* (§2.1) is the template of a subgraph: two subgraphs have the
+//! same pattern iff they are isomorphic. The paper canonicalizes patterns
+//! with the gSpan DFS-code algorithm [62]; this crate implements an
+//! equivalent canonical labeling — color refinement (1-WL) followed by a
+//! branch-and-bound search over refinement-consistent orderings — which
+//! likewise produces a total, isomorphism-invariant code (and, unlike a bare
+//! code, also reports the canonical vertex permutation that FSM's
+//! minimum-image support needs).
+//!
+//! Modules:
+//!
+//! - [`pattern`] — the [`Pattern`] type and constructors from graph slices,
+//! - [`canon`] — canonical codes ([`CanonicalCode`]) and permutations,
+//! - [`autom`] — automorphism-group enumeration,
+//! - [`symmetry`] — Grochow–Kellis symmetry-breaking conditions [24],
+//! - [`plan`] — connected matching orders for pattern-induced extension.
+
+pub mod autom;
+pub mod canon;
+pub mod pattern;
+pub mod plan;
+pub mod symmetry;
+
+pub use canon::CanonicalCode;
+pub use pattern::Pattern;
+pub use plan::ExplorationPlan;
+pub use symmetry::SymmetryConditions;

@@ -1,0 +1,382 @@
+//! The [`Pattern`] type: a small labeled graph template.
+
+use fractal_graph::{Graph, Label, VertexId};
+
+/// Maximum number of vertices in a pattern. Patterns are subgraph templates
+/// (motifs, queries, FSM candidates), which in practice have well under this
+/// many vertices; the bound lets adjacency live in per-vertex `u32` bitmasks.
+pub const MAX_PATTERN_VERTICES: usize = 32;
+
+/// A small labeled undirected graph used as a subgraph template.
+///
+/// Vertices are indexed `0..n`. Adjacency is stored both as an edge list
+/// (sorted, `u < v`) and per-vertex bitmasks for O(1) adjacency tests.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    vertex_labels: Vec<u32>,
+    /// Sorted `(u, v, edge_label)` triples with `u < v`.
+    edges: Vec<(u8, u8, u32)>,
+    /// `adj[v]` has bit `u` set iff `{u, v}` is an edge.
+    adj: Vec<u32>,
+}
+
+impl Pattern {
+    /// Builds a pattern from explicit vertex labels and `(u, v, label)`
+    /// edges. Panics on self-loops, duplicate edges, out-of-range endpoints
+    /// or more than [`MAX_PATTERN_VERTICES`] vertices.
+    pub fn new(vertex_labels: Vec<u32>, mut edges: Vec<(u8, u8, u32)>) -> Self {
+        let n = vertex_labels.len();
+        assert!(n <= MAX_PATTERN_VERTICES, "pattern too large");
+        let mut adj = vec![0u32; n];
+        for e in &mut edges {
+            assert!(e.0 != e.1, "self-loop in pattern");
+            if e.0 > e.1 {
+                std::mem::swap(&mut e.0, &mut e.1);
+            }
+            assert!((e.1 as usize) < n, "pattern edge endpoint out of range");
+        }
+        edges.sort_unstable();
+        for w in edges.windows(2) {
+            assert!(
+                (w[0].0, w[0].1) != (w[1].0, w[1].1),
+                "duplicate edge in pattern"
+            );
+        }
+        for &(u, v, _) in &edges {
+            adj[u as usize] |= 1 << v;
+            adj[v as usize] |= 1 << u;
+        }
+        Pattern {
+            vertex_labels,
+            edges,
+            adj,
+        }
+    }
+
+    /// An unlabeled pattern (all labels zero) from an edge list over `n`
+    /// vertices.
+    pub fn unlabeled(n: usize, edges: &[(u8, u8)]) -> Self {
+        Pattern::new(
+            vec![0; n],
+            edges.iter().map(|&(u, v)| (u, v, 0)).collect(),
+        )
+    }
+
+    /// The pattern of the subgraph induced in `g` by `vertices` (all edges
+    /// of `g` between them). `use_vlabels` / `use_elabels` control whether
+    /// labels participate (motif counting conventionally ignores them).
+    pub fn from_vertex_induced(
+        g: &Graph,
+        vertices: &[u32],
+        use_vlabels: bool,
+        use_elabels: bool,
+    ) -> Self {
+        let n = vertices.len();
+        assert!(n <= MAX_PATTERN_VERTICES, "pattern too large");
+        let vertex_labels = vertices
+            .iter()
+            .map(|&v| {
+                if use_vlabels {
+                    g.vertex_label(VertexId(v)).raw()
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if let Some(e) = g.edge_between(VertexId(vertices[i]), VertexId(vertices[j])) {
+                    let l = if use_elabels { g.edge_label(e).raw() } else { 0 };
+                    edges.push((i as u8, j as u8, l));
+                }
+            }
+        }
+        Pattern::new(vertex_labels, edges)
+    }
+
+    /// The pattern of the edge-induced subgraph of `g` given by `edge_ids`.
+    /// Pattern vertex `i` corresponds to the `i`-th distinct endpoint in
+    /// first-appearance order; the returned map gives, for each pattern
+    /// vertex, the original graph vertex.
+    pub fn from_edge_induced(
+        g: &Graph,
+        edge_ids: &[u32],
+        use_vlabels: bool,
+        use_elabels: bool,
+    ) -> (Self, Vec<u32>) {
+        let mut vmap: Vec<u32> = Vec::new();
+        let local = |v: u32, vmap: &mut Vec<u32>| -> u8 {
+            match vmap.iter().position(|&x| x == v) {
+                Some(i) => i as u8,
+                None => {
+                    vmap.push(v);
+                    (vmap.len() - 1) as u8
+                }
+            }
+        };
+        let mut edges = Vec::with_capacity(edge_ids.len());
+        for &e in edge_ids {
+            let (s, d) = g.edge_endpoints(fractal_graph::EdgeId(e));
+            let ls = local(s.raw(), &mut vmap);
+            let ld = local(d.raw(), &mut vmap);
+            let l = if use_elabels {
+                g.edge_label(fractal_graph::EdgeId(e)).raw()
+            } else {
+                0
+            };
+            edges.push((ls, ld, l));
+        }
+        let vertex_labels = vmap
+            .iter()
+            .map(|&v| {
+                if use_vlabels {
+                    g.vertex_label(VertexId(v)).raw()
+                } else {
+                    0
+                }
+            })
+            .collect();
+        (Pattern::new(vertex_labels, edges), vmap)
+    }
+
+    /// Number of vertices.
+    #[inline(always)]
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_labels.len()
+    }
+
+    /// Number of edges.
+    #[inline(always)]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Label of vertex `v`.
+    #[inline(always)]
+    pub fn vertex_label(&self, v: usize) -> u32 {
+        self.vertex_labels[v]
+    }
+
+    /// Sorted `(u, v, label)` edges with `u < v`.
+    #[inline]
+    pub fn edges(&self) -> &[(u8, u8, u32)] {
+        &self.edges
+    }
+
+    /// Whether `u` and `v` are adjacent.
+    #[inline(always)]
+    pub fn adjacent(&self, u: usize, v: usize) -> bool {
+        (self.adj[v] >> u) & 1 == 1
+    }
+
+    /// Adjacency bitmask of `v` (bit `u` set iff adjacent).
+    #[inline(always)]
+    pub fn adj_mask(&self, v: usize) -> u32 {
+        self.adj[v]
+    }
+
+    /// Label of the edge between `u` and `v`, if adjacent.
+    pub fn edge_label(&self, u: usize, v: usize) -> Option<u32> {
+        let (a, b) = (u.min(v) as u8, u.max(v) as u8);
+        self.edges
+            .binary_search_by(|probe| (probe.0, probe.1).cmp(&(a, b)))
+            .ok()
+            .map(|i| self.edges[i].2)
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].count_ones() as usize
+    }
+
+    /// Whether the pattern is connected (the model mines connected
+    /// subgraphs only).
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_vertices();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = 1u32;
+        let mut frontier = 1u32;
+        while frontier != 0 {
+            let mut next = 0u32;
+            let mut f = frontier;
+            while f != 0 {
+                let v = f.trailing_zeros() as usize;
+                f &= f - 1;
+                next |= self.adj[v] & !seen;
+            }
+            seen |= next;
+            frontier = next;
+        }
+        seen.count_ones() as usize == n
+    }
+
+    /// Whether this pattern is a clique.
+    pub fn is_clique(&self) -> bool {
+        let n = self.num_vertices();
+        self.num_edges() == n * (n - 1) / 2
+    }
+
+    /// Relabels vertices by permutation `perm` (`perm[old] = new`),
+    /// producing an isomorphic pattern.
+    pub fn permuted(&self, perm: &[u8]) -> Pattern {
+        let n = self.num_vertices();
+        assert_eq!(perm.len(), n);
+        let mut labels = vec![0u32; n];
+        for (old, &new) in perm.iter().enumerate() {
+            labels[new as usize] = self.vertex_labels[old];
+        }
+        let edges = self
+            .edges
+            .iter()
+            .map(|&(u, v, l)| (perm[u as usize], perm[v as usize], l))
+            .collect();
+        Pattern::new(labels, edges)
+    }
+
+    /// Convenience: the complete pattern (clique) on `k` unlabeled vertices.
+    pub fn clique(k: usize) -> Pattern {
+        let mut edges = Vec::new();
+        for u in 0..k as u8 {
+            for v in (u + 1)..k as u8 {
+                edges.push((u, v));
+            }
+        }
+        Pattern::unlabeled(k, &edges)
+    }
+
+    /// Convenience: the path pattern on `k` unlabeled vertices.
+    pub fn path(k: usize) -> Pattern {
+        let edges: Vec<(u8, u8)> = (1..k as u8).map(|v| (v - 1, v)).collect();
+        Pattern::unlabeled(k, &edges)
+    }
+
+    /// Convenience: the cycle pattern on `k ≥ 3` unlabeled vertices.
+    pub fn cycle(k: usize) -> Pattern {
+        assert!(k >= 3);
+        let mut edges: Vec<(u8, u8)> = (1..k as u8).map(|v| (v - 1, v)).collect();
+        edges.push((0, k as u8 - 1));
+        Pattern::unlabeled(k, &edges)
+    }
+
+    /// Convenience: the star pattern with `k` leaves (center is vertex 0).
+    pub fn star(k: usize) -> Pattern {
+        let edges: Vec<(u8, u8)> = (1..=k as u8).map(|v| (0, v)).collect();
+        Pattern::unlabeled(k + 1, &edges)
+    }
+
+    /// The label of vertex `v` as a [`Label`] (graph-side type).
+    pub fn vertex_label_t(&self, v: usize) -> Label {
+        Label(self.vertex_labels[v])
+    }
+}
+
+impl std::fmt::Display for Pattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P(n={},", self.num_vertices())?;
+        for (i, l) in self.vertex_labels.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ";")?;
+        for (i, &(u, v, l)) in self.edges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{u}-{v}:{l}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractal_graph::builder::graph_from_edges;
+
+    #[test]
+    fn construction_normalizes_edges() {
+        let p = Pattern::new(vec![0, 1, 2], vec![(2, 0, 5), (1, 2, 3)]);
+        assert_eq!(p.edges(), &[(0, 2, 5), (1, 2, 3)]);
+        assert!(p.adjacent(0, 2));
+        assert!(p.adjacent(2, 0));
+        assert!(!p.adjacent(0, 1));
+        assert_eq!(p.edge_label(2, 0), Some(5));
+        assert_eq!(p.edge_label(0, 1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        Pattern::new(vec![0, 0], vec![(1, 1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicate_edges() {
+        Pattern::new(vec![0, 0], vec![(0, 1, 0), (1, 0, 3)]);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(Pattern::path(4).is_connected());
+        assert!(Pattern::clique(5).is_connected());
+        assert!(!Pattern::new(vec![0, 0, 0], vec![(0, 1, 0)]).is_connected());
+        assert!(Pattern::unlabeled(1, &[]).is_connected());
+    }
+
+    #[test]
+    fn clique_shapes() {
+        assert!(Pattern::clique(4).is_clique());
+        assert!(!Pattern::cycle(4).is_clique());
+        assert_eq!(Pattern::star(3).degree(0), 3);
+        assert_eq!(Pattern::cycle(5).num_edges(), 5);
+    }
+
+    #[test]
+    fn from_vertex_induced_captures_all_edges() {
+        // Triangle 0-1-2 plus pendant 3 on 2.
+        let g = graph_from_edges(&[7, 8, 9, 7], &[(0, 1, 1), (1, 2, 2), (0, 2, 3), (2, 3, 4)]);
+        let p = Pattern::from_vertex_induced(&g, &[0, 1, 2], true, true);
+        assert_eq!(p.num_vertices(), 3);
+        assert_eq!(p.num_edges(), 3);
+        assert_eq!(p.vertex_label(0), 7);
+        assert_eq!(p.edge_label(0, 1), Some(1));
+        // Unlabeled view.
+        let pu = Pattern::from_vertex_induced(&g, &[0, 1, 2], false, false);
+        assert_eq!(pu.vertex_label(0), 0);
+        assert_eq!(pu.edge_label(0, 1), Some(0));
+    }
+
+    #[test]
+    fn from_edge_induced_maps_endpoints() {
+        let g = graph_from_edges(&[7, 8, 9], &[(0, 1, 1), (1, 2, 2)]);
+        // Take only edge 1 (between graph vertices 1 and 2).
+        let (p, vmap) = Pattern::from_edge_induced(&g, &[1], true, true);
+        assert_eq!(p.num_vertices(), 2);
+        assert_eq!(p.num_edges(), 1);
+        assert_eq!(vmap, vec![1, 2]);
+        assert_eq!(p.vertex_label(0), 8);
+        assert_eq!(p.edge_label(0, 1), Some(2));
+    }
+
+    #[test]
+    fn permuted_is_isomorphic_structure() {
+        let p = Pattern::new(vec![5, 6, 7], vec![(0, 1, 1), (1, 2, 2)]);
+        let q = p.permuted(&[2, 1, 0]);
+        assert_eq!(q.vertex_label(2), 5);
+        assert_eq!(q.edge_label(1, 2), Some(1));
+        assert_eq!(q.edge_label(0, 1), Some(2));
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let p = Pattern::new(vec![1, 2], vec![(0, 1, 3)]);
+        assert_eq!(p.to_string(), "P(n=2,1,2;0-1:3)");
+    }
+}

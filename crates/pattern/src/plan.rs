@@ -1,0 +1,280 @@
+//! Matching orders for pattern-induced extension.
+//!
+//! An [`ExplorationPlan`] fixes the order in which the vertices of a query
+//! pattern are matched against the input graph. The order is *connected*
+//! (every vertex after the first has at least one earlier neighbor in the
+//! pattern), so candidates for position `i` always come from the adjacency
+//! of an already-matched vertex — the pattern-induced extension of Fig. 1.
+//! Symmetry-breaking conditions are pre-translated to per-position
+//! `<`/`>` checks against earlier matches.
+
+use crate::symmetry::SymmetryConditions;
+use crate::Pattern;
+
+/// A compiled matching order for a query pattern.
+#[derive(Debug, Clone)]
+pub struct ExplorationPlan {
+    pattern: Pattern,
+    /// `order[pos]` = pattern vertex matched at position `pos`.
+    order: Vec<u8>,
+    /// `pos_of[v]` = position at which pattern vertex `v` is matched.
+    pos_of: Vec<u8>,
+    /// Vertex label required at each position.
+    labels: Vec<u32>,
+    /// For each position, `(earlier_position, edge_label)` pairs: the
+    /// candidate must be adjacent (with that edge label) to each of them.
+    back_edges: Vec<Vec<(u8, u32)>>,
+    /// For each position, earlier positions whose match must be **greater**
+    /// than the candidate (candidate < match[p]).
+    must_be_less_than: Vec<Vec<u8>>,
+    /// For each position, earlier positions whose match must be **smaller**
+    /// than the candidate (candidate > match[p]).
+    must_be_greater_than: Vec<Vec<u8>>,
+    /// Positions at which earlier matched vertices must NOT be adjacent to
+    /// the candidate are implied by induced matching; pattern-induced
+    /// matching in the paper is *not* induced, so non-edges are not checked.
+    conditions: SymmetryConditions,
+}
+
+impl ExplorationPlan {
+    /// Compiles a plan for `pattern` with Grochow–Kellis symmetry breaking.
+    ///
+    /// Panics if the pattern is empty or disconnected (the model mines
+    /// connected subgraphs only).
+    pub fn new(pattern: &Pattern) -> Self {
+        Self::with_conditions(pattern, SymmetryConditions::for_pattern(pattern))
+    }
+
+    /// Compiles a plan without symmetry breaking; every automorphic image
+    /// of each match is enumerated. Useful for testing and for measuring
+    /// the cost of redundancy.
+    pub fn without_symmetry(pattern: &Pattern) -> Self {
+        Self::with_conditions(pattern, SymmetryConditions::none())
+    }
+
+    fn with_conditions(pattern: &Pattern, conditions: SymmetryConditions) -> Self {
+        let n = pattern.num_vertices();
+        assert!(n > 0, "cannot plan an empty pattern");
+        assert!(pattern.is_connected(), "query pattern must be connected");
+
+        // Greedy order: start at the max-degree vertex, then repeatedly take
+        // the vertex with the most already-ordered neighbors (ties: higher
+        // degree, then smaller id). More constrained positions come earlier,
+        // which shrinks the candidate sets.
+        let mut order: Vec<u8> = Vec::with_capacity(n);
+        let mut placed = vec![false; n];
+        let first = (0..n)
+            .max_by_key(|&v| (pattern.degree(v), std::cmp::Reverse(v)))
+            .unwrap();
+        order.push(first as u8);
+        placed[first] = true;
+        while order.len() < n {
+            let next = (0..n)
+                .filter(|&v| !placed[v])
+                .max_by_key(|&v| {
+                    let matched_nbrs = order
+                        .iter()
+                        .filter(|&&u| pattern.adjacent(u as usize, v))
+                        .count();
+                    (matched_nbrs, pattern.degree(v), std::cmp::Reverse(v))
+                })
+                .unwrap();
+            debug_assert!(
+                order.iter().any(|&u| pattern.adjacent(u as usize, next)),
+                "connected pattern must always offer an attached vertex"
+            );
+            order.push(next as u8);
+            placed[next] = true;
+        }
+
+        let mut pos_of = vec![0u8; n];
+        for (pos, &v) in order.iter().enumerate() {
+            pos_of[v as usize] = pos as u8;
+        }
+        let labels = order.iter().map(|&v| pattern.vertex_label(v as usize)).collect();
+        let mut back_edges: Vec<Vec<(u8, u32)>> = vec![Vec::new(); n];
+        for (pos, &v) in order.iter().enumerate() {
+            for (epos, &u) in order[..pos].iter().enumerate() {
+                if pattern.adjacent(u as usize, v as usize) {
+                    let l = pattern.edge_label(u as usize, v as usize).unwrap();
+                    back_edges[pos].push((epos as u8, l));
+                }
+            }
+        }
+        let mut must_be_less_than: Vec<Vec<u8>> = vec![Vec::new(); n];
+        let mut must_be_greater_than: Vec<Vec<u8>> = vec![Vec::new(); n];
+        for &(a, b) in &conditions.less_than {
+            let (pa, pb) = (pos_of[a as usize], pos_of[b as usize]);
+            if pa < pb {
+                // match[a] already fixed; candidate at pb must be greater.
+                must_be_greater_than[pb as usize].push(pa);
+            } else {
+                // candidate at pa must be smaller than match at pb.
+                must_be_less_than[pa as usize].push(pb);
+            }
+        }
+
+        ExplorationPlan {
+            pattern: pattern.clone(),
+            order,
+            pos_of,
+            labels,
+            back_edges,
+            must_be_less_than,
+            must_be_greater_than,
+            conditions,
+        }
+    }
+
+    /// The compiled pattern.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// Number of positions (= pattern vertices).
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the plan is empty (never true: construction rejects empty
+    /// patterns).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Pattern vertex matched at `pos`.
+    #[inline(always)]
+    pub fn vertex_at(&self, pos: usize) -> u8 {
+        self.order[pos]
+    }
+
+    /// Position of pattern vertex `v`.
+    #[inline(always)]
+    pub fn position_of(&self, v: usize) -> u8 {
+        self.pos_of[v]
+    }
+
+    /// Required vertex label at `pos`.
+    #[inline(always)]
+    pub fn label_at(&self, pos: usize) -> u32 {
+        self.labels[pos]
+    }
+
+    /// `(earlier_position, edge_label)` adjacency constraints at `pos`.
+    /// Non-empty for every `pos ≥ 1`.
+    #[inline(always)]
+    pub fn back_edges(&self, pos: usize) -> &[(u8, u32)] {
+        &self.back_edges[pos]
+    }
+
+    /// Earlier positions whose match must exceed the candidate at `pos`.
+    #[inline(always)]
+    pub fn must_be_less_than(&self, pos: usize) -> &[u8] {
+        &self.must_be_less_than[pos]
+    }
+
+    /// Earlier positions whose match must be below the candidate at `pos`.
+    #[inline(always)]
+    pub fn must_be_greater_than(&self, pos: usize) -> &[u8] {
+        &self.must_be_greater_than[pos]
+    }
+
+    /// The symmetry conditions the plan encodes.
+    pub fn conditions(&self) -> &SymmetryConditions {
+        &self.conditions
+    }
+
+    /// Reorders a complete match (indexed by position) into pattern-vertex
+    /// order: `out[v] = matched graph vertex of pattern vertex v`.
+    pub fn match_by_pattern_vertex(&self, by_pos: &[u32]) -> Vec<u32> {
+        let mut out = vec![0u32; by_pos.len()];
+        for (pos, &g) in by_pos.iter().enumerate() {
+            out[self.order[pos] as usize] = g;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_connected() {
+        for p in [
+            Pattern::path(5),
+            Pattern::cycle(6),
+            Pattern::star(4),
+            Pattern::clique(4),
+        ] {
+            let plan = ExplorationPlan::new(&p);
+            assert_eq!(plan.len(), p.num_vertices());
+            for pos in 1..plan.len() {
+                assert!(
+                    !plan.back_edges(pos).is_empty(),
+                    "position {pos} of {p} has no back edge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn star_starts_at_center() {
+        let plan = ExplorationPlan::new(&Pattern::star(4));
+        assert_eq!(plan.vertex_at(0), 0);
+        // Every leaf connects straight back to position 0.
+        for pos in 1..plan.len() {
+            assert_eq!(plan.back_edges(pos), &[(0, 0)]);
+        }
+    }
+
+    #[test]
+    fn back_edges_carry_labels() {
+        let p = Pattern::new(vec![0, 0, 0], vec![(0, 1, 7), (1, 2, 8), (0, 2, 9)]);
+        let plan = ExplorationPlan::new(&p);
+        let labels: Vec<u32> = plan.back_edges(2).iter().map(|&(_, l)| l).collect();
+        assert_eq!(labels.len(), 2);
+        assert!(labels.contains(&7) || labels.contains(&8) || labels.contains(&9));
+    }
+
+    #[test]
+    fn conditions_translate_to_position_checks() {
+        let plan = ExplorationPlan::new(&Pattern::clique(3));
+        // Triangle: 3 total-order conditions distributed over positions.
+        let total: usize = (0..3)
+            .map(|p| plan.must_be_less_than(p).len() + plan.must_be_greater_than(p).len())
+            .sum();
+        assert_eq!(total, 3);
+        // Position 0 can never carry a check (nothing earlier).
+        assert!(plan.must_be_less_than(0).is_empty());
+        assert!(plan.must_be_greater_than(0).is_empty());
+    }
+
+    #[test]
+    fn match_reordering_roundtrip() {
+        let p = Pattern::path(3);
+        let plan = ExplorationPlan::new(&p);
+        let by_pos = vec![10, 20, 30];
+        let by_vertex = plan.match_by_pattern_vertex(&by_pos);
+        for pos in 0..3 {
+            assert_eq!(by_vertex[plan.vertex_at(pos) as usize], by_pos[pos]);
+        }
+    }
+
+    #[test]
+    fn without_symmetry_has_no_checks() {
+        let plan = ExplorationPlan::without_symmetry(&Pattern::clique(4));
+        for pos in 0..4 {
+            assert!(plan.must_be_less_than(pos).is_empty());
+            assert!(plan.must_be_greater_than(pos).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn rejects_disconnected() {
+        let p = Pattern::new(vec![0, 0, 0], vec![(0, 1, 0)]);
+        ExplorationPlan::new(&p);
+    }
+}

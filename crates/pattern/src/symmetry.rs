@@ -1,0 +1,181 @@
+//! Symmetry breaking for pattern-induced matching (Grochow–Kellis [24]).
+//!
+//! Pattern-induced extension (§3, Fig. 1) matches a user query pattern
+//! directly. Without care, a pattern with non-trivial automorphisms is
+//! matched once per automorphism. The fix from Grochow & Kellis: impose a
+//! set of `match[a] < match[b]` order conditions on the matched graph
+//! vertices such that exactly one embedding per automorphism class
+//! satisfies them all.
+
+use crate::autom::{automorphisms, orbit, stabilizer};
+use crate::Pattern;
+
+/// A set of `match[a] < match[b]` conditions over pattern vertices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymmetryConditions {
+    /// Pairs `(a, b)` requiring the graph vertex matched to pattern vertex
+    /// `a` to be smaller than the one matched to `b`.
+    pub less_than: Vec<(u8, u8)>,
+}
+
+impl SymmetryConditions {
+    /// Derives the conditions for `p` by iteratively fixing the smallest
+    /// vertex of a non-trivial orbit and descending into its stabilizer.
+    pub fn for_pattern(p: &Pattern) -> Self {
+        let mut group = automorphisms(p);
+        let mut less_than = Vec::new();
+        let n = p.num_vertices();
+        while group.len() > 1 {
+            // Smallest vertex with a non-trivial orbit.
+            let mut fixed = None;
+            for v in 0..n {
+                let o = orbit(&group, v);
+                if o.len() > 1 {
+                    fixed = Some((v, o));
+                    break;
+                }
+            }
+            let (v, o) = fixed.expect("non-trivial group must move some vertex");
+            for &u in &o {
+                if u as usize != v {
+                    less_than.push((v as u8, u));
+                }
+            }
+            group = stabilizer(&group, v);
+        }
+        SymmetryConditions { less_than }
+    }
+
+    /// No conditions (used to measure redundancy without symmetry breaking).
+    pub fn none() -> Self {
+        SymmetryConditions { less_than: Vec::new() }
+    }
+
+    /// Whether a complete assignment `m` (graph vertex matched to each
+    /// pattern vertex) satisfies every condition.
+    pub fn check(&self, m: &[u32]) -> bool {
+        self.less_than
+            .iter()
+            .all(|&(a, b)| m[a as usize] < m[b as usize])
+    }
+
+    /// Number of conditions.
+    pub fn len(&self) -> usize {
+        self.less_than.len()
+    }
+
+    /// Whether there are no conditions.
+    pub fn is_empty(&self) -> bool {
+        self.less_than.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force check: over all injective assignments of `n` pattern
+    /// vertices onto `0..universe` graph ids that are automorphic images of
+    /// each other, exactly one satisfies the conditions.
+    fn assert_one_per_class(p: &Pattern) {
+        let conds = SymmetryConditions::for_pattern(p);
+        let auts = automorphisms(p);
+        let n = p.num_vertices();
+        let universe = n + 2;
+        // Enumerate all injective assignments m: pattern -> universe.
+        let mut assignment = vec![u32::MAX; n];
+        let mut used = vec![false; universe];
+        fn rec(
+            pos: usize,
+            n: usize,
+            universe: usize,
+            assignment: &mut Vec<u32>,
+            used: &mut Vec<bool>,
+            all: &mut Vec<Vec<u32>>,
+        ) {
+            if pos == n {
+                all.push(assignment.clone());
+                return;
+            }
+            for g in 0..universe {
+                if !used[g] {
+                    used[g] = true;
+                    assignment[pos] = g as u32;
+                    rec(pos + 1, n, universe, assignment, used, all);
+                    used[g] = false;
+                }
+            }
+        }
+        let mut all = Vec::new();
+        rec(0, n, universe, &mut assignment, &mut used, &mut all);
+        // Group assignments into automorphism classes: m ~ m' iff there is
+        // an automorphism σ with m'[v] = m[σ(v)] for all v.
+        use std::collections::HashSet;
+        let mut seen: HashSet<Vec<u32>> = HashSet::new();
+        for m in &all {
+            if seen.contains(m) {
+                continue;
+            }
+            let mut class = Vec::new();
+            for a in &auts {
+                let img: Vec<u32> = (0..n).map(|v| m[a[v] as usize]).collect();
+                class.push(img);
+            }
+            class.sort();
+            class.dedup();
+            let satisfying = class.iter().filter(|mm| conds.check(mm)).count();
+            assert_eq!(
+                satisfying, 1,
+                "pattern {p}, class of {m:?}: {satisfying} satisfy"
+            );
+            for mm in class {
+                seen.insert(mm);
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_conditions_total_order() {
+        let c = SymmetryConditions::for_pattern(&Pattern::clique(3));
+        assert_eq!(c.len(), 3);
+        assert!(c.check(&[1, 5, 9]));
+        assert!(!c.check(&[5, 1, 9]));
+    }
+
+    #[test]
+    fn asymmetric_pattern_no_conditions() {
+        let p = Pattern::new(vec![0, 1, 2], vec![(0, 1, 0), (1, 2, 0)]);
+        assert!(SymmetryConditions::for_pattern(&p).is_empty());
+    }
+
+    #[test]
+    fn exactly_one_representative_clique() {
+        assert_one_per_class(&Pattern::clique(3));
+        assert_one_per_class(&Pattern::clique(4));
+    }
+
+    #[test]
+    fn exactly_one_representative_path_star_cycle() {
+        assert_one_per_class(&Pattern::path(3));
+        assert_one_per_class(&Pattern::path(4));
+        assert_one_per_class(&Pattern::star(3));
+        assert_one_per_class(&Pattern::cycle(4));
+        assert_one_per_class(&Pattern::cycle(5));
+    }
+
+    #[test]
+    fn exactly_one_representative_labeled() {
+        let p = Pattern::new(vec![1, 0, 0], vec![(0, 1, 0), (1, 2, 0), (0, 2, 0)]);
+        assert_one_per_class(&p);
+        // Square with alternating labels: automorphisms are label-preserving.
+        let q = Pattern::new(vec![0, 1, 0, 1], vec![(0, 1, 0), (1, 2, 0), (2, 3, 0), (0, 3, 0)]);
+        assert_one_per_class(&q);
+    }
+
+    #[test]
+    fn exactly_one_representative_diamond() {
+        // K4 minus one edge ("diamond").
+        let p = Pattern::unlabeled(4, &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)]);
+        assert_one_per_class(&p);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests: canonical codes are isomorphism invariants.
+
+use fractal_pattern::canon::{are_isomorphic, canonical_code, canonical_form};
+use fractal_pattern::Pattern;
+use proptest::prelude::*;
+
+/// Strategy: a random connected-ish labeled pattern on up to 6 vertices.
+/// (Canonicalization does not require connectivity, so we keep whatever
+/// comes out.)
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    (2usize..=6).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        let edge_bits = proptest::collection::vec(any::<bool>(), max_edges);
+        let edge_labels = proptest::collection::vec(0u32..3, max_edges);
+        let vlabels = proptest::collection::vec(0u32..3, n);
+        (Just(n), vlabels, edge_bits, edge_labels).prop_map(|(n, vl, bits, els)| {
+            let mut edges = Vec::new();
+            let mut idx = 0;
+            for u in 0..n as u8 {
+                for v in (u + 1)..n as u8 {
+                    if bits[idx] {
+                        edges.push((u, v, els[idx]));
+                    }
+                    idx += 1;
+                }
+            }
+            Pattern::new(vl, edges)
+        })
+    })
+}
+
+fn arb_perm(n: usize) -> impl Strategy<Value = Vec<u8>> {
+    Just((0..n as u8).collect::<Vec<u8>>()).prop_shuffle()
+}
+
+proptest! {
+    /// The canonical code is invariant under any vertex relabeling.
+    #[test]
+    fn code_invariant(p in arb_pattern(), seed in any::<u64>()) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut perm: Vec<u8> = (0..p.num_vertices() as u8).collect();
+        perm.shuffle(&mut rng);
+        let q = p.permuted(&perm);
+        prop_assert_eq!(canonical_code(&p), canonical_code(&q));
+        prop_assert!(are_isomorphic(&p, &q));
+    }
+
+    /// The canonical permutation really maps the pattern onto the decoded
+    /// canonical pattern.
+    #[test]
+    fn perm_consistent(p in arb_pattern()) {
+        let f = canonical_form(&p);
+        let q = p.permuted(&f.perm);
+        prop_assert_eq!(q, f.code.to_pattern());
+    }
+
+    /// Codes with different edge counts or vertex counts never collide, and
+    /// decoding a code re-encodes to itself (codes are in canonical form).
+    #[test]
+    fn code_idempotent(p in arb_pattern()) {
+        let code = canonical_code(&p);
+        prop_assert_eq!(canonical_code(&code.to_pattern()), code);
+    }
+
+    /// Automorphism count divides n! and symmetry conditions pick exactly
+    /// one representative of each automorphism class of assignments onto a
+    /// small universe.
+    #[test]
+    fn automorphism_group_divides_factorial(p in arb_pattern()) {
+        let auts = fractal_pattern::autom::automorphisms(&p);
+        let n = p.num_vertices();
+        let fact: usize = (1..=n).product();
+        prop_assert!(!auts.is_empty());
+        prop_assert_eq!(fact % auts.len(), 0, "lagrange: {} auts, {}!", auts.len(), n);
+    }
+
+    /// A permuted pattern has an automorphism group of the same size.
+    #[test]
+    fn group_size_invariant(p in arb_pattern(), perm_seed in any::<u64>()) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(perm_seed);
+        let mut perm: Vec<u8> = (0..p.num_vertices() as u8).collect();
+        perm.shuffle(&mut rng);
+        let q = p.permuted(&perm);
+        prop_assert_eq!(
+            fractal_pattern::autom::automorphisms(&p).len(),
+            fractal_pattern::autom::automorphisms(&q).len()
+        );
+    }
+}
+
+// Keep arb_perm referenced (documented strategy for external users).
+#[test]
+fn perm_strategy_smoke() {
+    let mut runner = proptest::test_runner::TestRunner::default();
+    let tree = arb_perm(5).new_tree(&mut runner).unwrap();
+    let v = proptest::strategy::ValueTree::current(&tree);
+    let mut sorted = v.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+}

@@ -1,0 +1,571 @@
+//! Job execution: core main loops, context API and exact termination.
+//!
+//! A *job* corresponds to one fractal step (§4): every core starts from an
+//! empty subgraph and a partition of the root extensions "determined
+//! on-the-fly using its unique core identifier", drives its own DFS, and —
+//! once its partition is exhausted — turns thief, preferring internal over
+//! external steals (§4.2).
+//!
+//! ## Termination
+//!
+//! The job keeps one global `pending` counter with the invariant
+//!
+//! > `pending` = unclaimed root words + claimed-but-unfinished root words
+//! > + in-flight stolen units.
+//!
+//! Root partitions are pre-counted before any thread starts; whoever claims
+//! a root word decrements once its subtree finishes. Inner level queues are
+//! *not* globally counted (their words are covered by the enclosing unit);
+//! a thief inflates the counter **before** claiming from one, so work can
+//! never appear finished while a stolen fragment is in flight. The
+//! decrement that drives the counter to zero sets the `done` flag; idle
+//! cores and steal servers poll it.
+
+use crate::level::{CoreSlot, GlobalCoreId, LevelQueue, WorkerRegistry};
+use crate::stats::{CoreStats, JobReport};
+use crate::steal::{
+    decode_unit, steal_from_registry, steal_server, StealRequest, StolenUnit,
+};
+use crate::{ClusterConfig, WsMode};
+use crossbeam::channel::{bounded, unbounded, Sender};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Global pending/done state of one job (see module docs for the
+/// invariant).
+#[derive(Debug)]
+pub struct JobState {
+    pending: AtomicI64,
+    done: AtomicBool,
+}
+
+impl JobState {
+    /// Creates the state with `roots` pre-counted units.
+    pub fn new(roots: usize) -> Self {
+        JobState {
+            pending: AtomicI64::new(roots as i64),
+            done: AtomicBool::new(roots == 0),
+        }
+    }
+
+    /// Adds `n` in-flight units (stolen-unit inflation).
+    #[inline]
+    pub fn add_pending(&self, n: i64) {
+        self.pending.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Completes one unit; the decrement that reaches zero flags `done`.
+    #[inline]
+    pub fn sub_pending(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.done.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Whether the job has fully completed.
+    #[inline]
+    pub fn done(&self) -> bool {
+        self.done.load(Ordering::SeqCst)
+    }
+
+    /// Current pending count (diagnostics).
+    pub fn pending(&self) -> i64 {
+        self.pending.load(Ordering::SeqCst)
+    }
+}
+
+/// Defines a job: its root extensions and how to build each core's task.
+pub trait JobSpec: Sync {
+    /// The root extension words (single vertices or edges, Fig. 1). The
+    /// runtime partitions them across cores by striding on the global core
+    /// index.
+    fn roots(&self) -> Vec<u64>;
+
+    /// Builds the per-core task (enumerator state, aggregation shards, …).
+    fn make_core_task<'s>(&'s self, id: GlobalCoreId) -> Box<dyn CoreTask + 's>;
+}
+
+/// The per-core computation driven by the runtime.
+pub trait CoreTask: Send {
+    /// Processes one dispatched unit: rebuild state from `prefix`, apply
+    /// `word`, and run the DFS below it. Deeper levels must be registered
+    /// through [`CoreCtx::push_level`] and fully drained before returning.
+    fn process_unit(&mut self, ctx: &mut CoreCtx<'_>, prefix: &[u64], word: u64);
+
+    /// Called once per core after the job completes (merge shards, …).
+    fn finish(&mut self, _ctx: &mut CoreCtx<'_>) {}
+}
+
+/// The runtime services available to a [`CoreTask`] while processing.
+pub struct CoreCtx<'a> {
+    id: GlobalCoreId,
+    slot: &'a CoreSlot,
+    t0: Instant,
+    /// Statistics being accumulated for this core.
+    pub stats: CoreStats,
+}
+
+impl CoreCtx<'_> {
+    /// This core's identity.
+    #[inline]
+    pub fn core_id(&self) -> GlobalCoreId {
+        self.id
+    }
+
+    /// Nanoseconds since the job started.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.t0.elapsed().as_nanos() as u64
+    }
+
+    /// Registers a new enumeration level (prefix snapshot + extensions) and
+    /// returns its shared handle. The task claims words from the handle and
+    /// **must** drain it (claim until `None`) before calling
+    /// [`pop_level`](Self::pop_level).
+    pub fn push_level(&mut self, prefix: &[u64], extensions: Vec<u64>) -> Arc<LevelQueue> {
+        let level = Arc::new(LevelQueue::new(prefix.to_vec(), extensions, false));
+        self.slot.push(level.clone());
+        level
+    }
+
+    /// Unregisters the most recent level.
+    pub fn pop_level(&mut self) {
+        self.slot.pop();
+    }
+
+    /// Adds to the extension-cost counter (§4.3).
+    #[inline]
+    pub fn add_ec(&mut self, n: u64) {
+        self.stats.ec += n;
+    }
+
+    /// Updates the peak intermediate-state accounting with the task's own
+    /// live bytes; the registered levels' bytes are added automatically.
+    pub fn track_state_bytes(&mut self, task_bytes: u64) {
+        let total = task_bytes + self.slot.resident_bytes() as u64;
+        if total > self.stats.peak_state_bytes {
+            self.stats.peak_state_bytes = total;
+        }
+    }
+}
+
+struct WorkerChannels {
+    steal_tx: Vec<Sender<StealRequest>>,
+}
+
+/// Runs `spec` on a simulated cluster shaped by `config`; blocks until the
+/// job completes and returns the per-core report.
+pub fn run_job(spec: &dyn JobSpec, config: &ClusterConfig) -> JobReport {
+    let roots = spec.roots();
+    let num_workers = config.num_workers.max(1);
+    let cores_per_worker = config.cores_per_worker.max(1);
+    let total_cores = num_workers * cores_per_worker;
+
+    let job = JobState::new(roots.len());
+    let registries: Vec<Arc<WorkerRegistry>> = (0..num_workers)
+        .map(|_| Arc::new(WorkerRegistry::new(cores_per_worker)))
+        .collect();
+
+    // Strided root partitions by global core index ("determined on-the-fly
+    // using its unique core identifier").
+    let mut partitions: Vec<Vec<u64>> = vec![Vec::new(); total_cores];
+    for (i, &w) in roots.iter().enumerate() {
+        partitions[i % total_cores].push(w);
+    }
+
+    // Per-worker steal-request channels.
+    let mut steal_rx = Vec::new();
+    let mut steal_tx = Vec::new();
+    for _ in 0..num_workers {
+        let (tx, rx) = unbounded::<StealRequest>();
+        steal_tx.push(tx);
+        steal_rx.push(rx);
+    }
+    let channels = WorkerChannels { steal_tx };
+    let bytes_served = AtomicU64::new(0);
+
+    let t0 = Instant::now();
+    let mut core_stats: Vec<(GlobalCoreId, CoreStats)> = Vec::with_capacity(total_cores);
+
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(total_cores);
+        for w in 0..num_workers {
+            for c in 0..cores_per_worker {
+                let id = GlobalCoreId { worker: w, core: c };
+                let my_roots = std::mem::take(&mut partitions[w * cores_per_worker + c]);
+                let job = &job;
+                let registries = &registries;
+                let channels = &channels;
+                handles.push((
+                    id,
+                    s.spawn(move || {
+                        core_main(spec, id, my_roots, job, registries, channels, config, t0)
+                    }),
+                ));
+            }
+        }
+        // Steal servers, one per worker, only when external WS is on.
+        let mut server_handles = Vec::new();
+        if config.ws_mode.external() && num_workers > 1 {
+            for (w, rx) in steal_rx.into_iter().enumerate() {
+                let registry = registries[w].clone();
+                let job = &job;
+                let latency = config.net_latency_us;
+                let bytes_served = &bytes_served;
+                server_handles.push(s.spawn(move || {
+                    steal_server(&registry, job, &rx, latency, bytes_served)
+                }));
+            }
+        }
+        for (id, h) in handles {
+            core_stats.push((id, h.join().expect("core thread panicked")));
+        }
+        for h in server_handles {
+            h.join().expect("steal server panicked");
+        }
+    });
+
+    debug_assert!(job.done(), "job must be done after all cores joined");
+    debug_assert_eq!(job.pending(), 0, "pending leak: {}", job.pending());
+
+    JobReport {
+        elapsed: t0.elapsed(),
+        cores: core_stats,
+        bytes_served: bytes_served.load(Ordering::Relaxed),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn core_main(
+    spec: &dyn JobSpec,
+    id: GlobalCoreId,
+    my_roots: Vec<u64>,
+    job: &JobState,
+    registries: &[Arc<WorkerRegistry>],
+    channels: &WorkerChannels,
+    config: &ClusterConfig,
+    t0: Instant,
+) -> CoreStats {
+    let slot = &registries[id.worker].slots[id.core];
+    let mut ctx = CoreCtx {
+        id,
+        slot,
+        t0,
+        stats: CoreStats::default(),
+    };
+    let mut task = spec.make_core_task(id);
+
+    // Phase 1: drain the pre-counted root partition.
+    if !my_roots.is_empty() {
+        let root = Arc::new(LevelQueue::new(Vec::new(), my_roots, true));
+        slot.push(root.clone());
+        while let Some(w) = root.queue.claim() {
+            let start = ctx.now_ns();
+            task.process_unit(&mut ctx, &[], w);
+            let end = ctx.now_ns();
+            ctx.stats.record_segment(start, end);
+            job.sub_pending();
+        }
+        slot.pop();
+    }
+
+    // Phase 2: steal until the whole job is done.
+    if config.ws_mode != WsMode::Disabled {
+        steal_loop(spec, &mut *task, &mut ctx, job, registries, channels, config);
+    }
+
+    task.finish(&mut ctx);
+    ctx.stats
+}
+
+fn steal_loop(
+    _spec: &dyn JobSpec,
+    task: &mut dyn CoreTask,
+    ctx: &mut CoreCtx<'_>,
+    job: &JobState,
+    registries: &[Arc<WorkerRegistry>],
+    channels: &WorkerChannels,
+    config: &ClusterConfig,
+) {
+    let id = ctx.core_id();
+    let num_workers = registries.len();
+    loop {
+        if job.done() {
+            return;
+        }
+        let steal_start = ctx.now_ns();
+        let mut stolen: Option<(StolenUnit, bool)> = None;
+
+        if config.ws_mode.internal() {
+            if let Some(u) = steal_from_registry(&registries[id.worker], Some(id.core), job) {
+                stolen = Some((u, false));
+            }
+        }
+        // Internal scans are pure steal work; external requests are mostly
+        // *blocked waiting* for the server's reply — idle time, not
+        // overhead — so only their active portion is charged below.
+        ctx.stats.steal_ns += ctx.now_ns().saturating_sub(steal_start);
+        if stolen.is_none() && config.ws_mode.external() && num_workers > 1 {
+            let (unit, active_ns) = steal_external(ctx, job, channels, num_workers);
+            ctx.stats.steal_ns += active_ns;
+            stolen = unit.map(|u| (u, true));
+        }
+
+        match stolen {
+            Some((unit, external)) => {
+                if external {
+                    ctx.stats.external_steals += 1;
+                } else {
+                    ctx.stats.internal_steals += 1;
+                }
+                let start = ctx.now_ns();
+                task.process_unit(ctx, &unit.prefix, unit.word);
+                let end = ctx.now_ns();
+                ctx.stats.record_segment(start, end);
+                job.sub_pending();
+            }
+            None => {
+                ctx.stats.failed_steal_rounds += 1;
+                if job.done() {
+                    return;
+                }
+                std::thread::park_timeout(Duration::from_micros(50));
+            }
+        }
+    }
+}
+
+/// One round of external steal attempts: ask every other worker once,
+/// round-robin starting after our own. Returns the unit (if any) plus the
+/// *active* nanoseconds spent (send/decode — excluding the blocked wait
+/// for the server's reply, which is idle time).
+fn steal_external(
+    ctx: &mut CoreCtx<'_>,
+    job: &JobState,
+    channels: &WorkerChannels,
+    num_workers: usize,
+) -> (Option<StolenUnit>, u64) {
+    let my_worker = ctx.core_id().worker;
+    let mut active_ns = 0u64;
+    for i in 1..num_workers {
+        if job.done() {
+            return (None, active_ns);
+        }
+        let victim = (my_worker + i) % num_workers;
+        let t_send = ctx.now_ns();
+        let (reply_tx, reply_rx) = bounded(1);
+        let sent = channels.steal_tx[victim]
+            .send(StealRequest { reply: reply_tx })
+            .is_ok();
+        active_ns += ctx.now_ns().saturating_sub(t_send);
+        if !sent {
+            continue;
+        }
+        // The server always replies unless the job finished; on `done` any
+        // in-flight reply is guaranteed to be `None` (claims cannot succeed
+        // once pending is zero), so abandoning is safe.
+        loop {
+            match reply_rx.recv_timeout(Duration::from_millis(10)) {
+                Ok(Some(bytes)) => {
+                    let t_decode = ctx.now_ns();
+                    ctx.stats.bytes_received += bytes.len() as u64;
+                    let unit = decode_unit(&bytes);
+                    active_ns += ctx.now_ns().saturating_sub(t_decode);
+                    return (Some(unit), active_ns);
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    if job.done() {
+                        return (None, active_ns);
+                    }
+                }
+            }
+        }
+    }
+    (None, active_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_state_counts_to_done() {
+        let j = JobState::new(2);
+        assert!(!j.done());
+        j.sub_pending();
+        assert!(!j.done());
+        j.add_pending(1); // a steal in flight
+        j.sub_pending();
+        assert!(!j.done());
+        j.sub_pending();
+        assert!(j.done());
+    }
+
+    #[test]
+    fn empty_job_is_immediately_done() {
+        let j = JobState::new(0);
+        assert!(j.done());
+    }
+
+    /// A trivial job: each root word contributes `word` to a shared sum.
+    struct SumSpec {
+        roots: Vec<u64>,
+        total: AtomicU64,
+    }
+    struct SumTask<'a> {
+        spec: &'a SumSpec,
+        local: u64,
+    }
+    impl JobSpec for SumSpec {
+        fn roots(&self) -> Vec<u64> {
+            self.roots.clone()
+        }
+        fn make_core_task<'s>(&'s self, _id: GlobalCoreId) -> Box<dyn CoreTask + 's> {
+            Box::new(SumTask { spec: self, local: 0 })
+        }
+    }
+    impl CoreTask for SumTask<'_> {
+        fn process_unit(&mut self, _ctx: &mut CoreCtx<'_>, prefix: &[u64], word: u64) {
+            assert!(prefix.is_empty());
+            self.local += word;
+        }
+        fn finish(&mut self, _ctx: &mut CoreCtx<'_>) {
+            self.spec.total.fetch_add(self.local, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn flat_job_all_modes_and_shapes() {
+        for mode in [
+            WsMode::Disabled,
+            WsMode::InternalOnly,
+            WsMode::ExternalOnly,
+            WsMode::Both,
+        ] {
+            for (w, c) in [(1, 1), (1, 3), (2, 2), (3, 1)] {
+                let spec = SumSpec {
+                    roots: (1..=100).collect(),
+                    total: AtomicU64::new(0),
+                };
+                let report = run_job(
+                    &spec,
+                    &ClusterConfig::local(w, c).with_ws(mode).with_latency_us(0),
+                );
+                assert_eq!(
+                    spec.total.load(Ordering::SeqCst),
+                    5050,
+                    "mode {mode:?} shape {w}x{c}"
+                );
+                assert_eq!(report.cores.len(), w * c);
+                let units: u64 = report.cores.iter().map(|(_, s)| s.units).sum();
+                assert_eq!(units, 100);
+            }
+        }
+    }
+
+    /// A two-level job: each root spawns an inner level of `fanout`
+    /// sub-words, with an artificial skew (all roots land on core 0's
+    /// partition modulo striding) to force stealing.
+    struct TreeSpec {
+        roots: Vec<u64>,
+        fanout: u64,
+        leaf_work_ns: u64,
+        total: AtomicU64,
+    }
+    struct TreeTask<'a> {
+        spec: &'a TreeSpec,
+        local: u64,
+    }
+    impl JobSpec for TreeSpec {
+        fn roots(&self) -> Vec<u64> {
+            self.roots.clone()
+        }
+        fn make_core_task<'s>(&'s self, _id: GlobalCoreId) -> Box<dyn CoreTask + 's> {
+            Box::new(TreeTask { spec: self, local: 0 })
+        }
+    }
+    impl CoreTask for TreeTask<'_> {
+        fn process_unit(&mut self, ctx: &mut CoreCtx<'_>, prefix: &[u64], word: u64) {
+            if !prefix.is_empty() {
+                // Leaf unit (stolen from an inner level).
+                crate::steal::spin_latency(self.spec.leaf_work_ns / 1000);
+                self.local += word;
+                return;
+            }
+            // Root: register an inner level and drain it.
+            let exts: Vec<u64> = (0..self.spec.fanout).collect();
+            let words = [word];
+            let level = ctx.push_level(&words, exts);
+            while let Some(w) = level.queue.claim() {
+                crate::steal::spin_latency(self.spec.leaf_work_ns / 1000);
+                self.local += w;
+            }
+            ctx.pop_level();
+        }
+        fn finish(&mut self, _ctx: &mut CoreCtx<'_>) {
+            self.spec.total.fetch_add(self.local, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn nested_job_with_stealing_is_exact() {
+        let fanout = 128u64;
+        let expected_per_root: u64 = (0..fanout).sum();
+        for mode in [WsMode::InternalOnly, WsMode::ExternalOnly, WsMode::Both] {
+            let spec = TreeSpec {
+                roots: vec![1, 2, 3],
+                fanout,
+                leaf_work_ns: 150_000,
+                total: AtomicU64::new(0),
+            };
+            let report = run_job(
+                &spec,
+                &ClusterConfig::local(2, 2).with_ws(mode).with_latency_us(5),
+            );
+            assert_eq!(
+                spec.total.load(Ordering::SeqCst),
+                3 * expected_per_root,
+                "mode {mode:?}"
+            );
+            let (int_steals, ext_steals) = report.steals();
+            match mode {
+                WsMode::InternalOnly => assert_eq!(ext_steals, 0),
+                WsMode::ExternalOnly => assert_eq!(int_steals, 0),
+                _ => {}
+            }
+            // With 3 skewed roots on 4 cores and large fanout, someone must
+            // have stolen.
+            assert!(int_steals + ext_steals > 0, "no steals in mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn disabled_mode_same_result_no_steals() {
+        let spec = TreeSpec {
+            roots: vec![5, 6],
+            fanout: 16,
+            leaf_work_ns: 1000,
+            total: AtomicU64::new(0),
+        };
+        let report = run_job(
+            &spec,
+            &ClusterConfig::local(2, 2).with_ws(WsMode::Disabled),
+        );
+        assert_eq!(spec.total.load(Ordering::SeqCst), 2 * (0..16).sum::<u64>());
+        assert_eq!(report.steals(), (0, 0));
+    }
+
+    #[test]
+    fn report_has_busy_segments() {
+        let spec = SumSpec {
+            roots: (0..50).collect(),
+            total: AtomicU64::new(0),
+        };
+        let report = run_job(&spec, &ClusterConfig::local(1, 2));
+        assert!(report.total_busy().as_nanos() > 0);
+        let tl = report.utilization_timeline(4);
+        assert_eq!(tl.len(), 4);
+    }
+}

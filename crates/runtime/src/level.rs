@@ -1,0 +1,198 @@
+//! Per-core registries of stealable enumeration levels.
+//!
+//! The depth-first enumeration "maintains one enumerator per extension
+//! level, which can be locked and consumed independently" (§4.2). A
+//! [`LevelQueue`] is one such level: the prefix it extends plus a shared
+//! [`ExtensionQueue`]. The owning core claims from the **top** (deepest)
+//! level — plain DFS — while thieves scan a victim's registry from the
+//! **bottom**, stealing the shallowest (largest) remaining subtrees.
+
+use fractal_enum::ExtensionQueue;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Identifies one execution core of the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalCoreId {
+    /// Worker ("machine") index.
+    pub worker: usize,
+    /// Core index within the worker.
+    pub core: usize,
+}
+
+impl std::fmt::Display for GlobalCoreId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "w{}c{}", self.worker, self.core)
+    }
+}
+
+/// One stealable enumeration level: the word prefix it extends plus the
+/// shared claimable extension list.
+#[derive(Debug)]
+pub struct LevelQueue {
+    /// Words (vertices/edges) leading to this level, immutable snapshot.
+    pub prefix: Vec<u64>,
+    /// The claimable extensions of that prefix.
+    pub queue: ExtensionQueue,
+    /// Whether this queue's words are pre-counted in the job's `pending`
+    /// counter (true only for the root partitions).
+    pub counted: bool,
+}
+
+impl LevelQueue {
+    /// Builds a level from its prefix and extension words.
+    pub fn new(prefix: Vec<u64>, extensions: Vec<u64>, counted: bool) -> Self {
+        LevelQueue {
+            prefix,
+            queue: ExtensionQueue::new(extensions),
+            counted,
+        }
+    }
+
+    /// Depth of this level = number of prefix words.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.prefix.len()
+    }
+
+    /// Approximate resident bytes (prefix + queue).
+    pub fn resident_bytes(&self) -> usize {
+        self.prefix.capacity() * 8 + self.queue.resident_bytes()
+    }
+}
+
+/// The shared registry slot of one core: its stack of live levels.
+///
+/// The owner pushes/pops under a short lock; thieves lock only to clone an
+/// `Arc` of a promising level and then claim through the lock-free queue.
+#[derive(Debug, Default)]
+pub struct CoreSlot {
+    levels: Mutex<Vec<Arc<LevelQueue>>>,
+}
+
+impl CoreSlot {
+    /// Creates an empty slot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a level (owner side).
+    pub fn push(&self, level: Arc<LevelQueue>) {
+        self.levels.lock().push(level);
+    }
+
+    /// Unregisters the top level (owner side).
+    pub fn pop(&self) {
+        let popped = self.levels.lock().pop();
+        debug_assert!(popped.is_some(), "pop on empty level registry");
+    }
+
+    /// Finds the shallowest level that still has unclaimed extensions
+    /// (thief side). The returned `Arc` stays valid even if the owner pops
+    /// the level concurrently.
+    pub fn find_stealable(&self) -> Option<Arc<LevelQueue>> {
+        let levels = self.levels.lock();
+        levels.iter().find(|l| l.queue.has_remaining()).cloned()
+    }
+
+    /// Whether any level currently has unclaimed extensions (racy hint).
+    pub fn has_stealable(&self) -> bool {
+        self.levels.lock().iter().any(|l| l.queue.has_remaining())
+    }
+
+    /// Number of live levels (diagnostics).
+    pub fn depth(&self) -> usize {
+        self.levels.lock().len()
+    }
+
+    /// Sum of resident bytes over live levels (memory accounting).
+    pub fn resident_bytes(&self) -> usize {
+        self.levels.lock().iter().map(|l| l.resident_bytes()).sum()
+    }
+}
+
+/// The registry of all cores of one worker.
+#[derive(Debug)]
+pub struct WorkerRegistry {
+    /// One slot per core of this worker.
+    pub slots: Vec<CoreSlot>,
+}
+
+impl WorkerRegistry {
+    /// Creates a registry with `cores` empty slots.
+    pub fn new(cores: usize) -> Self {
+        WorkerRegistry {
+            slots: (0..cores).map(|_| CoreSlot::new()).collect(),
+        }
+    }
+
+    /// Scans all cores (starting after `skip`, if given) for a stealable
+    /// level; returns the first hit.
+    pub fn find_stealable(&self, skip: Option<usize>) -> Option<Arc<LevelQueue>> {
+        let n = self.slots.len();
+        for i in 0..n {
+            if Some(i) == skip {
+                continue;
+            }
+            if let Some(l) = self.slots[i].find_stealable() {
+                return Some(l);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_push_pop() {
+        let slot = CoreSlot::new();
+        assert_eq!(slot.depth(), 0);
+        slot.push(Arc::new(LevelQueue::new(vec![], vec![1, 2], true)));
+        slot.push(Arc::new(LevelQueue::new(vec![1], vec![3], false)));
+        assert_eq!(slot.depth(), 2);
+        slot.pop();
+        assert_eq!(slot.depth(), 1);
+    }
+
+    #[test]
+    fn thief_finds_shallowest() {
+        let slot = CoreSlot::new();
+        let l0 = Arc::new(LevelQueue::new(vec![], vec![1, 2], true));
+        let l1 = Arc::new(LevelQueue::new(vec![1], vec![3], false));
+        slot.push(l0.clone());
+        slot.push(l1.clone());
+        let found = slot.find_stealable().unwrap();
+        assert_eq!(found.depth(), 0);
+        // Exhaust level 0; now level 1 is the shallowest with work.
+        while l0.queue.claim().is_some() {}
+        let found = slot.find_stealable().unwrap();
+        assert_eq!(found.depth(), 1);
+        while l1.queue.claim().is_some() {}
+        assert!(slot.find_stealable().is_none());
+        assert!(!slot.has_stealable());
+    }
+
+    #[test]
+    fn steal_survives_owner_pop() {
+        let slot = CoreSlot::new();
+        let l = Arc::new(LevelQueue::new(vec![7], vec![9], false));
+        slot.push(l);
+        let stolen = slot.find_stealable().unwrap();
+        slot.pop(); // owner finished with the level
+        // The thief's Arc is still valid.
+        assert_eq!(stolen.prefix, vec![7]);
+        assert_eq!(stolen.queue.claim(), Some(9));
+    }
+
+    #[test]
+    fn registry_scan_skips_self() {
+        let reg = WorkerRegistry::new(2);
+        reg.slots[0].push(Arc::new(LevelQueue::new(vec![], vec![1], true)));
+        assert!(reg.find_stealable(Some(0)).is_none());
+        assert!(reg.find_stealable(Some(1)).is_some());
+        assert!(reg.find_stealable(None).is_some());
+    }
+}

@@ -1,0 +1,260 @@
+//! Execution statistics: per-core busy time, steal counters, extension
+//! cost and state-size accounting.
+//!
+//! These counters back the paper's drill-down experiments: Fig. 8/16 (CPU
+//! utilization and per-task runtimes), Table 2 (memory per worker), §4.3
+//! (extension cost) and §6 (work-stealing overhead).
+
+use crate::level::GlobalCoreId;
+use std::time::Duration;
+
+/// Counters recorded by one core during one job.
+#[derive(Debug, Default, Clone)]
+pub struct CoreStats {
+    /// Nanoseconds spent processing work units.
+    pub busy_ns: u64,
+    /// Work units processed (root + stolen dispatches).
+    pub units: u64,
+    /// Successful intra-worker steals.
+    pub internal_steals: u64,
+    /// Successful inter-worker steals.
+    pub external_steals: u64,
+    /// Full failed steal rounds (every victim came up empty).
+    pub failed_steal_rounds: u64,
+    /// Bytes of steal replies received from other workers.
+    pub bytes_received: u64,
+    /// Extension-cost counter: candidate tests performed (§4.3).
+    pub ec: u64,
+    /// Peak tracked intermediate-state bytes (enumerator levels, subgraph,
+    /// aggregation shards).
+    pub peak_state_bytes: u64,
+    /// Nanoseconds spent in work-stealing code paths (scans, requests,
+    /// rebuilds of stolen prefixes).
+    pub steal_ns: u64,
+    /// Merged busy intervals `(start_ns, end_ns)` since job start.
+    pub segments: Vec<(u64, u64)>,
+}
+
+impl CoreStats {
+    /// Records a processed unit busy interval, merging near-contiguous
+    /// segments (gap below 200µs) to bound memory.
+    pub fn record_segment(&mut self, start_ns: u64, end_ns: u64) {
+        self.busy_ns += end_ns.saturating_sub(start_ns);
+        self.units += 1;
+        if let Some(last) = self.segments.last_mut() {
+            if start_ns.saturating_sub(last.1) < 200_000 {
+                last.1 = end_ns;
+                return;
+            }
+        }
+        if self.segments.len() < 1_000_000 {
+            self.segments.push((start_ns, end_ns));
+        }
+    }
+
+    /// The instant (ns since job start) this core last finished work.
+    pub fn finished_at_ns(&self) -> u64 {
+        self.segments.last().map(|&(_, e)| e).unwrap_or(0)
+    }
+}
+
+/// The result of executing one job on the simulated cluster.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Wall-clock duration of the job.
+    pub elapsed: Duration,
+    /// Per-core statistics.
+    pub cores: Vec<(GlobalCoreId, CoreStats)>,
+    /// Total bytes served by steal servers (external-steal traffic).
+    pub bytes_served: u64,
+}
+
+impl JobReport {
+    /// Total busy time across cores.
+    pub fn total_busy(&self) -> Duration {
+        Duration::from_nanos(self.cores.iter().map(|(_, s)| s.busy_ns).sum())
+    }
+
+    /// Mean CPU utilization: busy time / (cores × wall time), in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        let wall = self.elapsed.as_nanos() as f64 * self.cores.len() as f64;
+        if wall == 0.0 {
+            return 0.0;
+        }
+        (self.total_busy().as_nanos() as f64 / wall).min(1.0)
+    }
+
+    /// Utilization per time bucket: fraction of cores busy during each of
+    /// `buckets` equal slices of the job (the Fig. 8 curve).
+    pub fn utilization_timeline(&self, buckets: usize) -> Vec<f64> {
+        let total = self.elapsed.as_nanos() as u64;
+        if total == 0 || buckets == 0 {
+            return vec![0.0; buckets];
+        }
+        let width = (total / buckets as u64).max(1);
+        let mut out = vec![0.0; buckets];
+        for (_, s) in &self.cores {
+            for &(a, b) in &s.segments {
+                let first = (a / width) as usize;
+                let last = ((b.saturating_sub(1)) / width) as usize;
+                for (bkt, slot) in out
+                    .iter_mut()
+                    .enumerate()
+                    .take(last.min(buckets - 1) + 1)
+                    .skip(first.min(buckets - 1))
+                {
+                    let lo = bkt as u64 * width;
+                    let hi = lo + width;
+                    let overlap = b.min(hi).saturating_sub(a.max(lo));
+                    *slot += overlap as f64 / width as f64;
+                }
+            }
+        }
+        for v in &mut out {
+            *v /= self.cores.len() as f64;
+        }
+        out
+    }
+
+    /// Total successful steals `(internal, external)`.
+    pub fn steals(&self) -> (u64, u64) {
+        self.cores.iter().fold((0, 0), |(i, e), (_, s)| {
+            (i + s.internal_steals, e + s.external_steals)
+        })
+    }
+
+    /// Total extension cost (candidate tests, §4.3).
+    pub fn total_ec(&self) -> u64 {
+        self.cores.iter().map(|(_, s)| s.ec).sum()
+    }
+
+    /// Per-worker intermediate state: sum of its cores' peaks, in bytes
+    /// (the Table 2 metric).
+    pub fn worker_state_bytes(&self) -> Vec<u64> {
+        let num_workers = self
+            .cores
+            .iter()
+            .map(|(id, _)| id.worker + 1)
+            .max()
+            .unwrap_or(0);
+        let mut out = vec![0u64; num_workers];
+        for (id, s) in &self.cores {
+            out[id.worker] += s.peak_state_bytes;
+        }
+        out
+    }
+
+    /// Fraction of busy time spent on work-stealing code paths (§6).
+    pub fn steal_overhead(&self) -> f64 {
+        let busy: u64 = self.cores.iter().map(|(_, s)| s.busy_ns).sum();
+        let steal: u64 = self.cores.iter().map(|(_, s)| s.steal_ns).sum();
+        if busy + steal == 0 {
+            return 0.0;
+        }
+        steal as f64 / (busy + steal) as f64
+    }
+
+    /// Busy time of each core in seconds, ordered by core id — the
+    /// per-task runtimes plotted in Fig. 16.
+    pub fn task_times(&self) -> Vec<f64> {
+        self.cores
+            .iter()
+            .map(|(_, s)| s.busy_ns as f64 / 1e9)
+            .collect()
+    }
+
+    /// Coefficient of variation of per-core busy times (0 = perfectly
+    /// balanced).
+    pub fn imbalance(&self) -> f64 {
+        let times = self.task_times();
+        let n = times.len() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let mean = times.iter().sum::<f64>() / n;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = times.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / n;
+        var.sqrt() / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cores: Vec<CoreStats>, elapsed_ns: u64) -> JobReport {
+        JobReport {
+            elapsed: Duration::from_nanos(elapsed_ns),
+            cores: cores
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| (GlobalCoreId { worker: 0, core: i }, s))
+                .collect(),
+            bytes_served: 0,
+        }
+    }
+
+    #[test]
+    fn segments_merge_when_contiguous() {
+        let mut s = CoreStats::default();
+        s.record_segment(0, 1000);
+        s.record_segment(1500, 3000); // gap 500ns < 200µs -> merged
+        assert_eq!(s.segments.len(), 1);
+        assert_eq!(s.segments[0], (0, 3000));
+        s.record_segment(10_000_000, 11_000_000); // gap ~10ms -> new segment
+        assert_eq!(s.segments.len(), 2);
+        assert_eq!(s.units, 3);
+        assert_eq!(s.busy_ns, 1000 + 1500 + 1_000_000);
+    }
+
+    #[test]
+    fn utilization_full_and_half() {
+        let mut a = CoreStats::default();
+        a.record_segment(0, 1000);
+        let mut b = CoreStats::default();
+        b.record_segment(0, 500);
+        let r = report(vec![a, b], 1000);
+        assert!((r.utilization() - 0.75).abs() < 1e-9);
+        let tl = r.utilization_timeline(2);
+        assert!((tl[0] - 1.0).abs() < 1e-9);
+        assert!((tl[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalance_zero_when_equal() {
+        let mut a = CoreStats::default();
+        a.record_segment(0, 1000);
+        let mut b = CoreStats::default();
+        b.record_segment(0, 1000);
+        let r = report(vec![a, b], 1000);
+        assert!(r.imbalance() < 1e-9);
+    }
+
+    #[test]
+    fn worker_state_sums_cores() {
+        let mut a = CoreStats::default();
+        a.peak_state_bytes = 100;
+        let mut b = CoreStats::default();
+        b.peak_state_bytes = 50;
+        let r = JobReport {
+            elapsed: Duration::from_nanos(1),
+            cores: vec![
+                (GlobalCoreId { worker: 0, core: 0 }, a),
+                (GlobalCoreId { worker: 1, core: 0 }, b),
+            ],
+            bytes_served: 0,
+        };
+        assert_eq!(r.worker_state_bytes(), vec![100, 50]);
+    }
+
+    #[test]
+    fn steal_overhead_ratio() {
+        let mut a = CoreStats::default();
+        a.busy_ns = 99;
+        a.steal_ns = 1;
+        let r = report(vec![a], 100);
+        assert!((r.steal_overhead() - 0.01).abs() < 1e-9);
+    }
+}

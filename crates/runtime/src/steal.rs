@@ -1,0 +1,252 @@
+//! The steal protocol: claim semantics, wire format and steal servers.
+//!
+//! Internal steals are direct shared-memory claims on a sibling core's
+//! level queues. External steals go through a per-worker *steal server*
+//! (the actor of Fig. 6c/9b): the idle core sends a request, the victim's
+//! server claims one extension on its behalf, serializes `(prefix, word)`
+//! into a length-prefixed byte buffer, applies the simulated network
+//! latency and replies. "A subgraph enumerator (prefix) represents a
+//! unique independent piece of work that can be shipped to any worker"
+//! (§4.2).
+
+use crate::executor::JobState;
+use crate::level::{LevelQueue, WorkerRegistry};
+use bytes::{Buf, BufMut, BytesMut};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use std::time::{Duration, Instant};
+
+/// A unit of stolen work: the prefix to rebuild plus the claimed extension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StolenUnit {
+    /// Words leading to the level the extension was stolen from.
+    pub prefix: Vec<u64>,
+    /// The claimed extension word.
+    pub word: u64,
+}
+
+/// Claims one extension from `level`, maintaining the job's pending
+/// accounting: uncounted (inner) queues are inflated *before* the claim so
+/// the work can never be considered finished while the stolen unit is in
+/// flight; the claimer owes one `sub_pending` after processing.
+pub fn try_claim(level: &LevelQueue, job: &JobState) -> Option<u64> {
+    if !level.counted {
+        job.add_pending(1);
+    }
+    match level.queue.claim() {
+        Some(w) => Some(w),
+        None => {
+            if !level.counted {
+                job.sub_pending();
+            }
+            None
+        }
+    }
+}
+
+/// Scans `registry` for a stealable level (skipping core `skip`, if local)
+/// and claims from it. Returns the stolen unit.
+pub fn steal_from_registry(
+    registry: &WorkerRegistry,
+    skip: Option<usize>,
+    job: &JobState,
+) -> Option<StolenUnit> {
+    // A failed claim (lost race) retries the scan a few times before giving
+    // up, so near-misses don't immediately escalate to remote steals.
+    for _ in 0..4 {
+        let level = registry.find_stealable(skip)?;
+        if let Some(word) = try_claim(&level, job) {
+            return Some(StolenUnit {
+                prefix: level.prefix.clone(),
+                word,
+            });
+        }
+    }
+    None
+}
+
+/// Serializes a stolen unit: `u32` prefix length, prefix words, word.
+pub fn encode_unit(unit: &StolenUnit) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(4 + 8 * (unit.prefix.len() + 1));
+    buf.put_u32(unit.prefix.len() as u32);
+    for &w in &unit.prefix {
+        buf.put_u64(w);
+    }
+    buf.put_u64(unit.word);
+    buf.to_vec()
+}
+
+/// Deserializes a stolen unit (panics on malformed input — the channel is
+/// internal and framing is exact).
+pub fn decode_unit(mut bytes: &[u8]) -> StolenUnit {
+    let len = bytes.get_u32() as usize;
+    let mut prefix = Vec::with_capacity(len);
+    for _ in 0..len {
+        prefix.push(bytes.get_u64());
+    }
+    let word = bytes.get_u64();
+    debug_assert!(bytes.is_empty(), "trailing bytes in steal message");
+    StolenUnit { prefix, word }
+}
+
+/// A steal request carrying the reply channel.
+pub struct StealRequest {
+    /// Where to send the (optional) serialized unit.
+    pub reply: Sender<Option<Vec<u8>>>,
+}
+
+/// Busy-waits for `us` microseconds (sub-millisecond precision; models one
+/// network hop).
+pub fn spin_latency(us: u64) {
+    if us == 0 {
+        return;
+    }
+    let t0 = Instant::now();
+    let target = Duration::from_micros(us);
+    while t0.elapsed() < target {
+        std::hint::spin_loop();
+    }
+}
+
+/// The steal-server loop of one worker: serves remote requests until the
+/// job is done, then drains stragglers with `None` replies.
+pub fn steal_server(
+    registry: &WorkerRegistry,
+    job: &JobState,
+    rx: &Receiver<StealRequest>,
+    latency_us: u64,
+    bytes_served: &AtomicU64,
+) {
+    loop {
+        match rx.recv_timeout(Duration::from_micros(500)) {
+            Ok(req) => {
+                let unit = steal_from_registry(registry, None, job);
+                let reply = unit.map(|u| {
+                    spin_latency(latency_us);
+                    let bytes = encode_unit(&u);
+                    bytes_served.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                    bytes
+                });
+                // A dropped requester (timed out and abandoned) is fine:
+                // claims only succeed while pending > 0, and an abandoned
+                // Some-reply cannot happen after done (see executor docs).
+                let _ = req.reply.send(reply);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if job.done() {
+                    while let Ok(req) = rx.try_recv() {
+                        let _ = req.reply.send(None);
+                    }
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::CoreSlot;
+    use std::sync::Arc;
+    use std::sync::Arc as StdArc;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let u = StolenUnit {
+            prefix: vec![1, u64::MAX, 42],
+            word: 7,
+        };
+        assert_eq!(decode_unit(&encode_unit(&u)), u);
+        let empty = StolenUnit {
+            prefix: vec![],
+            word: 0,
+        };
+        assert_eq!(decode_unit(&encode_unit(&empty)), empty);
+    }
+
+    #[test]
+    fn try_claim_counts_uncounted_queues() {
+        let job = JobState::new(1); // one pre-counted root elsewhere
+        let level = LevelQueue::new(vec![9], vec![5], false);
+        let w = try_claim(&level, &job).unwrap();
+        assert_eq!(w, 5);
+        assert_eq!(job.pending(), 2); // root + inflated steal
+        job.sub_pending(); // thief finished
+        job.sub_pending(); // root finished
+        assert!(job.done());
+    }
+
+    #[test]
+    fn try_claim_rolls_back_on_empty() {
+        let job = JobState::new(1);
+        let level = LevelQueue::new(vec![], vec![], false);
+        assert!(try_claim(&level, &job).is_none());
+        assert_eq!(job.pending(), 1);
+        assert!(!job.done());
+    }
+
+    #[test]
+    fn counted_queue_not_inflated() {
+        let job = JobState::new(2);
+        let level = LevelQueue::new(vec![], vec![1, 2], true);
+        assert!(try_claim(&level, &job).is_some());
+        assert_eq!(job.pending(), 2); // unchanged: roots pre-counted
+    }
+
+    #[test]
+    fn registry_steal_returns_prefix() {
+        let job = JobState::new(1);
+        let reg = WorkerRegistry {
+            slots: vec![CoreSlot::new(), CoreSlot::new()],
+        };
+        reg.slots[1].push(StdArc::new(LevelQueue::new(vec![3, 4], vec![8], false)));
+        let unit = steal_from_registry(&reg, Some(0), &job).unwrap();
+        assert_eq!(unit.prefix, vec![3, 4]);
+        assert_eq!(unit.word, 8);
+        assert!(steal_from_registry(&reg, Some(0), &job).is_none());
+    }
+
+    #[test]
+    fn server_replies_none_when_no_work_and_exits_on_done() {
+        let job = Arc::new(JobState::new(1));
+        let reg = Arc::new(WorkerRegistry::new(1));
+        let bytes_served = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = crossbeam::channel::unbounded::<StealRequest>();
+        let j2 = job.clone();
+        let r2 = reg.clone();
+        let b2 = bytes_served.clone();
+        let h = std::thread::spawn(move || steal_server(&r2, &j2, &rx, 0, &b2));
+        let (rtx, rrx) = crossbeam::channel::bounded(1);
+        tx.send(StealRequest { reply: rtx }).unwrap();
+        assert_eq!(rrx.recv_timeout(Duration::from_secs(2)).unwrap(), None);
+        job.sub_pending(); // -> done
+        h.join().unwrap();
+        assert_eq!(bytes_served.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn server_ships_available_work() {
+        let job = Arc::new(JobState::new(1));
+        let reg = Arc::new(WorkerRegistry::new(1));
+        reg.slots[0].push(StdArc::new(LevelQueue::new(vec![7], vec![9], false)));
+        let bytes_served = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = crossbeam::channel::unbounded::<StealRequest>();
+        let j2 = job.clone();
+        let r2 = reg.clone();
+        let b2 = bytes_served.clone();
+        let h = std::thread::spawn(move || steal_server(&r2, &j2, &rx, 0, &b2));
+        let (rtx, rrx) = crossbeam::channel::bounded(1);
+        tx.send(StealRequest { reply: rtx }).unwrap();
+        let reply = rrx.recv_timeout(Duration::from_secs(2)).unwrap().unwrap();
+        let unit = decode_unit(&reply);
+        assert_eq!(unit, StolenUnit { prefix: vec![7], word: 9 });
+        assert!(bytes_served.load(Ordering::Relaxed) > 0);
+        // Requester finishes the stolen unit; job completes; server exits.
+        job.sub_pending(); // the inflated stolen unit
+        job.sub_pending(); // the pre-counted root
+        h.join().unwrap();
+    }
+}

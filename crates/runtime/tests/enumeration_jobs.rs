@@ -1,0 +1,195 @@
+//! End-to-end runtime tests: real subgraph enumeration executed through
+//! the work-stealing runtime, validated against single-thread counts for
+//! every cluster shape and stealing mode.
+
+use fractal_enum::enumerator::{SubgraphEnumerator, VertexInducedEnumerator};
+use fractal_enum::{KClistEnumerator, Subgraph};
+use fractal_graph::Graph;
+use fractal_runtime::executor::{run_job, CoreCtx, CoreTask, JobSpec};
+use fractal_runtime::level::GlobalCoreId;
+use fractal_runtime::{ClusterConfig, WsMode};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts connected induced subgraphs with `depth` vertices, optionally
+/// only cliques, by driving an enumerator below each dispatched unit.
+struct EnumSpec<'g> {
+    graph: &'g Graph,
+    depth: usize,
+    cliques_only: bool,
+    kclist: bool,
+    total: AtomicU64,
+}
+
+struct EnumTask<'g> {
+    spec: &'g EnumSpec<'g>,
+    enumerator: Box<dyn SubgraphEnumerator + 'static>,
+    sg: Subgraph,
+    local: u64,
+}
+
+impl<'g> JobSpec for EnumSpec<'g> {
+    fn roots(&self) -> Vec<u64> {
+        (0..self.graph.num_vertices() as u64).collect()
+    }
+
+    fn make_core_task<'s>(&'s self, _id: GlobalCoreId) -> Box<dyn CoreTask + 's> {
+        let enumerator: Box<dyn SubgraphEnumerator> = if self.kclist {
+            Box::new(KClistEnumerator::new(self.graph))
+        } else {
+            Box::new(VertexInducedEnumerator::new())
+        };
+        Box::new(EnumTask {
+            spec: self,
+            enumerator,
+            sg: Subgraph::new(self.graph),
+            local: 0,
+        })
+    }
+}
+
+impl EnumTask<'_> {
+    fn dfs(&mut self, ctx: &mut CoreCtx<'_>, words: &mut Vec<u64>) {
+        if self.sg.num_vertices() == self.spec.depth {
+            let k = self.spec.depth;
+            if !self.spec.cliques_only || self.sg.num_edges() == k * (k - 1) / 2 {
+                self.local += 1;
+            }
+            return;
+        }
+        let mut exts = Vec::new();
+        let ec = self
+            .enumerator
+            .compute_extensions(self.spec.graph, &self.sg, &mut exts);
+        ctx.add_ec(ec);
+        let level = ctx.push_level(words, exts);
+        while let Some(w) = level.queue.claim() {
+            self.enumerator.extend(self.spec.graph, &mut self.sg, w);
+            words.push(w);
+            self.dfs(ctx, words);
+            words.pop();
+            self.enumerator.retract(self.spec.graph, &mut self.sg);
+        }
+        ctx.pop_level();
+    }
+}
+
+impl CoreTask for EnumTask<'_> {
+    fn process_unit(&mut self, ctx: &mut CoreCtx<'_>, prefix: &[u64], word: u64) {
+        self.enumerator
+            .rebuild(self.spec.graph, &mut self.sg, prefix);
+        self.enumerator.extend(self.spec.graph, &mut self.sg, word);
+        let mut words: Vec<u64> = prefix.to_vec();
+        words.push(word);
+        self.dfs(ctx, &mut words);
+        self.enumerator.retract(self.spec.graph, &mut self.sg);
+        ctx.track_state_bytes(self.sg.resident_bytes() as u64);
+    }
+
+    fn finish(&mut self, _ctx: &mut CoreCtx<'_>) {
+        self.spec.total.fetch_add(self.local, Ordering::SeqCst);
+    }
+}
+
+fn run_count(g: &Graph, depth: usize, cliques_only: bool, kclist: bool, cfg: &ClusterConfig) -> u64 {
+    let spec = EnumSpec {
+        graph: g,
+        depth,
+        cliques_only,
+        kclist,
+        total: AtomicU64::new(0),
+    };
+    run_job(&spec, cfg);
+    spec.total.load(Ordering::SeqCst)
+}
+
+#[test]
+fn parallel_counts_match_single_thread_all_modes() {
+    let g = fractal_graph::gen::mico_like(150, 3, 11);
+    let reference = run_count(&g, 3, false, false, &ClusterConfig::single_thread());
+    assert!(reference > 0);
+    for mode in [
+        WsMode::Disabled,
+        WsMode::InternalOnly,
+        WsMode::ExternalOnly,
+        WsMode::Both,
+    ] {
+        for (w, c) in [(1, 4), (2, 2), (4, 1)] {
+            let got = run_count(
+                &g,
+                3,
+                false,
+                false,
+                &ClusterConfig::local(w, c).with_ws(mode).with_latency_us(2),
+            );
+            assert_eq!(got, reference, "mode {mode:?} shape {w}x{c}");
+        }
+    }
+}
+
+#[test]
+fn clique_counts_match_between_generic_and_kclist_parallel() {
+    let g = fractal_graph::gen::youtube_like(200, 2, 5);
+    let cfg = ClusterConfig::local(2, 2);
+    for k in 3..=4 {
+        let generic = run_count(&g, k, true, false, &cfg);
+        let kclist = run_count(&g, k, true, true, &cfg);
+        assert_eq!(generic, kclist, "k={k}");
+        assert!(generic > 0, "k={k} found no cliques");
+    }
+}
+
+#[test]
+fn skewed_work_gets_stolen_and_balances() {
+    // A hub-heavy graph makes core partitions skewed; with stealing enabled
+    // the imbalance (CV of per-core busy time) must drop.
+    let g = fractal_graph::gen::barabasi_albert(400, 6, 1, 1, 7);
+    let spec_run = |mode: WsMode| {
+        let spec = EnumSpec {
+            graph: &g,
+            depth: 4,
+            cliques_only: false,
+            kclist: false,
+            total: AtomicU64::new(0),
+        };
+        let report = run_job(&spec, &ClusterConfig::local(2, 2).with_ws(mode));
+        (spec.total.load(Ordering::SeqCst), report)
+    };
+    let (count_dis, rep_dis) = spec_run(WsMode::Disabled);
+    let (count_both, rep_both) = spec_run(WsMode::Both);
+    assert_eq!(count_dis, count_both);
+    let (int_steals, ext_steals) = rep_both.steals();
+    assert!(int_steals + ext_steals > 0, "expected steals on skewed work");
+    // Balanced run should not be more imbalanced (tolerance for timing noise).
+    assert!(
+        rep_both.imbalance() <= rep_dis.imbalance() + 0.3,
+        "balancing increased imbalance: {} vs {}",
+        rep_both.imbalance(),
+        rep_dis.imbalance()
+    );
+}
+
+#[test]
+fn extension_cost_is_mode_independent() {
+    let g = fractal_graph::gen::mico_like(120, 2, 3);
+    let cfg_a = ClusterConfig::single_thread();
+    let cfg_b = ClusterConfig::local(2, 2);
+    let spec = EnumSpec {
+        graph: &g,
+        depth: 3,
+        cliques_only: false,
+        kclist: false,
+        total: AtomicU64::new(0),
+    };
+    let r1 = run_job(&spec, &cfg_a);
+    let spec2 = EnumSpec {
+        graph: &g,
+        depth: 3,
+        cliques_only: false,
+        kclist: false,
+        total: AtomicU64::new(0),
+    };
+    let r2 = run_job(&spec2, &cfg_b);
+    // The enumeration tree is identical, so total EC matches exactly.
+    assert_eq!(r1.total_ec(), r2.total_ec());
+    assert!(r1.total_ec() > 0);
+}

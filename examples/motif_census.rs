@@ -1,0 +1,71 @@
+//! Motif census of a social-style network — the bioinformatics /
+//! social-media workload from the paper's introduction: which small
+//! connected shapes dominate a network, and how does the census shift
+//! against a random graph with the same size?
+//!
+//! ```sh
+//! cargo run --release --example motif_census
+//! ```
+
+use fractal::prelude::*;
+use fractal::pattern::CanonicalCode;
+use std::collections::HashMap;
+
+fn census(fg: &fractal::core::FractalGraph, k: usize) -> HashMap<CanonicalCode, u64> {
+    fractal::apps::motifs::motifs(fg, k)
+}
+
+fn describe(code: &CanonicalCode) -> String {
+    let p = code.to_pattern();
+    let (n, m) = (p.num_vertices(), p.num_edges());
+    if p.is_clique() {
+        return format!("K{n}");
+    }
+    let max_deg = (0..n).map(|v| p.degree(v)).max().unwrap_or(0);
+    if max_deg == n - 1 && m == n - 1 {
+        return format!("star{}", n - 1);
+    }
+    if m == n - 1 {
+        return format!("tree{n}v");
+    }
+    if m == n && (0..n).all(|v| p.degree(v) == 2) {
+        return format!("C{n}");
+    }
+    format!("{n}v{m}e")
+}
+
+fn main() {
+    let fc = FractalContext::new(ClusterConfig::local(2, 4));
+
+    // A preferential-attachment network (heavy clustering of hubs) vs an
+    // Erdős–Rényi graph of identical size.
+    let social = fractal::graph::gen::youtube_like(1500, 1, 7);
+    let m = social.num_edges();
+    let random = fractal::graph::gen::erdos_renyi(1500, m, 1, 7);
+
+    let fg_social = fc.fractal_graph(social);
+    let fg_random = fc.fractal_graph(random);
+
+    for k in [3usize, 4] {
+        println!("== {k}-vertex motif census ==");
+        let a = census(&fg_social, k);
+        let b = census(&fg_random, k);
+        let mut keys: Vec<&CanonicalCode> = a.keys().chain(b.keys()).collect();
+        keys.sort();
+        keys.dedup();
+        println!("{:>10} {:>12} {:>12} {:>8}", "motif", "social", "random", "ratio");
+        for code in keys {
+            let ca = a.get(code).copied().unwrap_or(0);
+            let cb = b.get(code).copied().unwrap_or(0);
+            let ratio = if cb == 0 {
+                "inf".to_string()
+            } else {
+                format!("{:.2}", ca as f64 / cb as f64)
+            };
+            println!("{:>10} {ca:>12} {cb:>12} {ratio:>8}", describe(code));
+        }
+        println!();
+    }
+    println!("scale-free graphs over-express cliques relative to ER — the");
+    println!("irregularity that makes GPM load balancing hard (paper §4.2).");
+}

@@ -1,0 +1,81 @@
+//! Determinism and configuration-invariance: results never depend on the
+//! cluster shape, stealing mode, or repetition.
+
+use fractal::prelude::*;
+use fractal::pattern::CanonicalCode;
+use std::collections::HashMap;
+
+fn shapes() -> Vec<ClusterConfig> {
+    vec![
+        ClusterConfig::single_thread(),
+        ClusterConfig::local(1, 4),
+        ClusterConfig::local(2, 2),
+        ClusterConfig::local(2, 2).with_ws(WsMode::Disabled),
+        ClusterConfig::local(2, 2).with_ws(WsMode::ExternalOnly),
+        ClusterConfig::local(4, 1).with_ws(WsMode::Both).with_latency_us(1),
+    ]
+}
+
+#[test]
+fn motif_census_invariant() {
+    let g = fractal::graph::gen::mico_like(220, 3, 7);
+    let mut reference: Option<HashMap<CanonicalCode, u64>> = None;
+    for cfg in shapes() {
+        let fg = FractalContext::new(cfg).fractal_graph(g.clone());
+        let m = fractal::apps::motifs::motifs(&fg, 3);
+        match &reference {
+            None => reference = Some(m),
+            Some(r) => assert_eq!(&m, r),
+        }
+    }
+}
+
+#[test]
+fn query_counts_invariant() {
+    let g = fractal::graph::gen::patents_like(200, 1, 7);
+    let q = fractal::apps::query::diamond();
+    let mut reference = None;
+    for cfg in shapes() {
+        let fg = FractalContext::new(cfg).fractal_graph(g.clone());
+        let n = fractal::apps::query::count_matches(&fg, &q);
+        match reference {
+            None => reference = Some(n),
+            Some(r) => assert_eq!(n, r),
+        }
+    }
+}
+
+#[test]
+fn fsm_results_invariant() {
+    let g = fractal::graph::gen::patents_like(80, 3, 29);
+    let mut reference: Option<HashMap<CanonicalCode, u64>> = None;
+    for cfg in shapes().into_iter().take(4) {
+        let fg = FractalContext::new(cfg).fractal_graph(g.clone());
+        let m = fractal::apps::fsm::frequent_map(&fractal::apps::fsm::fsm(&fg, 8, 2));
+        match &reference {
+            None => reference = Some(m),
+            Some(r) => assert_eq!(&m, r),
+        }
+    }
+}
+
+#[test]
+fn repeated_runs_identical() {
+    let g = fractal::graph::gen::youtube_like(200, 1, 31);
+    let fg = FractalContext::new(ClusterConfig::local(2, 2)).fractal_graph(g);
+    let runs: Vec<u64> = (0..3)
+        .map(|_| fractal::apps::cliques::count(&fg, 4))
+        .collect();
+    assert!(runs.windows(2).all(|w| w[0] == w[1]), "{runs:?}");
+}
+
+#[test]
+fn generators_are_deterministic() {
+    let a = fractal::graph::gen::wikidata_like(300, 40, 5);
+    let b = fractal::graph::gen::wikidata_like(300, 40, 5);
+    assert_eq!(a.num_edges(), b.num_edges());
+    for v in a.vertices() {
+        assert_eq!(a.neighbors(v), b.neighbors(v));
+        assert_eq!(a.vertex_keywords(v), b.vertex_keywords(v));
+    }
+}

@@ -1,0 +1,134 @@
+//! Workspace-level integration tests through the umbrella crate: every
+//! application, on every extension strategy, against independent oracles.
+
+use fractal::prelude::*;
+use fractal::pattern::CanonicalCode;
+use std::collections::HashMap;
+
+fn fc() -> FractalContext {
+    FractalContext::new(ClusterConfig::local(2, 2))
+}
+
+#[test]
+fn paper_running_example_counts() {
+    // The graph of Fig. 1: vertices v0..v6. Reconstructed edges consistent
+    // with the figure's counts are not fully recoverable from text, so use
+    // the canonical toy: triangle + tail + square sharing a vertex.
+    let g = fractal::graph::unlabeled_from_edges(
+        6,
+        &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
+    );
+    let fg = fc().fractal_graph(g);
+    // 2 triangles, every edge is a 2-vertex subgraph, etc.
+    assert_eq!(fractal::apps::cliques::count(&fg, 3), 2);
+    assert_eq!(fg.vfractoid().expand(2).count(), 7);
+    let motifs = fractal::apps::motifs::motifs(&fg, 3);
+    let total: u64 = motifs.values().sum();
+    assert_eq!(total, fg.vfractoid().expand(3).count());
+}
+
+#[test]
+fn three_fractoid_types_agree_on_triangles() {
+    let g = fractal::graph::gen::mico_like(300, 1, 99);
+    let fg = fc().fractal_graph(g);
+    let vertex_way = fg
+        .vfractoid()
+        .expand(3)
+        .filter(|s| s.is_clique())
+        .count();
+    let edge_way = fg
+        .efractoid()
+        .expand(3)
+        .filter(|s| s.num_vertices() == 3)
+        .count();
+    let pattern_way = fg
+        .pfractoid_unlabeled(&Pattern::clique(3))
+        .expand(3)
+        .count();
+    assert_eq!(vertex_way, edge_way);
+    assert_eq!(vertex_way, pattern_way);
+    assert!(vertex_way > 0);
+}
+
+#[test]
+fn apps_agree_with_baselines_end_to_end() {
+    let g = fractal::graph::gen::youtube_like(250, 2, 41);
+    let fg = fc().fractal_graph(g.clone());
+
+    // Motifs vs the single-thread baseline.
+    let motifs = fractal::apps::motifs::motifs(&fg, 3);
+    let st = fractal::baselines::single_thread::gtries_motifs(&g, 3);
+    assert_eq!(motifs, st);
+
+    // Cliques vs KClist.
+    assert_eq!(
+        fractal::apps::cliques::count(&fg, 4),
+        fractal::baselines::single_thread::kclist_cliques(&g, 4)
+    );
+
+    // Triangles vs node-iterator.
+    assert_eq!(
+        fractal::apps::cliques::triangles(&fg),
+        fractal::baselines::single_thread::node_iterator_triangles(&g)
+    );
+}
+
+#[test]
+fn fsm_exact_supports_against_grami() {
+    let g = fractal::graph::gen::patents_like(80, 3, 13);
+    let fg = fc().fractal_graph(g.clone());
+    let ours: HashMap<CanonicalCode, u64> =
+        fractal::apps::fsm::frequent_map(&fractal::apps::fsm::fsm(&fg, 10, 2));
+    let grami: HashMap<CanonicalCode, u64> =
+        fractal::baselines::single_thread::grami_fsm(&g, 10, 2)
+            .into_iter()
+            .collect();
+    assert_eq!(ours, grami);
+}
+
+#[test]
+fn io_roundtrip_through_context() {
+    let g = fractal::graph::gen::mico_like(120, 5, 3);
+    let dir = std::env::temp_dir().join("fractal_full_stack");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.adj");
+    fractal::graph::io::save_adjacency_list(&g, &path).unwrap();
+    let fg = fc().adjacency_list(&path).unwrap();
+    let fg_orig = fc().fractal_graph(g);
+    assert_eq!(
+        fractal::apps::cliques::triangles(&fg),
+        fractal::apps::cliques::triangles(&fg_orig)
+    );
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn custom_enumerator_through_public_api() {
+    // Listing 7: pass a custom subgraph enumerator to vfractoid.
+    let g = fractal::graph::gen::youtube_like(200, 1, 17);
+    let fg = fc().fractal_graph(g.clone());
+    let dag = std::sync::Arc::new(fractal::subgraph::kclist::CliqueDag::build(&g));
+    let custom = fg
+        .vfractoid_with(move |_| {
+            Box::new(fractal::subgraph::KClistEnumerator::with_dag(dag.clone()))
+        })
+        .expand(1)
+        .explore(4)
+        .count();
+    assert_eq!(custom, fractal::apps::cliques::count(&fg, 4));
+}
+
+#[test]
+fn subgraph_outputs_are_real_subgraphs() {
+    let g = fractal::graph::gen::mico_like(200, 2, 23);
+    let fg = fc().fractal_graph(g.clone());
+    for s in fractal::apps::cliques::list(&fg, 3) {
+        assert_eq!(s.vertices.len(), 3);
+        assert_eq!(s.edges.len(), 3);
+        for &e in &s.edges {
+            let (a, b) = g.edge_endpoints(fractal::graph::EdgeId(e));
+            assert!(s.vertices.contains(&a.raw()));
+            assert!(s.vertices.contains(&b.raw()));
+        }
+    }
+}
