@@ -133,7 +133,10 @@ pub struct FsmResult {
 impl FsmResult {
     /// Patterns of a given edge count.
     pub fn of_size(&self, num_edges: usize) -> Vec<&FrequentPattern> {
-        self.frequent.iter().filter(|p| p.num_edges == num_edges).collect()
+        self.frequent
+            .iter()
+            .filter(|p| p.num_edges == num_edges)
+            .collect()
     }
 
     /// Largest frequent pattern size found.
@@ -270,10 +273,16 @@ mod tests {
     #[test]
     fn domain_support_merge_and_support() {
         let mut a = DomainSupport {
-            domains: vec![[1u32, 2].into_iter().collect(), [5u32].into_iter().collect()],
+            domains: vec![
+                [1u32, 2].into_iter().collect(),
+                [5u32].into_iter().collect(),
+            ],
         };
         let b = DomainSupport {
-            domains: vec![[2u32, 3].into_iter().collect(), [6u32].into_iter().collect()],
+            domains: vec![
+                [2u32, 3].into_iter().collect(),
+                [6u32].into_iter().collect(),
+            ],
         };
         a.merge(b);
         assert_eq!(a.support(), 2); // min(|{1,2,3}|, |{5,6}|)

@@ -24,8 +24,7 @@ pub fn edge_doc_contains(g: &Graph, e: EdgeId, k: KeywordId) -> bool {
         return true;
     }
     let (s, d) = g.edge_endpoints(e);
-    g.vertex_keywords(s).binary_search(&k).is_ok()
-        || g.vertex_keywords(d).binary_search(&k).is_ok()
+    g.vertex_keywords(s).binary_search(&k).is_ok() || g.vertex_keywords(d).binary_search(&k).is_ok()
 }
 
 /// Resolves keyword strings against the graph's dictionary; unknown words

@@ -124,7 +124,10 @@ mod tests {
         // A 4-cycle plus chord: squares = exactly 1 (the chordless check is
         // not induced, so the C4 with chord still matches C4 — pattern
         // matching is NOT induced; the cycle 0-1-2-3 matches).
-        let fg = fg_of(unlabeled_from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)]));
+        let fg = fg_of(unlabeled_from_edges(
+            4,
+            &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)],
+        ));
         assert_eq!(count_matches(&fg, &Pattern::cycle(4)), 1);
         // The diamond (q3) matches exactly once too (two triangles sharing
         // edge 0-2).
@@ -162,7 +165,10 @@ mod tests {
     fn listing_returns_pattern_edges_only() {
         // Matching a square in a graph with a chord: the result subgraph
         // carries exactly the 4 matched edges, not the chord.
-        let fg = fg_of(unlabeled_from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)]));
+        let fg = fg_of(unlabeled_from_edges(
+            4,
+            &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)],
+        ));
         let subs = subgraph_querying(&fg, &Pattern::cycle(4));
         assert_eq!(subs.len(), 1);
         assert_eq!(subs[0].edges.len(), 4);

@@ -13,12 +13,12 @@
 
 use crate::budget::{Budget, BudgetTracker, Outcome};
 use crate::trie::PrefixForest;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use fractal_enum::canonical::{canonical_edge_extension, canonical_vertex_extension};
 use fractal_graph::{EdgeId, Graph, VertexId};
 use fractal_pattern::canon::CodeCache;
 use fractal_pattern::{CanonicalCode, Pattern};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// How embeddings are stored between levels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -249,6 +249,7 @@ fn vertex_pattern(g: &Graph, emb: &[u32], use_labels: bool) -> Pattern {
 
 /// Generic BFS run: grow to `depth`, pruning with `keep`, folding each
 /// final embedding with `fold`. Returns the fold accumulator.
+#[allow(clippy::too_many_arguments)]
 fn run_bfs<T: Send>(
     g: &Graph,
     mode: Mode,

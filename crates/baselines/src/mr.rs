@@ -149,9 +149,14 @@ fn run_rounds(
             return tracker.finish_timeout();
         }
         let produced = AtomicU64::new(0);
-        let Some(next) =
-            expand_round(g, embeddings, threads, cliques_only, budget.max_state_bytes, &produced)
-        else {
+        let Some(next) = expand_round(
+            g,
+            embeddings,
+            threads,
+            cliques_only,
+            budget.max_state_bytes,
+            &produced,
+        ) else {
             tracker.track_state(produced.load(Ordering::Relaxed), 0);
             return tracker.finish_oom();
         };
@@ -188,7 +193,9 @@ pub fn mrsub_motifs(
             let mut counts: HashMap<CanonicalCode, u64> = HashMap::new();
             for emb in &embeddings {
                 let p = Pattern::from_vertex_induced(g, emb, false, false);
-                *counts.entry(cache.canonical_form(&p).code.clone()).or_insert(0) += 1;
+                *counts
+                    .entry(cache.canonical_form(&p).code.clone())
+                    .or_insert(0) += 1;
             }
             Outcome::Ok(counts, stats)
         }

@@ -172,10 +172,10 @@ pub fn mni_support(g: &Graph, pattern: &Pattern, cap: Option<u64>) -> u64 {
     let completed = match_pattern(g, &plan, &mut |m| {
         // m is ordered by plan position; map to pattern vertices, then to
         // canonical positions, then fold into orbit representatives.
-        for pos in 0..m.len() {
+        for (pos, &mv) in m.iter().enumerate() {
             let pattern_vertex = plan.vertex_at(pos) as usize;
             let canon_pos = form.perm[pattern_vertex] as usize;
-            domains[reps[canon_pos] as usize].insert(m[pos]);
+            domains[reps[canon_pos] as usize].insert(mv);
         }
         if let Some(t) = cap {
             let done = domains

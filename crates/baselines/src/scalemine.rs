@@ -12,7 +12,9 @@
 //! mining task turns out to be.
 
 use crate::budget::{Budget, BudgetTracker, Outcome};
-use crate::pattern_growth::{children, label_universe, match_pattern, mni_support, single_edge_patterns};
+use crate::pattern_growth::{
+    children, label_universe, match_pattern, mni_support, single_edge_patterns,
+};
 use fractal_graph::{Graph, VertexId};
 use fractal_pattern::canon::CodeCache;
 use fractal_pattern::{CanonicalCode, ExplorationPlan, Pattern};

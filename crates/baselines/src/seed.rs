@@ -45,17 +45,20 @@ pub fn plan(query: &Pattern) -> JoinPlan {
             if vs.len() < 3 {
                 continue;
             }
-            let is_clique = vs
-                .iter()
-                .enumerate()
-                .all(|(i, &u)| vs[i + 1..].iter().all(|&v| query.adjacent(u as usize, v as usize)));
+            let is_clique = vs.iter().enumerate().all(|(i, &u)| {
+                vs[i + 1..]
+                    .iter()
+                    .all(|&v| query.adjacent(u as usize, v as usize))
+            });
             if !is_clique {
                 continue;
             }
             let covers_new = vs.iter().enumerate().any(|(i, &u)| {
-                vs[i + 1..].iter().any(|&v| !covered[u as usize][v as usize])
+                vs[i + 1..]
+                    .iter()
+                    .any(|&v| !covered[u as usize][v as usize])
             });
-            if covers_new && best.as_ref().map_or(true, |b| vs.len() > b.len()) {
+            if covers_new && best.as_ref().is_none_or(|b| vs.len() > b.len()) {
                 best = Some(vs);
             }
         }
@@ -91,9 +94,7 @@ pub fn plan(query: &Pattern) -> JoinPlan {
     while !units.is_empty() {
         let pos = units
             .iter()
-            .position(|u| {
-                ordered.is_empty() || u.vertices.iter().any(|&v| in_prefix[v as usize])
-            })
+            .position(|u| ordered.is_empty() || u.vertices.iter().any(|&v| in_prefix[v as usize]))
             .unwrap_or(0);
         let u = units.remove(pos);
         for &v in &u.vertices {
@@ -343,20 +344,32 @@ mod tests {
         let jp = plan(&q);
         // Two K4 units cover everything.
         assert_eq!(jp.units.len(), 2);
-        assert!(jp.units.iter().all(|u| u.is_clique && u.vertices.len() == 4));
+        assert!(jp
+            .units
+            .iter()
+            .all(|u| u.is_clique && u.vertices.len() == 4));
     }
 
     #[test]
     fn clique_counts_direct() {
         let g = gen::complete(6);
-        assert_eq!(seed_count(&g, &Pattern::clique(3), Budget::unlimited()).unwrap(), 20);
-        assert_eq!(seed_count(&g, &Pattern::clique(4), Budget::unlimited()).unwrap(), 15);
+        assert_eq!(
+            seed_count(&g, &Pattern::clique(3), Budget::unlimited()).unwrap(),
+            20
+        );
+        assert_eq!(
+            seed_count(&g, &Pattern::clique(4), Budget::unlimited()).unwrap(),
+            15
+        );
     }
 
     #[test]
     fn square_count_on_known_graph() {
         let g = unlabeled_from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)]);
-        assert_eq!(seed_count(&g, &Pattern::cycle(4), Budget::unlimited()).unwrap(), 1);
+        assert_eq!(
+            seed_count(&g, &Pattern::cycle(4), Budget::unlimited()).unwrap(),
+            1
+        );
     }
 
     #[test]

@@ -29,7 +29,9 @@ pub fn gtries_motifs(g: &Graph, k: usize) -> HashMap<CanonicalCode, u64> {
     ) {
         if prefix.len() == k {
             let p = Pattern::from_vertex_induced(g, prefix, false, false);
-            *counts.entry(cache.canonical_form(&p).code.clone()).or_insert(0) += 1;
+            *counts
+                .entry(cache.canonical_form(&p).code.clone())
+                .or_insert(0) += 1;
             return;
         }
         let cands: Vec<u32> = if prefix.is_empty() {
@@ -174,7 +176,7 @@ pub fn graphframes_triangles(g: &Graph, budget: Budget) -> Outcome<u64> {
                 wedges.push((a, b, c));
             }
         }
-        if wedges.len() % 4096 == 0 {
+        if wedges.len().is_multiple_of(4096) {
             let bytes = (wedges.capacity() * 12 + edges.len() * 8) as u64;
             if !tracker.track_state(bytes, wedges.len() as u64) {
                 return tracker.finish_oom();
@@ -236,13 +238,9 @@ mod tests {
     fn motifs_match_bfs_reference() {
         let g = gen::mico_like(120, 2, 3);
         let st = gtries_motifs(&g, 3);
-        let bfs = crate::bfs_engine::motifs_bfs(
-            &g,
-            3,
-            &crate::bfs_engine::BfsConfig::new(2),
-            false,
-        )
-        .unwrap();
+        let bfs =
+            crate::bfs_engine::motifs_bfs(&g, 3, &crate::bfs_engine::BfsConfig::new(2), false)
+                .unwrap();
         assert_eq!(st, bfs);
     }
 
@@ -264,10 +262,7 @@ mod tests {
         assert_eq!(node_iterator_triangles(&gen::cycle(6)), 0);
         let g = unlabeled_from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
         assert_eq!(node_iterator_triangles(&g), 1);
-        assert_eq!(
-            graphframes_triangles(&g, Budget::unlimited()).unwrap(),
-            1
-        );
+        assert_eq!(graphframes_triangles(&g, Budget::unlimited()).unwrap(), 1);
         assert_eq!(
             graphframes_triangles(&gen::complete(5), Budget::unlimited()).unwrap(),
             10
@@ -285,15 +280,11 @@ mod tests {
     fn grami_matches_bfs_fsm() {
         let g = gen::patents_like(80, 3, 7);
         let a: std::collections::HashMap<_, _> = grami_fsm(&g, 10, 2).into_iter().collect();
-        let b: std::collections::HashMap<_, _> = crate::bfs_engine::fsm_bfs(
-            &g,
-            10,
-            2,
-            &crate::bfs_engine::BfsConfig::new(2),
-        )
-        .unwrap()
-        .into_iter()
-        .collect();
+        let b: std::collections::HashMap<_, _> =
+            crate::bfs_engine::fsm_bfs(&g, 10, 2, &crate::bfs_engine::BfsConfig::new(2))
+                .unwrap()
+                .into_iter()
+                .collect();
         assert_eq!(a, b);
     }
 

@@ -57,7 +57,12 @@ fn triangles_agree_everywhere() {
     );
     assert_eq!(
         fractal,
-        seed::seed_count(&g, &fractal_pattern::Pattern::clique(3), Budget::unlimited()).unwrap()
+        seed::seed_count(
+            &g,
+            &fractal_pattern::Pattern::clique(3),
+            Budget::unlimited()
+        )
+        .unwrap()
     );
 }
 
@@ -93,8 +98,9 @@ fn fsm_frequent_sets_agree() {
         .unwrap()
         .into_iter()
         .collect();
-    let grami: HashMap<CanonicalCode, u64> =
-        single_thread::grami_fsm(&g, min_sup, 2).into_iter().collect();
+    let grami: HashMap<CanonicalCode, u64> = single_thread::grami_fsm(&g, min_sup, 2)
+        .into_iter()
+        .collect();
     let sm: HashMap<CanonicalCode, u64> =
         scalemine::scalemine_fsm(&g, min_sup, 2, 2, 8, Budget::unlimited())
             .unwrap()

@@ -67,7 +67,10 @@ fn bench_query(c: &mut Criterion) {
     let queries = fractal_apps::query::evaluation_queries();
     let mut group = c.benchmark_group("fig15_query");
     group.sample_size(10);
-    for (name, q) in queries.into_iter().filter(|(n, _)| *n == "q1" || *n == "q3") {
+    for (name, q) in queries
+        .into_iter()
+        .filter(|(n, _)| *n == "q1" || *n == "q3")
+    {
         group.bench_function(name, |b| {
             b.iter(|| fractal_apps::query::count_matches(&fg, &q))
         });

@@ -1,0 +1,53 @@
+//! A/B overhead check for the runtime flight recorder: the same motifs
+//! job with tracing disabled (the default) and enabled. The recorder's
+//! budget is ≤5% on the enabled side; the two benchmark ids print next
+//! to each other so min/median are directly comparable, and the bench
+//! asserts the ratio on medians as a coarse regression tripwire (with
+//! generous slack, since shared CI machines are noisy).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fractal_core::prelude::*;
+use fractal_graph::gen;
+use fractal_runtime::{ClusterConfig, TraceConfig};
+
+const WORKERS: usize = 2;
+const CORES: usize = 2;
+const VERTICES: usize = 300;
+const K: usize = 3;
+
+fn run_motifs(trace: TraceConfig) -> u64 {
+    let fc = FractalContext::new(ClusterConfig::local(WORKERS, CORES).with_trace(trace));
+    let fg = fc.fractal_graph(gen::mico_like(VERTICES, 1, 7));
+    fractal_apps::motifs::motifs(&fg, K).values().sum()
+}
+
+fn bench_flight_recorder_overhead(c: &mut Criterion) {
+    // Sanity: both sides count the same motifs.
+    let base = run_motifs(TraceConfig::default());
+    assert_eq!(base, run_motifs(TraceConfig::enabled()));
+
+    let mut g = c.benchmark_group("flight_recorder");
+    g.sample_size(10);
+    g.bench_function("motifs_k3/trace_off", |b| {
+        b.iter(|| black_box(run_motifs(TraceConfig::default())))
+    });
+    g.bench_function("motifs_k3/trace_on", |b| {
+        b.iter(|| black_box(run_motifs(TraceConfig::enabled())))
+    });
+    g.finish();
+
+    let off = c.summaries[c.summaries.len() - 2].median().as_secs_f64();
+    let on = c.summaries[c.summaries.len() - 1].median().as_secs_f64();
+    let overhead = (on - off) / off * 100.0;
+    println!("flight_recorder overhead: {overhead:+.2}% (target <= 5%)");
+    // Tripwire, not the ≤5% acceptance bound itself: medians on loaded CI
+    // runners jitter by more than the recorder costs, so only flag gross
+    // regressions (e.g. a lock sneaking onto the hot path).
+    assert!(
+        overhead < 25.0,
+        "flight recorder overhead {overhead:.2}% suggests a hot-path regression"
+    );
+}
+
+criterion_group!(benches, bench_flight_recorder_overhead);
+criterion_main!(benches);

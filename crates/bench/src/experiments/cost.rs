@@ -22,7 +22,9 @@ fn cost_sweep(
     baseline: Duration,
     mut run: impl FnMut(usize) -> Duration,
 ) -> (Option<usize>, Duration) {
-    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     // Sweeping past the host's parallelism cannot help; on a single-core
     // host the sweep degenerates entirely, so probe just enough points to
     // report the (flat) shape.
@@ -68,7 +70,12 @@ pub fn fig18(scale: Scale, out_dir: &Path) {
         assert_eq!(m, st, "motif counts disagree");
         d
     });
-    t.row(row!["motifs k=4 (vs gtries-like)", secs(st_t), fmt_cost(cost), secs(ft)]);
+    t.row(row![
+        "motifs k=4 (vs gtries-like)",
+        secs(st_t),
+        fmt_cost(cost),
+        secs(ft)
+    ]);
 
     // Cliques on Youtube-like.
     let gy = datasets::youtube_sl(scale);
@@ -79,7 +86,12 @@ pub fn fig18(scale: Scale, out_dir: &Path) {
         assert_eq!(c, stc, "clique counts disagree");
         d
     });
-    t.row(row!["cliques k=4 (vs gtries-like)", secs(stc_t), fmt_cost(cost), secs(ft)]);
+    t.row(row![
+        "cliques k=4 (vs gtries-like)",
+        secs(stc_t),
+        fmt_cost(cost),
+        secs(ft)
+    ]);
 
     // FSM on Patents-like.
     let gp = datasets::patents_ml(scale);
@@ -95,7 +107,12 @@ pub fn fig18(scale: Scale, out_dir: &Path) {
         assert_eq!(r.frequent.len(), stf.len(), "frequent sets disagree");
         d
     });
-    t.row(row!["fsm (vs grami-like)", secs(stf_t), fmt_cost(cost), secs(ft)]);
+    t.row(row![
+        "fsm (vs grami-like)",
+        secs(stf_t),
+        fmt_cost(cost),
+        secs(ft)
+    ]);
 
     // Queries q2, q3 on Patents-like.
     let gq = datasets::patents_sl(scale);
@@ -126,7 +143,9 @@ pub fn fig18(scale: Scale, out_dir: &Path) {
 /// single-CPU host the sweep degenerates (threads serialize) and the
 /// balance statistics of Fig. 16 are the meaningful signal instead.
 fn print_parallelism_note() {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("[host parallelism: {cores} hardware threads]");
     if cores < 4 {
         println!("[note: <4 hardware threads — COST/efficiency columns will degenerate]");
@@ -155,7 +174,12 @@ pub fn fig20b(scale: Scale, out_dir: &Path) {
         assert_eq!(c, stk, "kclist counts disagree");
         d
     });
-    t.row(row!["cliques k=5 kclist (vs kclist)", secs(stk_t), fmt_cost(cost), secs(ft)]);
+    t.row(row![
+        "cliques k=5 kclist (vs kclist)",
+        secs(stk_t),
+        fmt_cost(cost),
+        secs(ft)
+    ]);
 
     let go = datasets::orkut(scale);
     let (stt, stt_t) = timed(|| single_thread::node_iterator_triangles(&go));
@@ -165,7 +189,12 @@ pub fn fig20b(scale: Scale, out_dir: &Path) {
         assert_eq!(c, stt, "triangle counts disagree");
         d
     });
-    t.row(row!["triangles orkut (vs neo4j-like)", secs(stt_t), fmt_cost(cost), secs(ft)]);
+    t.row(row![
+        "triangles orkut (vs neo4j-like)",
+        secs(stt_t),
+        fmt_cost(cost),
+        secs(ft)
+    ]);
 
     t.print();
     t.write_csv(out_dir.join("fig20b.csv")).ok();
@@ -177,7 +206,9 @@ pub fn fig19(scale: Scale, out_dir: &Path) {
     print_parallelism_note();
     let mut t = Table::new(
         "Fig 19 — Strong scalability (runtime s / parallel efficiency)",
-        &["kernel", "cores=1", "cores=2", "cores=4", "cores=8", "eff@8"],
+        &[
+            "kernel", "cores=1", "cores=2", "cores=4", "cores=8", "eff@8",
+        ],
     );
     let support = match scale {
         Scale::Tiny => 25,

@@ -59,7 +59,14 @@ pub fn fig16(scale: Scale, out_dir: &Path) {
     };
     let mut t = Table::new(
         "Fig 16 — Work stealing drilldown (FSM, 2 workers x 4 cores)",
-        &["config", "step", "task-times(s)", "imbalance-cv", "steals(int/ext)", "wall(s)"],
+        &[
+            "config",
+            "step",
+            "task-times(s)",
+            "imbalance-cv",
+            "steals(int/ext)",
+            "wall(s)",
+        ],
     );
     for (cname, mode) in [
         ("1.disabled", WsMode::Disabled),
@@ -111,11 +118,8 @@ pub fn table2(scale: Scale, out_dir: &Path) {
         for k in ks {
             let (frac_mem, arab_mem) = if app == "cliques" {
                 let (_, report) = fractal_apps::cliques::count_with_report(&fg, k);
-                let arab = bfs_engine::cliques_bfs(
-                    &g,
-                    k,
-                    &BfsConfig::new(8).with_storage(Storage::Odag),
-                );
+                let arab =
+                    bfs_engine::cliques_bfs(&g, k, &BfsConfig::new(8).with_storage(Storage::Odag));
                 (
                     report.peak_worker_state_bytes(),
                     arab.stats().peak_state_bytes,
@@ -139,7 +143,11 @@ pub fn table2(scale: Scale, out_dir: &Path) {
             let ratio = arab_per_worker as f64 / frac_mem.max(1) as f64;
             t.row(row![
                 app,
-                if app == "cliques" { "youtube-ml" } else { "mico-ml" },
+                if app == "cliques" {
+                    "youtube-ml"
+                } else {
+                    "mico-ml"
+                },
                 k,
                 mib(arab_per_worker),
                 mib(frac_mem),
@@ -202,14 +210,15 @@ pub fn ws_overhead(scale: Scale, out_dir: &Path) {
         }),
     ];
     for (app, gname, report) in runs {
-        let overhead: f64 = report
-            .steps
-            .iter()
-            .map(|s| s.steal_overhead())
-            .sum::<f64>()
+        let overhead: f64 = report.steps.iter().map(|s| s.steal_overhead()).sum::<f64>()
             / report.steps.len().max(1) as f64;
         let (int, ext) = report.steals();
-        t.row(row![app, gname, format!("{:.2}%", overhead * 100.0), format!("{int}/{ext}")]);
+        t.row(row![
+            app,
+            gname,
+            format!("{:.2}%", overhead * 100.0),
+            format!("{int}/{ext}")
+        ]);
     }
     t.print();
     t.write_csv(out_dir.join("ws-overhead.csv")).ok();

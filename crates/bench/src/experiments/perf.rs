@@ -3,9 +3,9 @@
 
 use super::{baseline_budget, default_cluster};
 use crate::datasets::{self, Scale};
+use crate::row;
 use crate::table::Table;
 use crate::{secs, timed};
-use crate::row;
 use fractal_baselines::bfs_engine::{self, BfsConfig};
 use fractal_baselines::{mr, scalemine, seed, single_thread, Outcome};
 use fractal_core::FractalContext;
@@ -31,7 +31,14 @@ fn outcome_cell<T>(out: &Outcome<T>, elapsed_of_ok: std::time::Duration) -> Stri
 pub fn fig11(scale: Scale, out_dir: &Path) {
     let mut t = Table::new(
         "Fig 11 — Motifs runtime (s)",
-        &["graph", "k", "fractal", "arabesque-like", "mrsub-like", "agree"],
+        &[
+            "graph",
+            "k",
+            "fractal",
+            "arabesque-like",
+            "mrsub-like",
+            "agree",
+        ],
     );
     let budget = baseline_budget(scale);
     for (gname, g) in [
@@ -41,7 +48,11 @@ pub fn fig11(scale: Scale, out_dir: &Path) {
         let fg = fctx().fractal_graph(g.clone());
         // k = 5 multiplies the subgraph count by orders of magnitude
         // (the paper's point); reserve it for --scale paper runs.
-        let kmax = if scale == Scale::Paper && gname == "mico-sl" { 5 } else { 4 };
+        let kmax = if scale == Scale::Paper && gname == "mico-sl" {
+            5
+        } else {
+            4
+        };
         for k in 3..=kmax {
             let (fr, ft) = timed(|| fractal_apps::motifs::motifs(&fg, k));
             let (ar, at) = timed(|| {
@@ -74,7 +85,16 @@ pub fn fig12(scale: Scale, out_dir: &Path) {
     let mut t = Table::new(
         "Fig 12 — Cliques runtime (s); arab-state shows the stored-embedding growth \
          that drives the paper-scale gap",
-        &["graph", "k", "fractal", "arabesque-like", "arab-state(MiB)", "qkcount-like", "graphframes-like", "agree"],
+        &[
+            "graph",
+            "k",
+            "fractal",
+            "arabesque-like",
+            "arab-state(MiB)",
+            "qkcount-like",
+            "graphframes-like",
+            "agree",
+        ],
     );
     let budget = baseline_budget(scale);
     for (gname, g) in [
@@ -98,7 +118,16 @@ pub fn fig12(scale: Scale, out_dir: &Path) {
                 _ => true,
             };
             let arab_state = crate::mib(ar.stats().peak_state_bytes);
-            t.row(row![gname, k, secs(ft), outcome_cell(&ar, at), arab_state, outcome_cell(&qk, qt), gf_cell, agree]);
+            t.row(row![
+                gname,
+                k,
+                secs(ft),
+                outcome_cell(&ar, at),
+                arab_state,
+                outcome_cell(&qk, qt),
+                gf_cell,
+                agree
+            ]);
         }
     }
     t.print();
@@ -110,13 +139,28 @@ pub fn fig12(scale: Scale, out_dir: &Path) {
 pub fn fig13(scale: Scale, out_dir: &Path) {
     let mut t = Table::new(
         "Fig 13 — FSM runtime (s), max 3 edges",
-        &["graph", "support", "fractal", "arabesque-like", "scalemine-like", "frequent"],
+        &[
+            "graph",
+            "support",
+            "fractal",
+            "arabesque-like",
+            "scalemine-like",
+            "frequent",
+        ],
     );
     let budget = baseline_budget(scale);
     let max_edges = 3;
     for (gname, g, supports) in [
-        ("mico-ml", datasets::mico_ml(scale), supports_for(scale, true)),
-        ("patents-ml", datasets::patents_ml(scale), supports_for(scale, false)),
+        (
+            "mico-ml",
+            datasets::mico_ml(scale),
+            supports_for(scale, true),
+        ),
+        (
+            "patents-ml",
+            datasets::patents_ml(scale),
+            supports_for(scale, false),
+        ),
     ] {
         let fg = fctx().fractal_graph(g.clone());
         for sup in supports {
@@ -124,8 +168,7 @@ pub fn fig13(scale: Scale, out_dir: &Path) {
             let (ar, at) = timed(|| {
                 bfs_engine::fsm_bfs(&g, sup, max_edges, &BfsConfig::new(8).with_budget(budget))
             });
-            let (sm, st) =
-                timed(|| scalemine::scalemine_fsm(&g, sup, max_edges, 8, 40, budget));
+            let (sm, st) = timed(|| scalemine::scalemine_fsm(&g, sup, max_edges, 8, 40, budget));
             t.row(row![
                 gname,
                 sup,
@@ -161,7 +204,14 @@ fn supports_for(scale: Scale, dense: bool) -> Vec<u64> {
 pub fn fig15(scale: Scale, out_dir: &Path) {
     let mut t = Table::new(
         "Fig 15 — Subgraph querying runtime (s)",
-        &["graph", "query", "fractal", "seed-like", "arabesque-like", "matches"],
+        &[
+            "graph",
+            "query",
+            "fractal",
+            "seed-like",
+            "arabesque-like",
+            "matches",
+        ],
     );
     let budget = baseline_budget(scale);
     for (gname, g) in [
@@ -180,7 +230,14 @@ pub fn fig15(scale: Scale, out_dir: &Path) {
             if let Outcome::Ok(n, _) = &ar {
                 assert_eq!(*n, fr, "{gname}/{qname}: bfs disagrees");
             }
-            t.row(row![gname, qname, secs(ft), outcome_cell(&se, st), outcome_cell(&ar, at), fr]);
+            t.row(row![
+                gname,
+                qname,
+                secs(ft),
+                outcome_cell(&se, st),
+                outcome_cell(&ar, at),
+                fr
+            ]);
         }
     }
     t.print();
@@ -192,7 +249,14 @@ pub fn fig15(scale: Scale, out_dir: &Path) {
 pub fn fig20a(scale: Scale, out_dir: &Path) {
     let mut t = Table::new(
         "Fig 20a — Triangles runtime (s)",
-        &["graph", "fractal", "arabesque-like", "graphframes-like", "graphx-like", "triangles"],
+        &[
+            "graph",
+            "fractal",
+            "arabesque-like",
+            "graphframes-like",
+            "graphx-like",
+            "triangles",
+        ],
     );
     let budget = baseline_budget(scale);
     for (gname, g) in [

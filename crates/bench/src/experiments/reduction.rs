@@ -33,7 +33,14 @@ pub fn fig17(scale: Scale, out_dir: &Path) {
     let g = datasets::wikidata(scale);
     let mut t = Table::new(
         "Fig 17 — Keyword search: graph reduction x cores (runtime s)",
-        &["query", "cores", "no-reduction", "with-reduction", "speedup", "results"],
+        &[
+            "query",
+            "cores",
+            "no-reduction",
+            "with-reduction",
+            "speedup",
+            "results",
+        ],
     );
     for (qname, words) in queries() {
         for cores in [1usize, 2, 4, 8] {
@@ -76,7 +83,14 @@ pub fn fig17(scale: Scale, out_dir: &Path) {
 pub fn reduction_ec(scale: Scale, out_dir: &Path) {
     let mut t = Table::new(
         "§4.3/§6 — Graph reduction: input and extension-cost reduction",
-        &["workload", "V-reduction", "E-reduction", "EC-before", "EC-after", "EC-reduction"],
+        &[
+            "workload",
+            "V-reduction",
+            "E-reduction",
+            "EC-before",
+            "EC-after",
+            "EC-reduction",
+        ],
     );
     // Keyword searches on the Wikidata-like graph.
     let g = datasets::wikidata(scale);

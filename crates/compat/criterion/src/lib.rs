@@ -1,0 +1,259 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Provides the measurement surface the `fractal-bench` benches use —
+//! `bench_function`, benchmark groups, `bench_with_input`, `black_box` and
+//! the `criterion_group!`/`criterion_main!` macros — without the plotting,
+//! statistics and CLI machinery (see `crates/compat/README.md` for why
+//! these shims exist). Each benchmark runs a short warmup, then
+//! `sample_size` timed samples, and reports min/median/mean to stdout.
+//!
+//! Environment knobs:
+//! - `CRITERION_SAMPLES`: override every group's sample count,
+//! - `CRITERION_QUICK=1`: clamp samples to 3 (CI smoke mode).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measured samples of one benchmark.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Benchmark id (`group/function` or the bare function name).
+    pub id: String,
+    /// Per-sample wall-clock durations, sorted ascending.
+    pub samples: Vec<Duration>,
+}
+
+impl Summary {
+    /// The median sample.
+    pub fn median(&self) -> Duration {
+        self.samples[self.samples.len() / 2]
+    }
+
+    /// The fastest sample.
+    pub fn min(&self) -> Duration {
+        self.samples[0]
+    }
+
+    /// The arithmetic mean of the samples.
+    pub fn mean(&self) -> Duration {
+        self.samples.iter().sum::<Duration>() / self.samples.len() as u32
+    }
+}
+
+fn effective_samples(requested: usize) -> usize {
+    if std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1") {
+        return requested.min(3);
+    }
+    std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(requested)
+        .max(1)
+}
+
+/// Passed to the closure given to `bench_function`; `iter` runs and times
+/// the workload.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    n: usize,
+}
+
+impl Bencher<'_> {
+    /// Times `n` executions of `f` (one warmup run first).
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        black_box(f());
+        for _ in 0..self.n {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Like [`iter`](Self::iter), but rebuilds the input with `setup`
+    /// before each run; only `routine` is timed.
+    pub fn iter_with_setup<I, T>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> T,
+    ) {
+        black_box(routine(setup()));
+        for _ in 0..self.n {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_one(id: &str, n: usize, f: &mut dyn FnMut(&mut Bencher<'_>)) -> Summary {
+    let mut samples = Vec::with_capacity(n);
+    f(&mut Bencher {
+        samples: &mut samples,
+        n,
+    });
+    if samples.is_empty() {
+        samples.push(Duration::ZERO);
+    }
+    samples.sort();
+    let s = Summary {
+        id: id.to_string(),
+        samples,
+    };
+    println!(
+        "bench {:<48} min {:>12.3?}  median {:>12.3?}  mean {:>12.3?}  ({} samples)",
+        s.id,
+        s.min(),
+        s.median(),
+        s.mean(),
+        s.samples.len()
+    );
+    s
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no time-based stopping.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let n = effective_samples(self.sample_size);
+        self.criterion.summaries.push(run_one(&full, n, &mut f));
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher<'_>, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.0);
+        let n = effective_samples(self.sample_size);
+        self.criterion
+            .summaries
+            .push(run_one(&full, n, &mut |b| f(b, input)));
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// Summaries of every benchmark run so far, in execution order.
+    pub summaries: Vec<Summary>,
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark with the default sample count (10).
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher<'_>)) -> &mut Self {
+        let n = effective_samples(10);
+        self.summaries.push(run_one(id, n, &mut f));
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Configuration hook accepted for compatibility (no-op).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.summaries.len(), 1);
+        assert_eq!(c.summaries[0].samples.len(), effective_samples(10));
+        assert!(c.summaries[0].median() <= c.summaries[0].samples.last().copied().unwrap());
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(4);
+            g.bench_function("f", |b| b.iter(|| black_box(2) * 2));
+            g.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| b.iter(|| x + 1));
+            g.finish();
+        }
+        assert_eq!(c.summaries[0].id, "grp/f");
+        assert_eq!(c.summaries[1].id, "grp/7");
+    }
+}

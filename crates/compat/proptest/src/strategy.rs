@@ -1,0 +1,282 @@
+//! The strategy algebra: typed random-value generators plus combinators.
+
+use crate::test_runner::TestRunner;
+
+/// Deterministic xoshiro256** generator backing all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Builds the generator from a 64-bit seed via SplitMix64 expansion.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform value in `[lo, hi]` (inclusive).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        lo + (self.next_u64() % (hi as u64 - lo as u64 + 1)) as usize
+    }
+}
+
+/// A generator of values of one type. Unlike real proptest there is no
+/// shrinking: `generate` draws one independent sample.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Shuffles generated collections uniformly (Fisher–Yates).
+    fn prop_shuffle(self) -> Shuffle<Self>
+    where
+        Self: Sized,
+        Self::Value: Shuffleable,
+    {
+        Shuffle { base: self }
+    }
+
+    /// Samples a value tree from the runner's generator (compatibility
+    /// surface; the "tree" is a single sample, there is no shrinking).
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<SampleTree<Self::Value>, String> {
+        Ok(SampleTree {
+            value: self.generate(runner.rng_mut()),
+        })
+    }
+}
+
+/// A sampled value wrapped for [`ValueTree`] access.
+#[derive(Debug, Clone)]
+pub struct SampleTree<T> {
+    value: T,
+}
+
+/// Access to a sampled value (the real crate's shrinkable tree).
+pub trait ValueTree {
+    /// The type of the sampled value.
+    type Value;
+    /// The current (here: only) sample.
+    fn current(&self) -> Self::Value;
+}
+
+impl<T: Clone> ValueTree for SampleTree<T> {
+    type Value = T;
+
+    fn current(&self) -> T {
+        self.value.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// Collections shufflable by [`Strategy::prop_shuffle`].
+pub trait Shuffleable {
+    /// Shuffles `self` in place.
+    fn shuffle(&mut self, rng: &mut TestRng);
+}
+
+impl<T> Shuffleable for Vec<T> {
+    fn shuffle(&mut self, rng: &mut TestRng) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_shuffle`].
+#[derive(Debug, Clone)]
+pub struct Shuffle<S> {
+    base: S,
+}
+
+impl<S: Strategy> Strategy for Shuffle<S>
+where
+    S::Value: Shuffleable,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        let mut v = self.base.generate(rng);
+        v.shuffle(rng);
+        v
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}

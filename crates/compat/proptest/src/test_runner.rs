@@ -1,0 +1,94 @@
+//! Test execution: configuration, deterministic seeding and the error type
+//! produced by `prop_assert!`.
+
+use crate::strategy::TestRng;
+
+/// Per-test configuration (the subset this workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Failure of a single generated case (carries the assertion message).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+
+    /// Compatibility alias used by real proptest (`TestCaseError::Fail`).
+    pub fn reject(msg: impl Into<String>) -> Self {
+        Self::fail(msg)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+const DEFAULT_SEED: u64 = 0x5EED_CAFE_F00D_0001;
+
+/// Drives the generated cases of one property test.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl Default for TestRunner {
+    fn default() -> Self {
+        Self::new(ProptestConfig::default())
+    }
+}
+
+impl TestRunner {
+    /// Creates a runner; `PROPTEST_SEED` and `PROPTEST_CASES` environment
+    /// variables override the seed and case count.
+    pub fn new(mut config: ProptestConfig) -> Self {
+        if let Some(cases) = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            config.cases = cases;
+        }
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_SEED);
+        TestRunner {
+            config,
+            rng: TestRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The runner's generator (strategies draw from this).
+    pub fn rng_mut(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}

@@ -31,6 +31,10 @@ pub trait AggShard: Send + Sync {
     fn finalize(&mut self);
     /// Number of reduced entries.
     fn len(&self) -> usize;
+    /// Total [`accumulate`](Self::accumulate) calls folded into this shard,
+    /// including through merges (monotonic; feeds the flight recorder's
+    /// aggregation-flush accounting).
+    fn accumulated(&self) -> u64;
     /// Whether the shard holds no entries.
     fn is_empty(&self) -> bool {
         self.len() == 0
@@ -43,14 +47,18 @@ pub trait AggShard: Send + Sync {
     fn into_any(self: Box<Self>) -> Box<dyn Any + Send>;
 }
 
+type ExtractFn<T> = Arc<dyn Fn(&SubgraphView<'_>) -> T + Send + Sync>;
+type ReduceFn<V> = Arc<dyn Fn(&mut V, V) + Send + Sync>;
+type FilterFn<K, V> = Arc<dyn Fn(&K, &V) -> bool + Send + Sync>;
+
 /// A typed aggregation over keys `K` and values `V` — the generic engine
 /// behind [`crate::Fractoid::aggregate`].
 pub struct Aggregator<K, V> {
     name: String,
-    key_fn: Arc<dyn Fn(&SubgraphView<'_>) -> K + Send + Sync>,
-    value_fn: Arc<dyn Fn(&SubgraphView<'_>) -> V + Send + Sync>,
-    reduce_fn: Arc<dyn Fn(&mut V, V) + Send + Sync>,
-    agg_filter: Option<Arc<dyn Fn(&K, &V) -> bool + Send + Sync>>,
+    key_fn: ExtractFn<K>,
+    value_fn: ExtractFn<V>,
+    reduce_fn: ReduceFn<V>,
+    agg_filter: Option<FilterFn<K, V>>,
 }
 
 impl<K, V> Aggregator<K, V>
@@ -83,12 +91,14 @@ where
 
 struct TypedShard<K, V> {
     map: HashMap<K, V>,
-    key_fn: Arc<dyn Fn(&SubgraphView<'_>) -> K + Send + Sync>,
-    value_fn: Arc<dyn Fn(&SubgraphView<'_>) -> V + Send + Sync>,
-    reduce_fn: Arc<dyn Fn(&mut V, V) + Send + Sync>,
-    agg_filter: Option<Arc<dyn Fn(&K, &V) -> bool + Send + Sync>>,
+    key_fn: ExtractFn<K>,
+    value_fn: ExtractFn<V>,
+    reduce_fn: ReduceFn<V>,
+    agg_filter: Option<FilterFn<K, V>>,
     /// Rough per-entry size estimate maintained incrementally.
     approx_bytes: usize,
+    /// Total accumulate calls (monotonic, merged additively).
+    accumulated: u64,
 }
 
 impl<K, V> AggregatorSpec for Aggregator<K, V>
@@ -108,6 +118,7 @@ where
             reduce_fn: self.reduce_fn.clone(),
             agg_filter: self.agg_filter.clone(),
             approx_bytes: 0,
+            accumulated: 0,
         })
     }
 }
@@ -118,6 +129,7 @@ where
     V: Send + Sync + 'static,
 {
     fn accumulate(&mut self, view: &SubgraphView<'_>) {
+        self.accumulated += 1;
         let key = (self.key_fn)(view);
         let value = (self.value_fn)(view);
         match self.map.entry(key) {
@@ -136,6 +148,7 @@ where
             .into_any()
             .downcast::<TypedShard<K, V>>()
             .expect("merging shards of different aggregations");
+        self.accumulated += other.accumulated;
         for (k, v) in other.map {
             match self.map.entry(k) {
                 std::collections::hash_map::Entry::Occupied(mut e) => {
@@ -157,6 +170,10 @@ where
 
     fn len(&self) -> usize {
         self.map.len()
+    }
+
+    fn accumulated(&self) -> u64 {
+        self.accumulated
     }
 
     fn resident_bytes(&self) -> usize {
@@ -211,6 +228,11 @@ impl AggResult {
         self.shard.len()
     }
 
+    /// Total subgraphs folded into this result across all cores.
+    pub fn accumulated(&self) -> u64 {
+        self.shard.accumulated()
+    }
+
     /// Whether the result is empty.
     pub fn is_empty(&self) -> bool {
         self.shard.is_empty()
@@ -244,14 +266,24 @@ mod tests {
         let mut shard = spec.new_shard();
         let mut sg = Subgraph::new(&g);
         sg.push_vertex_induced(&g, 0);
-        shard.accumulate(&SubgraphView { graph: &g, subgraph: &sg });
+        shard.accumulate(&SubgraphView {
+            graph: &g,
+            subgraph: &sg,
+        });
         sg.push_vertex_induced(&g, 1);
-        shard.accumulate(&SubgraphView { graph: &g, subgraph: &sg });
-        shard.accumulate(&SubgraphView { graph: &g, subgraph: &sg });
+        shard.accumulate(&SubgraphView {
+            graph: &g,
+            subgraph: &sg,
+        });
+        shard.accumulate(&SubgraphView {
+            graph: &g,
+            subgraph: &sg,
+        });
         let result = AggResult::new(shard);
         assert_eq!(result.map::<usize, u64>()[&1], 1);
         assert_eq!(result.map::<usize, u64>()[&2], 2);
         assert_eq!(result.len(), 2);
+        assert_eq!(result.accumulated(), 3);
         assert!(result.resident_bytes() > 0);
     }
 
@@ -263,11 +295,18 @@ mod tests {
         let mut b = spec.new_shard();
         let mut sg = Subgraph::new(&g);
         sg.push_vertex_induced(&g, 0);
-        a.accumulate(&SubgraphView { graph: &g, subgraph: &sg });
-        b.accumulate(&SubgraphView { graph: &g, subgraph: &sg });
+        a.accumulate(&SubgraphView {
+            graph: &g,
+            subgraph: &sg,
+        });
+        b.accumulate(&SubgraphView {
+            graph: &g,
+            subgraph: &sg,
+        });
         a.merge_from(b);
         let result = AggResult::new(a);
         assert_eq!(result.map::<usize, u64>()[&1], 2);
+        assert_eq!(result.accumulated(), 2);
     }
 
     #[test]
@@ -277,10 +316,19 @@ mod tests {
         let mut shard = spec.new_shard();
         let mut sg = Subgraph::new(&g);
         sg.push_vertex_induced(&g, 0);
-        shard.accumulate(&SubgraphView { graph: &g, subgraph: &sg });
+        shard.accumulate(&SubgraphView {
+            graph: &g,
+            subgraph: &sg,
+        });
         sg.push_vertex_induced(&g, 1);
-        shard.accumulate(&SubgraphView { graph: &g, subgraph: &sg });
-        shard.accumulate(&SubgraphView { graph: &g, subgraph: &sg });
+        shard.accumulate(&SubgraphView {
+            graph: &g,
+            subgraph: &sg,
+        });
+        shard.accumulate(&SubgraphView {
+            graph: &g,
+            subgraph: &sg,
+        });
         shard.finalize();
         let result = AggResult::new(shard);
         assert_eq!(result.len(), 1);

@@ -2,9 +2,7 @@
 //! (Fig. 2/3).
 
 use crate::fractoid::{EnumFactory, Fractoid};
-use fractal_enum::enumerator::{
-    EdgeInducedEnumerator, PatternEnumerator, VertexInducedEnumerator,
-};
+use fractal_enum::enumerator::{EdgeInducedEnumerator, PatternEnumerator, VertexInducedEnumerator};
 use fractal_enum::SubgraphEnumerator;
 use fractal_graph::{EdgeId, Graph, GraphError, VertexId};
 use fractal_pattern::{ExplorationPlan, Pattern};
@@ -83,8 +81,9 @@ impl FractalGraph {
 
     /// B1: a vertex-induced fractoid.
     pub fn vfractoid(&self) -> Fractoid {
-        let factory: EnumFactory =
-            Arc::new(|_g: &Graph| Box::new(VertexInducedEnumerator::new()) as Box<dyn SubgraphEnumerator>);
+        let factory: EnumFactory = Arc::new(|_g: &Graph| {
+            Box::new(VertexInducedEnumerator::new()) as Box<dyn SubgraphEnumerator>
+        });
         Fractoid::new(self.clone(), factory)
     }
 
@@ -99,8 +98,9 @@ impl FractalGraph {
 
     /// B2: an edge-induced fractoid.
     pub fn efractoid(&self) -> Fractoid {
-        let factory: EnumFactory =
-            Arc::new(|_g: &Graph| Box::new(EdgeInducedEnumerator::new()) as Box<dyn SubgraphEnumerator>);
+        let factory: EnumFactory = Arc::new(|_g: &Graph| {
+            Box::new(EdgeInducedEnumerator::new()) as Box<dyn SubgraphEnumerator>
+        });
         Fractoid::new(self.clone(), factory)
     }
 
@@ -152,8 +152,14 @@ impl FractalGraph {
         let (vmap, emap) = match &self.orig {
             None => (r.orig_vertices.clone(), r.orig_edges.clone()),
             Some(prev) => (
-                r.orig_vertices.iter().map(|&v| prev.vertices[v as usize]).collect(),
-                r.orig_edges.iter().map(|&e| prev.edges[e as usize]).collect(),
+                r.orig_vertices
+                    .iter()
+                    .map(|&v| prev.vertices[v as usize])
+                    .collect(),
+                r.orig_edges
+                    .iter()
+                    .map(|&e| prev.edges[e as usize])
+                    .collect(),
             ),
         };
         FractalGraph {

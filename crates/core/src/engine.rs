@@ -137,6 +137,17 @@ impl ExecutionReport {
             (i + si, e + se)
         })
     }
+
+    /// Writes the flight-recorder event traces of all steps as one JSONL
+    /// stream (no-op for steps executed without tracing).
+    pub fn write_trace_jsonl(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
+        for step in &self.steps {
+            if let Some(trace) = &step.trace {
+                trace.write_jsonl(out)?;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Splits the workflow into fractal steps (Algorithm 2): a step boundary
@@ -150,8 +161,8 @@ pub(crate) fn split_steps(fractoid: &Fractoid) -> Vec<usize> {
     for (i, p) in prims.iter().enumerate() {
         if let Primitive::AggFilter { name, .. } = p {
             let source = resolve_source(prims, i, name);
-            let source =
-                source.unwrap_or_else(|| panic!("aggregation filter reads unknown aggregation {name:?}"));
+            let source = source
+                .unwrap_or_else(|| panic!("aggregation filter reads unknown aggregation {name:?}"));
             if !fractoid.store.contains(source) && !known.contains(&source) {
                 ends.push(i);
                 // Everything before the boundary is computed once this step
@@ -331,11 +342,8 @@ impl JobSpec for StepSpec<'_> {
     }
 
     fn make_core_task<'s>(&'s self, _id: GlobalCoreId) -> Box<dyn CoreTask + 's> {
-        let shards: Vec<Box<dyn AggShard>> = self
-            .live_agg_specs
-            .iter()
-            .map(|s| s.new_shard())
-            .collect();
+        let shards: Vec<Box<dyn AggShard>> =
+            self.live_agg_specs.iter().map(|s| s.new_shard()).collect();
         Box::new(StepTask {
             spec: self,
             enumerator: (self.fractoid.factory)(self.graph),
@@ -401,7 +409,11 @@ impl StepTask<'_> {
 
     fn state_bytes(&self) -> u64 {
         (self.sg.resident_bytes()
-            + self.shards.iter().map(|s| s.resident_bytes()).sum::<usize>()
+            + self
+                .shards
+                .iter()
+                .map(|s| s.resident_bytes())
+                .sum::<usize>()
             + self.collected.len() * 48) as u64
     }
 
@@ -489,6 +501,9 @@ impl CoreTask for StepTask<'_> {
 
     fn finish(&mut self, ctx: &mut CoreCtx<'_>) {
         ctx.track_state_bytes(self.state_bytes());
+        for (slot, shard) in self.shards.iter().enumerate() {
+            ctx.record_agg_flush(slot as u64, shard.len() as u64);
+        }
         let mut merged = self.spec.merged.lock();
         for (slot, shard) in self.shards.drain(..).enumerate() {
             match &mut merged[slot] {
@@ -498,10 +513,7 @@ impl CoreTask for StepTask<'_> {
         }
         drop(merged);
         if self.spec.mode.collects() && !self.collected.is_empty() {
-            self.spec
-                .collected
-                .lock()
-                .append(&mut self.collected);
+            self.spec.collected.lock().append(&mut self.collected);
         }
         if self.spec.mode.counts() {
             self.spec.counter.fetch_add(self.count, Ordering::Relaxed);
@@ -532,10 +544,7 @@ mod tests {
 
     /// Triangle + tail: known counts for quick sanity checks.
     fn small() -> crate::context::FractalGraph {
-        ctx().fractal_graph(unlabeled_from_edges(
-            4,
-            &[(0, 1), (1, 2), (0, 2), (2, 3)],
-        ))
+        ctx().fractal_graph(unlabeled_from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]))
     }
 
     #[test]
@@ -575,12 +584,7 @@ mod tests {
         let agg = fg
             .vfractoid()
             .expand(3)
-            .aggregate(
-                "by_edges",
-                |s| s.num_edges(),
-                |_| 1u64,
-                |a, v| *a += v,
-            )
+            .aggregate("by_edges", |s| s.num_edges(), |_| 1u64, |a, v| *a += v)
             .aggregation::<usize, u64>("by_edges");
         // 3-vertex connected subgraphs: one triangle (3 edges) and two
         // paths (2 edges).
@@ -689,6 +693,42 @@ mod tests {
         // Ids are original-graph ids.
         assert_eq!(s.vertices, vec![0, 1, 2]);
         assert_eq!(s.edges, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn traced_run_records_agg_flushes_and_levels() {
+        use fractal_runtime::trace::{EventKind, TraceConfig};
+        let ctx =
+            FractalContext::new(ClusterConfig::local(1, 2).with_trace(TraceConfig::enabled()));
+        let fg = ctx.fractal_graph(unlabeled_from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]));
+        let report = fg
+            .vfractoid()
+            .expand(2)
+            .aggregate("by_edges", |s| s.num_edges(), |_| 1u64, |a, v| *a += v)
+            .execute();
+        assert_eq!(report.num_steps(), 1);
+        let dump = report.steps[0].trace.as_ref().expect("tracing enabled");
+        let count_kind = |k: EventKind| {
+            dump.cores
+                .iter()
+                .flat_map(|c| c.events.iter())
+                .filter(|e| e.kind == k)
+                .count()
+        };
+        // One live aggregation slot flushed by each of the two cores.
+        assert_eq!(count_kind(EventKind::AggFlush), 2);
+        // The DFS registered (and unregistered) enumeration levels.
+        assert!(count_kind(EventKind::LevelPush) > 0);
+        assert_eq!(
+            count_kind(EventKind::LevelPush),
+            count_kind(EventKind::LevelPop)
+        );
+        // And the JSONL stream of the whole execution is parseable.
+        let mut buf = Vec::new();
+        report.write_trace_jsonl(&mut buf).unwrap();
+        assert!(
+            fractal_runtime::TraceDump::parse_jsonl(std::str::from_utf8(&buf).unwrap()).is_ok()
+        );
     }
 
     #[test]

@@ -41,10 +41,7 @@ pub(crate) enum Primitive {
     /// F (local): prune by local information.
     Filter(Arc<FilterFn>),
     /// F (aggregation): prune using an upstream named aggregation (W4).
-    AggFilter {
-        name: String,
-        f: Arc<AggFilterFn>,
-    },
+    AggFilter { name: String, f: Arc<AggFilterFn> },
     /// A: map subgraphs to key/value pairs and reduce (W2). The `uid`
     /// identifies this primitive instance in the shared result store.
     Aggregate {
@@ -99,7 +96,10 @@ impl Fractoid {
     }
 
     /// W3 (`filter`): appends a local filter.
-    pub fn filter(mut self, f: impl Fn(&SubgraphView<'_>) -> bool + Send + Sync + 'static) -> Fractoid {
+    pub fn filter(
+        mut self,
+        f: impl Fn(&SubgraphView<'_>) -> bool + Send + Sync + 'static,
+    ) -> Fractoid {
         self.primitives.push(Primitive::Filter(Arc::new(f)));
         self
     }

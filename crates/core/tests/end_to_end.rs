@@ -75,11 +75,7 @@ fn edge_vs_vertex_induction_agree_on_triangles() {
         .expand(3)
         .filter(|s| s.num_vertices() == 3)
         .count();
-    let vertex_triangles = fg
-        .vfractoid()
-        .expand(3)
-        .filter(|s| s.is_clique())
-        .count();
+    let vertex_triangles = fg.vfractoid().expand(3).filter(|s| s.is_clique()).count();
     assert_eq!(edge_triangles, vertex_triangles);
 }
 

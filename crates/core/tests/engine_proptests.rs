@@ -11,7 +11,12 @@ use proptest::prelude::*;
 /// Oracle: sequential DFS over [expand, filter]* with the same canonical
 /// rule and filter semantics as the engine.
 fn oracle_count(g: &Graph, levels: &[Option<u32>]) -> u64 {
-    fn rec(g: &Graph, levels: &[Option<u32>], prefix: &mut Vec<u32>, edge_count: &mut usize) -> u64 {
+    fn rec(
+        g: &Graph,
+        levels: &[Option<u32>],
+        prefix: &mut Vec<u32>,
+        edge_count: &mut usize,
+    ) -> u64 {
         let depth = prefix.len();
         if depth == levels.len() {
             return 1;
@@ -65,9 +70,7 @@ fn engine_count(g: &Graph, levels: &[Option<u32>], cfg: ClusterConfig) -> u64 {
     for (depth, &min_added) in levels.iter().enumerate() {
         f = f.expand(1);
         if let Some(min_added) = min_added {
-            f = f.filter(move |s| {
-                depth == 0 || s.last_level_edge_count() as u32 >= min_added
-            });
+            f = f.filter(move |s| depth == 0 || s.last_level_edge_count() as u32 >= min_added);
         }
     }
     f.count()

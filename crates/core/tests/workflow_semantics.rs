@@ -7,10 +7,7 @@ use fractal_runtime::ClusterConfig;
 
 fn fg() -> FractalGraph {
     // Triangle + tail (4 vertices, 4 edges).
-    let g = fractal_graph::builder::unlabeled_from_edges(
-        4,
-        &[(0, 1), (1, 2), (0, 2), (2, 3)],
-    );
+    let g = fractal_graph::builder::unlabeled_from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
     FractalContext::new(ClusterConfig::local(1, 2)).fractal_graph(g)
 }
 

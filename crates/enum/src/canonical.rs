@@ -256,7 +256,14 @@ mod tests {
             }
             seen.len() == es.len()
         }
-        fn rec(g: &Graph, k: usize, start: u32, m: u32, subset: &mut Vec<u32>, out: &mut Vec<BTreeSet<u32>>) {
+        fn rec(
+            g: &Graph,
+            k: usize,
+            start: u32,
+            m: u32,
+            subset: &mut Vec<u32>,
+            out: &mut Vec<BTreeSet<u32>>,
+        ) {
             if subset.len() == k {
                 if connected(g, subset) {
                     out.push(subset.iter().copied().collect());

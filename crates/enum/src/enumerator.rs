@@ -175,7 +175,11 @@ pub struct PatternEnumerator {
 
 impl PatternEnumerator {
     /// Builds an enumerator for `plan`, matching labels as configured.
-    pub fn new(plan: Arc<ExplorationPlan>, match_vertex_labels: bool, match_edge_labels: bool) -> Self {
+    pub fn new(
+        plan: Arc<ExplorationPlan>,
+        match_vertex_labels: bool,
+        match_edge_labels: bool,
+    ) -> Self {
         PatternEnumerator {
             plan,
             match_vertex_labels,
@@ -345,8 +349,14 @@ pub(crate) mod tests {
     fn edge_induced_counts_paths() {
         // Path 0-1-2: 2 single edges, 1 two-edge subgraph.
         let g = unlabeled_from_edges(3, &[(0, 1), (1, 2)]);
-        assert_eq!(run_to_depth(&g, Box::new(EdgeInducedEnumerator::new()), 1).len(), 2);
-        assert_eq!(run_to_depth(&g, Box::new(EdgeInducedEnumerator::new()), 2).len(), 1);
+        assert_eq!(
+            run_to_depth(&g, Box::new(EdgeInducedEnumerator::new()), 1).len(),
+            2
+        );
+        assert_eq!(
+            run_to_depth(&g, Box::new(EdgeInducedEnumerator::new()), 2).len(),
+            1
+        );
     }
 
     #[test]

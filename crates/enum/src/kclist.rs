@@ -192,11 +192,7 @@ mod tests {
                     .into_iter()
                     .filter(|(_, es)| es.len() == k * (k - 1) / 2)
                     .count();
-                assert_eq!(
-                    count_cliques_kclist(&g, k),
-                    generic,
-                    "seed {seed} k {k}"
-                );
+                assert_eq!(count_cliques_kclist(&g, k), generic, "seed {seed} k {k}");
             }
         }
     }

@@ -29,8 +29,8 @@ pub use enumerator::{
     EdgeInducedEnumerator, PatternEnumerator, SubgraphEnumerator, VertexInducedEnumerator,
 };
 pub use kclist::KClistEnumerator;
-pub use sampling::SamplingEnumerator;
 pub use queue::ExtensionQueue;
+pub use sampling::SamplingEnumerator;
 pub use subgraph::Subgraph;
 
 /// How subgraphs are grown — the three extension strategies of Fig. 1.

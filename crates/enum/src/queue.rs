@@ -40,7 +40,9 @@ impl ExtensionQueue {
     /// time the caller acts on it, which stealing tolerates).
     #[inline]
     pub fn remaining(&self) -> usize {
-        self.items.len().saturating_sub(self.cursor.load(Ordering::Relaxed))
+        self.items
+            .len()
+            .saturating_sub(self.cursor.load(Ordering::Relaxed))
     }
 
     /// Whether any unclaimed word remains (racy snapshot).

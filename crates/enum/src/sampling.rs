@@ -147,7 +147,10 @@ mod tests {
         }
         let est = est_sum / seeds as f64;
         let rel_err = (est - exact).abs() / exact;
-        assert!(rel_err < 0.35, "estimate {est:.0} vs exact {exact:.0} ({rel_err:.2})");
+        assert!(
+            rel_err < 0.35,
+            "estimate {est:.0} vs exact {exact:.0} ({rel_err:.2})"
+        );
     }
 
     #[test]

@@ -220,9 +220,7 @@ impl Subgraph {
                 .collect();
             return Pattern::new(labels, Vec::new());
         }
-        let local_of = |v: u32| -> u8 {
-            self.vertices.iter().position(|&x| x == v).unwrap() as u8
-        };
+        let local_of = |v: u32| -> u8 { self.vertices.iter().position(|&x| x == v).unwrap() as u8 };
         let labels = self
             .vertices
             .iter()
@@ -239,7 +237,11 @@ impl Subgraph {
             .iter()
             .map(|&e| {
                 let (s, d) = g.edge_endpoints(EdgeId(e));
-                let l = if use_elabels { g.edge_label(EdgeId(e)).raw() } else { 0 };
+                let l = if use_elabels {
+                    g.edge_label(EdgeId(e)).raw()
+                } else {
+                    0
+                };
                 (local_of(s.raw()), local_of(d.raw()), l)
             })
             .collect();

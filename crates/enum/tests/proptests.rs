@@ -238,7 +238,14 @@ fn labeled_pattern_matching_oracle() {
     for l in [0u32, 1, 0, 1, 0] {
         b.add_vertex(Label(l));
     }
-    for &(u, v, l) in &[(0u32, 1u32, 0u32), (1, 2, 1), (2, 3, 0), (3, 4, 1), (0, 4, 0), (1, 3, 0)] {
+    for &(u, v, l) in &[
+        (0u32, 1u32, 0u32),
+        (1, 2, 1),
+        (2, 3, 0),
+        (3, 4, 1),
+        (0, 4, 0),
+        (1, 3, 0),
+    ] {
         b.add_edge(VertexId(u), VertexId(v), Label(l)).unwrap();
     }
     let g = b.build();

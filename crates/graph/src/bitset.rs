@@ -25,7 +25,7 @@ impl Bitset {
         for w in &mut s.words {
             *w = u64::MAX;
         }
-        if len % 64 != 0 {
+        if !len.is_multiple_of(64) {
             if let Some(last) = s.words.last_mut() {
                 *last = (1u64 << (len % 64)) - 1;
             }

@@ -66,7 +66,12 @@ impl GraphBuilder {
 
     /// Adds an undirected labeled edge, rejecting self-loops, unknown
     /// endpoints and duplicates. Returns the edge id.
-    pub fn add_edge(&mut self, u: VertexId, v: VertexId, label: Label) -> Result<EdgeId, GraphError> {
+    pub fn add_edge(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        label: Label,
+    ) -> Result<EdgeId, GraphError> {
         if u == v {
             return Err(GraphError::SelfLoop(u.raw()));
         }
@@ -170,13 +175,21 @@ impl GraphBuilder {
             perm.extend(0..span as u32);
             let vs = &nbr_vertices[lo..hi];
             perm.sort_unstable_by_key(|&p| vs[p as usize]);
-            let sorted_v: Vec<u32> = perm.iter().map(|&p| nbr_vertices[lo + p as usize]).collect();
+            let sorted_v: Vec<u32> = perm
+                .iter()
+                .map(|&p| nbr_vertices[lo + p as usize])
+                .collect();
             let sorted_e: Vec<u32> = perm.iter().map(|&p| nbr_edges[lo + p as usize]).collect();
             nbr_vertices[lo..hi].copy_from_slice(&sorted_v);
             nbr_edges[lo..hi].copy_from_slice(&sorted_e);
         }
 
-        let num_vertex_labels = self.vertex_labels.iter().copied().max().map_or(0, |l| l + 1);
+        let num_vertex_labels = self
+            .vertex_labels
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |l| l + 1);
         let num_edge_labels = edge_labels.iter().copied().max().map_or(0, |l| l + 1);
 
         let (vertex_keywords, edge_keywords, keyword_table) = if self.has_keywords {
@@ -240,7 +253,10 @@ mod tests {
     fn rejects_self_loop() {
         let mut b = GraphBuilder::new();
         let v = b.add_vertex(Label(0));
-        assert!(matches!(b.add_edge(v, v, Label(0)), Err(GraphError::SelfLoop(0))));
+        assert!(matches!(
+            b.add_edge(v, v, Label(0)),
+            Err(GraphError::SelfLoop(0))
+        ));
     }
 
     #[test]

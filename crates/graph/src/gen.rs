@@ -65,7 +65,9 @@ pub fn erdos_renyi(n: usize, m: usize, num_labels: u32, seed: u64) -> Graph {
         if u == v {
             continue;
         }
-        if b.add_edge_dedup(VertexId(u), VertexId(v), Label(0)).is_some() {
+        if b.add_edge_dedup(VertexId(u), VertexId(v), Label(0))
+            .is_some()
+        {
             added += 1;
         }
     }
@@ -101,7 +103,9 @@ pub fn barabasi_albert(
     for u in 0..seed_n as u32 {
         for v in (u + 1)..seed_n as u32 {
             let l = elabel_dist.sample(&mut rng) as u32;
-            if b.add_edge_dedup(VertexId(u), VertexId(v), Label(l)).is_some() {
+            if b.add_edge_dedup(VertexId(u), VertexId(v), Label(l))
+                .is_some()
+            {
                 endpoints.push(u);
                 endpoints.push(v);
             }
@@ -117,8 +121,7 @@ pub fn barabasi_albert(
                 continue;
             }
             let l = elabel_dist.sample(&mut rng) as u32;
-            if b
-                .add_edge_dedup(VertexId(v as u32), VertexId(target), Label(l))
+            if b.add_edge_dedup(VertexId(v as u32), VertexId(target), Label(l))
                 .is_some()
             {
                 endpoints.push(v as u32);
@@ -170,7 +173,9 @@ pub fn wikidata_like(n: usize, vocab: usize, seed: u64) -> Graph {
     for _ in 0..n {
         b.add_vertex(Label(0));
     }
-    let kws: Vec<crate::KeywordId> = (0..vocab).map(|i| b.intern_keyword(&format!("kw{i}"))).collect();
+    let kws: Vec<crate::KeywordId> = (0..vocab)
+        .map(|i| b.intern_keyword(&format!("kw{i}")))
+        .collect();
     let mut endpoints: Vec<u32> = vec![0, 1];
     b.add_edge(VertexId(0), VertexId(1), Label(0)).unwrap();
     let mut edges: Vec<crate::EdgeId> = Vec::new();
@@ -320,7 +325,10 @@ mod tests {
         for _ in 0..10_000 {
             counts[z.sample(&mut rng)] += 1;
         }
-        assert!(counts[0] > counts[9] * 3, "rank 0 should dominate: {counts:?}");
+        assert!(
+            counts[0] > counts[9] * 3,
+            "rank 0 should dominate: {counts:?}"
+        );
         assert!(counts.iter().all(|&c| c > 0));
     }
 
@@ -350,7 +358,11 @@ mod tests {
         assert_eq!(g.num_vertices(), 500);
         // Scale-free: the hub degree should far exceed the average.
         let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
-        assert!(g.max_degree() as f64 > 4.0 * avg, "max {} avg {avg}", g.max_degree());
+        assert!(
+            g.max_degree() as f64 > 4.0 * avg,
+            "max {} avg {avg}",
+            g.max_degree()
+        );
     }
 
     #[test]
@@ -373,9 +385,15 @@ mod tests {
         g.validate().unwrap();
         assert!(g.keyword_table().is_some());
         assert!(g.num_edges() < 2 * g.num_vertices(), "should be sparse");
-        let with_kw = g.vertices().filter(|&v| !g.vertex_keywords(v).is_empty()).count();
+        let with_kw = g
+            .vertices()
+            .filter(|&v| !g.vertex_keywords(v).is_empty())
+            .count();
         assert_eq!(with_kw, g.num_vertices());
-        let edges_with_kw = g.edges().filter(|&e| !g.edge_keywords(e).is_empty()).count();
+        let edges_with_kw = g
+            .edges()
+            .filter(|&e| !g.edge_keywords(e).is_empty())
+            .count();
         assert!(edges_with_kw > g.num_edges() / 2);
     }
 

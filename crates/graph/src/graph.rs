@@ -249,8 +249,14 @@ impl Graph {
             + self.edge_dst.len() * 4
             + self.vertex_labels.len() * 4
             + self.edge_labels.len() * 4;
-        let kw = self.vertex_keywords.as_ref().map_or(0, |k| k.resident_bytes())
-            + self.edge_keywords.as_ref().map_or(0, |k| k.resident_bytes());
+        let kw = self
+            .vertex_keywords
+            .as_ref()
+            .map_or(0, |k| k.resident_bytes())
+            + self
+                .edge_keywords
+                .as_ref()
+                .map_or(0, |k| k.resident_bytes());
         base + kw
     }
 

@@ -74,7 +74,11 @@ pub fn read_adjacency_list<R: Read>(reader: BufReader<R>) -> Result<Graph, Graph
             };
             // Each undirected edge appears twice; keep the (u < v) copy.
             if vid < nbr {
-                pending.push(Pending { u: vid, v: nbr, label: elabel });
+                pending.push(Pending {
+                    u: vid,
+                    v: nbr,
+                    label: elabel,
+                });
             }
         }
     }
@@ -168,7 +172,10 @@ pub fn read_edge_list<R: Read>(reader: BufReader<R>) -> Result<Graph, GraphError
                 .parse()
                 .map_err(|_| GraphError::Parse(lineno + 1, "bad vertex label".into()))?;
             if vid >= n {
-                return Err(GraphError::Parse(lineno + 1, "vertex id out of range".into()));
+                return Err(GraphError::Parse(
+                    lineno + 1,
+                    "vertex id out of range".into(),
+                ));
             }
             vlabels[vid] = l;
         } else {

@@ -63,7 +63,11 @@ impl Graph {
     /// survives iff its mask bit is set **and** both endpoints survive.
     /// Labels and keyword sets are carried over.
     pub fn reduce(&self, vmask: &VertexMask, emask: &EdgeMask) -> ReducedGraph {
-        assert_eq!(vmask.len(), self.num_vertices(), "vertex mask size mismatch");
+        assert_eq!(
+            vmask.len(),
+            self.num_vertices(),
+            "vertex mask size mismatch"
+        );
         assert_eq!(emask.len(), self.num_edges(), "edge mask size mismatch");
 
         let mut new_id = vec![u32::MAX; self.num_vertices()];
@@ -125,7 +129,10 @@ impl Graph {
             perm.extend(0..(hi - lo) as u32);
             let vs = &nbr_vertices[lo..hi];
             perm.sort_unstable_by_key(|&p| vs[p as usize]);
-            let sv: Vec<u32> = perm.iter().map(|&p| nbr_vertices[lo + p as usize]).collect();
+            let sv: Vec<u32> = perm
+                .iter()
+                .map(|&p| nbr_vertices[lo + p as usize])
+                .collect();
             let se: Vec<u32> = perm.iter().map(|&p| nbr_edges[lo + p as usize]).collect();
             nbr_vertices[lo..hi].copy_from_slice(&sv);
             nbr_edges[lo..hi].copy_from_slice(&se);
@@ -212,7 +219,10 @@ mod tests {
 
     fn diamond() -> Graph {
         // 0-1-2-3 cycle plus chord 1-3; labels 0,1,0,1.
-        graph_from_edges(&[0, 1, 0, 1], &[(0, 1, 0), (1, 2, 1), (2, 3, 0), (0, 3, 1), (1, 3, 2)])
+        graph_from_edges(
+            &[0, 1, 0, 1],
+            &[(0, 1, 0), (1, 2, 1), (2, 3, 0), (0, 3, 1), (1, 3, 2)],
+        )
     }
 
     #[test]

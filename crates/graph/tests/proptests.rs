@@ -8,10 +8,7 @@ use proptest::prelude::*;
 /// the builder).
 fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32, u32)>)> {
     (2usize..30).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0u32..n as u32, 0u32..n as u32, 0u32..4u32),
-            0..60,
-        );
+        let edges = proptest::collection::vec((0u32..n as u32, 0u32..n as u32, 0u32..4u32), 0..60);
         (Just(n), edges)
     })
 }

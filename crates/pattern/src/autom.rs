@@ -23,7 +23,9 @@ pub fn automorphisms(p: &Pattern) -> Vec<Vec<u8>> {
     let mut perm: Vec<u8> = Vec::with_capacity(n);
     let mut used: u32 = 0;
     backtrack(p, &colors, &mut perm, &mut used, &mut out);
-    debug_assert!(out.iter().any(|a| a.iter().enumerate().all(|(i, &v)| i == v as usize)));
+    debug_assert!(out
+        .iter()
+        .any(|a| a.iter().enumerate().all(|(i, &v)| i == v as usize)));
     out
 }
 
@@ -46,17 +48,13 @@ fn backtrack(
         }
         // Check consistency with the assigned prefix.
         let mut ok = p.vertex_label(img) == p.vertex_label(v);
-        for u in 0..v {
+        for (u, &pu) in perm.iter().enumerate() {
             if !ok {
                 break;
             }
             let adj = p.adjacent(u, v);
-            let adj_img = p.adjacent(perm[u] as usize, img);
-            if adj != adj_img {
-                ok = false;
-            } else if adj && p.edge_label(u, v) != p.edge_label(perm[u] as usize, img) {
-                ok = false;
-            }
+            let adj_img = p.adjacent(pu as usize, img);
+            ok = adj == adj_img && (!adj || p.edge_label(u, v) == p.edge_label(pu as usize, img));
         }
         if ok {
             perm.push(img as u8);
@@ -79,7 +77,10 @@ pub fn orbit(auts: &[Vec<u8>], v: usize) -> Vec<u8> {
 
 /// The stabilizer subgroup fixing vertex `v`.
 pub fn stabilizer(auts: &[Vec<u8>], v: usize) -> Vec<Vec<u8>> {
-    auts.iter().filter(|a| a[v] as usize == v).cloned().collect()
+    auts.iter()
+        .filter(|a| a[v] as usize == v)
+        .cloned()
+        .collect()
 }
 
 #[cfg(test)]

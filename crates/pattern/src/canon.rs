@@ -95,9 +95,9 @@ pub fn refine_colors(p: &Pattern) -> Vec<u32> {
         }
         for v in 0..n {
             let mut nbr_sig: Vec<(u32, u32)> = Vec::with_capacity(p.degree(v));
-            for u in 0..n {
+            for (u, &cu) in colors.iter().enumerate() {
                 if p.adjacent(u, v) {
-                    nbr_sig.push((p.edge_label(u, v).unwrap_or(0), colors[u]));
+                    nbr_sig.push((p.edge_label(u, v).unwrap_or(0), cu));
                 }
             }
             nbr_sig.sort_unstable();
@@ -330,7 +330,10 @@ mod tests {
 
     #[test]
     fn code_invariant_under_permutation() {
-        let p = Pattern::new(vec![0, 1, 0, 1], vec![(0, 1, 1), (1, 2, 0), (2, 3, 1), (0, 3, 0)]);
+        let p = Pattern::new(
+            vec![0, 1, 0, 1],
+            vec![(0, 1, 1), (1, 2, 0), (2, 3, 1), (0, 3, 0)],
+        );
         let base = canonical_code(&p);
         // All 24 permutations give the same code.
         let perms4: Vec<Vec<u8>> = permutations(4);
@@ -342,8 +345,14 @@ mod tests {
 
     #[test]
     fn code_distinguishes_non_isomorphic() {
-        assert_ne!(canonical_code(&Pattern::path(4)), canonical_code(&Pattern::star(3)));
-        assert_ne!(canonical_code(&Pattern::cycle(4)), canonical_code(&Pattern::path(4)));
+        assert_ne!(
+            canonical_code(&Pattern::path(4)),
+            canonical_code(&Pattern::star(3))
+        );
+        assert_ne!(
+            canonical_code(&Pattern::cycle(4)),
+            canonical_code(&Pattern::path(4))
+        );
         assert_ne!(
             canonical_code(&Pattern::clique(4)),
             canonical_code(&Pattern::cycle(4))

@@ -56,10 +56,7 @@ impl Pattern {
     /// An unlabeled pattern (all labels zero) from an edge list over `n`
     /// vertices.
     pub fn unlabeled(n: usize, edges: &[(u8, u8)]) -> Self {
-        Pattern::new(
-            vec![0; n],
-            edges.iter().map(|&(u, v)| (u, v, 0)).collect(),
-        )
+        Pattern::new(vec![0; n], edges.iter().map(|&(u, v)| (u, v, 0)).collect())
     }
 
     /// The pattern of the subgraph induced in `g` by `vertices` (all edges
@@ -87,7 +84,11 @@ impl Pattern {
         for i in 0..n {
             for j in (i + 1)..n {
                 if let Some(e) = g.edge_between(VertexId(vertices[i]), VertexId(vertices[j])) {
-                    let l = if use_elabels { g.edge_label(e).raw() } else { 0 };
+                    let l = if use_elabels {
+                        g.edge_label(e).raw()
+                    } else {
+                        0
+                    };
                     edges.push((i as u8, j as u8, l));
                 }
             }

@@ -91,7 +91,10 @@ impl ExplorationPlan {
         for (pos, &v) in order.iter().enumerate() {
             pos_of[v as usize] = pos as u8;
         }
-        let labels = order.iter().map(|&v| pattern.vertex_label(v as usize)).collect();
+        let labels = order
+            .iter()
+            .map(|&v| pattern.vertex_label(v as usize))
+            .collect();
         let mut back_edges: Vec<Vec<(u8, u32)>> = vec![Vec::new(); n];
         for (pos, &v) in order.iter().enumerate() {
             for (epos, &u) in order[..pos].iter().enumerate() {

@@ -48,7 +48,9 @@ impl SymmetryConditions {
 
     /// No conditions (used to measure redundancy without symmetry breaking).
     pub fn none() -> Self {
-        SymmetryConditions { less_than: Vec::new() }
+        SymmetryConditions {
+            less_than: Vec::new(),
+        }
     }
 
     /// Whether a complete assignment `m` (graph vertex matched to each
@@ -168,7 +170,10 @@ mod tests {
         let p = Pattern::new(vec![1, 0, 0], vec![(0, 1, 0), (1, 2, 0), (0, 2, 0)]);
         assert_one_per_class(&p);
         // Square with alternating labels: automorphisms are label-preserving.
-        let q = Pattern::new(vec![0, 1, 0, 1], vec![(0, 1, 0), (1, 2, 0), (2, 3, 0), (0, 3, 0)]);
+        let q = Pattern::new(
+            vec![0, 1, 0, 1],
+            vec![(0, 1, 0), (1, 2, 0), (2, 3, 0), (0, 3, 0)],
+        );
         assert_one_per_class(&q);
     }
 

@@ -24,11 +24,12 @@
 use crate::level::{CoreSlot, GlobalCoreId, LevelQueue, WorkerRegistry};
 use crate::stats::{CoreStats, JobReport};
 use crate::steal::{
-    decode_unit, steal_from_registry, steal_server, StealRequest, StolenUnit,
+    decode_unit, steal_from_registry, steal_server, ServerStats, StealRequest, StolenUnit,
 };
+use crate::trace::{CoreTrace, EventKind, Recorder, TraceDump};
 use crate::{ClusterConfig, WsMode};
 use crossbeam::channel::{bounded, unbounded, Sender};
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -104,6 +105,9 @@ pub struct CoreCtx<'a> {
     t0: Instant,
     /// Statistics being accumulated for this core.
     pub stats: CoreStats,
+    /// The flight recorder of this core (no-op unless the job's
+    /// [`TraceConfig`](crate::trace::TraceConfig) enables it).
+    pub recorder: Recorder,
 }
 
 impl CoreCtx<'_> {
@@ -124,6 +128,16 @@ impl CoreCtx<'_> {
     /// **must** drain it (claim until `None`) before calling
     /// [`pop_level`](Self::pop_level).
     pub fn push_level(&mut self, prefix: &[u64], extensions: Vec<u64>) -> Arc<LevelQueue> {
+        if self.recorder.is_enabled() {
+            let t = self.now_ns();
+            self.recorder.record(
+                t,
+                EventKind::LevelPush,
+                prefix.len() as u64,
+                extensions.len() as u64,
+            );
+            self.recorder.record_ext_depth(prefix.len() as u64);
+        }
         let level = Arc::new(LevelQueue::new(prefix.to_vec(), extensions, false));
         self.slot.push(level.clone());
         level
@@ -131,7 +145,21 @@ impl CoreCtx<'_> {
 
     /// Unregisters the most recent level.
     pub fn pop_level(&mut self) {
+        if self.recorder.is_enabled() {
+            let t = self.now_ns();
+            let depth = self.slot.depth().saturating_sub(1) as u64;
+            self.recorder.record(t, EventKind::LevelPop, depth, 0);
+        }
         self.slot.pop();
+    }
+
+    /// Records an aggregation-shard flush (called by the engine layer when
+    /// a core hands its shard over for merging).
+    pub fn record_agg_flush(&mut self, slot: u64, entries: u64) {
+        if self.recorder.is_enabled() {
+            let t = self.now_ns();
+            self.recorder.record(t, EventKind::AggFlush, slot, entries);
+        }
     }
 
     /// Adds to the extension-cost counter (§4.3).
@@ -183,10 +211,11 @@ pub fn run_job(spec: &dyn JobSpec, config: &ClusterConfig) -> JobReport {
         steal_rx.push(rx);
     }
     let channels = WorkerChannels { steal_tx };
-    let bytes_served = AtomicU64::new(0);
+    let server_stats: Vec<ServerStats> = (0..num_workers).map(|_| ServerStats::new()).collect();
 
     let t0 = Instant::now();
     let mut core_stats: Vec<(GlobalCoreId, CoreStats)> = Vec::with_capacity(total_cores);
+    let mut core_traces: Vec<CoreTrace> = Vec::with_capacity(total_cores);
 
     std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(total_cores);
@@ -212,14 +241,15 @@ pub fn run_job(spec: &dyn JobSpec, config: &ClusterConfig) -> JobReport {
                 let registry = registries[w].clone();
                 let job = &job;
                 let latency = config.net_latency_us;
-                let bytes_served = &bytes_served;
-                server_handles.push(s.spawn(move || {
-                    steal_server(&registry, job, &rx, latency, bytes_served)
-                }));
+                let stats = &server_stats[w];
+                server_handles
+                    .push(s.spawn(move || steal_server(&registry, job, &rx, latency, stats)));
             }
         }
         for (id, h) in handles {
-            core_stats.push((id, h.join().expect("core thread panicked")));
+            let (stats, trace) = h.join().expect("core thread panicked");
+            core_stats.push((id, stats));
+            core_traces.push(trace);
         }
         for h in server_handles {
             h.join().expect("steal server panicked");
@@ -229,10 +259,18 @@ pub fn run_job(spec: &dyn JobSpec, config: &ClusterConfig) -> JobReport {
     debug_assert!(job.done(), "job must be done after all cores joined");
     debug_assert_eq!(job.pending(), 0, "pending leak: {}", job.pending());
 
+    let sum = |f: fn(&ServerStats) -> u64| server_stats.iter().map(f).sum();
     JobReport {
         elapsed: t0.elapsed(),
         cores: core_stats,
-        bytes_served: bytes_served.load(Ordering::Relaxed),
+        bytes_served: sum(|s| s.bytes_served.load(Ordering::Relaxed)),
+        steal_requests: sum(|s| s.requests.load(Ordering::Relaxed)),
+        steal_hits: sum(|s| s.hits.load(Ordering::Relaxed)),
+        trace: if config.trace.enabled {
+            Some(TraceDump { cores: core_traces })
+        } else {
+            None
+        },
     }
 }
 
@@ -246,13 +284,14 @@ fn core_main(
     channels: &WorkerChannels,
     config: &ClusterConfig,
     t0: Instant,
-) -> CoreStats {
+) -> (CoreStats, CoreTrace) {
     let slot = &registries[id.worker].slots[id.core];
     let mut ctx = CoreCtx {
         id,
         slot,
         t0,
         stats: CoreStats::default(),
+        recorder: Recorder::new(config.trace),
     };
     let mut task = spec.make_core_task(id);
 
@@ -262,8 +301,12 @@ fn core_main(
         slot.push(root.clone());
         while let Some(w) = root.queue.claim() {
             let start = ctx.now_ns();
+            ctx.recorder.record(start, EventKind::TaskClaim, 0, w);
             task.process_unit(&mut ctx, &[], w);
             let end = ctx.now_ns();
+            let service = end.saturating_sub(start);
+            ctx.recorder.record(end, EventKind::UnitDone, 0, service);
+            ctx.recorder.record_service(service);
             ctx.stats.record_segment(start, end);
             job.sub_pending();
         }
@@ -272,11 +315,13 @@ fn core_main(
 
     // Phase 2: steal until the whole job is done.
     if config.ws_mode != WsMode::Disabled {
-        steal_loop(spec, &mut *task, &mut ctx, job, registries, channels, config);
+        steal_loop(
+            spec, &mut *task, &mut ctx, job, registries, channels, config,
+        );
     }
 
     task.finish(&mut ctx);
-    ctx.stats
+    (ctx.stats, ctx.recorder.into_core_trace(id))
 }
 
 fn steal_loop(
@@ -298,7 +343,16 @@ fn steal_loop(
         let mut stolen: Option<(StolenUnit, bool)> = None;
 
         if config.ws_mode.internal() {
-            if let Some(u) = steal_from_registry(&registries[id.worker], Some(id.core), job) {
+            if let Some((victim, u)) =
+                steal_from_registry(&registries[id.worker], Some(id.core), job)
+            {
+                if ctx.recorder.is_enabled() {
+                    let t = ctx.now_ns();
+                    ctx.recorder
+                        .record(t, EventKind::InternalSteal, victim as u64, u.word);
+                    ctx.recorder
+                        .record_steal_latency(t.saturating_sub(steal_start));
+                }
                 stolen = Some((u, false));
             }
         }
@@ -309,6 +363,11 @@ fn steal_loop(
         if stolen.is_none() && config.ws_mode.external() && num_workers > 1 {
             let (unit, active_ns) = steal_external(ctx, job, channels, num_workers);
             ctx.stats.steal_ns += active_ns;
+            if unit.is_some() && ctx.recorder.is_enabled() {
+                let t = ctx.now_ns();
+                ctx.recorder
+                    .record_steal_latency(t.saturating_sub(steal_start));
+            }
             stolen = unit.map(|u| (u, true));
         }
 
@@ -320,8 +379,18 @@ fn steal_loop(
                     ctx.stats.internal_steals += 1;
                 }
                 let start = ctx.now_ns();
+                ctx.recorder.record(
+                    start,
+                    EventKind::TaskClaim,
+                    unit.prefix.len() as u64,
+                    unit.word,
+                );
                 task.process_unit(ctx, &unit.prefix, unit.word);
                 let end = ctx.now_ns();
+                let service = end.saturating_sub(start);
+                ctx.recorder
+                    .record(end, EventKind::UnitDone, unit.prefix.len() as u64, service);
+                ctx.recorder.record_service(service);
                 ctx.stats.record_segment(start, end);
                 job.sub_pending();
             }
@@ -369,12 +438,37 @@ fn steal_external(
             match reply_rx.recv_timeout(Duration::from_millis(10)) {
                 Ok(Some(bytes)) => {
                     let t_decode = ctx.now_ns();
+                    if ctx.recorder.is_enabled() {
+                        ctx.recorder.record(
+                            t_decode,
+                            EventKind::StealRoundTrip,
+                            victim as u64,
+                            t_decode.saturating_sub(t_send),
+                        );
+                        ctx.recorder.record(
+                            t_decode,
+                            EventKind::ExternalSteal,
+                            victim as u64,
+                            bytes.len() as u64,
+                        );
+                    }
                     ctx.stats.bytes_received += bytes.len() as u64;
                     let unit = decode_unit(&bytes);
                     active_ns += ctx.now_ns().saturating_sub(t_decode);
                     return (Some(unit), active_ns);
                 }
-                Ok(None) => break,
+                Ok(None) => {
+                    if ctx.recorder.is_enabled() {
+                        let t = ctx.now_ns();
+                        ctx.recorder.record(
+                            t,
+                            EventKind::StealRoundTrip,
+                            victim as u64,
+                            t.saturating_sub(t_send),
+                        );
+                    }
+                    break;
+                }
                 Err(_) => {
                     if job.done() {
                         return (None, active_ns);
@@ -389,6 +483,7 @@ fn steal_external(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicU64;
 
     #[test]
     fn job_state_counts_to_done() {
@@ -423,7 +518,10 @@ mod tests {
             self.roots.clone()
         }
         fn make_core_task<'s>(&'s self, _id: GlobalCoreId) -> Box<dyn CoreTask + 's> {
-            Box::new(SumTask { spec: self, local: 0 })
+            Box::new(SumTask {
+                spec: self,
+                local: 0,
+            })
         }
     }
     impl CoreTask for SumTask<'_> {
@@ -483,7 +581,10 @@ mod tests {
             self.roots.clone()
         }
         fn make_core_task<'s>(&'s self, _id: GlobalCoreId) -> Box<dyn CoreTask + 's> {
-            Box::new(TreeTask { spec: self, local: 0 })
+            Box::new(TreeTask {
+                spec: self,
+                local: 0,
+            })
         }
     }
     impl CoreTask for TreeTask<'_> {
@@ -549,10 +650,7 @@ mod tests {
             leaf_work_ns: 1000,
             total: AtomicU64::new(0),
         };
-        let report = run_job(
-            &spec,
-            &ClusterConfig::local(2, 2).with_ws(WsMode::Disabled),
-        );
+        let report = run_job(&spec, &ClusterConfig::local(2, 2).with_ws(WsMode::Disabled));
         assert_eq!(spec.total.load(Ordering::SeqCst), 2 * (0..16).sum::<u64>());
         assert_eq!(report.steals(), (0, 0));
     }
@@ -567,5 +665,67 @@ mod tests {
         assert!(report.total_busy().as_nanos() > 0);
         let tl = report.utilization_timeline(4);
         assert_eq!(tl.len(), 4);
+        // Tracing is opt-in; the default config must not pay for a dump.
+        assert!(report.trace.is_none());
+    }
+
+    #[test]
+    fn trace_records_claims_steals_and_round_trips() {
+        use crate::trace::TraceConfig;
+        let spec = TreeSpec {
+            roots: vec![1, 2, 3],
+            fanout: 64,
+            leaf_work_ns: 100_000,
+            total: AtomicU64::new(0),
+        };
+        let report = run_job(
+            &spec,
+            &ClusterConfig::local(2, 2)
+                .with_latency_us(5)
+                .with_trace(TraceConfig::enabled()),
+        );
+        let dump = report.trace.as_ref().expect("trace enabled");
+        assert_eq!(dump.cores.len(), 4);
+
+        // Every dispatched unit leaves a claim/done pair (ring is large
+        // enough here that nothing is dropped).
+        assert_eq!(dump.total_dropped(), 0);
+        let units: u64 = report.cores.iter().map(|(_, s)| s.units).sum();
+        let count_kind = |k: EventKind| -> u64 {
+            dump.cores
+                .iter()
+                .flat_map(|c| c.events.iter())
+                .filter(|e| e.kind == k)
+                .count() as u64
+        };
+        assert_eq!(count_kind(EventKind::TaskClaim), units);
+        assert_eq!(count_kind(EventKind::UnitDone), units);
+        assert_eq!(count_kind(EventKind::LevelPush), 3); // one per root
+        assert_eq!(count_kind(EventKind::LevelPop), 3);
+
+        // Steal events and histograms line up with the counters.
+        let (int_steals, ext_steals) = report.steals();
+        assert_eq!(count_kind(EventKind::InternalSteal), int_steals);
+        assert_eq!(count_kind(EventKind::ExternalSteal), ext_steals);
+        let (steal_lat, service, _depth) = dump.merged_histograms();
+        assert_eq!(steal_lat.count(), int_steals + ext_steals);
+        assert_eq!(service.count(), units);
+        if ext_steals > 0 {
+            assert!(count_kind(EventKind::StealRoundTrip) >= ext_steals);
+        }
+
+        // The dump round-trips through its JSONL encoding.
+        let mut buf = Vec::new();
+        dump.write_jsonl(&mut buf).unwrap();
+        let parsed = TraceDump::parse_jsonl(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(
+            parsed.cores.iter().map(|c| c.events.len()).sum::<usize>(),
+            dump.num_events()
+        );
+
+        // And the metrics JSON carries the trace summary.
+        let json = report.to_json(8);
+        assert!(json.contains("\"trace\": {"));
+        assert!(json.contains("\"steal_latency_ns\""));
     }
 }

@@ -127,15 +127,17 @@ impl WorkerRegistry {
     }
 
     /// Scans all cores (starting after `skip`, if given) for a stealable
-    /// level; returns the first hit.
-    pub fn find_stealable(&self, skip: Option<usize>) -> Option<Arc<LevelQueue>> {
+    /// level; returns the first hit as `(victim core index, level)` so
+    /// callers can attribute the steal (flight-recorder events, victim
+    /// statistics).
+    pub fn find_stealable(&self, skip: Option<usize>) -> Option<(usize, Arc<LevelQueue>)> {
         let n = self.slots.len();
         for i in 0..n {
             if Some(i) == skip {
                 continue;
             }
             if let Some(l) = self.slots[i].find_stealable() {
-                return Some(l);
+                return Some((i, l));
             }
         }
         None
@@ -182,7 +184,7 @@ mod tests {
         slot.push(l);
         let stolen = slot.find_stealable().unwrap();
         slot.pop(); // owner finished with the level
-        // The thief's Arc is still valid.
+                    // The thief's Arc is still valid.
         assert_eq!(stolen.prefix, vec![7]);
         assert_eq!(stolen.queue.claim(), Some(9));
     }
@@ -192,7 +194,8 @@ mod tests {
         let reg = WorkerRegistry::new(2);
         reg.slots[0].push(Arc::new(LevelQueue::new(vec![], vec![1], true)));
         assert!(reg.find_stealable(Some(0)).is_none());
-        assert!(reg.find_stealable(Some(1)).is_some());
+        let (victim, _) = reg.find_stealable(Some(1)).unwrap();
+        assert_eq!(victim, 0);
         assert!(reg.find_stealable(None).is_some());
     }
 }

@@ -16,16 +16,19 @@
 //! - [`level`] — per-core registries of stealable [`level::LevelQueue`]s,
 //! - [`executor`] — job execution, core main loops, exact termination,
 //! - [`steal`] — steal protocol: local scans, remote request/reply servers,
-//! - [`stats`] — per-core busy-time accounting and the [`JobReport`].
+//! - [`stats`] — per-core busy-time accounting and the [`JobReport`],
+//! - [`trace`] — the flight recorder: per-core event rings + histograms.
 
 pub mod executor;
 pub mod level;
 pub mod stats;
 pub mod steal;
+pub mod trace;
 
 pub use executor::{run_job, CoreCtx, CoreTask, JobSpec};
 pub use level::{GlobalCoreId, LevelQueue};
 pub use stats::{CoreStats, JobReport};
+pub use trace::{EventKind, TraceConfig, TraceDump, TraceEvent};
 
 /// Which levels of the hierarchical work stealing are active (§5.2.2
 /// evaluates exactly these four configurations, Fig. 16).
@@ -68,6 +71,9 @@ pub struct ClusterConfig {
     /// Simulated one-way network latency applied to each external steal,
     /// in microseconds.
     pub net_latency_us: u64,
+    /// Flight-recorder settings (off by default; recording costs one
+    /// branch per instrumentation point when disabled).
+    pub trace: TraceConfig,
 }
 
 impl ClusterConfig {
@@ -79,6 +85,7 @@ impl ClusterConfig {
             cores_per_worker: cores.max(1),
             ws_mode: WsMode::Both,
             net_latency_us: 50,
+            trace: TraceConfig::default(),
         }
     }
 
@@ -96,6 +103,12 @@ impl ClusterConfig {
     /// Returns the config with a different simulated latency.
     pub fn with_latency_us(mut self, us: u64) -> Self {
         self.net_latency_us = us;
+        self
+    }
+
+    /// Returns the config with the given flight-recorder settings.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -126,6 +139,15 @@ mod tests {
         assert_eq!(c.ws_mode, WsMode::InternalOnly);
         assert_eq!(c.net_latency_us, 10);
         assert_eq!(ClusterConfig::single_thread().total_cores(), 1);
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let c = ClusterConfig::local(1, 1);
+        assert!(!c.trace.enabled);
+        let c = c.with_trace(TraceConfig::enabled());
+        assert!(c.trace.enabled);
+        assert!(c.trace.ring_capacity > 0);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! (extension cost) and §6 (work-stealing overhead).
 
 use crate::level::GlobalCoreId;
+use crate::trace::{json_escape, Histogram, TraceDump};
 use std::time::Duration;
 
 /// Counters recorded by one core during one job.
@@ -67,6 +68,13 @@ pub struct JobReport {
     pub cores: Vec<(GlobalCoreId, CoreStats)>,
     /// Total bytes served by steal servers (external-steal traffic).
     pub bytes_served: u64,
+    /// Steal requests received across all steal servers.
+    pub steal_requests: u64,
+    /// Steal requests answered with a unit across all steal servers.
+    pub steal_hits: u64,
+    /// The flight-recorder dump, present when the job ran with
+    /// [`TraceConfig::enabled`](crate::trace::TraceConfig) tracing.
+    pub trace: Option<TraceDump>,
 }
 
 impl JobReport {
@@ -163,6 +171,96 @@ impl JobReport {
             .collect()
     }
 
+    /// Serializes the report as one machine-readable JSON document — the
+    /// metrics artifact consumed by `fractal trace`, the bench harness and
+    /// the CI regression gate. `timeline_buckets` controls the resolution
+    /// of the embedded per-job utilization timeline (Fig. 8 curve).
+    pub fn to_json(&self, timeline_buckets: usize) -> String {
+        let (int_steals, ext_steals) = self.steals();
+        let failed: u64 = self.cores.iter().map(|(_, s)| s.failed_steal_rounds).sum();
+        let units: u64 = self.cores.iter().map(|(_, s)| s.units).sum();
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"fractal-metrics/1\",\n");
+        out.push_str(&format!(
+            "  \"elapsed_ms\": {:.3},\n",
+            self.elapsed.as_secs_f64() * 1e3
+        ));
+        out.push_str(&format!("  \"cores\": {},\n", self.cores.len()));
+        out.push_str(&format!(
+            "  \"workers\": {},\n",
+            self.worker_state_bytes().len()
+        ));
+        out.push_str(&format!("  \"utilization\": {:.6},\n", self.utilization()));
+        out.push_str(&format!("  \"imbalance\": {:.6},\n", self.imbalance()));
+        out.push_str(&format!(
+            "  \"steal_overhead\": {:.6},\n",
+            self.steal_overhead()
+        ));
+        out.push_str(&format!("  \"total_units\": {units},\n"));
+        out.push_str(&format!("  \"total_ec\": {},\n", self.total_ec()));
+        out.push_str(&format!("  \"internal_steals\": {int_steals},\n"));
+        out.push_str(&format!("  \"external_steals\": {ext_steals},\n"));
+        out.push_str(&format!("  \"failed_steal_rounds\": {failed},\n"));
+        out.push_str(&format!("  \"steal_requests\": {},\n", self.steal_requests));
+        out.push_str(&format!("  \"steal_hits\": {},\n", self.steal_hits));
+        out.push_str(&format!("  \"bytes_served\": {},\n", self.bytes_served));
+        out.push_str(&format!(
+            "  \"worker_state_bytes\": {},\n",
+            json_u64_array(&self.worker_state_bytes())
+        ));
+        out.push_str(&format!(
+            "  \"utilization_timeline\": {},\n",
+            json_f64_array(&self.utilization_timeline(timeline_buckets))
+        ));
+        out.push_str("  \"per_core\": [\n");
+        for (i, (id, s)) in self.cores.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"worker\": {}, \"core\": {}, \"busy_ns\": {}, \"steal_ns\": {}, \
+                 \"units\": {}, \"internal_steals\": {}, \"external_steals\": {}, \
+                 \"failed_steal_rounds\": {}, \"bytes_received\": {}, \"ec\": {}, \
+                 \"peak_state_bytes\": {}}}{}\n",
+                id.worker,
+                id.core,
+                s.busy_ns,
+                s.steal_ns,
+                s.units,
+                s.internal_steals,
+                s.external_steals,
+                s.failed_steal_rounds,
+                s.bytes_received,
+                s.ec,
+                s.peak_state_bytes,
+                if i + 1 < self.cores.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        match &self.trace {
+            Some(dump) => {
+                let (steal_lat, service, depth) = dump.merged_histograms();
+                out.push_str("  \"trace\": {\n");
+                out.push_str(&format!(
+                    "    \"events\": {},\n    \"dropped\": {},\n",
+                    dump.num_events(),
+                    dump.total_dropped()
+                ));
+                out.push_str(&format!(
+                    "    \"steal_latency_ns\": {},\n",
+                    histogram_json(&steal_lat)
+                ));
+                out.push_str(&format!(
+                    "    \"service_ns\": {},\n",
+                    histogram_json(&service)
+                ));
+                out.push_str(&format!("    \"ext_depth\": {}\n", histogram_json(&depth)));
+                out.push_str("  }\n");
+            }
+            None => out.push_str("  \"trace\": null\n"),
+        }
+        out.push('}');
+        out
+    }
+
     /// Coefficient of variation of per-core busy times (0 = perfectly
     /// balanced).
     pub fn imbalance(&self) -> f64 {
@@ -180,6 +278,44 @@ impl JobReport {
     }
 }
 
+/// Renders a `u64` slice as a JSON array.
+fn json_u64_array(values: &[u64]) -> String {
+    let items: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", items.join(", "))
+}
+
+/// Renders an `f64` slice as a JSON array with fixed precision.
+fn json_f64_array(values: &[f64]) -> String {
+    let items: Vec<String> = values.iter().map(|v| format!("{v:.6}")).collect();
+    format!("[{}]", items.join(", "))
+}
+
+/// Renders a histogram summary as a JSON object.
+fn histogram_json(h: &Histogram) -> String {
+    format!(
+        "{{\"count\": {}, \"sum\": {}, \"mean\": {:.3}, \"max\": {}, \
+         \"p50_bound\": {}, \"p99_bound\": {}, \"buckets\": {}}}",
+        h.count(),
+        h.sum(),
+        h.mean(),
+        h.max(),
+        h.quantile_bound(0.5),
+        h.quantile_bound(0.99),
+        json_bucket_pairs(&h.nonzero_buckets()),
+    )
+}
+
+fn json_bucket_pairs(pairs: &[(u64, u64)]) -> String {
+    let items: Vec<String> = pairs.iter().map(|(b, n)| format!("[{b}, {n}]")).collect();
+    format!("[{}]", items.join(", "))
+}
+
+/// Quotes and escapes a string as a JSON value (shared with the CLI for
+/// composing metrics documents).
+pub fn json_string(s: &str) -> String {
+    format!("\"{}\"", json_escape(s))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +329,9 @@ mod tests {
                 .map(|(i, s)| (GlobalCoreId { worker: 0, core: i }, s))
                 .collect(),
             bytes_served: 0,
+            steal_requests: 0,
+            steal_hits: 0,
+            trace: None,
         }
     }
 
@@ -234,10 +373,14 @@ mod tests {
 
     #[test]
     fn worker_state_sums_cores() {
-        let mut a = CoreStats::default();
-        a.peak_state_bytes = 100;
-        let mut b = CoreStats::default();
-        b.peak_state_bytes = 50;
+        let a = CoreStats {
+            peak_state_bytes: 100,
+            ..Default::default()
+        };
+        let b = CoreStats {
+            peak_state_bytes: 50,
+            ..Default::default()
+        };
         let r = JobReport {
             elapsed: Duration::from_nanos(1),
             cores: vec![
@@ -245,15 +388,69 @@ mod tests {
                 (GlobalCoreId { worker: 1, core: 0 }, b),
             ],
             bytes_served: 0,
+            steal_requests: 0,
+            steal_hits: 0,
+            trace: None,
         };
         assert_eq!(r.worker_state_bytes(), vec![100, 50]);
     }
 
     #[test]
-    fn steal_overhead_ratio() {
+    fn to_json_carries_steal_counts_and_timeline() {
         let mut a = CoreStats::default();
-        a.busy_ns = 99;
-        a.steal_ns = 1;
+        a.record_segment(0, 1000);
+        a.internal_steals = 3;
+        a.external_steals = 2;
+        let mut r = report(vec![a], 1000);
+        r.steal_requests = 5;
+        r.steal_hits = 2;
+        r.bytes_served = 44;
+        let json = r.to_json(4);
+        assert!(json.contains("\"schema\": \"fractal-metrics/1\""));
+        assert!(json.contains("\"internal_steals\": 3"));
+        assert!(json.contains("\"external_steals\": 2"));
+        assert!(json.contains("\"steal_requests\": 5"));
+        assert!(json.contains("\"bytes_served\": 44"));
+        assert!(json.contains("\"trace\": null"));
+        // A 4-bucket timeline over a fully-busy single core is all ones.
+        assert!(json.contains("\"utilization_timeline\": [1.000000, 1.000000, 1.000000, 1.000000]"));
+    }
+
+    #[test]
+    fn to_json_embeds_trace_summaries() {
+        use crate::trace::{CoreTrace, Histogram};
+        let mut service = Histogram::new();
+        service.record(100);
+        service.record(200);
+        let mut r = report(vec![CoreStats::default()], 1000);
+        r.trace = Some(TraceDump {
+            cores: vec![CoreTrace {
+                id: GlobalCoreId { worker: 0, core: 0 },
+                events: Vec::new(),
+                dropped: 7,
+                total_events: 7,
+                steal_latency_ns: Histogram::new(),
+                service_ns: service,
+                ext_depth: Histogram::new(),
+            }],
+        });
+        let json = r.to_json(2);
+        assert!(json.contains("\"dropped\": 7"));
+        assert!(json.contains("\"service_ns\": {\"count\": 2"));
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn steal_overhead_ratio() {
+        let a = CoreStats {
+            busy_ns: 99,
+            steal_ns: 1,
+            ..Default::default()
+        };
         let r = report(vec![a], 100);
         assert!((r.steal_overhead() - 0.01).abs() < 1e-9);
     }

@@ -46,21 +46,24 @@ pub fn try_claim(level: &LevelQueue, job: &JobState) -> Option<u64> {
 }
 
 /// Scans `registry` for a stealable level (skipping core `skip`, if local)
-/// and claims from it. Returns the stolen unit.
+/// and claims from it. Returns `(victim core index, stolen unit)`.
 pub fn steal_from_registry(
     registry: &WorkerRegistry,
     skip: Option<usize>,
     job: &JobState,
-) -> Option<StolenUnit> {
+) -> Option<(usize, StolenUnit)> {
     // A failed claim (lost race) retries the scan a few times before giving
     // up, so near-misses don't immediately escalate to remote steals.
     for _ in 0..4 {
-        let level = registry.find_stealable(skip)?;
+        let (victim, level) = registry.find_stealable(skip)?;
         if let Some(word) = try_claim(&level, job) {
-            return Some(StolenUnit {
-                prefix: level.prefix.clone(),
-                word,
-            });
+            return Some((
+                victim,
+                StolenUnit {
+                    prefix: level.prefix.clone(),
+                    word,
+                },
+            ));
         }
     }
     None
@@ -96,6 +99,25 @@ pub struct StealRequest {
     pub reply: Sender<Option<Vec<u8>>>,
 }
 
+/// Shared counters of one worker's steal server, read into the
+/// [`JobReport`](crate::stats::JobReport) after the job completes.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Steal requests received.
+    pub requests: AtomicU64,
+    /// Requests answered with a unit (the rest replied `None`).
+    pub hits: AtomicU64,
+    /// Serialized reply bytes shipped.
+    pub bytes_served: AtomicU64,
+}
+
+impl ServerStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Busy-waits for `us` microseconds (sub-millisecond precision; models one
 /// network hop).
 pub fn spin_latency(us: u64) {
@@ -116,16 +138,20 @@ pub fn steal_server(
     job: &JobState,
     rx: &Receiver<StealRequest>,
     latency_us: u64,
-    bytes_served: &AtomicU64,
+    stats: &ServerStats,
 ) {
     loop {
         match rx.recv_timeout(Duration::from_micros(500)) {
             Ok(req) => {
+                stats.requests.fetch_add(1, Ordering::Relaxed);
                 let unit = steal_from_registry(registry, None, job);
-                let reply = unit.map(|u| {
+                let reply = unit.map(|(_victim, u)| {
                     spin_latency(latency_us);
                     let bytes = encode_unit(&u);
-                    bytes_served.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                    stats.hits.fetch_add(1, Ordering::Relaxed);
+                    stats
+                        .bytes_served
+                        .fetch_add(bytes.len() as u64, Ordering::Relaxed);
                     bytes
                 });
                 // A dropped requester (timed out and abandoned) is fine:
@@ -203,7 +229,8 @@ mod tests {
             slots: vec![CoreSlot::new(), CoreSlot::new()],
         };
         reg.slots[1].push(StdArc::new(LevelQueue::new(vec![3, 4], vec![8], false)));
-        let unit = steal_from_registry(&reg, Some(0), &job).unwrap();
+        let (victim, unit) = steal_from_registry(&reg, Some(0), &job).unwrap();
+        assert_eq!(victim, 1);
         assert_eq!(unit.prefix, vec![3, 4]);
         assert_eq!(unit.word, 8);
         assert!(steal_from_registry(&reg, Some(0), &job).is_none());
@@ -213,18 +240,20 @@ mod tests {
     fn server_replies_none_when_no_work_and_exits_on_done() {
         let job = Arc::new(JobState::new(1));
         let reg = Arc::new(WorkerRegistry::new(1));
-        let bytes_served = Arc::new(AtomicU64::new(0));
+        let stats = Arc::new(ServerStats::new());
         let (tx, rx) = crossbeam::channel::unbounded::<StealRequest>();
         let j2 = job.clone();
         let r2 = reg.clone();
-        let b2 = bytes_served.clone();
-        let h = std::thread::spawn(move || steal_server(&r2, &j2, &rx, 0, &b2));
+        let s2 = stats.clone();
+        let h = std::thread::spawn(move || steal_server(&r2, &j2, &rx, 0, &s2));
         let (rtx, rrx) = crossbeam::channel::bounded(1);
         tx.send(StealRequest { reply: rtx }).unwrap();
         assert_eq!(rrx.recv_timeout(Duration::from_secs(2)).unwrap(), None);
         job.sub_pending(); // -> done
         h.join().unwrap();
-        assert_eq!(bytes_served.load(Ordering::Relaxed), 0);
+        assert_eq!(stats.requests.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.hits.load(Ordering::Relaxed), 0);
+        assert_eq!(stats.bytes_served.load(Ordering::Relaxed), 0);
     }
 
     #[test]
@@ -232,18 +261,25 @@ mod tests {
         let job = Arc::new(JobState::new(1));
         let reg = Arc::new(WorkerRegistry::new(1));
         reg.slots[0].push(StdArc::new(LevelQueue::new(vec![7], vec![9], false)));
-        let bytes_served = Arc::new(AtomicU64::new(0));
+        let stats = Arc::new(ServerStats::new());
         let (tx, rx) = crossbeam::channel::unbounded::<StealRequest>();
         let j2 = job.clone();
         let r2 = reg.clone();
-        let b2 = bytes_served.clone();
-        let h = std::thread::spawn(move || steal_server(&r2, &j2, &rx, 0, &b2));
+        let s2 = stats.clone();
+        let h = std::thread::spawn(move || steal_server(&r2, &j2, &rx, 0, &s2));
         let (rtx, rrx) = crossbeam::channel::bounded(1);
         tx.send(StealRequest { reply: rtx }).unwrap();
         let reply = rrx.recv_timeout(Duration::from_secs(2)).unwrap().unwrap();
         let unit = decode_unit(&reply);
-        assert_eq!(unit, StolenUnit { prefix: vec![7], word: 9 });
-        assert!(bytes_served.load(Ordering::Relaxed) > 0);
+        assert_eq!(
+            unit,
+            StolenUnit {
+                prefix: vec![7],
+                word: 9
+            }
+        );
+        assert_eq!(stats.hits.load(Ordering::Relaxed), 1);
+        assert!(stats.bytes_served.load(Ordering::Relaxed) > 0);
         // Requester finishes the stolen unit; job completes; server exits.
         job.sub_pending(); // the inflated stolen unit
         job.sub_pending(); // the pre-counted root

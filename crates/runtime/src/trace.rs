@@ -1,0 +1,711 @@
+//! The runtime flight recorder: structured metrics and event traces.
+//!
+//! Per-core, single-writer ring buffers record typed [`TraceEvent`]s (task
+//! claims, steals, level transitions, aggregation flushes) with
+//! nanosecond timestamps relative to job start, alongside log-scale
+//! [`Histogram`]s of steal latency, unit service time and extension-call
+//! depth. This is the observability substrate behind the paper's
+//! drill-down figures (per-core utilization timelines of Fig. 8,
+//! internal/external steal breakdowns of Fig. 9/16) and the CI regression
+//! gate: every run can export a machine-readable JSON metrics summary
+//! ([`crate::stats::JobReport::to_json`]) plus a JSONL event trace
+//! ([`TraceDump::write_jsonl`]).
+//!
+//! ## Cost model
+//!
+//! Recording must be cheap enough to leave on under measurement:
+//!
+//! - each buffer is **owned by exactly one core thread** — no locks, no
+//!   shared cache lines on the hot path; buffers are only collected after
+//!   the core joins;
+//! - an event append is a bounds-checked array write plus a wrapping
+//!   index increment; when the ring is full the oldest events are
+//!   overwritten and counted in [`RingBuffer::dropped`];
+//! - a histogram update is one `leading_zeros` and three integer ops;
+//! - with the recorder disabled (the default) every record call is a
+//!   single branch on a local bool; compiling the runtime without the
+//!   `trace` feature removes even that.
+
+use crate::level::GlobalCoreId;
+use std::io::{self, Write};
+
+/// The event vocabulary of the flight recorder.
+///
+/// Each event carries two payload words `a`/`b` whose meaning is listed
+/// per variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A work unit was claimed for processing. `a` = prefix depth,
+    /// `b` = claimed word.
+    TaskClaim,
+    /// A work unit finished processing. `a` = prefix depth, `b` = service
+    /// time in ns.
+    UnitDone,
+    /// A successful intra-worker steal. `a` = victim core index,
+    /// `b` = stolen word.
+    InternalSteal,
+    /// A successful inter-worker steal. `a` = victim worker index,
+    /// `b` = reply payload bytes.
+    ExternalSteal,
+    /// One external steal request round-trip completed (hit or miss).
+    /// `a` = victim worker index, `b` = round-trip ns (including the
+    /// blocked wait).
+    StealRoundTrip,
+    /// An enumeration level was registered. `a` = depth (prefix words),
+    /// `b` = number of extensions.
+    LevelPush,
+    /// The most recent enumeration level was unregistered. `a` = depth of
+    /// the popped level, `b` = 0.
+    LevelPop,
+    /// A per-core aggregation shard was flushed for merging. `a` = live
+    /// aggregation slot, `b` = reduced entries in the shard.
+    AggFlush,
+}
+
+impl EventKind {
+    /// Stable snake_case name used in the JSONL export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::TaskClaim => "task_claim",
+            EventKind::UnitDone => "unit_done",
+            EventKind::InternalSteal => "internal_steal",
+            EventKind::ExternalSteal => "external_steal",
+            EventKind::StealRoundTrip => "steal_round_trip",
+            EventKind::LevelPush => "level_push",
+            EventKind::LevelPop => "level_pop",
+            EventKind::AggFlush => "agg_flush",
+        }
+    }
+
+    /// Inverse of [`as_str`](Self::as_str).
+    pub fn parse(s: &str) -> Option<EventKind> {
+        Some(match s {
+            "task_claim" => EventKind::TaskClaim,
+            "unit_done" => EventKind::UnitDone,
+            "internal_steal" => EventKind::InternalSteal,
+            "external_steal" => EventKind::ExternalSteal,
+            "steal_round_trip" => EventKind::StealRoundTrip,
+            "level_push" => EventKind::LevelPush,
+            "level_pop" => EventKind::LevelPop,
+            "agg_flush" => EventKind::AggFlush,
+            _ => return None,
+        })
+    }
+}
+
+/// One recorded event: a timestamp (ns since job start), a kind and two
+/// kind-specific payload words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since job start.
+    pub t_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// First payload word (see [`EventKind`]).
+    pub a: u64,
+    /// Second payload word (see [`EventKind`]).
+    pub b: u64,
+}
+
+/// A fixed-capacity overwriting ring of [`TraceEvent`]s.
+///
+/// Single-writer by construction (each core owns its buffer), so pushes
+/// are plain writes. When full, the oldest event is overwritten; the
+/// total number of overwritten events is reported by
+/// [`dropped`](Self::dropped).
+#[derive(Debug, Clone)]
+pub struct RingBuffer {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Total events ever pushed (monotonic).
+    pushed: u64,
+}
+
+impl RingBuffer {
+    /// Creates a ring holding at most `cap` events (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        RingBuffer {
+            buf: Vec::with_capacity(cap.min(4096)),
+            cap,
+            pushed: 0,
+        }
+    }
+
+    /// Appends an event, overwriting the oldest once full.
+    #[inline]
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(event);
+        } else {
+            let idx = (self.pushed % self.cap as u64) as usize;
+            self.buf[idx] = event;
+        }
+        self.pushed += 1;
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no event was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever pushed (monotonic counter).
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Events lost to overwriting.
+    pub fn dropped(&self) -> u64 {
+        self.pushed.saturating_sub(self.buf.len() as u64)
+    }
+
+    /// The retained events in chronological order.
+    pub fn to_vec(&self) -> Vec<TraceEvent> {
+        if self.pushed <= self.cap as u64 {
+            return self.buf.clone();
+        }
+        let split = (self.pushed % self.cap as u64) as usize;
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[split..]);
+        out.extend_from_slice(&self.buf[..split]);
+        out
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples (65 buckets: one per bit
+/// width, bucket 0 = value 0). Cheap enough for the hot path: one
+/// `leading_zeros` plus three adds per sample.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Number of recorded samples (monotonic).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, or 0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (`q` in
+    /// `[0, 1]`): the samples' value is below `2^(bucket)` — a factor-two
+    /// estimate, which is what a regression gate needs.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target.max(1) {
+                return if i == 0 { 0 } else { 1u64 << i.min(63) };
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// `(bucket_upper_bound, count)` pairs for non-empty buckets.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (if i == 0 { 0 } else { 1u64 << i.min(63) }, n))
+            .collect()
+    }
+}
+
+/// Flight-recorder configuration, carried by
+/// [`ClusterConfig`](crate::ClusterConfig).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Whether events and histograms are recorded at all.
+    pub enabled: bool,
+    /// Per-core ring capacity in events.
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            enabled: false,
+            ring_capacity: 65_536,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// An enabled recorder with the default ring capacity.
+    pub fn enabled() -> Self {
+        TraceConfig {
+            enabled: true,
+            ..TraceConfig::default()
+        }
+    }
+}
+
+/// The per-core recorder: one ring plus the standard histograms. Owned
+/// exclusively by its core thread while the job runs.
+#[derive(Debug)]
+pub struct Recorder {
+    enabled: bool,
+    ring: RingBuffer,
+    /// Time from turning thief to acquiring a unit, ns.
+    pub steal_latency_ns: Histogram,
+    /// process_unit wall time per dispatched unit, ns.
+    pub service_ns: Histogram,
+    /// Prefix depth at each extension computation (the DFS depth profile).
+    pub ext_depth: Histogram,
+}
+
+impl Recorder {
+    /// Builds a recorder according to `config`.
+    pub fn new(config: TraceConfig) -> Self {
+        Recorder {
+            enabled: config.enabled && cfg!(feature = "trace"),
+            ring: RingBuffer::new(if config.enabled {
+                config.ring_capacity
+            } else {
+                1
+            }),
+            steal_latency_ns: Histogram::new(),
+            service_ns: Histogram::new(),
+            ext_depth: Histogram::new(),
+        }
+    }
+
+    /// A recorder that drops everything (single-branch record calls).
+    pub fn disabled() -> Self {
+        Self::new(TraceConfig::default())
+    }
+
+    /// Whether recording is active.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event. A no-op unless enabled (and compiled in).
+    #[inline]
+    pub fn record(&mut self, t_ns: u64, kind: EventKind, a: u64, b: u64) {
+        #[cfg(feature = "trace")]
+        if self.enabled {
+            self.ring.push(TraceEvent { t_ns, kind, a, b });
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = (t_ns, kind, a, b);
+        }
+    }
+
+    /// Records a steal-latency sample (ns).
+    #[inline]
+    pub fn record_steal_latency(&mut self, ns: u64) {
+        #[cfg(feature = "trace")]
+        if self.enabled {
+            self.steal_latency_ns.record(ns);
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = ns;
+        }
+    }
+
+    /// Records a unit service-time sample (ns).
+    #[inline]
+    pub fn record_service(&mut self, ns: u64) {
+        #[cfg(feature = "trace")]
+        if self.enabled {
+            self.service_ns.record(ns);
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = ns;
+        }
+    }
+
+    /// Records an extension-call depth sample.
+    #[inline]
+    pub fn record_ext_depth(&mut self, depth: u64) {
+        #[cfg(feature = "trace")]
+        if self.enabled {
+            self.ext_depth.record(depth);
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = depth;
+        }
+    }
+
+    /// Freezes the recorder into its exportable per-core trace.
+    pub fn into_core_trace(self, id: GlobalCoreId) -> CoreTrace {
+        CoreTrace {
+            id,
+            dropped: self.ring.dropped(),
+            total_events: self.ring.total_pushed(),
+            events: self.ring.to_vec(),
+            steal_latency_ns: self.steal_latency_ns,
+            service_ns: self.service_ns,
+            ext_depth: self.ext_depth,
+        }
+    }
+}
+
+/// The frozen trace of one core.
+#[derive(Debug, Clone)]
+pub struct CoreTrace {
+    /// Which core recorded this trace.
+    pub id: GlobalCoreId,
+    /// Retained events, chronological.
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring overwriting.
+    pub dropped: u64,
+    /// Total events recorded (monotonic; `events.len() + dropped`).
+    pub total_events: u64,
+    /// Steal-latency samples.
+    pub steal_latency_ns: Histogram,
+    /// Unit service-time samples.
+    pub service_ns: Histogram,
+    /// Extension-call depth samples.
+    pub ext_depth: Histogram,
+}
+
+/// The full event trace of one job: every core's frozen recorder.
+#[derive(Debug, Clone, Default)]
+pub struct TraceDump {
+    /// Per-core traces, ordered by core id.
+    pub cores: Vec<CoreTrace>,
+}
+
+impl TraceDump {
+    /// Total retained events across cores.
+    pub fn num_events(&self) -> usize {
+        self.cores.iter().map(|c| c.events.len()).sum()
+    }
+
+    /// Total events lost to ring overwriting across cores.
+    pub fn total_dropped(&self) -> u64 {
+        self.cores.iter().map(|c| c.dropped).sum()
+    }
+
+    /// Merged histograms across cores:
+    /// `(steal_latency_ns, service_ns, ext_depth)`.
+    pub fn merged_histograms(&self) -> (Histogram, Histogram, Histogram) {
+        let mut steal = Histogram::new();
+        let mut service = Histogram::new();
+        let mut depth = Histogram::new();
+        for c in &self.cores {
+            steal.merge(&c.steal_latency_ns);
+            service.merge(&c.service_ns);
+            depth.merge(&c.ext_depth);
+        }
+        (steal, service, depth)
+    }
+
+    /// Writes the trace as JSON Lines: one event object per line,
+    /// `{"w":…,"c":…,"t_ns":…,"kind":"…","a":…,"b":…}`, each core's
+    /// events in chronological order.
+    pub fn write_jsonl(&self, out: &mut impl Write) -> io::Result<()> {
+        for core in &self.cores {
+            for e in &core.events {
+                writeln!(
+                    out,
+                    "{{\"w\":{},\"c\":{},\"t_ns\":{},\"kind\":\"{}\",\"a\":{},\"b\":{}}}",
+                    core.id.worker,
+                    core.id.core,
+                    e.t_ns,
+                    e.kind.as_str(),
+                    e.a,
+                    e.b
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses a JSONL trace produced by
+    /// [`write_jsonl`](Self::write_jsonl) back into per-core event lists
+    /// (histograms are not part of the event stream). Inverse of the
+    /// writer for round-trip validation and offline analysis.
+    pub fn parse_jsonl(input: &str) -> Result<TraceDump, String> {
+        let mut cores: Vec<CoreTrace> = Vec::new();
+        for (lineno, line) in input.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |what: &str| format!("line {}: {what}", lineno + 1);
+            let w = json_u64_field(line, "w").ok_or_else(|| err("missing \"w\""))? as usize;
+            let c = json_u64_field(line, "c").ok_or_else(|| err("missing \"c\""))? as usize;
+            let t_ns = json_u64_field(line, "t_ns").ok_or_else(|| err("missing \"t_ns\""))?;
+            let kind_s = json_str_field(line, "kind").ok_or_else(|| err("missing \"kind\""))?;
+            let kind = EventKind::parse(&kind_s)
+                .ok_or_else(|| err(&format!("unknown kind {kind_s:?}")))?;
+            let a = json_u64_field(line, "a").ok_or_else(|| err("missing \"a\""))?;
+            let b = json_u64_field(line, "b").ok_or_else(|| err("missing \"b\""))?;
+            let id = GlobalCoreId { worker: w, core: c };
+            let event = TraceEvent { t_ns, kind, a, b };
+            match cores.iter_mut().find(|ct| ct.id == id) {
+                Some(ct) => {
+                    ct.events.push(event);
+                    ct.total_events += 1;
+                }
+                None => cores.push(CoreTrace {
+                    id,
+                    events: vec![event],
+                    dropped: 0,
+                    total_events: 1,
+                    steal_latency_ns: Histogram::new(),
+                    service_ns: Histogram::new(),
+                    ext_depth: Histogram::new(),
+                }),
+            }
+        }
+        Ok(TraceDump { cores })
+    }
+}
+
+/// Extracts `"key":<u64>` from a flat one-line JSON object.
+fn json_u64_field(line: &str, key: &str) -> Option<u64> {
+    let rest = field_value(line, key)?;
+    let end = rest
+        .find(|ch: char| !ch.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts `"key":"<string>"` from a flat one-line JSON object
+/// (no escape handling — keys and kinds are plain identifiers).
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let rest = field_value(line, key)?;
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn field_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)?;
+    Some(line[at + needle.len()..].trim_start())
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, kind: EventKind, a: u64, b: u64) -> TraceEvent {
+        TraceEvent {
+            t_ns: t,
+            kind,
+            a,
+            b,
+        }
+    }
+
+    #[test]
+    fn ring_records_in_order_below_capacity() {
+        let mut r = RingBuffer::new(8);
+        for i in 0..5 {
+            r.push(ev(i, EventKind::TaskClaim, 0, i));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.total_pushed(), 5);
+        let v = r.to_vec();
+        assert_eq!(v.len(), 5);
+        assert!(v.windows(2).all(|w| w[0].t_ns < w[1].t_ns));
+    }
+
+    #[test]
+    fn ring_wraparound_keeps_newest_in_order() {
+        let mut r = RingBuffer::new(4);
+        for i in 0..11 {
+            r.push(ev(i, EventKind::LevelPush, i, 0));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.total_pushed(), 11);
+        assert_eq!(r.dropped(), 7);
+        let v: Vec<u64> = r.to_vec().iter().map(|e| e.t_ns).collect();
+        assert_eq!(v, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn ring_capacity_clamped_to_one() {
+        let mut r = RingBuffer::new(0);
+        r.push(ev(1, EventKind::LevelPop, 0, 0));
+        r.push(ev(2, EventKind::LevelPop, 0, 0));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.to_vec()[0].t_ns, 2);
+    }
+
+    #[test]
+    fn histogram_counters_are_monotone_and_exact() {
+        let mut h = Histogram::new();
+        let mut last_count = 0;
+        for v in [0u64, 1, 1, 3, 9, 1000, u64::MAX] {
+            h.record(v);
+            assert!(h.count() > last_count, "count must strictly increase");
+            last_count = h.count();
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max(), u64::MAX);
+        // value 0 lands in bucket 0; ones in bucket 1 (bound 2).
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets[0], (0, 1));
+        assert_eq!(buckets[1], (2, 2));
+        assert!(h.quantile_bound(0.5) <= 4);
+        assert!(h.quantile_bound(1.0) >= 1 << 62);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(500);
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 500);
+        assert_eq!(a.sum(), 512);
+    }
+
+    #[test]
+    fn disabled_recorder_drops_everything() {
+        let mut r = Recorder::disabled();
+        r.record(1, EventKind::TaskClaim, 0, 0);
+        r.record_service(10);
+        r.record_steal_latency(10);
+        r.record_ext_depth(2);
+        let ct = r.into_core_trace(GlobalCoreId { worker: 0, core: 0 });
+        assert!(ct.events.is_empty());
+        assert_eq!(ct.service_ns.count(), 0);
+    }
+
+    #[test]
+    fn enabled_recorder_round_trips_through_jsonl() {
+        let mut r0 = Recorder::new(TraceConfig::enabled());
+        let mut r1 = Recorder::new(TraceConfig::enabled());
+        r0.record(10, EventKind::TaskClaim, 0, 42);
+        r0.record(20, EventKind::LevelPush, 1, 16);
+        r0.record(30, EventKind::InternalSteal, 3, 7);
+        r1.record(15, EventKind::ExternalSteal, 1, 36);
+        r1.record(25, EventKind::StealRoundTrip, 1, 100_000);
+        r1.record(35, EventKind::AggFlush, 0, 12);
+        let dump = TraceDump {
+            cores: vec![
+                r0.into_core_trace(GlobalCoreId { worker: 0, core: 0 }),
+                r1.into_core_trace(GlobalCoreId { worker: 1, core: 0 }),
+            ],
+        };
+        let mut buf = Vec::new();
+        dump.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 6);
+        let parsed = TraceDump::parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.cores.len(), dump.cores.len());
+        for (p, d) in parsed.cores.iter().zip(dump.cores.iter()) {
+            assert_eq!(p.id, d.id);
+            assert_eq!(p.events, d.events);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(TraceDump::parse_jsonl("{\"w\":0}").is_err());
+        assert!(TraceDump::parse_jsonl(
+            "{\"w\":0,\"c\":0,\"t_ns\":1,\"kind\":\"nope\",\"a\":0,\"b\":0}"
+        )
+        .is_err());
+        // Blank lines are fine.
+        assert_eq!(TraceDump::parse_jsonl("\n\n").unwrap().cores.len(), 0);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+}

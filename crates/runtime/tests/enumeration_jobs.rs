@@ -90,7 +90,13 @@ impl CoreTask for EnumTask<'_> {
     }
 }
 
-fn run_count(g: &Graph, depth: usize, cliques_only: bool, kclist: bool, cfg: &ClusterConfig) -> u64 {
+fn run_count(
+    g: &Graph,
+    depth: usize,
+    cliques_only: bool,
+    kclist: bool,
+    cfg: &ClusterConfig,
+) -> u64 {
     let spec = EnumSpec {
         graph: g,
         depth,
@@ -158,7 +164,10 @@ fn skewed_work_gets_stolen_and_balances() {
     let (count_both, rep_both) = spec_run(WsMode::Both);
     assert_eq!(count_dis, count_both);
     let (int_steals, ext_steals) = rep_both.steals();
-    assert!(int_steals + ext_steals > 0, "expected steals on skewed work");
+    assert!(
+        int_steals + ext_steals > 0,
+        "expected steals on skewed work"
+    );
     // Balanced run should not be more imbalanced (tolerance for timing noise).
     assert!(
         rep_both.imbalance() <= rep_dis.imbalance() + 0.3,

@@ -27,9 +27,15 @@ fn main() {
     let t0 = std::time::Instant::now();
     let exact = fg.vfractoid().expand(k).count();
     let exact_time = t0.elapsed();
-    println!("\nexact {k}-subgraph count: {exact} in {:.2}s", exact_time.as_secs_f64());
+    println!(
+        "\nexact {k}-subgraph count: {exact} in {:.2}s",
+        exact_time.as_secs_f64()
+    );
 
-    println!("\n{:>6} {:>14} {:>9} {:>9}", "p", "estimate", "error", "time(s)");
+    println!(
+        "\n{:>6} {:>14} {:>9} {:>9}",
+        "p", "estimate", "error", "time(s)"
+    );
     for p in [0.5f64, 0.25, 0.1] {
         let t0 = std::time::Instant::now();
         // Average a few seeds — each run is an unbiased estimator.

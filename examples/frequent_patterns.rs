@@ -42,20 +42,29 @@ fn main() {
         "\nfrequent patterns (support >= {min_support}, <= {max_edges} edges): {}",
         plain.frequent.len()
     );
-    println!("plain: {:.2}s   with transparent reduction: {:.2}s", t_plain.as_secs_f64(), t_reduced.as_secs_f64());
+    println!(
+        "plain: {:.2}s   with transparent reduction: {:.2}s",
+        t_plain.as_secs_f64(),
+        t_reduced.as_secs_f64()
+    );
 
     let mut by_size: Vec<&fractal::apps::fsm::FrequentPattern> = plain.frequent.iter().collect();
     by_size.sort_by_key(|p| (p.num_edges, std::cmp::Reverse(p.support)));
     println!("\n{:>6} {:>9} pattern", "edges", "support");
     for p in by_size.iter().take(15) {
         let pat = p.code.to_pattern();
-        let labels: Vec<u32> = (0..pat.num_vertices()).map(|v| pat.vertex_label(v)).collect();
+        let labels: Vec<u32> = (0..pat.num_vertices())
+            .map(|v| pat.vertex_label(v))
+            .collect();
         println!(
             "{:>6} {:>9} labels {:?}, edges {:?}",
             p.num_edges,
             p.support,
             labels,
-            pat.edges().iter().map(|&(u, v, _)| (u, v)).collect::<Vec<_>>()
+            pat.edges()
+                .iter()
+                .map(|&(u, v, _)| (u, v))
+                .collect::<Vec<_>>()
         );
     }
     if plain.frequent.len() > 15 {

@@ -50,7 +50,10 @@ fn main() {
             100.0 * (1.0 - ec_red as f64 / ec_plain.max(1) as f64)
         );
         if let Some(s) = reduced.subgraphs.first() {
-            println!("  sample result: vertices {:?} edges {:?}", s.vertices, s.edges);
+            println!(
+                "  sample result: vertices {:?} edges {:?}",
+                s.vertices, s.edges
+            );
         }
     }
 }

@@ -7,8 +7,8 @@
 //! cargo run --release --example motif_census
 //! ```
 
-use fractal::prelude::*;
 use fractal::pattern::CanonicalCode;
+use fractal::prelude::*;
 use std::collections::HashMap;
 
 fn census(fg: &fractal::core::FractalGraph, k: usize) -> HashMap<CanonicalCode, u64> {
@@ -53,7 +53,10 @@ fn main() {
         let mut keys: Vec<&CanonicalCode> = a.keys().chain(b.keys()).collect();
         keys.sort();
         keys.dedup();
-        println!("{:>10} {:>12} {:>12} {:>8}", "motif", "social", "random", "ratio");
+        println!(
+            "{:>10} {:>12} {:>12} {:>8}",
+            "motif", "social", "random", "ratio"
+        );
         for code in keys {
             let ca = a.get(code).copied().unwrap_or(0);
             let cb = b.get(code).copied().unwrap_or(0);

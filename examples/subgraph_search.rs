@@ -41,7 +41,10 @@ fn main() {
         vec![(0, 1, 0), (1, 2, 0), (0, 2, 0), (2, 3, 0)],
     );
     let matches = fractal::apps::query::subgraph_querying(&fg2, &query);
-    println!("\nlabeled query (triangle + pendant): {} matches", matches.len());
+    println!(
+        "\nlabeled query (triangle + pendant): {} matches",
+        matches.len()
+    );
 
     // Work-stealing drilldown: the same enumeration across modes.
     println!("\n== work stealing modes (house query) ==");

@@ -1,207 +1,5 @@
-//! `fractal-cli` — run the GPM applications from the command line on
-//! graph files or built-in synthetic datasets.
-//!
-//! ```text
-//! fractal-cli <app> [options]
-//!
-//! apps:
-//!   motifs     -k <size>
-//!   cliques    -k <size> [--kclist]
-//!   triangles
-//!   fsm        --support <n> [--max-edges <n>] [--reduce]
-//!   query      --query <q1..q8|clique<k>|path<k>|cycle<k>>
-//!   keywords   --words w1,w2,... [--no-reduce]
-//!
-//! input (one of):
-//!   --graph <path.adj>            adjacency-list file
-//!   --gen <mico|patents|youtube|wikidata|orkut> [--n <vertices>] [--seed <s>]
-//!
-//! cluster:
-//!   --workers <n> --cores <n> [--ws disabled|internal|external|both]
-//! ```
-
-use fractal::prelude::*;
-use std::collections::HashMap;
+//! The historical binary name; see [`fractal::cli`].
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
-        usage();
-        return;
-    }
-    let app = args[0].clone();
-    let opts = parse_opts(&args[1..]);
-
-    let graph = load_graph(&opts);
-    eprintln!(
-        "graph: {} vertices, {} edges, {} labels",
-        graph.num_vertices(),
-        graph.num_edges(),
-        graph.num_vertex_labels()
-    );
-
-    let workers: usize = opt_num(&opts, "workers").unwrap_or(2);
-    let cores: usize = opt_num(&opts, "cores").unwrap_or(2);
-    let ws = match opts.get("ws").map(|s| s.as_str()) {
-        None | Some("both") => WsMode::Both,
-        Some("disabled") => WsMode::Disabled,
-        Some("internal") => WsMode::InternalOnly,
-        Some("external") => WsMode::ExternalOnly,
-        Some(other) => die(&format!("unknown --ws {other}")),
-    };
-    let fc = FractalContext::new(ClusterConfig::local(workers, cores).with_ws(ws));
-    let fg = fc.fractal_graph(graph);
-
-    let t0 = std::time::Instant::now();
-    match app.as_str() {
-        "motifs" => {
-            let k = opt_num(&opts, "k").unwrap_or(3);
-            let motifs = fractal::apps::motifs::motifs(&fg, k);
-            let mut rows: Vec<_> = motifs.into_iter().collect();
-            rows.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
-            for (code, count) in rows {
-                let p = code.to_pattern();
-                println!("{count:>12}  {p}");
-            }
-        }
-        "cliques" => {
-            let k = opt_num(&opts, "k").unwrap_or(3);
-            let n = if opts.contains_key("kclist") {
-                fractal::apps::cliques::count_kclist(&fg, k)
-            } else {
-                fractal::apps::cliques::count(&fg, k)
-            };
-            println!("{k}-cliques: {n}");
-        }
-        "triangles" => {
-            println!("triangles: {}", fractal::apps::cliques::triangles(&fg));
-        }
-        "fsm" => {
-            let support: u64 = opt_num(&opts, "support").unwrap_or(100) as u64;
-            let max_edges = opt_num(&opts, "max-edges").unwrap_or(3);
-            let result = if opts.contains_key("reduce") {
-                fractal::apps::fsm::fsm_with_reduction(&fg, support, max_edges)
-            } else {
-                fractal::apps::fsm::fsm(&fg, support, max_edges)
-            };
-            println!("frequent patterns (support >= {support}):");
-            for p in &result.frequent {
-                println!("{:>9}  {} edges  {}", p.support, p.num_edges, p.code.to_pattern());
-            }
-        }
-        "query" => {
-            let qname = opts.get("query").unwrap_or_else(|| die("--query required"));
-            let q = resolve_query(qname);
-            let n = fractal::apps::query::count_matches(&fg, &q);
-            println!("{qname} ({}v {}e): {n} matches", q.num_vertices(), q.num_edges());
-        }
-        "keywords" => {
-            let words: Vec<&str> = opts
-                .get("words")
-                .unwrap_or_else(|| die("--words required"))
-                .split(',')
-                .collect();
-            let reduce = !opts.contains_key("no-reduce");
-            match fractal::apps::keyword::keyword_search_str(&fg, &words, reduce) {
-                Some(r) => {
-                    println!(
-                        "{} covering subgraphs (ran on {} edges, EC {})",
-                        r.subgraphs.len(),
-                        r.reduced_edges,
-                        r.report.total_ec()
-                    );
-                    for s in r.subgraphs.iter().take(10) {
-                        println!("  vertices {:?} edges {:?}", s.vertices, s.edges);
-                    }
-                }
-                None => println!("some keywords are not in the graph's vocabulary"),
-            }
-        }
-        other => die(&format!("unknown app {other:?}")),
-    }
-    eprintln!("done in {:.2}s", t0.elapsed().as_secs_f64());
-}
-
-fn parse_opts(args: &[String]) -> HashMap<String, String> {
-    let mut opts = HashMap::new();
-    let mut i = 0;
-    while i < args.len() {
-        let a = &args[i];
-        if let Some(key) = a.strip_prefix("--") {
-            // Flag-style options have no value.
-            let flaggy = matches!(key, "kclist" | "reduce" | "no-reduce");
-            if flaggy {
-                opts.insert(key.to_string(), "true".to_string());
-            } else {
-                i += 1;
-                let v = args.get(i).unwrap_or_else(|| die(&format!("--{key} needs a value")));
-                opts.insert(key.to_string(), v.clone());
-            }
-        } else if let Some(key) = a.strip_prefix('-') {
-            i += 1;
-            let v = args.get(i).unwrap_or_else(|| die(&format!("-{key} needs a value")));
-            opts.insert(key.to_string(), v.clone());
-        } else {
-            die(&format!("unexpected argument {a:?}"));
-        }
-        i += 1;
-    }
-    opts
-}
-
-fn opt_num(opts: &HashMap<String, String>, key: &str) -> Option<usize> {
-    opts.get(key).map(|v| {
-        v.parse()
-            .unwrap_or_else(|_| die(&format!("--{key} expects a number, got {v:?}")))
-    })
-}
-
-fn load_graph(opts: &HashMap<String, String>) -> fractal::graph::Graph {
-    if let Some(path) = opts.get("graph") {
-        return fractal::graph::io::load_adjacency_list(path)
-            .unwrap_or_else(|e| die(&format!("failed to load {path}: {e}")));
-    }
-    let n = opt_num(opts, "n").unwrap_or(2000);
-    let seed = opt_num(opts, "seed").unwrap_or(42) as u64;
-    match opts.get("gen").map(|s| s.as_str()).unwrap_or("mico") {
-        "mico" => fractal::graph::gen::mico_like(n, 29, seed),
-        "patents" => fractal::graph::gen::patents_like(n, 37, seed),
-        "youtube" => fractal::graph::gen::youtube_like(n, 80, seed),
-        "wikidata" => fractal::graph::gen::wikidata_like(n, n / 20 + 8, seed),
-        "orkut" => fractal::graph::gen::orkut_like(n, seed),
-        other => die(&format!("unknown generator {other:?}")),
-    }
-}
-
-fn resolve_query(name: &str) -> Pattern {
-    for (qn, q) in fractal::apps::query::evaluation_queries() {
-        if qn == name {
-            return q;
-        }
-    }
-    if let Some(k) = name.strip_prefix("clique") {
-        return Pattern::clique(k.parse().unwrap_or_else(|_| die("bad clique size")));
-    }
-    if let Some(k) = name.strip_prefix("path") {
-        return Pattern::path(k.parse().unwrap_or_else(|_| die("bad path size")));
-    }
-    if let Some(k) = name.strip_prefix("cycle") {
-        return Pattern::cycle(k.parse().unwrap_or_else(|_| die("bad cycle size")));
-    }
-    die(&format!("unknown query {name:?} (q1..q8, clique<k>, path<k>, cycle<k>)"))
-}
-
-fn usage() {
-    println!(
-        "fractal-cli <motifs|cliques|triangles|fsm|query|keywords> [options]\n\
-         input:  --graph <path.adj> | --gen <mico|patents|youtube|wikidata|orkut> [--n N] [--seed S]\n\
-         app:    -k <size> [--kclist] | --support N [--max-edges N] [--reduce]\n\
-                 | --query <q1..q8|clique<k>|path<k>|cycle<k>> | --words a,b,c [--no-reduce]\n\
-         cluster: --workers N --cores N [--ws disabled|internal|external|both]"
-    );
-}
-
-fn die(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    std::process::exit(2);
+    fractal::cli::run()
 }

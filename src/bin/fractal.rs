@@ -1,0 +1,5 @@
+//! The `fractal` command; see [`fractal::cli`].
+
+fn main() {
+    fractal::cli::run()
+}

@@ -32,6 +32,8 @@
 //! assert!(count > 0);
 //! ```
 
+pub mod cli;
+
 pub use fractal_apps as apps;
 pub use fractal_baselines as baselines;
 pub use fractal_core as core;
@@ -46,5 +48,5 @@ pub mod prelude {
     pub use fractal_enum::Subgraph;
     pub use fractal_graph::{Graph, GraphBuilder, Label, VertexId};
     pub use fractal_pattern::Pattern;
-    pub use fractal_runtime::{ClusterConfig, WsMode};
+    pub use fractal_runtime::{ClusterConfig, TraceConfig, TraceDump, WsMode};
 }

@@ -1,8 +1,8 @@
 //! Determinism and configuration-invariance: results never depend on the
 //! cluster shape, stealing mode, or repetition.
 
-use fractal::prelude::*;
 use fractal::pattern::CanonicalCode;
+use fractal::prelude::*;
 use std::collections::HashMap;
 
 fn shapes() -> Vec<ClusterConfig> {
@@ -12,7 +12,9 @@ fn shapes() -> Vec<ClusterConfig> {
         ClusterConfig::local(2, 2),
         ClusterConfig::local(2, 2).with_ws(WsMode::Disabled),
         ClusterConfig::local(2, 2).with_ws(WsMode::ExternalOnly),
-        ClusterConfig::local(4, 1).with_ws(WsMode::Both).with_latency_us(1),
+        ClusterConfig::local(4, 1)
+            .with_ws(WsMode::Both)
+            .with_latency_us(1),
     ]
 }
 

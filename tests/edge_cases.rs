@@ -116,10 +116,9 @@ fn aggregation_on_no_subgraphs_is_empty() {
 #[test]
 fn zero_latency_and_high_latency_agree() {
     let g = fractal::graph::gen::mico_like(150, 1, 4);
-    let a = FractalContext::new(ClusterConfig::local(2, 2).with_latency_us(0))
-        .fractal_graph(g.clone());
-    let b = FractalContext::new(ClusterConfig::local(2, 2).with_latency_us(500))
-        .fractal_graph(g);
+    let a =
+        FractalContext::new(ClusterConfig::local(2, 2).with_latency_us(0)).fractal_graph(g.clone());
+    let b = FractalContext::new(ClusterConfig::local(2, 2).with_latency_us(500)).fractal_graph(g);
     assert_eq!(
         fractal::apps::cliques::count(&a, 4),
         fractal::apps::cliques::count(&b, 4)

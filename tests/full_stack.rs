@@ -1,8 +1,8 @@
 //! Workspace-level integration tests through the umbrella crate: every
 //! application, on every extension strategy, against independent oracles.
 
-use fractal::prelude::*;
 use fractal::pattern::CanonicalCode;
+use fractal::prelude::*;
 use std::collections::HashMap;
 
 fn fc() -> FractalContext {
@@ -31,11 +31,7 @@ fn paper_running_example_counts() {
 fn three_fractoid_types_agree_on_triangles() {
     let g = fractal::graph::gen::mico_like(300, 1, 99);
     let fg = fc().fractal_graph(g);
-    let vertex_way = fg
-        .vfractoid()
-        .expand(3)
-        .filter(|s| s.is_clique())
-        .count();
+    let vertex_way = fg.vfractoid().expand(3).filter(|s| s.is_clique()).count();
     let edge_way = fg
         .efractoid()
         .expand(3)

@@ -33,7 +33,10 @@ fn memory_flat_vs_growing() {
     let fmin = *frac_mem.iter().min().unwrap().max(&1) as f64;
     assert!(fmax / fmin < 4.0, "fractal state not flat: {frac_mem:?}");
     // And at the deepest level the BFS engine holds far more state.
-    assert!(bfs_mem[2] > frac_mem[2], "bfs {bfs_mem:?} vs fractal {frac_mem:?}");
+    assert!(
+        bfs_mem[2] > frac_mem[2],
+        "bfs {bfs_mem:?} vs fractal {frac_mem:?}"
+    );
 }
 
 /// §4.2/Fig. 16: enabling work stealing on skewed work reduces per-core
@@ -87,8 +90,7 @@ fn reduction_does_not_help_cliques_much() {
     let fg = fc.fractal_graph(g.clone());
     let k = 4;
     let (n_before, rep_before) = fractal::apps::cliques::count_with_report(&fg, k);
-    let tracked =
-        fractal::apps::cliques::cliques_fractoid(&fg, k).execute_tracking_participation();
+    let tracked = fractal::apps::cliques::cliques_fractoid(&fg, k).execute_tracking_participation();
     let p = tracked.participation.unwrap();
     let reduced = fg.wrap_reduced(g.reduce(&p.vertices, &p.edges));
     let (n_after, rep_after) = fractal::apps::cliques::count_with_report(&reduced, k);
