@@ -1,0 +1,67 @@
+//! Enumeration-count parity between the kernel-backed fractal apps and the
+//! naive single-thread baselines (`fractal-baselines`). The hybrid
+//! intersection kernels and candidate arenas must be invisible in the
+//! results: counts stay bit-identical across cluster shapes, including
+//! multi-core runs with work stealing enabled.
+
+use fractal_apps::{cliques, motifs};
+use fractal_baselines::single_thread::{
+    gtries_cliques, gtries_motifs, kclist_cliques, node_iterator_triangles,
+};
+use fractal_core::{FractalContext, FractalGraph};
+use fractal_graph::{gen, Graph};
+use fractal_runtime::{ClusterConfig, WsMode};
+
+fn shapes() -> Vec<ClusterConfig> {
+    vec![
+        ClusterConfig::local(1, 1).with_ws(WsMode::Disabled),
+        ClusterConfig::local(1, 2),
+        ClusterConfig::local(2, 2), // 2 workers x 2 cores, internal + external steals
+    ]
+}
+
+fn fg_of(g: &Graph, cfg: ClusterConfig) -> FractalGraph {
+    FractalContext::new(cfg).fractal_graph(g.clone())
+}
+
+fn check_graph(g: &Graph) {
+    let want_tri = node_iterator_triangles(g);
+    let want_k3 = gtries_cliques(g, 3);
+    let want_k4 = kclist_cliques(g, 4);
+    let want_motifs3 = gtries_motifs(g, 3);
+    for cfg in shapes() {
+        let fg = fg_of(g, cfg.clone());
+        assert_eq!(cliques::triangles(&fg), want_tri, "triangles on {cfg:?}");
+        assert_eq!(cliques::count(&fg, 3), want_k3, "3-cliques on {cfg:?}");
+        assert_eq!(
+            cliques::count_kclist(&fg, 4),
+            want_k4,
+            "kclist 4-cliques on {cfg:?}"
+        );
+        assert_eq!(motifs::motifs(&fg, 3), want_motifs3, "3-motifs on {cfg:?}");
+    }
+}
+
+#[test]
+fn mico_like_counts_match_baselines() {
+    check_graph(&gen::mico_like(220, 4, 7));
+}
+
+#[test]
+fn erdos_renyi_counts_match_baselines() {
+    check_graph(&gen::erdos_renyi(180, 900, 3, 11));
+}
+
+#[test]
+fn kclist_matches_gtries_at_higher_k() {
+    let g = gen::mico_like(150, 3, 42);
+    let fg = fg_of(&g, ClusterConfig::local(2, 2));
+    for k in 3..=5 {
+        assert_eq!(
+            cliques::count_kclist(&fg, k),
+            gtries_cliques(&g, k),
+            "k={k}"
+        );
+        assert_eq!(cliques::count(&fg, k), kclist_cliques(&g, k), "k={k}");
+    }
+}

@@ -1,0 +1,128 @@
+//! CI perf-smoke probe: runs the two kernel-gated workloads (KClist clique
+//! counting and generic motif enumeration) on a fixed Mico-like graph and
+//! emits their **work counters** as one JSON document.
+//!
+//! Two legs:
+//!
+//! * `deterministic` — one worker, two cores, work stealing disabled. Every
+//!   counter here (result count, extension cost, units, kernel-path call
+//!   mix, elements scanned) is a pure function of the code, so the CI gate
+//!   compares them against the checked-in baseline with zero or tight
+//!   tolerances. Wall-clock times are included for humans but never gated.
+//! * `parallel` — two workers × two cores with full hierarchical work
+//!   stealing. Scheduling-dependent metrics (steals, imbalance,
+//!   utilization) land here and are gated only by loose absolute bounds.
+//!
+//! Usage: `perf_smoke [--out <path>]` (default: stdout).
+
+use fractal_core::{ExecutionReport, FractalContext, FractalGraph};
+use fractal_graph::gen;
+use fractal_runtime::{ClusterConfig, WsMode};
+use std::fmt::Write as _;
+
+const VERTICES: usize = 700;
+const LABELS: u32 = 4;
+const SEED: u64 = 42;
+const CLIQUE_K: usize = 4;
+const MOTIF_K: usize = 3;
+
+fn fractal_graph(config: ClusterConfig) -> FractalGraph {
+    let fc = FractalContext::new(config);
+    fc.fractal_graph(gen::mico_like(VERTICES, LABELS, SEED))
+}
+
+/// Deterministic work counters of one workload run (single step).
+fn work_counters(name: &str, count: u64, report: &ExecutionReport, out: &mut String) {
+    let step = &report.steps[0];
+    let units: u64 = step.cores.iter().map(|(_, s)| s.units).sum();
+    let (km, kg, kb, ks) = step.kernel_totals();
+    let _ = write!(
+        out,
+        "    \"{name}\": {{\n      \"count\": {count},\n      \"total_ec\": {},\n      \
+         \"total_units\": {units},\n      \"kernel_merge\": {km},\n      \
+         \"kernel_gallop\": {kg},\n      \"kernel_bitset\": {kb},\n      \
+         \"kernel_scanned\": {ks},\n      \"arena_peak_bytes\": {},\n      \
+         \"elapsed_ms\": {:.3}\n    }}",
+        step.total_ec(),
+        step.arena_peak_bytes(),
+        report.elapsed.as_secs_f64() * 1e3,
+    );
+}
+
+/// Scheduling-dependent balance metrics of one workload run.
+fn balance_counters(name: &str, count: u64, report: &ExecutionReport, out: &mut String) {
+    let step = &report.steps[0];
+    let (int_steals, ext_steals) = step.steals();
+    let _ = write!(
+        out,
+        "    \"{name}\": {{\n      \"count\": {count},\n      \
+         \"internal_steals\": {int_steals},\n      \"external_steals\": {ext_steals},\n      \
+         \"imbalance\": {:.6},\n      \"utilization\": {:.6},\n      \
+         \"steal_overhead\": {:.6},\n      \"elapsed_ms\": {:.3}\n    }}",
+        step.imbalance(),
+        step.utilization(),
+        step.steal_overhead(),
+        report.elapsed.as_secs_f64() * 1e3,
+    );
+}
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = Some(args.next().expect("--out requires a path")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: perf_smoke [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Deterministic leg: no stealing, fixed root striding.
+    let det = fractal_graph(ClusterConfig::local(1, 2).with_ws(WsMode::Disabled));
+    let (cliques, clique_report) = fractal_apps::cliques::count_kclist_with_report(&det, CLIQUE_K);
+    let (motif_hist, motif_report) = fractal_apps::motifs::motifs_with_report(&det, MOTIF_K, false);
+    let motif_total: u64 = motif_hist.values().sum();
+
+    // Parallel leg: full hierarchical work stealing across two workers.
+    let par = fractal_graph(ClusterConfig::local(2, 2));
+    let (par_cliques, par_report) = fractal_apps::cliques::count_kclist_with_report(&par, CLIQUE_K);
+    assert_eq!(par_cliques, cliques, "parallel leg must count identically");
+
+    let mut json = String::with_capacity(2048);
+    json.push_str("{\n  \"schema\": \"fractal-perf-smoke/1\",\n");
+    let _ = writeln!(
+        json,
+        "  \"graph\": {{\"generator\": \"mico_like\", \"vertices\": {VERTICES}, \
+         \"labels\": {LABELS}, \"seed\": {SEED}}},"
+    );
+    json.push_str("  \"deterministic\": {\n");
+    work_counters(
+        &format!("kclist_k{CLIQUE_K}"),
+        cliques,
+        &clique_report,
+        &mut json,
+    );
+    json.push_str(",\n");
+    work_counters(
+        &format!("motifs_k{MOTIF_K}"),
+        motif_total,
+        &motif_report,
+        &mut json,
+    );
+    json.push_str("\n  },\n  \"parallel\": {\n");
+    balance_counters(
+        &format!("kclist_k{CLIQUE_K}"),
+        par_cliques,
+        &par_report,
+        &mut json,
+    );
+    json.push_str("\n  }\n}\n");
+
+    match out_path {
+        Some(p) => std::fs::write(&p, &json).unwrap_or_else(|e| panic!("write {p}: {e}")),
+        None => print!("{json}"),
+    }
+}

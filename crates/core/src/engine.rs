@@ -272,6 +272,8 @@ struct StepSpec<'a> {
     /// Merged shards (one per live slot), filled by core `finish`.
     merged: Mutex<Vec<Option<Box<dyn AggShard>>>>,
     mode: OutputMode,
+    /// Pre-kernel compatibility mode (see `ClusterConfig::engine_compat`).
+    compat: bool,
     collected: Mutex<Vec<SubgraphData>>,
     counter: AtomicU64,
     participation: Mutex<Option<Participation>>,
@@ -325,6 +327,7 @@ impl<'a> StepSpec<'a> {
             live_agg_uids,
             merged: Mutex::new((0..num_live).map(|_| None).collect()),
             mode,
+            compat: fractoid.fgraph.config.engine_compat,
             collected: Mutex::new(Vec::new()),
             counter: AtomicU64::new(0),
             participation: Mutex::new(None),
@@ -361,6 +364,8 @@ impl JobSpec for StepSpec<'_> {
                 None
             },
             levels_since_track: 0,
+            levels_registered: 0,
+            exts_pool: Vec::new(),
         })
     }
 }
@@ -376,7 +381,21 @@ struct StepTask<'a> {
     count: u64,
     part: Option<Participation>,
     levels_since_track: u32,
+    /// Stealable levels currently registered by this unit (bounds how deep
+    /// the stealable frontier grows — see [`MAX_REGISTERED_LEVELS`]).
+    levels_registered: usize,
+    /// Spare extension buffers for inlined (unregistered) levels, one per
+    /// active inlined depth, recycled across the whole job.
+    exts_pool: Vec<Vec<u64>>,
 }
+
+/// How many stealable levels one dispatched unit registers before the DFS
+/// switches to inline (queue-free) expansion. Thieves take the shallowest
+/// level with work (§4.2) — the largest subtrees — so registering deeper
+/// levels mostly buys per-node `Arc`/queue overhead, not balance. The
+/// frontier still deepens adaptively: a stolen unit re-registers its own
+/// shallowest level on the thief.
+const MAX_REGISTERED_LEVELS: usize = 1;
 
 impl StepTask<'_> {
     fn leaf(&mut self) {
@@ -425,12 +444,63 @@ impl StepTask<'_> {
         // Split the borrow: `resolved[idx]` is only read, never mutated.
         match &self.spec.resolved[idx] {
             Resolved::Expand => {
+                // Registering a stealable level costs a `Vec` + `Arc<LevelQueue>`
+                // allocation, a prefix clone and per-word queue atomics at
+                // every interior node. Thieves take the shallowest level with
+                // work (§4.2) — the largest subtrees — so each unit registers
+                // only its shallowest `MAX_REGISTERED_LEVELS` Expand levels
+                // and inlines everything deeper (including the deepest level,
+                // whose extensions root no further expansion and would only
+                // ever yield single-leaf steals). Inlined work stays inside
+                // the current unit, so pending-counter accounting is
+                // untouched, and the stealable frontier still deepens on
+                // demand: a stolen prefix re-registers its own shallowest
+                // level on the thief.
+                if !self.spec.compat
+                    && (Some(&idx) == self.spec.ext_indices.last()
+                        || self.levels_registered >= MAX_REGISTERED_LEVELS)
+                {
+                    let mut exts = self.exts_pool.pop().unwrap_or_default();
+                    exts.clear();
+                    let ec =
+                        self.enumerator
+                            .compute_extensions(self.spec.graph, &self.sg, &mut exts);
+                    ctx.add_ec(ec);
+                    // Terminal count leaves: nothing below this Expand reads
+                    // subgraph state, so each extension contributes exactly
+                    // one to the tally — count them without materializing
+                    // (for KClist that skips a candidate-set intersection
+                    // per leaf). `None` leaves are pure no-ops; skip those
+                    // outright.
+                    if idx + 1 == self.spec.resolved.len() {
+                        match self.spec.mode {
+                            OutputMode::Count => {
+                                self.count += exts.len() as u64;
+                                self.exts_pool.push(exts);
+                                return;
+                            }
+                            OutputMode::None => {
+                                self.exts_pool.push(exts);
+                                return;
+                            }
+                            OutputMode::Collect | OutputMode::TrackOnly => {}
+                        }
+                    }
+                    for &w in &exts {
+                        self.enumerator.extend(self.spec.graph, &mut self.sg, w);
+                        self.dfs(ctx, idx + 1);
+                        self.enumerator.retract(self.spec.graph, &mut self.sg);
+                    }
+                    self.exts_pool.push(exts);
+                    return;
+                }
                 let mut exts = Vec::new();
                 let ec = self
                     .enumerator
                     .compute_extensions(self.spec.graph, &self.sg, &mut exts);
                 ctx.add_ec(ec);
                 let level = ctx.push_level(&self.words, exts);
+                self.levels_registered += 1;
                 self.levels_since_track += 1;
                 if self.levels_since_track >= 64 {
                     self.levels_since_track = 0;
@@ -444,6 +514,7 @@ impl StepTask<'_> {
                     self.enumerator.retract(self.spec.graph, &mut self.sg);
                 }
                 ctx.pop_level();
+                self.levels_registered -= 1;
             }
             Resolved::Filter(f) => {
                 let pass = f(&SubgraphView {
@@ -490,6 +561,7 @@ impl CoreTask for StepTask<'_> {
             .rebuild(self.spec.graph, &mut self.sg, prefix);
         self.words.clear();
         self.words.extend_from_slice(prefix);
+        self.levels_registered = 0;
         self.enumerator.extend(self.spec.graph, &mut self.sg, word);
         self.words.push(word);
         let resume = self.spec.ext_indices[self.words.len() - 1] + 1;
@@ -497,6 +569,18 @@ impl CoreTask for StepTask<'_> {
         self.words.pop();
         self.enumerator.retract(self.spec.graph, &mut self.sg);
         ctx.track_state_bytes(self.state_bytes());
+        // Drain the enumerator's kernel counters into the core stats (one
+        // flush per unit keeps the hot path counter-local).
+        let kc = self.enumerator.take_kernel_counters();
+        if !kc.is_empty() {
+            ctx.add_kernels(
+                kc.merge_calls,
+                kc.gallop_calls,
+                kc.bitset_calls,
+                kc.elements_scanned,
+                kc.arena_high_water_bytes,
+            );
+        }
     }
 
     fn finish(&mut self, ctx: &mut CoreCtx<'_>) {
@@ -703,7 +787,7 @@ mod tests {
         let fg = ctx.fractal_graph(unlabeled_from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]));
         let report = fg
             .vfractoid()
-            .expand(2)
+            .expand(3)
             .aggregate("by_edges", |s| s.num_edges(), |_| 1u64, |a, v| *a += v)
             .execute();
         assert_eq!(report.num_steps(), 1);
@@ -717,7 +801,8 @@ mod tests {
         };
         // One live aggregation slot flushed by each of the two cores.
         assert_eq!(count_kind(EventKind::AggFlush), 2);
-        // The DFS registered (and unregistered) enumeration levels.
+        // The DFS registered (and unregistered) the middle enumeration
+        // level (the deepest level is inlined and never registered).
         assert!(count_kind(EventKind::LevelPush) > 0);
         assert_eq!(
             count_kind(EventKind::LevelPush),

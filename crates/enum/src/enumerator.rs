@@ -11,7 +11,8 @@
 
 use crate::canonical::{canonical_edge_extension, canonical_vertex_extension};
 use crate::subgraph::Subgraph;
-use fractal_graph::{Graph, VertexId};
+use fractal_graph::kernels::seek_above;
+use fractal_graph::{ExtensionKernels, Graph, KernelCounters, VertexId};
 use fractal_pattern::ExplorationPlan;
 use std::sync::Arc;
 
@@ -42,6 +43,14 @@ pub trait SubgraphEnumerator: Send {
         }
     }
 
+    /// Drains the kernel-path counters accumulated since the last call
+    /// (merge/gallop/bitset invocations, elements scanned, arena
+    /// high-water mark). Enumerators that bypass the kernel layer return
+    /// the zero default.
+    fn take_kernel_counters(&mut self) -> KernelCounters {
+        KernelCounters::default()
+    }
+
     /// A fresh clone for another core (shared immutable state may be
     /// reference-counted).
     fn clone_boxed(&self) -> Box<dyn SubgraphEnumerator>;
@@ -57,7 +66,10 @@ impl Clone for Box<dyn SubgraphEnumerator> {
 /// edges into the subgraph, filtered by the canonicality rule.
 #[derive(Debug, Default, Clone)]
 pub struct VertexInducedEnumerator {
+    kernels: ExtensionKernels,
     scratch: Vec<u32>,
+    anchors: Vec<u32>,
+    sufmax: Vec<u32>,
 }
 
 impl VertexInducedEnumerator {
@@ -74,23 +86,49 @@ impl SubgraphEnumerator for VertexInducedEnumerator {
             out.extend(0..g.num_vertices() as u64);
             return g.num_vertices() as u64;
         }
-        // Gather neighbor candidates of the prefix, dedup, filter.
-        self.scratch.clear();
-        for &v in sg.vertices() {
-            for &u in g.neighbors(VertexId(v)) {
-                if !sg.has_vertex(u) {
-                    self.scratch.push(u);
-                }
-            }
+        // Anchored multi-way merge-union of the prefix's sorted
+        // neighborhoods (the CSR slices are sorted, so no gather + sort +
+        // dedup). The union reports each candidate's anchor — the earliest
+        // prefix position it is adjacent to — which turns the canonicality
+        // rule into a single suffix-max comparison: a candidate `u`
+        // anchored at position `a` is canonical iff `u > prefix[0]` and
+        // `u > max(prefix[a+1..])`. No per-candidate adjacency probes.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut anchors = std::mem::take(&mut self.anchors);
+        {
+            let lists: Vec<&[u32]> = sg
+                .vertices()
+                .iter()
+                .map(|&v| g.neighbors(VertexId(v)))
+                .collect();
+            self.kernels
+                .union_sorted_anchored_into(&lists, &mut scratch, &mut anchors);
         }
-        self.scratch.sort_unstable();
-        self.scratch.dedup();
-        let tests = self.scratch.len() as u64;
-        for &u in &self.scratch {
-            if canonical_vertex_extension(g, sg.vertices(), u) {
+        let prefix = sg.vertices();
+        self.sufmax.clear();
+        self.sufmax.resize(prefix.len(), 0);
+        let mut running = 0u32;
+        for i in (0..prefix.len()).rev() {
+            running = running.max(prefix[i]);
+            self.sufmax[i] = running;
+        }
+        let first = prefix[0];
+        let mut tests = 0u64;
+        for (&u, &a) in scratch.iter().zip(&anchors) {
+            if sg.has_vertex(u) {
+                continue;
+            }
+            tests += 1;
+            debug_assert_eq!(
+                u > first && self.sufmax.get(a as usize + 1).is_none_or(|&m| m < u),
+                canonical_vertex_extension(g, prefix, u)
+            );
+            if u > first && self.sufmax.get(a as usize + 1).is_none_or(|&m| m < u) {
                 out.push(u as u64);
             }
         }
+        self.scratch = scratch;
+        self.anchors = anchors;
         tests
     }
 
@@ -102,6 +140,10 @@ impl SubgraphEnumerator for VertexInducedEnumerator {
         sg.pop_vertex_induced();
     }
 
+    fn take_kernel_counters(&mut self) -> KernelCounters {
+        self.kernels.take_counters()
+    }
+
     fn clone_boxed(&self) -> Box<dyn SubgraphEnumerator> {
         Box::new(VertexInducedEnumerator::new())
     }
@@ -111,6 +153,8 @@ impl SubgraphEnumerator for VertexInducedEnumerator {
 /// canonicality rule over edge ids.
 #[derive(Debug, Default, Clone)]
 pub struct EdgeInducedEnumerator {
+    kernels: ExtensionKernels,
+    incident_scratch: Vec<Vec<u32>>,
     scratch: Vec<u32>,
 }
 
@@ -128,22 +172,37 @@ impl SubgraphEnumerator for EdgeInducedEnumerator {
             out.extend(0..g.num_edges() as u64);
             return g.num_edges() as u64;
         }
-        self.scratch.clear();
-        for &v in sg.vertices() {
-            for &e in g.incident_edges(VertexId(v)) {
-                if !sg.has_edge(e) {
-                    self.scratch.push(e);
-                }
-            }
+        // Incident-edge lists are CSR slices ordered by neighbor vertex,
+        // not by edge id — sort each (reusing buffers) and merge-union.
+        let nv = sg.num_vertices();
+        while self.incident_scratch.len() < nv {
+            self.incident_scratch.push(Vec::new());
         }
-        self.scratch.sort_unstable();
-        self.scratch.dedup();
-        let tests = self.scratch.len() as u64;
-        for &e in &self.scratch {
+        for (i, &v) in sg.vertices().iter().enumerate() {
+            let buf = &mut self.incident_scratch[i];
+            buf.clear();
+            buf.extend_from_slice(g.incident_edges(VertexId(v)));
+            buf.sort_unstable();
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        {
+            let lists: Vec<&[u32]> = self.incident_scratch[..nv]
+                .iter()
+                .map(|b| b.as_slice())
+                .collect();
+            self.kernels.union_sorted_into(&lists, &mut scratch);
+        }
+        let mut tests = 0u64;
+        for &e in &scratch {
+            if sg.has_edge(e) {
+                continue;
+            }
+            tests += 1;
             if canonical_edge_extension(g, sg.edges(), e) {
                 out.push(e as u64);
             }
         }
+        self.scratch = scratch;
         tests
     }
 
@@ -153,6 +212,10 @@ impl SubgraphEnumerator for EdgeInducedEnumerator {
 
     fn retract(&mut self, _g: &Graph, sg: &mut Subgraph) {
         sg.pop_edge();
+    }
+
+    fn take_kernel_counters(&mut self) -> KernelCounters {
+        self.kernels.take_counters()
     }
 
     fn clone_boxed(&self) -> Box<dyn SubgraphEnumerator> {
@@ -171,6 +234,9 @@ pub struct PatternEnumerator {
     /// Whether graph edge labels must equal pattern edge labels.
     match_edge_labels: bool,
     edge_scratch: Vec<u32>,
+    kernels: ExtensionKernels,
+    cand_a: Vec<u32>,
+    cand_b: Vec<u32>,
 }
 
 impl PatternEnumerator {
@@ -185,6 +251,9 @@ impl PatternEnumerator {
             match_vertex_labels,
             match_edge_labels,
             edge_scratch: Vec::new(),
+            kernels: ExtensionKernels::new(),
+            cand_a: Vec::new(),
+            cand_b: Vec::new(),
         }
     }
 
@@ -193,9 +262,11 @@ impl PatternEnumerator {
         &self.plan
     }
 
-    /// Whether `cand` satisfies every constraint of position `pos` given
-    /// the current match (`sg.vertices()`, by position).
-    fn candidate_ok(&self, g: &Graph, matched: &[u32], pos: usize, cand: u32) -> bool {
+    /// Constraints the kernel pre-pass cannot discharge: membership,
+    /// vertex label, edge labels, and upper symmetry bounds. Adjacency to
+    /// every back-edge anchor and the `must_be_greater_than` lower bound
+    /// are already guaranteed by the anchored intersection.
+    fn residual_ok(&self, g: &Graph, matched: &[u32], pos: usize, cand: u32) -> bool {
         if matched.contains(&cand) {
             return false;
         }
@@ -204,23 +275,18 @@ impl PatternEnumerator {
         {
             return false;
         }
-        for &(epos, elabel) in self.plan.back_edges(pos) {
-            match g.edge_between(VertexId(matched[epos as usize]), VertexId(cand)) {
-                Some(e) => {
-                    if self.match_edge_labels && g.edge_label(e).raw() != elabel {
-                        return false;
-                    }
+        if self.match_edge_labels {
+            for &(epos, elabel) in self.plan.back_edges(pos) {
+                let e = g
+                    .edge_between(VertexId(matched[epos as usize]), VertexId(cand))
+                    .expect("intersection produced a non-adjacent candidate");
+                if g.edge_label(e).raw() != elabel {
+                    return false;
                 }
-                None => return false,
             }
         }
         for &q in self.plan.must_be_less_than(pos) {
             if cand >= matched[q as usize] {
-                return false;
-            }
-        }
-        for &q in self.plan.must_be_greater_than(pos) {
-            if cand <= matched[q as usize] {
                 return false;
             }
         }
@@ -248,22 +314,47 @@ impl SubgraphEnumerator for PatternEnumerator {
             }
             return tests;
         }
-        // Candidates come from the adjacency of the matched back-edge
-        // anchor with the smallest neighborhood.
+        // Candidates must be adjacent to *every* matched back-edge anchor:
+        // intersect the anchors' sorted neighborhoods (smallest first),
+        // with the `must_be_greater_than` symmetry lower bound pushed into
+        // the kernel so excluded ranges are never scanned.
         let back = self.plan.back_edges(pos);
         debug_assert!(!back.is_empty(), "plan orders are connected");
-        let anchor = back
+        let lo = self
+            .plan
+            .must_be_greater_than(pos)
             .iter()
-            .map(|&(p, _)| matched[p as usize])
-            .min_by_key(|&v| g.degree(VertexId(v)))
-            .unwrap();
+            .map(|&q| matched[q as usize])
+            .max();
+        self.kernels.ensure_universe(g.num_vertices());
+        let mut acc = std::mem::take(&mut self.cand_a);
+        let mut tmp = std::mem::take(&mut self.cand_b);
+        acc.clear();
+        {
+            let mut anchors: Vec<u32> = back.iter().map(|&(p, _)| matched[p as usize]).collect();
+            anchors.sort_unstable_by_key(|&v| g.degree(VertexId(v)));
+            anchors.dedup();
+            let base = g.neighbors(VertexId(anchors[0]));
+            let base = match lo {
+                Some(l) => seek_above(base, l),
+                None => base,
+            };
+            acc.extend_from_slice(base);
+            for &a in &anchors[1..] {
+                self.kernels
+                    .intersect_into(&acc, g.neighbors(VertexId(a)), &mut tmp);
+                std::mem::swap(&mut acc, &mut tmp);
+            }
+        }
         let mut tests = 0u64;
-        for &cand in g.neighbors(VertexId(anchor)) {
+        for &cand in &acc {
             tests += 1;
-            if self.candidate_ok(g, matched, pos, cand) {
+            if self.residual_ok(g, matched, pos, cand) {
                 out.push(cand as u64);
             }
         }
+        self.cand_a = acc;
+        self.cand_b = tmp;
         tests
     }
 
@@ -285,6 +376,10 @@ impl SubgraphEnumerator for PatternEnumerator {
 
     fn retract(&mut self, _g: &Graph, sg: &mut Subgraph) {
         sg.pop_matched();
+    }
+
+    fn take_kernel_counters(&mut self) -> KernelCounters {
+        self.kernels.take_counters()
     }
 
     fn clone_boxed(&self) -> Box<dyn SubgraphEnumerator> {

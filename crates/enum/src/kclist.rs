@@ -11,7 +11,7 @@
 
 use crate::enumerator::SubgraphEnumerator;
 use crate::subgraph::Subgraph;
-use fractal_graph::{Graph, VertexId};
+use fractal_graph::{ExtensionKernels, Graph, KernelCounters, VertexId};
 use std::sync::Arc;
 
 /// Degree-ordered DAG view of a graph, shared immutably among cores.
@@ -50,12 +50,16 @@ impl CliqueDag {
 
 /// Custom enumerator listing cliques via candidate-set intersection
 /// (Listing 6/7).
+///
+/// The per-level candidate sets live in the bump arena of
+/// [`ExtensionKernels`]: DFS levels are strictly nested, so each level is a
+/// contiguous arena region and retract is a truncation — no per-extension
+/// allocation. The arena is per-core scratch; a stolen unit rebuilds it by
+/// replaying the prefix ([`SubgraphEnumerator::rebuild`]).
 pub struct KClistEnumerator {
     dag: Arc<CliqueDag>,
-    /// Stack of candidate sets, one per matched vertex.
-    cand_stack: Vec<Vec<u32>>,
-    /// Spare buffers recycled across push/pop to avoid allocation.
-    spare: Vec<Vec<u32>>,
+    /// Arena-backed candidate-set stack + hybrid intersection kernels.
+    kernels: ExtensionKernels,
 }
 
 impl KClistEnumerator {
@@ -68,30 +72,13 @@ impl KClistEnumerator {
     pub fn with_dag(dag: Arc<CliqueDag>) -> Self {
         KClistEnumerator {
             dag,
-            cand_stack: Vec::new(),
-            spare: Vec::new(),
+            kernels: ExtensionKernels::new(),
         }
     }
 
     /// The shared DAG (for cloning onto other cores cheaply).
     pub fn dag(&self) -> Arc<CliqueDag> {
         self.dag.clone()
-    }
-
-    fn intersect_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
-        out.clear();
-        let (mut i, mut j) = (0, 0);
-        while i < a.len() && j < b.len() {
-            match a[i].cmp(&b[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    out.push(a[i]);
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
     }
 }
 
@@ -102,36 +89,34 @@ impl SubgraphEnumerator for KClistEnumerator {
             out.extend(0..g.num_vertices() as u64);
             return g.num_vertices() as u64;
         }
-        debug_assert_eq!(self.cand_stack.len(), sg.num_vertices());
-        let cands = self.cand_stack.last().expect("state out of sync");
+        debug_assert_eq!(self.kernels.depth(), sg.num_vertices());
+        let cands = self.kernels.top();
         out.extend(cands.iter().map(|&v| v as u64));
         cands.len() as u64
     }
 
     fn extend(&mut self, g: &Graph, sg: &mut Subgraph, word: u64) {
         let v = word as u32;
-        let mut next = self.spare.pop().unwrap_or_default();
-        match self.cand_stack.last() {
-            None => {
-                next.clear();
-                next.extend_from_slice(self.dag.out(v));
-            }
-            Some(top) => Self::intersect_into(top, self.dag.out(v), &mut next),
+        self.kernels.ensure_universe(g.num_vertices());
+        if self.kernels.depth() == 0 {
+            self.kernels.push_level_copy(self.dag.out(v));
+        } else {
+            self.kernels.push_level_intersect(self.dag.out(v));
         }
-        self.cand_stack.push(next);
         sg.push_vertex_induced(g, v);
     }
 
     fn retract(&mut self, _g: &Graph, sg: &mut Subgraph) {
-        let top = self.cand_stack.pop().expect("retract on empty state");
-        self.spare.push(top);
+        self.kernels.pop_level();
         sg.pop_vertex_induced();
     }
 
     fn reset_state(&mut self, _g: &Graph) {
-        while let Some(top) = self.cand_stack.pop() {
-            self.spare.push(top);
-        }
+        self.kernels.reset_levels();
+    }
+
+    fn take_kernel_counters(&mut self) -> KernelCounters {
+        self.kernels.take_counters()
     }
 
     fn clone_boxed(&self) -> Box<dyn SubgraphEnumerator> {

@@ -36,13 +36,27 @@ impl ExtensionQueue {
         self.items.get(idx).copied()
     }
 
+    /// Number of words actually claimed, clamped to the queue length.
+    ///
+    /// The raw cursor overshoots `len` under contention (every losing
+    /// `fetch_add` past the end still increments it), so arithmetic on the
+    /// raw value can wrap. The clamp makes the snapshot safe to subtract:
+    /// callers deriving `remaining = len - claimed` can never go negative.
+    /// The snapshot is still racy — it may be stale by the time the caller
+    /// acts on it — but staleness only ever *overstates* remaining work
+    /// (claims are monotone), which steal-victim selection tolerates: the
+    /// worst case is one wasted steal attempt, never a wrapped count.
+    #[inline]
+    pub fn claimed(&self) -> usize {
+        self.cursor.load(Ordering::Relaxed).min(self.items.len())
+    }
+
     /// Number of words not yet claimed (racy snapshot — may be stale by the
-    /// time the caller acts on it, which stealing tolerates).
+    /// time the caller acts on it, which stealing tolerates; see
+    /// [`claimed`](Self::claimed) for why this cannot underflow or wrap).
     #[inline]
     pub fn remaining(&self) -> usize {
-        self.items
-            .len()
-            .saturating_sub(self.cursor.load(Ordering::Relaxed))
+        self.items.len() - self.claimed()
     }
 
     /// Whether any unclaimed word remains (racy snapshot).
@@ -120,6 +134,18 @@ mod tests {
         let q = ExtensionQueue::new(Vec::new());
         assert!(q.is_empty());
         assert_eq!(q.claim(), None);
+        assert!(!q.has_remaining());
+    }
+
+    #[test]
+    fn overshot_cursor_stays_clamped() {
+        let q = ExtensionQueue::new(vec![1, 2]);
+        // Drain plus extra failed claims: the raw cursor overshoots len.
+        for _ in 0..10 {
+            q.claim();
+        }
+        assert_eq!(q.claimed(), 2);
+        assert_eq!(q.remaining(), 0);
         assert!(!q.has_remaining());
     }
 }

@@ -74,6 +74,10 @@ impl SubgraphEnumerator for SamplingEnumerator {
         self.inner.reset_state(g);
     }
 
+    fn take_kernel_counters(&mut self) -> fractal_graph::KernelCounters {
+        self.inner.take_kernel_counters()
+    }
+
     fn clone_boxed(&self) -> Box<dyn SubgraphEnumerator> {
         Box::new(SamplingEnumerator {
             inner: self.inner.clone_boxed(),

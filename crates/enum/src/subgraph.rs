@@ -110,9 +110,35 @@ impl Subgraph {
     /// vertices (vertex-induced growth).
     pub fn push_vertex_induced(&mut self, g: &Graph, v: u32) {
         debug_assert!(!self.has_vertex(v));
+        // Hybrid induced-edge kernel: probes the (small) member set into
+        // v's sorted adjacency when deg(v) is large, scans otherwise.
+        let nbrs = g.neighbors(VertexId(v));
+        let eids = g.incident_edges(VertexId(v));
+        let vmember = &self.vmember;
+        let edges = &mut self.edges;
+        let emember = &mut self.emember;
+        let added = fractal_graph::kernels::collect_induced_edges(
+            nbrs,
+            eids,
+            &self.vertices,
+            |u| vmember.get(u as usize),
+            |e| {
+                edges.push(e);
+                emember.set(e as usize);
+            },
+        );
+        self.vertices.push(v);
+        self.vmember.set(v as usize);
+        self.level_edges.push(added);
+    }
+
+    /// Reference variant of [`push_vertex_induced`](Self::push_vertex_induced)
+    /// that always scans the full adjacency of `v` (the pre-kernel
+    /// behavior). Kept for A/B benchmarking and for cross-checking the
+    /// hybrid kernel; produces byte-identical state.
+    pub fn push_vertex_induced_scan(&mut self, g: &Graph, v: u32) {
+        debug_assert!(!self.has_vertex(v));
         let mut added = 0u32;
-        // Scan the incident edges of v once; membership filters to the
-        // subgraph. O(deg(v)).
         let nbrs = g.neighbors(VertexId(v));
         let eids = g.incident_edges(VertexId(v));
         for (i, &u) in nbrs.iter().enumerate() {

@@ -180,30 +180,16 @@ impl Graph {
         (0..self.num_edges() as u32).map(EdgeId)
     }
 
-    /// Merge-intersects the sorted neighborhoods of `u` and `v` into `out`
-    /// (cleared first). Returns the intersection size.
+    /// Intersects the sorted neighborhoods of `u` and `v` into `out`
+    /// (cleared first) through the adaptive kernel layer
+    /// ([`crate::kernels::intersect`]). Returns the intersection size.
     ///
     /// This is the workhorse of clique kernels (node-iterator triangles,
     /// KClist DAG construction); it allocates nothing when `out` has
     /// capacity.
     pub fn intersect_neighbors(&self, u: VertexId, v: VertexId, out: &mut Vec<u32>) -> usize {
-        out.clear();
-        let (mut a, mut b) = (self.neighbors(u), self.neighbors(v));
-        if a.len() > b.len() {
-            std::mem::swap(&mut a, &mut b);
-        }
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < a.len() && j < b.len() {
-            match a[i].cmp(&b[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    out.push(a[i]);
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
+        let mut c = crate::kernels::KernelCounters::default();
+        crate::kernels::intersect(self.neighbors(u), self.neighbors(v), out, &mut c);
         out.len()
     }
 

@@ -19,6 +19,8 @@
 //!   plain edge-list format,
 //! - [`gen`] — deterministic synthetic generators shaped after the paper's
 //!   evaluation datasets (Table 1),
+//! - [`kernels`] — the extension hot-path intersection kernels (hybrid
+//!   sorted-merge / galloping / bitset) and per-core candidate-set arenas,
 //! - [`reduction`] — the graph-reduction optimization of §4.3 (`vfilter` /
 //!   `efilter` and participation-driven reduction),
 //! - [`keywords`] — interned keyword dictionary and per-element keyword sets.
@@ -27,6 +29,7 @@ pub mod bitset;
 pub mod builder;
 pub mod gen;
 pub mod io;
+pub mod kernels;
 pub mod keywords;
 pub mod reduction;
 
@@ -37,6 +40,7 @@ pub use bitset::Bitset;
 pub use builder::{graph_from_edges, unlabeled_from_edges, GraphBuilder};
 pub use graph::{EdgeRef, Graph};
 pub use ids::{EdgeId, KeywordId, Label, VertexId};
+pub use kernels::{ExtensionKernels, KernelCounters};
 pub use keywords::KeywordTable;
 pub use reduction::{EdgeMask, ReducedGraph, VertexMask};
 

@@ -87,56 +87,44 @@ impl Graph {
 
         let n = orig_vertices.len();
         let m = kept_edges.len();
-        let mut degree = vec![0u32; n];
-        for &e in &kept_edges {
-            degree[new_id[self.edge_src[e as usize] as usize] as usize] += 1;
-            degree[new_id[self.edge_dst[e as usize] as usize] as usize] += 1;
-        }
-        let mut offsets = vec![0u32; n + 1];
-        for i in 0..n {
-            offsets[i + 1] = offsets[i] + degree[i];
-        }
-        let mut cursor: Vec<u32> = offsets[..n].to_vec();
-        let mut nbr_vertices = vec![0u32; 2 * m];
-        let mut nbr_edges = vec![0u32; 2 * m];
+        // Dense edge renumbering: `edge_new[old] = new` for kept edges.
+        let mut edge_new = vec![u32::MAX; self.num_edges()];
         let mut edge_src = vec![0u32; m];
         let mut edge_dst = vec![0u32; m];
         let mut edge_labels = vec![0u32; m];
         for (ne, &oe) in kept_edges.iter().enumerate() {
+            edge_new[oe as usize] = ne as u32;
             let s = new_id[self.edge_src[oe as usize] as usize];
             let d = new_id[self.edge_dst[oe as usize] as usize];
-            let (s, d) = (s.min(d), s.max(d));
-            edge_src[ne] = s;
-            edge_dst[ne] = d;
+            edge_src[ne] = s.min(d);
+            edge_dst[ne] = s.max(d);
             edge_labels[ne] = self.edge_labels[oe as usize];
-            let cs = cursor[s as usize] as usize;
-            nbr_vertices[cs] = d;
-            nbr_edges[cs] = ne as u32;
-            cursor[s as usize] += 1;
-            let cd = cursor[d as usize] as usize;
-            nbr_vertices[cd] = s;
-            nbr_edges[cd] = ne as u32;
-            cursor[d as usize] += 1;
         }
-        // Sort neighborhoods (ids were remapped, order is arbitrary).
-        let mut perm: Vec<u32> = Vec::new();
-        for i in 0..n {
-            let (lo, hi) = (offsets[i] as usize, offsets[i + 1] as usize);
-            if hi - lo <= 1 {
-                continue;
-            }
-            perm.clear();
-            perm.extend(0..(hi - lo) as u32);
-            let vs = &nbr_vertices[lo..hi];
-            perm.sort_unstable_by_key(|&p| vs[p as usize]);
-            let sv: Vec<u32> = perm
-                .iter()
-                .map(|&p| nbr_vertices[lo + p as usize])
-                .collect();
-            let se: Vec<u32> = perm.iter().map(|&p| nbr_edges[lo + p as usize]).collect();
-            nbr_vertices[lo..hi].copy_from_slice(&sv);
-            nbr_edges[lo..hi].copy_from_slice(&se);
+        // Both renumberings above are monotone in the original ids, so
+        // streaming each kept vertex's already-sorted CSR adjacency through
+        // the map-probe kernel yields sorted reduced neighborhoods directly
+        // — no per-neighborhood permutation sort needed.
+        let mut kc = crate::kernels::KernelCounters::default();
+        let mut offsets = vec![0u32; n + 1];
+        let mut nbr_vertices: Vec<u32> = Vec::with_capacity(2 * m);
+        let mut nbr_edges: Vec<u32> = Vec::with_capacity(2 * m);
+        for (nv, &ov) in orig_vertices.iter().enumerate() {
+            let (lo, hi) = (
+                self.offsets[ov as usize] as usize,
+                self.offsets[ov as usize + 1] as usize,
+            );
+            crate::kernels::retain_mapped(
+                &self.nbr_vertices[lo..hi],
+                &self.nbr_edges[lo..hi],
+                &new_id,
+                &edge_new,
+                &mut nbr_vertices,
+                &mut nbr_edges,
+                &mut kc,
+            );
+            offsets[nv + 1] = nbr_vertices.len() as u32;
         }
+        debug_assert_eq!(nbr_vertices.len(), 2 * m);
 
         let vertex_labels: Vec<u32> = orig_vertices
             .iter()

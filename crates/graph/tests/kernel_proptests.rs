@@ -1,0 +1,215 @@
+//! Property tests for the extension hot-path kernels: every variant
+//! (merge / gallop / bitset / adaptive, with and without the lower-bound
+//! filter) must equal the naive reference intersection on random sorted
+//! sets and on Mico-like generated graphs, and the arena level stack must
+//! behave exactly like a stack of freshly-allocated `Vec`s.
+
+use fractal_graph::kernels::{
+    gallop_into, intersect, intersect_above, merge_into, seek_above, ExtensionKernels,
+    KernelCounters,
+};
+use fractal_graph::{gen, VertexId};
+use proptest::prelude::*;
+
+/// Naive reference: binary-search membership of `a`'s elements in `b`.
+fn naive_intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    a.iter()
+        .copied()
+        .filter(|x| b.binary_search(x).is_ok())
+        .collect()
+}
+
+fn naive_intersect_above(a: &[u32], b: &[u32], lo: u32) -> Vec<u32> {
+    naive_intersect(a, b)
+        .into_iter()
+        .filter(|&x| x > lo)
+        .collect()
+}
+
+/// A random sorted, deduplicated set over a bounded universe.
+fn arb_sorted_set(universe: u32, max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0..universe, 0..max_len).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+proptest! {
+    #[test]
+    fn merge_equals_naive(
+        a in arb_sorted_set(512, 120),
+        b in arb_sorted_set(512, 120),
+    ) {
+        let mut out = Vec::new();
+        let mut c = KernelCounters::default();
+        merge_into(&a, &b, &mut out, &mut c);
+        prop_assert_eq!(out, naive_intersect(&a, &b));
+        prop_assert_eq!(c.merge_calls, 1);
+    }
+
+    #[test]
+    fn gallop_equals_naive_both_orders(
+        a in arb_sorted_set(512, 40),
+        b in arb_sorted_set(512, 200),
+    ) {
+        let mut out = Vec::new();
+        let mut c = KernelCounters::default();
+        gallop_into(&a, &b, &mut out, &mut c);
+        prop_assert_eq!(&out, &naive_intersect(&a, &b));
+        // Galloping the large list through the small one must agree too.
+        let mut out2 = Vec::new();
+        gallop_into(&b, &a, &mut out2, &mut c);
+        prop_assert_eq!(out2, out);
+        prop_assert_eq!(c.gallop_calls, 2);
+    }
+
+    #[test]
+    fn adaptive_equals_naive(
+        a in arb_sorted_set(2048, 300),
+        b in arb_sorted_set(2048, 300),
+    ) {
+        let mut out = Vec::new();
+        let mut c = KernelCounters::default();
+        intersect(&a, &b, &mut out, &mut c);
+        prop_assert_eq!(out, naive_intersect(&a, &b));
+        if !a.is_empty() && !b.is_empty() {
+            prop_assert_eq!(c.calls(), 1);
+        }
+    }
+
+    #[test]
+    fn bitset_and_stateful_equal_naive(
+        a in arb_sorted_set(1024, 300),
+        b in arb_sorted_set(1024, 300),
+    ) {
+        let mut k = ExtensionKernels::new();
+        k.ensure_universe(1024);
+        let mut out = Vec::new();
+        // Forced bitset path.
+        if a.len() <= b.len() {
+            k.bitset_into(&a, &b, &mut out);
+        } else {
+            k.bitset_into(&b, &a, &mut out);
+        }
+        prop_assert_eq!(&out, &naive_intersect(&a, &b));
+        // Adaptive stateful path (may pick any of the three kernels).
+        k.intersect_into(&a, &b, &mut out);
+        prop_assert_eq!(&out, &naive_intersect(&a, &b));
+        prop_assert!(k.counters().calls() >= 1 || a.is_empty() || b.is_empty());
+    }
+
+    #[test]
+    fn lower_bound_variants_equal_naive(
+        a in arb_sorted_set(512, 150),
+        b in arb_sorted_set(512, 150),
+        lo in 0u32..512,
+    ) {
+        let want = naive_intersect_above(&a, &b, lo);
+        let mut out = Vec::new();
+        let mut c = KernelCounters::default();
+        intersect_above(&a, &b, lo, &mut out, &mut c);
+        prop_assert_eq!(&out, &want);
+        let mut k = ExtensionKernels::new();
+        k.ensure_universe(512);
+        k.intersect_above_into(&a, &b, lo, &mut out);
+        prop_assert_eq!(&out, &want);
+        // seek_above is the single-list degenerate case.
+        let above: Vec<u32> = a.iter().copied().filter(|&x| x > lo).collect();
+        prop_assert_eq!(seek_above(&a, lo), &above[..]);
+    }
+
+    #[test]
+    fn union_equals_sort_dedup(
+        lists in proptest::collection::vec(arb_sorted_set(256, 60), 0..6),
+    ) {
+        let mut k = ExtensionKernels::new();
+        let refs: Vec<&[u32]> = lists.iter().map(|l| l.as_slice()).collect();
+        let mut out = Vec::new();
+        k.union_sorted_into(&refs, &mut out);
+        let mut want: Vec<u32> = lists.iter().flatten().copied().collect();
+        want.sort_unstable();
+        want.dedup();
+        prop_assert_eq!(out, want);
+    }
+
+    #[test]
+    fn anchored_union_equals_union_plus_first_membership(
+        lists in proptest::collection::vec(arb_sorted_set(256, 60), 0..6),
+    ) {
+        let mut k = ExtensionKernels::new();
+        let refs: Vec<&[u32]> = lists.iter().map(|l| l.as_slice()).collect();
+        let (mut out, mut anchors) = (Vec::new(), Vec::new());
+        k.union_sorted_anchored_into(&refs, &mut out, &mut anchors);
+        let mut plain = Vec::new();
+        k.union_sorted_into(&refs, &mut plain);
+        prop_assert_eq!(&out, &plain);
+        prop_assert_eq!(anchors.len(), out.len());
+        for (&u, &a) in out.iter().zip(&anchors) {
+            let want = lists
+                .iter()
+                .position(|l| l.binary_search(&u).is_ok())
+                .expect("union element missing from every list");
+            prop_assert_eq!(a as usize, want);
+        }
+    }
+
+    #[test]
+    fn arena_stack_equals_vec_stack(
+        base in arb_sorted_set(512, 200),
+        others in proptest::collection::vec(arb_sorted_set(512, 200), 1..5),
+        pops in 0usize..3,
+    ) {
+        let mut k = ExtensionKernels::new();
+        k.ensure_universe(512);
+        // Reference: a stack of owned Vecs.
+        let mut stack: Vec<Vec<u32>> = vec![base.clone()];
+        k.push_level_copy(&base);
+        for o in &others {
+            let top = stack.last().unwrap();
+            stack.push(naive_intersect(top, o));
+            k.push_level_intersect(o);
+            prop_assert_eq!(k.top(), &stack.last().unwrap()[..]);
+        }
+        for _ in 0..pops.min(others.len()) {
+            stack.pop();
+            k.pop_level();
+            prop_assert_eq!(k.top(), &stack.last().unwrap()[..]);
+        }
+        prop_assert_eq!(k.depth(), stack.len());
+        k.reset_levels();
+        prop_assert_eq!(k.depth(), 0);
+    }
+
+    #[test]
+    fn graph_intersect_neighbors_equals_naive_on_mico(
+        seed in 0u64..8,
+        u in 0u32..200,
+        v in 0u32..200,
+    ) {
+        let g = gen::mico_like(200, 3, seed);
+        let mut out = Vec::new();
+        let n = g.intersect_neighbors(VertexId(u), VertexId(v), &mut out);
+        let want = naive_intersect(g.neighbors(VertexId(u)), g.neighbors(VertexId(v)));
+        prop_assert_eq!(n, want.len());
+        prop_assert_eq!(out, want);
+    }
+
+    #[test]
+    fn stateful_kernels_equal_naive_on_mico_adjacency(
+        seed in 0u64..4,
+        pairs in proptest::collection::vec((0u32..300, 0u32..300, 0u32..300), 1..20),
+    ) {
+        let g = gen::mico_like(300, 3, seed);
+        let mut k = ExtensionKernels::new();
+        k.ensure_universe(g.num_vertices());
+        let mut out = Vec::new();
+        for &(u, v, lo) in &pairs {
+            let (a, b) = (g.neighbors(VertexId(u)), g.neighbors(VertexId(v)));
+            k.intersect_into(a, b, &mut out);
+            prop_assert_eq!(&out, &naive_intersect(a, b));
+            k.intersect_above_into(a, b, lo, &mut out);
+            prop_assert_eq!(&out, &naive_intersect_above(a, b, lo));
+        }
+    }
+}

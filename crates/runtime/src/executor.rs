@@ -168,6 +168,25 @@ impl CoreCtx<'_> {
         self.stats.ec += n;
     }
 
+    /// Folds one drained batch of intersection-kernel counters into this
+    /// core's stats (call counts add; the arena high-water mark maxes) and
+    /// records a [`EventKind::KernelFlush`] trace event carrying the
+    /// scanned/invocation deltas.
+    pub fn add_kernels(&mut self, merge: u64, gallop: u64, bitset: u64, scanned: u64, arena: u64) {
+        self.stats.kernel_merge += merge;
+        self.stats.kernel_gallop += gallop;
+        self.stats.kernel_bitset += bitset;
+        self.stats.kernel_scanned += scanned;
+        if arena > self.stats.arena_peak_bytes {
+            self.stats.arena_peak_bytes = arena;
+        }
+        if self.recorder.is_enabled() {
+            let t = self.now_ns();
+            self.recorder
+                .record(t, EventKind::KernelFlush, scanned, merge + gallop + bitset);
+        }
+    }
+
     /// Updates the peak intermediate-state accounting with the task's own
     /// live bytes; the registered levels' bytes are added automatically.
     pub fn track_state_bytes(&mut self, task_bytes: u64) {
@@ -669,6 +688,9 @@ mod tests {
         assert!(report.trace.is_none());
     }
 
+    // Asserts on retained events, which require the `trace` feature to be
+    // compiled in (Recorder::record is a no-op otherwise).
+    #[cfg(feature = "trace")]
     #[test]
     fn trace_records_claims_steals_and_round_trips() {
         use crate::trace::TraceConfig;

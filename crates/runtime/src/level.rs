@@ -126,21 +126,35 @@ impl WorkerRegistry {
         }
     }
 
-    /// Scans all cores (starting after `skip`, if given) for a stealable
-    /// level; returns the first hit as `(victim core index, level)` so
-    /// callers can attribute the steal (flight-recorder events, victim
-    /// statistics).
+    /// Scans all cores (starting after `skip`, if given) and picks the best
+    /// victim: shallowest level first (largest subtrees), then the most
+    /// unclaimed extensions at that depth. Returns `(victim core index,
+    /// level)` so callers can attribute the steal (flight-recorder events,
+    /// victim statistics).
+    ///
+    /// Victim scoring uses the clamped racy [`ExtensionQueue::remaining`]
+    /// snapshot: it can *overstate* remaining work (owner claims racing the
+    /// scan) but never wraps or goes negative, so the worst outcome of a
+    /// stale read is one wasted steal attempt on an emptied queue — the
+    /// subsequent `claim` simply returns `None` and the thief retries.
     pub fn find_stealable(&self, skip: Option<usize>) -> Option<(usize, Arc<LevelQueue>)> {
-        let n = self.slots.len();
-        for i in 0..n {
+        let mut best: Option<(usize, Arc<LevelQueue>, usize, usize)> = None;
+        for (i, slot) in self.slots.iter().enumerate() {
             if Some(i) == skip {
                 continue;
             }
-            if let Some(l) = self.slots[i].find_stealable() {
-                return Some((i, l));
+            if let Some(l) = slot.find_stealable() {
+                let (depth, remaining) = (l.depth(), l.queue.remaining());
+                let better = match best {
+                    None => true,
+                    Some((_, _, bd, br)) => depth < bd || (depth == bd && remaining > br),
+                };
+                if better {
+                    best = Some((i, l, depth, remaining));
+                }
             }
         }
-        None
+        best.map(|(i, l, _, _)| (i, l))
     }
 }
 
@@ -197,5 +211,30 @@ mod tests {
         let (victim, _) = reg.find_stealable(Some(1)).unwrap();
         assert_eq!(victim, 0);
         assert!(reg.find_stealable(None).is_some());
+    }
+
+    #[test]
+    fn registry_prefers_shallow_then_fullest() {
+        let reg = WorkerRegistry::new(3);
+        // Core 0: deep level with lots of work.
+        reg.slots[0].push(Arc::new(LevelQueue::new(
+            vec![1, 2],
+            (0..100).collect(),
+            false,
+        )));
+        // Core 1: shallow level with 2 remaining words.
+        reg.slots[1].push(Arc::new(LevelQueue::new(vec![1], vec![5, 6], false)));
+        // Core 2: equally shallow level with more remaining words.
+        reg.slots[2].push(Arc::new(LevelQueue::new(vec![9], vec![7, 8, 9, 10], false)));
+        // Shallow beats deep; at equal depth the larger remaining() wins.
+        let (victim, l) = reg.find_stealable(None).unwrap();
+        assert_eq!(victim, 2);
+        assert_eq!(l.depth(), 1);
+        // Drain core 2 down to 1 remaining: core 1 becomes the best victim.
+        for _ in 0..3 {
+            l.queue.claim();
+        }
+        let (victim, _) = reg.find_stealable(None).unwrap();
+        assert_eq!(victim, 1);
     }
 }

@@ -74,6 +74,12 @@ pub struct ClusterConfig {
     /// Flight-recorder settings (off by default; recording costs one
     /// branch per instrumentation point when disabled).
     pub trace: TraceConfig,
+    /// Run the enumeration engine in pre-kernel compatibility mode:
+    /// register every DFS level as a stealable queue and materialize
+    /// subgraph state at terminal count leaves. Slower; exists so A/B
+    /// benchmarks and debugging sessions can reproduce the historical
+    /// execution shape in the same binary.
+    pub engine_compat: bool,
 }
 
 impl ClusterConfig {
@@ -86,6 +92,7 @@ impl ClusterConfig {
             ws_mode: WsMode::Both,
             net_latency_us: 50,
             trace: TraceConfig::default(),
+            engine_compat: false,
         }
     }
 
@@ -109,6 +116,13 @@ impl ClusterConfig {
     /// Returns the config with the given flight-recorder settings.
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Returns the config with engine compatibility mode toggled (see
+    /// [`ClusterConfig::engine_compat`]).
+    pub fn with_engine_compat(mut self, compat: bool) -> Self {
+        self.engine_compat = compat;
         self
     }
 

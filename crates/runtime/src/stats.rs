@@ -32,6 +32,16 @@ pub struct CoreStats {
     /// Nanoseconds spent in work-stealing code paths (scans, requests,
     /// rebuilds of stolen prefixes).
     pub steal_ns: u64,
+    /// Sorted-merge kernel intersections performed.
+    pub kernel_merge: u64,
+    /// Galloping kernel intersections performed.
+    pub kernel_gallop: u64,
+    /// Bitset kernel intersections performed.
+    pub kernel_bitset: u64,
+    /// Elements scanned across all kernel invocations.
+    pub kernel_scanned: u64,
+    /// Peak candidate-set arena bytes observed on this core.
+    pub arena_peak_bytes: u64,
     /// Merged busy intervals `(start_ns, end_ns)` since job start.
     pub segments: Vec<(u64, u64)>,
 }
@@ -136,6 +146,30 @@ impl JobReport {
         self.cores.iter().map(|(_, s)| s.ec).sum()
     }
 
+    /// Kernel-path totals across cores:
+    /// `(merge_calls, gallop_calls, bitset_calls, elements_scanned)`.
+    pub fn kernel_totals(&self) -> (u64, u64, u64, u64) {
+        self.cores
+            .iter()
+            .fold((0, 0, 0, 0), |(m, g, b, s), (_, c)| {
+                (
+                    m + c.kernel_merge,
+                    g + c.kernel_gallop,
+                    b + c.kernel_bitset,
+                    s + c.kernel_scanned,
+                )
+            })
+    }
+
+    /// Largest candidate-set arena observed on any core, in bytes.
+    pub fn arena_peak_bytes(&self) -> u64 {
+        self.cores
+            .iter()
+            .map(|(_, s)| s.arena_peak_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Per-worker intermediate state: sum of its cores' peaks, in bytes
     /// (the Table 2 metric).
     pub fn worker_state_bytes(&self) -> Vec<u64> {
@@ -199,6 +233,15 @@ impl JobReport {
         ));
         out.push_str(&format!("  \"total_units\": {units},\n"));
         out.push_str(&format!("  \"total_ec\": {},\n", self.total_ec()));
+        let (km, kg, kb, ks) = self.kernel_totals();
+        out.push_str(&format!("  \"kernel_merge\": {km},\n"));
+        out.push_str(&format!("  \"kernel_gallop\": {kg},\n"));
+        out.push_str(&format!("  \"kernel_bitset\": {kb},\n"));
+        out.push_str(&format!("  \"kernel_scanned\": {ks},\n"));
+        out.push_str(&format!(
+            "  \"arena_peak_bytes\": {},\n",
+            self.arena_peak_bytes()
+        ));
         out.push_str(&format!("  \"internal_steals\": {int_steals},\n"));
         out.push_str(&format!("  \"external_steals\": {ext_steals},\n"));
         out.push_str(&format!("  \"failed_steal_rounds\": {failed},\n"));
@@ -219,6 +262,7 @@ impl JobReport {
                 "    {{\"worker\": {}, \"core\": {}, \"busy_ns\": {}, \"steal_ns\": {}, \
                  \"units\": {}, \"internal_steals\": {}, \"external_steals\": {}, \
                  \"failed_steal_rounds\": {}, \"bytes_received\": {}, \"ec\": {}, \
+                 \"kernel_scanned\": {}, \"arena_peak_bytes\": {}, \
                  \"peak_state_bytes\": {}}}{}\n",
                 id.worker,
                 id.core,
@@ -230,6 +274,8 @@ impl JobReport {
                 s.failed_steal_rounds,
                 s.bytes_received,
                 s.ec,
+                s.kernel_scanned,
+                s.arena_peak_bytes,
                 s.peak_state_bytes,
                 if i + 1 < self.cores.len() { "," } else { "" }
             ));
@@ -437,6 +483,33 @@ mod tests {
         let json = r.to_json(2);
         assert!(json.contains("\"dropped\": 7"));
         assert!(json.contains("\"service_ns\": {\"count\": 2"));
+    }
+
+    #[test]
+    fn kernel_totals_sum_and_arena_maxes() {
+        let a = CoreStats {
+            kernel_merge: 3,
+            kernel_gallop: 1,
+            kernel_bitset: 2,
+            kernel_scanned: 100,
+            arena_peak_bytes: 4096,
+            ..Default::default()
+        };
+        let b = CoreStats {
+            kernel_merge: 1,
+            kernel_scanned: 50,
+            arena_peak_bytes: 8192,
+            ..Default::default()
+        };
+        let r = report(vec![a, b], 1000);
+        assert_eq!(r.kernel_totals(), (4, 1, 2, 150));
+        assert_eq!(r.arena_peak_bytes(), 8192);
+        let json = r.to_json(1);
+        assert!(json.contains("\"kernel_merge\": 4"));
+        assert!(json.contains("\"kernel_gallop\": 1"));
+        assert!(json.contains("\"kernel_bitset\": 2"));
+        assert!(json.contains("\"kernel_scanned\": 150"));
+        assert!(json.contains("\"arena_peak_bytes\": 8192"));
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub fn try_claim(level: &LevelQueue, job: &JobState) -> Option<u64> {
 
 /// Scans `registry` for a stealable level (skipping core `skip`, if local)
 /// and claims from it. Returns `(victim core index, stolen unit)`.
+///
+/// Victim selection ranks candidates by the clamped racy
+/// `ExtensionQueue::remaining` snapshot (see
+/// [`WorkerRegistry::find_stealable`]): the snapshot may overstate a
+/// victim's work but can never wrap, so a stale pick costs at most one
+/// failed `claim` — absorbed by the retry loop below.
 pub fn steal_from_registry(
     registry: &WorkerRegistry,
     skip: Option<usize>,

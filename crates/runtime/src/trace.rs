@@ -61,6 +61,10 @@ pub enum EventKind {
     /// A per-core aggregation shard was flushed for merging. `a` = live
     /// aggregation slot, `b` = reduced entries in the shard.
     AggFlush,
+    /// Kernel counters were drained after a work unit. `a` = elements
+    /// scanned since the last flush, `b` = kernel invocations
+    /// (merge + gallop + bitset) since the last flush.
+    KernelFlush,
 }
 
 impl EventKind {
@@ -75,6 +79,7 @@ impl EventKind {
             EventKind::LevelPush => "level_push",
             EventKind::LevelPop => "level_pop",
             EventKind::AggFlush => "agg_flush",
+            EventKind::KernelFlush => "kernel_flush",
         }
     }
 
@@ -89,6 +94,7 @@ impl EventKind {
             "level_push" => EventKind::LevelPush,
             "level_pop" => EventKind::LevelPop,
             "agg_flush" => EventKind::AggFlush,
+            "kernel_flush" => EventKind::KernelFlush,
             _ => return None,
         })
     }
@@ -664,6 +670,9 @@ mod tests {
         assert_eq!(ct.service_ns.count(), 0);
     }
 
+    // Relies on Recorder::record retaining events, which is compiled out
+    // without the `trace` feature.
+    #[cfg(feature = "trace")]
     #[test]
     fn enabled_recorder_round_trips_through_jsonl() {
         let mut r0 = Recorder::new(TraceConfig::enabled());
@@ -674,6 +683,7 @@ mod tests {
         r1.record(15, EventKind::ExternalSteal, 1, 36);
         r1.record(25, EventKind::StealRoundTrip, 1, 100_000);
         r1.record(35, EventKind::AggFlush, 0, 12);
+        r1.record(45, EventKind::KernelFlush, 4096, 17);
         let dump = TraceDump {
             cores: vec![
                 r0.into_core_trace(GlobalCoreId { worker: 0, core: 0 }),
@@ -683,7 +693,7 @@ mod tests {
         let mut buf = Vec::new();
         dump.write_jsonl(&mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
-        assert_eq!(text.lines().count(), 6);
+        assert_eq!(text.lines().count(), 7);
         let parsed = TraceDump::parse_jsonl(&text).unwrap();
         assert_eq!(parsed.cores.len(), dump.cores.len());
         for (p, d) in parsed.cores.iter().zip(dump.cores.iter()) {

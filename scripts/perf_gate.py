@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over fractal-perf-smoke work counters.
+
+Compares a fresh `perf_smoke` JSON document against the checked-in
+baseline (`ci/perf-baseline.json`) and fails when any gated counter
+drifts beyond its tolerance. Deterministic counters (result counts,
+extension cost, unit counts, kernel call mix) are gated tightly —
+exact by default — because the deterministic leg runs with work
+stealing disabled; scheduling-dependent metrics in the parallel leg
+are gated only by loose absolute upper bounds. Wall-clock times are
+reported but never gated.
+
+Usage:
+    perf_gate.py check <smoke.json> [--baseline ci/perf-baseline.json]
+    perf_gate.py update <smoke.json> [--baseline ci/perf-baseline.json]
+"""
+
+import json
+import sys
+from pathlib import Path
+
+SMOKE_SCHEMA = "fractal-perf-smoke/1"
+BASELINE_SCHEMA = "fractal-perf-baseline/1"
+
+# Relative tolerance per deterministic counter (0.0 = must match exactly).
+# Result counts and unit counts are invariants of the algorithms; the
+# kernel call mix is a deterministic function of the adaptive crossover
+# heuristic, so any drift there is a real behavior change that should be
+# acknowledged by refreshing the baseline.
+DETERMINISTIC_TOLERANCES = {
+    "count": 0.0,
+    "total_units": 0.0,
+    "total_ec": 0.0,
+    "kernel_merge": 0.0,
+    "kernel_gallop": 0.0,
+    "kernel_bitset": 0.0,
+    # Elements scanned tracks the hot-path work volume: allow a whisker of
+    # slack so counter-neutral refactors (e.g. accounting of partial
+    # scans) do not force a baseline churn, while a real 20% regression
+    # fails loudly.
+    "kernel_scanned": 0.02,
+    "arena_peak_bytes": 0.10,
+}
+
+# Absolute upper bounds for the scheduling-dependent parallel leg.
+PARALLEL_BOUNDS = {
+    "imbalance": 0.60,
+    "steal_overhead": 0.50,
+}
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def check(smoke_path, baseline_path):
+    smoke = load(smoke_path)
+    if smoke.get("schema") != SMOKE_SCHEMA:
+        sys.exit(f"perf-gate: {smoke_path} is not a {SMOKE_SCHEMA} document")
+    baseline = load(baseline_path)
+    if baseline.get("schema") != BASELINE_SCHEMA:
+        sys.exit(f"perf-gate: {baseline_path} is not a {BASELINE_SCHEMA} document")
+
+    failures = []
+    checked = 0
+
+    for workload, base_counters in sorted(baseline["deterministic"].items()):
+        got_counters = smoke.get("deterministic", {}).get(workload)
+        if got_counters is None:
+            failures.append(f"deterministic workload '{workload}' missing from smoke run")
+            continue
+        for key, base in sorted(base_counters.items()):
+            if key not in DETERMINISTIC_TOLERANCES:
+                continue  # elapsed_ms and friends: informational only
+            tol = DETERMINISTIC_TOLERANCES[key]
+            got = got_counters.get(key)
+            if got is None:
+                failures.append(f"{workload}.{key}: missing from smoke run")
+                continue
+            checked += 1
+            if tol == 0.0:
+                ok = got == base
+                window = "exact"
+            else:
+                lo, hi = base * (1 - tol), base * (1 + tol)
+                ok = lo <= got <= hi
+                window = f"±{tol:.0%}"
+            status = "ok" if ok else "FAIL"
+            print(f"  [{status}] {workload}.{key}: {got} vs baseline {base} ({window})")
+            if not ok:
+                failures.append(f"{workload}.{key}: {got} vs baseline {base} ({window})")
+
+    for workload, got_counters in sorted(smoke.get("parallel", {}).items()):
+        for key, bound in sorted(PARALLEL_BOUNDS.items()):
+            got = got_counters.get(key)
+            if got is None:
+                continue
+            checked += 1
+            ok = got <= bound
+            status = "ok" if ok else "FAIL"
+            print(f"  [{status}] parallel.{workload}.{key}: {got:.4f} <= {bound}")
+            if not ok:
+                failures.append(f"parallel.{workload}.{key}: {got:.4f} exceeds bound {bound}")
+
+    if checked == 0:
+        sys.exit("perf-gate: no counters checked — baseline/smoke mismatch?")
+    if failures:
+        print(f"\nperf-gate: {len(failures)} counter(s) regressed:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        print(
+            "\nIf the new counters are intentional (algorithm change), refresh the\n"
+            "baseline with scripts/update-perf-baseline.sh and commit the result.",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    print(f"perf-gate: all {checked} gated counters within tolerance")
+
+
+def update(smoke_path, baseline_path):
+    smoke = load(smoke_path)
+    if smoke.get("schema") != SMOKE_SCHEMA:
+        sys.exit(f"perf-gate: {smoke_path} is not a {SMOKE_SCHEMA} document")
+    baseline = {
+        "schema": BASELINE_SCHEMA,
+        "source": smoke.get("graph", {}),
+        "deterministic": {
+            workload: {k: v for k, v in counters.items() if k in DETERMINISTIC_TOLERANCES}
+            for workload, counters in sorted(smoke["deterministic"].items())
+        },
+        "tolerances": DETERMINISTIC_TOLERANCES,
+        "parallel_bounds": PARALLEL_BOUNDS,
+    }
+    Path(baseline_path).write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"perf-gate: baseline written to {baseline_path}")
+
+
+def main(argv):
+    if len(argv) < 3 or argv[1] not in ("check", "update"):
+        sys.exit(__doc__)
+    smoke_path = argv[2]
+    baseline_path = "ci/perf-baseline.json"
+    rest = argv[3:]
+    while rest:
+        if rest[0] == "--baseline" and len(rest) >= 2:
+            baseline_path = rest[1]
+            rest = rest[2:]
+        else:
+            sys.exit(f"perf-gate: unknown argument {rest[0]}\n{__doc__}")
+    if argv[1] == "check":
+        check(smoke_path, baseline_path)
+    else:
+        update(smoke_path, baseline_path)
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Refreshes ci/perf-baseline.json from a fresh perf_smoke run.
+#
+# Run this after an intentional change to enumeration or kernel behavior
+# (the perf-gate CI job will have told you which counters moved), review
+# the diff, and commit the new baseline together with the change that
+# caused it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="target/perf-smoke.json"
+cargo run --release -p fractal-bench --bin perf_smoke -- --out "$out"
+python3 scripts/perf_gate.py update "$out"
+git --no-pager diff --stat -- ci/perf-baseline.json || true
