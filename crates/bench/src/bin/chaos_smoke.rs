@@ -1,0 +1,272 @@
+//! CI chaos gate: runs the three acceptance workloads (motif counting,
+//! KClist clique counting, FSM) under every fault kind of the chaos
+//! matrix — worker kill, unit panic, dropped steal requests, corrupted
+//! stolen units — across many injection seeds, and asserts every result
+//! is **bit-identical** to the fault-free run.
+//!
+//! A final *self-test* leg re-runs the worker-kill scenario with recovery
+//! deliberately sabotaged (`FaultConfig::with_sabotaged_recovery`): units
+//! are accounted but never re-executed. The gate demands that this leg
+//! *fails* its own exactness check — proving the harness actually detects
+//! a broken recovery path, not just the absence of crashes.
+//!
+//! Emits a `fractal-chaos-smoke/1` JSON summary and exits nonzero on any
+//! violation.
+//!
+//! Usage: `chaos_smoke [--seeds <n>] [--out <path>]` (default: 6 seeds,
+//! stdout).
+
+use fractal_apps::{cliques, fsm, motifs};
+use fractal_core::{FractalContext, FractalGraph};
+use fractal_graph::{gen, Graph};
+use fractal_runtime::{ClusterConfig, FaultConfig, FaultStats};
+use std::fmt::Write as _;
+
+const MOTIF_K: usize = 3;
+const CLIQUE_K: usize = 4;
+const FSM_SUPPORT: u64 = 12;
+const FSM_EDGES: usize = 2;
+
+fn fg_of(g: &Graph, cfg: ClusterConfig) -> FractalGraph {
+    FractalContext::new(cfg).fractal_graph(g.clone())
+}
+
+/// Two workers × two cores: the smallest shape where every fault kind is
+/// meaningful (a kill needs a survivor, external steals need two workers).
+fn base_cfg() -> ClusterConfig {
+    ClusterConfig::local(2, 2).with_latency_us(0)
+}
+
+/// The chaos matrix's fault kinds (see EXPERIMENTS.md). `panic_depth` 1 is
+/// the depth every dispatched unit registers; the low kill threshold kills
+/// the worker while it still owns unfinished root-partition work.
+fn fault_plans(seed: u64) -> Vec<(&'static str, FaultConfig)> {
+    vec![
+        (
+            "worker-kill",
+            FaultConfig::worker_kill(seed, 1).with_kill_after_units(2),
+        ),
+        ("unit-panic", FaultConfig::unit_panic(seed, 1)),
+        ("steal-drop", FaultConfig::steal_drop(seed)),
+        ("corrupt-unit", FaultConfig::corrupt_unit(seed)),
+    ]
+}
+
+/// One workload: a fault-free reference fingerprint plus a runner that
+/// re-computes the fingerprint and recovery counters under a fault plan.
+/// Fingerprints fold every result element (keys and values), so a single
+/// lost or double-counted subgraph anywhere changes them.
+struct Workload {
+    name: &'static str,
+    graph: Graph,
+    run: fn(&FractalGraph) -> (u64, FaultStats),
+}
+
+fn fingerprint(items: impl IntoIterator<Item = u64>) -> u64 {
+    // FNV-1a over the sorted element stream: order-independent input is
+    // sorted first so the fingerprint is deterministic across schedules.
+    let mut v: Vec<u64> = items.into_iter().collect();
+    v.sort_unstable();
+    let mut h: u64 = 0xcbf29ce484222325;
+    for x in v {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+fn sum_faults(reports: &[fractal_runtime::JobReport]) -> FaultStats {
+    let mut s = FaultStats::default();
+    for r in reports {
+        s.faults_injected += r.faults.faults_injected;
+        s.units_retried += r.faults.units_retried;
+        s.units_reexecuted += r.faults.units_reexecuted;
+        s.watchdog_trips += r.faults.watchdog_trips;
+        s.recovery_ns += r.faults.recovery_ns;
+        s.units_lost += r.faults.units_lost;
+    }
+    s
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "motifs_k3",
+            graph: gen::mico_like(220, 4, 7),
+            run: |fg| {
+                let (hist, report) = motifs::motifs_with_report(fg, MOTIF_K, false);
+                let fp = fingerprint(
+                    hist.iter()
+                        .map(|(code, &n)| fingerprint(code.0.iter().map(|&b| b as u64)) ^ n),
+                );
+                (fp, sum_faults(&report.steps))
+            },
+        },
+        Workload {
+            name: "kclist_k4",
+            graph: gen::mico_like(250, 4, 11),
+            run: |fg| {
+                let (count, report) = cliques::count_kclist_with_report(fg, CLIQUE_K);
+                (count, sum_faults(&report.steps))
+            },
+        },
+        Workload {
+            name: "fsm",
+            graph: gen::patents_like(110, 4, 23),
+            run: |fg| {
+                let result = fsm::fsm(fg, FSM_SUPPORT, FSM_EDGES);
+                let fp = fingerprint(
+                    fsm::frequent_map(&result)
+                        .iter()
+                        .map(|(code, &sup)| fingerprint(code.0.iter().map(|&b| b as u64)) ^ sup),
+                );
+                let reports: Vec<_> = result.reports.into_iter().flat_map(|r| r.steps).collect();
+                (fp, sum_faults(&reports))
+            },
+        },
+    ]
+}
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    let mut num_seeds: u64 = 6;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = Some(args.next().expect("--out requires a path")),
+            "--seeds" => {
+                num_seeds = args
+                    .next()
+                    .expect("--seeds requires a count")
+                    .parse()
+                    .expect("--seeds requires an integer")
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: chaos_smoke [--seeds <n>] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut json = String::with_capacity(4096);
+    json.push_str("{\n  \"schema\": \"fractal-chaos-smoke/1\",\n");
+    let _ = writeln!(json, "  \"seeds\": {num_seeds},");
+    json.push_str("  \"scenarios\": [\n");
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut first = true;
+
+    for wl in workloads() {
+        let (want, base_faults) = (wl.run)(&fg_of(&wl.graph, base_cfg()));
+        if base_faults != FaultStats::default() {
+            failures.push(format!(
+                "{}: fault-free run reported nonzero recovery counters: {base_faults:?}",
+                wl.name
+            ));
+        }
+        for seed in 1..=num_seeds {
+            for (kind, plan) in fault_plans(seed) {
+                let fg = fg_of(&wl.graph, base_cfg().with_faults(plan));
+                let (got, faults) = (wl.run)(&fg);
+                let exact = got == want;
+                if !exact {
+                    failures.push(format!(
+                        "{} under {kind} seed {seed}: result diverged \
+                         (got {got:#x}, want {want:#x}; {faults:?})",
+                        wl.name
+                    ));
+                }
+                if faults.units_lost != 0 {
+                    failures.push(format!(
+                        "{} under {kind} seed {seed}: {} units lost",
+                        wl.name, faults.units_lost
+                    ));
+                }
+                if !first {
+                    json.push_str(",\n");
+                }
+                first = false;
+                let _ = write!(
+                    json,
+                    "    {{\"workload\": \"{}\", \"fault\": \"{kind}\", \"seed\": {seed}, \
+                     \"exact\": {exact}, \"faults_injected\": {}, \"units_retried\": {}, \
+                     \"units_reexecuted\": {}, \"watchdog_trips\": {}, \"units_lost\": {}}}",
+                    wl.name,
+                    faults.faults_injected,
+                    faults.units_retried,
+                    faults.units_reexecuted,
+                    faults.watchdog_trips,
+                    faults.units_lost,
+                );
+            }
+        }
+    }
+
+    // Self-test: with recovery sabotaged the gate MUST observe a failure —
+    // lost units on every seed, and a diverged result on at least one
+    // (each lost unit contributes zero-or-more results, so divergence is
+    // only guaranteed across the seed set, not per seed).
+    let wl = &workloads()[0];
+    let (want, _) = (wl.run)(&fg_of(&wl.graph, base_cfg()));
+    let mut sabotage_lost = true;
+    let mut sabotage_diverged = false;
+    for seed in 1..=num_seeds {
+        let plan = FaultConfig::worker_kill(seed, 1)
+            .with_kill_after_units(2)
+            .with_sabotaged_recovery();
+        let fg = fg_of(&wl.graph, base_cfg().with_faults(plan));
+        let (got, faults) = (wl.run)(&fg);
+        sabotage_lost &= faults.units_lost > 0;
+        sabotage_diverged |= got != want;
+    }
+    if !sabotage_lost {
+        failures.push(
+            "self-test: sabotaged recovery lost no units — the kill scenario is not \
+             exercising recovery at all"
+                .to_string(),
+        );
+    }
+    if !sabotage_diverged {
+        failures.push(
+            "self-test: sabotaged recovery still produced exact results on every seed — \
+             the exactness check cannot detect broken recovery"
+                .to_string(),
+        );
+    }
+    let _ = write!(
+        json,
+        "\n  ],\n  \"self_test\": {{\"units_lost_every_seed\": {sabotage_lost}, \
+         \"diverged_some_seed\": {sabotage_diverged}}},\n  \"failures\": ["
+    );
+    for (i, f) in failures.iter().enumerate() {
+        let _ = write!(
+            json,
+            "{}\n    \"{}\"",
+            if i == 0 { "" } else { "," },
+            f.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+    }
+    json.push_str(if failures.is_empty() {
+        "]\n}\n"
+    } else {
+        "\n  ]\n}\n"
+    });
+
+    match out_path {
+        Some(p) => std::fs::write(&p, &json).unwrap_or_else(|e| panic!("write {p}: {e}")),
+        None => print!("{json}"),
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("chaos violation: {f}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!(
+        "chaos gate: all scenarios exact across {num_seeds} seeds; self-test detected sabotage"
+    );
+}

@@ -66,6 +66,36 @@ fn balance_counters(name: &str, count: u64, report: &ExecutionReport, out: &mut 
     );
 }
 
+/// Recovery counters summed over all steps of the given reports. Both
+/// perf-smoke legs run fault-free, so the CI gate asserts every one of
+/// these is zero — any nonzero value means the fault machinery leaked into
+/// the fault-free hot path (spurious retries, watchdog trips, …).
+fn fault_counters(reports: &[&ExecutionReport], out: &mut String) {
+    let mut sum = fractal_runtime::FaultStats::default();
+    for r in reports {
+        for step in &r.steps {
+            sum.faults_injected += step.faults.faults_injected;
+            sum.units_retried += step.faults.units_retried;
+            sum.units_reexecuted += step.faults.units_reexecuted;
+            sum.watchdog_trips += step.faults.watchdog_trips;
+            sum.recovery_ns += step.faults.recovery_ns;
+            sum.units_lost += step.faults.units_lost;
+        }
+    }
+    let _ = write!(
+        out,
+        "    \"faults\": {{\n      \"faults_injected\": {},\n      \"units_retried\": {},\n      \
+         \"units_reexecuted\": {},\n      \"watchdog_trips\": {},\n      \
+         \"recovery_ns\": {},\n      \"units_lost\": {}\n    }}",
+        sum.faults_injected,
+        sum.units_retried,
+        sum.units_reexecuted,
+        sum.watchdog_trips,
+        sum.recovery_ns,
+        sum.units_lost,
+    );
+}
+
 fn main() {
     let mut out_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -112,6 +142,8 @@ fn main() {
         &motif_report,
         &mut json,
     );
+    json.push_str(",\n");
+    fault_counters(&[&clique_report, &motif_report], &mut json);
     json.push_str("\n  },\n  \"parallel\": {\n");
     balance_counters(
         &format!("kclist_k{CLIQUE_K}"),
@@ -119,6 +151,8 @@ fn main() {
         &par_report,
         &mut json,
     );
+    json.push_str(",\n");
+    fault_counters(&[&par_report], &mut json);
     json.push_str("\n  }\n}\n");
 
     match out_path {

@@ -22,11 +22,25 @@ pub trait AggregatorSpec: Send + Sync {
 }
 
 /// A per-core accumulation shard.
+///
+/// Shards are also the unit of *replay-safe staging*: the engine
+/// accumulates each dispatched unit into a staging shard and commits it
+/// into the core's durable shard only when the unit completes
+/// ([`drain_into`](Self::drain_into)), or discards it when the supervisor
+/// aborts the unit for re-execution ([`reset`](Self::reset)). This is what
+/// makes fault recovery exactly-once for aggregations.
 pub trait AggShard: Send + Sync {
     /// Folds one subgraph into the shard.
     fn accumulate(&mut self, view: &SubgraphView<'_>);
     /// Merges another shard of the same aggregation into this one.
     fn merge_from(&mut self, other: Box<dyn AggShard>);
+    /// Moves every entry of this shard into `target` (same aggregation),
+    /// leaving this shard empty but reusable — the per-unit commit path,
+    /// which must not reallocate either shard.
+    fn drain_into(&mut self, target: &mut dyn AggShard);
+    /// Discards all entries, restoring the freshly-created state (the
+    /// per-unit abort path).
+    fn reset(&mut self);
     /// Applies the final `aggFilter`, dropping entries that fail it.
     fn finalize(&mut self);
     /// Number of reduced entries.
@@ -43,6 +57,9 @@ pub trait AggShard: Send + Sync {
     fn resident_bytes(&self) -> usize;
     /// Downcast support.
     fn as_any(&self) -> &dyn Any;
+    /// Downcast support (mutable; used by [`drain_into`](Self::drain_into)
+    /// implementations to reach the target's concrete type).
+    fn as_any_mut(&mut self) -> &mut dyn Any;
     /// Downcast support (owned).
     fn into_any(self: Box<Self>) -> Box<dyn Any + Send>;
 }
@@ -162,6 +179,33 @@ where
         }
     }
 
+    fn drain_into(&mut self, target: &mut dyn AggShard) {
+        let target = target
+            .as_any_mut()
+            .downcast_mut::<TypedShard<K, V>>()
+            .expect("draining into a shard of a different aggregation");
+        target.accumulated += self.accumulated;
+        self.accumulated = 0;
+        self.approx_bytes = 0;
+        for (k, v) in self.map.drain() {
+            match target.map.entry(k) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    (self.reduce_fn)(e.get_mut(), v);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    target.approx_bytes += std::mem::size_of::<K>() + std::mem::size_of::<V>() + 32;
+                    e.insert(v);
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.map.clear();
+        self.approx_bytes = 0;
+        self.accumulated = 0;
+    }
+
     fn finalize(&mut self) {
         if let Some(f) = &self.agg_filter {
             self.map.retain(|k, v| f(k, v));
@@ -181,6 +225,10 @@ where
     }
 
     fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
 
@@ -334,6 +382,61 @@ mod tests {
         assert_eq!(result.len(), 1);
         assert!(result.contains_key::<usize, u64>(&2));
         assert!(!result.contains_key::<usize, u64>(&1));
+    }
+
+    #[test]
+    fn drain_into_commits_and_empties_the_staging_shard() {
+        let g = unlabeled_from_edges(3, &[(0, 1), (1, 2)]);
+        let spec = count_agg();
+        let mut durable = spec.new_shard();
+        let mut staged = spec.new_shard();
+        let mut sg = Subgraph::new(&g);
+        sg.push_vertex_induced(&g, 0);
+        durable.accumulate(&SubgraphView {
+            graph: &g,
+            subgraph: &sg,
+        });
+        staged.accumulate(&SubgraphView {
+            graph: &g,
+            subgraph: &sg,
+        });
+        sg.push_vertex_induced(&g, 1);
+        staged.accumulate(&SubgraphView {
+            graph: &g,
+            subgraph: &sg,
+        });
+        staged.drain_into(&mut *durable);
+        assert!(staged.is_empty());
+        assert_eq!(staged.accumulated(), 0);
+        assert_eq!(staged.resident_bytes(), 0);
+        // The staging shard is immediately reusable for the next unit.
+        staged.accumulate(&SubgraphView {
+            graph: &g,
+            subgraph: &sg,
+        });
+        assert_eq!(staged.accumulated(), 1);
+        let result = AggResult::new(durable);
+        assert_eq!(result.map::<usize, u64>()[&1], 2);
+        assert_eq!(result.map::<usize, u64>()[&2], 1);
+        assert_eq!(result.accumulated(), 3);
+    }
+
+    #[test]
+    fn reset_discards_staged_entries() {
+        let g = unlabeled_from_edges(2, &[(0, 1)]);
+        let spec = count_agg();
+        let mut shard = spec.new_shard();
+        let mut sg = Subgraph::new(&g);
+        sg.push_vertex_induced(&g, 0);
+        shard.accumulate(&SubgraphView {
+            graph: &g,
+            subgraph: &sg,
+        });
+        assert!(!shard.is_empty());
+        shard.reset();
+        assert!(shard.is_empty());
+        assert_eq!(shard.accumulated(), 0);
+        assert_eq!(shard.resident_bytes(), 0);
     }
 
     #[test]

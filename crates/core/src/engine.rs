@@ -347,14 +347,19 @@ impl JobSpec for StepSpec<'_> {
     fn make_core_task<'s>(&'s self, _id: GlobalCoreId) -> Box<dyn CoreTask + 's> {
         let shards: Vec<Box<dyn AggShard>> =
             self.live_agg_specs.iter().map(|s| s.new_shard()).collect();
+        let staged_shards: Vec<Box<dyn AggShard>> =
+            self.live_agg_specs.iter().map(|s| s.new_shard()).collect();
         Box::new(StepTask {
             spec: self,
             enumerator: (self.fractoid.factory)(self.graph),
             sg: Subgraph::new(self.graph),
             shards,
+            staged_shards,
             words: Vec::new(),
             collected: Vec::new(),
+            staged_collected: Vec::new(),
             count: 0,
+            staged_count: 0,
             part: if self.mode.tracks_participation() {
                 Some(Participation {
                     vertices: Bitset::new(self.graph.num_vertices()),
@@ -371,14 +376,30 @@ impl JobSpec for StepSpec<'_> {
 }
 
 /// The per-core DFS of Algorithm 1.
+///
+/// Result state is split in two: the *durable* side (`shards`,
+/// `collected`, `count`) holds only results committed by completed units,
+/// while the *staged* side (`staged_shards`, `staged_collected`,
+/// `staged_count`) accumulates the unit currently being processed.
+/// `process_unit` commits staged → durable on normal return; the
+/// supervisor's `abort_unit` discards the staged side before re-executing
+/// a failed unit — so retries and worker-death re-executions are
+/// exactly-once. Participation masks are exempt: bit-sets are monotone and
+/// re-execution re-derives the same bits, so double-marking is idempotent.
 struct StepTask<'a> {
     spec: &'a StepSpec<'a>,
     enumerator: Box<dyn SubgraphEnumerator>,
     sg: Subgraph,
     shards: Vec<Box<dyn AggShard>>,
+    /// Per-unit staging shards, drained into `shards` on unit commit.
+    staged_shards: Vec<Box<dyn AggShard>>,
     words: Vec<u64>,
     collected: Vec<SubgraphData>,
+    /// Per-unit staged result subgraphs, appended to `collected` on commit.
+    staged_collected: Vec<SubgraphData>,
     count: u64,
+    /// Per-unit staged count, folded into `count` on commit.
+    staged_count: u64,
     part: Option<Participation>,
     levels_since_track: u32,
     /// Stealable levels currently registered by this unit (bounds how deep
@@ -402,7 +423,7 @@ impl StepTask<'_> {
         match self.spec.mode {
             OutputMode::Collect => {
                 let fg = &self.spec.fractoid.fgraph;
-                self.collected.push(SubgraphData {
+                self.staged_collected.push(SubgraphData {
                     vertices: self
                         .sg
                         .vertices()
@@ -412,7 +433,7 @@ impl StepTask<'_> {
                     edges: self.sg.edges().iter().map(|&e| fg.orig_edge(e)).collect(),
                 });
             }
-            OutputMode::Count => self.count += 1,
+            OutputMode::Count => self.staged_count += 1,
             OutputMode::TrackOnly => {
                 let p = self.part.as_mut().expect("participation mask missing");
                 for &v in self.sg.vertices() {
@@ -431,9 +452,10 @@ impl StepTask<'_> {
             + self
                 .shards
                 .iter()
+                .chain(self.staged_shards.iter())
                 .map(|s| s.resident_bytes())
                 .sum::<usize>()
-            + self.collected.len() * 48) as u64
+            + (self.collected.len() + self.staged_collected.len()) * 48) as u64
     }
 
     fn dfs(&mut self, ctx: &mut CoreCtx<'_>, idx: usize) {
@@ -475,7 +497,7 @@ impl StepTask<'_> {
                     if idx + 1 == self.spec.resolved.len() {
                         match self.spec.mode {
                             OutputMode::Count => {
-                                self.count += exts.len() as u64;
+                                self.staged_count += exts.len() as u64;
                                 self.exts_pool.push(exts);
                                 return;
                             }
@@ -543,7 +565,7 @@ impl StepTask<'_> {
                     graph: self.spec.graph,
                     subgraph: &self.sg,
                 };
-                self.shards[slot].accumulate(&view);
+                self.staged_shards[slot].accumulate(&view);
                 self.dfs(ctx, idx + 1);
             }
             Resolved::AggregateReplayed => {
@@ -568,6 +590,19 @@ impl CoreTask for StepTask<'_> {
         self.dfs(ctx, resume);
         self.words.pop();
         self.enumerator.retract(self.spec.graph, &mut self.sg);
+        // Commit: the unit completed, so its staged results become
+        // durable. Everything before this point is discardable, which is
+        // what lets the supervisor re-execute the unit from scratch.
+        self.count += self.staged_count;
+        self.staged_count = 0;
+        if !self.staged_collected.is_empty() {
+            self.collected.append(&mut self.staged_collected);
+        }
+        for (durable, staged) in self.shards.iter_mut().zip(self.staged_shards.iter_mut()) {
+            if !staged.is_empty() {
+                staged.drain_into(&mut **durable);
+            }
+        }
         ctx.track_state_bytes(self.state_bytes());
         // Drain the enumerator's kernel counters into the core stats (one
         // flush per unit keeps the hot path counter-local).
@@ -581,6 +616,22 @@ impl CoreTask for StepTask<'_> {
                 kc.arena_high_water_bytes,
             );
         }
+    }
+
+    fn abort_unit(&mut self, _ctx: &mut CoreCtx<'_>) {
+        // Discard everything the failed attempt staged; the re-execution
+        // (here or on another core) re-derives it from scratch.
+        // Participation masks are intentionally left alone — they are
+        // monotone and idempotent under replay (see the struct docs).
+        self.staged_count = 0;
+        self.staged_collected.clear();
+        for s in &mut self.staged_shards {
+            s.reset();
+        }
+        self.levels_registered = 0;
+        // Kernel counters of the aborted attempt would double-count scans:
+        // drop them.
+        let _ = self.enumerator.take_kernel_counters();
     }
 
     fn finish(&mut self, ctx: &mut CoreCtx<'_>) {

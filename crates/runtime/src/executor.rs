@@ -1,4 +1,5 @@
-//! Job execution: core main loops, context API and exact termination.
+//! Job execution: core main loops, context API, exact termination and
+//! supervised recovery.
 //!
 //! A *job* corresponds to one fractal step (§4): every core starts from an
 //! empty subgraph and a partition of the root extensions "determined
@@ -20,7 +21,27 @@
 //! never appear finished while a stolen fragment is in flight. The
 //! decrement that drives the counter to zero sets the `done` flag; idle
 //! cores and steal servers poll it.
+//!
+//! ## Supervision and recovery
+//!
+//! Every dispatched unit runs under `catch_unwind` with a retry budget and
+//! exponential backoff ([`dispatch_unit`]): a panicking unit's registered
+//! levels are retired (collecting the words thieves already took as
+//! [`ReplayExclusions`]) and the unit re-executes from scratch, skipping
+//! exactly those words. Fail-stopped ("killed") cores stop cooperating;
+//! the watchdog thread detects them — heartbeat staleness raises a trip,
+//! the core's own fail-stop flag confirms — and *reconciles*: unclaimed
+//! words of the dead core's pre-counted root partition and its in-flight
+//! unit become [`RecoveryUnit`]s on the global recovery queue, which
+//! surviving cores drain ahead of stealing. Every recovery unit carries
+//! exactly one pre-existing `pending` obligation, so no counter arithmetic
+//! happens at reconciliation and the invariant above survives worker
+//! death. Unit side effects are staged and committed only on unit success
+//! (see `fractal-core`), making re-execution exactly-once.
 
+use crate::fault::{
+    install_quiet_panic_hook, FaultCtx, RecoveryUnit, ReplayExclusions, WorkerKilled,
+};
 use crate::level::{CoreSlot, GlobalCoreId, LevelQueue, WorkerRegistry};
 use crate::stats::{CoreStats, JobReport};
 use crate::steal::{
@@ -28,7 +49,8 @@ use crate::steal::{
 };
 use crate::trace::{CoreTrace, EventKind, Recorder, TraceDump};
 use crate::{ClusterConfig, WsMode};
-use crossbeam::channel::{bounded, unbounded, Sender};
+use crossbeam::channel::{bounded, unbounded, RecvTimeoutError, Sender};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -57,9 +79,21 @@ impl JobState {
     }
 
     /// Completes one unit; the decrement that reaches zero flags `done`.
+    ///
+    /// A decrement past zero is a double-completion bug (e.g. a unit both
+    /// retried and reconciled): it fails loudly in debug builds and
+    /// saturates at zero in release builds, so a latent accounting bug
+    /// degrades to a too-early `done` instead of a counter wrapped
+    /// negative that can never terminate.
     #[inline]
     pub fn sub_pending(&self) {
-        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+        let prev = self.pending.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev > 0, "sub_pending underflow: pending was {prev}");
+        if prev <= 1 {
+            if prev < 1 {
+                // Saturate: undo the decrement that went below zero.
+                self.pending.fetch_add(1, Ordering::SeqCst);
+            }
             self.done.store(true, Ordering::SeqCst);
         }
     }
@@ -92,9 +126,23 @@ pub trait CoreTask: Send {
     /// Processes one dispatched unit: rebuild state from `prefix`, apply
     /// `word`, and run the DFS below it. Deeper levels must be registered
     /// through [`CoreCtx::push_level`] and fully drained before returning.
+    ///
+    /// Side effects must be *staged* and committed only when this method
+    /// returns normally: the supervisor may unwind it mid-flight and
+    /// re-execute the unit from scratch (after [`abort_unit`]
+    /// (Self::abort_unit)), and re-execution must not double-count.
     fn process_unit(&mut self, ctx: &mut CoreCtx<'_>, prefix: &[u64], word: u64);
 
+    /// Discards staged (uncommitted) side effects after `process_unit`
+    /// panicked, restoring the task for its next dispatch. Tasks whose
+    /// `process_unit` is side-effect-free until return need not override
+    /// this.
+    fn abort_unit(&mut self, _ctx: &mut CoreCtx<'_>) {}
+
     /// Called once per core after the job completes (merge shards, …).
+    /// Also called on a fail-stopped core before its thread exits: by the
+    /// durable-commit fault model, everything committed by completed units
+    /// survives the death.
     fn finish(&mut self, _ctx: &mut CoreCtx<'_>) {}
 }
 
@@ -103,6 +151,12 @@ pub struct CoreCtx<'a> {
     id: GlobalCoreId,
     slot: &'a CoreSlot,
     t0: Instant,
+    fcx: &'a FaultCtx,
+    total_workers: usize,
+    /// Replay exclusions of the unit currently being (re-)executed:
+    /// level-prefix → words already committed elsewhere, filtered out in
+    /// [`push_level`](Self::push_level). Empty on first executions.
+    exclusions: ReplayExclusions,
     /// Statistics being accumulated for this core.
     pub stats: CoreStats,
     /// The flight recorder of this core (no-op unless the job's
@@ -123,11 +177,45 @@ impl CoreCtx<'_> {
         self.t0.elapsed().as_nanos() as u64
     }
 
+    /// This core's health record.
+    #[inline]
+    fn health(&self) -> &crate::fault::CoreHealth {
+        self.fcx.health.core(self.id.worker, self.id.core)
+    }
+
+    /// Whether the fault plan wants this core to fail-stop now.
+    fn should_die_now(&self) -> bool {
+        match &self.fcx.injector {
+            Some(inj) => {
+                let now = self.t0.elapsed().as_nanos() as u64;
+                inj.should_die(self.id.worker, &self.fcx.ledger, now, self.total_workers)
+            }
+            None => false,
+        }
+    }
+
     /// Registers a new enumeration level (prefix snapshot + extensions) and
     /// returns its shared handle. The task claims words from the handle and
     /// **must** drain it (claim until `None`) before calling
     /// [`pop_level`](Self::pop_level).
+    ///
+    /// This is also the per-unit injection and supervision point: the
+    /// heartbeat is stamped here, replay exclusions are applied, and the
+    /// injector may stall the core, panic the unit at its configured depth,
+    /// or fail-stop the whole worker (unwinding with
+    /// [`WorkerKilled`]).
     pub fn push_level(&mut self, prefix: &[u64], extensions: Vec<u64>) -> Arc<LevelQueue> {
+        let mut extensions = extensions;
+        if !self.exclusions.is_empty() {
+            if let Some(excl) = self.exclusions.get(prefix) {
+                extensions.retain(|w| !excl.contains(w));
+            }
+        }
+        let now = self.now_ns();
+        self.health().beat(now);
+        if self.fcx.injector.is_some() {
+            self.fault_hooks(prefix.len());
+        }
         if self.recorder.is_enabled() {
             let t = self.now_ns();
             self.recorder.record(
@@ -141,6 +229,33 @@ impl CoreCtx<'_> {
         let level = Arc::new(LevelQueue::new(prefix.to_vec(), extensions, false));
         self.slot.push(level.clone());
         level
+    }
+
+    /// The cold injection path of [`push_level`](Self::push_level), kept
+    /// out of line so fault-free runs pay one `Option` check.
+    #[cold]
+    fn fault_hooks(&mut self, depth: usize) {
+        let Some(inj) = &self.fcx.injector else {
+            return;
+        };
+        let stall = inj.stall_ms(self.id.worker, self.id.core, &self.fcx.ledger);
+        if stall > 0 {
+            let t = self.now_ns();
+            self.recorder.record(t, EventKind::FaultInjected, 2, stall);
+            std::thread::sleep(Duration::from_millis(stall));
+            self.health().beat(self.now_ns());
+        }
+        if inj.should_panic_at(depth, &self.fcx.ledger) {
+            let t = self.now_ns();
+            self.recorder
+                .record(t, EventKind::FaultInjected, 1, depth as u64);
+            std::panic::panic_any(crate::fault::InjectedPanic { depth });
+        }
+        if self.should_die_now() {
+            let t = self.now_ns();
+            self.recorder.record(t, EventKind::FaultInjected, 0, 0);
+            std::panic::panic_any(WorkerKilled);
+        }
     }
 
     /// Unregisters the most recent level.
@@ -201,6 +316,110 @@ struct WorkerChannels {
     steal_tx: Vec<Sender<StealRequest>>,
 }
 
+/// What became of one dispatched unit.
+enum UnitFate {
+    /// The unit completed (possibly after retries) — or was deliberately
+    /// abandoned under a sabotaged-recovery plan. Its `pending` obligation
+    /// has been settled either way.
+    Done,
+    /// The core fail-stopped mid-unit. The obligation is still open; the
+    /// slot's levels and the health record hold everything the watchdog
+    /// needs to reconcile.
+    Died,
+}
+
+/// Runs one unit under supervision: `catch_unwind`, a retry budget with
+/// exponential backoff, heartbeat/in-flight bookkeeping, and exclusion
+/// collection from the levels a failed attempt abandoned. On success (or
+/// sabotage-abandonment) settles the unit's `pending` obligation.
+fn dispatch_unit(
+    task: &mut dyn CoreTask,
+    ctx: &mut CoreCtx<'_>,
+    job: &JobState,
+    prefix: &[u64],
+    word: u64,
+    exclusions: ReplayExclusions,
+) -> UnitFate {
+    ctx.fcx
+        .ledger
+        .units_dispatched
+        .fetch_add(1, Ordering::Relaxed);
+    let budget = ctx.fcx.retry_budget();
+    let mut excl = exclusions;
+    let mut attempt: u32 = 0;
+    ctx.health().set_inflight(prefix, word);
+    loop {
+        ctx.exclusions = std::mem::take(&mut excl);
+        let depth0 = ctx.slot.depth();
+        let start = ctx.now_ns();
+        ctx.health().beat(start);
+        ctx.recorder
+            .record(start, EventKind::TaskClaim, prefix.len() as u64, word);
+        // AssertUnwindSafe: on unwind the abandoned levels are popped and
+        // retired below and `abort_unit` discards the task's staged state,
+        // restoring every invariant a retry relies on.
+        let result = catch_unwind(AssertUnwindSafe(|| task.process_unit(ctx, prefix, word)));
+        excl = std::mem::take(&mut ctx.exclusions);
+        match result {
+            Ok(()) => {
+                let end = ctx.now_ns();
+                let service = end.saturating_sub(start);
+                ctx.recorder
+                    .record(end, EventKind::UnitDone, prefix.len() as u64, service);
+                ctx.recorder.record_service(service);
+                ctx.stats.record_segment(start, end);
+                job.sub_pending();
+                ctx.health().clear_inflight();
+                return UnitFate::Done;
+            }
+            Err(payload) => {
+                ctx.stats.record_segment(start, ctx.now_ns());
+                if payload.downcast_ref::<WorkerKilled>().is_some() {
+                    // Fail-stop: leave the slot's levels and the in-flight
+                    // record in place — reconciliation is the watchdog's
+                    // job — but hand it the exclusions earlier attempts
+                    // collected.
+                    ctx.health().stash_exclusions(excl);
+                    return UnitFate::Died;
+                }
+                // Retryable failure: retire the levels this attempt left
+                // behind, folding thief-claimed words into the exclusion
+                // set so the re-execution skips work already committed
+                // elsewhere.
+                while ctx.slot.depth() > depth0 {
+                    let lvl = ctx.slot.pop_top().expect("depth checked above");
+                    let stolen = lvl.retire_collect();
+                    if !stolen.is_empty() {
+                        excl.entry(lvl.prefix.clone()).or_default().extend(stolen);
+                    }
+                }
+                task.abort_unit(ctx);
+                if ctx.fcx.sabotaged() {
+                    // Deliberately broken recovery (chaos-gate self-test):
+                    // account the unit so the job terminates, but never
+                    // re-execute it.
+                    ctx.fcx.ledger.units_lost.fetch_add(1, Ordering::Relaxed);
+                    job.sub_pending();
+                    ctx.health().clear_inflight();
+                    return UnitFate::Done;
+                }
+                if attempt >= budget {
+                    // Budget exhausted: this is a genuine, persistent
+                    // failure — propagate it.
+                    std::panic::resume_unwind(payload);
+                }
+                attempt += 1;
+                ctx.fcx.ledger.units_retried.fetch_add(1, Ordering::Relaxed);
+                let backoff_us = (50u64 << attempt.min(10)).min(5_000);
+                let t = ctx.now_ns();
+                ctx.recorder
+                    .record(t, EventKind::UnitRetry, attempt as u64, backoff_us);
+                std::thread::sleep(Duration::from_micros(backoff_us));
+            }
+        }
+    }
+}
+
 /// Runs `spec` on a simulated cluster shaped by `config`; blocks until the
 /// job completes and returns the per-core report.
 pub fn run_job(spec: &dyn JobSpec, config: &ClusterConfig) -> JobReport {
@@ -210,6 +429,10 @@ pub fn run_job(spec: &dyn JobSpec, config: &ClusterConfig) -> JobReport {
     let total_cores = num_workers * cores_per_worker;
 
     let job = JobState::new(roots.len());
+    let fcx = FaultCtx::new(config.fault.clone(), num_workers, cores_per_worker);
+    if fcx.injector.is_some() {
+        install_quiet_panic_hook();
+    }
     let registries: Vec<Arc<WorkerRegistry>> = (0..num_workers)
         .map(|_| Arc::new(WorkerRegistry::new(cores_per_worker)))
         .collect();
@@ -245,10 +468,13 @@ pub fn run_job(spec: &dyn JobSpec, config: &ClusterConfig) -> JobReport {
                 let job = &job;
                 let registries = &registries;
                 let channels = &channels;
+                let fcx = &fcx;
                 handles.push((
                     id,
                     s.spawn(move || {
-                        core_main(spec, id, my_roots, job, registries, channels, config, t0)
+                        core_main(
+                            spec, id, my_roots, job, registries, channels, config, t0, fcx,
+                        )
                     }),
                 ));
             }
@@ -261,10 +487,18 @@ pub fn run_job(spec: &dyn JobSpec, config: &ClusterConfig) -> JobReport {
                 let job = &job;
                 let latency = config.net_latency_us;
                 let stats = &server_stats[w];
-                server_handles
-                    .push(s.spawn(move || steal_server(&registry, job, &rx, latency, stats)));
+                let fcx = &fcx;
+                server_handles.push(
+                    s.spawn(move || steal_server(&registry, w, job, &rx, latency, stats, fcx)),
+                );
             }
         }
+        // The watchdog runs only under a fault plan: fault-free jobs have
+        // no fail-stop to detect and pay nothing.
+        let watchdog = fcx
+            .injector
+            .is_some()
+            .then(|| s.spawn(|| watchdog_loop(&fcx, &registries, &job, t0)));
         for (id, h) in handles {
             let (stats, trace) = h.join().expect("core thread panicked");
             core_stats.push((id, stats));
@@ -272,6 +506,9 @@ pub fn run_job(spec: &dyn JobSpec, config: &ClusterConfig) -> JobReport {
         }
         for h in server_handles {
             h.join().expect("steal server panicked");
+        }
+        if let Some(h) = watchdog {
+            h.join().expect("watchdog panicked");
         }
     });
 
@@ -285,11 +522,114 @@ pub fn run_job(spec: &dyn JobSpec, config: &ClusterConfig) -> JobReport {
         bytes_served: sum(|s| s.bytes_served.load(Ordering::Relaxed)),
         steal_requests: sum(|s| s.requests.load(Ordering::Relaxed)),
         steal_hits: sum(|s| s.hits.load(Ordering::Relaxed)),
+        faults: fcx.ledger.snapshot(),
         trace: if config.trace.enabled {
             Some(TraceDump { cores: core_traces })
         } else {
             None
         },
+    }
+}
+
+/// The supervisor thread: polls heartbeats, trips on staleness, and
+/// reconciles fail-stopped cores.
+///
+/// Detection is two-phase (see `fault` module docs): heartbeat staleness
+/// only *counts a trip* — a merely-stuck core (e.g. a stalled one) must
+/// not be destructively re-owned while it may still resume. Destructive
+/// reconciliation happens only once the core's own fail-stop flag
+/// confirms death, after which [`reconcile_core`] turns its unclaimed and
+/// in-flight work into recovery units.
+fn watchdog_loop(fcx: &FaultCtx, registries: &[Arc<WorkerRegistry>], job: &JobState, t0: Instant) {
+    let timeout_ns = fcx.heartbeat_timeout_ns();
+    let poll = Duration::from_millis(fcx.watchdog_poll_ms().max(1));
+    let cpw = fcx.health.cores_per_worker.max(1);
+    let mut tripped = vec![false; fcx.health.cores.len()];
+    while !job.done() {
+        std::thread::sleep(poll);
+        let now = t0.elapsed().as_nanos() as u64;
+        for (gi, health) in fcx.health.cores.iter().enumerate() {
+            if health.reconciled.load(Ordering::SeqCst) {
+                continue;
+            }
+            let beat = health.beat_ns.load(Ordering::Relaxed);
+            let stale = beat != 0 && now.saturating_sub(beat) > timeout_ns;
+            let dead = health.is_dead();
+            if (stale || dead) && !tripped[gi] {
+                tripped[gi] = true;
+                fcx.ledger.watchdog_trips.fetch_add(1, Ordering::Relaxed);
+            }
+            if dead {
+                let slot = &registries[gi / cpw].slots[gi % cpw];
+                reconcile_core(fcx, slot, health, job);
+                health.reconciled.store(true, Ordering::SeqCst);
+                if let Some(inj) = &fcx.injector {
+                    if inj.kill_fired() && inj.targets_worker(gi / cpw) {
+                        let killed_at = inj.killed_at_ns.load(Ordering::SeqCst);
+                        let end = t0.elapsed().as_nanos() as u64;
+                        fcx.ledger
+                            .recovery_ns
+                            .fetch_add(end.saturating_sub(killed_at), Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Turns a confirmed-dead core's remaining work into recovery units:
+///
+/// * every unclaimed word of its **pre-counted** levels (the root
+///   partition) becomes a bare recovery unit — each already owns one
+///   `pending` obligation;
+/// * its **uncounted** levels belong to the in-flight unit's subtree:
+///   their thief-claimed words become replay exclusions, their unclaimed
+///   words are re-enumerated by the in-flight unit's re-execution;
+/// * the in-flight unit itself (if any) becomes a recovery unit carrying
+///   those exclusions plus whatever earlier failed attempts stashed.
+///
+/// All levels are retired first, fencing concurrent thieves, so the
+/// exclusion sets are exact. Under a sabotaged plan the obligations are
+/// settled without re-execution (guaranteed-wrong results, but guaranteed
+/// termination — the chaos gate's self-test relies on both).
+fn reconcile_core(
+    fcx: &FaultCtx,
+    slot: &CoreSlot,
+    health: &crate::fault::CoreHealth,
+    job: &JobState,
+) {
+    let mut exclusions = health.take_exclusions();
+    for lvl in slot.drain_levels() {
+        let stolen = lvl.retire_collect();
+        if lvl.counted {
+            while let Some(w) = lvl.queue.claim() {
+                if fcx.sabotaged() {
+                    fcx.ledger.units_lost.fetch_add(1, Ordering::Relaxed);
+                    job.sub_pending();
+                } else {
+                    fcx.recovery.push(RecoveryUnit::bare(lvl.prefix.clone(), w));
+                }
+            }
+            // Thief-claimed words of a counted level carry their own
+            // obligation with the thief — nothing to reconcile.
+        } else if !stolen.is_empty() {
+            exclusions
+                .entry(lvl.prefix.clone())
+                .or_default()
+                .extend(stolen);
+        }
+    }
+    if let Some((prefix, word)) = health.take_inflight() {
+        if fcx.sabotaged() {
+            fcx.ledger.units_lost.fetch_add(1, Ordering::Relaxed);
+            job.sub_pending();
+        } else {
+            fcx.recovery.push(RecoveryUnit {
+                prefix,
+                word,
+                exclusions,
+            });
+        }
     }
 }
 
@@ -303,60 +643,99 @@ fn core_main(
     channels: &WorkerChannels,
     config: &ClusterConfig,
     t0: Instant,
+    fcx: &FaultCtx,
 ) -> (CoreStats, CoreTrace) {
     let slot = &registries[id.worker].slots[id.core];
     let mut ctx = CoreCtx {
         id,
         slot,
         t0,
+        fcx,
+        total_workers: registries.len(),
+        exclusions: ReplayExclusions::new(),
         stats: CoreStats::default(),
         recorder: Recorder::new(config.trace),
     };
+    ctx.health().beat(ctx.now_ns().max(1));
     let mut task = spec.make_core_task(id);
+    let mut died = false;
 
     // Phase 1: drain the pre-counted root partition.
     if !my_roots.is_empty() {
         let root = Arc::new(LevelQueue::new(Vec::new(), my_roots, true));
         slot.push(root.clone());
-        while let Some(w) = root.queue.claim() {
-            let start = ctx.now_ns();
-            ctx.recorder.record(start, EventKind::TaskClaim, 0, w);
-            task.process_unit(&mut ctx, &[], w);
-            let end = ctx.now_ns();
-            let service = end.saturating_sub(start);
-            ctx.recorder.record(end, EventKind::UnitDone, 0, service);
-            ctx.recorder.record_service(service);
-            ctx.stats.record_segment(start, end);
-            job.sub_pending();
+        loop {
+            if ctx.should_die_now() {
+                died = true;
+                break;
+            }
+            let Some(w) = root.queue.claim() else { break };
+            match dispatch_unit(&mut *task, &mut ctx, job, &[], w, ReplayExclusions::new()) {
+                UnitFate::Done => {}
+                UnitFate::Died => {
+                    died = true;
+                    break;
+                }
+            }
         }
-        slot.pop();
+        // On death the root level stays registered: its unclaimed words
+        // are the watchdog's to re-own.
+        if !died {
+            slot.pop();
+        }
     }
 
-    // Phase 2: steal until the whole job is done.
-    if config.ws_mode != WsMode::Disabled {
-        steal_loop(
-            spec, &mut *task, &mut ctx, job, registries, channels, config,
-        );
+    // Phase 2: steal (and drain recovery units) until the whole job is
+    // done. Under a fault plan this loop runs even with stealing disabled:
+    // recovery units need consumers.
+    if !died && (config.ws_mode != WsMode::Disabled || fcx.injector.is_some()) {
+        died = steal_loop(&mut *task, &mut ctx, job, registries, channels, config);
     }
 
+    if died {
+        // Fail-stop: publish death for the watchdog (which owns all
+        // reconciliation), then exit the thread so the scoped join works.
+        // `finish` still runs — by the durable-commit model, state
+        // committed by completed units survives.
+        ctx.health().mark_dead();
+    }
     task.finish(&mut ctx);
     (ctx.stats, ctx.recorder.into_core_trace(id))
 }
 
+/// The thief loop of one idle core. Priority order: recovery units (lost
+/// work is the oldest in the job), then internal steals, then external.
+/// Returns `true` if the core fail-stopped.
 fn steal_loop(
-    _spec: &dyn JobSpec,
     task: &mut dyn CoreTask,
     ctx: &mut CoreCtx<'_>,
     job: &JobState,
     registries: &[Arc<WorkerRegistry>],
     channels: &WorkerChannels,
     config: &ClusterConfig,
-) {
+) -> bool {
     let id = ctx.core_id();
     let num_workers = registries.len();
     loop {
         if job.done() {
-            return;
+            return false;
+        }
+        ctx.health().beat(ctx.now_ns());
+        if ctx.should_die_now() {
+            return true;
+        }
+        if let Some(ru) = ctx.fcx.recovery.pop() {
+            ctx.fcx
+                .ledger
+                .units_reexecuted
+                .fetch_add(1, Ordering::Relaxed);
+            let t = ctx.now_ns();
+            ctx.recorder
+                .record(t, EventKind::UnitReexec, ru.prefix.len() as u64, ru.word);
+            match dispatch_unit(task, ctx, job, &ru.prefix, ru.word, ru.exclusions) {
+                UnitFate::Done => continue,
+                UnitFate::Died => return true,
+            }
         }
         let steal_start = ctx.now_ns();
         let mut stolen: Option<(StolenUnit, bool)> = None;
@@ -397,26 +776,22 @@ fn steal_loop(
                 } else {
                     ctx.stats.internal_steals += 1;
                 }
-                let start = ctx.now_ns();
-                ctx.recorder.record(
-                    start,
-                    EventKind::TaskClaim,
-                    unit.prefix.len() as u64,
+                match dispatch_unit(
+                    task,
+                    ctx,
+                    job,
+                    &unit.prefix,
                     unit.word,
-                );
-                task.process_unit(ctx, &unit.prefix, unit.word);
-                let end = ctx.now_ns();
-                let service = end.saturating_sub(start);
-                ctx.recorder
-                    .record(end, EventKind::UnitDone, unit.prefix.len() as u64, service);
-                ctx.recorder.record_service(service);
-                ctx.stats.record_segment(start, end);
-                job.sub_pending();
+                    ReplayExclusions::new(),
+                ) {
+                    UnitFate::Done => {}
+                    UnitFate::Died => return true,
+                }
             }
             None => {
                 ctx.stats.failed_steal_rounds += 1;
                 if job.done() {
-                    return;
+                    return false;
                 }
                 std::thread::park_timeout(Duration::from_micros(50));
             }
@@ -428,6 +803,11 @@ fn steal_loop(
 /// round-robin starting after our own. Returns the unit (if any) plus the
 /// *active* nanoseconds spent (send/decode — excluding the blocked wait
 /// for the server's reply, which is idle time).
+///
+/// Replies are checksummed and acked: a clean decode is acked `true`
+/// (from then on this core's supervision owns the unit), a corrupt
+/// payload is nacked so the serving worker requeues the original for
+/// recovery — the corruption costs a round-trip, never a subgraph.
 fn steal_external(
     ctx: &mut CoreCtx<'_>,
     job: &JobState,
@@ -452,10 +832,12 @@ fn steal_external(
         }
         // The server always replies unless the job finished; on `done` any
         // in-flight reply is guaranteed to be `None` (claims cannot succeed
-        // once pending is zero), so abandoning is safe.
+        // once pending is zero), so abandoning is safe. A dropped request
+        // (fault injection or server exit) surfaces as a disconnect —
+        // move on to the next victim rather than waiting out the timeout.
         loop {
             match reply_rx.recv_timeout(Duration::from_millis(10)) {
-                Ok(Some(bytes)) => {
+                Ok(Some(reply)) => {
                     let t_decode = ctx.now_ns();
                     if ctx.recorder.is_enabled() {
                         ctx.recorder.record(
@@ -468,13 +850,24 @@ fn steal_external(
                             t_decode,
                             EventKind::ExternalSteal,
                             victim as u64,
-                            bytes.len() as u64,
+                            reply.bytes.len() as u64,
                         );
                     }
-                    ctx.stats.bytes_received += bytes.len() as u64;
-                    let unit = decode_unit(&bytes);
-                    active_ns += ctx.now_ns().saturating_sub(t_decode);
-                    return (Some(unit), active_ns);
+                    ctx.stats.bytes_received += reply.bytes.len() as u64;
+                    match decode_unit(&reply.bytes) {
+                        Ok(unit) => {
+                            let _ = reply.ack.send(true);
+                            active_ns += ctx.now_ns().saturating_sub(t_decode);
+                            return (Some(unit), active_ns);
+                        }
+                        Err(_) => {
+                            // Corrupt in flight: nack so the server
+                            // requeues the original, and try elsewhere.
+                            let _ = reply.ack.send(false);
+                            active_ns += ctx.now_ns().saturating_sub(t_decode);
+                            break;
+                        }
+                    }
                 }
                 Ok(None) => {
                     if ctx.recorder.is_enabled() {
@@ -488,7 +881,8 @@ fn steal_external(
                     }
                     break;
                 }
-                Err(_) => {
+                Err(RecvTimeoutError::Disconnected) => break,
+                Err(RecvTimeoutError::Timeout) => {
                     if job.done() {
                         return (None, active_ns);
                     }
@@ -502,6 +896,7 @@ fn steal_external(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultConfig;
     use std::sync::atomic::AtomicU64;
 
     #[test]
@@ -521,6 +916,47 @@ mod tests {
     fn empty_job_is_immediately_done() {
         let j = JobState::new(0);
         assert!(j.done());
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "sub_pending underflow"))]
+    fn sub_pending_underflow_is_caught_or_saturated() {
+        let j = JobState::new(1);
+        j.sub_pending();
+        j.sub_pending(); // double-completion bug
+                         // Release builds saturate instead of wrapping negative.
+        assert_eq!(j.pending(), 0);
+        assert!(j.done());
+    }
+
+    /// Satellite stress test: 8 threads hammer claim/steal/complete
+    /// through the counter; the invariant (never negative, done exactly at
+    /// zero) must hold under full contention.
+    #[test]
+    fn pending_counter_stress_8_threads() {
+        const THREADS: usize = 8;
+        const UNITS_PER_THREAD: usize = 2_000;
+        let job = JobState::new(THREADS * UNITS_PER_THREAD);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for i in 0..UNITS_PER_THREAD {
+                        // Every third unit simulates an uncounted steal:
+                        // inflate, then complete both the steal and the
+                        // covering unit.
+                        if i % 3 == 0 {
+                            job.add_pending(1);
+                            assert!(job.pending() > 0);
+                            job.sub_pending();
+                        }
+                        assert!(!job.done(), "done flipped early");
+                        job.sub_pending();
+                    }
+                });
+            }
+        });
+        assert!(job.done());
+        assert_eq!(job.pending(), 0);
     }
 
     /// A trivial job: each root word contributes `word` to a shared sum.
@@ -578,13 +1014,17 @@ mod tests {
                 assert_eq!(report.cores.len(), w * c);
                 let units: u64 = report.cores.iter().map(|(_, s)| s.units).sum();
                 assert_eq!(units, 100);
+                // Fault-free runs must report all-zero recovery metrics.
+                assert_eq!(report.faults, crate::fault::FaultStats::default());
             }
         }
     }
 
     /// A two-level job: each root spawns an inner level of `fanout`
     /// sub-words, with an artificial skew (all roots land on core 0's
-    /// partition modulo striding) to force stealing.
+    /// partition modulo striding) to force stealing. Fully re-executable:
+    /// `process_unit` stages into `staged` and commits on return, so the
+    /// supervision tests below can panic/kill it arbitrarily.
     struct TreeSpec {
         roots: Vec<u64>,
         fanout: u64,
@@ -594,6 +1034,7 @@ mod tests {
     struct TreeTask<'a> {
         spec: &'a TreeSpec,
         local: u64,
+        staged: u64,
     }
     impl JobSpec for TreeSpec {
         fn roots(&self) -> Vec<u64> {
@@ -603,26 +1044,34 @@ mod tests {
             Box::new(TreeTask {
                 spec: self,
                 local: 0,
+                staged: 0,
             })
         }
     }
     impl CoreTask for TreeTask<'_> {
         fn process_unit(&mut self, ctx: &mut CoreCtx<'_>, prefix: &[u64], word: u64) {
+            self.staged = 0;
             if !prefix.is_empty() {
                 // Leaf unit (stolen from an inner level).
                 crate::steal::spin_latency(self.spec.leaf_work_ns / 1000);
-                self.local += word;
-                return;
+                self.staged += word;
+            } else {
+                // Root: register an inner level and drain it.
+                let exts: Vec<u64> = (0..self.spec.fanout).collect();
+                let words = [word];
+                let level = ctx.push_level(&words, exts);
+                while let Some(w) = level.queue.claim() {
+                    crate::steal::spin_latency(self.spec.leaf_work_ns / 1000);
+                    self.staged += w;
+                }
+                ctx.pop_level();
             }
-            // Root: register an inner level and drain it.
-            let exts: Vec<u64> = (0..self.spec.fanout).collect();
-            let words = [word];
-            let level = ctx.push_level(&words, exts);
-            while let Some(w) = level.queue.claim() {
-                crate::steal::spin_latency(self.spec.leaf_work_ns / 1000);
-                self.local += w;
-            }
-            ctx.pop_level();
+            // Commit: the unit completed.
+            self.local += self.staged;
+            self.staged = 0;
+        }
+        fn abort_unit(&mut self, _ctx: &mut CoreCtx<'_>) {
+            self.staged = 0;
         }
         fn finish(&mut self, _ctx: &mut CoreCtx<'_>) {
             self.spec.total.fetch_add(self.local, Ordering::SeqCst);
@@ -688,6 +1137,150 @@ mod tests {
         assert!(report.trace.is_none());
     }
 
+    fn tree_spec() -> TreeSpec {
+        TreeSpec {
+            roots: vec![1, 2, 3, 4, 5, 6],
+            fanout: 64,
+            leaf_work_ns: 60_000,
+            total: AtomicU64::new(0),
+        }
+    }
+
+    fn tree_expected(spec: &TreeSpec) -> u64 {
+        spec.roots.len() as u64 * (0..spec.fanout).sum::<u64>()
+    }
+
+    #[test]
+    fn unit_panics_are_retried_to_exact_results() {
+        for seed in [1u64, 2, 3] {
+            let spec = tree_spec();
+            let expected = tree_expected(&spec);
+            let report = run_job(
+                &spec,
+                &ClusterConfig::local(2, 2)
+                    .with_latency_us(0)
+                    .with_faults(FaultConfig::unit_panic(seed, 1)),
+            );
+            assert_eq!(
+                spec.total.load(Ordering::SeqCst),
+                expected,
+                "seed {seed}: retried units must not double-count"
+            );
+            assert!(report.faults.faults_injected > 0, "seed {seed}");
+            assert_eq!(report.faults.units_retried, report.faults.faults_injected);
+            assert_eq!(report.faults.units_lost, 0);
+        }
+    }
+
+    #[test]
+    fn worker_kill_recovers_on_survivors() {
+        for seed in [1u64, 7] {
+            let spec = tree_spec();
+            let expected = tree_expected(&spec);
+            let report = run_job(
+                &spec,
+                &ClusterConfig::local(2, 2)
+                    .with_latency_us(0)
+                    .with_faults(FaultConfig::worker_kill(seed, 1).with_kill_after_units(1)),
+            );
+            assert_eq!(
+                spec.total.load(Ordering::SeqCst),
+                expected,
+                "seed {seed}: survivors must recover the dead worker's partition exactly"
+            );
+            assert_eq!(report.faults.faults_injected, 1);
+            assert!(report.faults.watchdog_trips > 0, "death must be detected");
+            assert!(report.faults.units_lost == 0);
+            assert!(report.faults.recovery_ns > 0);
+        }
+    }
+
+    #[test]
+    fn kill_with_stealing_disabled_still_recovers() {
+        // Recovery units need consumers even when work stealing is off —
+        // the steal loop must run in recovery-only mode.
+        let spec = tree_spec();
+        let expected = tree_expected(&spec);
+        run_job(
+            &spec,
+            &ClusterConfig::local(2, 2)
+                .with_ws(WsMode::Disabled)
+                .with_faults(FaultConfig::worker_kill(3, 1).with_kill_after_units(1)),
+        );
+        assert_eq!(spec.total.load(Ordering::SeqCst), expected);
+    }
+
+    #[test]
+    fn stall_trips_watchdog_without_destruction() {
+        let spec = tree_spec();
+        let expected = tree_expected(&spec);
+        let report = run_job(
+            &spec,
+            &ClusterConfig::local(1, 2)
+                .with_latency_us(0)
+                .with_faults(FaultConfig::stall(5, 0, 0, 100).with_heartbeat_timeout_ms(10)),
+        );
+        assert_eq!(spec.total.load(Ordering::SeqCst), expected);
+        assert!(report.faults.watchdog_trips > 0, "stall must trip watchdog");
+        // Stuck is not dead: nothing may be re-owned or re-executed.
+        assert_eq!(report.faults.units_reexecuted, 0);
+    }
+
+    #[test]
+    fn sabotaged_recovery_terminates_with_wrong_results() {
+        // The chaos gate's self-test contract: with recovery deliberately
+        // broken the job still terminates, but drops work — and says so.
+        let spec = tree_spec();
+        let expected = tree_expected(&spec);
+        let report = run_job(
+            &spec,
+            &ClusterConfig::local(2, 2).with_latency_us(0).with_faults(
+                FaultConfig::worker_kill(1, 1)
+                    .with_kill_after_units(1)
+                    .with_sabotaged_recovery(),
+            ),
+        );
+        assert!(report.faults.units_lost > 0, "sabotage must drop units");
+        assert!(
+            spec.total.load(Ordering::SeqCst) < expected,
+            "dropped units must be missing from the result"
+        );
+    }
+
+    #[test]
+    fn corrupt_steal_replies_are_detected_and_requeued() {
+        for seed in [2u64, 9] {
+            let spec = tree_spec();
+            let expected = tree_expected(&spec);
+            let report = run_job(
+                &spec,
+                &ClusterConfig::local(2, 2)
+                    .with_latency_us(0)
+                    .with_faults(FaultConfig::corrupt_unit(seed)),
+            );
+            assert_eq!(spec.total.load(Ordering::SeqCst), expected, "seed {seed}");
+            if report.faults.faults_injected > 0 {
+                assert!(
+                    report.faults.units_reexecuted > 0,
+                    "seed {seed}: corrupted units must be re-executed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_steal_requests_do_not_hang_the_job() {
+        let spec = tree_spec();
+        let expected = tree_expected(&spec);
+        run_job(
+            &spec,
+            &ClusterConfig::local(2, 2)
+                .with_latency_us(0)
+                .with_faults(FaultConfig::steal_drop(4)),
+        );
+        assert_eq!(spec.total.load(Ordering::SeqCst), expected);
+    }
+
     // Asserts on retained events, which require the `trace` feature to be
     // compiled in (Recorder::record is a no-op otherwise).
     #[cfg(feature = "trace")]
@@ -749,5 +1342,35 @@ mod tests {
         let json = report.to_json(8);
         assert!(json.contains("\"trace\": {"));
         assert!(json.contains("\"steal_latency_ns\""));
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn trace_records_fault_events() {
+        use crate::trace::TraceConfig;
+        let spec = tree_spec();
+        let report = run_job(
+            &spec,
+            &ClusterConfig::local(2, 2)
+                .with_latency_us(0)
+                .with_trace(TraceConfig::enabled())
+                .with_faults(FaultConfig::unit_panic(1, 1)),
+        );
+        let dump = report.trace.as_ref().expect("trace enabled");
+        let count_kind = |k: EventKind| -> u64 {
+            dump.cores
+                .iter()
+                .flat_map(|c| c.events.iter())
+                .filter(|e| e.kind == k)
+                .count() as u64
+        };
+        assert_eq!(
+            count_kind(EventKind::FaultInjected),
+            report.faults.faults_injected
+        );
+        assert_eq!(
+            count_kind(EventKind::UnitRetry),
+            report.faults.units_retried
+        );
     }
 }

@@ -26,6 +26,19 @@ impl std::fmt::Display for GlobalCoreId {
     }
 }
 
+/// Thief-side claim log of one level: which words left the level through
+/// steals, plus the retirement flag that fences new steals off a level
+/// whose owning unit failed. Guarded by one mutex so retirement and claim
+/// recording cannot interleave (see [`LevelQueue::thief_claim`]).
+#[derive(Debug, Default)]
+struct StealLog {
+    /// Words claimed by thieves (processed-and-committed elsewhere).
+    stolen: Vec<u64>,
+    /// Once set, thieves refuse the level; set by supervision when the
+    /// owning unit is about to be re-executed.
+    retired: bool,
+}
+
 /// One stealable enumeration level: the word prefix it extends plus the
 /// shared claimable extension list.
 #[derive(Debug)]
@@ -37,6 +50,8 @@ pub struct LevelQueue {
     /// Whether this queue's words are pre-counted in the job's `pending`
     /// counter (true only for the root partitions).
     pub counted: bool,
+    /// Thief claims + retirement fence (supervised recovery).
+    steal_log: Mutex<StealLog>,
 }
 
 impl LevelQueue {
@@ -46,7 +61,41 @@ impl LevelQueue {
             prefix,
             queue: ExtensionQueue::new(extensions),
             counted,
+            steal_log: Mutex::new(StealLog::default()),
         }
+    }
+
+    /// Claims one word on behalf of a *thief*, recording it in the steal
+    /// log. Returns `None` when the level is exhausted or retired.
+    ///
+    /// The log mutex makes claim-vs-retire atomic: a thief claim either
+    /// happens before retirement (and is then visible in the collected
+    /// exclusion set, so the re-executed unit skips it) or is refused
+    /// outright. Owner claims bypass the log — the owner's own progress is
+    /// discarded wholesale on failure (staged commits), so it needs no
+    /// exclusion accounting.
+    pub fn thief_claim(&self) -> Option<u64> {
+        let mut log = self.steal_log.lock();
+        if log.retired {
+            return None;
+        }
+        let w = self.queue.claim()?;
+        log.stolen.push(w);
+        Some(w)
+    }
+
+    /// Retires the level (no further thief claims) and returns the words
+    /// thieves took from it — the replay-exclusion set of the owning
+    /// unit's re-execution.
+    pub fn retire_collect(&self) -> Vec<u64> {
+        let mut log = self.steal_log.lock();
+        log.retired = true;
+        std::mem::take(&mut log.stolen)
+    }
+
+    /// Whether the level has been retired (racy hint for victim scans).
+    pub fn is_retired(&self) -> bool {
+        self.steal_log.lock().retired
     }
 
     /// Depth of this level = number of prefix words.
@@ -92,12 +141,29 @@ impl CoreSlot {
     /// the level concurrently.
     pub fn find_stealable(&self) -> Option<Arc<LevelQueue>> {
         let levels = self.levels.lock();
-        levels.iter().find(|l| l.queue.has_remaining()).cloned()
+        levels
+            .iter()
+            .find(|l| l.queue.has_remaining() && !l.is_retired())
+            .cloned()
     }
 
     /// Whether any level currently has unclaimed extensions (racy hint).
     pub fn has_stealable(&self) -> bool {
-        self.levels.lock().iter().any(|l| l.queue.has_remaining())
+        self.levels
+            .lock()
+            .iter()
+            .any(|l| l.queue.has_remaining() && !l.is_retired())
+    }
+
+    /// Pops and returns the top level (supervision-side cleanup after a
+    /// failed unit).
+    pub fn pop_top(&self) -> Option<Arc<LevelQueue>> {
+        self.levels.lock().pop()
+    }
+
+    /// Drains every registered level (dead-core reconciliation).
+    pub fn drain_levels(&self) -> Vec<Arc<LevelQueue>> {
+        std::mem::take(&mut *self.levels.lock())
     }
 
     /// Number of live levels (diagnostics).
@@ -201,6 +267,43 @@ mod tests {
                     // The thief's Arc is still valid.
         assert_eq!(stolen.prefix, vec![7]);
         assert_eq!(stolen.queue.claim(), Some(9));
+    }
+
+    #[test]
+    fn thief_claims_logged_and_fenced_by_retirement() {
+        let l = LevelQueue::new(vec![1], vec![10, 20, 30], false);
+        // Thief takes one word; owner takes one directly (not logged).
+        assert_eq!(l.thief_claim(), Some(10));
+        assert_eq!(l.queue.claim(), Some(20));
+        // Retirement returns exactly the thief-claimed words…
+        let stolen = l.retire_collect();
+        assert_eq!(stolen, vec![10]);
+        assert!(l.is_retired());
+        // …and fences later thief claims even though words remain.
+        assert!(l.queue.has_remaining());
+        assert_eq!(l.thief_claim(), None);
+    }
+
+    #[test]
+    fn retired_levels_invisible_to_scans() {
+        let slot = CoreSlot::new();
+        let l = Arc::new(LevelQueue::new(vec![], vec![1, 2], false));
+        slot.push(l.clone());
+        assert!(slot.has_stealable());
+        l.retire_collect();
+        assert!(!slot.has_stealable());
+        assert!(slot.find_stealable().is_none());
+    }
+
+    #[test]
+    fn drain_levels_empties_slot() {
+        let slot = CoreSlot::new();
+        slot.push(Arc::new(LevelQueue::new(vec![], vec![1], true)));
+        slot.push(Arc::new(LevelQueue::new(vec![1], vec![2], false)));
+        let drained = slot.drain_levels();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(slot.depth(), 0);
+        assert_eq!(slot.pop_top().map(|_| ()), None);
     }
 
     #[test]

@@ -20,12 +20,14 @@
 //! - [`trace`] — the flight recorder: per-core event rings + histograms.
 
 pub mod executor;
+pub mod fault;
 pub mod level;
 pub mod stats;
 pub mod steal;
 pub mod trace;
 
 pub use executor::{run_job, CoreCtx, CoreTask, JobSpec};
+pub use fault::{FaultConfig, FaultStats};
 pub use level::{GlobalCoreId, LevelQueue};
 pub use stats::{CoreStats, JobReport};
 pub use trace::{EventKind, TraceConfig, TraceDump, TraceEvent};
@@ -80,6 +82,10 @@ pub struct ClusterConfig {
     /// benchmarks and debugging sessions can reproduce the historical
     /// execution shape in the same binary.
     pub engine_compat: bool,
+    /// Deterministic fault-injection plan (chaos testing). `None` — the
+    /// default — runs fault-free: no injector, no watchdog thread, and the
+    /// recovery counters in the report stay zero.
+    pub fault: Option<fault::FaultConfig>,
 }
 
 impl ClusterConfig {
@@ -93,6 +99,7 @@ impl ClusterConfig {
             net_latency_us: 50,
             trace: TraceConfig::default(),
             engine_compat: false,
+            fault: None,
         }
     }
 
@@ -123,6 +130,13 @@ impl ClusterConfig {
     /// [`ClusterConfig::engine_compat`]).
     pub fn with_engine_compat(mut self, compat: bool) -> Self {
         self.engine_compat = compat;
+        self
+    }
+
+    /// Returns the config with a fault-injection plan installed (enables
+    /// the watchdog and the chaos machinery for this job).
+    pub fn with_faults(mut self, plan: fault::FaultConfig) -> Self {
+        self.fault = Some(plan);
         self
     }
 

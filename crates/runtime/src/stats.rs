@@ -5,6 +5,7 @@
 //! utilization and per-task runtimes), Table 2 (memory per worker), §4.3
 //! (extension cost) and §6 (work-stealing overhead).
 
+use crate::fault::FaultStats;
 use crate::level::GlobalCoreId;
 use crate::trace::{json_escape, Histogram, TraceDump};
 use std::time::Duration;
@@ -82,6 +83,9 @@ pub struct JobReport {
     pub steal_requests: u64,
     /// Steal requests answered with a unit across all steal servers.
     pub steal_hits: u64,
+    /// Fault-injection and recovery counters (all zero on a fault-free
+    /// run; the perf gate asserts this).
+    pub faults: FaultStats,
     /// The flight-recorder dump, present when the job ran with
     /// [`TraceConfig::enabled`](crate::trace::TraceConfig) tracing.
     pub trace: Option<TraceDump>,
@@ -249,6 +253,27 @@ impl JobReport {
         out.push_str(&format!("  \"steal_hits\": {},\n", self.steal_hits));
         out.push_str(&format!("  \"bytes_served\": {},\n", self.bytes_served));
         out.push_str(&format!(
+            "  \"faults_injected\": {},\n",
+            self.faults.faults_injected
+        ));
+        out.push_str(&format!(
+            "  \"units_retried\": {},\n",
+            self.faults.units_retried
+        ));
+        out.push_str(&format!(
+            "  \"units_reexecuted\": {},\n",
+            self.faults.units_reexecuted
+        ));
+        out.push_str(&format!(
+            "  \"watchdog_trips\": {},\n",
+            self.faults.watchdog_trips
+        ));
+        out.push_str(&format!(
+            "  \"recovery_ns\": {},\n",
+            self.faults.recovery_ns
+        ));
+        out.push_str(&format!("  \"units_lost\": {},\n", self.faults.units_lost));
+        out.push_str(&format!(
             "  \"worker_state_bytes\": {},\n",
             json_u64_array(&self.worker_state_bytes())
         ));
@@ -377,6 +402,7 @@ mod tests {
             bytes_served: 0,
             steal_requests: 0,
             steal_hits: 0,
+            faults: FaultStats::default(),
             trace: None,
         }
     }
@@ -436,6 +462,7 @@ mod tests {
             bytes_served: 0,
             steal_requests: 0,
             steal_hits: 0,
+            faults: FaultStats::default(),
             trace: None,
         };
         assert_eq!(r.worker_state_bytes(), vec![100, 50]);
@@ -458,6 +485,13 @@ mod tests {
         assert!(json.contains("\"steal_requests\": 5"));
         assert!(json.contains("\"bytes_served\": 44"));
         assert!(json.contains("\"trace\": null"));
+        // Fault counters are always present (zero on fault-free runs).
+        assert!(json.contains("\"faults_injected\": 0"));
+        assert!(json.contains("\"units_retried\": 0"));
+        assert!(json.contains("\"units_reexecuted\": 0"));
+        assert!(json.contains("\"watchdog_trips\": 0"));
+        assert!(json.contains("\"recovery_ns\": 0"));
+        assert!(json.contains("\"units_lost\": 0"));
         // A 4-bucket timeline over a fully-busy single core is all ones.
         assert!(json.contains("\"utilization_timeline\": [1.000000, 1.000000, 1.000000, 1.000000]"));
     }

@@ -4,15 +4,28 @@
 //! level queues. External steals go through a per-worker *steal server*
 //! (the actor of Fig. 6c/9b): the idle core sends a request, the victim's
 //! server claims one extension on its behalf, serializes `(prefix, word)`
-//! into a length-prefixed byte buffer, applies the simulated network
-//! latency and replies. "A subgraph enumerator (prefix) represents a
-//! unique independent piece of work that can be shipped to any worker"
+//! into a length-prefixed, checksummed byte buffer, applies the simulated
+//! network latency and replies. "A subgraph enumerator (prefix) represents
+//! a unique independent piece of work that can be shipped to any worker"
 //! (§4.2).
+//!
+//! ## Exactly-once under faults
+//!
+//! Serving a unit moves a pending-counter obligation across the wire, so
+//! the reply carries an **ack channel**: the requester acks `true` after a
+//! successful checksum-verified decode (before processing — from then on
+//! its own supervision owns the unit), or `false` when the payload is
+//! corrupt. The server parks every served unit in an unacked list and
+//! requeues it onto the global [`RecoveryQueue`](crate::fault::RecoveryQueue)
+//! when it is nacked — or when the requester vanished (dropped channel)
+//! before acking. Either way the obligation lands on exactly one owner and
+//! the job's `pending` invariant survives lost or mangled messages.
 
 use crate::executor::JobState;
+use crate::fault::{FaultCtx, RecoveryUnit};
 use crate::level::{LevelQueue, WorkerRegistry};
 use bytes::{Buf, BufMut, BytesMut};
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use std::time::{Duration, Instant};
@@ -29,12 +42,14 @@ pub struct StolenUnit {
 /// Claims one extension from `level`, maintaining the job's pending
 /// accounting: uncounted (inner) queues are inflated *before* the claim so
 /// the work can never be considered finished while the stolen unit is in
-/// flight; the claimer owes one `sub_pending` after processing.
+/// flight; the claimer owes one `sub_pending` after processing. Thief
+/// claims are recorded in the level's steal log so a failed owner's
+/// re-execution can exclude them (see [`LevelQueue::thief_claim`]).
 pub fn try_claim(level: &LevelQueue, job: &JobState) -> Option<u64> {
     if !level.counted {
         job.add_pending(1);
     }
-    match level.queue.claim() {
+    match level.thief_claim() {
         Some(w) => Some(w),
         None => {
             if !level.counted {
@@ -75,34 +90,120 @@ pub fn steal_from_registry(
     None
 }
 
-/// Serializes a stolen unit: `u32` prefix length, prefix words, word.
+/// FNV-1a 64 over a byte slice — the wire checksum. Not cryptographic;
+/// catches the bit flips and truncations the fault injector (and a flaky
+/// transport) produce.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Serializes a stolen unit: `u32` prefix length, prefix words, word, and
+/// a trailing FNV-1a 64 checksum over everything before it.
 pub fn encode_unit(unit: &StolenUnit) -> Vec<u8> {
-    let mut buf = BytesMut::with_capacity(4 + 8 * (unit.prefix.len() + 1));
+    let mut buf = BytesMut::with_capacity(4 + 8 * (unit.prefix.len() + 2));
     buf.put_u32(unit.prefix.len() as u32);
     for &w in &unit.prefix {
         buf.put_u64(w);
     }
     buf.put_u64(unit.word);
+    let sum = fnv1a64(buf.as_ref());
+    buf.put_u64(sum);
     buf.to_vec()
 }
 
-/// Deserializes a stolen unit (panics on malformed input — the channel is
-/// internal and framing is exact).
-pub fn decode_unit(mut bytes: &[u8]) -> StolenUnit {
-    let len = bytes.get_u32() as usize;
+/// Why a steal payload failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes than the header + checksum require.
+    Truncated {
+        /// Bytes required by the framing.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The trailing checksum does not match the payload.
+    ChecksumMismatch {
+        /// Checksum carried by the message.
+        expected: u64,
+        /// Checksum recomputed over the payload.
+        actual: u64,
+    },
+    /// Extra bytes after the checksum.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, got } => {
+                write!(f, "truncated steal payload: need {needed} bytes, got {got}")
+            }
+            DecodeError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "steal payload checksum mismatch: expected {expected:#x}, got {actual:#x}"
+            ),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes in steal payload"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Deserializes a stolen unit, verifying framing and checksum. Never
+/// panics: adversarial input (truncation, bit flips, garbage) yields a
+/// [`DecodeError`].
+pub fn decode_unit(bytes: &[u8]) -> Result<StolenUnit, DecodeError> {
+    let total = bytes.len();
+    // Minimum frame: u32 len + word + checksum.
+    if total < 4 + 8 + 8 {
+        return Err(DecodeError::Truncated {
+            needed: 4 + 8 + 8,
+            got: total,
+        });
+    }
+    let mut view = bytes;
+    let len = view.get_u32() as usize;
+    let needed = 4 + 8 * (len + 2);
+    if total < needed {
+        return Err(DecodeError::Truncated { needed, got: total });
+    }
+    if total > needed {
+        return Err(DecodeError::TrailingBytes(total - needed));
+    }
+    let expected = fnv1a64(&bytes[..total - 8]);
+    let carried = u64::from_be_bytes(bytes[total - 8..].try_into().unwrap());
+    if carried != expected {
+        return Err(DecodeError::ChecksumMismatch {
+            expected: carried,
+            actual: expected,
+        });
+    }
     let mut prefix = Vec::with_capacity(len);
     for _ in 0..len {
-        prefix.push(bytes.get_u64());
+        prefix.push(view.get_u64());
     }
-    let word = bytes.get_u64();
-    debug_assert!(bytes.is_empty(), "trailing bytes in steal message");
-    StolenUnit { prefix, word }
+    let word = view.get_u64();
+    Ok(StolenUnit { prefix, word })
+}
+
+/// A served unit: the encoded payload plus the ack channel the requester
+/// must answer after decoding (`true` = owned, `false` = corrupt, requeue).
+pub struct StealReply {
+    /// Length-prefixed, checksummed unit bytes.
+    pub bytes: Vec<u8>,
+    /// Decode acknowledgement back to the serving worker.
+    pub ack: Sender<bool>,
 }
 
 /// A steal request carrying the reply channel.
 pub struct StealRequest {
     /// Where to send the (optional) serialized unit.
-    pub reply: Sender<Option<Vec<u8>>>,
+    pub reply: Sender<Option<StealReply>>,
 }
 
 /// Shared counters of one worker's steal server, read into the
@@ -115,6 +216,9 @@ pub struct ServerStats {
     pub hits: AtomicU64,
     /// Serialized reply bytes shipped.
     pub bytes_served: AtomicU64,
+    /// Served units that came back nacked (corrupt) or unacked (requester
+    /// died) and were requeued for re-execution.
+    pub requeues: AtomicU64,
 }
 
 impl ServerStats {
@@ -137,43 +241,128 @@ pub fn spin_latency(us: u64) {
     }
 }
 
+/// Flips one payload bit of an encoded unit (fault injection). Touches the
+/// word region, not the header, so framing stays plausible and only the
+/// checksum can catch it.
+pub fn corrupt_payload(bytes: &mut [u8]) {
+    let idx = 4 + (bytes.len().saturating_sub(4 + 8)) / 2;
+    if let Some(b) = bytes.get_mut(idx) {
+        *b ^= 0x40;
+    }
+}
+
+/// Resolves the server's unacked served units: acked-true entries are
+/// forgotten, nacked or abandoned entries are requeued for re-execution
+/// (their pending obligation travels with them). Under sabotage the
+/// requeue is replaced by drop-with-accounting so the job still
+/// terminates — with wrong results the chaos gate must catch.
+fn poll_unacked(
+    unacked: &mut Vec<(StolenUnit, Receiver<bool>)>,
+    job: &JobState,
+    stats: &ServerStats,
+    fcx: &FaultCtx,
+) {
+    unacked.retain_mut(|(unit, ack_rx)| match ack_rx.try_recv() {
+        Ok(true) => false,
+        Ok(false) | Err(TryRecvError::Disconnected) => {
+            stats.requeues.fetch_add(1, Ordering::Relaxed);
+            if fcx.sabotaged() {
+                fcx.ledger.units_lost.fetch_add(1, Ordering::Relaxed);
+                job.sub_pending();
+            } else {
+                fcx.recovery
+                    .push(RecoveryUnit::from_stolen(std::mem::replace(
+                        unit,
+                        StolenUnit {
+                            prefix: Vec::new(),
+                            word: 0,
+                        },
+                    )));
+            }
+            false
+        }
+        Err(TryRecvError::Empty) => true,
+    });
+}
+
 /// The steal-server loop of one worker: serves remote requests until the
 /// job is done, then drains stragglers with `None` replies.
+///
+/// Shutdown is two-condition: the job must be done *and* every served
+/// unit must be acked/requeued — exiting earlier could strand an
+/// obligation. A killed worker's server turns inert (keeps draining its
+/// request channel so no requester ever parks on it, but serves nothing).
 pub fn steal_server(
     registry: &WorkerRegistry,
+    worker: usize,
     job: &JobState,
     rx: &Receiver<StealRequest>,
     latency_us: u64,
     stats: &ServerStats,
+    fcx: &FaultCtx,
 ) {
+    let mut unacked: Vec<(StolenUnit, Receiver<bool>)> = Vec::new();
     loop {
+        poll_unacked(&mut unacked, job, stats, fcx);
         match rx.recv_timeout(Duration::from_micros(500)) {
             Ok(req) => {
                 stats.requests.fetch_add(1, Ordering::Relaxed);
-                let unit = steal_from_registry(registry, None, job);
+                if let Some(inj) = &fcx.injector {
+                    // Drop fault: never answer; the requester observes the
+                    // reply channel disconnect and moves on.
+                    if inj.should_drop_request(&fcx.ledger) {
+                        drop(req);
+                        continue;
+                    }
+                }
+                let dead = fcx
+                    .injector
+                    .as_ref()
+                    .is_some_and(|i| i.targets_worker(worker) && i.kill_fired());
+                let unit = if dead || job.done() {
+                    None
+                } else {
+                    steal_from_registry(registry, None, job)
+                };
                 let reply = unit.map(|(_victim, u)| {
                     spin_latency(latency_us);
-                    let bytes = encode_unit(&u);
+                    let mut bytes = encode_unit(&u);
+                    if let Some(inj) = &fcx.injector {
+                        spin_latency(inj.reply_delay_us(&fcx.ledger));
+                        if inj.should_corrupt(&fcx.ledger) {
+                            corrupt_payload(&mut bytes);
+                        }
+                    }
                     stats.hits.fetch_add(1, Ordering::Relaxed);
                     stats
                         .bytes_served
                         .fetch_add(bytes.len() as u64, Ordering::Relaxed);
-                    bytes
+                    let (ack_tx, ack_rx) = bounded(1);
+                    unacked.push((u, ack_rx));
+                    StealReply { bytes, ack: ack_tx }
                 });
-                // A dropped requester (timed out and abandoned) is fine:
-                // claims only succeed while pending > 0, and an abandoned
-                // Some-reply cannot happen after done (see executor docs).
+                // A failed send means the requester abandoned its reply
+                // channel; the envelope (and its ack sender) is dropped
+                // here, which poll_unacked observes as a disconnect and
+                // requeues the unit. Nothing is stranded either way.
                 let _ = req.reply.send(reply);
             }
             Err(RecvTimeoutError::Timeout) => {
-                if job.done() {
+                if job.done() && unacked.is_empty() {
                     while let Ok(req) = rx.try_recv() {
                         let _ = req.reply.send(None);
                     }
                     return;
                 }
             }
-            Err(RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutError::Disconnected) => {
+                // All requesters gone; resolve outstanding acks, then exit.
+                while !unacked.is_empty() {
+                    poll_unacked(&mut unacked, job, stats, fcx);
+                    std::thread::yield_now();
+                }
+                return;
+            }
         }
     }
 }
@@ -181,9 +370,13 @@ pub fn steal_server(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultCtx;
     use crate::level::CoreSlot;
     use std::sync::Arc;
-    use std::sync::Arc as StdArc;
+
+    fn fcx() -> Arc<FaultCtx> {
+        Arc::new(FaultCtx::new(None, 1, 1))
+    }
 
     #[test]
     fn encode_decode_roundtrip() {
@@ -191,12 +384,84 @@ mod tests {
             prefix: vec![1, u64::MAX, 42],
             word: 7,
         };
-        assert_eq!(decode_unit(&encode_unit(&u)), u);
+        assert_eq!(decode_unit(&encode_unit(&u)).unwrap(), u);
         let empty = StolenUnit {
             prefix: vec![],
             word: 0,
         };
-        assert_eq!(decode_unit(&encode_unit(&empty)), empty);
+        assert_eq!(decode_unit(&encode_unit(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn decode_rejects_adversarial_input_without_panicking() {
+        // Empty and sub-minimum frames.
+        assert!(matches!(
+            decode_unit(&[]),
+            Err(DecodeError::Truncated { .. })
+        ));
+        assert!(matches!(
+            decode_unit(&[0u8; 19]),
+            Err(DecodeError::Truncated { .. })
+        ));
+        // A huge declared prefix length with a short body must not
+        // allocate or panic.
+        let mut evil = Vec::new();
+        evil.extend_from_slice(&u32::MAX.to_be_bytes());
+        evil.extend_from_slice(&[0u8; 32]);
+        assert!(matches!(
+            decode_unit(&evil),
+            Err(DecodeError::Truncated { .. })
+        ));
+        // Truncated tail of a valid message.
+        let good = encode_unit(&StolenUnit {
+            prefix: vec![3, 4, 5],
+            word: 9,
+        });
+        for cut in 1..good.len() {
+            assert!(
+                decode_unit(&good[..cut]).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+        // Trailing garbage.
+        let mut padded = good.clone();
+        padded.push(0xAB);
+        assert!(matches!(
+            decode_unit(&padded),
+            Err(DecodeError::TrailingBytes(1))
+        ));
+        // Every single-bit flip anywhere in the message is detected.
+        for byte in 0..good.len() {
+            let mut flipped = good.clone();
+            flipped[byte] ^= 0x01;
+            assert!(
+                decode_unit(&flipped).is_err(),
+                "bit flip at byte {byte} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn max_depth_prefix_roundtrips() {
+        let u = StolenUnit {
+            prefix: (0..512).map(|i| i * 3).collect(),
+            word: u64::MAX,
+        };
+        assert_eq!(decode_unit(&encode_unit(&u)).unwrap(), u);
+    }
+
+    #[test]
+    fn corrupt_payload_is_checksum_detected() {
+        let u = StolenUnit {
+            prefix: vec![11, 22],
+            word: 33,
+        };
+        let mut bytes = encode_unit(&u);
+        corrupt_payload(&mut bytes);
+        assert!(matches!(
+            decode_unit(&bytes),
+            Err(DecodeError::ChecksumMismatch { .. })
+        ));
     }
 
     #[test]
@@ -221,6 +486,16 @@ mod tests {
     }
 
     #[test]
+    fn try_claim_refuses_retired_levels() {
+        let job = JobState::new(1);
+        let level = LevelQueue::new(vec![1], vec![5, 6], false);
+        assert!(try_claim(&level, &job).is_some());
+        level.retire_collect();
+        assert!(try_claim(&level, &job).is_none());
+        assert_eq!(job.pending(), 2); // rollback kept the count exact
+    }
+
+    #[test]
     fn counted_queue_not_inflated() {
         let job = JobState::new(2);
         let level = LevelQueue::new(vec![], vec![1, 2], true);
@@ -234,7 +509,7 @@ mod tests {
         let reg = WorkerRegistry {
             slots: vec![CoreSlot::new(), CoreSlot::new()],
         };
-        reg.slots[1].push(StdArc::new(LevelQueue::new(vec![3, 4], vec![8], false)));
+        reg.slots[1].push(Arc::new(LevelQueue::new(vec![3, 4], vec![8], false)));
         let (victim, unit) = steal_from_registry(&reg, Some(0), &job).unwrap();
         assert_eq!(victim, 1);
         assert_eq!(unit.prefix, vec![3, 4]);
@@ -242,19 +517,29 @@ mod tests {
         assert!(steal_from_registry(&reg, Some(0), &job).is_none());
     }
 
+    fn spawn_server(
+        reg: Arc<WorkerRegistry>,
+        job: Arc<JobState>,
+        stats: Arc<ServerStats>,
+        fcx: Arc<FaultCtx>,
+    ) -> (
+        crossbeam::channel::Sender<StealRequest>,
+        std::thread::JoinHandle<()>,
+    ) {
+        let (tx, rx) = crossbeam::channel::unbounded::<StealRequest>();
+        let h = std::thread::spawn(move || steal_server(&reg, 0, &job, &rx, 0, &stats, &fcx));
+        (tx, h)
+    }
+
     #[test]
     fn server_replies_none_when_no_work_and_exits_on_done() {
         let job = Arc::new(JobState::new(1));
         let reg = Arc::new(WorkerRegistry::new(1));
         let stats = Arc::new(ServerStats::new());
-        let (tx, rx) = crossbeam::channel::unbounded::<StealRequest>();
-        let j2 = job.clone();
-        let r2 = reg.clone();
-        let s2 = stats.clone();
-        let h = std::thread::spawn(move || steal_server(&r2, &j2, &rx, 0, &s2));
+        let (tx, h) = spawn_server(reg, job.clone(), stats.clone(), fcx());
         let (rtx, rrx) = crossbeam::channel::bounded(1);
         tx.send(StealRequest { reply: rtx }).unwrap();
-        assert_eq!(rrx.recv_timeout(Duration::from_secs(2)).unwrap(), None);
+        assert!(rrx.recv_timeout(Duration::from_secs(2)).unwrap().is_none());
         job.sub_pending(); // -> done
         h.join().unwrap();
         assert_eq!(stats.requests.load(Ordering::Relaxed), 1);
@@ -263,20 +548,18 @@ mod tests {
     }
 
     #[test]
-    fn server_ships_available_work() {
+    fn server_ships_available_work_and_collects_ack() {
         let job = Arc::new(JobState::new(1));
         let reg = Arc::new(WorkerRegistry::new(1));
-        reg.slots[0].push(StdArc::new(LevelQueue::new(vec![7], vec![9], false)));
+        reg.slots[0].push(Arc::new(LevelQueue::new(vec![7], vec![9], false)));
         let stats = Arc::new(ServerStats::new());
-        let (tx, rx) = crossbeam::channel::unbounded::<StealRequest>();
-        let j2 = job.clone();
-        let r2 = reg.clone();
-        let s2 = stats.clone();
-        let h = std::thread::spawn(move || steal_server(&r2, &j2, &rx, 0, &s2));
+        let f = fcx();
+        let (tx, h) = spawn_server(reg, job.clone(), stats.clone(), f.clone());
         let (rtx, rrx) = crossbeam::channel::bounded(1);
         tx.send(StealRequest { reply: rtx }).unwrap();
         let reply = rrx.recv_timeout(Duration::from_secs(2)).unwrap().unwrap();
-        let unit = decode_unit(&reply);
+        let unit = decode_unit(&reply.bytes).unwrap();
+        reply.ack.send(true).unwrap();
         assert_eq!(
             unit,
             StolenUnit {
@@ -289,6 +572,95 @@ mod tests {
         // Requester finishes the stolen unit; job completes; server exits.
         job.sub_pending(); // the inflated stolen unit
         job.sub_pending(); // the pre-counted root
+        h.join().unwrap();
+        assert_eq!(stats.requeues.load(Ordering::Relaxed), 0);
+        assert!(f.recovery.is_empty());
+    }
+
+    #[test]
+    fn nacked_unit_is_requeued_for_recovery() {
+        let job = Arc::new(JobState::new(1));
+        let reg = Arc::new(WorkerRegistry::new(1));
+        reg.slots[0].push(Arc::new(LevelQueue::new(vec![2], vec![4], false)));
+        let stats = Arc::new(ServerStats::new());
+        let f = fcx();
+        let (tx, h) = spawn_server(reg, job.clone(), stats.clone(), f.clone());
+        let (rtx, rrx) = crossbeam::channel::bounded(1);
+        tx.send(StealRequest { reply: rtx }).unwrap();
+        let reply = rrx.recv_timeout(Duration::from_secs(2)).unwrap().unwrap();
+        // Requester reports the payload corrupt.
+        reply.ack.send(false).unwrap();
+        // The server must requeue the unit; consume it like a survivor
+        // core would.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let recovered = loop {
+            if let Some(u) = f.recovery.pop() {
+                break u;
+            }
+            assert!(Instant::now() < deadline, "unit never requeued");
+            std::thread::yield_now();
+        };
+        assert_eq!(recovered.prefix, vec![2]);
+        assert_eq!(recovered.word, 4);
+        job.sub_pending(); // recovered unit processed
+        job.sub_pending(); // the pre-counted root
+        h.join().unwrap();
+        assert_eq!(stats.requeues.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn abandoned_reply_is_requeued_not_stranded() {
+        let job = Arc::new(JobState::new(1));
+        let reg = Arc::new(WorkerRegistry::new(1));
+        reg.slots[0].push(Arc::new(LevelQueue::new(vec![1], vec![3], false)));
+        let stats = Arc::new(ServerStats::new());
+        let f = fcx();
+        let (tx, h) = spawn_server(reg, job.clone(), stats.clone(), f.clone());
+        let (rtx, rrx) = crossbeam::channel::bounded(1);
+        tx.send(StealRequest { reply: rtx }).unwrap();
+        // Requester "dies" without ever reading the reply.
+        drop(rrx);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let recovered = loop {
+            if let Some(u) = f.recovery.pop() {
+                break u;
+            }
+            assert!(Instant::now() < deadline, "abandoned unit never requeued");
+            std::thread::yield_now();
+        };
+        assert_eq!(
+            (recovered.prefix.as_slice(), recovered.word),
+            (&[1u64][..], 3)
+        );
+        job.sub_pending();
+        job.sub_pending();
+        h.join().unwrap();
+    }
+
+    /// Regression (shutdown): a request that lands while/after the job
+    /// flips `done` must still be answered (`None` or a disconnect), never
+    /// parked forever.
+    #[test]
+    fn late_request_after_done_is_answered_promptly() {
+        let job = Arc::new(JobState::new(1));
+        let reg = Arc::new(WorkerRegistry::new(1));
+        let stats = Arc::new(ServerStats::new());
+        let (tx, h) = spawn_server(reg, job.clone(), stats, fcx());
+        job.sub_pending(); // done before any request arrives
+                           // Race a request against the server's drain-and-exit.
+        let (rtx, rrx) = crossbeam::channel::bounded(1);
+        let sent = tx.send(StealRequest { reply: rtx }).is_ok();
+        // Whether or not the send won the race, the requester-side wait
+        // terminates quickly: a None reply, or a disconnect once the
+        // server (then the channel) is gone.
+        if sent {
+            match rrx.recv_timeout(Duration::from_secs(2)) {
+                Ok(reply) => assert!(reply.is_none(), "no work can be served after done"),
+                Err(RecvTimeoutError::Disconnected) => {}
+                Err(RecvTimeoutError::Timeout) => panic!("late requester parked forever"),
+            }
+        }
+        drop(tx); // disconnect -> server exits even mid-drain
         h.join().unwrap();
     }
 }

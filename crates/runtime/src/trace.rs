@@ -65,6 +65,19 @@ pub enum EventKind {
     /// scanned since the last flush, `b` = kernel invocations
     /// (merge + gallop + bitset) since the last flush.
     KernelFlush,
+    /// The fault injector fired on this core. `a` = fault kind
+    /// (0 = kill, 1 = unit panic, 2 = stall), `b` = kind-specific detail
+    /// (panic depth, stall ms).
+    FaultInjected,
+    /// A supervised unit panicked and is being retried. `a` = attempt
+    /// number (1-based), `b` = backoff microseconds before the retry.
+    UnitRetry,
+    /// The watchdog tripped on a stale heartbeat. `a` = suspected global
+    /// core index, `b` = heartbeat staleness ns.
+    WatchdogTrip,
+    /// A lost unit was re-executed from the recovery queue. `a` = prefix
+    /// depth, `b` = claimed word.
+    UnitReexec,
 }
 
 impl EventKind {
@@ -80,6 +93,10 @@ impl EventKind {
             EventKind::LevelPop => "level_pop",
             EventKind::AggFlush => "agg_flush",
             EventKind::KernelFlush => "kernel_flush",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::UnitRetry => "unit_retry",
+            EventKind::WatchdogTrip => "watchdog_trip",
+            EventKind::UnitReexec => "unit_reexec",
         }
     }
 
@@ -95,6 +112,10 @@ impl EventKind {
             "level_pop" => EventKind::LevelPop,
             "agg_flush" => EventKind::AggFlush,
             "kernel_flush" => EventKind::KernelFlush,
+            "fault_injected" => EventKind::FaultInjected,
+            "unit_retry" => EventKind::UnitRetry,
+            "watchdog_trip" => EventKind::WatchdogTrip,
+            "unit_reexec" => EventKind::UnitReexec,
             _ => return None,
         })
     }

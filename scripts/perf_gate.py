@@ -48,6 +48,18 @@ PARALLEL_BOUNDS = {
     "steal_overhead": 0.50,
 }
 
+# Recovery counters that must be exactly zero in every fault-free leg: a
+# nonzero value means the fault-tolerance machinery leaked into the
+# fault-free path (spurious retries, watchdog trips, phantom recoveries).
+FAULT_COUNTERS = (
+    "faults_injected",
+    "units_retried",
+    "units_reexecuted",
+    "watchdog_trips",
+    "recovery_ns",
+    "units_lost",
+)
+
 
 def load(path):
     with open(path) as f:
@@ -66,6 +78,8 @@ def check(smoke_path, baseline_path):
     checked = 0
 
     for workload, base_counters in sorted(baseline["deterministic"].items()):
+        if workload == "faults":
+            continue
         got_counters = smoke.get("deterministic", {}).get(workload)
         if got_counters is None:
             failures.append(f"deterministic workload '{workload}' missing from smoke run")
@@ -92,6 +106,8 @@ def check(smoke_path, baseline_path):
                 failures.append(f"{workload}.{key}: {got} vs baseline {base} ({window})")
 
     for workload, got_counters in sorted(smoke.get("parallel", {}).items()):
+        if workload == "faults":
+            continue
         for key, bound in sorted(PARALLEL_BOUNDS.items()):
             got = got_counters.get(key)
             if got is None:
@@ -102,6 +118,26 @@ def check(smoke_path, baseline_path):
             print(f"  [{status}] parallel.{workload}.{key}: {got:.4f} <= {bound}")
             if not ok:
                 failures.append(f"parallel.{workload}.{key}: {got:.4f} exceeds bound {bound}")
+
+    # Both legs run fault-free: every recovery counter must be exactly
+    # zero, and the block must be present (its absence would silently
+    # disable this check).
+    for leg in ("deterministic", "parallel"):
+        faults = smoke.get(leg, {}).get("faults")
+        if faults is None:
+            failures.append(f"{leg}.faults: recovery-counter block missing from smoke run")
+            continue
+        for key in FAULT_COUNTERS:
+            got = faults.get(key)
+            if got is None:
+                failures.append(f"{leg}.faults.{key}: missing from smoke run")
+                continue
+            checked += 1
+            ok = got == 0
+            status = "ok" if ok else "FAIL"
+            print(f"  [{status}] {leg}.faults.{key}: {got} == 0 (fault-free run)")
+            if not ok:
+                failures.append(f"{leg}.faults.{key}: {got} != 0 in a fault-free run")
 
     if checked == 0:
         sys.exit("perf-gate: no counters checked — baseline/smoke mismatch?")
@@ -128,6 +164,7 @@ def update(smoke_path, baseline_path):
         "deterministic": {
             workload: {k: v for k, v in counters.items() if k in DETERMINISTIC_TOLERANCES}
             for workload, counters in sorted(smoke["deterministic"].items())
+            if workload != "faults"
         },
         "tolerances": DETERMINISTIC_TOLERANCES,
         "parallel_bounds": PARALLEL_BOUNDS,
