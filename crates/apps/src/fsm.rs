@@ -19,7 +19,7 @@
 //!   subgraphs. Domains are recorded in original-graph ids so supports are
 //!   unaffected by re-indexing.
 
-use fractal_core::{ExecutionReport, FractalGraph, SubgraphView};
+use fractal_core::{Aggregator, ExecutionReport, FractalGraph, Fractoid, SubgraphView};
 use fractal_pattern::CanonicalCode;
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
@@ -108,6 +108,17 @@ impl DomainSupport {
     pub fn has_enough_support(&self, threshold: u64) -> bool {
         self.support() >= threshold
     }
+
+    /// The per-position vertex domains (wire serialization support).
+    pub fn domains(&self) -> &[HashSet<u32>] {
+        &self.domains
+    }
+
+    /// Rebuilds a support from decoded domains — the inverse of
+    /// [`DomainSupport::domains`].
+    pub fn from_domains(domains: Vec<HashSet<u32>>) -> Self {
+        DomainSupport { domains }
+    }
 }
 
 /// One frequent pattern in the result set.
@@ -193,6 +204,48 @@ pub fn fsm(fg: &FractalGraph, min_support: u64, max_edges: usize) -> FsmResult {
             );
     }
     result
+}
+
+/// The FSM support aggregator as a standalone spec: canonical pattern →
+/// positionwise domain union, with the `hasEnoughSupport` final filter.
+/// Distributed drivers and workers use it to move `DomainSupport` maps
+/// across the shard/wire boundary with the exact same semantics as the
+/// local workflow.
+pub fn fsm_support_aggregator(
+    fg: &FractalGraph,
+    min_support: u64,
+) -> Aggregator<CanonicalCode, DomainSupport> {
+    let fgc = fg.clone();
+    Aggregator::new(
+        "support",
+        |s: &SubgraphView<'_>| s.pattern_code(true, true),
+        move |s| DomainSupport::of(s, &fgc),
+        |a: &mut DomainSupport, b| a.merge(b),
+    )
+    .with_filter(move |_, v: &DomainSupport| v.has_enough_support(min_support))
+}
+
+/// The FSM fractoid chain after `rounds` growth iterations (round 1 is the
+/// single-edge bootstrap; each further round appends
+/// `filter_agg + expand(1) + aggregate`). Distributed workers rebuild this
+/// chain each round and seed rounds `1..rounds` positionally with the
+/// driver-merged frequent sets, which makes the whole chain one fractal
+/// step.
+pub fn fsm_fractoid(fg: &FractalGraph, min_support: u64, rounds: usize) -> Fractoid {
+    assert!(rounds >= 1, "fsm needs at least one round");
+    let mut fractoid = fg
+        .efractoid()
+        .expand(1)
+        .aggregate_spec(Arc::new(fsm_support_aggregator(fg, min_support)));
+    for _ in 1..rounds {
+        fractoid = fractoid
+            .filter_agg("support", |s, agg| {
+                agg.contains_key::<CanonicalCode, DomainSupport>(&s.pattern_code(true, true))
+            })
+            .expand(1)
+            .aggregate_spec(Arc::new(fsm_support_aggregator(fg, min_support)));
+    }
+    fractoid
 }
 
 /// FSM with the transparent graph reduction of §4.3: each iteration mines

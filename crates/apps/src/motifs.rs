@@ -6,9 +6,22 @@
 //! ignores the labels in G"); a labeled variant is provided for the
 //! multi-label memory experiments (Table 2).
 
-use fractal_core::{ExecutionReport, FractalGraph};
+use fractal_core::{ExecutionReport, FractalGraph, Fractoid};
 use fractal_pattern::CanonicalCode;
 use std::collections::HashMap;
+
+/// The Listing 1 fractoid: `vfractoid.expand(k).aggregate("motifs", …)`,
+/// exposed standalone so distributed drivers/workers build the identical
+/// workflow.
+pub fn motifs_fractoid(fg: &FractalGraph, k: usize, use_labels: bool) -> Fractoid {
+    assert!(k >= 1, "motif size must be at least 1");
+    fg.vfractoid().expand(k).aggregate(
+        "motifs",
+        move |s| s.pattern_code(use_labels, use_labels),
+        |_| 1u64,
+        |acc, v| *acc += v,
+    )
+}
 
 /// Counts all k-vertex motifs: pattern → number of induced instances
 /// (Listing 1: `vfractoid.expand(k).aggregate("motifs", …)`).
@@ -28,13 +41,7 @@ pub fn motifs_with_report(
     k: usize,
     use_labels: bool,
 ) -> (HashMap<CanonicalCode, u64>, ExecutionReport) {
-    assert!(k >= 1, "motif size must be at least 1");
-    let fractoid = fg.vfractoid().expand(k).aggregate(
-        "motifs",
-        move |s| s.pattern_code(use_labels, use_labels),
-        |_| 1u64,
-        |acc, v| *acc += v,
-    );
+    let fractoid = motifs_fractoid(fg, k, use_labels);
     let report = fractoid.execute();
     let map = fractoid.aggregation::<CanonicalCode, u64>("motifs");
     (map, report)

@@ -10,6 +10,12 @@
 //! *fails* its own exactness check — proving the harness actually detects
 //! a broken recovery path, not just the absence of crashes.
 //!
+//! A `cluster-kill` leg runs the motif workload on a real 3-process local
+//! cluster (crates/net) and SIGKILLs one worker process mid-round — the
+//! process-level analogue of the in-process `worker-kill` fault — and
+//! demands the driver's orphan/recovery path still yields bit-identical
+//! results.
+//!
 //! Emits a `fractal-chaos-smoke/1` JSON summary and exits nonzero on any
 //! violation.
 //!
@@ -19,8 +25,10 @@
 use fractal_apps::{cliques, fsm, motifs};
 use fractal_core::{FractalContext, FractalGraph};
 use fractal_graph::{gen, Graph};
+use fractal_net::{run_cluster, AppSpec, ChaosKill, DriverConfig, LocalCluster};
 use fractal_runtime::{ClusterConfig, FaultConfig, FaultStats};
 use std::fmt::Write as _;
+use std::process::Command;
 
 const MOTIF_K: usize = 3;
 const CLIQUE_K: usize = 4;
@@ -129,7 +137,62 @@ fn workloads() -> Vec<Workload> {
     ]
 }
 
+/// Hidden worker mode: `chaos_smoke __worker` re-executed by
+/// [`cluster_kill`] turns this process into a fractal-net worker. Prints
+/// the `LISTENING <addr>` line [`LocalCluster::spawn_with`] waits for.
+fn cluster_worker_main() -> ! {
+    use std::io::Write as _;
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    println!("LISTENING {}", listener.local_addr().expect("addr"));
+    std::io::stdout().flush().expect("flush stdout");
+    let _ = fractal_net::serve(&listener, 2);
+    std::process::exit(0);
+}
+
+/// Runs the motif workload on a real 3-process cluster, SIGKILLing worker
+/// `seed % 3` once it has made progress in round 0. Returns the result
+/// fingerprint plus (deaths, orphaned words, recovery assigns).
+fn cluster_kill(seed: u64) -> Result<(u64, u64, u64, u64), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let lc = LocalCluster::spawn_with(3, |_| {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("__worker");
+        cmd
+    })
+    .map_err(|e| format!("spawn workers: {e}"))?;
+    let streams = lc.connect().map_err(|e| format!("connect: {e}"))?;
+    let names = (0..3).map(|i| format!("chaos{i}")).collect();
+    let mut config = DriverConfig::new(
+        AppSpec::Motifs {
+            k: MOTIF_K as u32,
+            use_labels: false,
+        },
+        gen::mico_like(220, 4, 7),
+    );
+    let target = (seed as usize) % 3;
+    config.chaos_kill = Some(ChaosKill {
+        target,
+        kill: lc.kill_fn(target),
+    });
+    let result = run_cluster(streams, names, config).map_err(|e| format!("cluster run: {e}"))?;
+    let fp = fingerprint(
+        result
+            .motifs
+            .iter()
+            .map(|(code, &n)| fingerprint(code.0.iter().map(|&b| b as u64)) ^ n),
+    );
+    Ok((
+        fp,
+        result.deaths,
+        result.orphaned_words,
+        result.recovery_assigns,
+    ))
+}
+
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("__worker") {
+        cluster_worker_main();
+    }
     let mut out_path: Option<String> = None;
     let mut num_seeds: u64 = 6;
     let mut args = std::env::args().skip(1);
@@ -202,6 +265,52 @@ fn main() {
                     faults.units_lost,
                 );
             }
+        }
+    }
+
+    // Real-process leg: same motif workload, but the kill is an actual
+    // SIGKILL of one worker process in a 3-process TCP cluster. Exactness
+    // here proves the driver's orphan/recovery path end-to-end, not just
+    // the in-process simulation. One run per seed, rotating the victim.
+    {
+        let wl = &workloads()[0];
+        let (want, _) = (wl.run)(&fg_of(&wl.graph, base_cfg()));
+        for seed in 1..=num_seeds {
+            let (exact, deaths, orphaned, recoveries) = match cluster_kill(seed) {
+                Ok((got, deaths, orphaned, recoveries)) => {
+                    if got != want {
+                        failures.push(format!(
+                            "{} under cluster-kill seed {seed}: result diverged \
+                             (got {got:#x}, want {want:#x})",
+                            wl.name
+                        ));
+                    }
+                    if deaths == 0 {
+                        failures.push(format!(
+                            "{} under cluster-kill seed {seed}: no worker died — \
+                             the process kill never fired",
+                            wl.name
+                        ));
+                    }
+                    (got == want, deaths, orphaned, recoveries)
+                }
+                Err(e) => {
+                    failures.push(format!("{} under cluster-kill seed {seed}: {e}", wl.name));
+                    (false, 0, 0, 0)
+                }
+            };
+            if !first {
+                json.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                json,
+                "    {{\"workload\": \"{}\", \"fault\": \"cluster-kill\", \"seed\": {seed}, \
+                 \"exact\": {exact}, \"faults_injected\": {deaths}, \"units_retried\": {orphaned}, \
+                 \"units_reexecuted\": {recoveries}, \"watchdog_trips\": {deaths}, \
+                 \"units_lost\": 0}}",
+                wl.name,
+            );
         }
     }
 

@@ -70,8 +70,12 @@ fn balance_counters(name: &str, count: u64, report: &ExecutionReport, out: &mut 
 /// perf-smoke legs run fault-free, so the CI gate asserts every one of
 /// these is zero — any nonzero value means the fault machinery leaked into
 /// the fault-free hot path (spurious retries, watchdog trips, …).
+/// `net_units` rides along for the same reason: a single-process run has
+/// no network substrate attached, so any externally pulled unit means the
+/// cluster hooks leaked into plain execution.
 fn fault_counters(reports: &[&ExecutionReport], out: &mut String) {
     let mut sum = fractal_runtime::FaultStats::default();
+    let mut net_units = 0u64;
     for r in reports {
         for step in &r.steps {
             sum.faults_injected += step.faults.faults_injected;
@@ -80,19 +84,21 @@ fn fault_counters(reports: &[&ExecutionReport], out: &mut String) {
             sum.watchdog_trips += step.faults.watchdog_trips;
             sum.recovery_ns += step.faults.recovery_ns;
             sum.units_lost += step.faults.units_lost;
+            net_units += step.net_units();
         }
     }
     let _ = write!(
         out,
         "    \"faults\": {{\n      \"faults_injected\": {},\n      \"units_retried\": {},\n      \
          \"units_reexecuted\": {},\n      \"watchdog_trips\": {},\n      \
-         \"recovery_ns\": {},\n      \"units_lost\": {}\n    }}",
+         \"recovery_ns\": {},\n      \"units_lost\": {},\n      \"net_units\": {}\n    }}",
         sum.faults_injected,
         sum.units_retried,
         sum.units_reexecuted,
         sum.watchdog_trips,
         sum.recovery_ns,
         sum.units_lost,
+        net_units,
     );
 }
 

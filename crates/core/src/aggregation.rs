@@ -104,6 +104,35 @@ where
         self.agg_filter = Some(Arc::new(f));
         self
     }
+
+    /// Extracts the reduced mapping from a shard of this aggregation's
+    /// type, consuming the shard. The serialization boundary of distributed
+    /// runs: workers call this to turn their merged local shard into a
+    /// wire-encodable map. Panics on a type mismatch.
+    pub fn take_map(shard: Box<dyn AggShard>) -> HashMap<K, V> {
+        shard
+            .into_any()
+            .downcast::<TypedShard<K, V>>()
+            .expect("aggregation type mismatch")
+            .map
+    }
+
+    /// Rebuilds a shard of this aggregation from a decoded mapping — the
+    /// inverse of [`Aggregator::take_map`], used by the driver to seed a
+    /// globally merged result back into a fractoid store.
+    pub fn shard_from_map(&self, map: HashMap<K, V>) -> Box<dyn AggShard> {
+        let accumulated = map.len() as u64;
+        let approx_bytes = map.len() * (std::mem::size_of::<K>() + std::mem::size_of::<V>() + 32);
+        Box::new(TypedShard {
+            map,
+            key_fn: self.key_fn.clone(),
+            value_fn: self.value_fn.clone(),
+            reduce_fn: self.reduce_fn.clone(),
+            agg_filter: self.agg_filter.clone(),
+            approx_bytes,
+            accumulated,
+        })
+    }
 }
 
 struct TypedShard<K, V> {
@@ -244,6 +273,13 @@ pub struct AggResult {
 
 impl AggResult {
     pub(crate) fn new(shard: Box<dyn AggShard>) -> Self {
+        AggResult { shard }
+    }
+
+    /// Wraps a shard as a result without finalizing it. Used when seeding
+    /// driver-merged aggregations, whose final filter the driver already
+    /// applied globally (filtering per-worker partials would be wrong).
+    pub fn from_shard(shard: Box<dyn AggShard>) -> Self {
         AggResult { shard }
     }
 

@@ -7,7 +7,7 @@ use crate::view::{SubgraphData, SubgraphView};
 use fractal_enum::{Subgraph, SubgraphEnumerator};
 use fractal_graph::bitset::Bitset;
 use fractal_graph::Graph;
-use fractal_runtime::executor::{run_job, CoreCtx, CoreTask, JobSpec};
+use fractal_runtime::executor::{run_job, run_job_with, CoreCtx, CoreTask, ExternalHooks, JobSpec};
 use fractal_runtime::level::GlobalCoreId;
 use fractal_runtime::stats::JobReport;
 use parking_lot::Mutex;
@@ -244,6 +244,75 @@ pub(crate) fn execute(fractoid: &Fractoid, mode: OutputMode) -> (ExecutionReport
     )
 }
 
+/// What one distributed worker pass over a step produces: the local count,
+/// the local runtime report and the *unfinalized* merged shard of every
+/// live aggregation (in workflow order). Nothing is published to the
+/// fractoid's store — the driver owns the global merge + finalize.
+pub struct StepOutcome {
+    /// Local result-subgraph count (Count mode only).
+    pub count: u64,
+    /// This worker's runtime report for the pass.
+    pub report: JobReport,
+    /// Unfinalized merged shards, one per live aggregation in workflow
+    /// order.
+    pub shards: Vec<Box<dyn AggShard>>,
+}
+
+/// Executes one fractal step of a distributed run: enumerate only the
+/// given `roots` (the driver's partition for this worker), optionally pull
+/// extra root words from an external steal source via `hooks`, and return
+/// the unfinalized local results instead of publishing them.
+///
+/// The workflow must form a *single* step from this fractoid's point of
+/// view: every aggregation filter's source must already be in the store
+/// (seeded via [`Fractoid::seed_aggregation`] for iterative applications
+/// like FSM). The driver enforces this by splitting rounds itself.
+pub(crate) fn execute_step_distributed(
+    fractoid: &Fractoid,
+    roots: Vec<u64>,
+    count: bool,
+    hooks: Option<Arc<dyn ExternalHooks>>,
+) -> StepOutcome {
+    let prims = &fractoid.primitives;
+    assert!(
+        matches!(prims.first(), Some(Primitive::Expand)),
+        "a fractal workflow must start with expand()"
+    );
+    let ends = split_steps(fractoid);
+    assert_eq!(
+        ends.len(),
+        1,
+        "distributed step execution requires a single-step workflow \
+         (seed upstream aggregations first); got {} steps",
+        ends.len()
+    );
+    let mode = if count {
+        OutputMode::Count
+    } else {
+        OutputMode::None
+    };
+    let mut spec = StepSpec::build(fractoid, prims, mode);
+    spec.roots_override = Some(roots);
+    let report = run_job_with(&spec, &fractoid.fgraph.config, hooks);
+    let mut merged = spec.merged.lock();
+    let shards: Vec<Box<dyn AggShard>> = spec
+        .live_agg_uids
+        .iter()
+        .enumerate()
+        .map(|(slot, _)| {
+            merged[slot]
+                .take()
+                .unwrap_or_else(|| spec.live_agg_specs[slot].new_shard())
+        })
+        .collect();
+    drop(merged);
+    StepOutcome {
+        count: spec.counter.load(Ordering::Relaxed),
+        report,
+        shards,
+    }
+}
+
 /// Per-primitive pre-resolved execution info.
 enum Resolved {
     Expand,
@@ -272,6 +341,10 @@ struct StepSpec<'a> {
     /// Merged shards (one per live slot), filled by core `finish`.
     merged: Mutex<Vec<Option<Box<dyn AggShard>>>>,
     mode: OutputMode,
+    /// Distributed runs partition root words across worker processes: when
+    /// set, this worker enumerates only the given roots instead of the full
+    /// root frontier (the driver owns the partitioning).
+    roots_override: Option<Vec<u64>>,
     /// Pre-kernel compatibility mode (see `ClusterConfig::engine_compat`).
     compat: bool,
     collected: Mutex<Vec<SubgraphData>>,
@@ -327,6 +400,7 @@ impl<'a> StepSpec<'a> {
             live_agg_uids,
             merged: Mutex::new((0..num_live).map(|_| None).collect()),
             mode,
+            roots_override: None,
             compat: fractoid.fgraph.config.engine_compat,
             collected: Mutex::new(Vec::new()),
             counter: AtomicU64::new(0),
@@ -337,6 +411,9 @@ impl<'a> StepSpec<'a> {
 
 impl JobSpec for StepSpec<'_> {
     fn roots(&self) -> Vec<u64> {
+        if let Some(roots) = &self.roots_override {
+            return roots.clone();
+        }
         let mut enumerator = (self.fractoid.factory)(self.graph);
         let sg = Subgraph::new(self.graph);
         let mut roots = Vec::new();

@@ -8,12 +8,13 @@
 //! can be executed and inspected separately — the interactive-analysis
 //! property the paper emphasizes.
 
-use crate::aggregation::{AggResult, Aggregator, AggregatorSpec};
+use crate::aggregation::{AggResult, AggShard, Aggregator, AggregatorSpec};
 use crate::context::FractalGraph;
-use crate::engine::{self, AggStore, ExecutionReport, OutputMode};
+use crate::engine::{self, AggStore, ExecutionReport, OutputMode, StepOutcome};
 use crate::view::{SubgraphData, SubgraphView};
-use fractal_enum::SubgraphEnumerator;
+use fractal_enum::{Subgraph, SubgraphEnumerator};
 use fractal_graph::Graph;
+use fractal_runtime::executor::ExternalHooks;
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -198,6 +199,62 @@ impl Fractoid {
     /// Number of primitives in the workflow.
     pub fn num_primitives(&self) -> usize {
         self.primitives.len()
+    }
+
+    // ---- Distributed-execution support (driver/worker substrate) ----
+
+    /// The root work words of this fractoid's step: the extensions of the
+    /// empty subgraph. Deterministic for a given graph + enumerator, so the
+    /// driver and every worker compute the same list independently.
+    pub fn step_roots(&self) -> Vec<u64> {
+        let graph: &Graph = &self.fgraph.graph;
+        let mut enumerator = (self.factory)(graph);
+        let sg = Subgraph::new(graph);
+        let mut roots = Vec::new();
+        enumerator.compute_extensions(graph, &sg, &mut roots);
+        roots
+    }
+
+    /// Number of Aggregate primitives in the workflow (the positional
+    /// space of [`Fractoid::seed_aggregation`]).
+    pub fn num_aggregations(&self) -> usize {
+        self.primitives
+            .iter()
+            .filter(|p| matches!(p, Primitive::Aggregate { .. }))
+            .count()
+    }
+
+    /// Seeds the `position`-th Aggregate primitive (0-based, workflow
+    /// order) with an externally computed shard, marking it replayed. In a
+    /// distributed run the driver ships globally merged + filtered results
+    /// of earlier rounds to workers, which seed them positionally before
+    /// executing the next round's step; the shard is stored as-is, without
+    /// re-applying any final filter.
+    pub fn seed_aggregation(&self, position: usize, shard: Box<dyn AggShard>) {
+        let uid = self
+            .primitives
+            .iter()
+            .filter_map(|p| match p {
+                Primitive::Aggregate { uid, .. } => Some(*uid),
+                _ => None,
+            })
+            .nth(position)
+            .unwrap_or_else(|| panic!("no aggregation at position {position} in workflow"));
+        self.store
+            .insert(uid, Arc::new(AggResult::from_shard(shard)));
+    }
+
+    /// Executes this fractoid as one distributed step over the given root
+    /// partition, optionally pulling extra roots from an external steal
+    /// source. Returns unfinalized local results (see
+    /// [`StepOutcome`]); nothing is published to the shared store.
+    pub fn execute_step_distributed(
+        &self,
+        roots: Vec<u64>,
+        count: bool,
+        hooks: Option<Arc<dyn ExternalHooks>>,
+    ) -> StepOutcome {
+        engine::execute_step_distributed(self, roots, count, hooks)
     }
 
     // ---- Output operators (trigger execution; §3.1 Fig. 5) ----

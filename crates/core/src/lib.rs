@@ -33,9 +33,9 @@ pub mod engine;
 pub mod fractoid;
 pub mod view;
 
-pub use aggregation::{AggResult, Aggregator};
+pub use aggregation::{AggResult, AggShard, Aggregator};
 pub use context::{FractalContext, FractalGraph};
-pub use engine::{ExecutionReport, Participation};
+pub use engine::{ExecutionReport, Participation, StepOutcome};
 pub use fractoid::Fractoid;
 pub use view::{SubgraphData, SubgraphView};
 

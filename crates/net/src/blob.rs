@@ -1,0 +1,614 @@
+//! Payload blob encodings: the typed content carried inside wire frames.
+//!
+//! Frames ([`crate::frame`]) move opaque byte blobs; this module defines
+//! what's inside them — the job spec (graph + application), aggregation
+//! maps (motif counts, FSM domain supports), and the per-worker metrics
+//! report. All encodings are big-endian, deterministic (maps are sorted
+//! before encoding) and bounds-checked on decode, mirroring the frame
+//! layer's adversarial-input posture.
+
+use fractal_apps::fsm::DomainSupport;
+use fractal_graph::builder::graph_from_edges;
+use fractal_graph::Graph;
+use fractal_pattern::CanonicalCode;
+use fractal_runtime::fault::FaultStats;
+use fractal_runtime::level::GlobalCoreId;
+use fractal_runtime::stats::{CoreStats, JobReport};
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+/// Why a blob failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlobError {
+    /// Fewer bytes than the structure requires.
+    Truncated,
+    /// Structurally invalid content.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for BlobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlobError::Truncated => write!(f, "truncated blob"),
+            BlobError::Malformed(what) => write!(f, "malformed blob: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BlobError {}
+
+/// Which GPM application a cluster job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppSpec {
+    /// Motif counting: `vfractoid.expand(k).aggregate("motifs", …)`.
+    Motifs { k: u32, use_labels: bool },
+    /// k-clique counting with the KClist enumerator.
+    Kclist { k: u32 },
+    /// Frequent subgraph mining (iterative, one round per pattern size).
+    Fsm { min_support: u64, max_edges: u32 },
+}
+
+impl AppSpec {
+    /// Whether workers count result subgraphs (vs. aggregate only).
+    pub fn counts(&self) -> bool {
+        matches!(self, AppSpec::Kclist { .. })
+    }
+
+    /// Upper bound on driver rounds (FSM may stop earlier).
+    pub fn max_rounds(&self) -> u32 {
+        match self {
+            AppSpec::Motifs { .. } | AppSpec::Kclist { .. } => 1,
+            AppSpec::Fsm { max_edges, .. } => (*max_edges).max(1),
+        }
+    }
+
+    /// Short name for logs and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AppSpec::Motifs { .. } => "motifs",
+            AppSpec::Kclist { .. } => "kclist",
+            AppSpec::Fsm { .. } => "fsm",
+        }
+    }
+}
+
+// ---- primitive helpers ----
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], BlobError> {
+        let end = self.pos.checked_add(n).ok_or(BlobError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(BlobError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, BlobError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, BlobError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, BlobError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    /// Guards a claimed element count against the remaining bytes so a
+    /// corrupt count cannot trigger a huge allocation.
+    fn count(&mut self, elem_bytes: usize) -> Result<usize, BlobError> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len().saturating_sub(self.pos) / elem_bytes.max(1) {
+            return Err(BlobError::Truncated);
+        }
+        Ok(n)
+    }
+    fn finish(self) -> Result<(), BlobError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(BlobError::Malformed("trailing bytes"))
+        }
+    }
+}
+
+// ---- app spec ----
+
+fn put_app(out: &mut Vec<u8>, app: &AppSpec) {
+    match app {
+        AppSpec::Motifs { k, use_labels } => {
+            put_u8(out, 1);
+            put_u32(out, *k);
+            put_u8(out, *use_labels as u8);
+        }
+        AppSpec::Kclist { k } => {
+            put_u8(out, 2);
+            put_u32(out, *k);
+        }
+        AppSpec::Fsm {
+            min_support,
+            max_edges,
+        } => {
+            put_u8(out, 3);
+            put_u64(out, *min_support);
+            put_u32(out, *max_edges);
+        }
+    }
+}
+
+fn get_app(c: &mut Cursor<'_>) -> Result<AppSpec, BlobError> {
+    Ok(match c.u8()? {
+        1 => AppSpec::Motifs {
+            k: c.u32()?,
+            use_labels: match c.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(BlobError::Malformed("use_labels flag")),
+            },
+        },
+        2 => AppSpec::Kclist { k: c.u32()? },
+        3 => AppSpec::Fsm {
+            min_support: c.u64()?,
+            max_edges: c.u32()?,
+        },
+        _ => return Err(BlobError::Malformed("app tag")),
+    })
+}
+
+// ---- graph ----
+
+/// Encodes a graph as vertex labels + `(u, v, label)` edge triples. Edge
+/// order is the graph's canonical edge-id order, so a decode on any
+/// machine rebuilds a bit-identical CSR (and therefore identical work
+/// words and enumeration order).
+pub fn encode_graph(g: &Graph) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + g.num_vertices() * 4 + 4 + g.num_edges() * 12);
+    put_u32(&mut out, g.num_vertices() as u32);
+    for v in g.vertices() {
+        put_u32(&mut out, g.vertex_label(v).raw());
+    }
+    put_u32(&mut out, g.num_edges() as u32);
+    for e in g.edges() {
+        let (u, v) = g.edge_endpoints(e);
+        put_u32(&mut out, u.0);
+        put_u32(&mut out, v.0);
+        put_u32(&mut out, g.edge_label(e).raw());
+    }
+    out
+}
+
+/// Decodes a graph encoded by [`encode_graph`].
+pub fn decode_graph(bytes: &[u8]) -> Result<Graph, BlobError> {
+    let mut c = Cursor::new(bytes);
+    let (g, c) = decode_graph_inner(c.take(bytes.len())?).map(|g| (g, c))?;
+    c.finish()?;
+    Ok(g)
+}
+
+fn decode_graph_inner(bytes: &[u8]) -> Result<Graph, BlobError> {
+    let mut c = Cursor::new(bytes);
+    let nv = c.count(4)?;
+    let mut labels = Vec::with_capacity(nv);
+    for _ in 0..nv {
+        labels.push(c.u32()?);
+    }
+    let ne = c.count(12)?;
+    let mut edges = Vec::with_capacity(ne);
+    for _ in 0..ne {
+        let u = c.u32()?;
+        let v = c.u32()?;
+        let l = c.u32()?;
+        if u as usize >= nv || v as usize >= nv || u == v {
+            return Err(BlobError::Malformed("edge endpoint"));
+        }
+        edges.push((u, v, l));
+    }
+    c.finish()?;
+    Ok(graph_from_edges(&labels, &edges))
+}
+
+// ---- job (app + graph) ----
+
+/// Encodes the job blob shipped in the first `Assign` of a session.
+pub fn encode_job(app: &AppSpec, g: &Graph) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_app(&mut out, app);
+    out.extend_from_slice(&encode_graph(g));
+    out
+}
+
+/// Decodes a job blob back into the app spec and input graph.
+pub fn decode_job(bytes: &[u8]) -> Result<(AppSpec, Graph), BlobError> {
+    let mut c = Cursor::new(bytes);
+    let app = get_app(&mut c)?;
+    let rest = c.take(bytes.len() - c.pos)?;
+    let g = decode_graph_inner(rest)?;
+    Ok((app, g))
+}
+
+// ---- canonical codes ----
+
+fn put_code(out: &mut Vec<u8>, code: &CanonicalCode) {
+    put_u32(out, code.0.len() as u32);
+    for &w in &code.0 {
+        put_u32(out, w);
+    }
+}
+
+fn get_code(c: &mut Cursor<'_>) -> Result<CanonicalCode, BlobError> {
+    let n = c.count(4)?;
+    let mut words = Vec::with_capacity(n);
+    for _ in 0..n {
+        words.push(c.u32()?);
+    }
+    Ok(CanonicalCode(words))
+}
+
+// ---- motifs aggregation map ----
+
+/// Encodes a motif count map, sorted by canonical code for determinism.
+pub fn encode_motifs_map(map: &HashMap<CanonicalCode, u64>) -> Vec<u8> {
+    let mut rows: Vec<(&CanonicalCode, &u64)> = map.iter().collect();
+    rows.sort_by(|a, b| a.0 .0.cmp(&b.0 .0));
+    let mut out = Vec::new();
+    put_u32(&mut out, rows.len() as u32);
+    for (code, count) in rows {
+        put_code(&mut out, code);
+        put_u64(&mut out, *count);
+    }
+    out
+}
+
+/// Decodes a motif count map.
+pub fn decode_motifs_map(bytes: &[u8]) -> Result<HashMap<CanonicalCode, u64>, BlobError> {
+    let mut c = Cursor::new(bytes);
+    let n = c.count(12)?;
+    let mut map = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let code = get_code(&mut c)?;
+        let count = c.u64()?;
+        if map.insert(code, count).is_some() {
+            return Err(BlobError::Malformed("duplicate motif key"));
+        }
+    }
+    c.finish()?;
+    Ok(map)
+}
+
+// ---- FSM aggregation map ----
+
+/// Encodes an FSM support map: per canonical pattern, the per-position
+/// vertex domains (each domain sorted; patterns sorted by code).
+pub fn encode_fsm_map(map: &HashMap<CanonicalCode, DomainSupport>) -> Vec<u8> {
+    let mut rows: Vec<(&CanonicalCode, &DomainSupport)> = map.iter().collect();
+    rows.sort_by(|a, b| a.0 .0.cmp(&b.0 .0));
+    let mut out = Vec::new();
+    put_u32(&mut out, rows.len() as u32);
+    for (code, sup) in rows {
+        put_code(&mut out, code);
+        let domains = sup.domains();
+        put_u32(&mut out, domains.len() as u32);
+        for d in domains {
+            let mut vs: Vec<u32> = d.iter().copied().collect();
+            vs.sort_unstable();
+            put_u32(&mut out, vs.len() as u32);
+            for v in vs {
+                put_u32(&mut out, v);
+            }
+        }
+    }
+    out
+}
+
+/// Decodes an FSM support map.
+pub fn decode_fsm_map(bytes: &[u8]) -> Result<HashMap<CanonicalCode, DomainSupport>, BlobError> {
+    let mut c = Cursor::new(bytes);
+    let n = c.count(8)?;
+    let mut map = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let code = get_code(&mut c)?;
+        let nd = c.count(4)?;
+        let mut domains = Vec::with_capacity(nd);
+        for _ in 0..nd {
+            let nv = c.count(4)?;
+            let mut set = HashSet::with_capacity(nv);
+            for _ in 0..nv {
+                set.insert(c.u32()?);
+            }
+            domains.push(set);
+        }
+        if map
+            .insert(code, DomainSupport::from_domains(domains))
+            .is_some()
+        {
+            return Err(BlobError::Malformed("duplicate fsm key"));
+        }
+    }
+    c.finish()?;
+    Ok(map)
+}
+
+/// Encodes the seed list an FSM `Assign` ships for round `r`: the globally
+/// merged + filtered support maps of rounds `0..r`, in round order.
+pub fn encode_fsm_seeds(seeds: &[HashMap<CanonicalCode, DomainSupport>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, seeds.len() as u32);
+    for map in seeds {
+        let bytes = encode_fsm_map(map);
+        put_u32(&mut out, bytes.len() as u32);
+        out.extend_from_slice(&bytes);
+    }
+    out
+}
+
+/// Decodes a seed list encoded by [`encode_fsm_seeds`].
+pub fn decode_fsm_seeds(
+    bytes: &[u8],
+) -> Result<Vec<HashMap<CanonicalCode, DomainSupport>>, BlobError> {
+    let mut c = Cursor::new(bytes);
+    let n = c.count(4)?;
+    let mut seeds = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = c.u32()? as usize;
+        let chunk = c.take(len)?;
+        seeds.push(decode_fsm_map(chunk)?);
+    }
+    c.finish()?;
+    Ok(seeds)
+}
+
+// ---- metrics report ----
+
+const CORE_STAT_FIELDS: usize = 15;
+
+/// Encodes the metrics-relevant subset of a worker's [`JobReport`]: wall
+/// time, server/fault counters and every per-core counter (busy segments
+/// are dropped — they only feed local timeline rendering).
+pub fn encode_report(r: &JobReport) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, r.elapsed.as_nanos() as u64);
+    put_u64(&mut out, r.bytes_served);
+    put_u64(&mut out, r.steal_requests);
+    put_u64(&mut out, r.steal_hits);
+    for v in [
+        r.faults.faults_injected,
+        r.faults.units_retried,
+        r.faults.units_reexecuted,
+        r.faults.watchdog_trips,
+        r.faults.recovery_ns,
+        r.faults.units_lost,
+    ] {
+        put_u64(&mut out, v);
+    }
+    put_u32(&mut out, r.cores.len() as u32);
+    for (id, s) in &r.cores {
+        put_u32(&mut out, id.worker as u32);
+        put_u32(&mut out, id.core as u32);
+        for v in [
+            s.busy_ns,
+            s.units,
+            s.internal_steals,
+            s.external_steals,
+            s.net_units,
+            s.failed_steal_rounds,
+            s.bytes_received,
+            s.ec,
+            s.peak_state_bytes,
+            s.steal_ns,
+            s.kernel_merge,
+            s.kernel_gallop,
+            s.kernel_bitset,
+            s.kernel_scanned,
+            s.arena_peak_bytes,
+        ] {
+            put_u64(&mut out, v);
+        }
+    }
+    out
+}
+
+/// Decodes a report encoded by [`encode_report`].
+pub fn decode_report(bytes: &[u8]) -> Result<JobReport, BlobError> {
+    let mut c = Cursor::new(bytes);
+    let elapsed = Duration::from_nanos(c.u64()?);
+    let bytes_served = c.u64()?;
+    let steal_requests = c.u64()?;
+    let steal_hits = c.u64()?;
+    let faults = FaultStats {
+        faults_injected: c.u64()?,
+        units_retried: c.u64()?,
+        units_reexecuted: c.u64()?,
+        watchdog_trips: c.u64()?,
+        recovery_ns: c.u64()?,
+        units_lost: c.u64()?,
+    };
+    let ncores = c.count(8 + CORE_STAT_FIELDS * 8)?;
+    let mut cores = Vec::with_capacity(ncores);
+    for _ in 0..ncores {
+        let worker = c.u32()? as usize;
+        let core = c.u32()? as usize;
+        // Struct fields evaluate in written order, which must match the
+        // field order `encode_report` writes.
+        let s = CoreStats {
+            busy_ns: c.u64()?,
+            units: c.u64()?,
+            internal_steals: c.u64()?,
+            external_steals: c.u64()?,
+            net_units: c.u64()?,
+            failed_steal_rounds: c.u64()?,
+            bytes_received: c.u64()?,
+            ec: c.u64()?,
+            peak_state_bytes: c.u64()?,
+            steal_ns: c.u64()?,
+            kernel_merge: c.u64()?,
+            kernel_gallop: c.u64()?,
+            kernel_bitset: c.u64()?,
+            kernel_scanned: c.u64()?,
+            arena_peak_bytes: c.u64()?,
+            ..Default::default()
+        };
+        cores.push((GlobalCoreId { worker, core }, s));
+    }
+    c.finish()?;
+    Ok(JobReport {
+        elapsed,
+        cores,
+        bytes_served,
+        steal_requests,
+        steal_hits,
+        faults,
+        trace: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractal_graph::gen;
+
+    #[test]
+    fn graph_round_trip_is_identical() {
+        let g = gen::mico_like(120, 4, 7);
+        let bytes = encode_graph(&g);
+        let g2 = decode_graph(&bytes).expect("decode");
+        assert_eq!(g.num_vertices(), g2.num_vertices());
+        assert_eq!(g.num_edges(), g2.num_edges());
+        for v in g.vertices() {
+            assert_eq!(g.vertex_label(v), g2.vertex_label(v));
+            assert_eq!(g.neighbors(v), g2.neighbors(v));
+        }
+        for e in g.edges() {
+            assert_eq!(g.edge_endpoints(e), g2.edge_endpoints(e));
+            assert_eq!(g.edge_label(e), g2.edge_label(e));
+        }
+        // And a second encode is bit-identical (determinism).
+        assert_eq!(bytes, encode_graph(&g2));
+    }
+
+    #[test]
+    fn job_round_trip() {
+        let g = gen::patents_like(60, 3, 5);
+        for app in [
+            AppSpec::Motifs {
+                k: 3,
+                use_labels: true,
+            },
+            AppSpec::Kclist { k: 4 },
+            AppSpec::Fsm {
+                min_support: 12,
+                max_edges: 3,
+            },
+        ] {
+            let bytes = encode_job(&app, &g);
+            let (app2, g2) = decode_job(&bytes).expect("decode");
+            assert_eq!(app, app2);
+            assert_eq!(g.num_edges(), g2.num_edges());
+        }
+    }
+
+    #[test]
+    fn motifs_map_round_trip_and_determinism() {
+        let mut map = HashMap::new();
+        map.insert(CanonicalCode(vec![3, 1, 2]), 99u64);
+        map.insert(CanonicalCode(vec![1]), 7);
+        map.insert(CanonicalCode(vec![]), 1);
+        let bytes = encode_motifs_map(&map);
+        assert_eq!(decode_motifs_map(&bytes).expect("decode"), map);
+        assert_eq!(bytes, encode_motifs_map(&map.clone()));
+    }
+
+    #[test]
+    fn fsm_map_round_trip() {
+        let mut map = HashMap::new();
+        map.insert(
+            CanonicalCode(vec![2, 0, 1]),
+            DomainSupport::from_domains(vec![
+                [1u32, 5, 9].into_iter().collect(),
+                [2u32].into_iter().collect(),
+                HashSet::new(),
+            ]),
+        );
+        map.insert(
+            CanonicalCode(vec![2, 0, 0]),
+            DomainSupport::from_domains(vec![[0u32, 1].into_iter().collect()]),
+        );
+        let bytes = encode_fsm_map(&map);
+        let got = decode_fsm_map(&bytes).expect("decode");
+        assert_eq!(got.len(), 2);
+        for (code, sup) in &map {
+            let g = &got[code];
+            assert_eq!(g.domains(), sup.domains());
+            assert_eq!(g.support(), sup.support());
+        }
+    }
+
+    #[test]
+    fn report_round_trip() {
+        let mut s = CoreStats::default();
+        s.busy_ns = 123;
+        s.units = 9;
+        s.net_units = 2;
+        s.ec = 77;
+        let r = JobReport {
+            elapsed: Duration::from_millis(5),
+            cores: vec![
+                (GlobalCoreId { worker: 0, core: 0 }, s.clone()),
+                (GlobalCoreId { worker: 0, core: 1 }, CoreStats::default()),
+            ],
+            bytes_served: 10,
+            steal_requests: 4,
+            steal_hits: 3,
+            faults: FaultStats {
+                faults_injected: 1,
+                units_retried: 2,
+                units_reexecuted: 3,
+                watchdog_trips: 4,
+                recovery_ns: 5,
+                units_lost: 6,
+            },
+            trace: None,
+        };
+        let bytes = encode_report(&r);
+        let r2 = decode_report(&bytes).expect("decode");
+        assert_eq!(r2.elapsed, r.elapsed);
+        assert_eq!(r2.cores.len(), 2);
+        assert_eq!(r2.cores[0].1.busy_ns, 123);
+        assert_eq!(r2.cores[0].1.net_units, 2);
+        assert_eq!(r2.faults.units_lost, 6);
+        assert_eq!(r2.steal_hits, 3);
+    }
+
+    #[test]
+    fn truncated_blobs_error_cleanly() {
+        let g = gen::mico_like(40, 2, 3);
+        let graph_bytes = encode_graph(&g);
+        let mut map = HashMap::new();
+        map.insert(CanonicalCode(vec![1, 2]), 5u64);
+        let motif_bytes = encode_motifs_map(&map);
+        for bytes in [&graph_bytes, &motif_bytes] {
+            for cut in 0..bytes.len().min(64) {
+                assert!(
+                    decode_graph(&bytes[..cut]).is_err()
+                        || decode_motifs_map(&bytes[..cut]).is_err()
+                );
+            }
+        }
+    }
+}

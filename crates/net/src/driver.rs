@@ -1,0 +1,966 @@
+//! The driver process: job partitioning, steal relay, failure recovery
+//! and final reduction.
+//!
+//! The driver is the hub of a star topology: every worker holds exactly
+//! one TCP connection, to the driver, and all cross-process traffic —
+//! including work stealing — is relayed through it. That buys a simple
+//! consistency story: the driver is the single ledger of *word ownership*
+//! (which process is responsible for delivering each root word's
+//! results), updated at the moment a steal reply is forwarded, so no
+//! two-party commit is ever needed. The driver is reliable by model
+//! (driver failure fails the job); workers may die at any time.
+//!
+//! Exactly-once results under failure hinge on one rule: **flush, not
+//! completion, is the commit point.** A worker that dies mid-round takes
+//! its uncommitted results with it, so *all* its owned words — completed
+//! or not — return to the driver's orphan pool and are re-executed by
+//! survivors (served directly out of the pool to the next puller, since
+//! root units have empty prefixes the driver can encode itself). A worker
+//! that dies after the round was declared done but before its `AggFlush`
+//! triggers a *recovery assign*: its unflushed word sets re-run on a
+//! survivor as an extra pass with stealing disabled.
+
+use crate::blob::{self, AppSpec};
+use crate::frame::{read_frame, write_frame, Frame, Role, MISS_WORD, SHUTDOWN_ROUND};
+use fractal_apps::fsm::{fsm_fractoid, DomainSupport};
+use fractal_apps::{cliques, motifs};
+use fractal_core::FractalContext;
+use fractal_graph::Graph;
+use fractal_pattern::CanonicalCode;
+use fractal_runtime::steal::{encode_unit, StolenUnit};
+use fractal_runtime::{ClusterConfig, CoreStats, FaultStats, GlobalCoreId, JobReport};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{self, BufRead, BufReader};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Deterministic fault injection for the cluster substrate: SIGKILL a
+/// worker process once it has demonstrably made progress (first heartbeat
+/// carrying a completed word in round 0).
+pub struct ChaosKill {
+    /// Index of the worker to kill.
+    pub target: usize,
+    /// The kill action (e.g. `Child::kill` through a [`LocalCluster`]).
+    pub kill: Box<dyn FnMut() + Send>,
+}
+
+/// Cluster job description handed to [`run_cluster`].
+pub struct DriverConfig {
+    /// Which application to run.
+    pub app: AppSpec,
+    /// The input graph (shipped to workers in the first `Assign`).
+    pub graph: Graph,
+    /// Declare a worker dead when its heartbeats lapse this long (EOF on
+    /// its connection is the primary death signal; this is the backstop
+    /// for hung-but-connected processes).
+    pub heartbeat_timeout: Duration,
+    /// Optional process-kill fault injection.
+    pub chaos_kill: Option<ChaosKill>,
+}
+
+impl DriverConfig {
+    /// A config with default failure-detection settings.
+    pub fn new(app: AppSpec, graph: Graph) -> Self {
+        DriverConfig {
+            app,
+            graph,
+            heartbeat_timeout: Duration::from_millis(2000),
+            chaos_kill: None,
+        }
+    }
+}
+
+/// Per-worker breakdown of a cluster run, for `fractal trace
+/// --per-worker` and test assertions.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerSummary {
+    /// Worker name (host:port or a synthetic local name).
+    pub name: String,
+    /// Executor threads the worker announced in its `Hello`.
+    pub cores: u32,
+    /// Root words assigned by initial partitioning (all rounds).
+    pub assigned: u64,
+    /// Root-word completions it heartbeat'd.
+    pub completed: u64,
+    /// Words transferred *to* it (relayed steals + orphan serves).
+    pub stolen_in: u64,
+    /// Words transferred *from* it to thieves.
+    pub stolen_out: u64,
+    /// Corrupt steal units it reported (each re-owned by the driver).
+    pub nacks: u64,
+    /// `AggFlush` frames received from it.
+    pub flushes: u64,
+    /// Recovery passes it executed for dead peers.
+    pub recoveries: u64,
+    /// Externally pulled units it executed (from its metrics reports).
+    pub net_units: u64,
+    /// Whether the driver declared it dead.
+    pub died: bool,
+}
+
+/// What a cluster run produced.
+pub struct ClusterResult {
+    /// The application that ran.
+    pub app: AppSpec,
+    /// Total result-subgraph count (count-mode apps, e.g. KClist).
+    pub count: u64,
+    /// Merged motif map (Motifs only).
+    pub motifs: HashMap<CanonicalCode, u64>,
+    /// Per-round globally filtered frequent-pattern maps (FSM only).
+    pub frequent: Vec<HashMap<CanonicalCode, DomainSupport>>,
+    /// Driver rounds actually executed.
+    pub rounds: u32,
+    /// Federated metrics: per-core stats of every worker (remapped to
+    /// cluster-wide worker indices), summed counters, driver wall-clock.
+    pub report: JobReport,
+    /// Per-worker breakdowns.
+    pub workers: Vec<WorkerSummary>,
+    /// Workers declared dead.
+    pub deaths: u64,
+    /// Words returned to the orphan pool by deaths or nacks.
+    pub orphaned_words: u64,
+    /// Recovery passes assigned after post-done deaths.
+    pub recovery_assigns: u64,
+    /// Successful steal transfers relayed (including orphan serves).
+    pub steal_relays: u64,
+}
+
+enum Ev {
+    Frame(usize, u32, Frame),
+    Dead(usize),
+}
+
+struct Conn {
+    writer: Option<TcpStream>,
+    seq: u32,
+    alive: bool,
+    got_job: bool,
+    last_beat: Instant,
+    /// Flushes expected / received for the current round.
+    expected: u32,
+    flushed: u32,
+    /// Outstanding passes: the word sets whose results this worker still
+    /// owes. Front = oldest; popped on each `AggFlush` (FIFO matches the
+    /// worker's assign-order execution). Steal transfers move words
+    /// between the *current* (front) passes of victim and thief.
+    passes: VecDeque<HashSet<u64>>,
+    summary: WorkerSummary,
+}
+
+impl Conn {
+    fn send_seq(&mut self, seq: u32, frame: &Frame) -> bool {
+        let Some(w) = self.writer.as_mut() else {
+            return false;
+        };
+        write_frame(w, seq, frame).is_ok()
+    }
+
+    fn send(&mut self, frame: &Frame) -> bool {
+        let seq = self.seq;
+        self.seq = self.seq.wrapping_add(1);
+        self.send_seq(seq, frame)
+    }
+}
+
+/// Per-round ledger.
+struct RoundState {
+    round: u32,
+    /// word → globally completed?
+    words: HashMap<u64, bool>,
+    done_count: usize,
+    /// Words the driver owns and serves directly to the next puller.
+    orphans: VecDeque<u64>,
+    /// Relayed steals in flight: (victim, forwarded seq) → (thief, the
+    /// thief's request seq to echo).
+    pending: HashMap<(usize, u32), (usize, u32)>,
+    done_broadcast: bool,
+    count: u64,
+    motifs: HashMap<CanonicalCode, u64>,
+    fsm: HashMap<CanonicalCode, DomainSupport>,
+}
+
+impl RoundState {
+    fn new(round: u32, roots: &[u64]) -> Self {
+        RoundState {
+            round,
+            words: roots.iter().map(|&w| (w, false)).collect(),
+            done_count: 0,
+            orphans: VecDeque::new(),
+            pending: HashMap::new(),
+            done_broadcast: false,
+            count: 0,
+            motifs: HashMap::new(),
+            fsm: HashMap::new(),
+        }
+    }
+}
+
+struct Driver {
+    app: AppSpec,
+    conns: Vec<Conn>,
+    heartbeat_timeout: Duration,
+    chaos_kill: Option<ChaosKill>,
+    deaths: u64,
+    orphaned_words: u64,
+    recovery_assigns: u64,
+    steal_relays: u64,
+    // Federated metrics accumulators.
+    acc_cores: HashMap<(usize, usize), CoreStats>,
+    bytes_served: u64,
+    steal_requests: u64,
+    steal_hits: u64,
+    faults: FaultStats,
+}
+
+impl Driver {
+    fn alive(&self) -> Vec<usize> {
+        (0..self.conns.len())
+            .filter(|&i| self.conns[i].alive)
+            .collect()
+    }
+
+    fn send_or_kill(&mut self, i: usize, frame: &Frame, rs: &mut RoundState) {
+        if !self.conns[i].send(frame) {
+            self.kill_worker(i, rs);
+        }
+    }
+
+    /// Declares worker `i` dead and reroutes its obligations. Idempotent.
+    fn kill_worker(&mut self, i: usize, rs: &mut RoundState) {
+        if !self.conns[i].alive {
+            return;
+        }
+        self.conns[i].alive = false;
+        self.conns[i].summary.died = true;
+        if let Some(w) = self.conns[i].writer.take() {
+            let _ = w.shutdown(std::net::Shutdown::Both);
+        }
+        self.deaths += 1;
+
+        // Relayed steals involving the dead worker.
+        let stale: Vec<((usize, u32), (usize, u32))> = rs
+            .pending
+            .iter()
+            .filter(|(&(v, _), &(t, _))| v == i || t == i)
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        for (key, (thief, tseq)) in stale {
+            rs.pending.remove(&key);
+            // Dead victim: unblock the thief with a miss. (Dead thief:
+            // just forget the entry — a later hit reply from the victim
+            // finds no match and its word is orphaned below.)
+            if key.0 == i && self.conns[thief].alive {
+                let miss = Frame::StealReply {
+                    round: rs.round,
+                    word: MISS_WORD,
+                    unit: None,
+                };
+                if !self.conns[thief].send_seq(tseq, &miss) {
+                    self.kill_worker(thief, rs);
+                }
+            }
+        }
+
+        let leftover: Vec<HashSet<u64>> = self.conns[i].passes.drain(..).collect();
+        if !rs.done_broadcast {
+            // Mid-round death: every owned word — completed or not — is
+            // uncommitted (results died with the process). Back to the
+            // pool; completions are rolled back.
+            for set in leftover {
+                for w in set {
+                    if let Some(done) = rs.words.get_mut(&w) {
+                        if *done {
+                            *done = false;
+                            rs.done_count -= 1;
+                        }
+                        rs.orphans.push_back(w);
+                        self.orphaned_words += 1;
+                    }
+                }
+            }
+        } else {
+            // Post-done death: unflushed passes re-run on a survivor as
+            // recovery assigns (no stealing; one extra flush each).
+            for set in leftover {
+                if set.is_empty() {
+                    continue;
+                }
+                let Some(&s) = self.alive().first() else {
+                    return; // round loop notices all-dead and errors out
+                };
+                let mut roots: Vec<u64> = set.iter().copied().collect();
+                roots.sort_unstable();
+                self.conns[s].passes.push_back(set);
+                self.conns[s].expected += 1;
+                self.conns[s].summary.recoveries += 1;
+                self.recovery_assigns += 1;
+                let assign = Frame::Assign {
+                    round: rs.round,
+                    recovery: true,
+                    job: None,
+                    seed: None,
+                    roots,
+                };
+                self.send_or_kill(s, &assign, rs);
+            }
+        }
+    }
+
+    fn accumulate_report(&mut self, i: usize, report: JobReport) {
+        for (id, s) in report.cores {
+            self.conns[i].summary.net_units += s.net_units;
+            let acc = self.acc_cores.entry((i, id.core)).or_default();
+            acc.busy_ns += s.busy_ns;
+            acc.units += s.units;
+            acc.internal_steals += s.internal_steals;
+            acc.external_steals += s.external_steals;
+            acc.net_units += s.net_units;
+            acc.failed_steal_rounds += s.failed_steal_rounds;
+            acc.bytes_received += s.bytes_received;
+            acc.ec += s.ec;
+            acc.peak_state_bytes = acc.peak_state_bytes.max(s.peak_state_bytes);
+            acc.steal_ns += s.steal_ns;
+            acc.kernel_merge += s.kernel_merge;
+            acc.kernel_gallop += s.kernel_gallop;
+            acc.kernel_bitset += s.kernel_bitset;
+            acc.kernel_scanned += s.kernel_scanned;
+            acc.arena_peak_bytes = acc.arena_peak_bytes.max(s.arena_peak_bytes);
+        }
+        self.bytes_served += report.bytes_served;
+        self.steal_requests += report.steal_requests;
+        self.steal_hits += report.steal_hits;
+        self.faults.faults_injected += report.faults.faults_injected;
+        self.faults.units_retried += report.faults.units_retried;
+        self.faults.units_reexecuted += report.faults.units_reexecuted;
+        self.faults.watchdog_trips += report.faults.watchdog_trips;
+        self.faults.recovery_ns += report.faults.recovery_ns;
+        self.faults.units_lost += report.faults.units_lost;
+    }
+
+    fn handle_frame(
+        &mut self,
+        i: usize,
+        seq: u32,
+        frame: Frame,
+        rs: &mut RoundState,
+    ) -> io::Result<()> {
+        if !self.conns[i].alive {
+            return Ok(());
+        }
+        match frame {
+            Frame::Heartbeat { round, completed } => {
+                self.conns[i].last_beat = Instant::now();
+                if round == rs.round {
+                    self.conns[i].summary.completed += completed.len() as u64;
+                    for w in &completed {
+                        if let Some(done) = rs.words.get_mut(w) {
+                            if !*done {
+                                *done = true;
+                                rs.done_count += 1;
+                            }
+                        }
+                    }
+                    let fire = !completed.is_empty()
+                        && rs.round == 0
+                        && self.chaos_kill.as_ref().is_some_and(|ck| ck.target == i);
+                    if fire {
+                        let mut ck = self.chaos_kill.take().expect("checked");
+                        (ck.kill)();
+                    }
+                }
+            }
+            Frame::StealRequest { round } => {
+                if round != rs.round || rs.done_broadcast {
+                    let miss = Frame::StealReply {
+                        round,
+                        word: MISS_WORD,
+                        unit: None,
+                    };
+                    if !self.conns[i].send_seq(seq, &miss) {
+                        self.kill_worker(i, rs);
+                    }
+                } else if let Some(w) = rs.orphans.pop_front() {
+                    // Serve the orphan directly: a root unit has an empty
+                    // prefix, so the driver encodes it itself.
+                    if let Some(front) = self.conns[i].passes.front_mut() {
+                        front.insert(w);
+                    } else {
+                        self.conns[i].passes.push_back([w].into_iter().collect());
+                    }
+                    self.conns[i].summary.stolen_in += 1;
+                    self.steal_relays += 1;
+                    let unit = encode_unit(&StolenUnit {
+                        prefix: Vec::new(),
+                        word: w,
+                    });
+                    let reply = Frame::StealReply {
+                        round,
+                        word: w,
+                        unit: Some(unit),
+                    };
+                    if !self.conns[i].send_seq(seq, &reply) {
+                        // The kill path re-orphans w via the thief's pass.
+                        self.kill_worker(i, rs);
+                    }
+                } else {
+                    // Relay to the victim with the most unfinished words.
+                    let victim = self
+                        .alive()
+                        .into_iter()
+                        .filter(|&j| j != i)
+                        .map(|j| {
+                            let remaining = self.conns[j]
+                                .passes
+                                .front()
+                                .map(|s| s.iter().filter(|w| !rs.words[*w]).count())
+                                .unwrap_or(0);
+                            (remaining, j)
+                        })
+                        .filter(|&(n, _)| n > 0)
+                        .max_by_key(|&(n, _)| n)
+                        .map(|(_, j)| j);
+                    match victim {
+                        Some(j) => {
+                            let fwd_seq = self.conns[j].seq;
+                            self.conns[j].seq = fwd_seq.wrapping_add(1);
+                            rs.pending.insert((j, fwd_seq), (i, seq));
+                            let fwd = Frame::StealRequest { round };
+                            if !self.conns[j].send_seq(fwd_seq, &fwd) {
+                                self.kill_worker(j, rs);
+                            }
+                        }
+                        None => {
+                            let miss = Frame::StealReply {
+                                round,
+                                word: MISS_WORD,
+                                unit: None,
+                            };
+                            if !self.conns[i].send_seq(seq, &miss) {
+                                self.kill_worker(i, rs);
+                            }
+                        }
+                    }
+                }
+            }
+            Frame::StealReply { round, word, unit } => {
+                if round != rs.round {
+                    return Ok(());
+                }
+                let hit = word != MISS_WORD && unit.is_some() && rs.words.contains_key(&word);
+                match rs.pending.remove(&(i, seq)) {
+                    Some((thief, tseq)) => {
+                        if hit {
+                            // Ownership transfer, recorded here — the
+                            // victim has already claimed the word out of
+                            // its queues, so from this moment the thief
+                            // (or, on its death, the orphan pool) is the
+                            // word's only live owner.
+                            if let Some(front) = self.conns[i].passes.front_mut() {
+                                front.remove(&word);
+                            }
+                            self.conns[i].summary.stolen_out += 1;
+                            if self.conns[thief].alive {
+                                if let Some(front) = self.conns[thief].passes.front_mut() {
+                                    front.insert(word);
+                                } else {
+                                    self.conns[thief]
+                                        .passes
+                                        .push_back([word].into_iter().collect());
+                                }
+                                self.conns[thief].summary.stolen_in += 1;
+                                self.steal_relays += 1;
+                                let fwd = Frame::StealReply { round, word, unit };
+                                if !self.conns[thief].send_seq(tseq, &fwd) {
+                                    self.kill_worker(thief, rs);
+                                }
+                            } else {
+                                rs.orphans.push_back(word);
+                                self.orphaned_words += 1;
+                            }
+                        } else if self.conns[thief].alive {
+                            let miss = Frame::StealReply {
+                                round,
+                                word: MISS_WORD,
+                                unit: None,
+                            };
+                            if !self.conns[thief].send_seq(tseq, &miss) {
+                                self.kill_worker(thief, rs);
+                            }
+                        }
+                    }
+                    None => {
+                        // The thief died while this relay was in flight.
+                        // The victim still claimed the word out — orphan
+                        // it so a survivor re-executes it.
+                        if hit {
+                            if let Some(front) = self.conns[i].passes.front_mut() {
+                                front.remove(&word);
+                            }
+                            rs.orphans.push_back(word);
+                            self.orphaned_words += 1;
+                        }
+                    }
+                }
+            }
+            Frame::Nack { round, word } => {
+                if round == rs.round {
+                    self.conns[i].summary.nacks += 1;
+                    if let Some(front) = self.conns[i].passes.front_mut() {
+                        front.remove(&word);
+                    }
+                    if rs.words.contains_key(&word) {
+                        rs.orphans.push_back(word);
+                        self.orphaned_words += 1;
+                    }
+                }
+            }
+            Frame::Ack { .. } => {} // metrics already counted at forward
+            Frame::AggFlush {
+                round,
+                count,
+                agg,
+                report,
+            } => {
+                if round != rs.round {
+                    return Ok(());
+                }
+                self.conns[i].flushed += 1;
+                self.conns[i].summary.flushes += 1;
+                self.conns[i].passes.pop_front();
+                rs.count += count;
+                match self.app {
+                    AppSpec::Motifs { .. } => {
+                        let map = blob::decode_motifs_map(&agg)
+                            .map_err(|e| invalid(format!("motifs flush: {e}")))?;
+                        for (k, v) in map {
+                            *rs.motifs.entry(k).or_insert(0) += v;
+                        }
+                    }
+                    AppSpec::Kclist { .. } => {}
+                    AppSpec::Fsm { .. } => {
+                        let map = blob::decode_fsm_map(&agg)
+                            .map_err(|e| invalid(format!("fsm flush: {e}")))?;
+                        for (k, v) in map {
+                            match rs.fsm.entry(k) {
+                                std::collections::hash_map::Entry::Occupied(mut e) => {
+                                    e.get_mut().merge(v)
+                                }
+                                std::collections::hash_map::Entry::Vacant(e) => {
+                                    e.insert(v);
+                                }
+                            }
+                        }
+                    }
+                }
+                let rep = blob::decode_report(&report)
+                    .map_err(|e| invalid(format!("report flush: {e}")))?;
+                self.accumulate_report(i, rep);
+            }
+            Frame::Hello { .. } | Frame::Assign { .. } | Frame::Done { .. } => {}
+        }
+        Ok(())
+    }
+}
+
+/// Runs a cluster job over already-connected worker streams and reduces
+/// the final result. `names` label the workers in reports (host:port or
+/// synthetic). Returns an error only for driver-side failures (handshake,
+/// corrupt flush blobs, all workers dead) — individual worker deaths are
+/// recovered from and surfaced in the result's counters.
+pub fn run_cluster(
+    streams: Vec<TcpStream>,
+    names: Vec<String>,
+    config: DriverConfig,
+) -> io::Result<ClusterResult> {
+    assert_eq!(streams.len(), names.len(), "one name per worker stream");
+    assert!(!streams.is_empty(), "need at least one worker");
+    let DriverConfig {
+        app,
+        graph,
+        heartbeat_timeout,
+        chaos_kill,
+    } = config;
+    let job_blob = blob::encode_job(&app, &graph);
+    let fg = FractalContext::new(ClusterConfig::local(1, 1)).fractal_graph(graph);
+    // Root words are a pure function of graph + app, identical on every
+    // process. For FSM they are the same every round (extensions of the
+    // empty subgraph; aggregation filters prune only deeper levels).
+    let roots = match &app {
+        AppSpec::Motifs { k, use_labels } => {
+            motifs::motifs_fractoid(&fg, *k as usize, *use_labels).step_roots()
+        }
+        AppSpec::Kclist { k } => cliques::cliques_kclist_fractoid(&fg, *k as usize).step_roots(),
+        AppSpec::Fsm { min_support, .. } => fsm_fractoid(&fg, *min_support, 1).step_roots(),
+    };
+
+    let (tx, rx): (_, Receiver<Ev>) = channel();
+    let mut conns = Vec::with_capacity(streams.len());
+    for (i, (mut stream, name)) in streams.into_iter().zip(names).enumerate() {
+        stream.set_nodelay(true).ok();
+        write_frame(
+            &mut stream,
+            0,
+            &Frame::Hello {
+                role: Role::Driver,
+                cores: 0,
+            },
+        )?;
+        let cores = match read_frame(&mut stream)? {
+            (
+                _,
+                Frame::Hello {
+                    role: Role::Worker,
+                    cores,
+                },
+            ) => cores,
+            _ => return Err(invalid(format!("worker {name}: expected Hello"))),
+        };
+        let mut reader = stream.try_clone()?;
+        let txc = tx.clone();
+        thread::spawn(move || loop {
+            match read_frame(&mut reader) {
+                Ok((seq, f)) => {
+                    if txc.send(Ev::Frame(i, seq, f)).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => {
+                    let _ = txc.send(Ev::Dead(i));
+                    break;
+                }
+            }
+        });
+        conns.push(Conn {
+            writer: Some(stream),
+            seq: 1,
+            alive: true,
+            got_job: false,
+            last_beat: Instant::now(),
+            expected: 0,
+            flushed: 0,
+            passes: VecDeque::new(),
+            summary: WorkerSummary {
+                name,
+                cores,
+                ..WorkerSummary::default()
+            },
+        });
+    }
+    drop(tx);
+
+    let start = Instant::now();
+    let mut drv = Driver {
+        app,
+        conns,
+        heartbeat_timeout,
+        chaos_kill,
+        deaths: 0,
+        orphaned_words: 0,
+        recovery_assigns: 0,
+        steal_relays: 0,
+        acc_cores: HashMap::new(),
+        bytes_served: 0,
+        steal_requests: 0,
+        steal_hits: 0,
+        faults: FaultStats::default(),
+    };
+
+    let mut total_count = 0u64;
+    let mut motifs_result = HashMap::new();
+    let mut frequent: Vec<HashMap<CanonicalCode, DomainSupport>> = Vec::new();
+    let mut rounds_run = 0u32;
+
+    for round in 0..app.max_rounds() {
+        let alive = drv.alive();
+        if alive.is_empty() {
+            return Err(invalid("all workers died"));
+        }
+        let mut rs = RoundState::new(round, &roots);
+        let seed_blob = if matches!(app, AppSpec::Fsm { .. }) && round > 0 {
+            Some(blob::encode_fsm_seeds(&frequent))
+        } else {
+            None
+        };
+
+        // Partition root words round-robin over live workers and assign.
+        let mut parts: Vec<Vec<u64>> = vec![Vec::new(); drv.conns.len()];
+        for (j, &w) in roots.iter().enumerate() {
+            parts[alive[j % alive.len()]].push(w);
+        }
+        for &i in &alive {
+            let part = std::mem::take(&mut parts[i]);
+            let c = &mut drv.conns[i];
+            c.expected = 1;
+            c.flushed = 0;
+            c.passes.clear();
+            c.passes.push_back(part.iter().copied().collect());
+            c.summary.assigned += part.len() as u64;
+            let job = if c.got_job {
+                None
+            } else {
+                c.got_job = true;
+                Some(job_blob.clone())
+            };
+            let assign = Frame::Assign {
+                round,
+                recovery: false,
+                job,
+                seed: seed_blob.clone(),
+                roots: part,
+            };
+            drv.send_or_kill(i, &assign, &mut rs);
+        }
+
+        // Event loop: run the round to completion + full flush.
+        loop {
+            if !rs.done_broadcast && rs.done_count == rs.words.len() {
+                rs.done_broadcast = true;
+                let done = Frame::Done { round };
+                for i in drv.alive() {
+                    drv.send_or_kill(i, &done, &mut rs);
+                }
+            }
+            if rs.done_broadcast {
+                let all_flushed = drv
+                    .alive()
+                    .iter()
+                    .all(|&i| drv.conns[i].flushed >= drv.conns[i].expected);
+                if all_flushed {
+                    break;
+                }
+            }
+            if drv.alive().is_empty() {
+                return Err(invalid("all workers died"));
+            }
+            match rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(Ev::Frame(i, seq, frame)) => drv.handle_frame(i, seq, frame, &mut rs)?,
+                Ok(Ev::Dead(i)) => drv.kill_worker(i, &mut rs),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(invalid("all worker connections lost"))
+                }
+            }
+            let stale: Vec<usize> = drv
+                .alive()
+                .into_iter()
+                .filter(|&i| drv.conns[i].last_beat.elapsed() > drv.heartbeat_timeout)
+                .collect();
+            for i in stale {
+                drv.kill_worker(i, &mut rs);
+            }
+        }
+
+        rounds_run = round + 1;
+        total_count += rs.count;
+        match app {
+            AppSpec::Motifs { .. } => motifs_result = rs.motifs,
+            AppSpec::Kclist { .. } => {}
+            AppSpec::Fsm { min_support, .. } => {
+                // Workers flush unfiltered partial maps; the support
+                // filter is only meaningful on the global merge.
+                let filtered: HashMap<CanonicalCode, DomainSupport> = rs
+                    .fsm
+                    .into_iter()
+                    .filter(|(_, v)| v.has_enough_support(min_support))
+                    .collect();
+                let empty = filtered.is_empty();
+                frequent.push(filtered);
+                if empty {
+                    break;
+                }
+            }
+        }
+    }
+
+    let shutdown = Frame::Done {
+        round: SHUTDOWN_ROUND,
+    };
+    for i in drv.alive() {
+        let _ = drv.conns[i].send(&shutdown);
+    }
+
+    let mut keys: Vec<(usize, usize)> = drv.acc_cores.keys().copied().collect();
+    keys.sort_unstable();
+    let cores = keys
+        .into_iter()
+        .map(|(worker, core)| {
+            let stats = drv.acc_cores.remove(&(worker, core)).expect("key");
+            (GlobalCoreId { worker, core }, stats)
+        })
+        .collect();
+    let report = JobReport {
+        elapsed: start.elapsed(),
+        cores,
+        bytes_served: drv.bytes_served,
+        steal_requests: drv.steal_requests,
+        steal_hits: drv.steal_hits,
+        faults: drv.faults,
+        trace: None,
+    };
+    Ok(ClusterResult {
+        app,
+        count: total_count,
+        motifs: motifs_result,
+        frequent,
+        rounds: rounds_run,
+        report,
+        workers: drv.conns.into_iter().map(|c| c.summary).collect(),
+        deaths: drv.deaths,
+        orphaned_words: drv.orphaned_words,
+        recovery_assigns: drv.recovery_assigns,
+        steal_relays: drv.steal_relays,
+    })
+}
+
+/// Renders the per-worker breakdown table (`fractal trace --per-worker`).
+pub fn render_per_worker(result: &ClusterResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<18} {:>5} {:>8} {:>9} {:>9} {:>10} {:>5} {:>7} {:>9} {:>9} {:>5}\n",
+        "worker",
+        "cores",
+        "assigned",
+        "completed",
+        "stolen_in",
+        "stolen_out",
+        "nacks",
+        "flushes",
+        "recovered",
+        "net_units",
+        "died"
+    ));
+    for w in &result.workers {
+        out.push_str(&format!(
+            "{:<18} {:>5} {:>8} {:>9} {:>9} {:>10} {:>5} {:>7} {:>9} {:>9} {:>5}\n",
+            w.name,
+            w.cores,
+            w.assigned,
+            w.completed,
+            w.stolen_in,
+            w.stolen_out,
+            w.nacks,
+            w.flushes,
+            w.recoveries,
+            w.net_units,
+            if w.died { "yes" } else { "no" }
+        ));
+    }
+    out.push_str(&format!(
+        "rounds={} deaths={} orphaned={} recovery_assigns={} steal_relays={} elapsed={:?}\n",
+        result.rounds,
+        result.deaths,
+        result.orphaned_words,
+        result.recovery_assigns,
+        result.steal_relays,
+        result.report.elapsed
+    ));
+    out
+}
+
+/// A locally spawned fleet of worker subprocesses, used by
+/// `fractal submit --local-cluster N` and the chaos harness. Workers are
+/// spawned with `--listen 127.0.0.1:0` and report their bound address on
+/// stdout as `LISTENING <addr>`. Dropping the cluster kills and reaps all
+/// children.
+pub struct LocalCluster {
+    children: Arc<Mutex<Vec<Child>>>,
+    addrs: Vec<SocketAddr>,
+}
+
+impl LocalCluster {
+    /// Spawns `n` workers by re-executing the current binary with
+    /// `worker --listen 127.0.0.1:0 --cores <cores>`.
+    pub fn spawn(n: usize, cores: usize) -> io::Result<LocalCluster> {
+        let exe = std::env::current_exe()?;
+        LocalCluster::spawn_with(n, |_| {
+            let mut cmd = Command::new(&exe);
+            cmd.args([
+                "worker",
+                "--listen",
+                "127.0.0.1:0",
+                "--cores",
+                &cores.to_string(),
+            ]);
+            cmd
+        })
+    }
+
+    /// Spawns `n` workers with caller-built commands (the chaos harness
+    /// re-executes itself with a hidden worker-mode argument). Each child
+    /// must print `LISTENING <addr>` as its first stdout line.
+    pub fn spawn_with(
+        n: usize,
+        mut make: impl FnMut(usize) -> Command,
+    ) -> io::Result<LocalCluster> {
+        let mut children = Vec::with_capacity(n);
+        let mut addrs = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut cmd = make(i);
+            cmd.stdout(Stdio::piped());
+            let mut child = cmd.spawn()?;
+            let stdout = child.stdout.take().expect("stdout piped");
+            let mut reader = BufReader::new(stdout);
+            let mut line = String::new();
+            reader.read_line(&mut line)?;
+            let addr: SocketAddr = line
+                .trim()
+                .strip_prefix("LISTENING ")
+                .ok_or_else(|| invalid(format!("worker {i}: bad banner {line:?}")))?
+                .parse()
+                .map_err(|e| invalid(format!("worker {i}: bad address: {e}")))?;
+            // Keep the pipe drained so the child can never block on stdout.
+            thread::spawn(move || {
+                let _ = io::copy(&mut reader, &mut io::sink());
+            });
+            children.push(child);
+            addrs.push(addr);
+        }
+        Ok(LocalCluster {
+            children: Arc::new(Mutex::new(children)),
+            addrs,
+        })
+    }
+
+    /// The workers' listen addresses.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Opens one driver connection per worker, in index order.
+    pub fn connect(&self) -> io::Result<Vec<TcpStream>> {
+        self.addrs.iter().map(TcpStream::connect).collect()
+    }
+
+    /// A closure that SIGKILLs worker `i` when invoked (the chaos-kill
+    /// action for [`ChaosKill`]).
+    pub fn kill_fn(&self, i: usize) -> Box<dyn FnMut() + Send> {
+        let children = Arc::clone(&self.children);
+        Box::new(move || {
+            if let Some(child) = children.lock().get_mut(i) {
+                let _ = child.kill();
+            }
+        })
+    }
+}
+
+impl Drop for LocalCluster {
+    fn drop(&mut self) {
+        let mut children = self.children.lock();
+        for child in children.iter_mut() {
+            let _ = child.kill();
+        }
+        for child in children.iter_mut() {
+            let _ = child.wait();
+        }
+    }
+}

@@ -1,0 +1,646 @@
+//! The wire frame protocol of the cluster substrate (DESIGN.md §10).
+//!
+//! Every message between driver and workers is one *frame*:
+//!
+//! ```text
+//! magic u16 (0xF2AC) | version u8 | type u8 | seq u32 | payload_len u32
+//! | payload (payload_len bytes) | checksum u64 (FNV-1a over all prior bytes)
+//! ```
+//!
+//! All integers are big-endian. `payload_len` is capped at
+//! [`MAX_PAYLOAD`]; a peer announcing more is treated as protocol
+//! corruption before any allocation happens, so a hostile or corrupted
+//! length field cannot OOM the receiver. The trailing checksum covers the
+//! header *and* payload — the same FNV-1a the in-process steal protocol
+//! uses for its unit encoding, promoted to every frame.
+//!
+//! Frames carry opaque byte blobs (job spec, aggregation maps, reports)
+//! whose encodings live in [`crate::blob`]; the frame layer only frames,
+//! checks and routes them.
+
+use fractal_runtime::steal::fnv1a64;
+use std::io::{self, Read, Write};
+
+/// Frame magic: the first two wire bytes of every fractal-net message.
+pub const MAGIC: u16 = 0xF2AC;
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+/// Hard cap on a frame's payload length (64 MiB).
+pub const MAX_PAYLOAD: u32 = 64 << 20;
+/// Fixed header size: magic + version + type + seq + payload_len.
+pub const HEADER_LEN: usize = 12;
+/// Trailing checksum size.
+pub const CHECKSUM_LEN: usize = 8;
+/// `Done { round: SHUTDOWN_ROUND }` is the session-shutdown sentinel.
+pub const SHUTDOWN_ROUND: u32 = u32::MAX;
+/// `StealReply { word: MISS_WORD, unit: None }` marks a steal miss.
+pub const MISS_WORD: u64 = u64::MAX;
+
+/// Who is speaking in a `Hello`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The driver process.
+    Driver,
+    /// A worker process.
+    Worker,
+}
+
+/// One protocol message. See DESIGN.md §10 for the full grammar and the
+/// failure semantics of each type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Session opener, both directions: who am I, how many cores.
+    Hello { role: Role, cores: u32 },
+    /// Driver → worker: run `roots` for `round`. The first Assign of a
+    /// session carries the job blob (graph + app spec); iterative apps
+    /// ship the previous round's merged aggregation as `seed`.
+    /// `recovery` passes re-execute a dead worker's words after the round
+    /// was already declared done.
+    Assign {
+        round: u32,
+        recovery: bool,
+        job: Option<Vec<u8>>,
+        seed: Option<Vec<u8>>,
+        roots: Vec<u64>,
+    },
+    /// Thief worker → driver: give me work. Driver → victim worker:
+    /// relayed on behalf of a thief (the driver mediates all steals).
+    StealRequest { round: u32 },
+    /// Victim worker → driver → thief worker. `word` names the
+    /// transferred root explicitly so the driver records the ownership
+    /// transfer without decoding `unit`; a miss is
+    /// `word == MISS_WORD, unit == None`. The unit payload itself is the
+    /// checksummed `encode_unit` format of the in-process steal protocol.
+    StealReply {
+        round: u32,
+        word: u64,
+        unit: Option<Vec<u8>>,
+    },
+    /// Thief → driver: the stolen unit decoded cleanly (metrics only).
+    Ack { round: u32, word: u64 },
+    /// Thief → driver: the unit payload was corrupt; the driver re-owns
+    /// the word and serves it to another puller.
+    Nack { round: u32, word: u64 },
+    /// Worker → driver at end of round: local result count, the
+    /// unfinalized aggregation blob and the worker's metrics report.
+    AggFlush {
+        round: u32,
+        count: u64,
+        agg: Vec<u8>,
+        report: Vec<u8>,
+    },
+    /// Worker → driver, periodic: liveness plus the root words completed
+    /// since the last beat.
+    Heartbeat { round: u32, completed: Vec<u64> },
+    /// Driver → workers: the round's words are all complete — drain and
+    /// flush. `round == SHUTDOWN_ROUND` ends the session.
+    Done { round: u32 },
+}
+
+impl Frame {
+    fn type_code(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => 1,
+            Frame::Assign { .. } => 2,
+            Frame::StealRequest { .. } => 3,
+            Frame::StealReply { .. } => 4,
+            Frame::Ack { .. } => 5,
+            Frame::Nack { .. } => 6,
+            Frame::AggFlush { .. } => 7,
+            Frame::Heartbeat { .. } => 8,
+            Frame::Done { .. } => 9,
+        }
+    }
+}
+
+/// Why a frame failed to decode. Every variant is reachable from
+/// adversarial input without panicking or allocating unboundedly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than the header + payload + checksum require.
+    Truncated,
+    /// First two bytes are not [`MAGIC`].
+    BadMagic,
+    /// Unknown protocol version.
+    BadVersion(u8),
+    /// Unknown frame type code.
+    UnknownType(u8),
+    /// Announced payload length exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// The trailing FNV-1a checksum does not match.
+    ChecksumMismatch,
+    /// Payload parsed but bytes were left over.
+    TrailingBytes,
+    /// Structurally invalid payload (bad flag, inner length overrun, …).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "truncated frame"),
+            FrameError::BadMagic => write!(f, "bad frame magic"),
+            FrameError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::UnknownType(t) => write!(f, "unknown frame type {t}"),
+            FrameError::Oversized(n) => write!(f, "payload length {n} exceeds cap"),
+            FrameError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+            FrameError::TrailingBytes => write!(f, "trailing bytes after payload"),
+            FrameError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+// ---- payload writer ----
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+fn put_blob(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+fn put_words(out: &mut Vec<u8>, words: &[u64]) {
+    put_u32(out, words.len() as u32);
+    for &w in words {
+        put_u64(out, w);
+    }
+}
+
+// ---- payload reader ----
+
+/// Bounds-checked big-endian cursor over a payload slice.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        // `checked_add` keeps a hostile inner length from wrapping.
+        let end = self.pos.checked_add(n).ok_or(FrameError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(FrameError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn blob(&mut self) -> Result<Vec<u8>, FrameError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+    fn words(&mut self) -> Result<Vec<u64>, FrameError> {
+        let n = self.u32()? as usize;
+        // Each word is 8 bytes; reject counts the payload can't hold
+        // before allocating.
+        if n > self.buf.len().saturating_sub(self.pos) / 8 {
+            return Err(FrameError::Truncated);
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u64()?);
+        }
+        Ok(out)
+    }
+    fn finish(self) -> Result<(), FrameError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(FrameError::TrailingBytes)
+        }
+    }
+}
+
+fn encode_payload(frame: &Frame) -> Vec<u8> {
+    let mut p = Vec::new();
+    match frame {
+        Frame::Hello { role, cores } => {
+            put_u8(
+                &mut p,
+                match role {
+                    Role::Driver => 0,
+                    Role::Worker => 1,
+                },
+            );
+            put_u32(&mut p, *cores);
+        }
+        Frame::Assign {
+            round,
+            recovery,
+            job,
+            seed,
+            roots,
+        } => {
+            put_u32(&mut p, *round);
+            let mut flags = 0u8;
+            if *recovery {
+                flags |= 1;
+            }
+            if job.is_some() {
+                flags |= 2;
+            }
+            if seed.is_some() {
+                flags |= 4;
+            }
+            put_u8(&mut p, flags);
+            if let Some(j) = job {
+                put_blob(&mut p, j);
+            }
+            if let Some(s) = seed {
+                put_blob(&mut p, s);
+            }
+            put_words(&mut p, roots);
+        }
+        Frame::StealRequest { round } => put_u32(&mut p, *round),
+        Frame::StealReply { round, word, unit } => {
+            put_u32(&mut p, *round);
+            put_u64(&mut p, *word);
+            match unit {
+                Some(u) => {
+                    put_u8(&mut p, 1);
+                    put_blob(&mut p, u);
+                }
+                None => put_u8(&mut p, 0),
+            }
+        }
+        Frame::Ack { round, word } | Frame::Nack { round, word } => {
+            put_u32(&mut p, *round);
+            put_u64(&mut p, *word);
+        }
+        Frame::AggFlush {
+            round,
+            count,
+            agg,
+            report,
+        } => {
+            put_u32(&mut p, *round);
+            put_u64(&mut p, *count);
+            put_blob(&mut p, agg);
+            put_blob(&mut p, report);
+        }
+        Frame::Heartbeat { round, completed } => {
+            put_u32(&mut p, *round);
+            put_words(&mut p, completed);
+        }
+        Frame::Done { round } => put_u32(&mut p, *round),
+    }
+    p
+}
+
+fn decode_payload(ty: u8, payload: &[u8]) -> Result<Frame, FrameError> {
+    let mut c = Cursor::new(payload);
+    let frame = match ty {
+        1 => {
+            let role = match c.u8()? {
+                0 => Role::Driver,
+                1 => Role::Worker,
+                _ => return Err(FrameError::Malformed("hello role")),
+            };
+            Frame::Hello {
+                role,
+                cores: c.u32()?,
+            }
+        }
+        2 => {
+            let round = c.u32()?;
+            let flags = c.u8()?;
+            if flags & !7 != 0 {
+                return Err(FrameError::Malformed("assign flags"));
+            }
+            let job = if flags & 2 != 0 {
+                Some(c.blob()?)
+            } else {
+                None
+            };
+            let seed = if flags & 4 != 0 {
+                Some(c.blob()?)
+            } else {
+                None
+            };
+            Frame::Assign {
+                round,
+                recovery: flags & 1 != 0,
+                job,
+                seed,
+                roots: c.words()?,
+            }
+        }
+        3 => Frame::StealRequest { round: c.u32()? },
+        4 => {
+            let round = c.u32()?;
+            let word = c.u64()?;
+            let unit = match c.u8()? {
+                0 => None,
+                1 => Some(c.blob()?),
+                _ => return Err(FrameError::Malformed("steal reply flag")),
+            };
+            Frame::StealReply { round, word, unit }
+        }
+        5 => Frame::Ack {
+            round: c.u32()?,
+            word: c.u64()?,
+        },
+        6 => Frame::Nack {
+            round: c.u32()?,
+            word: c.u64()?,
+        },
+        7 => Frame::AggFlush {
+            round: c.u32()?,
+            count: c.u64()?,
+            agg: c.blob()?,
+            report: c.blob()?,
+        },
+        8 => Frame::Heartbeat {
+            round: c.u32()?,
+            completed: c.words()?,
+        },
+        9 => Frame::Done { round: c.u32()? },
+        other => return Err(FrameError::UnknownType(other)),
+    };
+    c.finish()?;
+    Ok(frame)
+}
+
+/// Encodes one frame with the given sequence number into its full wire
+/// representation (header + payload + checksum).
+pub fn encode_frame(seq: u32, frame: &Frame) -> Vec<u8> {
+    let payload = encode_payload(frame);
+    debug_assert!(payload.len() <= MAX_PAYLOAD as usize);
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
+    put_u16(&mut out, MAGIC);
+    put_u8(&mut out, VERSION);
+    put_u8(&mut out, frame.type_code());
+    put_u32(&mut out, seq);
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(&payload);
+    let sum = fnv1a64(&out);
+    put_u64(&mut out, sum);
+    out
+}
+
+/// Decodes one complete frame from a buffer. The buffer must contain
+/// exactly one frame; extra bytes are [`FrameError::TrailingBytes`].
+pub fn decode_frame(buf: &[u8]) -> Result<(u32, Frame), FrameError> {
+    if buf.len() < HEADER_LEN {
+        return Err(FrameError::Truncated);
+    }
+    let magic = u16::from_be_bytes([buf[0], buf[1]]);
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    if buf[2] != VERSION {
+        return Err(FrameError::BadVersion(buf[2]));
+    }
+    let ty = buf[3];
+    let seq = u32::from_be_bytes(buf[4..8].try_into().unwrap());
+    let len = u32::from_be_bytes(buf[8..12].try_into().unwrap());
+    if len > MAX_PAYLOAD {
+        return Err(FrameError::Oversized(len));
+    }
+    let total = HEADER_LEN + len as usize + CHECKSUM_LEN;
+    if buf.len() < total {
+        return Err(FrameError::Truncated);
+    }
+    if buf.len() > total {
+        return Err(FrameError::TrailingBytes);
+    }
+    let body = &buf[..HEADER_LEN + len as usize];
+    let sum = u64::from_be_bytes(buf[total - CHECKSUM_LEN..total].try_into().unwrap());
+    if fnv1a64(body) != sum {
+        return Err(FrameError::ChecksumMismatch);
+    }
+    let frame = decode_payload(ty, &buf[HEADER_LEN..HEADER_LEN + len as usize])?;
+    Ok((seq, frame))
+}
+
+fn invalid(e: FrameError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e)
+}
+
+/// Reads one frame from a stream. Returns `UnexpectedEof` when the peer
+/// closed the connection (cleanly between frames or mid-frame) and
+/// `InvalidData` on protocol corruption.
+pub fn read_frame(r: &mut impl Read) -> io::Result<(u32, Frame)> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let magic = u16::from_be_bytes([header[0], header[1]]);
+    if magic != MAGIC {
+        return Err(invalid(FrameError::BadMagic));
+    }
+    if header[2] != VERSION {
+        return Err(invalid(FrameError::BadVersion(header[2])));
+    }
+    let ty = header[3];
+    let seq = u32::from_be_bytes(header[4..8].try_into().unwrap());
+    let len = u32::from_be_bytes(header[8..12].try_into().unwrap());
+    if len > MAX_PAYLOAD {
+        return Err(invalid(FrameError::Oversized(len)));
+    }
+    let mut rest = vec![0u8; len as usize + CHECKSUM_LEN];
+    r.read_exact(&mut rest)?;
+    let sum = u64::from_be_bytes(rest[len as usize..].try_into().unwrap());
+    let mut body = Vec::with_capacity(HEADER_LEN + len as usize);
+    body.extend_from_slice(&header);
+    body.extend_from_slice(&rest[..len as usize]);
+    if fnv1a64(&body) != sum {
+        return Err(invalid(FrameError::ChecksumMismatch));
+    }
+    let frame = decode_payload(ty, &rest[..len as usize]).map_err(invalid)?;
+    Ok((seq, frame))
+}
+
+/// Writes one frame to a stream.
+pub fn write_frame(w: &mut impl Write, seq: u32, frame: &Frame) -> io::Result<()> {
+    w.write_all(&encode_frame(seq, frame))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractal_runtime::steal::corrupt_payload;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                role: Role::Worker,
+                cores: 8,
+            },
+            Frame::Hello {
+                role: Role::Driver,
+                cores: 0,
+            },
+            Frame::Assign {
+                round: 0,
+                recovery: false,
+                job: Some(vec![1, 2, 3]),
+                seed: None,
+                roots: vec![5, 9, 13],
+            },
+            Frame::Assign {
+                round: 3,
+                recovery: true,
+                job: None,
+                seed: Some(vec![0xAA; 17]),
+                roots: vec![],
+            },
+            Frame::StealRequest { round: 2 },
+            Frame::StealReply {
+                round: 2,
+                word: 77,
+                unit: Some(vec![9; 20]),
+            },
+            Frame::StealReply {
+                round: 2,
+                word: MISS_WORD,
+                unit: None,
+            },
+            Frame::Ack { round: 1, word: 42 },
+            Frame::Nack { round: 1, word: 43 },
+            Frame::AggFlush {
+                round: 4,
+                count: 1234,
+                agg: vec![7; 33],
+                report: vec![8; 9],
+            },
+            Frame::Heartbeat {
+                round: 4,
+                completed: vec![1, 2, 3, u64::MAX - 1],
+            },
+            Frame::Heartbeat {
+                round: 4,
+                completed: vec![],
+            },
+            Frame::Done { round: 5 },
+            Frame::Done {
+                round: SHUTDOWN_ROUND,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_every_frame_type() {
+        for (i, f) in sample_frames().into_iter().enumerate() {
+            let seq = 100 + i as u32;
+            let wire = encode_frame(seq, &f);
+            let (got_seq, got) = decode_frame(&wire).expect("decode");
+            assert_eq!(got_seq, seq);
+            assert_eq!(got, f, "frame {i}");
+            // And through the stream reader.
+            let mut cursor = std::io::Cursor::new(wire);
+            let (s2, f2) = read_frame(&mut cursor).expect("stream decode");
+            assert_eq!((s2, f2), (seq, f));
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_an_error() {
+        for f in sample_frames() {
+            let wire = encode_frame(7, &f);
+            for cut in 0..wire.len() {
+                let err = decode_frame(&wire[..cut]).unwrap_err();
+                assert!(
+                    matches!(err, FrameError::Truncated | FrameError::ChecksumMismatch),
+                    "cut at {cut}: {err:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        for f in sample_frames() {
+            let mut wire = encode_frame(3, &f);
+            if wire.len() > HEADER_LEN + CHECKSUM_LEN {
+                corrupt_payload(&mut wire[HEADER_LEN..]);
+            } else {
+                wire[HEADER_LEN] ^= 0x40; // flip a checksum byte
+            }
+            assert!(decode_frame(&wire).is_err());
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_and_type_rejected() {
+        let mut wire = encode_frame(1, &Frame::Done { round: 0 });
+        wire[0] ^= 0xFF;
+        assert_eq!(decode_frame(&wire).unwrap_err(), FrameError::BadMagic);
+
+        let mut wire = encode_frame(1, &Frame::Done { round: 0 });
+        wire[2] = 99;
+        assert_eq!(decode_frame(&wire).unwrap_err(), FrameError::BadVersion(99));
+
+        let mut wire = encode_frame(1, &Frame::Done { round: 0 });
+        wire[3] = 200;
+        // Checksum covers the type byte, so recompute it to reach the
+        // type check.
+        let n = wire.len();
+        let sum = fnv1a64(&wire[..n - CHECKSUM_LEN]);
+        wire[n - CHECKSUM_LEN..].copy_from_slice(&sum.to_be_bytes());
+        assert_eq!(
+            decode_frame(&wire).unwrap_err(),
+            FrameError::UnknownType(200)
+        );
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut wire = encode_frame(1, &Frame::Done { round: 0 });
+        wire[8..12].copy_from_slice(&(MAX_PAYLOAD + 1).to_be_bytes());
+        assert_eq!(
+            decode_frame(&wire).unwrap_err(),
+            FrameError::Oversized(MAX_PAYLOAD + 1)
+        );
+        // Stream path too: the reader must error out, not allocate 4 GiB.
+        let mut cursor = std::io::Cursor::new(wire);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut wire = encode_frame(1, &Frame::StealRequest { round: 9 });
+        wire.push(0);
+        assert_eq!(decode_frame(&wire).unwrap_err(), FrameError::TrailingBytes);
+    }
+
+    #[test]
+    fn inner_word_count_cannot_overallocate() {
+        // Hand-build a Heartbeat whose word count claims far more words
+        // than the payload holds.
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 4); // round
+        put_u32(&mut payload, u32::MAX); // claimed word count
+        let mut wire = Vec::new();
+        put_u16(&mut wire, MAGIC);
+        put_u8(&mut wire, VERSION);
+        put_u8(&mut wire, 8); // Heartbeat
+        put_u32(&mut wire, 1);
+        put_u32(&mut wire, payload.len() as u32);
+        wire.extend_from_slice(&payload);
+        let sum = fnv1a64(&wire);
+        put_u64(&mut wire, sum);
+        assert_eq!(decode_frame(&wire).unwrap_err(), FrameError::Truncated);
+    }
+}

@@ -1,0 +1,39 @@
+//! # fractal-net: multi-process cluster substrate
+//!
+//! Real distributed execution for fractal jobs: a **driver** process
+//! partitions root work words across **worker** processes and reduces
+//! their final aggregations; workers run the existing multi-core executor
+//! and serve *external work stealing* over TCP through the driver
+//! (hub-and-spoke — no peer connections), speaking a length-prefixed,
+//! versioned binary frame protocol.
+//!
+//! Layering:
+//! - [`frame`] — the wire frame codec (`Hello`/`Assign`/`StealRequest`/
+//!   `StealReply`/`Ack`/`Nack`/`AggFlush`/`Heartbeat`/`Done`), checksummed
+//!   and adversarially decoded.
+//! - [`blob`] — typed payload encodings carried inside frames: job spec
+//!   (app + graph), aggregation maps, metrics reports.
+//! - [`worker`] — the worker process loop: runs jobs with an
+//!   [`fractal_runtime::ExternalHooks`] pull source and answers steal
+//!   requests from its own run queues.
+//! - [`driver`] — the driver: assignment, steal relay, heartbeat
+//!   watchdog, death recovery (orphaned words are re-executed on
+//!   survivors), aggregation merge and report federation.
+//!
+//! Failure model: the driver is reliable (its failure fails the job);
+//! workers may die at any point. A worker death mid-round returns *all*
+//! its owned words to the orphan pool — completed-but-unflushed results
+//! died with the process, so exactly-once output is preserved by making
+//! flush, not completion, the commit point.
+
+pub mod blob;
+pub mod driver;
+pub mod frame;
+pub mod worker;
+
+pub use blob::AppSpec;
+pub use driver::{
+    render_per_worker, run_cluster, ChaosKill, ClusterResult, DriverConfig, LocalCluster,
+    WorkerSummary,
+};
+pub use worker::{serve, ServeOutcome};

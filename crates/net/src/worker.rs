@@ -1,0 +1,425 @@
+//! The worker process: runs one driver session over a TCP connection.
+//!
+//! A worker accepts a single driver connection, answers the `Hello`
+//! handshake, then serves `Assign`ed rounds with the in-process multi-core
+//! executor. While a round runs, idle cores *pull* extra root words from
+//! the driver ([`WorkerHooks`]) and the connection's reader thread serves
+//! relayed `StealRequest`s out of the running job's own queues
+//! ([`fractal_runtime::ExternalJobHandle::steal_root`]) — the driver
+//! mediates all steal traffic, so the worker never opens peer connections.
+//!
+//! Threads per session: the caller's thread is the frame **reader**; each
+//! `Assign` spawns a **job** thread (the executor blocks it until the
+//! round drains); a **heartbeat** thread beats every ~15 ms carrying the
+//! root words completed since the last beat. All writes to the driver go
+//! through one mutex-guarded stream, so frames never interleave.
+
+use crate::blob::{self, AppSpec};
+use crate::frame::{read_frame, write_frame, Frame, Role, MISS_WORD, SHUTDOWN_ROUND};
+use fractal_apps::fsm::{fsm_fractoid, fsm_support_aggregator, DomainSupport};
+use fractal_apps::{cliques, motifs};
+use fractal_core::{Aggregator, FractalContext, FractalGraph, Fractoid};
+use fractal_pattern::CanonicalCode;
+use fractal_runtime::steal::{decode_unit, encode_unit, StolenUnit};
+use fractal_runtime::{ClusterConfig, ExternalHooks, ExternalJobHandle, ExternalPull, WsMode};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// How a worker session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// The driver sent `Done{SHUTDOWN_ROUND}`: clean end of job.
+    Shutdown,
+    /// The driver connection dropped (EOF or I/O error) mid-session.
+    Disconnected,
+}
+
+/// Heartbeat period. Keep well under the driver's staleness watchdog.
+const HEARTBEAT_EVERY: Duration = Duration::from_millis(15);
+
+/// How long a puller waits for its relayed steal reply before giving the
+/// core back to the local steal loop (the reply is consumed as a *stale*
+/// reply by a later pull — never lost).
+const PULL_WAIT: Duration = Duration::from_millis(25);
+
+type ReplySlot = (u64, Option<Vec<u8>>);
+
+/// State shared between the reader, job, heartbeat and executor threads.
+struct Shared {
+    writer: Mutex<TcpStream>,
+    seq: AtomicU32,
+    round: AtomicU32,
+    round_done: AtomicBool,
+    disconnected: AtomicBool,
+    completed: Mutex<Vec<u64>>,
+    handle: Mutex<Option<ExternalJobHandle>>,
+    reply_tx: Mutex<Option<Sender<ReplySlot>>>,
+}
+
+impl Shared {
+    fn send(&self, frame: &Frame) -> io::Result<()> {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.send_with_seq(seq, frame)
+    }
+
+    /// Sends with an explicit sequence number (steal replies echo the
+    /// request's seq so the driver can match them to pending steals).
+    fn send_with_seq(&self, seq: u32, frame: &Frame) -> io::Result<()> {
+        let mut w = self.writer.lock();
+        let res = write_frame(&mut *w, seq, frame);
+        if res.is_err() {
+            self.disconnected.store(true, Ordering::SeqCst);
+        }
+        res
+    }
+}
+
+/// The executor-side pull source: asks the driver for foreign root words
+/// when local stealing comes up empty.
+struct WorkerHooks {
+    shared: Arc<Shared>,
+    round: u32,
+    rx: Mutex<Receiver<ReplySlot>>,
+}
+
+impl WorkerHooks {
+    /// A steal reply carrying a unit: verify its checksum, ack or nack,
+    /// and hand it to the executor.
+    fn accept(&self, word: u64, bytes: Vec<u8>) -> ExternalPull {
+        match decode_unit(&bytes) {
+            Ok(unit) => {
+                let _ = self.shared.send(&Frame::Ack {
+                    round: self.round,
+                    word,
+                });
+                ExternalPull::Unit {
+                    unit,
+                    wire_bytes: bytes.len() as u64,
+                }
+            }
+            Err(_) => {
+                let _ = self.shared.send(&Frame::Nack {
+                    round: self.round,
+                    word,
+                });
+                ExternalPull::Empty
+            }
+        }
+    }
+}
+
+impl ExternalHooks for WorkerHooks {
+    fn job_started(&self, handle: ExternalJobHandle) {
+        *self.shared.handle.lock() = Some(handle);
+    }
+
+    fn pull(&self) -> ExternalPull {
+        if self.shared.disconnected.load(Ordering::SeqCst)
+            || self.shared.round_done.load(Ordering::SeqCst)
+        {
+            return ExternalPull::Drained;
+        }
+        // One puller at a time; contended cores go back to local stealing.
+        let rx = match self.rx.try_lock() {
+            Some(g) => g,
+            None => return ExternalPull::Empty,
+        };
+        // Drain replies a previous (timed-out) pull left behind. A stale
+        // *hit* must be used: the driver already recorded the transfer, so
+        // this process is the word's only live owner.
+        loop {
+            match rx.try_recv() {
+                Ok((word, Some(bytes))) => return self.accept(word, bytes),
+                Ok((_, None)) => continue, // stale miss
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => return ExternalPull::Drained,
+            }
+        }
+        if self
+            .shared
+            .send(&Frame::StealRequest { round: self.round })
+            .is_err()
+        {
+            return ExternalPull::Drained;
+        }
+        match rx.recv_timeout(PULL_WAIT) {
+            Ok((word, Some(bytes))) => self.accept(word, bytes),
+            Ok((_, None)) => ExternalPull::Empty, // miss
+            Err(RecvTimeoutError::Timeout) => ExternalPull::Empty,
+            Err(RecvTimeoutError::Disconnected) => ExternalPull::Drained,
+        }
+    }
+
+    fn root_done(&self, word: u64) {
+        self.shared.completed.lock().push(word);
+    }
+}
+
+/// Builds the round's fractoid for `app` and seeds prior-round
+/// aggregations (FSM only).
+fn build_fractoid(
+    app: &AppSpec,
+    fg: &FractalGraph,
+    round: u32,
+    seeds: &[HashMap<CanonicalCode, DomainSupport>],
+) -> Fractoid {
+    match app {
+        AppSpec::Motifs { k, use_labels } => motifs::motifs_fractoid(fg, *k as usize, *use_labels),
+        AppSpec::Kclist { k } => cliques::cliques_kclist_fractoid(fg, *k as usize),
+        AppSpec::Fsm { min_support, .. } => {
+            let fractoid = fsm_fractoid(fg, *min_support, round as usize + 1);
+            let agg = fsm_support_aggregator(fg, *min_support);
+            assert!(
+                seeds.len() >= round as usize,
+                "round {round} needs {round} seed maps, got {}",
+                seeds.len()
+            );
+            for (pos, map) in seeds.iter().take(round as usize).enumerate() {
+                fractoid.seed_aggregation(pos, agg.shard_from_map(map.clone()));
+            }
+            fractoid
+        }
+    }
+}
+
+/// Runs one assigned round to completion and flushes its results.
+fn run_round_seeded(
+    shared: &Arc<Shared>,
+    app: &AppSpec,
+    fractoid: &Fractoid,
+    round: u32,
+    roots: Vec<u64>,
+    hooks: Option<Arc<dyn ExternalHooks>>,
+) {
+    let mut outcome = fractoid.execute_step_distributed(roots, app.counts(), hooks);
+    let agg = match app {
+        AppSpec::Motifs { .. } => {
+            let map = Aggregator::<CanonicalCode, u64>::take_map(outcome.shards.remove(0));
+            blob::encode_motifs_map(&map)
+        }
+        AppSpec::Kclist { .. } => Vec::new(),
+        AppSpec::Fsm { .. } => {
+            let map =
+                Aggregator::<CanonicalCode, DomainSupport>::take_map(outcome.shards.remove(0));
+            blob::encode_fsm_map(&map)
+        }
+    };
+    let _ = shared.send(&Frame::AggFlush {
+        round,
+        count: outcome.count,
+        agg,
+        report: blob::encode_report(&outcome.report),
+    });
+}
+
+/// Serves exactly one driver session on `listener` and returns how it
+/// ended. The executor runs with `cores` threads and internal-only local
+/// stealing (cross-process balance goes through the driver instead of the
+/// in-process simulation).
+pub fn serve(listener: &TcpListener, cores: usize) -> io::Result<ServeOutcome> {
+    let (stream, _) = listener.accept()?;
+    serve_conn(stream, cores)
+}
+
+/// Serves one already-accepted driver connection (see [`serve`]).
+pub fn serve_conn(stream: TcpStream, cores: usize) -> io::Result<ServeOutcome> {
+    stream.set_nodelay(true).ok();
+    let mut reader = stream.try_clone()?;
+    let shared = Arc::new(Shared {
+        writer: Mutex::new(stream),
+        seq: AtomicU32::new(0),
+        round: AtomicU32::new(0),
+        round_done: AtomicBool::new(false),
+        disconnected: AtomicBool::new(false),
+        completed: Mutex::new(Vec::new()),
+        handle: Mutex::new(None),
+        reply_tx: Mutex::new(None),
+    });
+
+    // Handshake: driver speaks first.
+    match read_frame(&mut reader) {
+        Ok((
+            _,
+            Frame::Hello {
+                role: Role::Driver, ..
+            },
+        )) => {}
+        Ok(_) => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "expected driver Hello",
+            ))
+        }
+        Err(e) => return Err(e),
+    }
+    shared.send(&Frame::Hello {
+        role: Role::Worker,
+        cores: cores as u32,
+    })?;
+
+    // Heartbeat thread: liveness + completed-word deltas.
+    let hb_stop = Arc::new(AtomicBool::new(false));
+    let hb = {
+        let shared = Arc::clone(&shared);
+        let stop = Arc::clone(&hb_stop);
+        thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                thread::sleep(HEARTBEAT_EVERY);
+                let completed = std::mem::take(&mut *shared.completed.lock());
+                let beat = Frame::Heartbeat {
+                    round: shared.round.load(Ordering::SeqCst),
+                    completed,
+                };
+                if shared.send(&beat).is_err() {
+                    break;
+                }
+            }
+        })
+    };
+
+    let mut ctx: Option<(AppSpec, FractalGraph)> = None;
+    let mut seeds: Vec<HashMap<CanonicalCode, DomainSupport>> = Vec::new();
+    let mut job: Option<thread::JoinHandle<()>> = None;
+    let outcome;
+
+    loop {
+        let (seq, frame) = match read_frame(&mut reader) {
+            Ok(f) => f,
+            Err(_) => {
+                outcome = ServeOutcome::Disconnected;
+                break;
+            }
+        };
+        match frame {
+            Frame::Assign {
+                round,
+                recovery,
+                job: job_blob,
+                seed,
+                roots,
+            } => {
+                // The driver never overlaps assigns with a running round:
+                // joining here only waits out a just-finished flush.
+                if let Some(h) = job.take() {
+                    let _ = h.join();
+                }
+                if let Some(bytes) = job_blob {
+                    let (app, graph) = blob::decode_job(&bytes)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                    let config = ClusterConfig::local(1, cores).with_ws(WsMode::InternalOnly);
+                    let fg = FractalContext::new(config).fractal_graph(graph);
+                    ctx = Some((app, fg));
+                }
+                if let Some(bytes) = seed {
+                    seeds = blob::decode_fsm_seeds(&bytes)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                }
+                let (app, fg) = match &ctx {
+                    Some(pair) => pair.clone(),
+                    None => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "Assign before job blob",
+                        ))
+                    }
+                };
+                shared.round.store(round, Ordering::SeqCst);
+                shared.round_done.store(false, Ordering::SeqCst);
+                *shared.handle.lock() = None;
+                let hooks: Option<Arc<dyn ExternalHooks>> = if recovery {
+                    // Recovery passes re-run already-done words locally;
+                    // they neither pull nor serve steals.
+                    shared.round_done.store(true, Ordering::SeqCst);
+                    *shared.reply_tx.lock() = None;
+                    None
+                } else {
+                    let (tx, rx) = channel();
+                    *shared.reply_tx.lock() = Some(tx);
+                    Some(Arc::new(WorkerHooks {
+                        shared: Arc::clone(&shared),
+                        round,
+                        rx: Mutex::new(rx),
+                    }))
+                };
+                let shared_job = Arc::clone(&shared);
+                let seeds_job = seeds.clone();
+                job = Some(thread::spawn(move || {
+                    let fractoid = build_fractoid(&app, &fg, round, &seeds_job);
+                    run_round_seeded(&shared_job, &app, &fractoid, round, roots, hooks);
+                }));
+            }
+            Frame::StealRequest { round } => {
+                // Relayed on behalf of a thief: serve out of the running
+                // job's root queues, echoing the request's seq.
+                let word = if round == shared.round.load(Ordering::SeqCst)
+                    && !shared.round_done.load(Ordering::SeqCst)
+                {
+                    shared.handle.lock().as_ref().and_then(|h| h.steal_root())
+                } else {
+                    None
+                };
+                let reply = match word {
+                    Some(word) => Frame::StealReply {
+                        round,
+                        word,
+                        unit: Some(encode_unit(&StolenUnit {
+                            prefix: Vec::new(),
+                            word,
+                        })),
+                    },
+                    None => Frame::StealReply {
+                        round,
+                        word: MISS_WORD,
+                        unit: None,
+                    },
+                };
+                if shared.send_with_seq(seq, &reply).is_err() {
+                    outcome = ServeOutcome::Disconnected;
+                    break;
+                }
+            }
+            Frame::StealReply { round, word, unit } => {
+                if round == shared.round.load(Ordering::SeqCst) {
+                    if let Some(tx) = shared.reply_tx.lock().as_ref() {
+                        let _ = tx.send((word, unit));
+                    }
+                }
+            }
+            Frame::Done { round } => {
+                if round == SHUTDOWN_ROUND {
+                    outcome = ServeOutcome::Shutdown;
+                    break;
+                }
+                if round == shared.round.load(Ordering::SeqCst) {
+                    shared.round_done.store(true, Ordering::SeqCst);
+                }
+            }
+            // Nothing else is driver → worker traffic; tolerate and move on.
+            Frame::Hello { .. }
+            | Frame::Ack { .. }
+            | Frame::Nack { .. }
+            | Frame::AggFlush { .. }
+            | Frame::Heartbeat { .. } => {}
+        }
+    }
+
+    // Unblock and reap everything: a running job sees Drained immediately
+    // (round_done + dropped reply sender), the heartbeat thread stops on
+    // its next tick.
+    shared.disconnected.store(true, Ordering::SeqCst);
+    shared.round_done.store(true, Ordering::SeqCst);
+    *shared.reply_tx.lock() = None;
+    if let Some(h) = job.take() {
+        let _ = h.join();
+    }
+    hb_stop.store(true, Ordering::SeqCst);
+    let _ = hb.join();
+    Ok(outcome)
+}

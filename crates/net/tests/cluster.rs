@@ -1,0 +1,319 @@
+//! End-to-end cluster tests over real localhost TCP: worker `serve`
+//! loops on threads, the driver in the test thread. Verifies bit-identical
+//! results vs. single-process execution and the graceful-shutdown
+//! guarantees of the worker session loop.
+
+use fractal_apps::{cliques, fsm, motifs};
+use fractal_core::FractalContext;
+use fractal_graph::gen;
+use fractal_net::frame::{read_frame, write_frame, Frame, Role, MISS_WORD, SHUTDOWN_ROUND};
+use fractal_net::{run_cluster, serve, AppSpec, DriverConfig, ServeOutcome};
+use fractal_pattern::CanonicalCode;
+use fractal_runtime::ClusterConfig;
+use std::collections::HashMap;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::channel;
+use std::thread;
+use std::time::Duration;
+
+type WorkerHandle = thread::JoinHandle<io::Result<ServeOutcome>>;
+
+fn start_workers(n: usize, cores: usize) -> (Vec<WorkerHandle>, Vec<TcpStream>, Vec<String>) {
+    let mut handles = Vec::new();
+    let mut streams = Vec::new();
+    let mut names = Vec::new();
+    for i in 0..n {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        handles.push(thread::spawn(move || serve(&listener, cores)));
+        streams.push(TcpStream::connect(addr).expect("connect"));
+        names.push(format!("w{i}"));
+    }
+    (handles, streams, names)
+}
+
+fn join_shutdown(handles: Vec<WorkerHandle>) {
+    for h in handles {
+        let outcome = h.join().expect("worker thread").expect("serve");
+        assert_eq!(outcome, ServeOutcome::Shutdown);
+    }
+}
+
+#[test]
+fn motifs_cluster_matches_single_process() {
+    let single = {
+        let fg = FractalContext::new(ClusterConfig::local(1, 2))
+            .fractal_graph(gen::mico_like(220, 4, 7));
+        motifs::motifs(&fg, 3)
+    };
+    let (handles, streams, names) = start_workers(2, 2);
+    let config = DriverConfig::new(
+        AppSpec::Motifs {
+            k: 3,
+            use_labels: false,
+        },
+        gen::mico_like(220, 4, 7),
+    );
+    let result = run_cluster(streams, names, config).expect("cluster run");
+    join_shutdown(handles);
+    assert_eq!(result.motifs, single);
+    assert_eq!(result.rounds, 1);
+    assert_eq!(result.deaths, 0);
+    // Both workers participated and flushed exactly once.
+    for w in &result.workers {
+        assert_eq!(w.flushes, 1);
+        assert!(w.assigned > 0);
+        assert!(!w.died);
+    }
+    // Word accounting: every root completed exactly once across workers.
+    let completed: u64 = result.workers.iter().map(|w| w.completed).sum();
+    let assigned: u64 = result.workers.iter().map(|w| w.assigned).sum();
+    assert_eq!(completed, assigned);
+}
+
+#[test]
+fn kclist_cluster_matches_single_process() {
+    let single = {
+        let fg = FractalContext::new(ClusterConfig::local(1, 2))
+            .fractal_graph(gen::mico_like(250, 4, 11));
+        cliques::count_kclist(&fg, 4)
+    };
+    let (handles, streams, names) = start_workers(3, 2);
+    let config = DriverConfig::new(AppSpec::Kclist { k: 4 }, gen::mico_like(250, 4, 11));
+    let result = run_cluster(streams, names, config).expect("cluster run");
+    join_shutdown(handles);
+    assert_eq!(result.count, single);
+    assert_eq!(result.deaths, 0);
+}
+
+/// Frequent patterns as a comparable, ordered list of
+/// (edge count, code, support).
+fn frequent_triples(result: &fractal_net::ClusterResult) -> Vec<(usize, CanonicalCode, u64)> {
+    let mut out: Vec<(usize, CanonicalCode, u64)> = result
+        .frequent
+        .iter()
+        .enumerate()
+        .flat_map(|(r, map)| {
+            map.iter()
+                .map(move |(code, sup)| (r + 1, code.clone(), sup.support()))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn fsm_cluster_matches_single_process() {
+    let single = {
+        let fg = FractalContext::new(ClusterConfig::local(1, 2))
+            .fractal_graph(gen::patents_like(110, 4, 23));
+        fsm::fsm(&fg, 12, 2)
+    };
+    let mut expected: Vec<(usize, CanonicalCode, u64)> = single
+        .frequent
+        .iter()
+        .map(|p| (p.num_edges, p.code.clone(), p.support))
+        .collect();
+    expected.sort();
+
+    let (handles, streams, names) = start_workers(2, 2);
+    let config = DriverConfig::new(
+        AppSpec::Fsm {
+            min_support: 12,
+            max_edges: 2,
+        },
+        gen::patents_like(110, 4, 23),
+    );
+    let result = run_cluster(streams, names, config).expect("cluster run");
+    join_shutdown(handles);
+    assert_eq!(frequent_triples(&result), expected);
+    assert!(result.rounds >= 1);
+}
+
+#[test]
+fn single_worker_cluster_matches_and_uses_no_steals() {
+    let single = {
+        let fg = FractalContext::new(ClusterConfig::local(1, 2))
+            .fractal_graph(gen::mico_like(150, 4, 5));
+        motifs::motifs(&fg, 3)
+    };
+    let (handles, streams, names) = start_workers(1, 2);
+    let config = DriverConfig::new(
+        AppSpec::Motifs {
+            k: 3,
+            use_labels: false,
+        },
+        gen::mico_like(150, 4, 5),
+    );
+    let result = run_cluster(streams, names, config).expect("cluster run");
+    join_shutdown(handles);
+    assert_eq!(result.motifs, single);
+    // With one worker there is no peer to steal from.
+    assert_eq!(result.steal_relays, 0);
+    assert_eq!(result.workers[0].net_units, 0);
+}
+
+// ---- graceful shutdown (satellite: TCP path of the shutdown-race tests) ----
+
+fn handshake(stream: &mut TcpStream) {
+    write_frame(
+        stream,
+        0,
+        &Frame::Hello {
+            role: Role::Driver,
+            cores: 0,
+        },
+    )
+    .expect("hello");
+    match read_frame(stream).expect("worker hello") {
+        (
+            _,
+            Frame::Hello {
+                role: Role::Worker, ..
+            },
+        ) => {}
+        other => panic!("expected worker Hello, got {other:?}"),
+    }
+}
+
+/// Runs `f` but fails the test if it takes longer than `secs` — a hung
+/// worker thread must fail fast, not wedge the suite.
+fn within_secs<T: Send + 'static>(secs: u64, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = channel();
+    thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(Duration::from_secs(secs))
+        .expect("operation timed out")
+}
+
+#[test]
+fn worker_shuts_down_promptly_on_done() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let worker = thread::spawn(move || serve(&listener, 2));
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    handshake(&mut stream);
+    write_frame(
+        &mut stream,
+        1,
+        &Frame::Done {
+            round: SHUTDOWN_ROUND,
+        },
+    )
+    .expect("done");
+    let outcome = within_secs(10, move || worker.join().expect("join").expect("serve"));
+    assert_eq!(outcome, ServeOutcome::Shutdown);
+}
+
+#[test]
+fn worker_survives_driver_disconnect_mid_round() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let worker = thread::spawn(move || serve(&listener, 2));
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    handshake(&mut stream);
+
+    // Assign real work, then vanish before the round can finish.
+    let graph = gen::mico_like(150, 4, 5);
+    let app = AppSpec::Motifs {
+        k: 3,
+        use_labels: false,
+    };
+    let job = fractal_net::blob::encode_job(&app, &graph);
+    let fg = FractalContext::new(ClusterConfig::local(1, 1)).fractal_graph(graph);
+    let roots = motifs::motifs_fractoid(&fg, 3, false).step_roots();
+    write_frame(
+        &mut stream,
+        1,
+        &Frame::Assign {
+            round: 0,
+            recovery: false,
+            job: Some(job),
+            seed: None,
+            roots,
+        },
+    )
+    .expect("assign");
+    drop(stream);
+
+    // The worker must notice the dead driver, drain its executor and
+    // return — without hanging and without leaking the session threads.
+    let outcome = within_secs(30, move || worker.join().expect("join").expect("serve"));
+    assert_eq!(outcome, ServeOutcome::Disconnected);
+}
+
+#[test]
+fn late_steal_request_after_done_gets_a_miss() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let worker = thread::spawn(move || serve(&listener, 2));
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    handshake(&mut stream);
+
+    let graph = gen::mico_like(80, 4, 5);
+    let app = AppSpec::Motifs {
+        k: 3,
+        use_labels: false,
+    };
+    let job = fractal_net::blob::encode_job(&app, &graph);
+    let fg = FractalContext::new(ClusterConfig::local(1, 1)).fractal_graph(graph);
+    let roots = motifs::motifs_fractoid(&fg, 3, false).step_roots();
+    let total = roots.len();
+    write_frame(
+        &mut stream,
+        1,
+        &Frame::Assign {
+            round: 0,
+            recovery: false,
+            job: Some(job),
+            seed: None,
+            roots,
+        },
+    )
+    .expect("assign");
+
+    // Drive the round by hand: wait for every root completion, declare
+    // the round done, collect the flush.
+    let mut completed = 0usize;
+    while completed < total {
+        if let (_, Frame::Heartbeat { completed: c, .. }) = read_frame(&mut stream).expect("beat") {
+            completed += c.len();
+        }
+    }
+    write_frame(&mut stream, 2, &Frame::Done { round: 0 }).expect("done");
+    let mut motifs_map: Option<HashMap<CanonicalCode, u64>> = None;
+    while motifs_map.is_none() {
+        if let (_, Frame::AggFlush { agg, .. }) = read_frame(&mut stream).expect("flush") {
+            motifs_map = Some(fractal_net::blob::decode_motifs_map(&agg).expect("agg"));
+        }
+    }
+    let single = motifs::motifs(&fg, 3);
+    assert_eq!(motifs_map.unwrap(), single);
+
+    // A straggler steal request arriving after Done must still get a
+    // prompt miss — not a hang, not a unit.
+    write_frame(&mut stream, 77, &Frame::StealRequest { round: 0 }).expect("late steal");
+    let reply = within_secs(10, move || loop {
+        match read_frame(&mut stream).expect("reply") {
+            (seq, Frame::StealReply { word, unit, .. }) => break (seq, word, unit, stream),
+            _ => continue, // heartbeats
+        }
+    });
+    assert_eq!(reply.0, 77, "reply echoes the request seq");
+    assert_eq!(reply.1, MISS_WORD);
+    assert!(reply.2.is_none());
+
+    let mut stream = reply.3;
+    write_frame(
+        &mut stream,
+        3,
+        &Frame::Done {
+            round: SHUTDOWN_ROUND,
+        },
+    )
+    .expect("shutdown");
+    let outcome = within_secs(10, move || worker.join().expect("join").expect("serve"));
+    assert_eq!(outcome, ServeOutcome::Shutdown);
+}

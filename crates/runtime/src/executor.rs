@@ -110,6 +110,92 @@ impl JobState {
     }
 }
 
+/// What an external steal source handed an idle core (see
+/// [`ExternalHooks::pull`]).
+#[derive(Debug)]
+pub enum ExternalPull {
+    /// A unit obtained from outside the process. `wire_bytes` is the size
+    /// of the serialized frame it arrived in (accounted as
+    /// [`CoreStats::bytes_received`]). The executor inflates `pending`
+    /// before dispatching it — the puller must **not** touch the counter.
+    Unit {
+        /// The stolen unit (decoded and checksum-verified by the source).
+        unit: StolenUnit,
+        /// Serialized size of the unit on the wire.
+        wire_bytes: u64,
+    },
+    /// No unit available right now; the core keeps its local steal loop
+    /// running and will pull again.
+    Empty,
+    /// The external source is finished for good (job-wide completion or a
+    /// lost coordinator): no further units will ever arrive. The first
+    /// `Drained` releases the termination hold (see [`run_job_with`]).
+    Drained,
+}
+
+/// A handle into a running job, given to [`ExternalHooks::job_started`]:
+/// the surface a cross-process steal server needs to serve root words out
+/// of this process.
+#[derive(Clone)]
+pub struct ExternalJobHandle {
+    registries: Vec<Arc<WorkerRegistry>>,
+    job: Arc<JobState>,
+}
+
+impl ExternalJobHandle {
+    /// Claims one **root** word (a counted, depth-0 level entry) for
+    /// export to another process, transferring its `pending` obligation
+    /// out of this job: from the moment this returns `Some`, the word is
+    /// the remote coordinator's to account for. Returns `None` when no
+    /// unclaimed root words remain (inner, uncounted levels are never
+    /// exported — they stay balanced by in-process stealing).
+    pub fn steal_root(&self) -> Option<u64> {
+        crate::steal::steal_root_for_export(&self.registries, &self.job)
+    }
+
+    /// Whether the job has fully completed.
+    pub fn done(&self) -> bool {
+        self.job.done()
+    }
+
+    /// Current pending count (diagnostics).
+    pub fn pending(&self) -> i64 {
+        self.job.pending()
+    }
+}
+
+/// Callbacks connecting a job to an external (cross-process) work-stealing
+/// substrate. All methods are invoked from executor threads and must be
+/// cheap or bounded-blocking; `pull` may block briefly (it runs in the
+/// idle-core steal loop).
+///
+/// A job run with hooks holds one extra `pending` obligation so it cannot
+/// terminate while the external source may still deliver units; the first
+/// [`ExternalPull::Drained`] releases it (see [`run_job_with`]).
+pub trait ExternalHooks: Send + Sync {
+    /// Called once, before any core starts, with the handle external steal
+    /// servers use to export this job's root words.
+    fn job_started(&self, _handle: ExternalJobHandle) {}
+
+    /// Asks the external source for one unit. Called by idle cores after
+    /// local (internal + simulated-external) stealing came up empty.
+    fn pull(&self) -> ExternalPull {
+        ExternalPull::Drained
+    }
+
+    /// Reports that a **root** unit (empty prefix) completed on this
+    /// process, whether locally assigned or externally pulled. Drives the
+    /// coordinator's completion tracking.
+    fn root_done(&self, _word: u64) {}
+}
+
+/// Per-job state of the external-hooks integration: the hooks plus the
+/// once-only release latch of the termination hold.
+struct ExternalState {
+    hooks: Arc<dyn ExternalHooks>,
+    hold_released: AtomicBool,
+}
+
 /// Defines a job: its root extensions and how to build each core's task.
 pub trait JobSpec: Sync {
     /// The root extension words (single vertices or edges, Fig. 1). The
@@ -336,6 +422,7 @@ fn dispatch_unit(
     task: &mut dyn CoreTask,
     ctx: &mut CoreCtx<'_>,
     job: &JobState,
+    ext: Option<&ExternalState>,
     prefix: &[u64],
     word: u64,
     exclusions: ReplayExclusions,
@@ -370,6 +457,11 @@ fn dispatch_unit(
                 ctx.stats.record_segment(start, end);
                 job.sub_pending();
                 ctx.health().clear_inflight();
+                if prefix.is_empty() {
+                    if let Some(e) = ext {
+                        e.hooks.root_done(word);
+                    }
+                }
                 return UnitFate::Done;
             }
             Err(payload) => {
@@ -423,12 +515,32 @@ fn dispatch_unit(
 /// Runs `spec` on a simulated cluster shaped by `config`; blocks until the
 /// job completes and returns the per-core report.
 pub fn run_job(spec: &dyn JobSpec, config: &ClusterConfig) -> JobReport {
+    run_job_with(spec, config, None)
+}
+
+/// [`run_job`] with an optional external work-stealing source attached
+/// (the cross-process substrate of `fractal-net`).
+///
+/// With hooks present the job is created with one extra `pending`
+/// obligation — the *termination hold* — so local completion cannot flip
+/// `done` while the external coordinator may still deliver stolen units or
+/// recovery work. Idle cores consult [`ExternalHooks::pull`] after local
+/// stealing fails; the first [`ExternalPull::Drained`] releases the hold
+/// exactly once, after which the job drains any remaining local work and
+/// terminates normally. Without hooks this is exactly `run_job` — the
+/// external machinery costs nothing when unconfigured.
+pub fn run_job_with(
+    spec: &dyn JobSpec,
+    config: &ClusterConfig,
+    hooks: Option<Arc<dyn ExternalHooks>>,
+) -> JobReport {
     let roots = spec.roots();
     let num_workers = config.num_workers.max(1);
     let cores_per_worker = config.cores_per_worker.max(1);
     let total_cores = num_workers * cores_per_worker;
 
-    let job = JobState::new(roots.len());
+    let hold = hooks.is_some() as usize;
+    let job = Arc::new(JobState::new(roots.len() + hold));
     let fcx = FaultCtx::new(config.fault.clone(), num_workers, cores_per_worker);
     if fcx.injector.is_some() {
         install_quiet_panic_hook();
@@ -436,6 +548,17 @@ pub fn run_job(spec: &dyn JobSpec, config: &ClusterConfig) -> JobReport {
     let registries: Vec<Arc<WorkerRegistry>> = (0..num_workers)
         .map(|_| Arc::new(WorkerRegistry::new(cores_per_worker)))
         .collect();
+    let ext = hooks.map(|h| {
+        h.job_started(ExternalJobHandle {
+            registries: registries.clone(),
+            job: job.clone(),
+        });
+        ExternalState {
+            hooks: h,
+            hold_released: AtomicBool::new(false),
+        }
+    });
+    let ext = ext.as_ref();
 
     // Strided root partitions by global core index ("determined on-the-fly
     // using its unique core identifier").
@@ -473,7 +596,7 @@ pub fn run_job(spec: &dyn JobSpec, config: &ClusterConfig) -> JobReport {
                     id,
                     s.spawn(move || {
                         core_main(
-                            spec, id, my_roots, job, registries, channels, config, t0, fcx,
+                            spec, id, my_roots, job, ext, registries, channels, config, t0, fcx,
                         )
                     }),
                 ));
@@ -639,6 +762,7 @@ fn core_main(
     id: GlobalCoreId,
     my_roots: Vec<u64>,
     job: &JobState,
+    ext: Option<&ExternalState>,
     registries: &[Arc<WorkerRegistry>],
     channels: &WorkerChannels,
     config: &ClusterConfig,
@@ -670,7 +794,15 @@ fn core_main(
                 break;
             }
             let Some(w) = root.queue.claim() else { break };
-            match dispatch_unit(&mut *task, &mut ctx, job, &[], w, ReplayExclusions::new()) {
+            match dispatch_unit(
+                &mut *task,
+                &mut ctx,
+                job,
+                ext,
+                &[],
+                w,
+                ReplayExclusions::new(),
+            ) {
                 UnitFate::Done => {}
                 UnitFate::Died => {
                     died = true;
@@ -687,9 +819,10 @@ fn core_main(
 
     // Phase 2: steal (and drain recovery units) until the whole job is
     // done. Under a fault plan this loop runs even with stealing disabled:
-    // recovery units need consumers.
-    if !died && (config.ws_mode != WsMode::Disabled || fcx.injector.is_some()) {
-        died = steal_loop(&mut *task, &mut ctx, job, registries, channels, config);
+    // recovery units need consumers. With external hooks it always runs —
+    // the termination hold is released from inside it.
+    if !died && (config.ws_mode != WsMode::Disabled || fcx.injector.is_some() || ext.is_some()) {
+        died = steal_loop(&mut *task, &mut ctx, job, ext, registries, channels, config);
     }
 
     if died {
@@ -704,12 +837,14 @@ fn core_main(
 }
 
 /// The thief loop of one idle core. Priority order: recovery units (lost
-/// work is the oldest in the job), then internal steals, then external.
+/// work is the oldest in the job), then internal steals, then simulated
+/// external steals, then the cross-process external source (if hooked).
 /// Returns `true` if the core fail-stopped.
 fn steal_loop(
     task: &mut dyn CoreTask,
     ctx: &mut CoreCtx<'_>,
     job: &JobState,
+    ext: Option<&ExternalState>,
     registries: &[Arc<WorkerRegistry>],
     channels: &WorkerChannels,
     config: &ClusterConfig,
@@ -732,7 +867,7 @@ fn steal_loop(
             let t = ctx.now_ns();
             ctx.recorder
                 .record(t, EventKind::UnitReexec, ru.prefix.len() as u64, ru.word);
-            match dispatch_unit(task, ctx, job, &ru.prefix, ru.word, ru.exclusions) {
+            match dispatch_unit(task, ctx, job, ext, &ru.prefix, ru.word, ru.exclusions) {
                 UnitFate::Done => continue,
                 UnitFate::Died => return true,
             }
@@ -768,6 +903,35 @@ fn steal_loop(
             }
             stolen = unit.map(|u| (u, true));
         }
+        // Cross-process source: consulted last — remote units pay real
+        // serialization and a network round trip, so local work always
+        // wins. The executor inflates `pending` here (the remote
+        // coordinator holds the word's obligation until we take it).
+        if stolen.is_none() {
+            if let Some(e) = ext {
+                match e.hooks.pull() {
+                    ExternalPull::Unit { unit, wire_bytes } => {
+                        job.add_pending(1);
+                        ctx.stats.net_units += 1;
+                        ctx.stats.bytes_received += wire_bytes;
+                        if ctx.recorder.is_enabled() {
+                            let t = ctx.now_ns();
+                            ctx.recorder
+                                .record(t, EventKind::ExternalSteal, u64::MAX, wire_bytes);
+                            ctx.recorder
+                                .record_steal_latency(t.saturating_sub(steal_start));
+                        }
+                        stolen = Some((unit, true));
+                    }
+                    ExternalPull::Empty => {}
+                    ExternalPull::Drained => {
+                        if !e.hold_released.swap(true, Ordering::SeqCst) {
+                            job.sub_pending();
+                        }
+                    }
+                }
+            }
+        }
 
         match stolen {
             Some((unit, external)) => {
@@ -780,6 +944,7 @@ fn steal_loop(
                     task,
                     ctx,
                     job,
+                    ext,
                     &unit.prefix,
                     unit.word,
                     ReplayExclusions::new(),

@@ -26,7 +26,10 @@ pub mod stats;
 pub mod steal;
 pub mod trace;
 
-pub use executor::{run_job, CoreCtx, CoreTask, JobSpec};
+pub use executor::{
+    run_job, run_job_with, CoreCtx, CoreTask, ExternalHooks, ExternalJobHandle, ExternalPull,
+    JobSpec,
+};
 pub use fault::{FaultConfig, FaultStats};
 pub use level::{GlobalCoreId, LevelQueue};
 pub use stats::{CoreStats, JobReport};

@@ -21,6 +21,10 @@ pub struct CoreStats {
     pub internal_steals: u64,
     /// Successful inter-worker steals.
     pub external_steals: u64,
+    /// Units pulled from a cross-process steal source (`fractal-net`).
+    /// Always zero when no network substrate is attached — the perf gate
+    /// asserts this on single-process legs.
+    pub net_units: u64,
     /// Full failed steal rounds (every victim came up empty).
     pub failed_steal_rounds: u64,
     /// Bytes of steal replies received from other workers.
@@ -145,6 +149,12 @@ impl JobReport {
         })
     }
 
+    /// Total units pulled from a cross-process steal source (zero unless a
+    /// network substrate was attached).
+    pub fn net_units(&self) -> u64 {
+        self.cores.iter().map(|(_, s)| s.net_units).sum()
+    }
+
     /// Total extension cost (candidate tests, §4.3).
     pub fn total_ec(&self) -> u64 {
         self.cores.iter().map(|(_, s)| s.ec).sum()
@@ -248,6 +258,7 @@ impl JobReport {
         ));
         out.push_str(&format!("  \"internal_steals\": {int_steals},\n"));
         out.push_str(&format!("  \"external_steals\": {ext_steals},\n"));
+        out.push_str(&format!("  \"net_units\": {},\n", self.net_units()));
         out.push_str(&format!("  \"failed_steal_rounds\": {failed},\n"));
         out.push_str(&format!("  \"steal_requests\": {},\n", self.steal_requests));
         out.push_str(&format!("  \"steal_hits\": {},\n", self.steal_hits));
@@ -286,6 +297,7 @@ impl JobReport {
             out.push_str(&format!(
                 "    {{\"worker\": {}, \"core\": {}, \"busy_ns\": {}, \"steal_ns\": {}, \
                  \"units\": {}, \"internal_steals\": {}, \"external_steals\": {}, \
+                 \"net_units\": {}, \
                  \"failed_steal_rounds\": {}, \"bytes_received\": {}, \"ec\": {}, \
                  \"kernel_scanned\": {}, \"arena_peak_bytes\": {}, \
                  \"peak_state_bytes\": {}}}{}\n",
@@ -296,6 +308,7 @@ impl JobReport {
                 s.units,
                 s.internal_steals,
                 s.external_steals,
+                s.net_units,
                 s.failed_steal_rounds,
                 s.bytes_received,
                 s.ec,

@@ -90,6 +90,39 @@ pub fn steal_from_registry(
     None
 }
 
+/// Claims one **root** word for export to another process (the TCP steal
+/// server of `fractal-net`), scanning every worker registry for a counted
+/// (depth-0) level with unclaimed extensions. On success the word's
+/// pre-counted `pending` obligation is settled locally — ownership has
+/// moved to the remote coordinator, which re-counts it wherever the word
+/// lands. Inner (uncounted) levels are never exported: the coordinator
+/// tracks work at root-word granularity, and inner subtrees stay balanced
+/// by in-process stealing.
+///
+/// Only meaningful on a job that holds a termination hold (external
+/// hooks): otherwise the settle below could flip `done` while the
+/// exported word is still in flight.
+pub fn steal_root_for_export(
+    registries: &[std::sync::Arc<WorkerRegistry>],
+    job: &JobState,
+) -> Option<u64> {
+    for _ in 0..4 {
+        let level = registries
+            .iter()
+            .find_map(|reg| reg.find_stealable(None).map(|(_, l)| l))?;
+        if !level.counted {
+            // Shallowest-first scans return counted root levels while any
+            // have work; an uncounted pick means no root words remain.
+            return None;
+        }
+        if let Some(word) = try_claim(&level, job) {
+            job.sub_pending();
+            return Some(word);
+        }
+    }
+    None
+}
+
 /// FNV-1a 64 over a byte slice — the wire checksum. Not cryptographic;
 /// catches the bit flips and truncations the fault injector (and a flaky
 /// transport) produce.

@@ -51,6 +51,9 @@ PARALLEL_BOUNDS = {
 # Recovery counters that must be exactly zero in every fault-free leg: a
 # nonzero value means the fault-tolerance machinery leaked into the
 # fault-free path (spurious retries, watchdog trips, phantom recoveries).
+# net_units must likewise be zero: single-process legs have no cluster
+# substrate attached, so any externally pulled unit is a leak from the
+# fractal-net hooks into plain execution.
 FAULT_COUNTERS = (
     "faults_injected",
     "units_retried",
@@ -58,6 +61,7 @@ FAULT_COUNTERS = (
     "watchdog_trips",
     "recovery_ns",
     "units_lost",
+    "net_units",
 )
 
 

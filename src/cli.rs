@@ -13,15 +13,25 @@
 //!   query      --query <q1..q8|clique<k>|path<k>|cycle<k>>
 //!   keywords   --words w1,w2,... [--no-reduce]
 //!   trace      -k <size> [--trace-out f.jsonl] [--metrics-out f.json]
-//!              [--buckets <n>] [--ring <events>]
+//!              [--buckets <n>] [--ring <events>] [--per-worker]
 //!              runs motifs with the flight recorder on and writes the
-//!              JSONL event trace plus the JSON metrics report
+//!              JSONL event trace plus the JSON metrics report; with
+//!              --per-worker, runs on a local cluster instead and renders
+//!              the driver-merged per-worker steal/recovery breakdown
+//!   worker     --listen <addr> --cores <n>
+//!              starts a cluster worker process: binds, prints
+//!              "LISTENING <addr>" and serves one driver session
+//!   submit     --app <motifs|cliques|fsm> plus the app's options, and
+//!              either --workers host:port,... or --local-cluster <n>
+//!              [--cores <n>] [--verify-single] [--per-worker]
+//!              [--chaos-kill <i>] [--metrics-out f.json]
+//!              runs the job on a real multi-process cluster
 //!
 //! input (one of):
 //!   --graph <path.adj>            adjacency-list file
 //!   --gen <mico|patents|youtube|wikidata|orkut> [--n <vertices>] [--seed <s>]
 //!
-//! cluster:
+//! cluster (simulated, in-process):
 //!   --workers <n> --cores <n> [--ws disabled|internal|external|both]
 //! ```
 
@@ -37,6 +47,15 @@ pub fn run() {
     }
     let app = args[0].clone();
     let opts = parse_opts(&args[1..]);
+
+    // The cluster-substrate entry points manage their own graphs and
+    // processes; dispatch before the single-process setup below.
+    match app.as_str() {
+        "worker" => return run_worker(&opts),
+        "submit" => return run_submit(&opts),
+        "trace" if opts.contains_key("per-worker") => return run_trace_per_worker(&opts),
+        _ => {}
+    }
 
     let graph = load_graph(&opts);
     eprintln!(
@@ -202,7 +221,10 @@ fn parse_opts(args: &[String]) -> HashMap<String, String> {
         let a = &args[i];
         if let Some(key) = a.strip_prefix("--") {
             // Flag-style options have no value.
-            let flaggy = matches!(key, "kclist" | "reduce" | "no-reduce");
+            let flaggy = matches!(
+                key,
+                "kclist" | "reduce" | "no-reduce" | "per-worker" | "verify-single"
+            );
             if flaggy {
                 opts.insert(key.to_string(), "true".to_string());
             } else {
@@ -270,14 +292,249 @@ fn resolve_query(name: &str) -> Pattern {
     ))
 }
 
+/// `fractal worker`: one cluster worker process, serving a single driver
+/// session. Prints `LISTENING <addr>` (the contract `LocalCluster` and
+/// remote drivers rely on) before blocking in the session loop.
+fn run_worker(opts: &HashMap<String, String>) {
+    let listen = opts
+        .get("listen")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:0");
+    let cores = opt_num(opts, "cores").unwrap_or(2);
+    let listener = std::net::TcpListener::bind(listen)
+        .unwrap_or_else(|e| die(&format!("cannot bind {listen}: {e}")));
+    let addr = listener
+        .local_addr()
+        .unwrap_or_else(|e| die(&format!("cannot resolve bound address: {e}")));
+    println!("LISTENING {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    match crate::net::serve(&listener, cores) {
+        Ok(outcome) => eprintln!("worker: session ended ({outcome:?})"),
+        Err(e) => die(&format!("worker session failed: {e}")),
+    }
+}
+
+fn parse_app_spec(opts: &HashMap<String, String>) -> crate::net::AppSpec {
+    use crate::net::AppSpec;
+    match opts.get("app").map(String::as_str) {
+        Some("motifs") => AppSpec::Motifs {
+            k: opt_num(opts, "k").unwrap_or(3) as u32,
+            use_labels: false,
+        },
+        Some("cliques") | Some("kclist") => AppSpec::Kclist {
+            k: opt_num(opts, "k").unwrap_or(3) as u32,
+        },
+        Some("fsm") => AppSpec::Fsm {
+            min_support: opt_num(opts, "support").unwrap_or(100) as u64,
+            max_edges: opt_num(opts, "max-edges").unwrap_or(3) as u32,
+        },
+        Some(other) => die(&format!("unknown --app {other:?} (motifs|cliques|fsm)")),
+        None => die("submit requires --app <motifs|cliques|fsm>"),
+    }
+}
+
+/// `fractal submit`: drive a job on a real multi-process cluster, either
+/// a freshly spawned local fleet (`--local-cluster N`) or pre-started
+/// workers (`--workers host:port,...`).
+fn run_submit(opts: &HashMap<String, String>) {
+    use crate::net::{run_cluster, AppSpec, ChaosKill, DriverConfig, LocalCluster};
+    let graph = load_graph(opts);
+    eprintln!(
+        "graph: {} vertices, {} edges, {} labels",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.num_vertex_labels()
+    );
+    let app = parse_app_spec(opts);
+    let cores = opt_num(opts, "cores").unwrap_or(2);
+    let (cluster, streams, names) = if let Some(n) = opt_num(opts, "local-cluster") {
+        if n == 0 {
+            die("--local-cluster needs at least 1 worker");
+        }
+        let lc = LocalCluster::spawn(n, cores)
+            .unwrap_or_else(|e| die(&format!("cannot spawn local cluster: {e}")));
+        let streams = lc
+            .connect()
+            .unwrap_or_else(|e| die(&format!("cannot connect to local workers: {e}")));
+        let names = (0..n).map(|i| format!("local{i}")).collect::<Vec<_>>();
+        (Some(lc), streams, names)
+    } else if let Some(list) = opts.get("workers") {
+        let names: Vec<String> = list.split(',').map(str::to_string).collect();
+        let streams = names
+            .iter()
+            .map(|a| {
+                std::net::TcpStream::connect(a.as_str())
+                    .unwrap_or_else(|e| die(&format!("cannot connect to worker {a}: {e}")))
+            })
+            .collect();
+        (None, streams, names)
+    } else {
+        die("submit requires --local-cluster N or --workers host:port,...")
+    };
+    let mut config = DriverConfig::new(app, graph.clone());
+    if let Some(target) = opt_num(opts, "chaos-kill") {
+        let lc = cluster
+            .as_ref()
+            .unwrap_or_else(|| die("--chaos-kill requires --local-cluster"));
+        if target >= names.len() {
+            die(&format!("--chaos-kill {target} out of range"));
+        }
+        config.chaos_kill = Some(ChaosKill {
+            target,
+            kill: lc.kill_fn(target),
+        });
+    }
+
+    let t0 = std::time::Instant::now();
+    let result = run_cluster(streams, names, config)
+        .unwrap_or_else(|e| die(&format!("cluster run failed: {e}")));
+    match result.app {
+        AppSpec::Motifs { k, .. } => {
+            let mut rows: Vec<_> = result.motifs.iter().collect();
+            rows.sort_by_key(|(_, c)| std::cmp::Reverse(**c));
+            for (code, count) in rows {
+                println!("{count:>12}  {}", code.to_pattern());
+            }
+            eprintln!("motifs k={k}: {} pattern classes", result.motifs.len());
+        }
+        AppSpec::Kclist { k } => println!("{k}-cliques: {}", result.count),
+        AppSpec::Fsm { min_support, .. } => {
+            println!("frequent patterns (support >= {min_support}):");
+            for (r, map) in result.frequent.iter().enumerate() {
+                let mut rows: Vec<_> = map.iter().collect();
+                rows.sort_by(|a, b| a.0 .0.cmp(&b.0 .0));
+                for (code, sup) in rows {
+                    println!(
+                        "{:>9}  {} edges  {}",
+                        sup.support(),
+                        r + 1,
+                        code.to_pattern()
+                    );
+                }
+            }
+        }
+    }
+    if result.deaths > 0 {
+        eprintln!(
+            "recovered from {} worker death(s): {} orphaned words, {} recovery assigns",
+            result.deaths, result.orphaned_words, result.recovery_assigns
+        );
+    }
+    if opts.contains_key("per-worker") {
+        eprint!("{}", crate::net::render_per_worker(&result));
+    }
+    if let Some(path) = opts.get("metrics-out") {
+        let buckets = opt_num(opts, "buckets").unwrap_or(32);
+        std::fs::write(path, result.report.to_json(buckets))
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!("metrics -> {path}");
+    }
+    if opts.contains_key("verify-single") {
+        verify_single(&result, graph, cores);
+    }
+    eprintln!("done in {:.2}s", t0.elapsed().as_secs_f64());
+}
+
+/// Re-runs the job single-process and compares exact results — the CI
+/// cluster-smoke bit-identity gate.
+fn verify_single(result: &crate::net::ClusterResult, graph: crate::graph::Graph, cores: usize) {
+    use crate::net::AppSpec;
+    let fg = FractalContext::new(ClusterConfig::local(1, cores)).fractal_graph(graph);
+    match result.app {
+        AppSpec::Motifs { k, use_labels } => {
+            let single = if use_labels {
+                crate::apps::motifs::motifs_labeled(&fg, k as usize)
+            } else {
+                crate::apps::motifs::motifs(&fg, k as usize)
+            };
+            if single != result.motifs {
+                die("verify-single: motif maps differ from single-process run");
+            }
+        }
+        AppSpec::Kclist { k } => {
+            let single = crate::apps::cliques::count_kclist(&fg, k as usize);
+            if single != result.count {
+                die(&format!(
+                    "verify-single: cluster count {} != single-process {single}",
+                    result.count
+                ));
+            }
+        }
+        AppSpec::Fsm {
+            min_support,
+            max_edges,
+        } => {
+            let single = crate::apps::fsm::fsm(&fg, min_support, max_edges as usize);
+            let mut expect: Vec<(usize, crate::pattern::CanonicalCode, u64)> = single
+                .frequent
+                .iter()
+                .map(|p| (p.num_edges, p.code.clone(), p.support))
+                .collect();
+            expect.sort();
+            let mut got: Vec<(usize, crate::pattern::CanonicalCode, u64)> = result
+                .frequent
+                .iter()
+                .enumerate()
+                .flat_map(|(r, m)| m.iter().map(move |(c, s)| (r + 1, c.clone(), s.support())))
+                .collect();
+            got.sort();
+            if got != expect {
+                die("verify-single: frequent pattern sets differ from single-process run");
+            }
+        }
+    }
+    println!("VERIFY OK");
+}
+
+/// `fractal trace --per-worker`: run motifs on a local cluster and render
+/// the driver-merged per-worker breakdown plus the unified metrics JSON.
+fn run_trace_per_worker(opts: &HashMap<String, String>) {
+    use crate::net::{run_cluster, AppSpec, DriverConfig, LocalCluster};
+    let graph = load_graph(opts);
+    let k = opt_num(opts, "k").unwrap_or(3);
+    let n = opt_num(opts, "local-cluster").unwrap_or(2);
+    let cores = opt_num(opts, "cores").unwrap_or(2);
+    let lc = LocalCluster::spawn(n, cores)
+        .unwrap_or_else(|e| die(&format!("cannot spawn local cluster: {e}")));
+    let streams = lc
+        .connect()
+        .unwrap_or_else(|e| die(&format!("cannot connect to local workers: {e}")));
+    let names = (0..n).map(|i| format!("local{i}")).collect::<Vec<_>>();
+    let config = DriverConfig::new(
+        AppSpec::Motifs {
+            k: k as u32,
+            use_labels: false,
+        },
+        graph,
+    );
+    let result = run_cluster(streams, names, config)
+        .unwrap_or_else(|e| die(&format!("cluster run failed: {e}")));
+    print!("{}", crate::net::render_per_worker(&result));
+    if let Some(path) = opts.get("metrics-out") {
+        let buckets = opt_num(opts, "buckets").unwrap_or(32);
+        std::fs::write(path, result.report.to_json(buckets))
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!("metrics -> {path}");
+    }
+    eprintln!(
+        "motifs k={k}: {} pattern classes across {n} workers",
+        result.motifs.len()
+    );
+}
+
 fn usage() {
     println!(
-        "fractal-cli <motifs|cliques|triangles|fsm|query|keywords|trace> [options]\n\
+        "fractal-cli <motifs|cliques|triangles|fsm|query|keywords|trace|worker|submit> [options]\n\
          input:  --graph <path.adj> | --gen <mico|patents|youtube|wikidata|orkut> [--n N] [--seed S]\n\
          app:    -k <size> [--kclist] | --support N [--max-edges N] [--reduce]\n\
                  | --query <q1..q8|clique<k>|path<k>|cycle<k>> | --words a,b,c [--no-reduce]\n\
          trace:  -k <size> [--trace-out f.jsonl] [--metrics-out f.json] [--buckets N] [--ring N]\n\
-         cluster: --workers N --cores N [--ws disabled|internal|external|both]"
+                 [--per-worker [--local-cluster N]]\n\
+         cluster (simulated): --workers N --cores N [--ws disabled|internal|external|both]\n\
+         worker: --listen <addr> --cores N\n\
+         submit: --app <motifs|cliques|fsm> (--local-cluster N | --workers host:port,...)\n\
+                 [--cores N] [--verify-single] [--per-worker] [--chaos-kill i] [--metrics-out f.json]"
     );
 }
 

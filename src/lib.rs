@@ -39,6 +39,7 @@ pub use fractal_baselines as baselines;
 pub use fractal_core as core;
 pub use fractal_enum as subgraph;
 pub use fractal_graph as graph;
+pub use fractal_net as net;
 pub use fractal_pattern as pattern;
 pub use fractal_runtime as runtime;
 

@@ -1,0 +1,95 @@
+//! End-to-end CLI tests for the multi-process cluster path: `fractal
+//! submit --local-cluster N` spawns real worker processes over localhost
+//! TCP and `--verify-single` re-runs the job in-process, dying unless the
+//! results are bit-identical. The chaos variant SIGKILLs one worker
+//! mid-job and demands the same exactness from the recovery path.
+
+use std::process::{Command, Output};
+
+fn submit(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fractal"))
+        .arg("submit")
+        .args(args)
+        .output()
+        .expect("run fractal submit")
+}
+
+fn assert_verified(out: &Output) {
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "submit failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("VERIFY OK"),
+        "missing VERIFY OK\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+}
+
+#[test]
+fn submit_local_cluster_matches_single_process() {
+    let out = submit(&[
+        "--app",
+        "motifs",
+        "-k",
+        "3",
+        "--gen",
+        "mico",
+        "--n",
+        "220",
+        "--seed",
+        "7",
+        "--local-cluster",
+        "2",
+        "--verify-single",
+    ]);
+    assert_verified(&out);
+}
+
+#[test]
+fn submit_survives_worker_kill_with_identical_results() {
+    let out = submit(&[
+        "--app",
+        "motifs",
+        "-k",
+        "3",
+        "--gen",
+        "mico",
+        "--n",
+        "300",
+        "--seed",
+        "7",
+        "--local-cluster",
+        "3",
+        "--chaos-kill",
+        "1",
+        "--verify-single",
+    ]);
+    assert_verified(&out);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("recovered from 1 worker death(s)"),
+        "kill never fired:\n{stderr}"
+    );
+}
+
+#[test]
+fn submit_kclist_local_cluster_matches_single_process() {
+    let out = submit(&[
+        "--app",
+        "cliques",
+        "-k",
+        "4",
+        "--gen",
+        "mico",
+        "--n",
+        "250",
+        "--seed",
+        "11",
+        "--local-cluster",
+        "3",
+        "--verify-single",
+    ]);
+    assert_verified(&out);
+}
