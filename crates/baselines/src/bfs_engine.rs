@@ -13,12 +13,12 @@
 
 use crate::budget::{Budget, BudgetTracker, Outcome};
 use crate::trie::PrefixForest;
+use fractal_check::facade::{AtomicBool, AtomicU64, Ordering};
 use fractal_enum::canonical::{canonical_edge_extension, canonical_vertex_extension};
 use fractal_graph::{EdgeId, Graph, VertexId};
 use fractal_pattern::canon::CodeCache;
 use fractal_pattern::{CanonicalCode, Pattern};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// How embeddings are stored between levels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,6 +156,8 @@ fn expand_level(
                     let mut cands: Vec<u32> = Vec::new();
                     let mut reported_len = 0usize;
                     for emb in chunk {
+                        // ordering: Relaxed — abort is a liveness-only flag; a
+                        // slightly stale read just delays the early exit.
                         if abort.load(Ordering::Relaxed) {
                             break;
                         }
@@ -219,9 +221,12 @@ fn expand_level(
                                 .iter()
                                 .map(|e| 24 + 4 * e.capacity() as u64)
                                 .sum();
+                            // ordering: Relaxed — budget check only needs the
+                            // fetch_add to be atomic; overshoot by one chunk is fine.
                             if produced_bytes.fetch_add(delta, Ordering::Relaxed) + delta
                                 > max_bytes
                             {
+                                // ordering: Relaxed — flag only gates early exit.
                                 abort.store(true, Ordering::Relaxed);
                             }
                             reported_len = local.len();
@@ -235,6 +240,7 @@ fn expand_level(
             out.append(&mut h.join().expect("bfs worker panicked"));
         }
     });
+    // ordering: Relaxed — read after the parallel scope joined.
     if abort.load(Ordering::Relaxed) {
         None
     } else {
@@ -286,6 +292,7 @@ fn run_bfs<T: Send>(
             cfg.budget.max_state_bytes,
             &produced,
         ) else {
+            // ordering: Relaxed — diagnostic read after the producing scope joined.
             tracker.track_state(produced.load(Ordering::Relaxed), 0);
             return tracker.finish_oom();
         };
@@ -504,6 +511,7 @@ pub fn fsm_bfs(
             cfg.budget.max_state_bytes,
             &produced,
         ) else {
+            // ordering: Relaxed — diagnostic read after the producing scope joined.
             tracker.track_state(produced.load(Ordering::Relaxed), 0);
             return tracker.finish_oom();
         };

@@ -10,11 +10,11 @@
 //! task handoff, a contention point the hierarchical design avoids.
 
 use crate::budget::{Budget, BudgetTracker, Outcome};
+use fractal_check::facade::Mutex;
+use fractal_check::facade::{AtomicU64, Ordering};
 use fractal_enum::canonical::canonical_vertex_extension;
 use fractal_graph::{Graph, VertexId};
-use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-run statistics: per-thread busy nanoseconds (for imbalance) plus
 /// the task-count histogram.
@@ -86,6 +86,8 @@ pub fn gminer_count(
                         prefix.push(seed);
                         let mut local = 0u64;
                         dfs(g, k, cliques_only, &mut prefix, &mut local);
+                        // ordering: Relaxed — per-thread subtotal; fetch_add
+                        // atomicity suffices, total is read after join.
                         total.fetch_add(local, Ordering::Relaxed);
                         busy += t0.elapsed().as_nanos() as u64;
                         tasks += 1;
@@ -102,6 +104,7 @@ pub fn gminer_count(
     });
 
     let run = tracker.finish();
+    // ordering: Relaxed — read after the parallel scope joined.
     let mut out = Outcome::Ok((total.load(Ordering::Relaxed), stats), run);
     if let Outcome::Ok(_, s) = &mut out {
         // The coarse model holds only the DFS stack: tiny state.

@@ -9,6 +9,7 @@
 //! in Fig. 11 and "ran out of memory in one instance".
 
 use crate::budget::{Budget, BudgetTracker, Outcome};
+use fractal_check::facade::{AtomicBool, AtomicU64, Ordering};
 use fractal_enum::canonical::canonical_vertex_extension;
 use fractal_graph::{Graph, VertexId};
 use fractal_pattern::canon::CodeCache;
@@ -16,7 +17,6 @@ use fractal_pattern::{CanonicalCode, Pattern};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Simulates one shuffle: serialize embeddings into `partitions` buffers
 /// by hash; returns (buffers, shuffled bytes).
@@ -78,6 +78,8 @@ fn expand_round(
                     let mut cands: Vec<u32> = Vec::new();
                     let mut reported_len = 0usize;
                     for emb in chunk {
+                        // ordering: Relaxed — abort is a liveness-only flag; a
+                        // slightly stale read just delays the early exit.
                         if abort.load(Ordering::Relaxed) {
                             break;
                         }
@@ -112,9 +114,12 @@ fn expand_round(
                                 .iter()
                                 .map(|e: &Vec<u32>| 24 + 4 * e.capacity() as u64)
                                 .sum();
+                            // ordering: Relaxed — budget check only needs the
+                            // fetch_add to be atomic; overshoot by one chunk is fine.
                             if produced_bytes.fetch_add(delta, Ordering::Relaxed) + delta
                                 > max_bytes
                             {
+                                // ordering: Relaxed — flag only gates early exit.
                                 abort.store(true, Ordering::Relaxed);
                             }
                             reported_len = local.len();
@@ -128,6 +133,7 @@ fn expand_round(
             out.append(&mut h.join().expect("mr worker panicked"));
         }
     });
+    // ordering: Relaxed — read after the parallel scope joined.
     if abort.load(Ordering::Relaxed) {
         None
     } else {
@@ -157,6 +163,7 @@ fn run_rounds(
             budget.max_state_bytes,
             &produced,
         ) else {
+            // ordering: Relaxed — diagnostic read after the producing scope joined.
             tracker.track_state(produced.load(Ordering::Relaxed), 0);
             return tracker.finish_oom();
         };

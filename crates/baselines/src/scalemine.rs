@@ -15,10 +15,10 @@ use crate::budget::{Budget, BudgetTracker, Outcome};
 use crate::pattern_growth::{
     children, label_universe, match_pattern, mni_support, single_edge_patterns,
 };
+use fractal_check::facade::{AtomicUsize, Mutex, Ordering};
 use fractal_graph::{Graph, VertexId};
 use fractal_pattern::canon::CodeCache;
 use fractal_pattern::{CanonicalCode, ExplorationPlan, Pattern};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
@@ -122,11 +122,14 @@ pub fn scalemine_fsm(
                 .unwrap()
         });
         let results: Mutex<Vec<(usize, u64)>> = Mutex::new(Vec::new());
-        let next_task = std::sync::atomic::AtomicUsize::new(0);
+        let next_task = AtomicUsize::new(0);
         std::thread::scope(|s| {
             for _ in 0..threads.max(1) {
                 s.spawn(|| loop {
-                    let t = next_task.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    // ordering: Relaxed — task claims need only RMW
+                    // atomicity (each index handed out once); results
+                    // synchronize through the mutex and the scope join.
+                    let t = next_task.fetch_add(1, Ordering::Relaxed);
                     if t >= order.len() {
                         return;
                     }

@@ -1,0 +1,1433 @@
+//! The engine of the model checker: a DFS scheduler over thread
+//! interleavings plus a small axiomatic memory model.
+//!
+//! # How an exploration runs
+//!
+//! [`Builder::check`] runs the user closure many times. Each run is one
+//! *execution*: the closure executes on a fresh OS thread (model thread 0)
+//! and may spawn up to [`MAX_THREADS`]` - 1` more via
+//! [`crate::thread::spawn`]. All instrumented operations (atomic accesses,
+//! mutex acquisitions, spawns, joins, condvar waits) funnel through
+//! [`with_op`], which parks the calling thread and lets the scheduler
+//! decide which model thread performs its next operation. Exactly one
+//! model thread runs at a time, so an execution is a deterministic
+//! function of the sequence of scheduling decisions (and, for relaxed
+//! loads, value decisions — see below).
+//!
+//! Decisions form a tree. The scheduler explores it depth-first: every
+//! execution replays the decision prefix recorded on the DFS stack, then
+//! takes default choices (continue the running thread; read the newest
+//! store) for the suffix, recording each new decision point. After the
+//! execution finishes, [`Sched::backtrack`] advances the deepest decision
+//! that still has an untried alternative and truncates the stack below
+//! it. Exploration ends when the stack is exhausted.
+//!
+//! A *preemption bound* (à la CHESS) keeps the tree tractable:
+//! alternatives that would switch away from a thread that could have
+//! continued are pruned once the path already contains `bound`
+//! preemptions. Forced switches (the running thread blocked or finished)
+//! are always explored.
+//!
+//! # The memory model approximation
+//!
+//! Each atomic location keeps its *store history* in modification order
+//! together with a vector clock per store. A `SeqCst` load (and every
+//! read-modify-write) reads the newest store. A `Relaxed` or `Acquire`
+//! load may read **any** store that is not excluded by coherence: stores
+//! older than the newest one that happens-before the loading thread, and
+//! stores older than one the thread already observed, are off the table;
+//! everything newer is a genuine *value decision* explored like a
+//! scheduling decision. Acquire loads (and RMWs with acquire semantics)
+//! that observe a release store join the storing thread's clock,
+//! establishing happens-before; release sequences are continued through
+//! read-modify-writes. This finds stale-read and lost-update bugs that an
+//! interleaving-only (sequentially consistent) checker would miss, while
+//! never reporting a behaviour C++11/Rust forbids for the orderings in
+//! use. Two deliberate simplifications, both conservative for the
+//! protocols in this tree: `compare_exchange_weak` never fails
+//! spuriously, and a failed CAS reads the newest store.
+//!
+//! # Failures and replay
+//!
+//! A panic on any model thread (assertion failure), a deadlock (no
+//! runnable thread while some are blocked) or a runaway execution (step
+//! limit) aborts the exploration and is reported as a [`Failure`]
+//! carrying a *schedule string* — the serialized decision path, e.g.
+//! `"1.0.r0.2"`. [`Builder::replay`] parses such a string and re-runs
+//! exactly that interleaving, which turns any checker finding into a
+//! pinned regression test.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, PoisonError};
+
+/// Maximum number of model threads per execution (the initial closure
+/// thread plus spawned ones). Bounded-exhaustive checking is only
+/// tractable for small thread counts; 2–4 is the useful range.
+pub const MAX_THREADS: usize = 5;
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+/// Fixed-width vector clock over model threads.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+struct VClock([u32; MAX_THREADS]);
+
+impl VClock {
+    fn tick(&mut self, t: usize) {
+        self.0[t] += 1;
+    }
+
+    fn join(&mut self, o: &VClock) {
+        for i in 0..MAX_THREADS {
+            self.0[i] = self.0[i].max(o.0[i]);
+        }
+    }
+
+    /// `self` happens-before-or-equals `o`.
+    fn le(&self, o: &VClock) -> bool {
+        (0..MAX_THREADS).all(|i| self.0[i] <= o.0[i])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decisions
+// ---------------------------------------------------------------------------
+
+/// One explored alternative at a decision point: schedule a thread, or
+/// let a load return the store at a given history index.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Opt {
+    Thread(usize),
+    Read(usize),
+}
+
+impl fmt::Display for Opt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Opt::Thread(t) => write!(f, "{t}"),
+            Opt::Read(i) => write!(f, "r{i}"),
+        }
+    }
+}
+
+/// A node on the DFS stack: the alternatives seen at one decision point
+/// and which of them the current execution takes.
+struct Node {
+    options: Vec<Opt>,
+    chosen: usize,
+    /// Preemptions accumulated on the path *before* this decision.
+    preempt_base: usize,
+    /// Whether `options[0]` means "continue the running thread" — if so,
+    /// every other alternative is a preemption.
+    continue_first: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Model state
+// ---------------------------------------------------------------------------
+
+/// The operation a parked thread wants to perform next; drives
+/// enabled-ness at decision points.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum PendingOp {
+    /// Thread exists but has not started its body.
+    Start,
+    /// An always-executable step (atomic op, spawn, unlock-free op...).
+    Op,
+    /// Acquire the mutex at this address; executable iff unheld.
+    Lock(usize),
+    /// Try-acquire: always executable (may fail without blocking).
+    TryLock(usize),
+    /// Join the given model thread; executable iff it finished.
+    Join(usize),
+    /// Woken from the condvar at this address; executable iff notified.
+    Woken(usize),
+}
+
+struct ThreadRec {
+    pending: Option<PendingOp>,
+    finished: bool,
+    clock: VClock,
+}
+
+impl ThreadRec {
+    fn new(tid: usize, clock: VClock) -> Self {
+        let mut clock = clock;
+        clock.tick(tid);
+        ThreadRec {
+            pending: Some(PendingOp::Start),
+            finished: false,
+            clock,
+        }
+    }
+}
+
+/// One store in a location's modification order.
+struct StoreEv {
+    val: u64,
+    clock: VClock,
+    /// Whether an acquire load of this store synchronizes-with it
+    /// (release store, or RMW continuing a release sequence).
+    release: bool,
+}
+
+struct AtomicState {
+    history: Vec<StoreEv>,
+    /// Per-thread coherence floor: the newest history index each thread
+    /// has observed (read or written). Loads may not go below it.
+    last_seen: [usize; MAX_THREADS],
+}
+
+#[derive(Default)]
+struct MutexState {
+    holder: Option<usize>,
+    /// Clock released by the last unlock; joined on acquisition.
+    release: VClock,
+}
+
+#[derive(Default)]
+struct CvState {
+    /// Waiting threads in FIFO order, with their notified flag.
+    waiters: Vec<(usize, bool)>,
+}
+
+// ---------------------------------------------------------------------------
+// Public result types
+// ---------------------------------------------------------------------------
+
+/// Why an exploration failed.
+#[derive(Clone, Debug)]
+pub enum FailureKind {
+    /// A model thread panicked (assertion failure) with this message.
+    Panic(String),
+    /// No thread was runnable; the strings describe the blocked threads.
+    Deadlock(Vec<String>),
+    /// A single execution exceeded the per-execution step limit.
+    StepLimit(u64),
+    /// The closure made different choices on replay — it consults time,
+    /// randomness or ambient state and cannot be model-checked.
+    Nondeterminism,
+}
+
+/// A counterexample: the failure plus the schedule that reproduces it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    pub kind: FailureKind,
+    /// Serialized decision path; feed to [`Builder::replay`].
+    pub schedule: String,
+    /// Executions explored before the failure surfaced.
+    pub executions: u64,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            FailureKind::Panic(m) => write!(f, "model thread panicked: {m}")?,
+            FailureKind::Deadlock(blocked) => {
+                write!(f, "deadlock; blocked threads: {}", blocked.join(", "))?
+            }
+            FailureKind::StepLimit(n) => write!(
+                f,
+                "execution exceeded {n} steps (livelock or unbounded spin loop?)"
+            )?,
+            FailureKind::Nondeterminism => write!(
+                f,
+                "nondeterministic execution: the closure must not consult \
+                 time, randomness or other ambient state"
+            )?,
+        }
+        write!(
+            f,
+            " [after {} execution(s); replay schedule \"{}\"]",
+            self.executions, self.schedule
+        )
+    }
+}
+
+impl std::error::Error for Failure {}
+
+/// Statistics of a completed (bug-free) exploration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Report {
+    /// Distinct interleavings (executions) explored.
+    pub executions: u64,
+    /// Total instrumented operations across all executions.
+    pub steps: u64,
+    /// Alternatives pruned by the preemption bound.
+    pub pruned: u64,
+    /// Deepest decision stack seen.
+    pub max_depth: usize,
+    /// True if the exploration stopped at `max_executions` before the
+    /// decision tree was exhausted.
+    pub capped: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Configures and runs an exploration. See the module docs for the
+/// semantics of each knob.
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Maximum preemptions per explored path; `None` = unbounded
+    /// (exhaustive over the interleaving tree).
+    pub preemption_bound: Option<usize>,
+    /// Safety cap on the number of executions.
+    pub max_executions: u64,
+    /// Per-execution step cap (catches livelocks / unbounded spins).
+    pub max_steps: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            // ordering: CHESS-style default — almost all known concurrency
+            // bugs need at most two preemptions to manifest.
+            preemption_bound: Some(2),
+            max_executions: 250_000,
+            max_steps: 10_000,
+        }
+    }
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the preemption bound.
+    pub fn preemption_bound(mut self, bound: usize) -> Self {
+        self.preemption_bound = Some(bound);
+        self
+    }
+
+    /// Removes the preemption bound (full DFS).
+    pub fn unbounded(mut self) -> Self {
+        self.preemption_bound = None;
+        self
+    }
+
+    /// Sets the execution cap.
+    pub fn max_executions(mut self, n: u64) -> Self {
+        self.max_executions = n;
+        self
+    }
+
+    /// Explores the closure; `Err` carries the first counterexample.
+    pub fn check<F>(&self, f: F) -> Result<Report, Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        run_exploration(self, None, Arc::new(f))
+    }
+
+    /// Re-runs exactly one execution following `schedule` (a string from
+    /// a previous [`Failure`]); decisions beyond the schedule take the
+    /// default choice.
+    pub fn replay<F>(&self, schedule: &str, f: F) -> Result<Report, Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let forced = parse_schedule(schedule);
+        run_exploration(self, Some(forced), Arc::new(f))
+    }
+}
+
+fn parse_schedule(s: &str) -> Vec<Opt> {
+    s.split('.')
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            if let Some(rest) = t.strip_prefix('r') {
+                Opt::Read(rest.parse().expect("bad read index in schedule"))
+            } else {
+                Opt::Thread(t.parse().expect("bad thread id in schedule"))
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler state
+// ---------------------------------------------------------------------------
+
+struct Sched {
+    // -- persistent across executions --
+    stack: Vec<Node>,
+    preemption_bound: Option<usize>,
+    max_steps: u64,
+    forced: Option<Vec<Opt>>,
+    total_steps: u64,
+    pruned: u64,
+    nondet: bool,
+    failure: Option<FailureKind>,
+
+    // -- per-execution --
+    threads: Vec<ThreadRec>,
+    active: usize,
+    depth: usize,
+    preemptions: usize,
+    steps: u64,
+    aborting: bool,
+    atomics: HashMap<usize, AtomicState>,
+    mutexes: HashMap<usize, MutexState>,
+    condvars: HashMap<usize, CvState>,
+    /// OS threads of this execution that have not yet exited.
+    live_os: usize,
+}
+
+impl Sched {
+    fn new(b: &Builder, forced: Option<Vec<Opt>>) -> Self {
+        Sched {
+            stack: Vec::new(),
+            preemption_bound: b.preemption_bound,
+            max_steps: b.max_steps,
+            forced,
+            total_steps: 0,
+            pruned: 0,
+            nondet: false,
+            failure: None,
+            threads: Vec::new(),
+            active: usize::MAX,
+            depth: 0,
+            preemptions: 0,
+            steps: 0,
+            aborting: false,
+            atomics: HashMap::new(),
+            mutexes: HashMap::new(),
+            condvars: HashMap::new(),
+            live_os: 0,
+        }
+    }
+
+    fn reset_execution(&mut self) {
+        self.threads.clear();
+        self.active = usize::MAX;
+        self.depth = 0;
+        self.preemptions = 0;
+        self.steps = 0;
+        self.aborting = false;
+        self.atomics.clear();
+        self.mutexes.clear();
+        self.condvars.clear();
+        self.threads.push(ThreadRec::new(0, VClock::default()));
+        self.live_os = 1;
+    }
+
+    fn enabled(&self, t: usize) -> bool {
+        let rec = &self.threads[t];
+        if rec.finished {
+            return false;
+        }
+        match rec.pending {
+            None => false, // mid-operation (the active thread)
+            Some(PendingOp::Start) | Some(PendingOp::Op) | Some(PendingOp::TryLock(_)) => true,
+            Some(PendingOp::Lock(m)) => match self.mutexes.get(&m) {
+                Some(ms) => ms.holder.is_none(),
+                None => true,
+            },
+            Some(PendingOp::Join(t2)) => self.threads[t2].finished,
+            Some(PendingOp::Woken(cv)) => self
+                .condvars
+                .get(&cv)
+                .map(|c| c.waiters.iter().any(|&(w, n)| w == t && n))
+                .unwrap_or(false),
+        }
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| t.finished)
+    }
+
+    /// Resolves one decision point. Single-option points are free (no
+    /// depth consumed); multi-option points consult the DFS stack /
+    /// forced schedule and record a node.
+    fn choose(&mut self, options: Vec<Opt>, continue_first: bool) -> Opt {
+        debug_assert!(!options.is_empty());
+        if options.len() == 1 {
+            return options[0];
+        }
+        let d = self.depth;
+        self.depth += 1;
+        if d < self.stack.len() {
+            // Replaying the prefix recorded by previous executions.
+            if self.stack[d].options != options {
+                self.nondet = true;
+                return options[0];
+            }
+            return options[self.stack[d].chosen];
+        }
+        let chosen = match &self.forced {
+            Some(f) if d < f.len() => match options.iter().position(|o| *o == f[d]) {
+                Some(i) => i,
+                None => {
+                    self.nondet = true;
+                    0
+                }
+            },
+            _ => 0,
+        };
+        self.stack.push(Node {
+            options,
+            chosen,
+            preempt_base: self.preemptions,
+            continue_first,
+        });
+        self.stack[d].options[chosen]
+    }
+
+    /// Advances to the next unexplored path. Returns false when the tree
+    /// is exhausted.
+    fn backtrack(&mut self) -> bool {
+        while let Some(node) = self.stack.last_mut() {
+            let next = node.chosen + 1;
+            if next < node.options.len() {
+                // Every non-first option of a continue-first thread node
+                // is a preemption; prune if the bound is spent.
+                let preemptive = node.continue_first && matches!(node.options[0], Opt::Thread(_));
+                if preemptive
+                    && self
+                        .preemption_bound
+                        .is_some_and(|b| node.preempt_base >= b)
+                {
+                    self.pruned += (node.options.len() - next) as u64;
+                    self.stack.pop();
+                    continue;
+                }
+                node.chosen = next;
+                return true;
+            }
+            self.stack.pop();
+        }
+        false
+    }
+
+    fn render_schedule(&self) -> String {
+        self.stack
+            .iter()
+            .map(|n| n.options[n.chosen].to_string())
+            .collect::<Vec<_>>()
+            .join(".")
+    }
+
+    fn describe_blocked(&self) -> Vec<String> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.finished)
+            .map(|(t, r)| match r.pending {
+                Some(PendingOp::Lock(_)) => format!("thread {t} waiting on Mutex::lock"),
+                Some(PendingOp::Join(t2)) => format!("thread {t} joining thread {t2}"),
+                Some(PendingOp::Woken(_)) => format!("thread {t} waiting on Condvar"),
+                other => format!("thread {t} ({other:?})"),
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime: the condvar handshake serializing model threads
+// ---------------------------------------------------------------------------
+
+pub(crate) struct Runtime {
+    state: StdMutex<Sched>,
+    cv: StdCondvar,
+}
+
+/// Panic payload used to unwind model threads when an execution aborts
+/// (failure found elsewhere, or teardown).
+struct CheckAbort;
+
+type Guard<'a> = std::sync::MutexGuard<'a, Sched>;
+
+impl Runtime {
+    fn lock(&self) -> Guard<'_> {
+        // Model threads panic while holding this lock (that is how
+        // failures propagate), so recover from poisoning everywhere.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn wait<'a>(&self, g: Guard<'a>) -> Guard<'a> {
+        self.cv.wait(g).unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn fail(&self, g: &mut Guard<'_>, kind: FailureKind) {
+        if g.failure.is_none() {
+            g.failure = Some(kind);
+        }
+        g.aborting = true;
+        self.cv.notify_all();
+    }
+
+    /// Picks the next thread to run. `from` is the thread that just
+    /// yielded (it has a pending op) or `None` if the caller is not a
+    /// candidate (controller start, thread exit).
+    fn schedule_next(&self, g: &mut Guard<'_>, from: Option<usize>) {
+        if g.aborting {
+            return;
+        }
+        let enabled: Vec<usize> = (0..g.threads.len()).filter(|&t| g.enabled(t)).collect();
+        if enabled.is_empty() {
+            if g.all_finished() {
+                // Execution complete; controller is watching live_os.
+            } else {
+                let blocked = g.describe_blocked();
+                self.fail(g, FailureKind::Deadlock(blocked));
+            }
+            return;
+        }
+        let continue_first = from.is_some_and(|me| enabled.contains(&me));
+        let mut options: Vec<Opt> = Vec::with_capacity(enabled.len());
+        if let Some(me) = from {
+            if continue_first {
+                options.push(Opt::Thread(me));
+            }
+            options.extend(
+                enabled
+                    .iter()
+                    .filter(|&&t| t != me)
+                    .map(|&t| Opt::Thread(t)),
+            );
+        } else {
+            options.extend(enabled.iter().map(|&t| Opt::Thread(t)));
+        }
+        let Opt::Thread(next) = g.choose(options, continue_first) else {
+            unreachable!("thread decision produced a read option");
+        };
+        if continue_first && Some(next) != from {
+            g.preemptions += 1;
+        }
+        g.active = next;
+        if Some(next) != from {
+            self.cv.notify_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local session
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+pub(crate) struct Session {
+    rt: Arc<Runtime>,
+    pub(crate) tid: usize,
+}
+
+thread_local! {
+    static SESSION: std::cell::RefCell<Option<Session>> = const { std::cell::RefCell::new(None) };
+}
+
+pub(crate) fn current_session() -> Option<Session> {
+    SESSION.with(|s| s.borrow().clone())
+}
+
+/// True when called from a model thread of an active exploration.
+pub fn in_model() -> bool {
+    current_session().is_some()
+}
+
+// ---------------------------------------------------------------------------
+// The instrumented-operation entry point
+// ---------------------------------------------------------------------------
+
+/// Parks the calling model thread at a decision point, waits to be
+/// scheduled, then runs `f` on the model state. Returns `None` when the
+/// caller is not a model thread (callers fall back to real primitives).
+fn with_op<R>(pending: PendingOp, f: impl FnOnce(&mut Guard<'_>, &Session) -> R) -> Option<R> {
+    let sess = current_session()?;
+    let rt = sess.rt.clone();
+    let mut g = rt.lock();
+    debug_assert_eq!(g.active, sess.tid, "yield from a non-active model thread");
+    g.threads[sess.tid].pending = Some(pending);
+    rt.schedule_next(&mut g, Some(sess.tid));
+    while g.active != sess.tid && !g.aborting {
+        g = rt.wait(g);
+    }
+    if g.aborting {
+        drop(g);
+        std::panic::panic_any(CheckAbort);
+    }
+    g.threads[sess.tid].pending = None;
+    g.steps += 1;
+    g.total_steps += 1;
+    if g.steps > g.max_steps {
+        let n = g.max_steps;
+        rt.fail(&mut g, FailureKind::StepLimit(n));
+        drop(g);
+        std::panic::panic_any(CheckAbort);
+    }
+    Some(f(&mut g, &sess))
+}
+
+// ---------------------------------------------------------------------------
+// Atomic operations (model side)
+// ---------------------------------------------------------------------------
+
+fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn atomic_entry<'a>(g: &'a mut Guard<'_>, addr: usize, init: u64) -> &'a mut AtomicState {
+    g.atomics.entry(addr).or_insert_with(|| AtomicState {
+        history: vec![StoreEv {
+            val: init,
+            clock: VClock::default(),
+            release: false,
+        }],
+        last_seen: [0; MAX_THREADS],
+    })
+}
+
+/// Model-side atomic load; `None` outside a model.
+pub(crate) fn atomic_load(addr: usize, init: u64, ord: Ordering) -> Option<u64> {
+    with_op(PendingOp::Op, |g, sess| {
+        let me = sess.tid;
+        let tclock = g.threads[me].clock.clone();
+        let st = atomic_entry(g, addr, init);
+        let len = st.history.len();
+        // Coherence floor: newest store that happens-before the loader,
+        // or anything the thread already observed, whichever is newer.
+        let mut floor = st.last_seen[me];
+        for (i, s) in st.history.iter().enumerate().skip(floor) {
+            if s.clock.le(&tclock) {
+                floor = i;
+            }
+        }
+        let idx = if ord == Ordering::SeqCst || floor == len - 1 {
+            // SeqCst approximated as "reads the newest store" (exact when
+            // every access to the location is SeqCst: the modification
+            // order is the interleaving order).
+            len - 1
+        } else {
+            // Value decision: newest first so the default execution
+            // behaves sequentially consistently.
+            let options: Vec<Opt> = (floor..len).rev().map(Opt::Read).collect();
+            let Opt::Read(i) = g.choose(options, false) else {
+                unreachable!("read decision produced a thread option");
+            };
+            i
+        };
+        let st = atomic_entry(g, addr, init);
+        st.last_seen[me] = idx;
+        let val = st.history[idx].val;
+        let sync =
+            (st.history[idx].release && is_acquire(ord)).then(|| st.history[idx].clock.clone());
+        if let Some(c) = sync {
+            g.threads[me].clock.join(&c);
+        }
+        g.threads[me].clock.tick(me);
+        val
+    })
+}
+
+/// Model-side atomic store. `publish` propagates the new value to the
+/// real backing atomic *under the scheduler lock*, so the backing value
+/// always matches the tail of the modification order.
+pub(crate) fn atomic_store(
+    addr: usize,
+    init: u64,
+    val: u64,
+    ord: Ordering,
+    publish: impl FnOnce(u64),
+) -> Option<()> {
+    with_op(PendingOp::Op, |g, sess| {
+        let me = sess.tid;
+        g.threads[me].clock.tick(me);
+        let clock = g.threads[me].clock.clone();
+        let st = atomic_entry(g, addr, init);
+        st.history.push(StoreEv {
+            val,
+            clock,
+            release: is_release(ord),
+        });
+        st.last_seen[me] = st.history.len() - 1;
+        publish(val);
+    })
+}
+
+/// Model-side read-modify-write: reads the newest store (as C++11
+/// requires of RMWs), applies `f`, appends the result. Returns the old
+/// value. Continues release sequences through the RMW.
+pub(crate) fn atomic_rmw(
+    addr: usize,
+    init: u64,
+    ord: Ordering,
+    f: impl FnOnce(u64) -> u64,
+    publish: impl FnOnce(u64),
+) -> Option<u64> {
+    with_op(PendingOp::Op, |g, sess| {
+        let me = sess.tid;
+        let st = atomic_entry(g, addr, init);
+        let last = st.history.len() - 1;
+        let old = st.history[last].val;
+        let prev_release = st.history[last].release;
+        let prev_clock = prev_release.then(|| st.history[last].clock.clone());
+        if let Some(c) = &prev_clock {
+            if is_acquire(ord) {
+                g.threads[me].clock.join(c);
+            }
+        }
+        g.threads[me].clock.tick(me);
+        let mut clock = g.threads[me].clock.clone();
+        // Release-sequence continuation: an RMW in the middle of a
+        // release sequence still lets a later acquire load synchronize
+        // with the head of the sequence.
+        let release = is_release(ord) || prev_release;
+        if let Some(c) = &prev_clock {
+            clock.join(c);
+        }
+        let new = f(old);
+        let st = atomic_entry(g, addr, init);
+        st.history.push(StoreEv {
+            val: new,
+            clock,
+            release,
+        });
+        st.last_seen[me] = st.history.len() - 1;
+        publish(new);
+        old
+    })
+}
+
+/// Model-side compare-exchange. Success behaves like an RMW; failure
+/// reads the newest store with the failure ordering.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn atomic_cas(
+    addr: usize,
+    init: u64,
+    current: u64,
+    new: u64,
+    ord_ok: Ordering,
+    ord_err: Ordering,
+    publish: impl FnOnce(u64),
+) -> Option<Result<u64, u64>> {
+    with_op(PendingOp::Op, |g, sess| {
+        let me = sess.tid;
+        let st = atomic_entry(g, addr, init);
+        let last = st.history.len() - 1;
+        let old = st.history[last].val;
+        let prev_release = st.history[last].release;
+        let prev_clock = prev_release.then(|| st.history[last].clock.clone());
+        if old != current {
+            if let Some(c) = &prev_clock {
+                if is_acquire(ord_err) {
+                    g.threads[me].clock.join(c);
+                }
+            }
+            let st = atomic_entry(g, addr, init);
+            st.last_seen[me] = last;
+            g.threads[me].clock.tick(me);
+            return Err(old);
+        }
+        if let Some(c) = &prev_clock {
+            if is_acquire(ord_ok) {
+                g.threads[me].clock.join(c);
+            }
+        }
+        g.threads[me].clock.tick(me);
+        let mut clock = g.threads[me].clock.clone();
+        let release = is_release(ord_ok) || prev_release;
+        if let Some(c) = &prev_clock {
+            clock.join(c);
+        }
+        let st = atomic_entry(g, addr, init);
+        st.history.push(StoreEv {
+            val: new,
+            clock,
+            release,
+        });
+        st.last_seen[me] = st.history.len() - 1;
+        publish(new);
+        Ok(old)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Mutex / Condvar operations (model side)
+// ---------------------------------------------------------------------------
+
+/// Model-side `Mutex::lock`; blocks (at the model level) until the mutex
+/// is free. Returns `false` outside a model.
+pub(crate) fn mutex_lock(addr: usize) -> bool {
+    with_op(PendingOp::Lock(addr), |g, sess| {
+        let me = sess.tid;
+        let ms = g.mutexes.entry(addr).or_default();
+        debug_assert!(ms.holder.is_none(), "scheduled into a held mutex");
+        ms.holder = Some(me);
+        let rel = ms.release.clone();
+        g.threads[me].clock.join(&rel);
+        g.threads[me].clock.tick(me);
+    })
+    .is_some()
+}
+
+/// Model-side `Mutex::try_lock`. `None` outside a model, else whether
+/// the mutex was acquired.
+pub(crate) fn mutex_try_lock(addr: usize) -> Option<bool> {
+    with_op(PendingOp::TryLock(addr), |g, sess| {
+        let me = sess.tid;
+        let ms = g.mutexes.entry(addr).or_default();
+        if ms.holder.is_some() {
+            g.threads[me].clock.tick(me);
+            false
+        } else {
+            ms.holder = Some(me);
+            let rel = ms.release.clone();
+            g.threads[me].clock.join(&rel);
+            g.threads[me].clock.tick(me);
+            true
+        }
+    })
+}
+
+/// Model-side unlock. Not a scheduling point: releasing a lock only
+/// *enables* waiters, and they become schedulable at the very next
+/// decision, so no interleaving is lost by not yielding here.
+pub(crate) fn mutex_unlock(addr: usize) {
+    let Some(sess) = current_session() else {
+        return;
+    };
+    let rt = sess.rt.clone();
+    let mut g = rt.lock();
+    let me = sess.tid;
+    g.threads[me].clock.tick(me);
+    let clock = g.threads[me].clock.clone();
+    if let Some(ms) = g.mutexes.get_mut(&addr) {
+        debug_assert_eq!(ms.holder, Some(me), "unlock of a mutex we do not hold");
+        ms.holder = None;
+        ms.release = clock;
+    }
+}
+
+/// Model-side begin-wait: atomically enqueue on the condvar and release
+/// the mutex (the caller has already dropped the real guard's lock).
+pub(crate) fn cond_enqueue(cv_addr: usize, m_addr: usize) {
+    let Some(sess) = current_session() else {
+        return;
+    };
+    let rt = sess.rt.clone();
+    let mut g = rt.lock();
+    let me = sess.tid;
+    g.condvars
+        .entry(cv_addr)
+        .or_default()
+        .waiters
+        .push((me, false));
+    g.threads[me].clock.tick(me);
+    let clock = g.threads[me].clock.clone();
+    if let Some(ms) = g.mutexes.get_mut(&m_addr) {
+        debug_assert_eq!(ms.holder, Some(me));
+        ms.holder = None;
+        ms.release = clock;
+    }
+}
+
+/// Model-side block-until-notified (the middle of `Condvar::wait`).
+pub(crate) fn cond_block(cv_addr: usize) {
+    with_op(PendingOp::Woken(cv_addr), |g, sess| {
+        let me = sess.tid;
+        if let Some(cv) = g.condvars.get_mut(&cv_addr) {
+            cv.waiters.retain(|&(w, _)| w != me);
+        }
+        g.threads[me].clock.tick(me);
+    });
+}
+
+/// Model-side notify. FIFO for `notify_one`.
+pub(crate) fn cond_notify(cv_addr: usize, all: bool) -> bool {
+    let Some(sess) = current_session() else {
+        return false;
+    };
+    let rt = sess.rt.clone();
+    let mut g = rt.lock();
+    let me = sess.tid;
+    g.threads[me].clock.tick(me);
+    if let Some(cv) = g.condvars.get_mut(&cv_addr) {
+        if all {
+            for w in cv.waiters.iter_mut() {
+                w.1 = true;
+            }
+        } else if let Some(w) = cv.waiters.iter_mut().find(|w| !w.1) {
+            w.1 = true;
+        }
+    }
+    true
+}
+
+/// A bare scheduling point with no model-state effect.
+pub(crate) fn yield_point() -> bool {
+    with_op(PendingOp::Op, |g, sess| {
+        g.threads[sess.tid].clock.tick(sess.tid);
+    })
+    .is_some()
+}
+
+// ---------------------------------------------------------------------------
+// Thread operations (model side)
+// ---------------------------------------------------------------------------
+
+/// Spawns a model thread. Must be called from a model thread; panics on
+/// thread-count overflow (surfaces as a checker failure).
+pub(crate) fn spawn_model_thread(body: Box<dyn FnOnce() + Send>) -> Option<usize> {
+    let sess = current_session()?;
+    let rt = sess.rt.clone();
+    let tid = with_op(PendingOp::Op, |g, sess| {
+        let tid = g.threads.len();
+        assert!(
+            tid < MAX_THREADS,
+            "model exceeds MAX_THREADS={MAX_THREADS} threads"
+        );
+        let me = sess.tid;
+        g.threads[me].clock.tick(me);
+        let parent_clock = g.threads[me].clock.clone();
+        g.threads.push(ThreadRec::new(tid, parent_clock));
+        g.live_os += 1;
+        tid
+    })?;
+    spawn_wrapper(rt, tid, body);
+    Some(tid)
+}
+
+/// Model-side join: blocks until the target finishes, then adopts its
+/// clock (the join happens-before edge).
+pub(crate) fn join_model_thread(tid: usize) {
+    with_op(PendingOp::Join(tid), |g, sess| {
+        let me = sess.tid;
+        let child = g.threads[tid].clock.clone();
+        g.threads[me].clock.join(&child);
+        g.threads[me].clock.tick(me);
+    });
+}
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+fn spawn_wrapper(rt: Arc<Runtime>, tid: usize, body: Box<dyn FnOnce() + Send>) {
+    let rt2 = rt.clone();
+    std::thread::Builder::new()
+        .name(format!("fractal-check-{tid}"))
+        .spawn(move || {
+            SESSION.with(|s| {
+                *s.borrow_mut() = Some(Session {
+                    rt: rt2.clone(),
+                    tid,
+                })
+            });
+            // Wait for the scheduler to start us (our Start op).
+            let aborted = {
+                let mut g = rt2.lock();
+                loop {
+                    if g.aborting {
+                        break true;
+                    }
+                    if g.active == tid {
+                        g.threads[tid].pending = None;
+                        break false;
+                    }
+                    g = rt2.wait(g);
+                }
+            };
+            let panic_msg = if aborted {
+                None
+            } else {
+                match catch_unwind(AssertUnwindSafe(body)) {
+                    Ok(()) => None,
+                    Err(p) if p.is::<CheckAbort>() => None,
+                    Err(p) => Some(panic_message(p)),
+                }
+            };
+            SESSION.with(|s| *s.borrow_mut() = None);
+            let mut g = rt2.lock();
+            g.threads[tid].finished = true;
+            g.threads[tid].pending = None;
+            g.threads[tid].clock.tick(tid);
+            if let Some(msg) = panic_msg {
+                rt2.fail(&mut g, FailureKind::Panic(msg));
+            } else if !g.aborting {
+                rt2.schedule_next(&mut g, None);
+            }
+            g.live_os -= 1;
+            if g.live_os == 0 {
+                rt2.cv.notify_all();
+            }
+        })
+        .expect("failed to spawn model thread");
+}
+
+// ---------------------------------------------------------------------------
+// The exploration driver
+// ---------------------------------------------------------------------------
+
+fn run_exploration(
+    builder: &Builder,
+    forced: Option<Vec<Opt>>,
+    f: Arc<dyn Fn() + Send + Sync>,
+) -> Result<Report, Failure> {
+    assert!(
+        current_session().is_none(),
+        "nested model explorations are not supported"
+    );
+    let single_shot = forced.is_some();
+    let rt = Arc::new(Runtime {
+        state: StdMutex::new(Sched::new(builder, forced)),
+        cv: StdCondvar::new(),
+    });
+    let mut report = Report::default();
+    loop {
+        // One execution: reset, launch model thread 0, wait for all OS
+        // threads of the execution to exit.
+        {
+            let mut g = rt.lock();
+            g.reset_execution();
+        }
+        let body = f.clone();
+        spawn_wrapper(rt.clone(), 0, Box::new(move || body()));
+        let mut g = rt.lock();
+        rt.schedule_next(&mut g, None);
+        while g.live_os > 0 {
+            g = rt.wait(g);
+        }
+        report.executions += 1;
+        report.steps = g.total_steps;
+        report.max_depth = report.max_depth.max(g.depth);
+        report.pruned = g.pruned;
+        if g.nondet {
+            return Err(Failure {
+                kind: FailureKind::Nondeterminism,
+                schedule: g.render_schedule(),
+                executions: report.executions,
+            });
+        }
+        if let Some(kind) = g.failure.take() {
+            return Err(Failure {
+                kind,
+                schedule: g.render_schedule(),
+                executions: report.executions,
+            });
+        }
+        if single_shot {
+            break;
+        }
+        if !g.backtrack() {
+            break;
+        }
+        if report.executions >= builder.max_executions {
+            report.capped = true;
+            break;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::{AtomicBool, AtomicUsize, Condvar, Mutex};
+    use crate::thread;
+
+    #[test]
+    fn empty_closure_is_one_execution() {
+        let r = Builder::new().check(|| {}).unwrap();
+        assert_eq!(r.executions, 1);
+        assert_eq!(r.max_depth, 0);
+    }
+
+    #[test]
+    fn straight_line_thread_is_one_execution() {
+        let r = Builder::new()
+            .check(|| {
+                let a = AtomicUsize::new(0);
+                a.store(1, Ordering::SeqCst);
+                assert_eq!(a.load(Ordering::SeqCst), 1);
+            })
+            .unwrap();
+        assert_eq!(r.executions, 1);
+    }
+
+    #[test]
+    fn two_single_op_threads_explore_both_orders() {
+        let r = Builder::new()
+            .unbounded()
+            .check(|| {
+                let a = Arc::new(AtomicUsize::new(0));
+                let t1 = {
+                    let a = a.clone();
+                    thread::spawn(move || a.store(1, Ordering::SeqCst))
+                };
+                let t2 = {
+                    let a = a.clone();
+                    thread::spawn(move || a.store(2, Ordering::SeqCst))
+                };
+                t1.join();
+                t2.join();
+                let v = a.load(Ordering::SeqCst);
+                assert!(v == 1 || v == 2);
+            })
+            .unwrap();
+        assert!(r.executions >= 2, "explored {} executions", r.executions);
+    }
+
+    #[test]
+    fn lost_update_is_found() {
+        let res = Builder::new().unbounded().check(|| {
+            let c = Arc::new(AtomicUsize::new(0));
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = c.clone();
+                    thread::spawn(move || {
+                        // Deliberate non-atomic increment.
+                        let v = c.load(Ordering::SeqCst);
+                        c.store(v + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join();
+            }
+            assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+        });
+        let failure = res.expect_err("checker must find the lost update");
+        assert!(matches!(failure.kind, FailureKind::Panic(ref m) if m.contains("lost update")));
+    }
+
+    #[test]
+    fn rmw_increment_never_loses_updates() {
+        Builder::new()
+            .unbounded()
+            .check(|| {
+                let c = Arc::new(AtomicUsize::new(0));
+                let workers: Vec<_> = (0..2)
+                    .map(|_| {
+                        let c = c.clone();
+                        thread::spawn(move || {
+                            // ordering: RMWs always read the newest store.
+                            c.fetch_add(1, Ordering::Relaxed);
+                        })
+                    })
+                    .collect();
+                for w in workers {
+                    w.join();
+                }
+                assert_eq!(c.load(Ordering::SeqCst), 2);
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn replay_reproduces_the_failure() {
+        fn body() {
+            let c = Arc::new(AtomicUsize::new(0));
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = c.clone();
+                    thread::spawn(move || {
+                        let v = c.load(Ordering::SeqCst);
+                        c.store(v + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join();
+            }
+            assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+        }
+        let failure = Builder::new().unbounded().check(body).unwrap_err();
+        let replayed = Builder::new().replay(&failure.schedule, body).unwrap_err();
+        assert_eq!(replayed.executions, 1);
+        assert!(matches!(replayed.kind, FailureKind::Panic(ref m) if m.contains("lost update")));
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let res = Builder::new().unbounded().check(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let t1 = {
+                let (a, b) = (a.clone(), b.clone());
+                thread::spawn(move || {
+                    let _ga = a.lock();
+                    let _gb = b.lock();
+                })
+            };
+            let t2 = {
+                let (a, b) = (a.clone(), b.clone());
+                thread::spawn(move || {
+                    let _gb = b.lock();
+                    let _ga = a.lock();
+                })
+            };
+            t1.join();
+            t2.join();
+        });
+        let failure = res.expect_err("checker must find the lock-order deadlock");
+        assert!(
+            matches!(failure.kind, FailureKind::Deadlock(_)),
+            "unexpected: {failure}"
+        );
+    }
+
+    #[test]
+    fn mutex_excludes_and_synchronizes() {
+        Builder::new()
+            .unbounded()
+            .check(|| {
+                let c = Arc::new(Mutex::new(0usize));
+                let workers: Vec<_> = (0..2)
+                    .map(|_| {
+                        let c = c.clone();
+                        thread::spawn(move || *c.lock() += 1)
+                    })
+                    .collect();
+                for w in workers {
+                    w.join();
+                }
+                assert_eq!(*c.lock(), 2);
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn try_lock_contention_observable() {
+        // In at least one interleaving try_lock must fail, in at least
+        // one it must succeed; both must leave the data coherent.
+        Builder::new()
+            .unbounded()
+            .check(|| {
+                let c = Arc::new(Mutex::new(0usize));
+                let holder = {
+                    let c = c.clone();
+                    thread::spawn(move || {
+                        let mut g = c.lock();
+                        *g += 1;
+                    })
+                };
+                let opportunist = {
+                    let c = c.clone();
+                    thread::spawn(move || {
+                        if let Some(mut g) = c.try_lock() {
+                            *g += 10;
+                        }
+                    })
+                };
+                holder.join();
+                opportunist.join();
+                let v = *c.lock();
+                assert!(v == 1 || v == 11, "v={v}");
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn condvar_handoff_completes() {
+        Builder::new()
+            .unbounded()
+            .check(|| {
+                let slot = Arc::new(Mutex::new(None::<u32>));
+                let cv = Arc::new(Condvar::new());
+                let producer = {
+                    let (slot, cv) = (slot.clone(), cv.clone());
+                    thread::spawn(move || {
+                        *slot.lock() = Some(7);
+                        cv.notify_one();
+                    })
+                };
+                let consumer = {
+                    let (slot, cv) = (slot.clone(), cv.clone());
+                    thread::spawn(move || {
+                        let mut g = slot.lock();
+                        while g.is_none() {
+                            g = cv.wait(g);
+                        }
+                        assert_eq!(*g, Some(7));
+                    })
+                };
+                producer.join();
+                consumer.join();
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn step_limit_catches_unbounded_spin() {
+        let res = Builder::new().check(|| {
+            let flag = Arc::new(AtomicBool::new(false));
+            // No writer: the spin below can never terminate.
+            while !flag.load(Ordering::SeqCst) {}
+        });
+        let failure = res.expect_err("spin loop must hit the step limit");
+        assert!(matches!(failure.kind, FailureKind::StepLimit(_)));
+    }
+
+    #[test]
+    fn preemption_bound_prunes() {
+        let bounded = Builder::new()
+            .preemption_bound(0)
+            .check(two_threads_two_ops)
+            .unwrap();
+        let full = Builder::new()
+            .unbounded()
+            .check(two_threads_two_ops)
+            .unwrap();
+        assert!(bounded.executions < full.executions);
+        assert!(bounded.pruned > 0);
+    }
+
+    fn two_threads_two_ops() {
+        let a = Arc::new(AtomicUsize::new(0));
+        let workers: Vec<_> = (0..2)
+            .map(|i| {
+                let a = a.clone();
+                thread::spawn(move || {
+                    a.store(i, Ordering::SeqCst);
+                    a.load(Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join();
+        }
+    }
+
+    #[test]
+    fn fallback_outside_model_is_plain() {
+        // Instrumented types degrade to real primitives outside a model.
+        let a = AtomicUsize::new(1);
+        assert_eq!(a.fetch_add(2, Ordering::SeqCst), 1);
+        assert_eq!(a.load(Ordering::Relaxed), 3);
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn schedule_round_trip() {
+        let s = "0.1.r2.0";
+        let parsed = parse_schedule(s);
+        assert_eq!(
+            parsed,
+            vec![Opt::Thread(0), Opt::Thread(1), Opt::Read(2), Opt::Thread(0)]
+        );
+        let rendered = parsed
+            .iter()
+            .map(|o| o.to_string())
+            .collect::<Vec<_>>()
+            .join(".");
+        assert_eq!(rendered, s);
+    }
+}

@@ -1,0 +1,561 @@
+//! Instrumented drop-in replacements for `std::sync::atomic` and the
+//! (parking_lot-flavoured, poison-free) `Mutex`/`Condvar` used across the
+//! workspace.
+//!
+//! Every type here is backed by the *real* primitive: outside a model
+//! exploration the instrumented operation is a plain delegation with the
+//! caller's ordering, so these types are always safe to use (unlike
+//! loom's, which panic outside a model). Inside a model, each operation
+//! becomes a scheduling point and runs against the checker's memory
+//! model; the backing primitive is kept in sync under the scheduler lock
+//! so final values remain observable after the closure returns.
+//!
+//! Location identity is the backing primitive's address, so no
+//! registration is needed and `const fn new` works (statics port
+//! cleanly). The one resulting caveat: a model must not drop an atomic
+//! and allocate another at the same address *within one execution*, or
+//! their histories would fuse. Structures built once per closure run —
+//! the only idiom in this tree — are unaffected.
+
+use crate::sched;
+pub use std::sync::atomic::Ordering;
+use std::sync::PoisonError;
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+macro_rules! instrumented_int_atomic {
+    ($(#[$doc:meta])* $name:ident, $std:ident, $int:ty) => {
+        $(#[$doc])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            backing: std::sync::atomic::$std,
+        }
+
+        impl $name {
+            /// Creates a new atomic (usable in `static` items).
+            pub const fn new(v: $int) -> Self {
+                Self { backing: std::sync::atomic::$std::new(v) }
+            }
+
+            fn addr(&self) -> usize {
+                &self.backing as *const _ as usize
+            }
+
+            fn seed(&self) -> u64 {
+                // ordering: pre-model seed read; the first model access of a
+                // location is serialized under the scheduler lock.
+                self.backing.load(Ordering::Relaxed) as u64
+            }
+
+            pub fn load(&self, ord: Ordering) -> $int {
+                match sched::atomic_load(self.addr(), self.seed(), ord) {
+                    Some(raw) => raw as $int,
+                    None => self.backing.load(ord),
+                }
+            }
+
+            pub fn store(&self, val: $int, ord: Ordering) {
+                let done = sched::atomic_store(
+                    self.addr(),
+                    self.seed(),
+                    val as u64,
+                    ord,
+                    // ordering: backing mirror write, serialized by the
+                    // scheduler lock; real ordering is irrelevant in-model.
+                    |v| self.backing.store(v as $int, Ordering::SeqCst),
+                );
+                if done.is_none() {
+                    self.backing.store(val, ord);
+                }
+            }
+
+            pub fn swap(&self, val: $int, ord: Ordering) -> $int {
+                match sched::atomic_rmw(
+                    self.addr(),
+                    self.seed(),
+                    ord,
+                    |_| val as u64,
+                    |v| self.backing.store(v as $int, Ordering::SeqCst),
+                ) {
+                    Some(old) => old as $int,
+                    None => self.backing.swap(val, ord),
+                }
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $int,
+                new: $int,
+                ok: Ordering,
+                err: Ordering,
+            ) -> Result<$int, $int> {
+                match sched::atomic_cas(
+                    self.addr(),
+                    self.seed(),
+                    current as u64,
+                    new as u64,
+                    ok,
+                    err,
+                    |v| self.backing.store(v as $int, Ordering::SeqCst),
+                ) {
+                    Some(r) => r.map(|v| v as $int).map_err(|v| v as $int),
+                    None => self.backing.compare_exchange(current, new, ok, err),
+                }
+            }
+
+            /// In the model, weak CAS never fails spuriously (a sound
+            /// simplification: spurious failures only re-run retry loops).
+            pub fn compare_exchange_weak(
+                &self,
+                current: $int,
+                new: $int,
+                ok: Ordering,
+                err: Ordering,
+            ) -> Result<$int, $int> {
+                if sched::in_model() {
+                    self.compare_exchange(current, new, ok, err)
+                } else {
+                    self.backing.compare_exchange_weak(current, new, ok, err)
+                }
+            }
+
+            pub fn into_inner(self) -> $int {
+                self.backing.into_inner()
+            }
+
+            pub fn get_mut(&mut self) -> &mut $int {
+                self.backing.get_mut()
+            }
+        }
+
+        impl From<$int> for $name {
+            fn from(v: $int) -> Self {
+                Self::new(v)
+            }
+        }
+
+        instrumented_int_rmw!($name, $int, fetch_add, wrapping_add);
+        instrumented_int_rmw!($name, $int, fetch_sub, wrapping_sub);
+
+        impl $name {
+            pub fn fetch_and(&self, val: $int, ord: Ordering) -> $int {
+                match sched::atomic_rmw(
+                    self.addr(),
+                    self.seed(),
+                    ord,
+                    |old| ((old as $int) & val) as u64,
+                    |v| self.backing.store(v as $int, Ordering::SeqCst),
+                ) {
+                    Some(old) => old as $int,
+                    None => self.backing.fetch_and(val, ord),
+                }
+            }
+
+            pub fn fetch_or(&self, val: $int, ord: Ordering) -> $int {
+                match sched::atomic_rmw(
+                    self.addr(),
+                    self.seed(),
+                    ord,
+                    |old| ((old as $int) | val) as u64,
+                    |v| self.backing.store(v as $int, Ordering::SeqCst),
+                ) {
+                    Some(old) => old as $int,
+                    None => self.backing.fetch_or(val, ord),
+                }
+            }
+
+            pub fn fetch_xor(&self, val: $int, ord: Ordering) -> $int {
+                match sched::atomic_rmw(
+                    self.addr(),
+                    self.seed(),
+                    ord,
+                    |old| ((old as $int) ^ val) as u64,
+                    |v| self.backing.store(v as $int, Ordering::SeqCst),
+                ) {
+                    Some(old) => old as $int,
+                    None => self.backing.fetch_xor(val, ord),
+                }
+            }
+
+            pub fn fetch_max(&self, val: $int, ord: Ordering) -> $int {
+                match sched::atomic_rmw(
+                    self.addr(),
+                    self.seed(),
+                    ord,
+                    |old| ((old as $int).max(val)) as u64,
+                    |v| self.backing.store(v as $int, Ordering::SeqCst),
+                ) {
+                    Some(old) => old as $int,
+                    None => self.backing.fetch_max(val, ord),
+                }
+            }
+
+            pub fn fetch_min(&self, val: $int, ord: Ordering) -> $int {
+                match sched::atomic_rmw(
+                    self.addr(),
+                    self.seed(),
+                    ord,
+                    |old| ((old as $int).min(val)) as u64,
+                    |v| self.backing.store(v as $int, Ordering::SeqCst),
+                ) {
+                    Some(old) => old as $int,
+                    None => self.backing.fetch_min(val, ord),
+                }
+            }
+        }
+    };
+}
+
+macro_rules! instrumented_int_rmw {
+    ($name:ident, $int:ty, $method:ident, $wrapping:ident) => {
+        impl $name {
+            pub fn $method(&self, val: $int, ord: Ordering) -> $int {
+                match sched::atomic_rmw(
+                    self.addr(),
+                    self.seed(),
+                    ord,
+                    |old| ((old as $int).$wrapping(val)) as u64,
+                    |v| self.backing.store(v as $int, Ordering::SeqCst),
+                ) {
+                    Some(old) => old as $int,
+                    None => self.backing.$method(val, ord),
+                }
+            }
+        }
+    };
+}
+
+instrumented_int_atomic!(
+    /// Instrumented `AtomicUsize`.
+    AtomicUsize, AtomicUsize, usize
+);
+instrumented_int_atomic!(
+    /// Instrumented `AtomicU32`.
+    AtomicU32, AtomicU32, u32
+);
+instrumented_int_atomic!(
+    /// Instrumented `AtomicU64`.
+    AtomicU64, AtomicU64, u64
+);
+instrumented_int_atomic!(
+    /// Instrumented `AtomicI64` (two's-complement round-trip through the
+    /// checker's `u64` value representation).
+    AtomicI64, AtomicI64, i64
+);
+
+/// Instrumented `AtomicBool`.
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    backing: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> Self {
+        Self {
+            backing: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        &self.backing as *const _ as usize
+    }
+
+    fn seed(&self) -> u64 {
+        // ordering: pre-model seed read; first model access is serialized
+        // under the scheduler lock.
+        self.backing.load(Ordering::Relaxed) as u64
+    }
+
+    pub fn load(&self, ord: Ordering) -> bool {
+        match sched::atomic_load(self.addr(), self.seed(), ord) {
+            Some(raw) => raw != 0,
+            None => self.backing.load(ord),
+        }
+    }
+
+    pub fn store(&self, val: bool, ord: Ordering) {
+        let done = sched::atomic_store(self.addr(), self.seed(), val as u64, ord, |v| {
+            self.backing.store(v != 0, Ordering::SeqCst)
+        });
+        if done.is_none() {
+            self.backing.store(val, ord);
+        }
+    }
+
+    pub fn swap(&self, val: bool, ord: Ordering) -> bool {
+        match sched::atomic_rmw(
+            self.addr(),
+            self.seed(),
+            ord,
+            |_| val as u64,
+            |v| self.backing.store(v != 0, Ordering::SeqCst),
+        ) {
+            Some(old) => old != 0,
+            None => self.backing.swap(val, ord),
+        }
+    }
+
+    pub fn fetch_and(&self, val: bool, ord: Ordering) -> bool {
+        match sched::atomic_rmw(
+            self.addr(),
+            self.seed(),
+            ord,
+            |old| ((old != 0) && val) as u64,
+            |v| self.backing.store(v != 0, Ordering::SeqCst),
+        ) {
+            Some(old) => old != 0,
+            None => self.backing.fetch_and(val, ord),
+        }
+    }
+
+    pub fn fetch_or(&self, val: bool, ord: Ordering) -> bool {
+        match sched::atomic_rmw(
+            self.addr(),
+            self.seed(),
+            ord,
+            |old| ((old != 0) || val) as u64,
+            |v| self.backing.store(v != 0, Ordering::SeqCst),
+        ) {
+            Some(old) => old != 0,
+            None => self.backing.fetch_or(val, ord),
+        }
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        ok: Ordering,
+        err: Ordering,
+    ) -> Result<bool, bool> {
+        match sched::atomic_cas(
+            self.addr(),
+            self.seed(),
+            current as u64,
+            new as u64,
+            ok,
+            err,
+            |v| self.backing.store(v != 0, Ordering::SeqCst),
+        ) {
+            Some(r) => r.map(|v| v != 0).map_err(|v| v != 0),
+            None => self.backing.compare_exchange(current, new, ok, err),
+        }
+    }
+
+    pub fn compare_exchange_weak(
+        &self,
+        current: bool,
+        new: bool,
+        ok: Ordering,
+        err: Ordering,
+    ) -> Result<bool, bool> {
+        if sched::in_model() {
+            self.compare_exchange(current, new, ok, err)
+        } else {
+            self.backing.compare_exchange_weak(current, new, ok, err)
+        }
+    }
+
+    pub fn into_inner(self) -> bool {
+        self.backing.into_inner()
+    }
+
+    pub fn get_mut(&mut self) -> &mut bool {
+        self.backing.get_mut()
+    }
+}
+
+impl From<bool> for AtomicBool {
+    fn from(v: bool) -> Self {
+        Self::new(v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// Instrumented mutex with the workspace's poison-free (parking_lot
+/// shim) signature: `lock()` returns the guard directly.
+///
+/// The data lives in a real `std::sync::Mutex`, which is also acquired
+/// inside a model — the scheduler guarantees mutual exclusion first, so
+/// the real acquisition never contends. Model failures unwind through
+/// guards, so poisoning is always recovered from.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: bool,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex (usable in `static` items).
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn addr(&self) -> usize {
+        self as *const Mutex<T> as *const () as usize
+    }
+
+    fn real_lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires the mutex, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let model = sched::mutex_lock(self.addr());
+        MutexGuard {
+            lock: self,
+            inner: Some(self.real_lock()),
+            model,
+        }
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match sched::mutex_try_lock(self.addr()) {
+            Some(true) => Some(MutexGuard {
+                lock: self,
+                inner: Some(self.real_lock()),
+                model: true,
+            }),
+            Some(false) => None,
+            None => match self.inner.try_lock() {
+                Ok(g) => Some(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                    model: false,
+                }),
+                Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                    lock: self,
+                    inner: Some(p.into_inner()),
+                    model: false,
+                }),
+                Err(std::sync::TryLockError::WouldBlock) => None,
+            },
+        }
+    }
+
+    /// Returns a mutable reference to the data (no locking needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock before telling the model, so by the time
+        // another model thread is scheduled into `lock()` the real mutex
+        // is already free.
+        self.inner.take();
+        if self.model {
+            sched::mutex_unlock(self.lock.addr());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Instrumented condition variable for use with [`Mutex`].
+///
+/// In the model there are no spurious wakeups and `notify_one` is FIFO;
+/// callers using the standard predicate-loop idiom are insensitive to
+/// both simplifications.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Condvar as usize
+    }
+
+    /// Releases the guard's mutex, blocks until notified, reacquires.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        if guard.model {
+            let lock = guard.lock;
+            let m_addr = lock.addr();
+            sched::cond_enqueue(self.addr(), m_addr);
+            guard.inner.take();
+            // Forget rather than drop: the model-side unlock already
+            // happened in cond_enqueue.
+            std::mem::forget(guard);
+            sched::cond_block(self.addr());
+            sched::mutex_lock(m_addr);
+            MutexGuard {
+                lock,
+                inner: Some(lock.real_lock()),
+                model: true,
+            }
+        } else {
+            let lock = guard.lock;
+            let inner = guard.inner.take().expect("guard already released");
+            std::mem::forget(guard);
+            let inner = self
+                .inner
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+            MutexGuard {
+                lock,
+                inner: Some(inner),
+                model: false,
+            }
+        }
+    }
+
+    /// Wakes one waiter (FIFO in the model).
+    pub fn notify_one(&self) {
+        if !sched::cond_notify(self.addr(), false) {
+            self.inner.notify_one();
+        }
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        if !sched::cond_notify(self.addr(), true) {
+            self.inner.notify_all();
+        }
+    }
+}

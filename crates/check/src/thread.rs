@@ -1,0 +1,72 @@
+//! Model-aware thread spawning.
+//!
+//! Inside a model exploration, [`spawn`] creates a *model thread*: a real
+//! OS thread whose instrumented operations are serialized by the
+//! checker's scheduler (at most [`crate::sched::MAX_THREADS`] per
+//! execution, including the closure's own thread). Outside a model it
+//! delegates to `std::thread::spawn`, so test helpers can be written once
+//! and reused in both stress tests and model tests.
+
+use crate::sched;
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+enum Inner<T> {
+    Real(std::thread::JoinHandle<T>),
+    Model {
+        tid: usize,
+        slot: Arc<StdMutex<Option<T>>>,
+    },
+}
+
+/// Handle to a spawned (model or real) thread.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+/// Spawns a thread; a model thread when called from inside a model.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if sched::in_model() {
+        let slot = Arc::new(StdMutex::new(None));
+        let slot2 = slot.clone();
+        let tid = sched::spawn_model_thread(Box::new(move || {
+            let v = f();
+            *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+        }))
+        .expect("in_model() implies an active session");
+        JoinHandle {
+            inner: Inner::Model { tid, slot },
+        }
+    } else {
+        JoinHandle {
+            inner: Inner::Real(std::thread::spawn(f)),
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread and returns its value. A panic on the target
+    /// thread is a model failure (in-model) or propagated (outside).
+    pub fn join(self) -> T {
+        match self.inner {
+            Inner::Real(h) => h.join().expect("joined thread panicked"),
+            Inner::Model { tid, slot } => {
+                sched::join_model_thread(tid);
+                slot.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .expect("joined model thread left no value")
+            }
+        }
+    }
+}
+
+/// A bare scheduling point (model) / `std::thread::yield_now` (real).
+pub fn yield_now() {
+    if !sched::yield_point() {
+        std::thread::yield_now();
+    }
+}

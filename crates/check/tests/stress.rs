@@ -1,0 +1,224 @@
+//! Real-thread stress tests over the same structures the model suite
+//! covers — the other half of the correctness story. The model checker
+//! proves small configurations exhaustively; these hammer the real code
+//! with 8 OS threads and many seeds to catch anything that only shows up
+//! at scale (cache-line effects, real contention, allocator interaction).
+//!
+//! The quick variants run in every `cargo test`. The `_nightly` variants
+//! are `#[ignore]`d by default and meant for the scheduled CI leg:
+//!
+//! ```text
+//! cargo test -p fractal-check --test stress -- --ignored
+//! ```
+
+use fractal_core::{AggShard, Aggregator};
+use fractal_enum::queue::ExtensionQueue;
+use fractal_runtime::executor::JobState;
+use fractal_runtime::level::LevelQueue;
+use fractal_runtime::steal::try_claim;
+use fractal_runtime::trace::{EventKind, TraceTap};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::thread;
+
+const THREADS: usize = 8;
+
+/// Spawns `THREADS` threads that all start on a barrier, runs `f(t)` in
+/// each, and joins.
+fn hammer(f: impl Fn(usize) + Send + Sync + 'static) {
+    let f = Arc::new(f);
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let (f, barrier) = (f.clone(), barrier.clone());
+            thread::spawn(move || {
+                barrier.wait();
+                f(t);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// One seed of the queue stress: 8 threads drain a `len`-word queue,
+/// tallying claims per word; every word must be claimed exactly once and
+/// the racy `remaining()` snapshot must never wrap.
+fn queue_stress_round(len: usize) {
+    let q = Arc::new(ExtensionQueue::new((0..len as u64).collect()));
+    let counts: Arc<Vec<AtomicU64>> = Arc::new((0..len).map(|_| AtomicU64::new(0)).collect());
+    let wrapped = Arc::new(AtomicU64::new(0));
+    {
+        let (q, counts, wrapped) = (q.clone(), counts.clone(), wrapped.clone());
+        hammer(move |_| loop {
+            if q.remaining() > q.len() {
+                wrapped.fetch_add(1, Ordering::Relaxed);
+            }
+            match q.claim() {
+                Some(w) => {
+                    counts[w as usize].fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        });
+    }
+    assert_eq!(wrapped.load(Ordering::Relaxed), 0, "remaining() wrapped");
+    for (w, c) in counts.iter().enumerate() {
+        assert_eq!(
+            c.load(Ordering::Relaxed),
+            1,
+            "word {w} not claimed exactly once"
+        );
+    }
+    assert_eq!(q.remaining(), 0);
+    assert_eq!(q.claimed(), len);
+}
+
+#[test]
+fn stress_extension_queue_quick() {
+    for seed in 0..20 {
+        queue_stress_round(64 + seed * 17);
+    }
+}
+
+#[test]
+#[ignore = "nightly stress leg: run with -- --ignored"]
+fn stress_extension_queue_nightly() {
+    for seed in 0..500 {
+        queue_stress_round(32 + (seed * 31) % 4096);
+    }
+}
+
+/// One seed of the obligation stress: 8 thieves race `try_claim` over an
+/// uncounted level with `units` extensions while the owner settles the
+/// counted root last. Exactly-once execution and exact termination must
+/// both hold.
+fn obligation_stress_round(units: usize) {
+    let job = Arc::new(JobState::new(1));
+    let level = Arc::new(LevelQueue::new(vec![1], (0..units as u64).collect(), false));
+    let executed = Arc::new(AtomicU64::new(0));
+    let late = Arc::new(AtomicU64::new(0));
+    {
+        let (job, level, executed, late) =
+            (job.clone(), level.clone(), executed.clone(), late.clone());
+        hammer(move |_| {
+            while let Some(_w) = try_claim(&level, &job) {
+                if job.done() {
+                    late.fetch_add(1, Ordering::Relaxed);
+                }
+                executed.fetch_add(1, Ordering::Relaxed);
+                job.sub_pending();
+            }
+        });
+    }
+    job.sub_pending(); // the counted root
+    assert_eq!(late.load(Ordering::Relaxed), 0, "unit executed after done");
+    assert_eq!(executed.load(Ordering::Relaxed), units as u64);
+    assert!(job.done());
+    assert_eq!(job.pending(), 0);
+}
+
+#[test]
+fn stress_obligation_transfer_quick() {
+    for seed in 0..20 {
+        obligation_stress_round(8 + seed * 13);
+    }
+}
+
+#[test]
+#[ignore = "nightly stress leg: run with -- --ignored"]
+fn stress_obligation_transfer_nightly() {
+    for seed in 0..300 {
+        obligation_stress_round(1 + (seed * 7) % 2048);
+    }
+}
+
+/// One seed of the aggregation stress: 8 workers each build a shard over
+/// a shared key space and commit it through the engine's lock-and-merge
+/// protocol; the merged map must reduce every contribution.
+fn aggregation_stress_round(keys: u64, per_worker: u64) {
+    let agg: Arc<Aggregator<u64, u64>> =
+        Arc::new(Aggregator::new("s", |_| 0u64, |_| 0u64, |acc, v| *acc += v));
+    let merged: Arc<Mutex<Option<Box<dyn AggShard>>>> = Arc::new(Mutex::new(None));
+    {
+        let (agg, merged) = (agg.clone(), merged.clone());
+        hammer(move |t| {
+            let map: HashMap<u64, u64> = (0..per_worker)
+                .map(|i| ((t as u64 * per_worker + i) % keys, 1u64))
+                .fold(HashMap::new(), |mut m, (k, v)| {
+                    *m.entry(k).or_insert(0) += v;
+                    m
+                });
+            let shard = agg.shard_from_map(map);
+            let mut slot = merged.lock().unwrap();
+            match &mut *slot {
+                Some(acc) => acc.merge_from(shard),
+                none => *none = Some(shard),
+            }
+        });
+    }
+    let shard = merged.lock().unwrap().take().expect("no shard committed");
+    let map = Aggregator::<u64, u64>::take_map(shard);
+    let total: u64 = map.values().sum();
+    assert_eq!(
+        total,
+        THREADS as u64 * per_worker,
+        "aggregation lost contributions"
+    );
+}
+
+#[test]
+fn stress_aggregation_merge_quick() {
+    for seed in 0..10 {
+        aggregation_stress_round(16 + seed, 256);
+    }
+}
+
+#[test]
+#[ignore = "nightly stress leg: run with -- --ignored"]
+fn stress_aggregation_merge_nightly() {
+    for seed in 0..100 {
+        aggregation_stress_round(8 + seed % 64, 4096);
+    }
+}
+
+/// Tap stress: one writer publishes continuously while 7 readers poll
+/// every index; any record returned must be internally consistent
+/// (payloads that were published together stay together).
+#[test]
+fn stress_trace_tap_quick() {
+    let tap = Arc::new(TraceTap::new(32));
+    let torn = Arc::new(AtomicU64::new(0));
+    {
+        let (tap, torn) = (tap.clone(), torn.clone());
+        hammer(move |t| {
+            if t == 0 {
+                for i in 0..20_000u64 {
+                    tap.publish(
+                        EventKind::TaskClaim,
+                        i & 0xFF_FFFF_FFFF,
+                        (i * 7) & 0xFFFF_FFFF_FFFF,
+                    );
+                }
+            } else {
+                for _ in 0..5_000 {
+                    let head = tap.published();
+                    for i in head.saturating_sub(32)..head {
+                        if let Some(rec) = tap.read(i) {
+                            if rec.b != (rec.a * 7) & 0xFFFF_FFFF_FFFF {
+                                torn.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    }
+    assert_eq!(
+        torn.load(Ordering::Relaxed),
+        0,
+        "tap returned a torn record"
+    );
+}

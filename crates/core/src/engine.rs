@@ -10,9 +10,9 @@ use fractal_graph::Graph;
 use fractal_runtime::executor::{run_job, run_job_with, CoreCtx, CoreTask, ExternalHooks, JobSpec};
 use fractal_runtime::level::GlobalCoreId;
 use fractal_runtime::stats::JobReport;
-use parking_lot::Mutex;
+use fractal_runtime::sync::Mutex;
+use fractal_runtime::sync::{AtomicU64, Ordering};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -226,6 +226,7 @@ pub(crate) fn execute(fractoid: &Fractoid, mode: OutputMode) -> (ExecutionReport
             if step_mode.collects() {
                 output.subgraphs = std::mem::take(&mut spec.collected.lock());
             }
+            // ordering: Relaxed — counter is read after all workers joined.
             output.count = spec.counter.load(Ordering::Relaxed);
             if step_mode.tracks_participation() {
                 participation = spec.participation.lock().take();
@@ -307,6 +308,7 @@ pub(crate) fn execute_step_distributed(
         .collect();
     drop(merged);
     StepOutcome {
+        // ordering: Relaxed — counter is read after all workers joined.
         count: spec.counter.load(Ordering::Relaxed),
         report,
         shards,
@@ -728,6 +730,8 @@ impl CoreTask for StepTask<'_> {
             self.spec.collected.lock().append(&mut self.collected);
         }
         if self.spec.mode.counts() {
+            // ordering: Relaxed — fetch_add atomicity is all we need; the total is
+            // only read after the parallel phase joins.
             self.spec.counter.fetch_add(self.count, Ordering::Relaxed);
         }
         if let Some(p) = self.part.take() {

@@ -15,9 +15,9 @@ use crate::view::{SubgraphData, SubgraphView};
 use fractal_enum::{Subgraph, SubgraphEnumerator};
 use fractal_graph::Graph;
 use fractal_runtime::executor::ExternalHooks;
+use fractal_runtime::sync::{AtomicU64, Ordering};
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Builds one enumerator per core.
@@ -26,6 +26,8 @@ pub type EnumFactory = Arc<dyn Fn(&Graph) -> Box<dyn SubgraphEnumerator> + Send 
 static NEXT_UID: AtomicU64 = AtomicU64::new(1);
 
 fn fresh_uid() -> u64 {
+    // ordering: Relaxed — uniqueness comes from fetch_add atomicity alone; the
+    // uid never synchronizes other memory.
     NEXT_UID.fetch_add(1, Ordering::Relaxed)
 }
 

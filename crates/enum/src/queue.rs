@@ -5,7 +5,7 @@
 //! a thread-safe queue; the owning core and thieves consume extensions with
 //! a single atomic fetch-add — the "very short critical section" of §4.2.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use fractal_check::facade::{AtomicUsize, Ordering};
 
 /// A fixed list of extension words with an atomic claim cursor.
 ///
@@ -30,7 +30,8 @@ impl ExtensionQueue {
     /// thread; each word is returned exactly once.
     #[inline]
     pub fn claim(&self) -> Option<u64> {
-        // fetch_add may overshoot past the end under contention; that is
+        // ordering: Relaxed — claim exclusivity comes from fetch_add atomicity;
+        // fetch_add may overshoot past the end under contention, which is
         // harmless (cursor only ever grows, claims past len return None).
         let idx = self.cursor.fetch_add(1, Ordering::Relaxed);
         self.items.get(idx).copied()
@@ -48,6 +49,8 @@ impl ExtensionQueue {
     /// worst case is one wasted steal attempt, never a wrapped count.
     #[inline]
     pub fn claimed(&self) -> usize {
+        // ordering: Relaxed — monotonic cursor read, clamped to len; callers only
+        // use this as a progress estimate.
         self.cursor.load(Ordering::Relaxed).min(self.items.len())
     }
 

@@ -394,6 +394,7 @@ pub fn encode_report(r: &JobReport) -> Vec<u8> {
         r.faults.watchdog_trips,
         r.faults.recovery_ns,
         r.faults.units_lost,
+        r.faults.tap_drained,
     ] {
         put_u64(&mut out, v);
     }
@@ -438,6 +439,7 @@ pub fn decode_report(bytes: &[u8]) -> Result<JobReport, BlobError> {
         watchdog_trips: c.u64()?,
         recovery_ns: c.u64()?,
         units_lost: c.u64()?,
+        tap_drained: c.u64()?,
     };
     let ncores = c.count(8 + CORE_STAT_FIELDS * 8)?;
     let mut cores = Vec::with_capacity(ncores);
@@ -561,11 +563,13 @@ mod tests {
 
     #[test]
     fn report_round_trip() {
-        let mut s = CoreStats::default();
-        s.busy_ns = 123;
-        s.units = 9;
-        s.net_units = 2;
-        s.ec = 77;
+        let s = CoreStats {
+            busy_ns: 123,
+            units: 9,
+            net_units: 2,
+            ec: 77,
+            ..Default::default()
+        };
         let r = JobReport {
             elapsed: Duration::from_millis(5),
             cores: vec![
@@ -582,6 +586,7 @@ mod tests {
                 watchdog_trips: 4,
                 recovery_ns: 5,
                 units_lost: 6,
+                tap_drained: 7,
             },
             trace: None,
         };

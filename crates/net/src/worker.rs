@@ -21,12 +21,12 @@ use fractal_apps::{cliques, motifs};
 use fractal_core::{Aggregator, FractalContext, FractalGraph, Fractoid};
 use fractal_pattern::CanonicalCode;
 use fractal_runtime::steal::{decode_unit, encode_unit, StolenUnit};
+use fractal_runtime::sync::Mutex;
+use fractal_runtime::sync::{AtomicBool, AtomicU32, Ordering};
 use fractal_runtime::{ClusterConfig, ExternalHooks, ExternalJobHandle, ExternalPull, WsMode};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread;
@@ -65,6 +65,8 @@ struct Shared {
 
 impl Shared {
     fn send(&self, frame: &Frame) -> io::Result<()> {
+        // ordering: Relaxed — sequence numbers only need fetch_add atomicity for
+        // uniqueness; frame payloads are serialized under the stream lock below.
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         self.send_with_seq(seq, frame)
     }

@@ -47,11 +47,11 @@ use crate::stats::{CoreStats, JobReport};
 use crate::steal::{
     decode_unit, steal_from_registry, steal_server, ServerStats, StealRequest, StolenUnit,
 };
+use crate::sync::{AtomicBool, AtomicI64, Ordering};
 use crate::trace::{CoreTrace, EventKind, Recorder, TraceDump};
 use crate::{ClusterConfig, WsMode};
 use crossbeam::channel::{bounded, unbounded, RecvTimeoutError, Sender};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -269,6 +269,14 @@ impl CoreCtx<'_> {
         self.fcx.health.core(self.id.worker, self.id.core)
     }
 
+    /// Records this core's fail-stop into the flight recorder (and its
+    /// tap) before the core stops cooperating, so the watchdog's
+    /// last-words drain always captures at least the death marker.
+    fn record_fail_stop(&mut self) {
+        let t = self.now_ns();
+        self.recorder.record(t, EventKind::FaultInjected, 0, 0);
+    }
+
     /// Whether the fault plan wants this core to fail-stop now.
     fn should_die_now(&self) -> bool {
         match &self.fcx.injector {
@@ -427,6 +435,9 @@ fn dispatch_unit(
     word: u64,
     exclusions: ReplayExclusions,
 ) -> UnitFate {
+    // ordering: Relaxed — kill scheduling reads this as a heuristic
+    // threshold; exactness of *when* the threshold is observed is not
+    // required, only that the counter never loses increments (RMW).
     ctx.fcx
         .ledger
         .units_dispatched
@@ -490,6 +501,7 @@ fn dispatch_unit(
                     // Deliberately broken recovery (chaos-gate self-test):
                     // account the unit so the job terminates, but never
                     // re-execute it.
+                    // ordering: Relaxed — diagnostic counter, read after join.
                     ctx.fcx.ledger.units_lost.fetch_add(1, Ordering::Relaxed);
                     job.sub_pending();
                     ctx.health().clear_inflight();
@@ -501,6 +513,7 @@ fn dispatch_unit(
                     std::panic::resume_unwind(payload);
                 }
                 attempt += 1;
+                // ordering: Relaxed — diagnostic counter, read after join.
                 ctx.fcx.ledger.units_retried.fetch_add(1, Ordering::Relaxed);
                 let backoff_us = (50u64 << attempt.min(10)).min(5_000);
                 let t = ctx.now_ns();
@@ -638,6 +651,8 @@ pub fn run_job_with(
     debug_assert!(job.done(), "job must be done after all cores joined");
     debug_assert_eq!(job.pending(), 0, "pending leak: {}", job.pending());
 
+    // ordering: Relaxed — the servers incrementing these counters have
+    // joined above, which orders their final values before these reads.
     let sum = |f: fn(&ServerStats) -> u64| server_stats.iter().map(f).sum();
     JobReport {
         elapsed: t0.elapsed(),
@@ -675,12 +690,23 @@ fn watchdog_loop(fcx: &FaultCtx, registries: &[Arc<WorkerRegistry>], job: &JobSt
             if health.reconciled.load(Ordering::SeqCst) {
                 continue;
             }
+            // ordering: Relaxed — staleness detection is a timing
+            // heuristic; a stale read delays a trip by one poll at most,
+            // and destructive reconciliation is separately gated on the
+            // SeqCst fail-stop flag.
             let beat = health.beat_ns.load(Ordering::Relaxed);
             let stale = beat != 0 && now.saturating_sub(beat) > timeout_ns;
             let dead = health.is_dead();
             if (stale || dead) && !tripped[gi] {
                 tripped[gi] = true;
+                // ordering: Relaxed — diagnostic counter, no data guarded.
                 fcx.ledger.watchdog_trips.fetch_add(1, Ordering::Relaxed);
+                // Capture the core's last trace records while it is
+                // merely suspected: a stalled (not dead) core keeps its
+                // ring private until join, but the tap stays readable.
+                let drained = health.drain_tap_diagnostic(16);
+                // ordering: Relaxed — diagnostic counter, no data guarded.
+                fcx.ledger.tap_drained.fetch_add(drained, Ordering::Relaxed);
             }
             if dead {
                 let slot = &registries[gi / cpw].slots[gi % cpw];
@@ -690,6 +716,7 @@ fn watchdog_loop(fcx: &FaultCtx, registries: &[Arc<WorkerRegistry>], job: &JobSt
                     if inj.kill_fired() && inj.targets_worker(gi / cpw) {
                         let killed_at = inj.killed_at_ns.load(Ordering::SeqCst);
                         let end = t0.elapsed().as_nanos() as u64;
+                        // ordering: Relaxed — diagnostic counter.
                         fcx.ledger
                             .recovery_ns
                             .fetch_add(end.saturating_sub(killed_at), Ordering::Relaxed);
@@ -727,6 +754,7 @@ fn reconcile_core(
         if lvl.counted {
             while let Some(w) = lvl.queue.claim() {
                 if fcx.sabotaged() {
+                    // ordering: Relaxed — diagnostic counter.
                     fcx.ledger.units_lost.fetch_add(1, Ordering::Relaxed);
                     job.sub_pending();
                 } else {
@@ -744,6 +772,7 @@ fn reconcile_core(
     }
     if let Some((prefix, word)) = health.take_inflight() {
         if fcx.sabotaged() {
+            // ordering: Relaxed — diagnostic counter.
             fcx.ledger.units_lost.fetch_add(1, Ordering::Relaxed);
             job.sub_pending();
         } else {
@@ -780,6 +809,11 @@ fn core_main(
         stats: CoreStats::default(),
         recorder: Recorder::new(config.trace),
     };
+    if let Some(tap) = ctx.recorder.tap() {
+        // Hand the watchdog a live view of this core's trace so a wedged
+        // core's last events are drainable without joining it.
+        ctx.health().publish_tap(tap);
+    }
     ctx.health().beat(ctx.now_ns().max(1));
     let mut task = spec.make_core_task(id);
     let mut died = false;
@@ -790,6 +824,7 @@ fn core_main(
         slot.push(root.clone());
         loop {
             if ctx.should_die_now() {
+                ctx.record_fail_stop();
                 died = true;
                 break;
             }
@@ -857,9 +892,11 @@ fn steal_loop(
         }
         ctx.health().beat(ctx.now_ns());
         if ctx.should_die_now() {
+            ctx.record_fail_stop();
             return true;
         }
         if let Some(ru) = ctx.fcx.recovery.pop() {
+            // ordering: Relaxed — diagnostic counter, read after join.
             ctx.fcx
                 .ledger
                 .units_reexecuted
@@ -1062,7 +1099,7 @@ fn steal_external(
 mod tests {
     use super::*;
     use crate::fault::FaultConfig;
-    use std::sync::atomic::AtomicU64;
+    use crate::sync::AtomicU64;
 
     #[test]
     fn job_state_counts_to_done() {
@@ -1358,6 +1395,46 @@ mod tests {
             assert!(report.faults.units_lost == 0);
             assert!(report.faults.recovery_ns > 0);
         }
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn watchdog_drains_dead_cores_tap() {
+        use crate::trace::TraceConfig;
+        let spec = tree_spec();
+        let expected = tree_expected(&spec);
+        let report = run_job(
+            &spec,
+            &ClusterConfig::local(2, 2)
+                .with_latency_us(0)
+                .with_trace(TraceConfig {
+                    tap_capacity: 64,
+                    ..TraceConfig::enabled()
+                })
+                .with_faults(FaultConfig::worker_kill(1, 1).with_kill_after_units(1)),
+        );
+        assert_eq!(spec.total.load(Ordering::SeqCst), expected);
+        assert!(report.faults.watchdog_trips > 0, "death must be detected");
+        // The tripped cores recorded events before dying, so the watchdog
+        // must have captured their last words through the tap.
+        assert!(
+            report.faults.tap_drained > 0,
+            "watchdog drained no tap records from the dead worker"
+        );
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn no_tap_configured_means_no_tap_drained() {
+        let spec = tree_spec();
+        let report = run_job(
+            &spec,
+            &ClusterConfig::local(2, 2)
+                .with_latency_us(0)
+                .with_faults(FaultConfig::worker_kill(1, 1).with_kill_after_units(1)),
+        );
+        assert!(report.faults.watchdog_trips > 0);
+        assert_eq!(report.faults.tap_drained, 0);
     }
 
     #[test]

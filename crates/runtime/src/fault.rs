@@ -34,9 +34,9 @@
 //! itself.
 
 use crate::steal::StolenUnit;
-use parking_lot::Mutex;
+use crate::sync::Mutex;
+use crate::sync::{AtomicBool, AtomicU64, Ordering};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Panic payload of an injector-raised unit panic. Carried through
 /// `catch_unwind` so the supervisor (and the quiet panic hook) can tell
@@ -262,6 +262,9 @@ pub struct FaultLedger {
     pub units_lost: AtomicU64,
     /// Units globally dispatched (drives kill scheduling).
     pub units_dispatched: AtomicU64,
+    /// Trace-tap records the watchdog drained from tripped cores (the
+    /// "last words" diagnostic; nonzero only with `tap_capacity > 0`).
+    pub tap_drained: AtomicU64,
 }
 
 /// Immutable snapshot of a [`FaultLedger`], stored in the `JobReport`.
@@ -279,18 +282,24 @@ pub struct FaultStats {
     pub recovery_ns: u64,
     /// Units dropped without re-execution (sabotage only).
     pub units_lost: u64,
+    /// Trace-tap records drained from tripped cores.
+    pub tap_drained: u64,
 }
 
 impl FaultLedger {
     /// Snapshots the counters.
     pub fn snapshot(&self) -> FaultStats {
         FaultStats {
+            // ordering: Relaxed — counters are monotonic diagnostics;
+            // the snapshot is taken after the cores (and watchdog) have
+            // joined, which already orders their final increments.
             faults_injected: self.faults_injected.load(Ordering::Relaxed),
             units_retried: self.units_retried.load(Ordering::Relaxed),
             units_reexecuted: self.units_reexecuted.load(Ordering::Relaxed),
             watchdog_trips: self.watchdog_trips.load(Ordering::Relaxed),
             recovery_ns: self.recovery_ns.load(Ordering::Relaxed),
             units_lost: self.units_lost.load(Ordering::Relaxed),
+            tap_drained: self.tap_drained.load(Ordering::Relaxed),
         }
     }
 }
@@ -324,6 +333,11 @@ impl BudgetedSite {
 
     /// One visit; true when the fault fires.
     fn fire(&self) -> bool {
+        // ordering: Relaxed throughout — injector decisions are local
+        // heuristics: the visit counter needs only RMW atomicity, and
+        // the budget CAS below is exact regardless of ordering (budget
+        // can never go negative; a stale early-exit read merely skips a
+        // visit that a concurrent visit already claimed).
         if self.budget.load(Ordering::Relaxed) == 0 {
             return false;
         }
@@ -332,6 +346,7 @@ impl BudgetedSite {
             return false;
         }
         // Claim one budget slot; losing a race means another visit fired.
+        // ordering: Relaxed — see the note at the top of this fn.
         let mut cur = self.budget.load(Ordering::Relaxed);
         while cur > 0 {
             match self.budget.compare_exchange_weak(
@@ -429,11 +444,14 @@ impl FaultInjector {
         if worker != target || total_workers < 2 {
             return false;
         }
+        // ordering: Relaxed — heuristic threshold; the kill itself is
+        // latched by the SeqCst swap below.
         if ledger.units_dispatched.load(Ordering::Relaxed) < self.config.kill_after_units {
             return false;
         }
         if !self.kill_fired.swap(true, Ordering::SeqCst) {
             self.killed_at_ns.store(now_ns, Ordering::SeqCst);
+            // ordering: Relaxed — diagnostic counter.
             ledger.faults_injected.fetch_add(1, Ordering::Relaxed);
         }
         true
@@ -446,6 +464,7 @@ impl FaultInjector {
         }
         let fire = self.panic_site.fire();
         if fire {
+            // ordering: Relaxed — diagnostic counter, read after workers join.
             ledger.faults_injected.fetch_add(1, Ordering::Relaxed);
         }
         fire
@@ -455,6 +474,7 @@ impl FaultInjector {
     pub fn should_drop_request(&self, ledger: &FaultLedger) -> bool {
         let fire = self.drop_site.fire();
         if fire {
+            // ordering: Relaxed — diagnostic counter, read after workers join.
             ledger.faults_injected.fetch_add(1, Ordering::Relaxed);
         }
         fire
@@ -466,6 +486,7 @@ impl FaultInjector {
             return 0;
         }
         if self.delay_site.fire() {
+            // ordering: Relaxed — diagnostic counter, read after workers join.
             ledger.faults_injected.fetch_add(1, Ordering::Relaxed);
             self.config.steal_delay_us
         } else {
@@ -477,6 +498,7 @@ impl FaultInjector {
     pub fn should_corrupt(&self, ledger: &FaultLedger) -> bool {
         let fire = self.corrupt_site.fire();
         if fire {
+            // ordering: Relaxed — diagnostic counter, read after workers join.
             ledger.faults_injected.fetch_add(1, Ordering::Relaxed);
         }
         fire
@@ -489,6 +511,7 @@ impl FaultInjector {
             return 0;
         }
         if self.stall_armed.swap(false, Ordering::SeqCst) {
+            // ordering: Relaxed — diagnostic counter, read after workers join.
             ledger.faults_injected.fetch_add(1, Ordering::Relaxed);
             self.config.stall_ms
         } else {
@@ -585,12 +608,22 @@ pub struct CoreHealth {
     /// Replay exclusions carried over from earlier failed attempts of the
     /// in-flight unit (stashed by the dying core for the watchdog).
     excl_stash: Mutex<ReplayExclusions>,
+    /// The core's concurrently-readable trace tap (published at core
+    /// start when `TraceConfig::tap_capacity > 0`), so the watchdog can
+    /// drain a wedged core's last events without joining it.
+    tap: Mutex<Option<std::sync::Arc<crate::trace::TraceTap>>>,
+    /// The last records the watchdog drained from [`Self::tap`] when
+    /// this core tripped — the core's "last words" diagnostic.
+    last_words: Mutex<Vec<crate::trace::TapRecord>>,
 }
 
 impl CoreHealth {
     /// Stamps the heartbeat.
     #[inline]
     pub fn beat(&self, now_ns: u64) {
+        // ordering: Relaxed — the watchdog reads this as a staleness
+        // heuristic only; destructive action is gated on the SeqCst
+        // fail-stop flag.
         self.beat_ns.store(now_ns, Ordering::Relaxed);
     }
 
@@ -621,6 +654,31 @@ impl CoreHealth {
     /// Takes the stashed exclusions (reconciliation).
     pub fn take_exclusions(&self) -> ReplayExclusions {
         std::mem::take(&mut *self.excl_stash.lock())
+    }
+
+    /// Publishes this core's trace tap for the watchdog (core start).
+    pub fn publish_tap(&self, tap: std::sync::Arc<crate::trace::TraceTap>) {
+        *self.tap.lock() = Some(tap);
+    }
+
+    /// Drains the newest tap records into the [`Self::last_words`]
+    /// diagnostic. Called by the watchdog when this core trips; safe
+    /// against the core still writing (the tap rejects torn records).
+    pub fn drain_tap_diagnostic(&self, n: usize) -> u64 {
+        let Some(tap) = self.tap.lock().as_ref().cloned() else {
+            return 0;
+        };
+        let records = tap.recent(n);
+        let count = records.len() as u64;
+        *self.last_words.lock() = records;
+        count
+    }
+
+    /// The records captured by [`Self::drain_tap_diagnostic`], oldest
+    /// first (empty when no tap was configured or the core never
+    /// tripped).
+    pub fn last_words(&self) -> Vec<crate::trace::TapRecord> {
+        self.last_words.lock().clone()
     }
 
     /// Marks this core fail-stopped.

@@ -7,8 +7,8 @@
 //! level — plain DFS — while thieves scan a victim's registry from the
 //! **bottom**, stealing the shallowest (largest) remaining subtrees.
 
+use crate::sync::Mutex;
 use fractal_enum::ExtensionQueue;
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Identifies one execution core of the simulated cluster.

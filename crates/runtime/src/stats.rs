@@ -285,6 +285,10 @@ impl JobReport {
         ));
         out.push_str(&format!("  \"units_lost\": {},\n", self.faults.units_lost));
         out.push_str(&format!(
+            "  \"tap_drained\": {},\n",
+            self.faults.tap_drained
+        ));
+        out.push_str(&format!(
             "  \"worker_state_bytes\": {},\n",
             json_u64_array(&self.worker_state_bytes())
         ));

@@ -24,9 +24,9 @@
 use crate::executor::JobState;
 use crate::fault::{FaultCtx, RecoveryUnit};
 use crate::level::{LevelQueue, WorkerRegistry};
+use crate::sync::{AtomicU64, Ordering};
 use bytes::{Buf, BufMut, BytesMut};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use std::time::{Duration, Instant};
 
@@ -298,8 +298,10 @@ fn poll_unacked(
     unacked.retain_mut(|(unit, ack_rx)| match ack_rx.try_recv() {
         Ok(true) => false,
         Ok(false) | Err(TryRecvError::Disconnected) => {
+            // ordering: Relaxed — diagnostic counters, read after join.
             stats.requeues.fetch_add(1, Ordering::Relaxed);
             if fcx.sabotaged() {
+                // ordering: Relaxed — diagnostic counter.
                 fcx.ledger.units_lost.fetch_add(1, Ordering::Relaxed);
                 job.sub_pending();
             } else {
@@ -339,6 +341,7 @@ pub fn steal_server(
         poll_unacked(&mut unacked, job, stats, fcx);
         match rx.recv_timeout(Duration::from_micros(500)) {
             Ok(req) => {
+                // ordering: Relaxed — diagnostic counter, read after join.
                 stats.requests.fetch_add(1, Ordering::Relaxed);
                 if let Some(inj) = &fcx.injector {
                     // Drop fault: never answer; the requester observes the
@@ -366,6 +369,8 @@ pub fn steal_server(
                             corrupt_payload(&mut bytes);
                         }
                     }
+                    // ordering: Relaxed — diagnostic counters, read
+                    // after join.
                     stats.hits.fetch_add(1, Ordering::Relaxed);
                     stats
                         .bytes_served

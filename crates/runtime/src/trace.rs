@@ -27,7 +27,9 @@
 //!   `trace` feature removes even that.
 
 use crate::level::GlobalCoreId;
+use crate::sync::{AtomicU64, Ordering};
 use std::io::{self, Write};
+use std::sync::Arc;
 
 /// The event vocabulary of the flight recorder.
 ///
@@ -98,6 +100,27 @@ impl EventKind {
             EventKind::WatchdogTrip => "watchdog_trip",
             EventKind::UnitReexec => "unit_reexec",
         }
+    }
+
+    /// Recovers a kind from its `#[repr(u8)]` discriminant (the tap
+    /// ring stores kinds as raw bytes).
+    pub fn from_u8(v: u8) -> Option<EventKind> {
+        Some(match v {
+            0 => EventKind::TaskClaim,
+            1 => EventKind::UnitDone,
+            2 => EventKind::InternalSteal,
+            3 => EventKind::ExternalSteal,
+            4 => EventKind::StealRoundTrip,
+            5 => EventKind::LevelPush,
+            6 => EventKind::LevelPop,
+            7 => EventKind::AggFlush,
+            8 => EventKind::KernelFlush,
+            9 => EventKind::FaultInjected,
+            10 => EventKind::UnitRetry,
+            11 => EventKind::WatchdogTrip,
+            12 => EventKind::UnitReexec,
+            _ => return None,
+        })
     }
 
     /// Inverse of [`as_str`](Self::as_str).
@@ -308,6 +331,149 @@ impl Histogram {
     }
 }
 
+/// Number of low bits of a tap slot word carrying payload; the top
+/// 16 bits carry the record's generation tag.
+const TAP_TAG_SHIFT: u32 = 48;
+const TAP_PAYLOAD_MASK: u64 = (1 << TAP_TAG_SHIFT) - 1;
+/// Payload bits of `a` in the first slot word (the top 8 payload bits
+/// hold the event kind).
+const TAP_A_BITS: u32 = 40;
+const TAP_A_MASK: u64 = (1 << TAP_A_BITS) - 1;
+
+fn tap_pack(generation: u64, payload: u64) -> u64 {
+    ((generation & 0xFFFF) << TAP_TAG_SHIFT) | (payload & TAP_PAYLOAD_MASK)
+}
+
+/// A compact diagnostic record drained from a [`TraceTap`]. Payloads are
+/// truncated (`a` to 40 bits, `b` to 48) — the tap is a diagnostic
+/// channel, not the trace of record ([`RingBuffer`] keeps full events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TapRecord {
+    /// What happened.
+    pub kind: EventKind,
+    /// First payload word, truncated to 40 bits.
+    pub a: u64,
+    /// Second payload word, truncated to 48 bits.
+    pub b: u64,
+}
+
+/// One tap slot: two tagged words making up a record.
+#[derive(Debug, Default)]
+struct TapSlot {
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+/// A concurrently-readable shadow of the flight recorder: a single-writer
+/// ring whose recent records another thread (the watchdog) can drain
+/// *while the owner is wedged* — the private [`RingBuffer`] is only
+/// collectable after its core joins, which a stalled core never does.
+///
+/// Lock-free coherence comes from content validation rather than slot
+/// ordering: each of a record's two slot words embeds a 16-bit generation
+/// tag (bits 48..64), so the slot stores themselves can be `Relaxed`; a
+/// reader accepts a record only if both words carry the expected tag,
+/// which makes a torn read (one word from generation `g`, the other
+/// already overwritten by `g + capacity`) *detectable and rejected*
+/// instead of silently wrong. A plain head-recheck seqlock cannot give
+/// this guarantee under weak memory — the model pair
+/// `trace.ring_tagged` / `trace.ring_untagged` in
+/// `crates/check/src/models.rs` demonstrates exactly that failure and
+/// this design's immunity to it.
+///
+/// The tag wraps every 65 536 overwrites of a slot, so a reader
+/// suspended across exactly `65 536 × capacity` published records could
+/// accept a coherent-but-recycled record. That record is still a real
+/// record (both words from one generation), merely older than the head
+/// suggests — acceptable for a diagnostic channel.
+#[derive(Debug)]
+pub struct TraceTap {
+    slots: Box<[TapSlot]>,
+    /// Records ever published. Bumped with `Release` after the slot
+    /// words are in place.
+    head: AtomicU64,
+}
+
+impl TraceTap {
+    /// A tap retaining the last `capacity` records (`capacity` ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        TraceTap {
+            slots: (0..capacity.max(1)).map(|_| TapSlot::default()).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Retained capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records ever published.
+    pub fn published(&self) -> u64 {
+        // ordering: Acquire pairs with the writer's Release publish so a
+        // reader that sees head = n also sees the slot words of record
+        // n - 1 (the tag check still guards against later overwrites).
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Publishes one record. Must only be called by the owning core
+    /// (single writer); concurrent writers would interleave generations.
+    #[inline]
+    pub fn publish(&self, kind: EventKind, a: u64, b: u64) {
+        // ordering: single writer — only the owner advances head, so a
+        // Relaxed read of our own last store is exact.
+        let i = self.head.load(Ordering::Relaxed);
+        let cap = self.slots.len() as u64;
+        let slot = &self.slots[(i % cap) as usize];
+        let generation = i / cap + 1; // tag 0 = never written
+        let w0 = tap_pack(generation, ((kind as u64) << TAP_A_BITS) | (a & TAP_A_MASK));
+        let w1 = tap_pack(generation, b);
+        // ordering: Relaxed — coherence is by generation tag, not by
+        // ordering; see the type-level docs.
+        slot.a.store(w0, Ordering::Relaxed);
+        slot.b.store(w1, Ordering::Relaxed);
+        // ordering: Release publish pairs with readers' Acquire head
+        // loads.
+        self.head.store(i + 1, Ordering::Release);
+    }
+
+    /// Reads record `i` (0-based publish index), if it is still coherent
+    /// in its slot. Returns `None` for unpublished, overwritten or torn
+    /// slots — never a mixed record.
+    pub fn read(&self, i: u64) -> Option<TapRecord> {
+        // ordering: Acquire pairs with the writer's Release publish.
+        let head = self.head.load(Ordering::Acquire);
+        if i >= head {
+            return None;
+        }
+        let cap = self.slots.len() as u64;
+        let slot = &self.slots[(i % cap) as usize];
+        let generation = (i / cap + 1) & 0xFFFF;
+        // ordering: Relaxed — validated by the embedded tags below.
+        let w0 = slot.a.load(Ordering::Relaxed);
+        let w1 = slot.b.load(Ordering::Relaxed);
+        if w0 >> TAP_TAG_SHIFT != generation || w1 >> TAP_TAG_SHIFT != generation {
+            return None; // overwritten (or torn) since publication
+        }
+        let payload = w0 & TAP_PAYLOAD_MASK;
+        let kind = EventKind::from_u8((payload >> TAP_A_BITS) as u8)?;
+        Some(TapRecord {
+            kind,
+            a: payload & TAP_A_MASK,
+            b: w1 & TAP_PAYLOAD_MASK,
+        })
+    }
+
+    /// Drains the newest `n` coherent records, oldest first. Racing the
+    /// writer may yield fewer than `n` (overwritten slots are skipped,
+    /// never returned torn).
+    pub fn recent(&self, n: usize) -> Vec<TapRecord> {
+        let head = self.published();
+        let lo = head.saturating_sub(n.min(self.slots.len()) as u64);
+        (lo..head).filter_map(|i| self.read(i)).collect()
+    }
+}
+
 /// Flight-recorder configuration, carried by
 /// [`ClusterConfig`](crate::ClusterConfig).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -316,6 +482,10 @@ pub struct TraceConfig {
     pub enabled: bool,
     /// Per-core ring capacity in events.
     pub ring_capacity: usize,
+    /// Capacity of the concurrently-readable [`TraceTap`] shadow ring,
+    /// in records; 0 (the default) disables the tap entirely — no
+    /// allocation, no per-record stores.
+    pub tap_capacity: usize,
 }
 
 impl Default for TraceConfig {
@@ -323,6 +493,7 @@ impl Default for TraceConfig {
         TraceConfig {
             enabled: false,
             ring_capacity: 65_536,
+            tap_capacity: 0,
         }
     }
 }
@@ -343,6 +514,9 @@ impl TraceConfig {
 pub struct Recorder {
     enabled: bool,
     ring: RingBuffer,
+    /// Concurrently-readable shadow of the ring's tail (see
+    /// [`TraceTap`]); present only when `tap_capacity > 0`.
+    tap: Option<Arc<TraceTap>>,
     /// Time from turning thief to acquiring a unit, ns.
     pub steal_latency_ns: Histogram,
     /// process_unit wall time per dispatched unit, ns.
@@ -354,13 +528,16 @@ pub struct Recorder {
 impl Recorder {
     /// Builds a recorder according to `config`.
     pub fn new(config: TraceConfig) -> Self {
+        let enabled = config.enabled && cfg!(feature = "trace");
         Recorder {
-            enabled: config.enabled && cfg!(feature = "trace"),
+            enabled,
             ring: RingBuffer::new(if config.enabled {
                 config.ring_capacity
             } else {
                 1
             }),
+            tap: (enabled && config.tap_capacity > 0)
+                .then(|| Arc::new(TraceTap::new(config.tap_capacity))),
             steal_latency_ns: Histogram::new(),
             service_ns: Histogram::new(),
             ext_depth: Histogram::new(),
@@ -378,12 +555,21 @@ impl Recorder {
         self.enabled
     }
 
+    /// The concurrently-readable tap, for handing to a supervisor
+    /// (`None` unless `tap_capacity > 0`).
+    pub fn tap(&self) -> Option<Arc<TraceTap>> {
+        self.tap.clone()
+    }
+
     /// Records one event. A no-op unless enabled (and compiled in).
     #[inline]
     pub fn record(&mut self, t_ns: u64, kind: EventKind, a: u64, b: u64) {
         #[cfg(feature = "trace")]
         if self.enabled {
             self.ring.push(TraceEvent { t_ns, kind, a, b });
+            if let Some(tap) = &self.tap {
+                tap.publish(kind, a, b);
+            }
         }
         #[cfg(not(feature = "trace"))]
         {
@@ -720,6 +906,103 @@ mod tests {
         for (p, d) in parsed.cores.iter().zip(dump.cores.iter()) {
             assert_eq!(p.id, d.id);
             assert_eq!(p.events, d.events);
+        }
+    }
+
+    #[test]
+    fn tap_retains_and_rejects_overwritten() {
+        let tap = TraceTap::new(4);
+        for i in 0..10u64 {
+            tap.publish(EventKind::TaskClaim, i, i * 100);
+        }
+        assert_eq!(tap.published(), 10);
+        // Records 0..6 are overwritten; their reads must reject, not
+        // return a newer record under an old index.
+        for i in 0..6 {
+            assert_eq!(tap.read(i), None, "overwritten record {i} accepted");
+        }
+        let recent = tap.recent(16);
+        assert_eq!(recent.len(), 4);
+        assert_eq!(
+            recent.iter().map(|r| r.a).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+        assert!(recent.iter().all(|r| r.kind == EventKind::TaskClaim));
+        assert!(recent.iter().all(|r| r.b == r.a * 100));
+        // Unpublished index.
+        assert_eq!(tap.read(10), None);
+    }
+
+    #[test]
+    fn tap_truncates_payloads_not_kind() {
+        let tap = TraceTap::new(2);
+        tap.publish(EventKind::UnitReexec, u64::MAX, u64::MAX);
+        let r = tap.read(0).unwrap();
+        assert_eq!(r.kind, EventKind::UnitReexec);
+        assert_eq!(r.a, (1 << 40) - 1);
+        assert_eq!(r.b, (1 << 48) - 1);
+    }
+
+    #[test]
+    fn tap_concurrent_reader_never_sees_torn_record() {
+        let tap = Arc::new(TraceTap::new(8));
+        let writer = {
+            let tap = tap.clone();
+            std::thread::spawn(move || {
+                for i in 0..20_000u64 {
+                    let a = i & TAP_A_MASK;
+                    tap.publish(EventKind::UnitDone, a, a ^ 0xABCD);
+                }
+            })
+        };
+        let mut accepted = 0u64;
+        while accepted < 1_000 {
+            for r in tap.recent(8) {
+                assert_eq!(r.b, r.a ^ 0xABCD, "torn record escaped the tag check");
+                accepted += 1;
+            }
+        }
+        writer.join().unwrap();
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn recorder_mirrors_events_into_tap() {
+        let mut r = Recorder::new(TraceConfig {
+            tap_capacity: 16,
+            ..TraceConfig::enabled()
+        });
+        let tap = r.tap().expect("tap requested but absent");
+        r.record(10, EventKind::TaskClaim, 1, 2);
+        r.record(20, EventKind::UnitDone, 3, 4);
+        assert_eq!(tap.published(), 2);
+        assert_eq!(
+            tap.recent(16),
+            vec![
+                TapRecord {
+                    kind: EventKind::TaskClaim,
+                    a: 1,
+                    b: 2
+                },
+                TapRecord {
+                    kind: EventKind::UnitDone,
+                    a: 3,
+                    b: 4
+                },
+            ]
+        );
+        // Default config: no tap, no overhead.
+        assert!(Recorder::new(TraceConfig::enabled()).tap().is_none());
+        assert!(Recorder::disabled().tap().is_none());
+    }
+
+    #[test]
+    fn event_kind_u8_round_trips() {
+        for v in 0..=13u8 {
+            match EventKind::from_u8(v) {
+                Some(k) => assert_eq!(k as u8, v),
+                None => assert_eq!(v, 13, "discriminant {v} unexpectedly unmapped"),
+            }
         }
     }
 

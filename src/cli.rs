@@ -26,6 +26,11 @@
 //!              [--cores <n>] [--verify-single] [--per-worker]
 //!              [--chaos-kill <i>] [--metrics-out f.json]
 //!              runs the job on a real multi-process cluster
+//!   check      [--bound <n> | --unbounded] [--metrics-out f.json]
+//!              runs the concurrency model-check suite of `crates/check`
+//!              (mirror models of the lock-free protocols, including the
+//!              checker self-validation entries) and prints per-model
+//!              explored-interleaving counts as `fractal-metrics/1` JSON
 //!
 //! input (one of):
 //!   --graph <path.adj>            adjacency-list file
@@ -53,6 +58,7 @@ pub fn run() {
     match app.as_str() {
         "worker" => return run_worker(&opts),
         "submit" => return run_submit(&opts),
+        "check" => return run_check(&opts),
         "trace" if opts.contains_key("per-worker") => return run_trace_per_worker(&opts),
         _ => {}
     }
@@ -80,6 +86,7 @@ pub fn run() {
         cluster = cluster.with_trace(TraceConfig {
             enabled: true,
             ring_capacity: ring,
+            tap_capacity: opt_num(&opts, "tap").unwrap_or(0),
         });
     }
     let fc = FractalContext::new(cluster);
@@ -223,7 +230,7 @@ fn parse_opts(args: &[String]) -> HashMap<String, String> {
             // Flag-style options have no value.
             let flaggy = matches!(
                 key,
-                "kclist" | "reduce" | "no-reduce" | "per-worker" | "verify-single"
+                "kclist" | "reduce" | "no-reduce" | "per-worker" | "verify-single" | "unbounded"
             );
             if flaggy {
                 opts.insert(key.to_string(), "true".to_string());
@@ -523,9 +530,73 @@ fn run_trace_per_worker(opts: &HashMap<String, String>) {
     );
 }
 
+/// `fractal check`: the concurrency model-check suite as a CLI verb.
+///
+/// Runs every entry of `fractal_check::models::run_all` under the given
+/// preemption bound (default 2, the CHESS sweet spot; `--unbounded` for
+/// full exhaustion) and reports explored-interleaving counts in the same
+/// `fractal-metrics/1` JSON shape the flight recorder uses, so the CI
+/// model-check job and EXPERIMENTS.md tooling can parse it uniformly.
+fn run_check(opts: &HashMap<String, String>) {
+    let bound = if opts.contains_key("unbounded") {
+        None
+    } else {
+        Some(opt_num(opts, "bound").unwrap_or(2))
+    };
+    let started = std::time::Instant::now();
+    // run_all panics (with a replay schedule in the message) if any model
+    // fails or any self-validation entry is not caught — a non-zero exit.
+    let runs = fractal_check::models::run_all(bound);
+    let wall_ms = started.elapsed().as_millis() as u64;
+
+    let mut total_executions = 0u64;
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"fractal-metrics/1\",\n");
+    json.push_str("  \"kind\": \"model_check\",\n");
+    match bound {
+        Some(b) => json.push_str(&format!("  \"preemption_bound\": {b},\n")),
+        None => json.push_str("  \"preemption_bound\": null,\n"),
+    }
+    json.push_str(&format!("  \"wall_ms\": {wall_ms},\n"));
+    json.push_str("  \"models\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        total_executions += r.executions;
+        let role = if r.expect_failure {
+            "self_validation"
+        } else {
+            "invariant"
+        };
+        json.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"role\": \"{}\", \"executions\": {}, \"steps\": {}, \"pruned\": {}",
+            r.name, role, r.executions, r.steps, r.pruned
+        ));
+        if let Some(s) = &r.schedule {
+            json.push_str(&format!(", \"caught_schedule\": \"{s}\""));
+        }
+        json.push_str(" }");
+        json.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+        eprintln!(
+            "model {: <32} {: <16} executions={: <8} pruned={}",
+            r.name, role, r.executions, r.pruned
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"total_executions\": {total_executions}\n"));
+    json.push_str("}\n");
+
+    eprintln!("total explored interleavings: {total_executions} in {wall_ms} ms");
+    if let Some(path) = opts.get("metrics-out") {
+        std::fs::write(path, &json).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!("metrics written to {path}");
+    } else {
+        print!("{json}");
+    }
+}
+
 fn usage() {
     println!(
-        "fractal-cli <motifs|cliques|triangles|fsm|query|keywords|trace|worker|submit> [options]\n\
+        "fractal-cli <motifs|cliques|triangles|fsm|query|keywords|trace|worker|submit|check> [options]\n\
          input:  --graph <path.adj> | --gen <mico|patents|youtube|wikidata|orkut> [--n N] [--seed S]\n\
          app:    -k <size> [--kclist] | --support N [--max-edges N] [--reduce]\n\
                  | --query <q1..q8|clique<k>|path<k>|cycle<k>> | --words a,b,c [--no-reduce]\n\
@@ -534,7 +605,10 @@ fn usage() {
          cluster (simulated): --workers N --cores N [--ws disabled|internal|external|both]\n\
          worker: --listen <addr> --cores N\n\
          submit: --app <motifs|cliques|fsm> (--local-cluster N | --workers host:port,...)\n\
-                 [--cores N] [--verify-single] [--per-worker] [--chaos-kill i] [--metrics-out f.json]"
+                 [--cores N] [--verify-single] [--per-worker] [--chaos-kill i] [--metrics-out f.json]\n\
+         check:  [--bound N | --unbounded] [--metrics-out f.json]\n\
+                 runs the concurrency model-check suite (crates/check) and prints\n\
+                 per-model explored-interleaving counts as fractal-metrics/1 JSON"
     );
 }
 
