@@ -84,6 +84,9 @@ fn fault_counters(reports: &[&ExecutionReport], out: &mut String) {
             sum.watchdog_trips += step.faults.watchdog_trips;
             sum.recovery_ns += step.faults.recovery_ns;
             sum.units_lost += step.faults.units_lost;
+            sum.jobs_admitted += step.faults.jobs_admitted;
+            sum.jobs_rejected += step.faults.jobs_rejected;
+            sum.snapshot_evictions += step.faults.snapshot_evictions;
             net_units += step.net_units();
         }
     }
@@ -91,7 +94,9 @@ fn fault_counters(reports: &[&ExecutionReport], out: &mut String) {
         out,
         "    \"faults\": {{\n      \"faults_injected\": {},\n      \"units_retried\": {},\n      \
          \"units_reexecuted\": {},\n      \"watchdog_trips\": {},\n      \
-         \"recovery_ns\": {},\n      \"units_lost\": {},\n      \"net_units\": {}\n    }}",
+         \"recovery_ns\": {},\n      \"units_lost\": {},\n      \"net_units\": {},\n      \
+         \"jobs_admitted\": {},\n      \"jobs_rejected\": {},\n      \
+         \"snapshot_evictions\": {}\n    }}",
         sum.faults_injected,
         sum.units_retried,
         sum.units_reexecuted,
@@ -99,6 +104,9 @@ fn fault_counters(reports: &[&ExecutionReport], out: &mut String) {
         sum.recovery_ns,
         sum.units_lost,
         net_units,
+        sum.jobs_admitted,
+        sum.jobs_rejected,
+        sum.snapshot_evictions,
     );
 }
 

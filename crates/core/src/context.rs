@@ -31,8 +31,16 @@ impl FractalContext {
 
     /// Wraps an in-memory graph as a fractal graph.
     pub fn fractal_graph(&self, graph: Graph) -> FractalGraph {
+        self.fractal_graph_shared(Arc::new(graph))
+    }
+
+    /// Wraps an already-shared graph snapshot as a fractal graph without
+    /// copying it. This is the job-server path: `fractal serve` loads each
+    /// registered snapshot once and hands the same `Arc`'d CSR to every
+    /// concurrent job that names it.
+    pub fn fractal_graph_shared(&self, graph: Arc<Graph>) -> FractalGraph {
         FractalGraph {
-            graph: Arc::new(graph),
+            graph,
             config: self.config.clone(),
             orig: None,
         }

@@ -172,6 +172,22 @@ fn get_app(c: &mut Cursor<'_>) -> Result<AppSpec, BlobError> {
     })
 }
 
+/// Encodes an app spec alone — the payload of a `Submit` frame, where the
+/// graph travels separately as a registered snapshot id.
+pub fn encode_app_spec(app: &AppSpec) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_app(&mut out, app);
+    out
+}
+
+/// Decodes an app spec encoded by [`encode_app_spec`].
+pub fn decode_app_spec(bytes: &[u8]) -> Result<AppSpec, BlobError> {
+    let mut c = Cursor::new(bytes);
+    let app = get_app(&mut c)?;
+    c.finish()?;
+    Ok(app)
+}
+
 // ---- graph ----
 
 /// Encodes a graph as vertex labels + `(u, v, label)` edge triples. Edge
@@ -395,6 +411,9 @@ pub fn encode_report(r: &JobReport) -> Vec<u8> {
         r.faults.recovery_ns,
         r.faults.units_lost,
         r.faults.tap_drained,
+        r.faults.jobs_admitted,
+        r.faults.jobs_rejected,
+        r.faults.snapshot_evictions,
     ] {
         put_u64(&mut out, v);
     }
@@ -440,6 +459,9 @@ pub fn decode_report(bytes: &[u8]) -> Result<JobReport, BlobError> {
         recovery_ns: c.u64()?,
         units_lost: c.u64()?,
         tap_drained: c.u64()?,
+        jobs_admitted: c.u64()?,
+        jobs_rejected: c.u64()?,
+        snapshot_evictions: c.u64()?,
     };
     let ncores = c.count(8 + CORE_STAT_FIELDS * 8)?;
     let mut cores = Vec::with_capacity(ncores);
@@ -587,6 +609,9 @@ mod tests {
                 recovery_ns: 5,
                 units_lost: 6,
                 tap_drained: 7,
+                jobs_admitted: 8,
+                jobs_rejected: 9,
+                snapshot_evictions: 10,
             },
             trace: None,
         };
@@ -597,7 +622,33 @@ mod tests {
         assert_eq!(r2.cores[0].1.busy_ns, 123);
         assert_eq!(r2.cores[0].1.net_units, 2);
         assert_eq!(r2.faults.units_lost, 6);
+        assert_eq!(r2.faults.jobs_admitted, 8);
+        assert_eq!(r2.faults.snapshot_evictions, 10);
         assert_eq!(r2.steal_hits, 3);
+    }
+
+    #[test]
+    fn app_spec_round_trip() {
+        for app in [
+            AppSpec::Motifs {
+                k: 4,
+                use_labels: false,
+            },
+            AppSpec::Kclist { k: 5 },
+            AppSpec::Fsm {
+                min_support: 3,
+                max_edges: 2,
+            },
+        ] {
+            let bytes = encode_app_spec(&app);
+            assert_eq!(decode_app_spec(&bytes).expect("decode"), app);
+        }
+        assert!(decode_app_spec(&[]).is_err());
+        assert!(decode_app_spec(&[9]).is_err());
+        // Trailing bytes after a valid spec are rejected.
+        let mut bytes = encode_app_spec(&AppSpec::Kclist { k: 3 });
+        bytes.push(0);
+        assert!(decode_app_spec(&bytes).is_err());
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! `fractal client`: the submit/status/cancel/result side of the job
+//! server protocol.
+//!
+//! A client connection is a plain frame stream: `Hello{Client}` ⇄
+//! `Hello{Driver}`, then requests. The same connection doubles as the
+//! event stream for every job submitted on it, so replies to explicit
+//! requests (`Status`, `Result`, …) can interleave with pushed
+//! [`Frame::JobEvent`]s; the helpers below skip events they are not
+//! waiting for.
+
+use crate::blob::{self, AppSpec};
+use crate::frame::{read_frame, write_frame, EventKind, Frame, Role};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// A job's terminal outcome as observed by [`Client::wait`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobTerminal {
+    /// Finished; fetch the payload with [`Client::fetch_result`].
+    Done {
+        count: u64,
+    },
+    Cancelled,
+    Failed(String),
+}
+
+/// One connection to a serve daemon.
+pub struct Client {
+    reader: TcpStream,
+    writer: TcpStream,
+    seq: u32,
+}
+
+impl Client {
+    /// Connects and handshakes as a client.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok();
+        let reader = writer.try_clone()?;
+        let mut c = Client {
+            reader,
+            writer,
+            seq: 0,
+        };
+        c.send(&Frame::Hello {
+            role: Role::Client,
+            cores: 0,
+        })?;
+        match c.recv()? {
+            Frame::Hello {
+                role: Role::Driver, ..
+            } => Ok(c),
+            _ => Err(invalid("expected driver Hello")),
+        }
+    }
+
+    fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        let seq = self.seq;
+        self.seq = self.seq.wrapping_add(1);
+        write_frame(&mut self.writer, seq, frame)
+    }
+
+    fn recv(&mut self) -> io::Result<Frame> {
+        read_frame(&mut self.reader).map(|(_, f)| f)
+    }
+
+    /// Submits a job. Returns the assigned job id, or an error carrying
+    /// the daemon's rejection reason.
+    pub fn submit(
+        &mut self,
+        tenant: &str,
+        priority: u8,
+        snapshot: &str,
+        app: &AppSpec,
+    ) -> io::Result<u64> {
+        self.send(&Frame::Submit {
+            tenant: tenant.to_string(),
+            priority,
+            snapshot: snapshot.to_string(),
+            app: blob::encode_app_spec(app),
+        })?;
+        loop {
+            match self.recv()? {
+                Frame::JobEvent {
+                    kind: EventKind::Accepted,
+                    value,
+                    ..
+                } => return Ok(value),
+                Frame::JobEvent {
+                    kind: EventKind::Rejected,
+                    detail,
+                    ..
+                } => return Err(io::Error::other(detail)),
+                // Events for other jobs on this connection.
+                _ => {}
+            }
+        }
+    }
+
+    /// Blocks until `job` reaches a terminal state, invoking `on_event`
+    /// for every event observed for it along the way.
+    pub fn wait_with(
+        &mut self,
+        job: u64,
+        mut on_event: impl FnMut(EventKind, &str, u64),
+    ) -> io::Result<JobTerminal> {
+        loop {
+            if let Frame::JobEvent {
+                job: j,
+                kind,
+                detail,
+                value,
+            } = self.recv()?
+            {
+                if j != job {
+                    continue;
+                }
+                on_event(kind, &detail, value);
+                match kind {
+                    EventKind::Done => return Ok(JobTerminal::Done { count: value }),
+                    EventKind::Cancelled => return Ok(JobTerminal::Cancelled),
+                    EventKind::Failed | EventKind::Rejected => {
+                        return Ok(JobTerminal::Failed(detail))
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// [`Client::wait_with`] without an event callback.
+    pub fn wait(&mut self, job: u64) -> io::Result<JobTerminal> {
+        self.wait_with(job, |_, _, _| {})
+    }
+
+    /// Asks for `job`'s current lifecycle state.
+    pub fn status(&mut self, job: u64) -> io::Result<(EventKind, String, u64)> {
+        self.send(&Frame::Status { job })?;
+        self.next_event_for(job)
+    }
+
+    /// Requests cancellation; the reply reflects the state at receipt
+    /// (queued jobs cancel immediately, running jobs asynchronously).
+    pub fn cancel(&mut self, job: u64) -> io::Result<(EventKind, String, u64)> {
+        self.send(&Frame::Cancel { job })?;
+        self.next_event_for(job)
+    }
+
+    /// Fetches a finished job's result: `(count, agg blob, report blob)`.
+    /// Errors if the job is not in the `Done` state.
+    pub fn fetch_result(&mut self, job: u64) -> io::Result<(u64, Vec<u8>, Vec<u8>)> {
+        self.send(&Frame::Result {
+            job,
+            count: 0,
+            agg: Vec::new(),
+            report: Vec::new(),
+        })?;
+        loop {
+            match self.recv()? {
+                Frame::Result {
+                    job: j,
+                    count,
+                    agg,
+                    report,
+                } if j == job => return Ok((count, agg, report)),
+                Frame::JobEvent {
+                    job: j,
+                    kind,
+                    detail,
+                    ..
+                } if j == job && kind.is_terminal() => {
+                    return Err(invalid(format!(
+                        "job {job} has no result: {kind:?} {detail}"
+                    )))
+                }
+                Frame::JobEvent { job: j, kind, .. } if j == job => {
+                    return Err(invalid(format!("job {job} not finished: {kind:?}")))
+                }
+                _ => {} // events for other jobs
+            }
+        }
+    }
+
+    fn next_event_for(&mut self, job: u64) -> io::Result<(EventKind, String, u64)> {
+        loop {
+            if let Frame::JobEvent {
+                job: j,
+                kind,
+                detail,
+                value,
+            } = self.recv()?
+            {
+                if j == job {
+                    return Ok((kind, detail, value));
+                }
+            }
+        }
+    }
+}

@@ -21,7 +21,7 @@
 //! survivor as an extra pass with stealing disabled.
 
 use crate::blob::{self, AppSpec};
-use crate::frame::{read_frame, write_frame, Frame, Role, MISS_WORD, SHUTDOWN_ROUND};
+use crate::frame::{Frame, FrameSink, FrameSource, Role, MISS_WORD, SHUTDOWN_ROUND};
 use fractal_apps::fsm::{fsm_fractoid, DomainSupport};
 use fractal_apps::{cliques, motifs};
 use fractal_core::FractalContext;
@@ -38,7 +38,7 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use fractal_runtime::sync::Mutex;
+use fractal_runtime::sync::{AtomicBool, Mutex, Ordering};
 
 fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -58,24 +58,48 @@ pub struct ChaosKill {
 pub struct DriverConfig {
     /// Which application to run.
     pub app: AppSpec,
-    /// The input graph (shipped to workers in the first `Assign`).
-    pub graph: Graph,
+    /// The input graph (shipped to workers in the first `Assign`). Held by
+    /// `Arc` so the serve daemon can hand many concurrent jobs the same
+    /// loaded snapshot without copying it.
+    pub graph: Arc<Graph>,
     /// Declare a worker dead when its heartbeats lapse this long (EOF on
     /// its connection is the primary death signal; this is the backstop
     /// for hung-but-connected processes).
     pub heartbeat_timeout: Duration,
     /// Optional process-kill fault injection.
     pub chaos_kill: Option<ChaosKill>,
+    /// Cooperative cancellation: when the flag flips true the driver stops
+    /// at its next event-loop iteration, shuts the workers' sessions down
+    /// and returns a partial result marked `cancelled`.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Progress callback `(round, words_done, words_total)`, invoked from
+    /// the driver thread whenever the completed-word count advances. The
+    /// serve daemon streams these to clients as `JobEvent::Progress`.
+    #[allow(clippy::type_complexity)]
+    pub progress: Option<Arc<dyn Fn(u32, u64, u64) + Send + Sync>>,
+    /// Chaos hook for the shutdown-race regression test: the driver stalls
+    /// this long immediately after broadcasting the first `Done`, so every
+    /// worker's final traffic (heartbeats, `AggFlush`, EOF) queues up
+    /// behind one blocked event-loop iteration.
+    pub chaos_stall_after_done: Option<Duration>,
 }
 
 impl DriverConfig {
     /// A config with default failure-detection settings.
     pub fn new(app: AppSpec, graph: Graph) -> Self {
+        Self::new_shared(app, Arc::new(graph))
+    }
+
+    /// Same, over an already-shared graph snapshot (the serve path).
+    pub fn new_shared(app: AppSpec, graph: Arc<Graph>) -> Self {
         DriverConfig {
             app,
             graph,
             heartbeat_timeout: Duration::from_millis(2000),
             chaos_kill: None,
+            cancel: None,
+            progress: None,
+            chaos_stall_after_done: None,
         }
     }
 }
@@ -133,6 +157,9 @@ pub struct ClusterResult {
     pub recovery_assigns: u64,
     /// Successful steal transfers relayed (including orphan serves).
     pub steal_relays: u64,
+    /// Whether the job was cancelled before completing (the counters and
+    /// maps above then hold only the rounds that fully finished).
+    pub cancelled: bool,
 }
 
 enum Ev {
@@ -140,8 +167,8 @@ enum Ev {
     Dead(usize),
 }
 
-struct Conn {
-    writer: Option<TcpStream>,
+struct Conn<K: FrameSink> {
+    writer: Option<K>,
     seq: u32,
     alive: bool,
     got_job: bool,
@@ -157,12 +184,12 @@ struct Conn {
     summary: WorkerSummary,
 }
 
-impl Conn {
+impl<K: FrameSink> Conn<K> {
     fn send_seq(&mut self, seq: u32, frame: &Frame) -> bool {
         let Some(w) = self.writer.as_mut() else {
             return false;
         };
-        write_frame(w, seq, frame).is_ok()
+        w.send(seq, frame).is_ok()
     }
 
     fn send(&mut self, frame: &Frame) -> bool {
@@ -205,9 +232,9 @@ impl RoundState {
     }
 }
 
-struct Driver {
+struct Driver<K: FrameSink> {
     app: AppSpec,
-    conns: Vec<Conn>,
+    conns: Vec<Conn<K>>,
     heartbeat_timeout: Duration,
     chaos_kill: Option<ChaosKill>,
     deaths: u64,
@@ -222,7 +249,7 @@ struct Driver {
     faults: FaultStats,
 }
 
-impl Driver {
+impl<K: FrameSink> Driver<K> {
     fn alive(&self) -> Vec<usize> {
         (0..self.conns.len())
             .filter(|&i| self.conns[i].alive)
@@ -242,8 +269,8 @@ impl Driver {
         }
         self.conns[i].alive = false;
         self.conns[i].summary.died = true;
-        if let Some(w) = self.conns[i].writer.take() {
-            let _ = w.shutdown(std::net::Shutdown::Both);
+        if let Some(mut w) = self.conns[i].writer.take() {
+            w.close();
         }
         self.deaths += 1;
 
@@ -345,6 +372,9 @@ impl Driver {
         self.faults.watchdog_trips += report.faults.watchdog_trips;
         self.faults.recovery_ns += report.faults.recovery_ns;
         self.faults.units_lost += report.faults.units_lost;
+        self.faults.jobs_admitted += report.faults.jobs_admitted;
+        self.faults.jobs_rejected += report.faults.jobs_rejected;
+        self.faults.snapshot_evictions += report.faults.snapshot_evictions;
     }
 
     fn handle_frame(
@@ -357,9 +387,13 @@ impl Driver {
         if !self.conns[i].alive {
             return Ok(());
         }
+        // Any frame is proof of life, not just heartbeats: a worker whose
+        // final AggFlush sat in the event queue during a slow iteration
+        // must not be judged stale by a clock that kept running while its
+        // delivered traffic waited to be processed.
+        self.conns[i].last_beat = Instant::now();
         match frame {
             Frame::Heartbeat { round, completed } => {
-                self.conns[i].last_beat = Instant::now();
                 if round == rs.round {
                     self.conns[i].summary.completed += completed.len() as u64;
                     for w in &completed {
@@ -566,32 +600,79 @@ impl Driver {
                     .map_err(|e| invalid(format!("report flush: {e}")))?;
                 self.accumulate_report(i, rep);
             }
-            Frame::Hello { .. } | Frame::Assign { .. } | Frame::Done { .. } => {}
+            // Session and serve-plane frames are never driver-bound on a
+            // worker link; ignore them like any other stale traffic.
+            Frame::Hello { .. }
+            | Frame::Assign { .. }
+            | Frame::Done { .. }
+            | Frame::Submit { .. }
+            | Frame::Status { .. }
+            | Frame::Cancel { .. }
+            | Frame::Result { .. }
+            | Frame::JobEvent { .. }
+            | Frame::Mux { .. } => {}
         }
         Ok(())
     }
 }
 
-/// Runs a cluster job over already-connected worker streams and reduces
-/// the final result. `names` label the workers in reports (host:port or
-/// synthetic). Returns an error only for driver-side failures (handshake,
-/// corrupt flush blobs, all workers dead) — individual worker deaths are
-/// recovered from and surfaced in the result's counters.
+fn handle_ev<K: FrameSink>(drv: &mut Driver<K>, rs: &mut RoundState, ev: Ev) -> io::Result<()> {
+    match ev {
+        Ev::Frame(i, seq, frame) => drv.handle_frame(i, seq, frame, rs),
+        Ev::Dead(i) => {
+            drv.kill_worker(i, rs);
+            Ok(())
+        }
+    }
+}
+
+/// Runs a cluster job over already-connected worker TCP streams and
+/// reduces the final result. `names` label the workers in reports
+/// (host:port or synthetic). Returns an error only for driver-side
+/// failures (handshake, corrupt flush blobs, all workers dead) —
+/// individual worker deaths are recovered from and surfaced in the
+/// result's counters.
 pub fn run_cluster(
     streams: Vec<TcpStream>,
     names: Vec<String>,
     config: DriverConfig,
 ) -> io::Result<ClusterResult> {
-    assert_eq!(streams.len(), names.len(), "one name per worker stream");
-    assert!(!streams.is_empty(), "need at least one worker");
+    let mut links = Vec::with_capacity(streams.len());
+    for stream in streams {
+        stream.set_nodelay(true).ok();
+        let reader = stream.try_clone()?;
+        links.push((reader, stream));
+    }
+    run_cluster_links(links, names, config)
+}
+
+/// Runs a cluster job over generic frame transports — one
+/// `(source, sink)` pair per worker session. This is the whole driver:
+/// [`run_cluster`] is a thin TCP adapter over it, and the serve daemon
+/// calls it with per-job virtual channels demultiplexed out of shared
+/// physical worker connections.
+pub fn run_cluster_links<S, K>(
+    links: Vec<(S, K)>,
+    names: Vec<String>,
+    config: DriverConfig,
+) -> io::Result<ClusterResult>
+where
+    S: FrameSource + 'static,
+    K: FrameSink + 'static,
+{
+    assert_eq!(links.len(), names.len(), "one name per worker link");
+    assert!(!links.is_empty(), "need at least one worker");
     let DriverConfig {
         app,
         graph,
         heartbeat_timeout,
         chaos_kill,
+        cancel,
+        progress,
+        chaos_stall_after_done,
     } = config;
     let job_blob = blob::encode_job(&app, &graph);
-    let fg = FractalContext::new(ClusterConfig::local(1, 1)).fractal_graph(graph);
+    let fg = FractalContext::new(ClusterConfig::local(1, 1)).fractal_graph_shared(graph);
     // Root words are a pure function of graph + app, identical on every
     // process. For FSM they are the same every round (extensions of the
     // empty subgraph; aggregation filters prune only deeper levels).
@@ -604,18 +685,16 @@ pub fn run_cluster(
     };
 
     let (tx, rx): (_, Receiver<Ev>) = channel();
-    let mut conns = Vec::with_capacity(streams.len());
-    for (i, (mut stream, name)) in streams.into_iter().zip(names).enumerate() {
-        stream.set_nodelay(true).ok();
-        write_frame(
-            &mut stream,
+    let mut conns = Vec::with_capacity(links.len());
+    for (i, ((mut source, mut sink), name)) in links.into_iter().zip(names).enumerate() {
+        sink.send(
             0,
             &Frame::Hello {
                 role: Role::Driver,
                 cores: 0,
             },
         )?;
-        let cores = match read_frame(&mut stream)? {
+        let cores = match source.recv()? {
             (
                 _,
                 Frame::Hello {
@@ -625,10 +704,9 @@ pub fn run_cluster(
             ) => cores,
             _ => return Err(invalid(format!("worker {name}: expected Hello"))),
         };
-        let mut reader = stream.try_clone()?;
         let txc = tx.clone();
         thread::spawn(move || loop {
-            match read_frame(&mut reader) {
+            match source.recv() {
                 Ok((seq, f)) => {
                     if txc.send(Ev::Frame(i, seq, f)).is_err() {
                         break;
@@ -641,7 +719,7 @@ pub fn run_cluster(
             }
         });
         conns.push(Conn {
-            writer: Some(stream),
+            writer: Some(sink),
             seq: 1,
             alive: true,
             got_job: false,
@@ -679,8 +757,17 @@ pub fn run_cluster(
     let mut motifs_result = HashMap::new();
     let mut frequent: Vec<HashMap<CanonicalCode, DomainSupport>> = Vec::new();
     let mut rounds_run = 0u32;
+    let mut stall_after_done = chaos_stall_after_done;
+    let mut cancelled = false;
+    let is_cancelled = || {
+        cancel
+            .as_ref()
+            // ordering: Relaxed — the flag is a one-way latch polled every
+            // event-loop iteration; no data is published through it.
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+    };
 
-    for round in 0..app.max_rounds() {
+    'rounds: for round in 0..app.max_rounds() {
         let alive = drv.alive();
         if alive.is_empty() {
             return Err(invalid("all workers died"));
@@ -722,12 +809,22 @@ pub fn run_cluster(
         }
 
         // Event loop: run the round to completion + full flush.
+        let mut last_progress = 0usize;
         loop {
+            if is_cancelled() {
+                cancelled = true;
+                break 'rounds;
+            }
             if !rs.done_broadcast && rs.done_count == rs.words.len() {
                 rs.done_broadcast = true;
                 let done = Frame::Done { round };
                 for i in drv.alive() {
                     drv.send_or_kill(i, &done, &mut rs);
+                }
+                if let Some(stall) = stall_after_done.take() {
+                    // Chaos: block the loop so every worker's post-Done
+                    // traffic queues behind this one iteration.
+                    thread::sleep(stall);
                 }
             }
             if rs.done_broadcast {
@@ -743,11 +840,27 @@ pub fn run_cluster(
                 return Err(invalid("all workers died"));
             }
             match rx.recv_timeout(Duration::from_millis(20)) {
-                Ok(Ev::Frame(i, seq, frame)) => drv.handle_frame(i, seq, frame, &mut rs)?,
-                Ok(Ev::Dead(i)) => drv.kill_worker(i, &mut rs),
+                Ok(ev) => {
+                    handle_ev(&mut drv, &mut rs, ev)?;
+                    // Drain everything already queued before judging
+                    // staleness: a slow previous iteration must not turn a
+                    // worker's *delivered-but-unprocessed* heartbeats and
+                    // final AggFlush into a death sentence. A genuinely
+                    // silent worker contributes nothing here, so the
+                    // hung-process backstop below still fires for it.
+                    while let Ok(ev) = rx.try_recv() {
+                        handle_ev(&mut drv, &mut rs, ev)?;
+                    }
+                }
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => {
                     return Err(invalid("all worker connections lost"))
+                }
+            }
+            if rs.done_count != last_progress {
+                last_progress = rs.done_count;
+                if let Some(p) = &progress {
+                    p(round, rs.done_count as u64, rs.words.len() as u64);
                 }
             }
             let stale: Vec<usize> = drv
@@ -819,6 +932,7 @@ pub fn run_cluster(
         orphaned_words: drv.orphaned_words,
         recovery_assigns: drv.recovery_assigns,
         steal_relays: drv.steal_relays,
+        cancelled,
     })
 }
 

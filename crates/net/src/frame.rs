@@ -43,6 +43,66 @@ pub enum Role {
     Driver,
     /// A worker process.
     Worker,
+    /// A `fractal client` submitting jobs to a `fractal serve` daemon.
+    Client,
+}
+
+/// What a [`Frame::JobEvent`] announces about a job's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Admission succeeded; `value` is the assigned job id.
+    Accepted,
+    /// Admission failed (queue full, tenant over quota); `detail` says why.
+    Rejected,
+    /// The job is waiting in the dispatch queue; `value` is its position.
+    Queued,
+    /// The job started executing on the worker pool.
+    Running,
+    /// Partial progress: `value` root words completed this round so far.
+    Progress,
+    /// The job finished; its result can be fetched with `Result`.
+    Done,
+    /// The job was cancelled before completing.
+    Cancelled,
+    /// The job failed; `detail` carries the error text.
+    Failed,
+}
+
+impl EventKind {
+    fn code(self) -> u8 {
+        match self {
+            EventKind::Accepted => 0,
+            EventKind::Rejected => 1,
+            EventKind::Queued => 2,
+            EventKind::Running => 3,
+            EventKind::Progress => 4,
+            EventKind::Done => 5,
+            EventKind::Cancelled => 6,
+            EventKind::Failed => 7,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self, FrameError> {
+        Ok(match code {
+            0 => EventKind::Accepted,
+            1 => EventKind::Rejected,
+            2 => EventKind::Queued,
+            3 => EventKind::Running,
+            4 => EventKind::Progress,
+            5 => EventKind::Done,
+            6 => EventKind::Cancelled,
+            7 => EventKind::Failed,
+            _ => return Err(FrameError::Malformed("event kind")),
+        })
+    }
+
+    /// Whether this event ends the job's lifecycle.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            EventKind::Rejected | EventKind::Done | EventKind::Cancelled | EventKind::Failed
+        )
+    }
 }
 
 /// One protocol message. See DESIGN.md §10 for the full grammar and the
@@ -95,6 +155,45 @@ pub enum Frame {
     /// Driver → workers: the round's words are all complete — drain and
     /// flush. `round == SHUTDOWN_ROUND` ends the session.
     Done { round: u32 },
+    /// Client → serve daemon: run `app` (a [`crate::blob`] app-spec blob)
+    /// against the registered graph `snapshot` on behalf of `tenant` at
+    /// the given `priority` (higher runs first among queued jobs).
+    Submit {
+        tenant: String,
+        priority: u8,
+        snapshot: String,
+        app: Vec<u8>,
+    },
+    /// Client → serve daemon: what state is job `job` in? Answered with a
+    /// [`Frame::JobEvent`] describing the current lifecycle state.
+    Status { job: u64 },
+    /// Client → serve daemon: stop job `job`. Queued jobs are dropped;
+    /// running jobs are interrupted at the next round boundary check.
+    Cancel { job: u64 },
+    /// Job result, both directions: a client sends `Result` with empty
+    /// blobs to fetch; the daemon replies with the federated result —
+    /// `count` plus the app-specific aggregation (`agg`) and the
+    /// `fractal-metrics/1` job report (`report`) as blobs.
+    Result {
+        job: u64,
+        count: u64,
+        agg: Vec<u8>,
+        report: Vec<u8>,
+    },
+    /// Serve daemon → client: a job lifecycle event (admission verdicts,
+    /// queue position, progress, terminal states). `detail`/`value` are
+    /// interpreted per [`EventKind`].
+    JobEvent {
+        job: u64,
+        kind: EventKind,
+        detail: String,
+        value: u64,
+    },
+    /// Multiplexing envelope for shared worker sessions: `inner` is one
+    /// complete encoded frame belonging to job `job`. The receiving side
+    /// demultiplexes by job id onto per-job virtual sessions, so several
+    /// concurrent jobs share one physical worker connection.
+    Mux { job: u64, inner: Vec<u8> },
 }
 
 impl Frame {
@@ -109,6 +208,12 @@ impl Frame {
             Frame::AggFlush { .. } => 7,
             Frame::Heartbeat { .. } => 8,
             Frame::Done { .. } => 9,
+            Frame::Submit { .. } => 10,
+            Frame::Status { .. } => 11,
+            Frame::Cancel { .. } => 12,
+            Frame::Result { .. } => 13,
+            Frame::JobEvent { .. } => 14,
+            Frame::Mux { .. } => 15,
         }
     }
 }
@@ -176,6 +281,9 @@ fn put_words(out: &mut Vec<u8>, words: &[u64]) {
         put_u64(out, w);
     }
 }
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_blob(out, s.as_bytes());
+}
 
 // ---- payload reader ----
 
@@ -212,6 +320,10 @@ impl<'a> Cursor<'a> {
         let n = self.u32()? as usize;
         Ok(self.take(n)?.to_vec())
     }
+    fn string(&mut self) -> Result<String, FrameError> {
+        let b = self.blob()?;
+        String::from_utf8(b).map_err(|_| FrameError::Malformed("utf-8 string"))
+    }
     fn words(&mut self) -> Result<Vec<u64>, FrameError> {
         let n = self.u32()? as usize;
         // Each word is 8 bytes; reject counts the payload can't hold
@@ -243,6 +355,7 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
                 match role {
                     Role::Driver => 0,
                     Role::Worker => 1,
+                    Role::Client => 2,
                 },
             );
             put_u32(&mut p, *cores);
@@ -306,6 +419,45 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
             put_words(&mut p, completed);
         }
         Frame::Done { round } => put_u32(&mut p, *round),
+        Frame::Submit {
+            tenant,
+            priority,
+            snapshot,
+            app,
+        } => {
+            put_str(&mut p, tenant);
+            put_u8(&mut p, *priority);
+            put_str(&mut p, snapshot);
+            put_blob(&mut p, app);
+        }
+        Frame::Status { job } => put_u64(&mut p, *job),
+        Frame::Cancel { job } => put_u64(&mut p, *job),
+        Frame::Result {
+            job,
+            count,
+            agg,
+            report,
+        } => {
+            put_u64(&mut p, *job);
+            put_u64(&mut p, *count);
+            put_blob(&mut p, agg);
+            put_blob(&mut p, report);
+        }
+        Frame::JobEvent {
+            job,
+            kind,
+            detail,
+            value,
+        } => {
+            put_u64(&mut p, *job);
+            put_u8(&mut p, kind.code());
+            put_str(&mut p, detail);
+            put_u64(&mut p, *value);
+        }
+        Frame::Mux { job, inner } => {
+            put_u64(&mut p, *job);
+            put_blob(&mut p, inner);
+        }
     }
     p
 }
@@ -317,6 +469,7 @@ fn decode_payload(ty: u8, payload: &[u8]) -> Result<Frame, FrameError> {
             let role = match c.u8()? {
                 0 => Role::Driver,
                 1 => Role::Worker,
+                2 => Role::Client,
                 _ => return Err(FrameError::Malformed("hello role")),
             };
             Frame::Hello {
@@ -378,6 +531,30 @@ fn decode_payload(ty: u8, payload: &[u8]) -> Result<Frame, FrameError> {
             completed: c.words()?,
         },
         9 => Frame::Done { round: c.u32()? },
+        10 => Frame::Submit {
+            tenant: c.string()?,
+            priority: c.u8()?,
+            snapshot: c.string()?,
+            app: c.blob()?,
+        },
+        11 => Frame::Status { job: c.u64()? },
+        12 => Frame::Cancel { job: c.u64()? },
+        13 => Frame::Result {
+            job: c.u64()?,
+            count: c.u64()?,
+            agg: c.blob()?,
+            report: c.blob()?,
+        },
+        14 => Frame::JobEvent {
+            job: c.u64()?,
+            kind: EventKind::from_code(c.u8()?)?,
+            detail: c.string()?,
+            value: c.u64()?,
+        },
+        15 => Frame::Mux {
+            job: c.u64()?,
+            inner: c.blob()?,
+        },
         other => return Err(FrameError::UnknownType(other)),
     };
     c.finish()?;
@@ -477,6 +654,101 @@ pub fn write_frame(w: &mut impl Write, seq: u32, frame: &Frame) -> io::Result<()
     w.write_all(&encode_frame(seq, frame))
 }
 
+// ---- transport abstraction ----
+
+/// The receiving half of a frame transport. A TCP stream is the physical
+/// implementation; the serve daemon and the multiplexed worker sessions
+/// implement it over in-process channels that carry demultiplexed
+/// [`Frame::Mux`] payloads, so the driver and worker session loops run
+/// unchanged over either.
+pub trait FrameSource: Send {
+    /// Blocks for the next frame. An `Err` means the transport is dead
+    /// (peer hung up, channel closed); callers treat it as a disconnect.
+    fn recv(&mut self) -> io::Result<(u32, Frame)>;
+}
+
+/// The sending half of a frame transport.
+pub trait FrameSink: Send {
+    /// Writes one frame. An `Err` marks the transport dead.
+    fn send(&mut self, seq: u32, frame: &Frame) -> io::Result<()>;
+    /// Best-effort teardown: unblock the peer's reader if possible.
+    fn close(&mut self);
+}
+
+impl FrameSource for std::net::TcpStream {
+    fn recv(&mut self) -> io::Result<(u32, Frame)> {
+        read_frame(self)
+    }
+}
+
+impl FrameSink for std::net::TcpStream {
+    fn send(&mut self, seq: u32, frame: &Frame) -> io::Result<()> {
+        write_frame(self, seq, frame)
+    }
+    fn close(&mut self) {
+        let _ = self.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// A [`FrameSource`] over an in-process channel: the receiving end of one
+/// job's demultiplexed [`Frame::Mux`] traffic. Dropping the sender is the
+/// channel's EOF — `recv` then errors like a closed socket.
+pub struct ChannelSource(pub std::sync::mpsc::Receiver<(u32, Frame)>);
+
+impl FrameSource for ChannelSource {
+    fn recv(&mut self) -> io::Result<(u32, Frame)> {
+        self.0
+            .recv()
+            .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "mux channel closed"))
+    }
+}
+
+/// A [`FrameSink`] that wraps every frame in a [`Frame::Mux`] envelope for
+/// one job and writes it to a *shared* physical sink. The physical
+/// sequence counter is shared across all jobs on the connection; per-job
+/// sequence numbers live inside the envelope, so each virtual session
+/// keeps its own uninterrupted seq space.
+pub struct MuxSink<K: FrameSink> {
+    job: u64,
+    physical: std::sync::Arc<fractal_runtime::sync::Mutex<K>>,
+    physical_seq: std::sync::Arc<fractal_runtime::sync::AtomicU32>,
+}
+
+impl<K: FrameSink> MuxSink<K> {
+    pub fn new(
+        job: u64,
+        physical: std::sync::Arc<fractal_runtime::sync::Mutex<K>>,
+        physical_seq: std::sync::Arc<fractal_runtime::sync::AtomicU32>,
+    ) -> Self {
+        MuxSink {
+            job,
+            physical,
+            physical_seq,
+        }
+    }
+}
+
+impl<K: FrameSink> FrameSink for MuxSink<K> {
+    fn send(&mut self, seq: u32, frame: &Frame) -> io::Result<()> {
+        let env = Frame::Mux {
+            job: self.job,
+            inner: encode_frame(seq, frame),
+        };
+        // ordering: Relaxed — the physical sequence number only needs
+        // fetch_add uniqueness; the envelope write is serialized by the
+        // physical sink's lock.
+        let pseq = self
+            .physical_seq
+            .fetch_add(1, fractal_runtime::sync::Ordering::Relaxed);
+        let mut w = self.physical.lock();
+        w.send(pseq, &env)
+    }
+    fn close(&mut self) {
+        // The physical connection is shared with other jobs; closing a
+        // virtual session must not tear it down.
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -536,6 +808,52 @@ mod tests {
             Frame::Done { round: 5 },
             Frame::Done {
                 round: SHUTDOWN_ROUND,
+            },
+            Frame::Hello {
+                role: Role::Client,
+                cores: 0,
+            },
+            Frame::Submit {
+                tenant: "acme".into(),
+                priority: 7,
+                snapshot: "gen:mico:200:1".into(),
+                app: vec![1, 2, 3, 4],
+            },
+            Frame::Submit {
+                tenant: String::new(),
+                priority: 0,
+                snapshot: String::new(),
+                app: vec![],
+            },
+            Frame::Status { job: 42 },
+            Frame::Cancel { job: u64::MAX },
+            Frame::Result {
+                job: 3,
+                count: 0,
+                agg: vec![],
+                report: vec![],
+            },
+            Frame::Result {
+                job: 9,
+                count: 123_456,
+                agg: vec![5; 21],
+                report: vec![6; 13],
+            },
+            Frame::JobEvent {
+                job: 9,
+                kind: EventKind::Progress,
+                detail: "round 2".into(),
+                value: 17,
+            },
+            Frame::JobEvent {
+                job: 10,
+                kind: EventKind::Rejected,
+                detail: "tenant quota".into(),
+                value: 0,
+            },
+            Frame::Mux {
+                job: 4,
+                inner: encode_frame(11, &Frame::Done { round: 1 }),
             },
         ]
     }
@@ -642,5 +960,82 @@ mod tests {
         let sum = fnv1a64(&wire);
         put_u64(&mut wire, sum);
         assert_eq!(decode_frame(&wire).unwrap_err(), FrameError::Truncated);
+    }
+
+    /// Builds a frame's wire bytes from a raw payload, checksummed, so
+    /// payload-level malformations survive the outer checks.
+    fn frame_with_payload(ty: u8, payload: &[u8]) -> Vec<u8> {
+        let mut wire = Vec::new();
+        put_u16(&mut wire, MAGIC);
+        put_u8(&mut wire, VERSION);
+        put_u8(&mut wire, ty);
+        put_u32(&mut wire, 1);
+        put_u32(&mut wire, payload.len() as u32);
+        wire.extend_from_slice(payload);
+        let sum = fnv1a64(&wire);
+        put_u64(&mut wire, sum);
+        wire
+    }
+
+    #[test]
+    fn bad_event_kind_rejected() {
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 1); // job
+        put_u8(&mut payload, 99); // invalid kind
+        put_str(&mut payload, "x");
+        put_u64(&mut payload, 0);
+        assert_eq!(
+            decode_frame(&frame_with_payload(14, &payload)).unwrap_err(),
+            FrameError::Malformed("event kind")
+        );
+    }
+
+    #[test]
+    fn non_utf8_strings_rejected() {
+        // A Submit whose tenant bytes are invalid UTF-8.
+        let mut payload = Vec::new();
+        put_blob(&mut payload, &[0xFF, 0xFE, 0x80]); // tenant
+        put_u8(&mut payload, 0); // priority
+        put_str(&mut payload, "snap");
+        put_blob(&mut payload, &[]);
+        assert_eq!(
+            decode_frame(&frame_with_payload(10, &payload)).unwrap_err(),
+            FrameError::Malformed("utf-8 string")
+        );
+    }
+
+    #[test]
+    fn bad_hello_client_role_byte_rejected() {
+        let mut payload = Vec::new();
+        put_u8(&mut payload, 3); // only 0/1/2 are valid roles
+        put_u32(&mut payload, 4);
+        assert_eq!(
+            decode_frame(&frame_with_payload(1, &payload)).unwrap_err(),
+            FrameError::Malformed("hello role")
+        );
+    }
+
+    #[test]
+    fn mux_envelope_round_trips_inner_frame() {
+        let inner = Frame::AggFlush {
+            round: 2,
+            count: 7,
+            agg: vec![1, 2],
+            report: vec![3],
+        };
+        let env = Frame::Mux {
+            job: 99,
+            inner: encode_frame(5, &inner),
+        };
+        let wire = encode_frame(1, &env);
+        let (_, got) = decode_frame(&wire).expect("outer decode");
+        match got {
+            Frame::Mux { job, inner: bytes } => {
+                assert_eq!(job, 99);
+                let (iseq, iframe) = decode_frame(&bytes).expect("inner decode");
+                assert_eq!((iseq, iframe), (5, inner));
+            }
+            other => panic!("expected Mux, got {other:?}"),
+        }
     }
 }

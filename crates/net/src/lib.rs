@@ -19,6 +19,11 @@
 //! - [`driver`] — the driver: assignment, steal relay, heartbeat
 //!   watchdog, death recovery (orphaned words are re-executed on
 //!   survivors), aggregation merge and report federation.
+//! - [`serve`] — the long-lived multi-tenant job server: admission with
+//!   per-tenant quotas, LRU-cached graph snapshots shared across jobs,
+//!   and several concurrent jobs multiplexed over the same worker
+//!   connections via job-id tagged [`frame::Frame::Mux`] envelopes.
+//! - [`client`] — the submit/status/cancel/result client side.
 //!
 //! Failure model: the driver is reliable (its failure fails the job);
 //! workers may die at any point. A worker death mid-round returns *all*
@@ -27,13 +32,18 @@
 //! flush, not completion, the commit point.
 
 pub mod blob;
+pub mod client;
 pub mod driver;
 pub mod frame;
+pub mod serve;
 pub mod worker;
 
 pub use blob::AppSpec;
+pub use client::{Client, JobTerminal};
 pub use driver::{
-    render_per_worker, run_cluster, ChaosKill, ClusterResult, DriverConfig, LocalCluster,
-    WorkerSummary,
+    render_per_worker, run_cluster, run_cluster_links, ChaosKill, ClusterResult, DriverConfig,
+    LocalCluster, WorkerSummary,
 };
+pub use frame::EventKind;
+pub use serve::{load_snapshot, ServeConfig, Server};
 pub use worker::{serve, ServeOutcome};

@@ -1,0 +1,807 @@
+//! `fractal serve`: the long-lived multi-tenant job server (DESIGN.md §12).
+//!
+//! One daemon process owns the worker pool. Clients connect over the same
+//! frame protocol the cluster substrate speaks, submit jobs against
+//! *registered graph snapshots*, and stream lifecycle events back. The
+//! daemon multiplexes every concurrent job over the same physical worker
+//! connections by wrapping each job's session traffic in job-id tagged
+//! [`Frame::Mux`] envelopes; on the worker side each job gets its own
+//! virtual session, so a job's rounds, steals and flushes are exactly the
+//! single-job protocol and its results stay bit-identical to a
+//! single-thread run.
+//!
+//! Three structures do the work:
+//!
+//! * **Admission + dispatch** — a bounded queue with per-tenant in-flight
+//!   quotas and priority-aware FIFO ordering (higher priority first;
+//!   submission order breaks ties). Over-quota or over-capacity submits
+//!   are *rejected with a clean event*, never hung.
+//! * **Snapshot cache** — immutable graphs registered by spec string
+//!   (`gen:<name>:<n>:<seed>` or `file:<path>`), loaded once, shared
+//!   across jobs via `Arc`'d CSR and evicted LRU against a byte budget.
+//!   Eviction only drops the cache's reference: running jobs keep their
+//!   snapshot alive through their own `Arc`s.
+//! * **Worker links** — one physical connection per worker, owned by a
+//!   router thread that demultiplexes `Mux` envelopes to per-job channel
+//!   sources. A dead worker (EOF, SIGKILL) drops every registered route,
+//!   so each affected job's driver sees that worker die *on its own
+//!   session* and re-dispatches the corpse's obligations per affected
+//!   job — survivors and unrelated jobs never notice.
+
+use crate::blob::{self, AppSpec};
+use crate::driver::{run_cluster_links, DriverConfig};
+use crate::frame::{
+    read_frame, ChannelSource, EventKind, Frame, FrameSink, MuxSink, Role, SHUTDOWN_ROUND,
+};
+use fractal_graph::{gen, io::load_adjacency_list, Graph};
+use fractal_runtime::sync::{AtomicBool, AtomicU32, AtomicU64, Mutex, Ordering};
+use std::collections::HashMap;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Admission and resource limits of a serve daemon.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum *queued* (admitted, not yet running) jobs.
+    pub max_queue: usize,
+    /// Maximum in-flight (queued + running) jobs per tenant.
+    pub max_per_tenant: usize,
+    /// Maximum concurrently running jobs.
+    pub max_running: usize,
+    /// Snapshot cache byte budget (approximate, CSR-sized).
+    pub snapshot_budget_bytes: u64,
+    /// Per-job driver heartbeat staleness timeout.
+    pub heartbeat_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_queue: 64,
+            max_per_tenant: 8,
+            max_running: 4,
+            snapshot_budget_bytes: 256 << 20,
+            heartbeat_timeout: Duration::from_millis(2000),
+        }
+    }
+}
+
+/// Daemon-wide serve-path counters, snapshotted into every finished job's
+/// federated report (and asserted zero off the serve path by the perf
+/// gate).
+#[derive(Default)]
+pub struct ServeStats {
+    pub jobs_admitted: AtomicU64,
+    pub jobs_rejected: AtomicU64,
+    pub snapshot_evictions: AtomicU64,
+}
+
+// ---- snapshot cache ----
+
+/// Parses and loads a snapshot spec: `gen:<name>:<n>:<seed>` for the
+/// synthetic families or `file:<path>` for an adjacency-list file. The
+/// spec string is the snapshot's identity, so two jobs naming the same
+/// spec share one loaded graph.
+pub fn load_snapshot(spec: &str) -> io::Result<Graph> {
+    if let Some(path) = spec.strip_prefix("file:") {
+        return load_adjacency_list(path).map_err(|e| invalid(format!("snapshot {spec}: {e}")));
+    }
+    let Some(rest) = spec.strip_prefix("gen:") else {
+        return Err(invalid(format!(
+            "snapshot {spec}: expected gen:<name>:<n>:<seed> or file:<path>"
+        )));
+    };
+    let parts: Vec<&str> = rest.split(':').collect();
+    let [name, n, seed] = parts.as_slice() else {
+        return Err(invalid(format!(
+            "snapshot {spec}: expected gen:<name>:<n>:<seed>"
+        )));
+    };
+    let n: usize = n
+        .parse()
+        .map_err(|_| invalid(format!("snapshot {spec}: bad vertex count")))?;
+    let seed: u64 = seed
+        .parse()
+        .map_err(|_| invalid(format!("snapshot {spec}: bad seed")))?;
+    // The label-count constants mirror `fractal submit --gen` exactly, so
+    // a client-side verification run rebuilds a bit-identical graph.
+    Ok(match *name {
+        "mico" => gen::mico_like(n, 29, seed),
+        "patents" => gen::patents_like(n, 37, seed),
+        "youtube" => gen::youtube_like(n, 80, seed),
+        "wikidata" => gen::wikidata_like(n, n / 20 + 8, seed),
+        "orkut" => gen::orkut_like(n, seed),
+        other => return Err(invalid(format!("snapshot {spec}: unknown family {other}"))),
+    })
+}
+
+/// Rough resident size of a loaded CSR graph.
+fn graph_bytes(g: &Graph) -> u64 {
+    (g.num_vertices() as u64) * 16 + (g.num_edges() as u64) * 24
+}
+
+struct SnapshotEntry {
+    graph: Arc<Graph>,
+    bytes: u64,
+    last_used: u64,
+}
+
+struct SnapshotCache {
+    budget: u64,
+    entries: HashMap<String, SnapshotEntry>,
+    used: u64,
+    tick: u64,
+}
+
+impl SnapshotCache {
+    fn new(budget: u64) -> Self {
+        SnapshotCache {
+            budget,
+            entries: HashMap::new(),
+            used: 0,
+            tick: 0,
+        }
+    }
+
+    /// Returns the snapshot for `spec`, loading it on first use and
+    /// evicting least-recently-used entries past the byte budget. Returns
+    /// the evictions performed so the caller can count them.
+    fn get_or_load(&mut self, spec: &str) -> io::Result<(Arc<Graph>, u64)> {
+        self.tick += 1;
+        if let Some(e) = self.entries.get_mut(spec) {
+            e.last_used = self.tick;
+            return Ok((Arc::clone(&e.graph), 0));
+        }
+        let graph = Arc::new(load_snapshot(spec)?);
+        let bytes = graph_bytes(&graph);
+        let mut evictions = 0;
+        while !self.entries.is_empty() && self.used + bytes > self.budget {
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty");
+            let e = self.entries.remove(&lru).expect("present");
+            self.used -= e.bytes;
+            evictions += 1;
+        }
+        self.used += bytes;
+        self.entries.insert(
+            spec.to_string(),
+            SnapshotEntry {
+                graph: Arc::clone(&graph),
+                bytes,
+                last_used: self.tick,
+            },
+        );
+        Ok((graph, evictions))
+    }
+}
+
+// ---- worker links ----
+
+/// job id → that job's virtual-session frame sender.
+type RouteTable = Arc<Mutex<HashMap<u64, Sender<(u32, Frame)>>>>;
+
+/// One physical worker connection, shared by every job.
+struct WorkerLink {
+    name: String,
+    physical: Arc<Mutex<TcpStream>>,
+    physical_seq: Arc<AtomicU32>,
+    routes: RouteTable,
+    dead: Arc<AtomicBool>,
+}
+
+impl WorkerLink {
+    /// Starts the router thread: demultiplexes inbound `Mux` envelopes to
+    /// per-job channels. On physical death it drops every route sender,
+    /// so each subscribed job sees this worker die on its own session.
+    fn start(stream: TcpStream, name: String) -> io::Result<WorkerLink> {
+        stream.set_nodelay(true).ok();
+        let mut reader = stream.try_clone()?;
+        let link = WorkerLink {
+            name,
+            physical: Arc::new(Mutex::new(stream)),
+            physical_seq: Arc::new(AtomicU32::new(0)),
+            routes: Arc::new(Mutex::new(HashMap::new())),
+            dead: Arc::new(AtomicBool::new(false)),
+        };
+        let routes = Arc::clone(&link.routes);
+        let dead = Arc::clone(&link.dead);
+        thread::spawn(move || {
+            loop {
+                match read_frame(&mut reader) {
+                    Ok((_, Frame::Mux { job, inner })) => {
+                        if let Ok(f) = crate::frame::decode_frame(&inner) {
+                            let routes = routes.lock();
+                            if let Some(tx) = routes.get(&job) {
+                                // A send to a finished job's dropped
+                                // receiver is stale traffic; ignore it.
+                                let _ = tx.send(f);
+                            }
+                        }
+                    }
+                    Ok(_) => {} // stray non-mux traffic
+                    Err(_) => break,
+                }
+            }
+            dead.store(true, Ordering::SeqCst);
+            // Channel EOF is the per-job death signal.
+            routes.lock().clear();
+        });
+        Ok(link)
+    }
+
+    fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+
+    /// Registers a job's route and returns its virtual link. `None` when
+    /// the worker is already dead.
+    fn open_virtual(&self, job: u64) -> Option<(ChannelSource, MuxSink<TcpStream>)> {
+        if self.is_dead() {
+            return None;
+        }
+        let (tx, rx) = channel();
+        self.routes.lock().insert(job, tx);
+        if self.is_dead() {
+            // The router may have cleared routes just before our insert;
+            // re-check so a dead link never looks open.
+            self.routes.lock().remove(&job);
+            return None;
+        }
+        let sink = MuxSink::new(
+            job,
+            Arc::clone(&self.physical),
+            Arc::clone(&self.physical_seq),
+        );
+        Some((ChannelSource(rx), sink))
+    }
+
+    fn close_virtual(&self, job: u64) {
+        self.routes.lock().remove(&job);
+    }
+}
+
+// ---- job table ----
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    Queued,
+    Running,
+    Done,
+    Cancelled,
+    Failed,
+}
+
+/// A finished job's result payload, served to `Result` fetches.
+struct JobOutcome {
+    count: u64,
+    agg: Vec<u8>,
+    report: Vec<u8>,
+}
+
+struct JobRecord {
+    tenant: String,
+    priority: u8,
+    submit_seq: u64,
+    app: AppSpec,
+    snapshot: String,
+    state: JobState,
+    cancel: Arc<AtomicBool>,
+    outcome: Option<JobOutcome>,
+    error: String,
+    subscribers: Vec<Arc<ClientConn>>,
+}
+
+struct ServerState {
+    next_job: u64,
+    submit_seq: u64,
+    jobs: HashMap<u64, JobRecord>,
+    /// Admitted, not yet running (ordering applied at pop time).
+    queue: Vec<u64>,
+    running: usize,
+    tenant_inflight: HashMap<String, usize>,
+    snapshots: SnapshotCache,
+}
+
+impl ServerState {
+    /// Pops the next job to run: highest priority first, submission order
+    /// within a priority (priority-aware FIFO).
+    fn pop_next(&mut self) -> Option<u64> {
+        let best = self
+            .queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, id)| {
+                let j = &self.jobs[*id];
+                (std::cmp::Reverse(j.priority), j.submit_seq)
+            })
+            .map(|(pos, _)| pos)?;
+        Some(self.queue.swap_remove(best))
+    }
+}
+
+/// One connected client: a locked writer so job threads and the client's
+/// own request handler can interleave whole frames safely.
+struct ClientConn {
+    writer: Mutex<TcpStream>,
+    seq: AtomicU32,
+}
+
+impl ClientConn {
+    fn send(&self, frame: &Frame) -> io::Result<()> {
+        // ordering: Relaxed — sequence numbers only need fetch_add
+        // uniqueness; the frame write is serialized by the writer lock.
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut w = self.writer.lock();
+        w.send(seq, frame)
+    }
+}
+
+struct ServerInner {
+    config: ServeConfig,
+    stats: ServeStats,
+    links: Vec<WorkerLink>,
+    state: Mutex<ServerState>,
+    sched_tx: Sender<()>,
+}
+
+/// The serve daemon. [`Server::bind`] wires the worker links and the
+/// scheduler; [`Server::run`] accepts clients forever.
+pub struct Server {
+    inner: Arc<ServerInner>,
+    listener: TcpListener,
+}
+
+impl Server {
+    /// Binds the client listener and takes ownership of already-connected
+    /// worker streams (one per worker, switched into mux mode by their
+    /// first envelope).
+    pub fn bind(
+        listener: TcpListener,
+        workers: Vec<(TcpStream, String)>,
+        config: ServeConfig,
+    ) -> io::Result<Server> {
+        assert!(!workers.is_empty(), "need at least one worker");
+        let mut links = Vec::with_capacity(workers.len());
+        for (stream, name) in workers {
+            links.push(WorkerLink::start(stream, name)?);
+        }
+        let (sched_tx, sched_rx) = channel();
+        let inner = Arc::new(ServerInner {
+            state: Mutex::new(ServerState {
+                next_job: 1,
+                submit_seq: 0,
+                jobs: HashMap::new(),
+                queue: Vec::new(),
+                running: 0,
+                tenant_inflight: HashMap::new(),
+                snapshots: SnapshotCache::new(config.snapshot_budget_bytes),
+            }),
+            config,
+            stats: ServeStats::default(),
+            links,
+            sched_tx,
+        });
+        let sched_inner = Arc::clone(&inner);
+        thread::spawn(move || scheduler_loop(sched_inner, sched_rx));
+        Ok(Server { inner, listener })
+    }
+
+    /// The client listener's bound address.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts and serves clients until the listener fails. Each client
+    /// connection gets its own handler thread.
+    pub fn run(&self) -> io::Result<()> {
+        loop {
+            let (stream, _) = self.listener.accept()?;
+            let inner = Arc::clone(&self.inner);
+            thread::spawn(move || {
+                let _ = serve_client(inner, stream);
+            });
+        }
+    }
+}
+
+/// Dispatch loop: starts queued jobs while capacity allows. Woken on every
+/// admission and every job completion; exits when the server drops.
+fn scheduler_loop(inner: Arc<ServerInner>, rx: Receiver<()>) {
+    while rx.recv().is_ok() {
+        loop {
+            let job = {
+                let mut st = inner.state.lock();
+                if st.running >= inner.config.max_running {
+                    break;
+                }
+                let Some(id) = st.pop_next() else { break };
+                st.running += 1;
+                let rec = st.jobs.get_mut(&id).expect("queued job");
+                rec.state = JobState::Running;
+                id
+            };
+            let job_inner = Arc::clone(&inner);
+            thread::spawn(move || run_one_job(job_inner, job));
+        }
+    }
+}
+
+/// Sends `frame` to every subscriber of `job` (best-effort).
+fn emit(inner: &ServerInner, job: u64, frame: &Frame) {
+    let subs: Vec<Arc<ClientConn>> = {
+        let st = inner.state.lock();
+        match st.jobs.get(&job) {
+            Some(rec) => rec.subscribers.clone(),
+            None => return,
+        }
+    };
+    for s in subs {
+        let _ = s.send(frame);
+    }
+}
+
+fn event(job: u64, kind: EventKind, detail: impl Into<String>, value: u64) -> Frame {
+    Frame::JobEvent {
+        job,
+        kind,
+        detail: detail.into(),
+        value,
+    }
+}
+
+/// Runs one admitted job end-to-end on the shared pool and publishes its
+/// terminal event. Always releases the job's slot and quota.
+fn run_one_job(inner: Arc<ServerInner>, job: u64) {
+    let (app, snapshot, cancel) = {
+        let st = inner.state.lock();
+        let rec = &st.jobs[&job];
+        (rec.app, rec.snapshot.clone(), Arc::clone(&rec.cancel))
+    };
+    emit(&inner, job, &event(job, EventKind::Running, app.name(), 0));
+
+    let outcome = execute_job(&inner, job, app, &snapshot, cancel);
+
+    let mut st = inner.state.lock();
+    st.running -= 1;
+    let rec = st.jobs.get_mut(&job).expect("running job");
+    let tenant = rec.tenant.clone();
+    let terminal = match outcome {
+        Ok(None) => {
+            rec.state = JobState::Cancelled;
+            event(job, EventKind::Cancelled, "", 0)
+        }
+        Ok(Some(out)) => {
+            let count = out.count;
+            rec.state = JobState::Done;
+            rec.outcome = Some(out);
+            event(job, EventKind::Done, "", count)
+        }
+        Err(e) => {
+            rec.state = JobState::Failed;
+            rec.error = e.to_string();
+            event(job, EventKind::Failed, rec.error.clone(), 0)
+        }
+    };
+    if let Some(n) = st.tenant_inflight.get_mut(&tenant) {
+        *n = n.saturating_sub(1);
+    }
+    drop(st);
+    emit(&inner, job, &terminal);
+    let _ = inner.sched_tx.send(());
+}
+
+/// The job body: resolve the snapshot, open per-job virtual sessions on
+/// every live worker, run the standard cluster driver over them, and
+/// package the result. `Ok(None)` means the job was cancelled.
+fn execute_job(
+    inner: &Arc<ServerInner>,
+    job: u64,
+    app: AppSpec,
+    snapshot: &str,
+    cancel: Arc<AtomicBool>,
+) -> io::Result<Option<JobOutcome>> {
+    let graph = {
+        let mut st = inner.state.lock();
+        let (graph, evictions) = st.snapshots.get_or_load(snapshot)?;
+        if evictions > 0 {
+            // ordering: Relaxed — monotonic diagnostic counter.
+            inner
+                .stats
+                .snapshot_evictions
+                .fetch_add(evictions, Ordering::Relaxed);
+        }
+        graph
+    };
+
+    let mut links = Vec::new();
+    let mut names = Vec::new();
+    let mut opened: Vec<&WorkerLink> = Vec::new();
+    for link in &inner.links {
+        if let Some(pair) = link.open_virtual(job) {
+            links.push(pair);
+            names.push(link.name.clone());
+            opened.push(link);
+        }
+    }
+    if links.is_empty() {
+        return Err(invalid("no live workers"));
+    }
+
+    let mut config = DriverConfig::new_shared(app, graph);
+    config.heartbeat_timeout = inner.config.heartbeat_timeout;
+    config.cancel = Some(cancel);
+    // Stream coarse progress (decile steps) to subscribers.
+    let progress_inner = Arc::clone(inner);
+    let last_decile = Arc::new(AtomicU64::new(0));
+    config.progress = Some(Arc::new(move |round, done, total| {
+        let decile = (done * 10).checked_div(total).unwrap_or(10);
+        // ordering: Relaxed — a lost race only skips one coarse progress
+        // event; the counter is monotonic within the driver thread.
+        if decile > last_decile.swap(decile, Ordering::Relaxed) {
+            emit(
+                &progress_inner,
+                job,
+                &event(job, EventKind::Progress, format!("round {round}"), done),
+            );
+        }
+    }));
+
+    let result = run_cluster_links(links, names, config);
+    for link in opened {
+        link.close_virtual(job);
+    }
+    let result = result?;
+    if result.cancelled {
+        return Ok(None);
+    }
+
+    let agg = match app {
+        AppSpec::Motifs { .. } => blob::encode_motifs_map(&result.motifs),
+        AppSpec::Kclist { .. } => Vec::new(),
+        AppSpec::Fsm { .. } => blob::encode_fsm_seeds(&result.frequent),
+    };
+    let mut report = result.report;
+    // Stamp the daemon's serve-path counters into the job's federated
+    // report so `--metrics-out` artifacts carry them.
+    // ordering: Relaxed — monotonic diagnostic counters.
+    report.faults.jobs_admitted = inner.stats.jobs_admitted.load(Ordering::Relaxed);
+    report.faults.jobs_rejected = inner.stats.jobs_rejected.load(Ordering::Relaxed);
+    report.faults.snapshot_evictions = inner.stats.snapshot_evictions.load(Ordering::Relaxed);
+    Ok(Some(JobOutcome {
+        count: result.count,
+        agg,
+        report: blob::encode_report(&report),
+    }))
+}
+
+/// Serves one client connection: handshake, then submit/status/cancel/
+/// result requests until EOF. The connection doubles as the event stream
+/// for every job it submitted.
+fn serve_client(inner: Arc<ServerInner>, stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = stream.try_clone()?;
+    let conn = Arc::new(ClientConn {
+        writer: Mutex::new(stream),
+        seq: AtomicU32::new(0),
+    });
+    match read_frame(&mut reader) {
+        Ok((
+            _,
+            Frame::Hello {
+                role: Role::Client, ..
+            },
+        )) => {}
+        Ok(_) => return Err(invalid("expected client Hello")),
+        Err(e) => return Err(e),
+    }
+    conn.send(&Frame::Hello {
+        role: Role::Driver,
+        cores: 0,
+    })?;
+
+    loop {
+        let (_, frame) = match read_frame(&mut reader) {
+            Ok(f) => f,
+            Err(_) => return Ok(()), // client hung up
+        };
+        match frame {
+            Frame::Submit {
+                tenant,
+                priority,
+                snapshot,
+                app,
+            } => handle_submit(&inner, &conn, tenant, priority, snapshot, &app)?,
+            Frame::Status { job } => {
+                let reply = status_event(&inner, job);
+                conn.send(&reply)?;
+            }
+            Frame::Cancel { job } => {
+                let reply = handle_cancel(&inner, job);
+                conn.send(&reply)?;
+            }
+            Frame::Result { job, .. } => {
+                let reply = {
+                    let st = inner.state.lock();
+                    match st.jobs.get(&job).and_then(|r| r.outcome.as_ref()) {
+                        Some(out) => Frame::Result {
+                            job,
+                            count: out.count,
+                            agg: out.agg.clone(),
+                            report: out.report.clone(),
+                        },
+                        None => status_event_unlocked(&st, job),
+                    }
+                };
+                conn.send(&reply)?;
+            }
+            // Anything else is not client → daemon traffic.
+            _ => {}
+        }
+    }
+}
+
+/// Admission control: quota and capacity checks, queue insert, event.
+fn handle_submit(
+    inner: &Arc<ServerInner>,
+    conn: &Arc<ClientConn>,
+    tenant: String,
+    priority: u8,
+    snapshot: String,
+    app_blob: &[u8],
+) -> io::Result<()> {
+    let app = match blob::decode_app_spec(app_blob) {
+        Ok(app) => app,
+        Err(e) => {
+            // ordering: Relaxed — monotonic diagnostic counter.
+            inner.stats.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            return conn.send(&event(
+                0,
+                EventKind::Rejected,
+                format!("bad app spec: {e}"),
+                0,
+            ));
+        }
+    };
+    let verdict = {
+        let mut st = inner.state.lock();
+        if st.queue.len() >= inner.config.max_queue {
+            Err("queue full".to_string())
+        } else if st
+            .tenant_inflight
+            .get(&tenant)
+            .is_some_and(|&n| n >= inner.config.max_per_tenant)
+        {
+            Err(format!("tenant {tenant} over quota"))
+        } else {
+            let id = st.next_job;
+            st.next_job += 1;
+            st.submit_seq += 1;
+            let submit_seq = st.submit_seq;
+            *st.tenant_inflight.entry(tenant.clone()).or_insert(0) += 1;
+            st.jobs.insert(
+                id,
+                JobRecord {
+                    tenant,
+                    priority,
+                    submit_seq,
+                    app,
+                    snapshot,
+                    state: JobState::Queued,
+                    cancel: Arc::new(AtomicBool::new(false)),
+                    outcome: None,
+                    error: String::new(),
+                    subscribers: vec![Arc::clone(conn)],
+                },
+            );
+            st.queue.push(id);
+            Ok((id, st.queue.len() as u64))
+        }
+    };
+    match verdict {
+        Ok((id, qpos)) => {
+            // ordering: Relaxed — monotonic diagnostic counter.
+            inner.stats.jobs_admitted.fetch_add(1, Ordering::Relaxed);
+            conn.send(&event(id, EventKind::Accepted, "", id))?;
+            conn.send(&event(id, EventKind::Queued, "", qpos))?;
+            let _ = inner.sched_tx.send(());
+            Ok(())
+        }
+        Err(why) => {
+            // ordering: Relaxed — monotonic diagnostic counter.
+            inner.stats.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            conn.send(&event(0, EventKind::Rejected, why, 0))
+        }
+    }
+}
+
+/// A `JobEvent` describing `job`'s current lifecycle state.
+fn status_event(inner: &ServerInner, job: u64) -> Frame {
+    let st = inner.state.lock();
+    match st.jobs.get(&job) {
+        None => event(job, EventKind::Failed, "unknown job", 0),
+        Some(rec) => match rec.state {
+            JobState::Queued => {
+                let pos = st.queue.iter().position(|&j| j == job).unwrap_or(0) as u64;
+                event(job, EventKind::Queued, "", pos + 1)
+            }
+            JobState::Running => event(job, EventKind::Running, rec.app.name(), 0),
+            JobState::Done => {
+                let count = rec.outcome.as_ref().map(|o| o.count).unwrap_or(0);
+                event(job, EventKind::Done, "", count)
+            }
+            JobState::Cancelled => event(job, EventKind::Cancelled, "", 0),
+            JobState::Failed => event(job, EventKind::Failed, rec.error.clone(), 0),
+        },
+    }
+}
+
+fn handle_cancel(inner: &ServerInner, job: u64) -> Frame {
+    let mut st = inner.state.lock();
+    let Some(rec) = st.jobs.get_mut(&job) else {
+        return event(job, EventKind::Failed, "unknown job", 0);
+    };
+    match rec.state {
+        JobState::Queued => {
+            rec.state = JobState::Cancelled;
+            let tenant = rec.tenant.clone();
+            st.queue.retain(|&j| j != job);
+            if let Some(n) = st.tenant_inflight.get_mut(&tenant) {
+                *n = n.saturating_sub(1);
+            }
+            event(job, EventKind::Cancelled, "", 0)
+        }
+        JobState::Running => {
+            // Cooperative: the job's driver notices at its next event-loop
+            // iteration, winds the virtual sessions down and publishes the
+            // terminal Cancelled event itself.
+            rec.cancel.store(true, Ordering::SeqCst);
+            event(job, EventKind::Running, "cancelling", 0)
+        }
+        // Already terminal: report the state as-is.
+        _ => status_event_unlocked(&st, job),
+    }
+}
+
+fn status_event_unlocked(st: &ServerState, job: u64) -> Frame {
+    match st.jobs.get(&job) {
+        None => event(job, EventKind::Failed, "unknown job", 0),
+        Some(rec) => match rec.state {
+            JobState::Queued => event(job, EventKind::Queued, "", 0),
+            JobState::Running => event(job, EventKind::Running, rec.app.name(), 0),
+            JobState::Done => event(
+                job,
+                EventKind::Done,
+                "",
+                rec.outcome.as_ref().map(|o| o.count).unwrap_or(0),
+            ),
+            JobState::Cancelled => event(job, EventKind::Cancelled, "", 0),
+            JobState::Failed => event(job, EventKind::Failed, rec.error.clone(), 0),
+        },
+    }
+}
+
+/// Gracefully shuts every worker connection down (physical
+/// `Done{SHUTDOWN_ROUND}`), so workers exit their mux dispatchers.
+pub fn shutdown_workers(server: &Server) {
+    for link in &server.inner.links {
+        let shutdown = Frame::Done {
+            round: SHUTDOWN_ROUND,
+        };
+        // ordering: Relaxed — physical seq needs only uniqueness.
+        let seq = link.physical_seq.fetch_add(1, Ordering::Relaxed);
+        let mut w = link.physical.lock();
+        let _ = w.send(seq, &shutdown);
+    }
+}

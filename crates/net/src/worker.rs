@@ -1,21 +1,36 @@
-//! The worker process: runs one driver session over a TCP connection.
+//! The worker process: serves driver sessions over a TCP connection.
 //!
-//! A worker accepts a single driver connection, answers the `Hello`
-//! handshake, then serves `Assign`ed rounds with the in-process multi-core
-//! executor. While a round runs, idle cores *pull* extra root words from
-//! the driver ([`WorkerHooks`]) and the connection's reader thread serves
-//! relayed `StealRequest`s out of the running job's own queues
+//! A worker accepts a single connection and inspects its first frame. A
+//! plain driver `Hello` starts one classic session: the worker answers
+//! the handshake, then serves `Assign`ed rounds with the in-process
+//! multi-core executor. A [`Frame::Mux`] envelope instead switches the
+//! connection into *multiplexed* mode for a `fractal serve` daemon: every
+//! envelope is demultiplexed by job id onto a per-job **virtual session**
+//! — the same session loop, running over in-process channels — so several
+//! concurrent jobs share the one physical connection, each with its own
+//! handshake, rounds, steal traffic and flushes.
+//!
+//! While a round runs, idle cores *pull* extra root words from the driver
+//! ([`WorkerHooks`]) and the session's reader serves relayed
+//! `StealRequest`s out of the running job's own queues
 //! ([`fractal_runtime::ExternalJobHandle::steal_root`]) — the driver
 //! mediates all steal traffic, so the worker never opens peer connections.
 //!
-//! Threads per session: the caller's thread is the frame **reader**; each
+//! Threads per session: the session loop is the frame **reader**; each
 //! `Assign` spawns a **job** thread (the executor blocks it until the
 //! round drains); a **heartbeat** thread beats every ~15 ms carrying the
 //! root words completed since the last beat. All writes to the driver go
-//! through one mutex-guarded stream, so frames never interleave.
+//! through one mutex-guarded sink, so frames never interleave — in mux
+//! mode the sink is a [`MuxSink`] sharing the physical stream's lock with
+//! every other job. Concurrent jobs each run `cores` executor threads
+//! (deliberate oversubscription: the OS time-slices them, and
+//! bit-identical results never depend on scheduling).
 
 use crate::blob::{self, AppSpec};
-use crate::frame::{read_frame, write_frame, Frame, Role, MISS_WORD, SHUTDOWN_ROUND};
+use crate::frame::{
+    decode_frame, read_frame, ChannelSource, Frame, FrameSink, FrameSource, MuxSink, Role,
+    MISS_WORD, SHUTDOWN_ROUND,
+};
 use fractal_apps::fsm::{fsm_fractoid, fsm_support_aggregator, DomainSupport};
 use fractal_apps::{cliques, motifs};
 use fractal_core::{Aggregator, FractalContext, FractalGraph, Fractoid};
@@ -51,9 +66,10 @@ const PULL_WAIT: Duration = Duration::from_millis(25);
 
 type ReplySlot = (u64, Option<Vec<u8>>);
 
-/// State shared between the reader, job, heartbeat and executor threads.
-struct Shared {
-    writer: Mutex<TcpStream>,
+/// State shared between the reader, job, heartbeat and executor threads
+/// of one session (physical or virtual — `K` is its frame sink).
+struct Shared<K: FrameSink> {
+    writer: Mutex<K>,
     seq: AtomicU32,
     round: AtomicU32,
     round_done: AtomicBool,
@@ -63,7 +79,7 @@ struct Shared {
     reply_tx: Mutex<Option<Sender<ReplySlot>>>,
 }
 
-impl Shared {
+impl<K: FrameSink> Shared<K> {
     fn send(&self, frame: &Frame) -> io::Result<()> {
         // ordering: Relaxed — sequence numbers only need fetch_add atomicity for
         // uniqueness; frame payloads are serialized under the stream lock below.
@@ -75,7 +91,7 @@ impl Shared {
     /// request's seq so the driver can match them to pending steals).
     fn send_with_seq(&self, seq: u32, frame: &Frame) -> io::Result<()> {
         let mut w = self.writer.lock();
-        let res = write_frame(&mut *w, seq, frame);
+        let res = w.send(seq, frame);
         if res.is_err() {
             self.disconnected.store(true, Ordering::SeqCst);
         }
@@ -85,13 +101,13 @@ impl Shared {
 
 /// The executor-side pull source: asks the driver for foreign root words
 /// when local stealing comes up empty.
-struct WorkerHooks {
-    shared: Arc<Shared>,
+struct WorkerHooks<K: FrameSink> {
+    shared: Arc<Shared<K>>,
     round: u32,
     rx: Mutex<Receiver<ReplySlot>>,
 }
 
-impl WorkerHooks {
+impl<K: FrameSink> WorkerHooks<K> {
     /// A steal reply carrying a unit: verify its checksum, ack or nack,
     /// and hand it to the executor.
     fn accept(&self, word: u64, bytes: Vec<u8>) -> ExternalPull {
@@ -117,7 +133,7 @@ impl WorkerHooks {
     }
 }
 
-impl ExternalHooks for WorkerHooks {
+impl<K: FrameSink + 'static> ExternalHooks for WorkerHooks<K> {
     fn job_started(&self, handle: ExternalJobHandle) {
         *self.shared.handle.lock() = Some(handle);
     }
@@ -192,8 +208,8 @@ fn build_fractoid(
 }
 
 /// Runs one assigned round to completion and flushes its results.
-fn run_round_seeded(
-    shared: &Arc<Shared>,
+fn run_round_seeded<K: FrameSink>(
+    shared: &Arc<Shared<K>>,
     app: &AppSpec,
     fractoid: &Fractoid,
     round: u32,
@@ -221,21 +237,53 @@ fn run_round_seeded(
     });
 }
 
-/// Serves exactly one driver session on `listener` and returns how it
-/// ended. The executor runs with `cores` threads and internal-only local
-/// stealing (cross-process balance goes through the driver instead of the
-/// in-process simulation).
+/// Serves exactly one connection accepted on `listener` and returns how
+/// it ended. The executor runs with `cores` threads and internal-only
+/// local stealing (cross-process balance goes through the driver instead
+/// of the in-process simulation).
 pub fn serve(listener: &TcpListener, cores: usize) -> io::Result<ServeOutcome> {
     let (stream, _) = listener.accept()?;
     serve_conn(stream, cores)
 }
 
-/// Serves one already-accepted driver connection (see [`serve`]).
+/// Serves one already-accepted connection (see [`serve`]). The first
+/// frame decides the mode: a driver `Hello` runs one classic session, a
+/// [`Frame::Mux`] envelope runs the multiplexing dispatcher until the
+/// physical connection shuts down.
 pub fn serve_conn(stream: TcpStream, cores: usize) -> io::Result<ServeOutcome> {
     stream.set_nodelay(true).ok();
     let mut reader = stream.try_clone()?;
+    let first = read_frame(&mut reader)?;
+    match &first.1 {
+        Frame::Hello {
+            role: Role::Driver, ..
+        } => run_session(reader, stream, cores, Some(first)),
+        Frame::Mux { .. } => serve_mux(reader, stream, cores, first),
+        Frame::Done {
+            round: SHUTDOWN_ROUND,
+        } => Ok(ServeOutcome::Shutdown),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "expected driver Hello or Mux",
+        )),
+    }
+}
+
+/// Runs one driver session over generic transports. `peeked` is a frame
+/// the caller already read off the source (the mode-dispatch peek); it is
+/// processed first. The session starts with the driver's `Hello`.
+fn run_session<S, K>(
+    mut source: S,
+    sink: K,
+    cores: usize,
+    peeked: Option<(u32, Frame)>,
+) -> io::Result<ServeOutcome>
+where
+    S: FrameSource,
+    K: FrameSink + 'static,
+{
     let shared = Arc::new(Shared {
-        writer: Mutex::new(stream),
+        writer: Mutex::new(sink),
         seq: AtomicU32::new(0),
         round: AtomicU32::new(0),
         round_done: AtomicBool::new(false),
@@ -246,7 +294,11 @@ pub fn serve_conn(stream: TcpStream, cores: usize) -> io::Result<ServeOutcome> {
     });
 
     // Handshake: driver speaks first.
-    match read_frame(&mut reader) {
+    let hello = match peeked {
+        Some(f) => Ok(f),
+        None => source.recv(),
+    };
+    match hello {
         Ok((
             _,
             Frame::Hello {
@@ -292,7 +344,7 @@ pub fn serve_conn(stream: TcpStream, cores: usize) -> io::Result<ServeOutcome> {
     let outcome;
 
     loop {
-        let (seq, frame) = match read_frame(&mut reader) {
+        let (seq, frame) = match source.recv() {
             Ok(f) => f,
             Err(_) => {
                 outcome = ServeOutcome::Disconnected;
@@ -408,7 +460,13 @@ pub fn serve_conn(stream: TcpStream, cores: usize) -> io::Result<ServeOutcome> {
             | Frame::Ack { .. }
             | Frame::Nack { .. }
             | Frame::AggFlush { .. }
-            | Frame::Heartbeat { .. } => {}
+            | Frame::Heartbeat { .. }
+            | Frame::Submit { .. }
+            | Frame::Status { .. }
+            | Frame::Cancel { .. }
+            | Frame::Result { .. }
+            | Frame::JobEvent { .. }
+            | Frame::Mux { .. } => {}
         }
     }
 
@@ -423,5 +481,83 @@ pub fn serve_conn(stream: TcpStream, cores: usize) -> io::Result<ServeOutcome> {
     }
     hb_stop.store(true, Ordering::SeqCst);
     let _ = hb.join();
+    Ok(outcome)
+}
+
+/// The multiplexing dispatcher: routes [`Frame::Mux`] envelopes from a
+/// `fractal serve` daemon onto per-job virtual sessions, each running the
+/// unmodified [`run_session`] loop over an in-process channel and a
+/// [`MuxSink`] back onto the shared physical stream.
+///
+/// A job's first envelope (its driver `Hello`) spawns the session; its
+/// `Done{SHUTDOWN_ROUND}` (or the daemon dropping the job's routing)
+/// ends it. Frames for an already-ended job are discarded. Session
+/// threads are *detached*, never joined here: a cancelled job's session
+/// may spend minutes draining in-flight enumeration whose flush nobody
+/// wants, and blocking the dispatcher on it would stall every other
+/// job's traffic (their handshakes included). The dispatcher itself ends
+/// when the physical connection shuts down: a bare `Done{SHUTDOWN_ROUND}`
+/// is a clean daemon shutdown; EOF or a read error is a disconnect —
+/// either way every virtual session sees channel EOF, and still-draining
+/// discarded work dies with the process.
+fn serve_mux(
+    mut reader: TcpStream,
+    writer: TcpStream,
+    cores: usize,
+    first: (u32, Frame),
+) -> io::Result<ServeOutcome> {
+    let physical: Arc<Mutex<TcpStream>> = Arc::new(Mutex::new(writer));
+    let physical_seq = Arc::new(AtomicU32::new(0));
+    let mut sessions: HashMap<u64, Sender<(u32, Frame)>> = HashMap::new();
+    let mut next = first;
+    let outcome;
+    loop {
+        match next.1 {
+            Frame::Mux { job, inner } => {
+                // The physical frame's checksum already covered `inner`;
+                // a decode failure here means a daemon-side bug, not wire
+                // corruption. Drop the frame rather than kill every other
+                // job on the connection.
+                if let Ok(inner_frame) = decode_frame(&inner) {
+                    let shutdown = matches!(
+                        inner_frame.1,
+                        Frame::Done {
+                            round: SHUTDOWN_ROUND
+                        }
+                    );
+                    let session = sessions.entry(job).or_insert_with(|| {
+                        let (tx, rx) = channel();
+                        let sink =
+                            MuxSink::new(job, Arc::clone(&physical), Arc::clone(&physical_seq));
+                        // Detached on purpose — see the module doc above.
+                        thread::spawn(move || run_session(ChannelSource(rx), sink, cores, None));
+                        tx
+                    });
+                    let dead = session.send(inner_frame).is_err();
+                    if dead || shutdown {
+                        // Ended (or ending) session: forget its route so
+                        // the map holds only live jobs; the session thread
+                        // winds itself down on channel EOF.
+                        sessions.remove(&job);
+                    }
+                }
+            }
+            Frame::Done {
+                round: SHUTDOWN_ROUND,
+            } => {
+                outcome = ServeOutcome::Shutdown;
+                break;
+            }
+            // Anything else on the physical link is stray traffic.
+            _ => {}
+        }
+        next = match read_frame(&mut reader) {
+            Ok(f) => f,
+            Err(_) => {
+                outcome = ServeOutcome::Disconnected;
+                break;
+            }
+        };
+    }
     Ok(outcome)
 }

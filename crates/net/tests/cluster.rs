@@ -4,7 +4,7 @@
 //! guarantees of the worker session loop.
 
 use fractal_apps::{cliques, fsm, motifs};
-use fractal_core::FractalContext;
+use fractal_core::{Aggregator, FractalContext};
 use fractal_graph::gen;
 use fractal_net::frame::{read_frame, write_frame, Frame, Role, MISS_WORD, SHUTDOWN_ROUND};
 use fractal_net::{run_cluster, serve, AppSpec, DriverConfig, ServeOutcome};
@@ -186,6 +186,152 @@ fn within_secs<T: Send + 'static>(secs: u64, f: impl FnOnce() -> T + Send + 'sta
     });
     rx.recv_timeout(Duration::from_secs(secs))
         .expect("operation timed out")
+}
+
+/// A hand-scripted worker for the shutdown-race regression below: it
+/// computes its assigned motifs roots correctly, reports every completion
+/// in ONE heartbeat, and after the round's `Done` sends its final
+/// `AggFlush` and then goes *silent* (no further heartbeats) until the
+/// shutdown broadcast. The only liveness evidence the driver gets after
+/// `Done` is the flush itself.
+fn scripted_quiet_flush_worker(listener: TcpListener) -> thread::JoinHandle<()> {
+    thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accept");
+        match read_frame(&mut stream).expect("driver hello") {
+            (
+                _,
+                Frame::Hello {
+                    role: Role::Driver, ..
+                },
+            ) => {}
+            other => panic!("expected driver Hello, got {other:?}"),
+        }
+        write_frame(
+            &mut stream,
+            0,
+            &Frame::Hello {
+                role: Role::Worker,
+                cores: 1,
+            },
+        )
+        .expect("hello reply");
+
+        let (job, roots) = match read_frame(&mut stream).expect("assign") {
+            (_, Frame::Assign { job, roots, .. }) => (job.expect("job blob"), roots),
+            other => panic!("expected Assign, got {other:?}"),
+        };
+        let (app, graph) = fractal_net::blob::decode_job(&job).expect("job");
+        let fg = FractalContext::new(ClusterConfig::local(1, 1)).fractal_graph(graph);
+        let fractoid = match app {
+            AppSpec::Motifs { k, use_labels } => {
+                motifs::motifs_fractoid(&fg, k as usize, use_labels)
+            }
+            other => panic!("scripted worker only runs motifs, got {other:?}"),
+        };
+        let mut outcome = fractoid.execute_step_distributed(roots.clone(), false, None);
+        let map = Aggregator::<CanonicalCode, u64>::take_map(outcome.shards.remove(0));
+
+        write_frame(
+            &mut stream,
+            1,
+            &Frame::Heartbeat {
+                round: 0,
+                completed: roots,
+            },
+        )
+        .expect("heartbeat");
+
+        loop {
+            match read_frame(&mut stream).expect("done") {
+                (_, Frame::Done { round: 0 }) => break,
+                (
+                    _,
+                    Frame::Done {
+                        round: SHUTDOWN_ROUND,
+                    },
+                ) => panic!("shutdown before round Done"),
+                _ => {}
+            }
+        }
+        write_frame(
+            &mut stream,
+            2,
+            &Frame::AggFlush {
+                round: 0,
+                count: outcome.count,
+                agg: fractal_net::blob::encode_motifs_map(&map),
+                report: fractal_net::blob::encode_report(&outcome.report),
+            },
+        )
+        .expect("flush");
+
+        // Silent from here: wait for the shutdown broadcast, then hang up.
+        loop {
+            match read_frame(&mut stream) {
+                Ok((
+                    _,
+                    Frame::Done {
+                        round: SHUTDOWN_ROUND,
+                    },
+                )) => break,
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+    })
+}
+
+/// Regression for the driver-side shutdown race: a worker that flushes
+/// right after `Done` and then goes quiet must not be judged stale while
+/// its delivered-but-unprocessed flush waits behind one slow event-loop
+/// iteration (`chaos_stall_after_done` makes the slow iteration
+/// deterministic). Before the fix the driver handled one event per
+/// iteration and aged `last_beat` against wall clock, so the stall turned
+/// both workers' queued traffic into a spurious kill + recovery pass.
+#[test]
+fn post_done_flush_survives_slow_driver_iteration() {
+    let graph = gen::mico_like(160, 4, 13);
+    let single = {
+        let fg = FractalContext::new(ClusterConfig::local(1, 2)).fractal_graph(graph.clone());
+        motifs::motifs(&fg, 3)
+    };
+
+    let mut handles = Vec::new();
+    let mut streams = Vec::new();
+    for _ in 0..2 {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        handles.push(scripted_quiet_flush_worker(listener));
+        streams.push(TcpStream::connect(addr).expect("connect"));
+    }
+
+    let mut config = DriverConfig::new(
+        AppSpec::Motifs {
+            k: 3,
+            use_labels: false,
+        },
+        graph,
+    );
+    // The staleness window is far shorter than the stall: every queued
+    // heartbeat is older than the window by the time the stall ends.
+    config.heartbeat_timeout = Duration::from_millis(150);
+    config.chaos_stall_after_done = Some(Duration::from_millis(500));
+
+    let result = within_secs(30, move || {
+        run_cluster(streams, vec!["qa".into(), "qb".into()], config).expect("cluster run")
+    });
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+
+    assert_eq!(result.motifs, single);
+    assert_eq!(result.deaths, 0, "no spurious kill");
+    assert_eq!(result.recovery_assigns, 0, "no spurious recovery pass");
+    assert_eq!(result.orphaned_words, 0);
+    for w in &result.workers {
+        assert!(!w.died);
+        assert_eq!(w.flushes, 1);
+    }
 }
 
 #[test]

@@ -4,7 +4,7 @@
 //! and never silently alias to a different frame. Complements the
 //! hand-built corruption cases in `frame.rs` with generated coverage.
 
-use fractal_net::frame::{decode_frame, encode_frame, Frame, Role};
+use fractal_net::frame::{decode_frame, encode_frame, EventKind, Frame, Role};
 use proptest::prelude::*;
 
 fn arb_blob(max: usize) -> impl Strategy<Value = Vec<u8>> {
@@ -15,23 +15,48 @@ fn arb_words(max: usize) -> impl Strategy<Value = Vec<u64>> {
     proptest::collection::vec(any::<u64>(), 0..max)
 }
 
-/// An arbitrary frame spanning all nine wire types, including optional
+/// Arbitrary string fields (tenant names, snapshot specs, event details):
+/// includes the separator/spec characters the serve path actually uses,
+/// plus a multi-byte codepoint to exercise UTF-8 on the wire.
+fn arb_text() -> impl Strategy<Value = String> {
+    const CHARS: [char; 12] = ['a', 'b', 'z', '0', '9', ':', '.', '_', '-', ' ', '/', 'é'];
+    proptest::collection::vec(any::<u8>(), 0..24).prop_map(|bytes| {
+        bytes
+            .iter()
+            .map(|&b| CHARS[b as usize % CHARS.len()])
+            .collect()
+    })
+}
+
+const EVENT_KINDS: [EventKind; 8] = [
+    EventKind::Accepted,
+    EventKind::Rejected,
+    EventKind::Queued,
+    EventKind::Running,
+    EventKind::Progress,
+    EventKind::Done,
+    EventKind::Cancelled,
+    EventKind::Failed,
+];
+
+/// An arbitrary frame spanning all fifteen wire types, including optional
 /// blob presence/absence combinations and sentinel-adjacent integers.
 fn arb_frame() -> impl Strategy<Value = Frame> {
     (
-        0u8..9, // variant selector
+        0u8..15, // variant selector
         any::<u32>(),
         any::<u64>(),
         (0u8..8, arb_blob(40), arb_blob(40)),
         arb_words(24),
+        (arb_text(), arb_text()),
     )
         .prop_map(
-            |(sel, round, word, (flags, blob_a, blob_b), words)| match sel {
+            |(sel, round, word, (flags, blob_a, blob_b), words, (text_a, text_b))| match sel {
                 0 => Frame::Hello {
-                    role: if flags & 1 == 0 {
-                        Role::Driver
-                    } else {
-                        Role::Worker
+                    role: match flags % 3 {
+                        0 => Role::Driver,
+                        1 => Role::Worker,
+                        _ => Role::Client,
                     },
                     cores: round,
                 },
@@ -60,7 +85,34 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                     round,
                     completed: words,
                 },
-                _ => Frame::Done { round },
+                8 => Frame::Done { round },
+                9 => Frame::Submit {
+                    tenant: text_a,
+                    priority: flags,
+                    snapshot: text_b,
+                    app: blob_a,
+                },
+                10 => Frame::Status { job: word },
+                11 => Frame::Cancel { job: word },
+                12 => Frame::Result {
+                    job: word,
+                    count: round as u64,
+                    agg: blob_a,
+                    report: blob_b,
+                },
+                13 => Frame::JobEvent {
+                    job: word,
+                    kind: EVENT_KINDS[(flags % 8) as usize],
+                    detail: text_a,
+                    value: round as u64,
+                },
+                // A mux envelope's payload is an opaque byte string at
+                // this layer — corruption inside it is caught by the
+                // outer checksum, so arbitrary bytes are the right test.
+                _ => Frame::Mux {
+                    job: word,
+                    inner: blob_a,
+                },
             },
         )
 }

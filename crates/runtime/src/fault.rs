@@ -284,6 +284,13 @@ pub struct FaultStats {
     pub units_lost: u64,
     /// Trace-tap records drained from tripped cores.
     pub tap_drained: u64,
+    /// Jobs admitted by a `fractal serve` daemon (serve-path only: must
+    /// stay zero in plain single-process and `submit` runs).
+    pub jobs_admitted: u64,
+    /// Jobs rejected at admission (queue full / tenant over quota).
+    pub jobs_rejected: u64,
+    /// Graph snapshots evicted from the serve daemon's LRU cache.
+    pub snapshot_evictions: u64,
 }
 
 impl FaultLedger {
@@ -300,6 +307,11 @@ impl FaultLedger {
             recovery_ns: self.recovery_ns.load(Ordering::Relaxed),
             units_lost: self.units_lost.load(Ordering::Relaxed),
             tap_drained: self.tap_drained.load(Ordering::Relaxed),
+            // Serve-path counters are owned by the `fractal serve`
+            // daemon, not the in-process ledger: always zero here.
+            jobs_admitted: 0,
+            jobs_rejected: 0,
+            snapshot_evictions: 0,
         }
     }
 }

@@ -289,6 +289,18 @@ impl JobReport {
             self.faults.tap_drained
         ));
         out.push_str(&format!(
+            "  \"jobs_admitted\": {},\n",
+            self.faults.jobs_admitted
+        ));
+        out.push_str(&format!(
+            "  \"jobs_rejected\": {},\n",
+            self.faults.jobs_rejected
+        ));
+        out.push_str(&format!(
+            "  \"snapshot_evictions\": {},\n",
+            self.faults.snapshot_evictions
+        ));
+        out.push_str(&format!(
             "  \"worker_state_bytes\": {},\n",
             json_u64_array(&self.worker_state_bytes())
         ));
@@ -509,6 +521,10 @@ mod tests {
         assert!(json.contains("\"watchdog_trips\": 0"));
         assert!(json.contains("\"recovery_ns\": 0"));
         assert!(json.contains("\"units_lost\": 0"));
+        // Serve-path counters likewise present and zero off the serve path.
+        assert!(json.contains("\"jobs_admitted\": 0"));
+        assert!(json.contains("\"jobs_rejected\": 0"));
+        assert!(json.contains("\"snapshot_evictions\": 0"));
         // A 4-bucket timeline over a fully-busy single core is all ones.
         assert!(json.contains("\"utilization_timeline\": [1.000000, 1.000000, 1.000000, 1.000000]"));
     }

@@ -1,0 +1,272 @@
+#!/usr/bin/env python3
+"""Workflow lints for the Fractal CI configuration.
+
+Regex-based (no yaml dependency — the container is offline), enforced
+over `.github/workflows/*.yml` and `.github/actions/*/action.yml`:
+
+  action-pin      Every `uses:` must either reference a local action
+                  (`./...`) or pin a marketplace action to a version tag
+                  (`owner/name@vN`). Unpinned or branch-pinned actions
+                  make CI runs unreproducible.
+
+  inline-cache    Workflow jobs must not call `actions/cache` directly;
+                  cargo caching goes through the shared composite action
+                  (`.github/actions/setup-fractal`), so cache paths and
+                  key shapes cannot drift between jobs. The composite
+                  action itself is the one place allowed to use it.
+
+  checkout-first  Any step that `uses:` a local action must be preceded
+                  (within the same job) by an `actions/checkout` step —
+                  local actions are resolved from the checked-out tree.
+
+  offline-env     Every workflow must set `CARGO_NET_OFFLINE: "true"` in
+                  its top-level env: the workspace vendors all deps under
+                  crates/compat/, and a job that silently reaches for the
+                  network is a reproducibility bug.
+
+  cargo-locked    Build-graph cargo invocations (build, test, run, bench,
+                  clippy) must pass `--locked` so CI can never rewrite
+                  Cargo.lock. `cargo fmt` is exempt (it does not resolve
+                  dependencies).
+
+Usage:
+  scripts/lint_workflow.py [--root DIR]   lint the tree (exit 1 on findings)
+  scripts/lint_workflow.py --self-test    inject one violation per rule into
+                                          a scratch tree and assert each is
+                                          caught (exit 1 if any slips through)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+USES = re.compile(r"^\s*-?\s*uses:\s*(\S+)")
+PINNED = re.compile(r"^[\w.-]+/[\w./-]+@v\d+$")
+CHECKOUT = re.compile(r"^actions/checkout@")
+CACHE = re.compile(r"^actions/cache@")
+JOB_HEADER = re.compile(r"^  (\w[\w-]*):\s*$")
+OFFLINE_ENV = re.compile(r'^\s*CARGO_NET_OFFLINE:\s*"true"\s*$')
+CARGO_CMD = re.compile(r"\bcargo\s+(?:\+\w+\s+)?(build|test|run|bench|clippy)\b")
+LOCKED = re.compile(r"--locked\b")
+COMMENT = re.compile(r"^\s*#")
+
+
+def workflow_files(root: str) -> list[str]:
+    rels = []
+    wf = os.path.join(root, ".github", "workflows")
+    if os.path.isdir(wf):
+        for name in sorted(os.listdir(wf)):
+            if name.endswith((".yml", ".yaml")):
+                rels.append(os.path.join(".github", "workflows", name))
+    actions = os.path.join(root, ".github", "actions")
+    if os.path.isdir(actions):
+        for sub in sorted(os.listdir(actions)):
+            for name in ("action.yml", "action.yaml"):
+                if os.path.isfile(os.path.join(actions, sub, name)):
+                    rels.append(os.path.join(".github", "actions", sub, name))
+    return rels
+
+
+def is_composite_action(rel: str) -> bool:
+    return rel.replace("\\", "/").startswith(".github/actions/")
+
+
+def lint_file(root: str, rel: str) -> list[tuple[str, int, str, str]]:
+    """Returns (rule, line_no, line, message) findings for one file."""
+    try:
+        with open(os.path.join(root, rel), encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except (OSError, UnicodeDecodeError):
+        return []
+    findings = []
+    is_workflow = not is_composite_action(rel)
+    saw_offline_env = False
+    # Per-job state for the checkout-first rule; composite actions have no
+    # jobs, so a single implicit scope is fine there (they cannot checkout
+    # at all, which is exactly why callers must).
+    saw_checkout = False
+
+    for idx, raw in enumerate(lines):
+        no = idx + 1
+        if COMMENT.match(raw):
+            continue
+        if is_workflow and JOB_HEADER.match(raw):
+            saw_checkout = False
+
+        if OFFLINE_ENV.match(raw):
+            saw_offline_env = True
+
+        m = USES.search(raw)
+        if m:
+            target = m.group(1).strip("\"'")
+            if target.startswith("./"):
+                if is_workflow and not saw_checkout:
+                    findings.append(
+                        (
+                            "checkout-first",
+                            no,
+                            raw.strip(),
+                            "local actions are resolved from the checked-out tree; "
+                            "run actions/checkout before this step",
+                        )
+                    )
+            else:
+                if not PINNED.match(target):
+                    findings.append(
+                        (
+                            "action-pin",
+                            no,
+                            raw.strip(),
+                            "pin marketplace actions to a version tag "
+                            "(owner/name@vN) for reproducible CI",
+                        )
+                    )
+                if CHECKOUT.match(target):
+                    saw_checkout = True
+                if CACHE.match(target) and is_workflow:
+                    findings.append(
+                        (
+                            "inline-cache",
+                            no,
+                            raw.strip(),
+                            "use the shared composite action "
+                            "(./.github/actions/setup-fractal) instead of an "
+                            "inline actions/cache step",
+                        )
+                    )
+
+        if CARGO_CMD.search(raw) and not LOCKED.search(raw):
+            findings.append(
+                (
+                    "cargo-locked",
+                    no,
+                    raw.strip(),
+                    "cargo invocations in CI must pass --locked so the "
+                    "committed Cargo.lock is authoritative",
+                )
+            )
+
+    if is_workflow and not saw_offline_env:
+        findings.append(
+            (
+                "offline-env",
+                1,
+                lines[0].strip() if lines else "",
+                'workflow must set CARGO_NET_OFFLINE: "true" in its top-level '
+                "env (all deps are vendored under crates/compat/)",
+            )
+        )
+    return findings
+
+
+def run_lint(root: str) -> int:
+    total = 0
+    files = workflow_files(root)
+    if not files:
+        print("lint_workflow: no workflow files found")
+        return 1
+    for rel in files:
+        for rule, no, line, msg in lint_file(root, rel):
+            total += 1
+            print(f"{rel}:{no}: [{rule}] {msg}\n    {line}")
+    if total:
+        print(f"\nlint_workflow: {total} finding(s)")
+        return 1
+    print(f"lint_workflow: clean ({len(files)} files)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test: inject one violation per rule, assert each is caught.
+# ---------------------------------------------------------------------------
+
+CLEAN_WORKFLOW = """\
+name: CI
+on: [push]
+env:
+  CARGO_NET_OFFLINE: "true"
+jobs:
+  build:
+    runs-on: ubuntu-latest
+    steps:
+      - uses: actions/checkout@v4
+      - uses: ./.github/actions/setup-fractal
+        with:
+          cache-key: build
+      - run: cargo build --release --locked
+      - run: cargo fmt --check
+"""
+
+VIOLATIONS = {
+    "action-pin": CLEAN_WORKFLOW.replace(
+        "actions/checkout@v4", "actions/checkout@main"
+    ),
+    "inline-cache": CLEAN_WORKFLOW.replace(
+        "- uses: ./.github/actions/setup-fractal\n        with:\n          cache-key: build",
+        "- uses: actions/cache@v4",
+    ),
+    "checkout-first": CLEAN_WORKFLOW.replace(
+        "      - uses: actions/checkout@v4\n      - uses: ./.github/actions/setup-fractal",
+        "      - uses: ./.github/actions/setup-fractal",
+    ),
+    "offline-env": CLEAN_WORKFLOW.replace('  CARGO_NET_OFFLINE: "true"\n', ""),
+    "cargo-locked": CLEAN_WORKFLOW.replace(
+        "cargo build --release --locked", "cargo build --release"
+    ),
+}
+
+
+def self_test() -> int:
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        wf_dir = os.path.join(tmp, ".github", "workflows")
+        os.makedirs(wf_dir)
+        rel = os.path.join(".github", "workflows", "ci.yml")
+        for rule, doc in VIOLATIONS.items():
+            assert doc != CLEAN_WORKFLOW, f"{rule}: injection did not change the doc"
+            with open(os.path.join(tmp, rel), "w", encoding="utf-8") as f:
+                f.write(doc)
+            caught = [r for r, *_ in lint_file(tmp, rel)]
+            if rule in caught:
+                print(f"self-test: [{rule}] injected violation caught")
+            else:
+                failures.append(rule)
+                print(f"self-test: [{rule}] MISSED (caught: {caught})")
+
+        with open(os.path.join(tmp, rel), "w", encoding="utf-8") as f:
+            f.write(CLEAN_WORKFLOW)
+        extra = lint_file(tmp, rel)
+        if extra:
+            failures.append("clean-file")
+            for rule, no, line, msg in extra:
+                print(f"self-test: FALSE POSITIVE {rel}:{no}: [{rule}]\n    {line}")
+        else:
+            print("self-test: compliant workflow is clean")
+
+    if failures:
+        print(f"\nself-test FAILED: {failures}")
+        return 1
+    print("\nself-test passed: every injected violation caught, no false positives")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".", help="workspace root (default: cwd)")
+    ap.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the linter catches injected violations, then exit",
+    )
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    return run_lint(os.path.abspath(args.root))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -62,6 +62,12 @@ FAULT_COUNTERS = (
     "recovery_ns",
     "units_lost",
     "net_units",
+    # Serve-path counters: a single-process leg never goes through the
+    # job-server admission or snapshot cache, so any nonzero value means
+    # `fractal serve` plumbing leaked into plain execution.
+    "jobs_admitted",
+    "jobs_rejected",
+    "snapshot_evictions",
 )
 
 
@@ -125,13 +131,20 @@ def check(smoke_path, baseline_path):
 
     # Both legs run fault-free: every recovery counter must be exactly
     # zero, and the block must be present (its absence would silently
-    # disable this check).
+    # disable this check). The baseline may extend the builtin list (e.g.
+    # when a new subsystem adds counters before every checkout has the
+    # updated script).
+    extra = tuple(
+        key
+        for key in baseline.get("fault_free_counters", ())
+        if key not in FAULT_COUNTERS
+    )
     for leg in ("deterministic", "parallel"):
         faults = smoke.get(leg, {}).get("faults")
         if faults is None:
             failures.append(f"{leg}.faults: recovery-counter block missing from smoke run")
             continue
-        for key in FAULT_COUNTERS:
+        for key in FAULT_COUNTERS + extra:
             got = faults.get(key)
             if got is None:
                 failures.append(f"{leg}.faults.{key}: missing from smoke run")
@@ -172,6 +185,7 @@ def update(smoke_path, baseline_path):
         },
         "tolerances": DETERMINISTIC_TOLERANCES,
         "parallel_bounds": PARALLEL_BOUNDS,
+        "fault_free_counters": list(FAULT_COUNTERS),
     }
     Path(baseline_path).write_text(json.dumps(baseline, indent=2) + "\n")
     print(f"perf-gate: baseline written to {baseline_path}")

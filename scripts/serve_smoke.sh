@@ -1,0 +1,159 @@
+#!/usr/bin/env bash
+# serve-smoke: end-to-end gate for the `fractal serve` job server.
+#
+# Leg 1 (concurrent): starts a daemon with a 3-worker local cluster, then
+# submits three different apps (motifs, cliques, fsm) concurrently against
+# ONE shared snapshot. Every job must finish, verify bit-identical to a
+# single-process rerun (`--verify-single`), and leave a per-job
+# fractal-metrics/1 artifact.
+#
+# Leg 2 (chaos): with a long-running job and two survivor jobs in flight,
+# the long job is cancelled mid-run and one worker process is SIGKILLed.
+# The survivors must still verify bit-identical — the corpse's obligations
+# are re-dispatched per affected job, never globally.
+#
+# Usage: scripts/serve_smoke.sh
+#   FRACTAL_BIN      override the CLI binary (default target/release/fractal-cli)
+#   SERVE_SMOKE_OUT  artifact directory (default target/serve-smoke)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${FRACTAL_BIN:-target/release/fractal-cli}"
+OUT="${SERVE_SMOKE_OUT:-target/serve-smoke}"
+SNAPSHOT="gen:mico:400:7"
+CHAOS_SNAPSHOT="gen:mico:2000:9"
+
+if [[ ! -x "$BIN" ]]; then
+    echo "serve-smoke: building $BIN"
+    cargo build --release -q
+fi
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+SERVE_PID=""
+cleanup() {
+    if [[ -n "$SERVE_PID" ]]; then
+        pkill -P "$SERVE_PID" 2>/dev/null || true
+        kill "$SERVE_PID" 2>/dev/null || true
+    fi
+}
+trap cleanup EXIT
+
+fail() {
+    echo "serve-smoke: FAIL: $*" >&2
+    echo "--- serve.log tail ---" >&2
+    tail -n 40 "$OUT/serve.log" >&2 || true
+    exit 1
+}
+
+# Poll (bounded) until a grep pattern appears in a file.
+wait_for() {
+    local pattern="$1" file="$2" tries="${3:-100}"
+    for _ in $(seq "$tries"); do
+        if grep -q "$pattern" "$file" 2>/dev/null; then
+            return 0
+        fi
+        sleep 0.2
+    done
+    return 1
+}
+
+# ---- daemon ----
+
+"$BIN" serve --listen 127.0.0.1:0 --local-cluster 3 --cores 2 \
+    --heartbeat-ms 3000 >"$OUT/serve.log" 2>&1 &
+SERVE_PID=$!
+wait_for "^SERVING " "$OUT/serve.log" || fail "daemon did not announce SERVING"
+ADDR=$(awk '/^SERVING /{print $2; exit}' "$OUT/serve.log")
+echo "serve-smoke: daemon pid $SERVE_PID at $ADDR"
+
+submit_wait() { # name tenant extra-args...
+    local name="$1" tenant="$2"
+    shift 2
+    "$BIN" client submit --server "$ADDR" --tenant "$tenant" \
+        --snapshot "$SNAPSHOT" --wait --verify-single \
+        --metrics-out "$OUT/$name.metrics.json" "$@" \
+        >"$OUT/$name.out" 2>"$OUT/$name.err"
+}
+
+check_job() { # name
+    local name="$1"
+    grep -q "VERIFY OK" "$OUT/$name.out" || fail "$name: no VERIFY OK (see $OUT/$name.out)"
+    grep -q "^RESULT " "$OUT/$name.out" || fail "$name: no RESULT line"
+    [[ -s "$OUT/$name.metrics.json" ]] || fail "$name: missing metrics artifact"
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$OUT/$name.metrics.json" \
+        || fail "$name: metrics artifact is not valid JSON"
+    echo "serve-smoke: $name ok ($(grep '^RESULT ' "$OUT/$name.out"))"
+}
+
+# ---- leg 1: three concurrent apps, one shared snapshot ----
+
+echo "serve-smoke: leg 1 — 3 concurrent jobs on $SNAPSHOT"
+submit_wait motifs tenant-a --app motifs -k 3 &
+P1=$!
+submit_wait cliques tenant-b --app cliques -k 4 &
+P2=$!
+submit_wait fsm tenant-c --app fsm --support 50 --max-edges 2 &
+P3=$!
+wait "$P1" || fail "motifs client exited nonzero"
+wait "$P2" || fail "cliques client exited nonzero"
+wait "$P3" || fail "fsm client exited nonzero"
+check_job motifs
+check_job cliques
+check_job fsm
+
+# ---- leg 2: cancel one job mid-run + SIGKILL one worker ----
+
+echo "serve-smoke: leg 2 — chaos (cancel + worker SIGKILL) on $CHAOS_SNAPSHOT"
+"$BIN" client submit --server "$ADDR" --tenant chaos --snapshot "$CHAOS_SNAPSHOT" \
+    --app motifs -k 4 >"$OUT/victim.out" 2>"$OUT/victim.err"
+VICTIM=$(awk '/^JOB /{print $2; exit}' "$OUT/victim.out")
+[[ -n "$VICTIM" ]] && [[ "$VICTIM" != 0 ]] || fail "victim submit did not return a job id"
+
+"$BIN" client submit --server "$ADDR" --tenant chaos-b --snapshot "$CHAOS_SNAPSHOT" \
+    --app cliques -k 4 --wait --verify-single \
+    --metrics-out "$OUT/survivor1.metrics.json" \
+    >"$OUT/survivor1.out" 2>"$OUT/survivor1.err" &
+S1=$!
+"$BIN" client submit --server "$ADDR" --tenant chaos-c --snapshot "$CHAOS_SNAPSHOT" \
+    --app motifs -k 3 --wait --verify-single \
+    --metrics-out "$OUT/survivor2.metrics.json" \
+    >"$OUT/survivor2.out" 2>"$OUT/survivor2.err" &
+S2=$!
+
+# Let the jobs reach the workers before injecting faults.
+wait_for "Running" "$OUT/survivor1.err" 150 || fail "survivor1 never started running"
+"$BIN" client cancel --server "$ADDR" --job "$VICTIM" >"$OUT/cancel.out" 2>&1 \
+    || fail "cancel verb failed"
+
+WORKER_PID=$(pgrep -P "$SERVE_PID" | head -n 1)
+[[ -n "$WORKER_PID" ]] || fail "no worker child process found to kill"
+echo "serve-smoke: SIGKILL worker pid $WORKER_PID; cancelled job $VICTIM"
+kill -9 "$WORKER_PID"
+
+wait "$S1" || fail "survivor1 client exited nonzero after chaos"
+wait "$S2" || fail "survivor2 client exited nonzero after chaos"
+grep -q "VERIFY OK" "$OUT/survivor1.out" || fail "survivor1: no VERIFY OK after chaos"
+grep -q "VERIFY OK" "$OUT/survivor2.out" || fail "survivor2: no VERIFY OK after chaos"
+[[ -s "$OUT/survivor1.metrics.json" ]] || fail "survivor1: missing metrics artifact"
+[[ -s "$OUT/survivor2.metrics.json" ]] || fail "survivor2: missing metrics artifact"
+echo "serve-smoke: survivors ok ($(grep '^RESULT ' "$OUT/survivor1.out")," \
+    "$(grep '^RESULT ' "$OUT/survivor2.out"))"
+
+# The victim must land in the Cancelled terminal state (the cancel may
+# complete asynchronously at a round boundary).
+for _ in $(seq 100); do
+    "$BIN" client status --server "$ADDR" --job "$VICTIM" >"$OUT/victim-status.out" 2>&1 || true
+    if grep -q "Cancelled" "$OUT/victim-status.out"; then
+        break
+    fi
+    sleep 0.2
+done
+grep -q "Cancelled" "$OUT/victim-status.out" \
+    || fail "victim job $VICTIM never reached Cancelled: $(cat "$OUT/victim-status.out")"
+
+# A fresh job on the surviving workers must still verify.
+submit_wait postchaos tenant-d --app motifs -k 3 || fail "post-chaos client exited nonzero"
+check_job postchaos
+
+echo "serve-smoke: all legs passed (artifacts in $OUT)"

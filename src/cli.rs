@@ -31,6 +31,20 @@
 //!              (mirror models of the lock-free protocols, including the
 //!              checker self-validation entries) and prints per-model
 //!              explored-interleaving counts as `fractal-metrics/1` JSON
+//!   serve      --listen <addr> (--local-cluster <n> | --workers a,b,...)
+//!              [--cores <n>] [--max-running <n>] [--max-queue <n>]
+//!              [--tenant-quota <n>] [--snapshot-budget-mb <n>]
+//!              [--heartbeat-ms <n>]
+//!              starts the multi-tenant job server: prints
+//!              "SERVING <addr>" and accepts `fractal client` jobs,
+//!              multiplexing them over the shared worker pool
+//!   client <submit|status|cancel|result> --server <addr>
+//!              submit: --tenant <t> --priority <p> --snapshot <spec>
+//!                      --app <motifs|cliques|fsm> plus app options
+//!                      [--wait] [--verify-single] [--metrics-out f.json]
+//!              status|cancel|result: --job <id> (result also takes the
+//!              submit decoding/verification options)
+//!              snapshots are specs: gen:<name>:<n>:<seed> or file:<path>
 //!
 //! input (one of):
 //!   --graph <path.adj>            adjacency-list file
@@ -51,6 +65,15 @@ pub fn run() {
         return;
     }
     let app = args[0].clone();
+    if app == "client" {
+        // `client <action> [options]`: the action is positional.
+        let action = args
+            .get(1)
+            .cloned()
+            .unwrap_or_else(|| die("client requires <submit|status|cancel|result>"));
+        let opts = parse_opts(&args[2..]);
+        return run_client(&action, &opts);
+    }
     let opts = parse_opts(&args[1..]);
 
     // The cluster-substrate entry points manage their own graphs and
@@ -59,6 +82,7 @@ pub fn run() {
         "worker" => return run_worker(&opts),
         "submit" => return run_submit(&opts),
         "check" => return run_check(&opts),
+        "serve" => return run_serve(&opts),
         "trace" if opts.contains_key("per-worker") => return run_trace_per_worker(&opts),
         _ => {}
     }
@@ -230,7 +254,13 @@ fn parse_opts(args: &[String]) -> HashMap<String, String> {
             // Flag-style options have no value.
             let flaggy = matches!(
                 key,
-                "kclist" | "reduce" | "no-reduce" | "per-worker" | "verify-single" | "unbounded"
+                "kclist"
+                    | "reduce"
+                    | "no-reduce"
+                    | "per-worker"
+                    | "verify-single"
+                    | "unbounded"
+                    | "wait"
             );
             if flaggy {
                 opts.insert(key.to_string(), "true".to_string());
@@ -446,25 +476,45 @@ fn run_submit(opts: &HashMap<String, String>) {
 /// Re-runs the job single-process and compares exact results — the CI
 /// cluster-smoke bit-identity gate.
 fn verify_single(result: &crate::net::ClusterResult, graph: crate::graph::Graph, cores: usize) {
+    verify_app(
+        result.app,
+        result.count,
+        &result.motifs,
+        &result.frequent,
+        graph,
+        cores,
+    );
+}
+
+/// The bit-identity check shared by `submit --verify-single` and
+/// `client … --verify-single`: re-runs `app` single-process on `graph`
+/// and compares against the cluster-produced aggregates.
+fn verify_app(
+    app: crate::net::AppSpec,
+    count: u64,
+    motifs: &HashMap<crate::pattern::CanonicalCode, u64>,
+    frequent: &[HashMap<crate::pattern::CanonicalCode, crate::apps::fsm::DomainSupport>],
+    graph: crate::graph::Graph,
+    cores: usize,
+) {
     use crate::net::AppSpec;
     let fg = FractalContext::new(ClusterConfig::local(1, cores)).fractal_graph(graph);
-    match result.app {
+    match app {
         AppSpec::Motifs { k, use_labels } => {
             let single = if use_labels {
                 crate::apps::motifs::motifs_labeled(&fg, k as usize)
             } else {
                 crate::apps::motifs::motifs(&fg, k as usize)
             };
-            if single != result.motifs {
+            if single != *motifs {
                 die("verify-single: motif maps differ from single-process run");
             }
         }
         AppSpec::Kclist { k } => {
             let single = crate::apps::cliques::count_kclist(&fg, k as usize);
-            if single != result.count {
+            if single != count {
                 die(&format!(
-                    "verify-single: cluster count {} != single-process {single}",
-                    result.count
+                    "verify-single: cluster count {count} != single-process {single}"
                 ));
             }
         }
@@ -479,8 +529,7 @@ fn verify_single(result: &crate::net::ClusterResult, graph: crate::graph::Graph,
                 .map(|p| (p.num_edges, p.code.clone(), p.support))
                 .collect();
             expect.sort();
-            let mut got: Vec<(usize, crate::pattern::CanonicalCode, u64)> = result
-                .frequent
+            let mut got: Vec<(usize, crate::pattern::CanonicalCode, u64)> = frequent
                 .iter()
                 .enumerate()
                 .flat_map(|(r, m)| m.iter().map(move |(c, s)| (r + 1, c.clone(), s.support())))
@@ -492,6 +541,217 @@ fn verify_single(result: &crate::net::ClusterResult, graph: crate::graph::Graph,
         }
     }
     println!("VERIFY OK");
+}
+
+/// `fractal serve`: the multi-tenant job server daemon. Prints
+/// `SERVING <addr>` (the banner serve-smoke and the integration tests
+/// parse) and accepts `fractal client` connections until killed.
+fn run_serve(opts: &HashMap<String, String>) {
+    use crate::net::{LocalCluster, ServeConfig, Server};
+    let cores = opt_num(opts, "cores").unwrap_or(2);
+    let (_lc, streams, names) = if let Some(n) = opt_num(opts, "local-cluster") {
+        if n == 0 {
+            die("--local-cluster needs at least 1 worker");
+        }
+        let lc = LocalCluster::spawn(n, cores)
+            .unwrap_or_else(|e| die(&format!("cannot spawn local cluster: {e}")));
+        let streams = lc
+            .connect()
+            .unwrap_or_else(|e| die(&format!("cannot connect to local workers: {e}")));
+        let names = (0..n).map(|i| format!("local{i}")).collect::<Vec<_>>();
+        (Some(lc), streams, names)
+    } else if let Some(list) = opts.get("workers") {
+        let names: Vec<String> = list.split(',').map(str::to_string).collect();
+        let streams = names
+            .iter()
+            .map(|a| {
+                std::net::TcpStream::connect(a.as_str())
+                    .unwrap_or_else(|e| die(&format!("cannot connect to worker {a}: {e}")))
+            })
+            .collect();
+        (None, streams, names)
+    } else {
+        die("serve requires --local-cluster N or --workers host:port,...")
+    };
+
+    let mut config = ServeConfig::default();
+    if let Some(n) = opt_num(opts, "max-running") {
+        config.max_running = n;
+    }
+    if let Some(n) = opt_num(opts, "max-queue") {
+        config.max_queue = n;
+    }
+    if let Some(n) = opt_num(opts, "tenant-quota") {
+        config.max_per_tenant = n;
+    }
+    if let Some(mb) = opt_num(opts, "snapshot-budget-mb") {
+        config.snapshot_budget_bytes = (mb as u64) << 20;
+    }
+    if let Some(ms) = opt_num(opts, "heartbeat-ms") {
+        config.heartbeat_timeout = std::time::Duration::from_millis(ms as u64);
+    }
+
+    let listen = opts
+        .get("listen")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:0");
+    let listener = std::net::TcpListener::bind(listen)
+        .unwrap_or_else(|e| die(&format!("cannot bind {listen}: {e}")));
+    let workers: Vec<_> = streams.into_iter().zip(names).collect();
+    let server = Server::bind(listener, workers, config)
+        .unwrap_or_else(|e| die(&format!("cannot start server: {e}")));
+    let addr = server
+        .local_addr()
+        .unwrap_or_else(|e| die(&format!("cannot resolve bound address: {e}")));
+    println!("SERVING {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    if let Err(e) = server.run() {
+        die(&format!("server failed: {e}"));
+    }
+}
+
+/// `fractal client <submit|status|cancel|result>`: talk to a serve daemon.
+fn run_client(action: &str, opts: &HashMap<String, String>) {
+    use crate::net::Client;
+    let server = opts
+        .get("server")
+        .unwrap_or_else(|| die("--server <addr> required"));
+    let mut client = Client::connect(server.as_str())
+        .unwrap_or_else(|e| die(&format!("cannot connect to {server}: {e}")));
+    match action {
+        "submit" => {
+            let snapshot = opts
+                .get("snapshot")
+                .unwrap_or_else(|| die("--snapshot <spec> required"))
+                .clone();
+            let app = parse_app_spec(opts);
+            let tenant = opts.get("tenant").map(String::as_str).unwrap_or("default");
+            let priority = opt_num(opts, "priority").unwrap_or(0) as u8;
+            let job = client
+                .submit(tenant, priority, &snapshot, &app)
+                .unwrap_or_else(|e| die(&format!("submit rejected: {e}")));
+            println!("JOB {job}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            if opts.contains_key("wait") {
+                wait_and_report(&mut client, job, app, &snapshot, opts);
+            }
+        }
+        "status" | "cancel" => {
+            let job = opt_num(opts, "job").unwrap_or_else(|| die("--job <id> required")) as u64;
+            let reply = if action == "status" {
+                client.status(job)
+            } else {
+                client.cancel(job)
+            };
+            let (kind, detail, value) =
+                reply.unwrap_or_else(|e| die(&format!("{action} failed: {e}")));
+            println!("job {job}: {kind:?} {detail} {value}");
+        }
+        "result" => {
+            let job = opt_num(opts, "job").unwrap_or_else(|| die("--job <id> required")) as u64;
+            let app = parse_app_spec(opts);
+            let snapshot = opts.get("snapshot").cloned().unwrap_or_default();
+            let (count, agg, report) = client
+                .fetch_result(job)
+                .unwrap_or_else(|e| die(&format!("result failed: {e}")));
+            report_result(job, app, count, &agg, &report, &snapshot, opts);
+        }
+        other => die(&format!(
+            "unknown client action {other:?} (submit|status|cancel|result)"
+        )),
+    }
+}
+
+/// Streams a submitted job's events until it terminates, then reports.
+fn wait_and_report(
+    client: &mut crate::net::Client,
+    job: u64,
+    app: crate::net::AppSpec,
+    snapshot: &str,
+    opts: &HashMap<String, String>,
+) {
+    use crate::net::JobTerminal;
+    let term = client
+        .wait_with(job, |kind, detail, value| {
+            eprintln!("job {job}: {kind:?} {detail} {value}");
+        })
+        .unwrap_or_else(|e| die(&format!("lost server while waiting: {e}")));
+    match term {
+        JobTerminal::Done { .. } => {
+            let (count, agg, report) = client
+                .fetch_result(job)
+                .unwrap_or_else(|e| die(&format!("result fetch failed: {e}")));
+            report_result(job, app, count, &agg, &report, snapshot, opts);
+        }
+        JobTerminal::Cancelled => println!("CANCELLED {job}"),
+        JobTerminal::Failed(why) => die(&format!("job {job} failed: {why}")),
+    }
+}
+
+/// Decodes and prints a finished job's result payload; optionally writes
+/// the per-job metrics artifact and re-verifies against a single-process
+/// run rebuilt from the snapshot spec.
+fn report_result(
+    job: u64,
+    app: crate::net::AppSpec,
+    count: u64,
+    agg: &[u8],
+    report: &[u8],
+    snapshot: &str,
+    opts: &HashMap<String, String>,
+) {
+    use crate::net::AppSpec;
+    let mut motifs = HashMap::new();
+    let mut frequent = Vec::new();
+    match app {
+        AppSpec::Motifs { k, .. } => {
+            motifs = crate::net::blob::decode_motifs_map(agg)
+                .unwrap_or_else(|e| die(&format!("bad motifs blob: {e}")));
+            let mut rows: Vec<_> = motifs.iter().collect();
+            rows.sort_by_key(|(_, c)| std::cmp::Reverse(**c));
+            for (code, n) in rows {
+                println!("{n:>12}  {}", code.to_pattern());
+            }
+            eprintln!("job {job} motifs k={k}: {} pattern classes", motifs.len());
+        }
+        AppSpec::Kclist { k } => println!("{k}-cliques: {count}"),
+        AppSpec::Fsm { min_support, .. } => {
+            frequent = crate::net::blob::decode_fsm_seeds(agg)
+                .unwrap_or_else(|e| die(&format!("bad fsm blob: {e}")));
+            println!("frequent patterns (support >= {min_support}):");
+            for (r, map) in frequent.iter().enumerate() {
+                let mut rows: Vec<_> = map.iter().collect();
+                rows.sort_by(|a, b| a.0 .0.cmp(&b.0 .0));
+                for (code, sup) in rows {
+                    println!(
+                        "{:>9}  {} edges  {}",
+                        sup.support(),
+                        r + 1,
+                        code.to_pattern()
+                    );
+                }
+            }
+        }
+    }
+    if let Some(path) = opts.get("metrics-out") {
+        let decoded = crate::net::blob::decode_report(report)
+            .unwrap_or_else(|e| die(&format!("bad report blob: {e}")));
+        let buckets = opt_num(opts, "buckets").unwrap_or(32);
+        std::fs::write(path, decoded.to_json(buckets))
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!("metrics -> {path}");
+    }
+    if opts.contains_key("verify-single") {
+        if snapshot.is_empty() {
+            die("--verify-single needs --snapshot to rebuild the graph");
+        }
+        let graph = crate::net::load_snapshot(snapshot).unwrap_or_else(|e| die(&format!("{e}")));
+        let cores = opt_num(opts, "cores").unwrap_or(2);
+        verify_app(app, count, &motifs, &frequent, graph, cores);
+    }
+    println!("RESULT {job} {count}");
 }
 
 /// `fractal trace --per-worker`: run motifs on a local cluster and render
@@ -596,7 +856,7 @@ fn run_check(opts: &HashMap<String, String>) {
 
 fn usage() {
     println!(
-        "fractal-cli <motifs|cliques|triangles|fsm|query|keywords|trace|worker|submit|check> [options]\n\
+        "fractal-cli <motifs|cliques|triangles|fsm|query|keywords|trace|worker|submit|check|serve|client> [options]\n\
          input:  --graph <path.adj> | --gen <mico|patents|youtube|wikidata|orkut> [--n N] [--seed S]\n\
          app:    -k <size> [--kclist] | --support N [--max-edges N] [--reduce]\n\
                  | --query <q1..q8|clique<k>|path<k>|cycle<k>> | --words a,b,c [--no-reduce]\n\
@@ -608,7 +868,15 @@ fn usage() {
                  [--cores N] [--verify-single] [--per-worker] [--chaos-kill i] [--metrics-out f.json]\n\
          check:  [--bound N | --unbounded] [--metrics-out f.json]\n\
                  runs the concurrency model-check suite (crates/check) and prints\n\
-                 per-model explored-interleaving counts as fractal-metrics/1 JSON"
+                 per-model explored-interleaving counts as fractal-metrics/1 JSON\n\
+         serve:  --listen <addr> (--local-cluster N | --workers host:port,...) [--cores N]\n\
+                 [--max-running N] [--max-queue N] [--tenant-quota N]\n\
+                 [--snapshot-budget-mb N] [--heartbeat-ms N]\n\
+         client: <submit|status|cancel|result> --server <addr>\n\
+                 submit: --tenant t --priority p --snapshot <gen:name:n:seed|file:path>\n\
+                         --app <motifs|cliques|fsm> + app options\n\
+                         [--wait] [--verify-single] [--metrics-out f.json]\n\
+                 status|cancel|result: --job <id>"
     );
 }
 
