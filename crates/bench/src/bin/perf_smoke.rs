@@ -87,6 +87,10 @@ fn fault_counters(reports: &[&ExecutionReport], out: &mut String) {
             sum.jobs_admitted += step.faults.jobs_admitted;
             sum.jobs_rejected += step.faults.jobs_rejected;
             sum.snapshot_evictions += step.faults.snapshot_evictions;
+            sum.journal_replayed += step.faults.journal_replayed;
+            sum.resumed_jobs += step.faults.resumed_jobs;
+            sum.link_faults_injected += step.faults.link_faults_injected;
+            sum.client_reconnects += step.faults.client_reconnects;
             net_units += step.net_units();
         }
     }
@@ -96,7 +100,9 @@ fn fault_counters(reports: &[&ExecutionReport], out: &mut String) {
          \"units_reexecuted\": {},\n      \"watchdog_trips\": {},\n      \
          \"recovery_ns\": {},\n      \"units_lost\": {},\n      \"net_units\": {},\n      \
          \"jobs_admitted\": {},\n      \"jobs_rejected\": {},\n      \
-         \"snapshot_evictions\": {}\n    }}",
+         \"snapshot_evictions\": {},\n      \"journal_replayed\": {},\n      \
+         \"resumed_jobs\": {},\n      \"link_faults_injected\": {},\n      \
+         \"client_reconnects\": {}\n    }}",
         sum.faults_injected,
         sum.units_retried,
         sum.units_reexecuted,
@@ -107,6 +113,10 @@ fn fault_counters(reports: &[&ExecutionReport], out: &mut String) {
         sum.jobs_admitted,
         sum.jobs_rejected,
         sum.snapshot_evictions,
+        sum.journal_replayed,
+        sum.resumed_jobs,
+        sum.link_faults_injected,
+        sum.client_reconnects,
     );
 }
 

@@ -414,6 +414,10 @@ pub fn encode_report(r: &JobReport) -> Vec<u8> {
         r.faults.jobs_admitted,
         r.faults.jobs_rejected,
         r.faults.snapshot_evictions,
+        r.faults.journal_replayed,
+        r.faults.resumed_jobs,
+        r.faults.link_faults_injected,
+        r.faults.client_reconnects,
     ] {
         put_u64(&mut out, v);
     }
@@ -462,6 +466,10 @@ pub fn decode_report(bytes: &[u8]) -> Result<JobReport, BlobError> {
         jobs_admitted: c.u64()?,
         jobs_rejected: c.u64()?,
         snapshot_evictions: c.u64()?,
+        journal_replayed: c.u64()?,
+        resumed_jobs: c.u64()?,
+        link_faults_injected: c.u64()?,
+        client_reconnects: c.u64()?,
     };
     let ncores = c.count(8 + CORE_STAT_FIELDS * 8)?;
     let mut cores = Vec::with_capacity(ncores);
@@ -612,6 +620,10 @@ mod tests {
                 jobs_admitted: 8,
                 jobs_rejected: 9,
                 snapshot_evictions: 10,
+                journal_replayed: 11,
+                resumed_jobs: 12,
+                link_faults_injected: 13,
+                client_reconnects: 14,
             },
             trace: None,
         };
@@ -624,6 +636,10 @@ mod tests {
         assert_eq!(r2.faults.units_lost, 6);
         assert_eq!(r2.faults.jobs_admitted, 8);
         assert_eq!(r2.faults.snapshot_evictions, 10);
+        assert_eq!(r2.faults.journal_replayed, 11);
+        assert_eq!(r2.faults.resumed_jobs, 12);
+        assert_eq!(r2.faults.link_faults_injected, 13);
+        assert_eq!(r2.faults.client_reconnects, 14);
         assert_eq!(r2.steal_hits, 3);
     }
 

@@ -7,11 +7,20 @@
 //! requests (`Status`, `Result`, …) can interleave with pushed
 //! [`Frame::JobEvent`]s; the helpers below skip events they are not
 //! waiting for.
+//!
+//! Degraded links: [`Client::wait_resumable`] survives transient
+//! disconnects. Every event carries its position in the job's event log
+//! (`event_seq`); the client remembers the last position it delivered,
+//! reconnects with capped exponential backoff plus deterministic jitter,
+//! and re-subscribes with [`Frame::Watch`]`{ after_seq }` so the daemon
+//! replays exactly the missed suffix — no event lost, none duplicated.
 
 use crate::blob::{self, AppSpec};
 use crate::frame::{read_frame, write_frame, EventKind, Frame, Role};
+use fractal_runtime::fault::splitmix64;
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -28,11 +37,62 @@ pub enum JobTerminal {
     Failed(String),
 }
 
+/// How [`Client::wait_resumable`] rides out a flaky or restarting
+/// server: capped exponential backoff with deterministic jitter between
+/// reconnect attempts, and a per-frame read deadline so a silently dead
+/// link is detected rather than waited on forever.
+#[derive(Debug, Clone)]
+pub struct ReconnectPolicy {
+    /// First retry delay; doubles per failed attempt within one outage.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Consecutive failed reconnect attempts before giving up.
+    pub max_attempts: u32,
+    /// Jitter seed (deterministic per client; varies per attempt).
+    pub seed: u64,
+    /// Per-frame read deadline while waiting on the event stream. A
+    /// timeout counts as a disconnect and triggers a reconnect.
+    pub read_timeout: Duration,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_millis(2000),
+            max_attempts: 60,
+            seed: 0x5EED_C11E_47FA_u64,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl ReconnectPolicy {
+    /// The delay before reconnect attempt `attempt` (0-based):
+    /// `min(base << attempt, cap)` plus up to 25% deterministic jitter.
+    fn delay(&self, attempt: u32) -> Duration {
+        let base = self.base_delay.as_micros() as u64;
+        let cap = self.max_delay.as_micros() as u64;
+        let exp = base
+            .checked_shl(attempt.min(20))
+            .unwrap_or(u64::MAX)
+            .min(cap)
+            .max(1);
+        let jitter = splitmix64(self.seed ^ u64::from(attempt)) % (exp / 4 + 1);
+        Duration::from_micros(exp + jitter)
+    }
+}
+
 /// One connection to a serve daemon.
 pub struct Client {
     reader: TcpStream,
     writer: TcpStream,
     seq: u32,
+    /// The daemon's address, for reconnects.
+    peer: Option<SocketAddr>,
+    /// Successful reconnects performed by [`Client::wait_resumable`].
+    reconnects: u64,
 }
 
 impl Client {
@@ -40,20 +100,28 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let writer = TcpStream::connect(addr)?;
         writer.set_nodelay(true).ok();
+        let peer = writer.peer_addr().ok();
         let reader = writer.try_clone()?;
         let mut c = Client {
             reader,
             writer,
             seq: 0,
+            peer,
+            reconnects: 0,
         };
-        c.send(&Frame::Hello {
+        c.handshake()?;
+        Ok(c)
+    }
+
+    fn handshake(&mut self) -> io::Result<()> {
+        self.send(&Frame::Hello {
             role: Role::Client,
             cores: 0,
         })?;
-        match c.recv()? {
+        match self.recv()? {
             Frame::Hello {
                 role: Role::Driver, ..
-            } => Ok(c),
+            } => Ok(()),
             _ => Err(invalid("expected driver Hello")),
         }
     }
@@ -68,20 +136,30 @@ impl Client {
         read_frame(&mut self.reader).map(|(_, f)| f)
     }
 
+    /// Successful reconnects performed so far (feeds the
+    /// `client_reconnects` metric).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
     /// Submits a job. Returns the assigned job id, or an error carrying
-    /// the daemon's rejection reason.
+    /// the daemon's rejection reason. `token` is the client-generated
+    /// idempotency token — resubmitting the same token after an
+    /// ambiguous failure returns the originally admitted job id.
     pub fn submit(
         &mut self,
         tenant: &str,
         priority: u8,
         snapshot: &str,
         app: &AppSpec,
+        token: &str,
     ) -> io::Result<u64> {
         self.send(&Frame::Submit {
             tenant: tenant.to_string(),
             priority,
             snapshot: snapshot.to_string(),
             app: blob::encode_app_spec(app),
+            token: token.to_string(),
         })?;
         loop {
             match self.recv()? {
@@ -102,7 +180,8 @@ impl Client {
     }
 
     /// Blocks until `job` reaches a terminal state, invoking `on_event`
-    /// for every event observed for it along the way.
+    /// for every event observed for it along the way. Dies on the first
+    /// disconnect; [`Client::wait_resumable`] is the robust variant.
     pub fn wait_with(
         &mut self,
         job: u64,
@@ -114,6 +193,7 @@ impl Client {
                 kind,
                 detail,
                 value,
+                ..
             } = self.recv()?
             {
                 if j != job {
@@ -135,6 +215,106 @@ impl Client {
     /// [`Client::wait_with`] without an event callback.
     pub fn wait(&mut self, job: u64) -> io::Result<JobTerminal> {
         self.wait_with(job, |_, _, _| {})
+    }
+
+    /// Like [`Client::wait_with`], but survives transient disconnects
+    /// (including a daemon restart): on any stream error or read-deadline
+    /// expiry it reconnects with capped exponential backoff + jitter and
+    /// resumes the event stream from the last event it delivered, via
+    /// [`Frame::Watch`]. Sequenced events (`event_seq > 0`) are
+    /// deduplicated across reconnects, so the callback sees each of them
+    /// at most once per daemon epoch; unsequenced events pass through.
+    pub fn wait_resumable(
+        &mut self,
+        job: u64,
+        policy: &ReconnectPolicy,
+        mut on_event: impl FnMut(EventKind, &str, u64),
+    ) -> io::Result<JobTerminal> {
+        let mut last_seq = 0u64;
+        // Subscribe explicitly: unlike `wait_with`, this path must work
+        // on a connection that did not submit the job (post-restart).
+        self.reader.set_read_timeout(Some(policy.read_timeout)).ok();
+        self.send(&Frame::Watch {
+            job,
+            after_seq: last_seq,
+        })
+        .or_else(|_| self.reconnect_and_watch(job, last_seq, policy))?;
+        loop {
+            let frame = match self.recv() {
+                Ok(f) => f,
+                Err(_) => {
+                    // Disconnect or deadline: resume from last_seq.
+                    self.reconnect_and_watch(job, last_seq, policy)?;
+                    continue;
+                }
+            };
+            if let Frame::JobEvent {
+                job: j,
+                kind,
+                detail,
+                value,
+                event_seq,
+            } = frame
+            {
+                if j != job {
+                    continue;
+                }
+                if event_seq > 0 {
+                    if event_seq <= last_seq {
+                        continue; // replayed duplicate
+                    }
+                    last_seq = event_seq;
+                }
+                on_event(kind, &detail, value);
+                match kind {
+                    EventKind::Done => return Ok(JobTerminal::Done { count: value }),
+                    EventKind::Cancelled => return Ok(JobTerminal::Cancelled),
+                    EventKind::Failed | EventKind::Rejected => {
+                        return Ok(JobTerminal::Failed(detail))
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Re-dials the daemon (backoff per `policy`), re-handshakes and
+    /// re-subscribes with `Watch { after_seq }`. On success the client's
+    /// streams are replaced in place.
+    fn reconnect_and_watch(
+        &mut self,
+        job: u64,
+        after_seq: u64,
+        policy: &ReconnectPolicy,
+    ) -> io::Result<()> {
+        let peer = self
+            .peer
+            .ok_or_else(|| invalid("cannot reconnect: unknown peer address"))?;
+        let mut last_err = io::Error::new(io::ErrorKind::NotConnected, "no attempts");
+        for attempt in 0..policy.max_attempts {
+            std::thread::sleep(policy.delay(attempt));
+            match Client::connect(peer) {
+                Ok(fresh) => {
+                    self.reader = fresh.reader;
+                    self.writer = fresh.writer;
+                    self.seq = fresh.seq;
+                    self.reconnects += 1;
+                    self.reader.set_read_timeout(Some(policy.read_timeout)).ok();
+                    match self.send(&Frame::Watch { job, after_seq }) {
+                        Ok(()) => return Ok(()),
+                        Err(e) => last_err = e, // raced a dying server; retry
+                    }
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            format!(
+                "gave up after {} reconnect attempts: {last_err}",
+                policy.max_attempts
+            ),
+        ))
     }
 
     /// Asks for `job`'s current lifecycle state.
@@ -192,6 +372,7 @@ impl Client {
                 kind,
                 detail,
                 value,
+                ..
             } = self.recv()?
             {
                 if j == job {
@@ -199,5 +380,23 @@ impl Client {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_and_jittered_deterministically() {
+        let p = ReconnectPolicy::default();
+        let d0 = p.delay(0);
+        assert!(d0 >= p.base_delay);
+        assert_eq!(p.delay(0), d0, "jitter must be deterministic");
+        // The exponential part saturates at the cap (+ ≤25% jitter).
+        let late = p.delay(30);
+        assert!(late <= p.max_delay + p.max_delay / 4 + Duration::from_micros(1));
+        // Attempts produce distinct jitter.
+        assert_ne!(p.delay(1), p.delay(2));
     }
 }

@@ -82,6 +82,56 @@ pub struct DriverConfig {
     /// worker's final traffic (heartbeats, `AggFlush`, EOF) queues up
     /// behind one blocked event-loop iteration.
     pub chaos_stall_after_done: Option<Duration>,
+    /// Invoked at every flush-is-commit boundary (end of a fully flushed
+    /// round) with `(rounds_done, cumulative count, cumulative agg blob)`.
+    /// The blob is self-contained resume state — the serve daemon journals
+    /// it as a `WordSetCommitted` record, so a crashed job restarts from
+    /// its last committed round, not from scratch.
+    #[allow(clippy::type_complexity)]
+    pub on_round_commit: Option<Arc<dyn Fn(u32, u64, &[u8]) + Send + Sync>>,
+    /// Start from previously committed state instead of round 0.
+    pub resume: Option<ResumeState>,
+}
+
+/// Committed cumulative state of a partially run job, decoded from its
+/// last journalled `WordSetCommitted` record. [`run_cluster_links`] picks
+/// up at round `rounds_done` with these accumulators pre-seeded, so a
+/// resumed run's final counts are bit-identical to an uninterrupted one.
+#[derive(Debug, Clone, Default)]
+pub struct ResumeState {
+    /// Fully committed rounds; execution restarts at this round index.
+    pub rounds_done: u32,
+    /// Cumulative result count over the committed rounds.
+    pub count: u64,
+    /// Cumulative motif map (Motifs only).
+    pub motifs: HashMap<CanonicalCode, u64>,
+    /// Per-round globally filtered frequent maps (FSM only).
+    pub frequent: Vec<HashMap<CanonicalCode, DomainSupport>>,
+}
+
+impl ResumeState {
+    /// Decodes the cumulative agg blob of a `WordSetCommitted` record back
+    /// into driver accumulators (the inverse of what
+    /// [`DriverConfig::on_round_commit`] is handed).
+    pub fn decode(app: &AppSpec, rounds_done: u32, count: u64, agg: &[u8]) -> io::Result<Self> {
+        let mut state = ResumeState {
+            rounds_done,
+            count,
+            ..ResumeState::default()
+        };
+        match app {
+            AppSpec::Motifs { .. } => {
+                state.motifs = blob::decode_motifs_map(agg)
+                    .map_err(|e| invalid(format!("resume motifs: {e}")))?;
+            }
+            AppSpec::Kclist { .. } => {}
+            AppSpec::Fsm { .. } => {
+                state.frequent = blob::decode_fsm_seeds(agg)
+                    .map_err(|e| invalid(format!("resume fsm seeds: {e}")))?;
+            }
+        }
+        Ok(state)
+    }
 }
 
 impl DriverConfig {
@@ -100,6 +150,8 @@ impl DriverConfig {
             cancel: None,
             progress: None,
             chaos_stall_after_done: None,
+            on_round_commit: None,
+            resume: None,
         }
     }
 }
@@ -375,6 +427,10 @@ impl<K: FrameSink> Driver<K> {
         self.faults.jobs_admitted += report.faults.jobs_admitted;
         self.faults.jobs_rejected += report.faults.jobs_rejected;
         self.faults.snapshot_evictions += report.faults.snapshot_evictions;
+        self.faults.journal_replayed += report.faults.journal_replayed;
+        self.faults.resumed_jobs += report.faults.resumed_jobs;
+        self.faults.link_faults_injected += report.faults.link_faults_injected;
+        self.faults.client_reconnects += report.faults.client_reconnects;
     }
 
     fn handle_frame(
@@ -610,7 +666,8 @@ impl<K: FrameSink> Driver<K> {
             | Frame::Cancel { .. }
             | Frame::Result { .. }
             | Frame::JobEvent { .. }
-            | Frame::Mux { .. } => {}
+            | Frame::Mux { .. }
+            | Frame::Watch { .. } => {}
         }
         Ok(())
     }
@@ -670,6 +727,8 @@ where
         cancel,
         progress,
         chaos_stall_after_done,
+        on_round_commit,
+        resume,
     } = config;
     let job_blob = blob::encode_job(&app, &graph);
     let fg = FractalContext::new(ClusterConfig::local(1, 1)).fractal_graph_shared(graph);
@@ -753,10 +812,21 @@ where
         faults: FaultStats::default(),
     };
 
-    let mut total_count = 0u64;
-    let mut motifs_result = HashMap::new();
-    let mut frequent: Vec<HashMap<CanonicalCode, DomainSupport>> = Vec::new();
-    let mut rounds_run = 0u32;
+    // Resumed jobs pick up their committed accumulators and skip the
+    // rounds that already flushed: a resumed run replays no work, so its
+    // final counts are bit-identical to an uninterrupted run.
+    let resume = resume.unwrap_or_default();
+    let start_round = resume.rounds_done.min(app.max_rounds());
+    let mut total_count = resume.count;
+    let mut motifs_result = resume.motifs;
+    let mut frequent: Vec<HashMap<CanonicalCode, DomainSupport>> = resume.frequent;
+    let mut rounds_run = start_round;
+    // Replicate the FSM early-stop: if the committed state already ended
+    // with an empty frequent map, the uninterrupted run would have broken
+    // out of its round loop — a resumed run must not execute extra rounds.
+    let fsm_already_converged = matches!(app, AppSpec::Fsm { .. })
+        && start_round > 0
+        && frequent.last().is_some_and(|m| m.is_empty());
     let mut stall_after_done = chaos_stall_after_done;
     let mut cancelled = false;
     let is_cancelled = || {
@@ -767,7 +837,12 @@ where
             .is_some_and(|c| c.load(Ordering::Relaxed))
     };
 
-    'rounds: for round in 0..app.max_rounds() {
+    let round_range = if fsm_already_converged {
+        start_round..start_round
+    } else {
+        start_round..app.max_rounds()
+    };
+    'rounds: for round in round_range {
         let alive = drv.alive();
         if alive.is_empty() {
             return Err(invalid("all workers died"));
@@ -875,6 +950,7 @@ where
 
         rounds_run = round + 1;
         total_count += rs.count;
+        let mut fsm_converged = false;
         match app {
             AppSpec::Motifs { .. } => motifs_result = rs.motifs,
             AppSpec::Kclist { .. } => {}
@@ -886,12 +962,24 @@ where
                     .into_iter()
                     .filter(|(_, v)| v.has_enough_support(min_support))
                     .collect();
-                let empty = filtered.is_empty();
+                fsm_converged = filtered.is_empty();
                 frequent.push(filtered);
-                if empty {
-                    break;
-                }
             }
+        }
+        // Flush-is-commit boundary: every flush of this round is merged,
+        // so the cumulative accumulators are durable-safe to publish. The
+        // converged FSM round is committed too — replaying it is what
+        // tells a resumed run to stop where the original would have.
+        if let Some(commit) = &on_round_commit {
+            let agg = match app {
+                AppSpec::Motifs { .. } => blob::encode_motifs_map(&motifs_result),
+                AppSpec::Kclist { .. } => Vec::new(),
+                AppSpec::Fsm { .. } => blob::encode_fsm_seeds(&frequent),
+            };
+            commit(rounds_run, total_count, &agg);
+        }
+        if fsm_converged {
+            break;
         }
     }
 

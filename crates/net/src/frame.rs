@@ -158,11 +158,15 @@ pub enum Frame {
     /// Client → serve daemon: run `app` (a [`crate::blob`] app-spec blob)
     /// against the registered graph `snapshot` on behalf of `tenant` at
     /// the given `priority` (higher runs first among queued jobs).
+    /// `token` is a client-generated idempotency token: resubmitting the
+    /// same token after an ambiguous failure returns the original job
+    /// instead of double-admitting.
     Submit {
         tenant: String,
         priority: u8,
         snapshot: String,
         app: Vec<u8>,
+        token: String,
     },
     /// Client → serve daemon: what state is job `job` in? Answered with a
     /// [`Frame::JobEvent`] describing the current lifecycle state.
@@ -182,18 +186,28 @@ pub enum Frame {
     },
     /// Serve daemon → client: a job lifecycle event (admission verdicts,
     /// queue position, progress, terminal states). `detail`/`value` are
-    /// interpreted per [`EventKind`].
+    /// interpreted per [`EventKind`]. `event_seq` is the event's 1-based
+    /// position in the job's event log within the daemon's current epoch
+    /// (0 = unsequenced: always deliver); a reconnecting client resumes
+    /// with `Watch { after_seq }` to skip events it already saw.
     JobEvent {
         job: u64,
         kind: EventKind,
         detail: String,
         value: u64,
+        event_seq: u64,
     },
     /// Multiplexing envelope for shared worker sessions: `inner` is one
     /// complete encoded frame belonging to job `job`. The receiving side
     /// demultiplexes by job id onto per-job virtual sessions, so several
     /// concurrent jobs share one physical worker connection.
     Mux { job: u64, inner: Vec<u8> },
+    /// Client → serve daemon: subscribe this connection to `job`'s event
+    /// stream, replaying buffered events with `event_seq > after_seq`
+    /// first. The reconnect primitive behind `fractal client --wait`:
+    /// after a disconnect the client re-sends `Watch` with the last
+    /// sequence number it saw and loses nothing.
+    Watch { job: u64, after_seq: u64 },
 }
 
 impl Frame {
@@ -214,6 +228,7 @@ impl Frame {
             Frame::Result { .. } => 13,
             Frame::JobEvent { .. } => 14,
             Frame::Mux { .. } => 15,
+            Frame::Watch { .. } => 16,
         }
     }
 }
@@ -424,11 +439,13 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
             priority,
             snapshot,
             app,
+            token,
         } => {
             put_str(&mut p, tenant);
             put_u8(&mut p, *priority);
             put_str(&mut p, snapshot);
             put_blob(&mut p, app);
+            put_str(&mut p, token);
         }
         Frame::Status { job } => put_u64(&mut p, *job),
         Frame::Cancel { job } => put_u64(&mut p, *job),
@@ -448,15 +465,21 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
             kind,
             detail,
             value,
+            event_seq,
         } => {
             put_u64(&mut p, *job);
             put_u8(&mut p, kind.code());
             put_str(&mut p, detail);
             put_u64(&mut p, *value);
+            put_u64(&mut p, *event_seq);
         }
         Frame::Mux { job, inner } => {
             put_u64(&mut p, *job);
             put_blob(&mut p, inner);
+        }
+        Frame::Watch { job, after_seq } => {
+            put_u64(&mut p, *job);
+            put_u64(&mut p, *after_seq);
         }
     }
     p
@@ -536,6 +559,7 @@ fn decode_payload(ty: u8, payload: &[u8]) -> Result<Frame, FrameError> {
             priority: c.u8()?,
             snapshot: c.string()?,
             app: c.blob()?,
+            token: c.string()?,
         },
         11 => Frame::Status { job: c.u64()? },
         12 => Frame::Cancel { job: c.u64()? },
@@ -550,10 +574,15 @@ fn decode_payload(ty: u8, payload: &[u8]) -> Result<Frame, FrameError> {
             kind: EventKind::from_code(c.u8()?)?,
             detail: c.string()?,
             value: c.u64()?,
+            event_seq: c.u64()?,
         },
         15 => Frame::Mux {
             job: c.u64()?,
             inner: c.blob()?,
+        },
+        16 => Frame::Watch {
+            job: c.u64()?,
+            after_seq: c.u64()?,
         },
         other => return Err(FrameError::UnknownType(other)),
     };
@@ -818,12 +847,14 @@ mod tests {
                 priority: 7,
                 snapshot: "gen:mico:200:1".into(),
                 app: vec![1, 2, 3, 4],
+                token: "acme-42-a9".into(),
             },
             Frame::Submit {
                 tenant: String::new(),
                 priority: 0,
                 snapshot: String::new(),
                 app: vec![],
+                token: String::new(),
             },
             Frame::Status { job: 42 },
             Frame::Cancel { job: u64::MAX },
@@ -844,16 +875,26 @@ mod tests {
                 kind: EventKind::Progress,
                 detail: "round 2".into(),
                 value: 17,
+                event_seq: 3,
             },
             Frame::JobEvent {
                 job: 10,
                 kind: EventKind::Rejected,
                 detail: "tenant quota".into(),
                 value: 0,
+                event_seq: 0,
             },
             Frame::Mux {
                 job: 4,
                 inner: encode_frame(11, &Frame::Done { round: 1 }),
+            },
+            Frame::Watch {
+                job: 12,
+                after_seq: 5,
+            },
+            Frame::Watch {
+                job: 0,
+                after_seq: 0,
             },
         ]
     }
@@ -984,6 +1025,7 @@ mod tests {
         put_u8(&mut payload, 99); // invalid kind
         put_str(&mut payload, "x");
         put_u64(&mut payload, 0);
+        put_u64(&mut payload, 0); // event_seq
         assert_eq!(
             decode_frame(&frame_with_payload(14, &payload)).unwrap_err(),
             FrameError::Malformed("event kind")
@@ -997,7 +1039,8 @@ mod tests {
         put_blob(&mut payload, &[0xFF, 0xFE, 0x80]); // tenant
         put_u8(&mut payload, 0); // priority
         put_str(&mut payload, "snap");
-        put_blob(&mut payload, &[]);
+        put_blob(&mut payload, &[]); // app
+        put_str(&mut payload, "tok");
         assert_eq!(
             decode_frame(&frame_with_payload(10, &payload)).unwrap_err(),
             FrameError::Malformed("utf-8 string")

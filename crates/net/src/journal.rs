@@ -1,0 +1,682 @@
+//! Write-ahead job journal: the serve daemon's crash-consistency spine.
+//!
+//! Every admission-control decision and every flush-is-commit boundary
+//! is recorded as a checksummed, versioned, append-only record and
+//! fsynced before the daemon acts on it. On restart the daemon replays
+//! the journal, re-admits incomplete jobs in their original
+//! priority/FIFO order and resumes each from its last committed
+//! word-set, so a SIGKILL mid-job loses at most the uncommitted tail of
+//! work — never a whole job, and never exactly-once-ness of results.
+//!
+//! Record wire format (big-endian, mirroring the frame protocol):
+//!
+//! ```text
+//! | magic u32 | version u8 | type u8 | payload_len u32 |
+//! | payload (payload_len bytes) | checksum u64 (FNV-1a over all prior) |
+//! ```
+//!
+//! Replay is torn-write tolerant: decoding stops at the first record
+//! that is truncated or fails its checksum, keeping the longest valid
+//! prefix. Opening the journal for append truncates the file back to
+//! that prefix so a torn tail can never be extended into a valid-looking
+//! record by later appends.
+
+use crate::frame::MAX_PAYLOAD;
+use fractal_runtime::steal::fnv1a64;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Journal record magic ("FJ" + record-format tag).
+pub const JOURNAL_MAGIC: u32 = 0xF24A_4E01;
+/// Journal format version.
+pub const JOURNAL_VERSION: u8 = 1;
+/// Fixed header size: magic + version + type + payload_len.
+pub const RECORD_HEADER_LEN: usize = 10;
+/// Trailing checksum size.
+pub const RECORD_CHECKSUM_LEN: usize = 8;
+/// The journal file inside `--journal <dir>`.
+pub const JOURNAL_FILE: &str = "jobs.journal";
+
+/// One durable event in a job's lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// The admission decision: written (and fsynced) *before* the client
+    /// sees `Accepted`, so an acknowledged job can never be lost.
+    JobAdmitted {
+        job: u64,
+        /// Client-generated idempotency token: a retry of the same
+        /// logical submission after an ambiguous failure re-uses the
+        /// token and must not double-admit.
+        token: String,
+        tenant: String,
+        priority: u8,
+        /// Original FIFO position; replay re-admits in this order.
+        submit_seq: u64,
+        snapshot: String,
+        /// Encoded [`crate::blob::AppSpec`].
+        app: Vec<u8>,
+    },
+    /// The scheduler dispatched the job.
+    JobStarted { job: u64 },
+    /// A flush-is-commit boundary: the driver merged every worker's
+    /// `AggFlush` for a round. Carries the *cumulative* resume state so
+    /// only the latest record matters for recovery.
+    WordSetCommitted {
+        job: u64,
+        /// Rounds fully committed (resume starts at this round index).
+        rounds_done: u32,
+        /// Cumulative count through the committed rounds.
+        count: u64,
+        /// Cumulative aggregation state (app-specific blob).
+        agg: Vec<u8>,
+    },
+    /// Terminal: finished, with the full result payload so a restarted
+    /// daemon can still serve `Result` fetches.
+    JobFinished {
+        job: u64,
+        count: u64,
+        agg: Vec<u8>,
+        report: Vec<u8>,
+    },
+    /// Terminal: cancelled.
+    JobCancelled { job: u64 },
+    /// Terminal: failed.
+    JobFailed { job: u64, error: String },
+}
+
+impl Record {
+    fn type_code(&self) -> u8 {
+        match self {
+            Record::JobAdmitted { .. } => 1,
+            Record::JobStarted { .. } => 2,
+            Record::WordSetCommitted { .. } => 3,
+            Record::JobFinished { .. } => 4,
+            Record::JobCancelled { .. } => 5,
+            Record::JobFailed { .. } => 6,
+        }
+    }
+
+    /// The job this record belongs to.
+    pub fn job(&self) -> u64 {
+        match *self {
+            Record::JobAdmitted { job, .. }
+            | Record::JobStarted { job }
+            | Record::WordSetCommitted { job, .. }
+            | Record::JobFinished { job, .. }
+            | Record::JobCancelled { job }
+            | Record::JobFailed { job, .. } => job,
+        }
+    }
+}
+
+// ---- payload codec (self-contained; mirrors the frame codec idiom) ----
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+struct Rd<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Rd { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_be_bytes(b.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_be_bytes(b.try_into().unwrap()))
+    }
+    fn bytes(&mut self) -> Option<Vec<u8>> {
+        let n = self.u32()? as usize;
+        // Length guard: the announced size can never exceed what is
+        // actually present, so a hostile length cannot over-allocate.
+        if n > self.buf.len() - self.pos {
+            return None;
+        }
+        self.take(n).map(|b| b.to_vec())
+    }
+    fn string(&mut self) -> Option<String> {
+        String::from_utf8(self.bytes()?).ok()
+    }
+    fn finish(self) -> Option<()> {
+        (self.pos == self.buf.len()).then_some(())
+    }
+}
+
+fn encode_payload(r: &Record) -> Vec<u8> {
+    let mut out = Vec::new();
+    match r {
+        Record::JobAdmitted {
+            job,
+            token,
+            tenant,
+            priority,
+            submit_seq,
+            snapshot,
+            app,
+        } => {
+            put_u64(&mut out, *job);
+            put_str(&mut out, token);
+            put_str(&mut out, tenant);
+            put_u8(&mut out, *priority);
+            put_u64(&mut out, *submit_seq);
+            put_str(&mut out, snapshot);
+            put_bytes(&mut out, app);
+        }
+        Record::JobStarted { job } => put_u64(&mut out, *job),
+        Record::WordSetCommitted {
+            job,
+            rounds_done,
+            count,
+            agg,
+        } => {
+            put_u64(&mut out, *job);
+            put_u32(&mut out, *rounds_done);
+            put_u64(&mut out, *count);
+            put_bytes(&mut out, agg);
+        }
+        Record::JobFinished {
+            job,
+            count,
+            agg,
+            report,
+        } => {
+            put_u64(&mut out, *job);
+            put_u64(&mut out, *count);
+            put_bytes(&mut out, agg);
+            put_bytes(&mut out, report);
+        }
+        Record::JobCancelled { job } => put_u64(&mut out, *job),
+        Record::JobFailed { job, error } => {
+            put_u64(&mut out, *job);
+            put_str(&mut out, error);
+        }
+    }
+    out
+}
+
+fn decode_payload(code: u8, payload: &[u8]) -> Option<Record> {
+    let mut r = Rd::new(payload);
+    let rec = match code {
+        1 => Record::JobAdmitted {
+            job: r.u64()?,
+            token: r.string()?,
+            tenant: r.string()?,
+            priority: r.u8()?,
+            submit_seq: r.u64()?,
+            snapshot: r.string()?,
+            app: r.bytes()?,
+        },
+        2 => Record::JobStarted { job: r.u64()? },
+        3 => Record::WordSetCommitted {
+            job: r.u64()?,
+            rounds_done: r.u32()?,
+            count: r.u64()?,
+            agg: r.bytes()?,
+        },
+        4 => Record::JobFinished {
+            job: r.u64()?,
+            count: r.u64()?,
+            agg: r.bytes()?,
+            report: r.bytes()?,
+        },
+        5 => Record::JobCancelled { job: r.u64()? },
+        6 => Record::JobFailed {
+            job: r.u64()?,
+            error: r.string()?,
+        },
+        _ => return None,
+    };
+    r.finish()?;
+    Some(rec)
+}
+
+/// Encodes one record into its durable representation (header + payload
+/// + checksum).
+pub fn encode_record(r: &Record) -> Vec<u8> {
+    let payload = encode_payload(r);
+    debug_assert!(payload.len() <= MAX_PAYLOAD as usize);
+    let mut out = Vec::with_capacity(RECORD_HEADER_LEN + payload.len() + RECORD_CHECKSUM_LEN);
+    put_u32(&mut out, JOURNAL_MAGIC);
+    put_u8(&mut out, JOURNAL_VERSION);
+    put_u8(&mut out, r.type_code());
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(&payload);
+    let sum = fnv1a64(&out);
+    put_u64(&mut out, sum);
+    out
+}
+
+/// Attempts to decode one record at the start of `buf`. Returns the
+/// record and the bytes it consumed, or `None` if the prefix is
+/// truncated, torn, or corrupt — the replay stop condition.
+pub fn decode_record(buf: &[u8]) -> Option<(Record, usize)> {
+    if buf.len() < RECORD_HEADER_LEN {
+        return None;
+    }
+    let magic = u32::from_be_bytes(buf[0..4].try_into().unwrap());
+    if magic != JOURNAL_MAGIC || buf[4] != JOURNAL_VERSION {
+        return None;
+    }
+    let code = buf[5];
+    let len = u32::from_be_bytes(buf[6..10].try_into().unwrap());
+    if len > MAX_PAYLOAD {
+        return None;
+    }
+    let total = RECORD_HEADER_LEN + len as usize + RECORD_CHECKSUM_LEN;
+    if buf.len() < total {
+        return None;
+    }
+    let body = &buf[..RECORD_HEADER_LEN + len as usize];
+    let sum = u64::from_be_bytes(buf[total - 8..total].try_into().unwrap());
+    if fnv1a64(body) != sum {
+        return None;
+    }
+    let rec = decode_payload(code, &body[RECORD_HEADER_LEN..])?;
+    Some((rec, total))
+}
+
+/// Replays `bytes`, returning every record of the longest valid prefix
+/// plus that prefix's byte length.
+pub fn replay_prefix(bytes: &[u8]) -> (Vec<Record>, usize) {
+    let mut records = Vec::new();
+    let mut pos = 0;
+    while let Some((rec, used)) = decode_record(&bytes[pos..]) {
+        records.push(rec);
+        pos += used;
+    }
+    (records, pos)
+}
+
+/// A job's terminal state as reconstructed from the journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayTerminal {
+    Finished {
+        count: u64,
+        agg: Vec<u8>,
+        report: Vec<u8>,
+    },
+    Cancelled,
+    Failed(String),
+}
+
+/// One job's folded journal history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayJob {
+    pub token: String,
+    pub tenant: String,
+    pub priority: u8,
+    pub submit_seq: u64,
+    pub snapshot: String,
+    /// Encoded [`crate::blob::AppSpec`].
+    pub app: Vec<u8>,
+    /// How many `JobStarted` records were journaled (one per dispatch:
+    /// more than one means the daemon crashed mid-run and restarted the
+    /// job). Doubles as the event-stream epoch: each restart re-emits
+    /// lifecycle events under a higher epoch so sequence numbers never
+    /// move backwards across a daemon restart.
+    pub starts: u64,
+    /// Latest committed word-set: `(rounds_done, cumulative count,
+    /// cumulative agg blob)`. Later commits supersede earlier ones.
+    pub committed: Option<(u32, u64, Vec<u8>)>,
+    pub terminal: Option<ReplayTerminal>,
+}
+
+impl ReplayJob {
+    /// Incomplete jobs are re-admitted on restart.
+    pub fn incomplete(&self) -> bool {
+        self.terminal.is_none()
+    }
+}
+
+/// The daemon-relevant result of replaying a journal.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Valid records replayed (drives the `journal_replayed` counter).
+    pub replayed: u64,
+    /// Byte length of the valid prefix (the torn tail starts here).
+    pub valid_len: u64,
+    /// Per-job folded state, keyed by job id (iteration is id-ordered).
+    pub jobs: BTreeMap<u64, ReplayJob>,
+}
+
+impl Replay {
+    /// Folds a record stream into per-job state. Records for jobs with
+    /// no preceding `JobAdmitted` are tolerated and dropped: the
+    /// write-ahead discipline makes them impossible to *write*, but a
+    /// hand-edited or partially-copied journal must still replay.
+    pub fn fold(records: Vec<Record>, valid_len: usize) -> Replay {
+        let mut rep = Replay {
+            replayed: records.len() as u64,
+            valid_len: valid_len as u64,
+            jobs: BTreeMap::new(),
+        };
+        for rec in records {
+            match rec {
+                Record::JobAdmitted {
+                    job,
+                    token,
+                    tenant,
+                    priority,
+                    submit_seq,
+                    snapshot,
+                    app,
+                } => {
+                    rep.jobs.entry(job).or_insert(ReplayJob {
+                        token,
+                        tenant,
+                        priority,
+                        submit_seq,
+                        snapshot,
+                        app,
+                        starts: 0,
+                        committed: None,
+                        terminal: None,
+                    });
+                }
+                Record::JobStarted { job } => {
+                    if let Some(j) = rep.jobs.get_mut(&job) {
+                        j.starts += 1;
+                    }
+                }
+                Record::WordSetCommitted {
+                    job,
+                    rounds_done,
+                    count,
+                    agg,
+                } => {
+                    if let Some(j) = rep.jobs.get_mut(&job) {
+                        j.committed = Some((rounds_done, count, agg));
+                    }
+                }
+                Record::JobFinished {
+                    job,
+                    count,
+                    agg,
+                    report,
+                } => {
+                    if let Some(j) = rep.jobs.get_mut(&job) {
+                        j.terminal = Some(ReplayTerminal::Finished { count, agg, report });
+                    }
+                }
+                Record::JobCancelled { job } => {
+                    if let Some(j) = rep.jobs.get_mut(&job) {
+                        j.terminal = Some(ReplayTerminal::Cancelled);
+                    }
+                }
+                Record::JobFailed { job, error } => {
+                    if let Some(j) = rep.jobs.get_mut(&job) {
+                        j.terminal = Some(ReplayTerminal::Failed(error));
+                    }
+                }
+            }
+        }
+        rep
+    }
+
+    /// Incomplete jobs in original admission order (priority is applied
+    /// by the scheduler, exactly as for live submissions).
+    pub fn incomplete_jobs(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| j.incomplete())
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_by_key(|id| self.jobs[id].submit_seq);
+        ids
+    }
+}
+
+/// An open, append-only journal. Every [`Journal::append`] is fsynced
+/// before it returns: callers act on journaled state only after the
+/// record is durable (write-ahead).
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal in `dir`, replays the
+    /// existing contents, truncates any torn tail, and returns the
+    /// journal positioned for append plus the replay result.
+    pub fn open(dir: &Path) -> io::Result<(Journal, Replay)> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(JOURNAL_FILE);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let (records, valid_len) = replay_prefix(&bytes);
+        if valid_len < bytes.len() {
+            // Torn tail: cut it off so appends extend the valid prefix.
+            file.set_len(valid_len as u64)?;
+            file.sync_data()?;
+        }
+        use std::io::Seek as _;
+        file.seek(io::SeekFrom::Start(valid_len as u64))?;
+        let replay = Replay::fold(records, valid_len);
+        Ok((Journal { file, path }, replay))
+    }
+
+    /// Appends one record and fsyncs it. On return the record is durable.
+    pub fn append(&mut self, rec: &Record) -> io::Result<()> {
+        let bytes = encode_record(rec);
+        self.file.write_all(&bytes)?;
+        self.file.sync_data()
+    }
+
+    /// The journal file path (diagnostics, smoke-test assertions).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::JobAdmitted {
+                job: 1,
+                token: "tok-a".into(),
+                tenant: "acme".into(),
+                priority: 3,
+                submit_seq: 0,
+                snapshot: "gen:mico:300:11".into(),
+                app: vec![1, 2, 3],
+            },
+            Record::JobStarted { job: 1 },
+            Record::WordSetCommitted {
+                job: 1,
+                rounds_done: 1,
+                count: 42,
+                agg: vec![9, 9],
+            },
+            Record::JobFinished {
+                job: 1,
+                count: 99,
+                agg: vec![4],
+                report: vec![5, 6],
+            },
+            Record::JobCancelled { job: 2 },
+            Record::JobFailed {
+                job: 3,
+                error: "no live workers".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn record_round_trip() {
+        for rec in sample_records() {
+            let bytes = encode_record(&rec);
+            let (back, used) = decode_record(&bytes).expect("decode");
+            assert_eq!(back, rec);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn replay_stops_at_torn_tail() {
+        let recs = sample_records();
+        let mut bytes = Vec::new();
+        for r in &recs {
+            bytes.extend_from_slice(&encode_record(r));
+        }
+        let full_len = bytes.len();
+        // Whole stream replays.
+        let (replayed, len) = replay_prefix(&bytes);
+        assert_eq!(replayed, recs);
+        assert_eq!(len, full_len);
+        // Chop mid-final-record: everything before it survives.
+        bytes.truncate(full_len - 3);
+        let (replayed, len) = replay_prefix(&bytes);
+        assert_eq!(replayed.len(), recs.len() - 1);
+        assert!(len <= bytes.len());
+    }
+
+    #[test]
+    fn replay_stops_at_corrupt_record() {
+        let recs = sample_records();
+        let mut bytes = Vec::new();
+        let mut offsets = Vec::new();
+        for r in &recs {
+            offsets.push(bytes.len());
+            bytes.extend_from_slice(&encode_record(r));
+        }
+        // Flip one byte inside the third record's payload.
+        bytes[offsets[2] + RECORD_HEADER_LEN] ^= 0xFF;
+        let (replayed, len) = replay_prefix(&bytes);
+        assert_eq!(replayed.len(), 2, "replay must stop at the corruption");
+        assert_eq!(len, offsets[2]);
+    }
+
+    #[test]
+    fn fold_builds_job_state_machine() {
+        let rep = Replay::fold(sample_records(), 123);
+        assert_eq!(rep.replayed, 6);
+        assert_eq!(rep.valid_len, 123);
+        let j1 = &rep.jobs[&1];
+        assert_eq!(j1.starts, 1);
+        assert_eq!(j1.committed.as_ref().unwrap().0, 1);
+        assert!(matches!(
+            j1.terminal,
+            Some(ReplayTerminal::Finished { count: 99, .. })
+        ));
+        assert!(!j1.incomplete());
+        // Orphan terminal records (no JobAdmitted) are dropped.
+        assert!(!rep.jobs.contains_key(&2));
+        assert!(!rep.jobs.contains_key(&3));
+    }
+
+    #[test]
+    fn incomplete_jobs_keep_fifo_order() {
+        let recs = vec![
+            Record::JobAdmitted {
+                job: 7,
+                token: "b".into(),
+                tenant: "t".into(),
+                priority: 0,
+                submit_seq: 2,
+                snapshot: "s".into(),
+                app: vec![],
+            },
+            Record::JobAdmitted {
+                job: 4,
+                token: "a".into(),
+                tenant: "t".into(),
+                priority: 0,
+                submit_seq: 1,
+                snapshot: "s".into(),
+                app: vec![],
+            },
+            Record::JobAdmitted {
+                job: 9,
+                token: "c".into(),
+                tenant: "t".into(),
+                priority: 0,
+                submit_seq: 3,
+                snapshot: "s".into(),
+                app: vec![],
+            },
+            Record::JobCancelled { job: 4 },
+        ];
+        let rep = Replay::fold(recs, 0);
+        assert_eq!(rep.incomplete_jobs(), vec![7, 9]);
+    }
+
+    #[test]
+    fn open_truncates_torn_tail_and_appends() {
+        let dir = std::env::temp_dir().join(format!(
+            "fractal-journal-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (mut j, rep) = Journal::open(&dir).expect("open fresh");
+            assert_eq!(rep.replayed, 0);
+            for r in sample_records() {
+                j.append(&r).expect("append");
+            }
+        }
+        // Tear the tail: append garbage plus a partial record.
+        let path = dir.join(JOURNAL_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let good_len = bytes.len();
+        bytes.extend_from_slice(&encode_record(&Record::JobStarted { job: 9 })[..7]);
+        std::fs::write(&path, &bytes).unwrap();
+        {
+            let (mut j, rep) = Journal::open(&dir).expect("reopen");
+            assert_eq!(rep.replayed, 6);
+            assert_eq!(rep.valid_len as usize, good_len);
+            // The torn bytes are gone from disk…
+            assert_eq!(std::fs::metadata(&path).unwrap().len() as usize, good_len);
+            // …and a fresh append lands after the valid prefix.
+            j.append(&Record::JobStarted { job: 9 }).expect("append");
+        }
+        let (_, rep) = Journal::open(&dir).expect("final open");
+        assert_eq!(rep.replayed, 7);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

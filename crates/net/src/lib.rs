@@ -23,7 +23,16 @@
 //!   per-tenant quotas, LRU-cached graph snapshots shared across jobs,
 //!   and several concurrent jobs multiplexed over the same worker
 //!   connections via job-id tagged [`frame::Frame::Mux`] envelopes.
-//! - [`client`] — the submit/status/cancel/result client side.
+//! - [`client`] — the submit/status/cancel/result client side, with a
+//!   reconnect-with-backoff event-stream wait that survives transient
+//!   disconnects.
+//! - [`journal`] — the serve daemon's write-ahead job journal: durable
+//!   admission/commit/terminal records with torn-write-tolerant replay,
+//!   powering crash-consistent restarts (`serve --journal <dir>`).
+//! - [`linkfault`] — the link-degradation fault envelope: deterministic
+//!   delay/duplicate/reorder injection at the `FrameSource`/`FrameSink`
+//!   layer plus the receive-side duplicate suppression that keeps
+//!   degraded links exactly-once.
 //!
 //! Failure model: the driver is reliable (its failure fails the job);
 //! workers may die at any point. A worker death mid-round returns *all*
@@ -35,15 +44,19 @@ pub mod blob;
 pub mod client;
 pub mod driver;
 pub mod frame;
+pub mod journal;
+pub mod linkfault;
 pub mod serve;
 pub mod worker;
 
 pub use blob::AppSpec;
-pub use client::{Client, JobTerminal};
+pub use client::{Client, JobTerminal, ReconnectPolicy};
 pub use driver::{
     render_per_worker, run_cluster, run_cluster_links, ChaosKill, ClusterResult, DriverConfig,
-    LocalCluster, WorkerSummary,
+    LocalCluster, ResumeState, WorkerSummary,
 };
 pub use frame::EventKind;
+pub use journal::{Journal, Record, Replay};
+pub use linkfault::{DedupSource, FaultySink};
 pub use serve::{load_snapshot, ServeConfig, Server};
-pub use worker::{serve, ServeOutcome};
+pub use worker::{serve, serve_conn, serve_with, ServeOutcome};

@@ -29,15 +29,18 @@
 //!   job — survivors and unrelated jobs never notice.
 
 use crate::blob::{self, AppSpec};
-use crate::driver::{run_cluster_links, DriverConfig};
+use crate::driver::{run_cluster_links, DriverConfig, ResumeState};
 use crate::frame::{
     read_frame, ChannelSource, EventKind, Frame, FrameSink, MuxSink, Role, SHUTDOWN_ROUND,
 };
+use crate::journal::{Journal, Record, Replay, ReplayTerminal};
+use crate::linkfault::DedupWindow;
 use fractal_graph::{gen, io::load_adjacency_list, Graph};
 use fractal_runtime::sync::{AtomicBool, AtomicU32, AtomicU64, Mutex, Ordering};
 use std::collections::HashMap;
 use std::io;
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread;
@@ -60,6 +63,11 @@ pub struct ServeConfig {
     pub snapshot_budget_bytes: u64,
     /// Per-job driver heartbeat staleness timeout.
     pub heartbeat_timeout: Duration,
+    /// Directory of the write-ahead job journal. When set, every
+    /// admission/commit/terminal transition is journaled (fsynced) before
+    /// clients observe it, and [`Server::bind`] replays the journal to
+    /// resume incomplete jobs after a crash.
+    pub journal_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +78,7 @@ impl Default for ServeConfig {
             max_running: 4,
             snapshot_budget_bytes: 256 << 20,
             heartbeat_timeout: Duration::from_millis(2000),
+            journal_dir: None,
         }
     }
 }
@@ -82,6 +91,13 @@ pub struct ServeStats {
     pub jobs_admitted: AtomicU64,
     pub jobs_rejected: AtomicU64,
     pub snapshot_evictions: AtomicU64,
+    /// Valid journal records replayed at startup.
+    pub journal_replayed: AtomicU64,
+    /// Jobs that restarted from a journaled committed word-set.
+    pub resumed_jobs: AtomicU64,
+    /// Exactly-once tenant-quota releases (one per terminalized job; the
+    /// cancel-vs-dispatch regression test asserts this never double-fires).
+    pub quota_releases: AtomicU64,
 }
 
 // ---- snapshot cache ----
@@ -218,15 +234,30 @@ impl WorkerLink {
         let routes = Arc::clone(&link.routes);
         let dead = Arc::clone(&link.dead);
         thread::spawn(move || {
+            // Receive-side half of the link-fault envelope: a worker on a
+            // degraded link may send a virtual frame twice, and the
+            // drivers' merge paths (AggFlush) are not idempotent — so
+            // each job's inner frames pass a dedup window keyed on
+            // (seq, content hash): inner seqs alone are not unique
+            // because steal replies echo the requester's seq, which can
+            // collide with the session's own counter. Entries are tiny
+            // and bounded by the jobs this link ever carried.
+            let mut dedup: HashMap<u64, DedupWindow> = HashMap::new();
             loop {
                 match read_frame(&mut reader) {
                     Ok((_, Frame::Mux { job, inner })) => {
-                        if let Ok(f) = crate::frame::decode_frame(&inner) {
+                        if let Ok((seq, f)) = crate::frame::decode_frame(&inner) {
+                            // `inner` IS the frame's canonical encoding,
+                            // so hashing it equals content_hash(seq, f).
+                            let h = fractal_runtime::steal::fnv1a64(&inner);
+                            if !dedup.entry(job).or_default().fresh(seq, h) {
+                                continue; // injected duplicate
+                            }
                             let routes = routes.lock();
                             if let Some(tx) = routes.get(&job) {
                                 // A send to a finished job's dropped
                                 // receiver is stale traffic; ignore it.
-                                let _ = tx.send(f);
+                                let _ = tx.send((seq, f));
                             }
                         }
                     }
@@ -296,11 +327,25 @@ struct JobRecord {
     submit_seq: u64,
     app: AppSpec,
     snapshot: String,
+    /// Client-generated idempotency token ("" = none).
+    token: String,
     state: JobState,
     cancel: Arc<AtomicBool>,
     outcome: Option<JobOutcome>,
     error: String,
     subscribers: Vec<Arc<ClientConn>>,
+    /// Whether this job's tenant-quota slot has been given back. Exactly
+    /// one release per job, whatever the cancel/dispatch interleaving.
+    quota_released: bool,
+    /// Base of this job's `event_seq` numbers: `(journaled starts) << 32`.
+    /// Each daemon restart re-emits under a higher epoch, so sequence
+    /// numbers never move backwards and a reconnecting watcher's
+    /// `after_seq` filter stays sound across restarts.
+    epoch_base: u64,
+    /// This epoch's sequenced event log, replayed to `Watch` subscribers.
+    events: Vec<Frame>,
+    /// Journaled committed word-set to resume from (restart path).
+    resume: Option<ResumeState>,
 }
 
 struct ServerState {
@@ -311,6 +356,8 @@ struct ServerState {
     queue: Vec<u64>,
     running: usize,
     tenant_inflight: HashMap<String, usize>,
+    /// Idempotency token → admitted job id (re-submissions re-reply).
+    tokens: HashMap<String, u64>,
     snapshots: SnapshotCache,
 }
 
@@ -354,6 +401,22 @@ struct ServerInner {
     links: Vec<WorkerLink>,
     state: Mutex<ServerState>,
     sched_tx: Sender<()>,
+    /// The write-ahead journal (when `journal_dir` is configured). Lock
+    /// order: `state` before `journal`, never the other way around.
+    journal: Option<Mutex<Journal>>,
+}
+
+impl ServerInner {
+    /// Appends one record to the journal (fsynced) if journaling is on.
+    /// Non-admission records are best-effort: a failed append is logged
+    /// but cannot un-happen the in-memory transition it describes.
+    fn journal_append(&self, rec: &Record) {
+        if let Some(j) = &self.journal {
+            if let Err(e) = j.lock().append(rec) {
+                eprintln!("journal: append failed: {e}");
+            }
+        }
+    }
 }
 
 /// The serve daemon. [`Server::bind`] wires the worker links and the
@@ -377,25 +440,68 @@ impl Server {
         for (stream, name) in workers {
             links.push(WorkerLink::start(stream, name)?);
         }
+        let mut state = ServerState {
+            next_job: 1,
+            submit_seq: 0,
+            jobs: HashMap::new(),
+            queue: Vec::new(),
+            running: 0,
+            tenant_inflight: HashMap::new(),
+            tokens: HashMap::new(),
+            snapshots: SnapshotCache::new(config.snapshot_budget_bytes),
+        };
+        let stats = ServeStats::default();
+        let journal = match &config.journal_dir {
+            None => None,
+            Some(dir) => {
+                let (journal, replay) = Journal::open(dir)?;
+                // ordering: Relaxed — startup, before any concurrency.
+                stats
+                    .journal_replayed
+                    .store(replay.replayed, Ordering::Relaxed);
+                restore_from_replay(&mut state, &replay);
+                Some(Mutex::new(journal))
+            }
+        };
+        let resumable = !state.queue.is_empty();
         let (sched_tx, sched_rx) = channel();
         let inner = Arc::new(ServerInner {
-            state: Mutex::new(ServerState {
-                next_job: 1,
-                submit_seq: 0,
-                jobs: HashMap::new(),
-                queue: Vec::new(),
-                running: 0,
-                tenant_inflight: HashMap::new(),
-                snapshots: SnapshotCache::new(config.snapshot_budget_bytes),
-            }),
+            state: Mutex::new(state),
             config,
-            stats: ServeStats::default(),
+            stats,
             links,
             sched_tx,
+            journal,
         });
         let sched_inner = Arc::clone(&inner);
         thread::spawn(move || scheduler_loop(sched_inner, sched_rx));
+        if resumable {
+            let _ = inner.sched_tx.send(());
+        }
         Ok(Server { inner, listener })
+    }
+
+    /// Test/introspection accessor: a tenant's current in-flight count.
+    pub fn tenant_inflight(&self, tenant: &str) -> usize {
+        self.inner
+            .state
+            .lock()
+            .tenant_inflight
+            .get(tenant)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Test/introspection accessor: total exactly-once quota releases.
+    pub fn quota_releases(&self) -> u64 {
+        // ordering: Relaxed — monotonic diagnostic counter.
+        self.inner.stats.quota_releases.load(Ordering::Relaxed)
+    }
+
+    /// Test/introspection accessor: jobs resumed from journaled commits.
+    pub fn resumed_jobs(&self) -> u64 {
+        // ordering: Relaxed — monotonic diagnostic counter.
+        self.inner.stats.resumed_jobs.load(Ordering::Relaxed)
     }
 
     /// The client listener's bound address.
@@ -413,6 +519,81 @@ impl Server {
                 let _ = serve_client(inner, stream);
             });
         }
+    }
+}
+
+/// Rebuilds the job table from a replayed journal: terminal jobs keep
+/// their results servable, incomplete jobs re-queue with their original
+/// priority and FIFO position — each resuming from its last committed
+/// word-set, so an interrupted run's final counts stay bit-identical to
+/// an uninterrupted one.
+fn restore_from_replay(state: &mut ServerState, replay: &Replay) {
+    for (&id, rj) in &replay.jobs {
+        state.next_job = state.next_job.max(id + 1);
+        state.submit_seq = state.submit_seq.max(rj.submit_seq);
+        let (app, mut err) = match blob::decode_app_spec(&rj.app) {
+            Ok(app) => (app, String::new()),
+            Err(e) => (
+                // Placeholder app for an undecodable record; the job is
+                // forced Failed below and never dispatched.
+                AppSpec::Kclist { k: 3 },
+                format!("journal: undecodable app spec: {e}"),
+            ),
+        };
+        let mut rec = JobRecord {
+            tenant: rj.tenant.clone(),
+            priority: rj.priority,
+            submit_seq: rj.submit_seq,
+            app,
+            snapshot: rj.snapshot.clone(),
+            token: rj.token.clone(),
+            state: JobState::Failed,
+            cancel: Arc::new(AtomicBool::new(false)),
+            outcome: None,
+            error: String::new(),
+            subscribers: Vec::new(),
+            // Terminal jobs never release again; incomplete ones own one
+            // freshly re-taken quota slot.
+            quota_released: true,
+            epoch_base: rj.starts << 32,
+            events: Vec::new(),
+            resume: None,
+        };
+        match (&rj.terminal, err.is_empty()) {
+            (_, false) => rec.error = std::mem::take(&mut err),
+            (Some(ReplayTerminal::Finished { count, agg, report }), true) => {
+                rec.state = JobState::Done;
+                rec.outcome = Some(JobOutcome {
+                    count: *count,
+                    agg: agg.clone(),
+                    report: report.clone(),
+                });
+            }
+            (Some(ReplayTerminal::Cancelled), true) => rec.state = JobState::Cancelled,
+            (Some(ReplayTerminal::Failed(e)), true) => rec.error = e.clone(),
+            (None, true) => {
+                rec.state = JobState::Queued;
+                rec.quota_released = false;
+                rec.resume = rj.committed.as_ref().and_then(|(rounds, count, agg)| {
+                    match ResumeState::decode(&rec.app, *rounds, *count, agg) {
+                        Ok(rs) => Some(rs),
+                        Err(e) => {
+                            // A commit record that no longer decodes is
+                            // dropped: the job restarts from scratch,
+                            // which is slower but still exact.
+                            eprintln!("journal: job {id}: ignoring commit: {e}");
+                            None
+                        }
+                    }
+                });
+                *state.tenant_inflight.entry(rj.tenant.clone()).or_insert(0) += 1;
+                state.queue.push(id);
+            }
+        }
+        if !rj.token.is_empty() {
+            state.tokens.insert(rj.token.clone(), id);
+        }
+        state.jobs.insert(id, rec);
     }
 }
 
@@ -438,67 +619,137 @@ fn scheduler_loop(inner: Arc<ServerInner>, rx: Receiver<()>) {
     }
 }
 
-/// Sends `frame` to every subscriber of `job` (best-effort).
-fn emit(inner: &ServerInner, job: u64, frame: &Frame) {
-    let subs: Vec<Arc<ClientConn>> = {
-        let st = inner.state.lock();
-        match st.jobs.get(&job) {
-            Some(rec) => rec.subscribers.clone(),
-            None => return,
-        }
-    };
-    for s in subs {
-        let _ = s.send(frame);
-    }
-}
-
+/// An *unsequenced* event frame (`event_seq: 0` = point-in-time reply,
+/// always delivered, never deduplicated): status replies and rejections.
 fn event(job: u64, kind: EventKind, detail: impl Into<String>, value: u64) -> Frame {
     Frame::JobEvent {
         job,
         kind,
         detail: detail.into(),
         value,
+        event_seq: 0,
     }
 }
 
-/// Runs one admitted job end-to-end on the shared pool and publishes its
-/// terminal event. Always releases the job's slot and quota.
-fn run_one_job(inner: Arc<ServerInner>, job: u64) {
-    let (app, snapshot, cancel) = {
-        let st = inner.state.lock();
-        let rec = &st.jobs[&job];
-        (rec.app, rec.snapshot.clone(), Arc::clone(&rec.cancel))
+/// Appends a *sequenced* lifecycle event to `job`'s event log and sends
+/// it to every subscriber. Runs entirely under the state lock on purpose:
+/// a concurrent `Watch` subscribes and replays the log under the same
+/// lock, so a reconnecting watcher can never see a gap or an out-of-order
+/// sequence — the property its `after_seq` dedup filter relies on.
+fn log_event_locked(
+    st: &mut ServerState,
+    job: u64,
+    kind: EventKind,
+    detail: impl Into<String>,
+    value: u64,
+) {
+    let Some(rec) = st.jobs.get_mut(&job) else {
+        return;
     };
-    emit(&inner, job, &event(job, EventKind::Running, app.name(), 0));
+    let event_seq = rec.epoch_base + rec.events.len() as u64 + 1;
+    let frame = Frame::JobEvent {
+        job,
+        kind,
+        detail: detail.into(),
+        value,
+        event_seq,
+    };
+    rec.events.push(frame.clone());
+    for s in &rec.subscribers {
+        let _ = s.send(&frame);
+    }
+}
 
-    let outcome = execute_job(&inner, job, app, &snapshot, cancel);
+/// [`log_event_locked`] taking the lock itself.
+fn log_event(
+    inner: &ServerInner,
+    job: u64,
+    kind: EventKind,
+    detail: impl Into<String>,
+    value: u64,
+) {
+    log_event_locked(&mut inner.state.lock(), job, kind, detail, value);
+}
+
+/// Gives `job`'s tenant-quota slot back — exactly once per job, whatever
+/// the cancel/dispatch interleaving (the `quota_released` latch is
+/// flipped under the same lock that serializes state transitions).
+fn release_quota(inner: &ServerInner, st: &mut ServerState, job: u64) {
+    let Some(rec) = st.jobs.get_mut(&job) else {
+        return;
+    };
+    if rec.quota_released {
+        return;
+    }
+    rec.quota_released = true;
+    let tenant = rec.tenant.clone();
+    if let Some(n) = st.tenant_inflight.get_mut(&tenant) {
+        *n = n.saturating_sub(1);
+    }
+    // ordering: Relaxed — monotonic diagnostic counter.
+    inner.stats.quota_releases.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Runs one admitted job end-to-end on the shared pool and publishes its
+/// terminal event. Always releases the job's slot and quota — exactly
+/// once. Terminal transitions are journaled (write-ahead) before clients
+/// see them.
+fn run_one_job(inner: Arc<ServerInner>, job: u64) {
+    let (app, snapshot, cancel, resume) = {
+        let mut st = inner.state.lock();
+        let rec = st.jobs.get_mut(&job).expect("dispatched job");
+        (
+            rec.app,
+            rec.snapshot.clone(),
+            Arc::clone(&rec.cancel),
+            rec.resume.take(),
+        )
+    };
+    inner.journal_append(&Record::JobStarted { job });
+    log_event(&inner, job, EventKind::Running, app.name(), 0);
+
+    let outcome = execute_job(&inner, job, app, &snapshot, cancel, resume);
+
+    // Write-ahead: the terminal record is durable before the in-memory
+    // transition happens and before any client sees the terminal event.
+    let terminal_rec = match &outcome {
+        Ok(None) => Record::JobCancelled { job },
+        Ok(Some(out)) => Record::JobFinished {
+            job,
+            count: out.count,
+            agg: out.agg.clone(),
+            report: out.report.clone(),
+        },
+        Err(e) => Record::JobFailed {
+            job,
+            error: e.to_string(),
+        },
+    };
+    inner.journal_append(&terminal_rec);
 
     let mut st = inner.state.lock();
     st.running -= 1;
     let rec = st.jobs.get_mut(&job).expect("running job");
-    let tenant = rec.tenant.clone();
-    let terminal = match outcome {
+    let (kind, detail, value) = match outcome {
         Ok(None) => {
             rec.state = JobState::Cancelled;
-            event(job, EventKind::Cancelled, "", 0)
+            (EventKind::Cancelled, String::new(), 0)
         }
         Ok(Some(out)) => {
             let count = out.count;
             rec.state = JobState::Done;
             rec.outcome = Some(out);
-            event(job, EventKind::Done, "", count)
+            (EventKind::Done, String::new(), count)
         }
         Err(e) => {
             rec.state = JobState::Failed;
             rec.error = e.to_string();
-            event(job, EventKind::Failed, rec.error.clone(), 0)
+            (EventKind::Failed, rec.error.clone(), 0)
         }
     };
-    if let Some(n) = st.tenant_inflight.get_mut(&tenant) {
-        *n = n.saturating_sub(1);
-    }
+    release_quota(&inner, &mut st, job);
+    log_event_locked(&mut st, job, kind, detail, value);
     drop(st);
-    emit(&inner, job, &terminal);
     let _ = inner.sched_tx.send(());
 }
 
@@ -511,6 +762,7 @@ fn execute_job(
     app: AppSpec,
     snapshot: &str,
     cancel: Arc<AtomicBool>,
+    resume: Option<ResumeState>,
 ) -> io::Result<Option<JobOutcome>> {
     let graph = {
         let mut st = inner.state.lock();
@@ -542,6 +794,31 @@ fn execute_job(
     let mut config = DriverConfig::new_shared(app, graph);
     config.heartbeat_timeout = inner.config.heartbeat_timeout;
     config.cancel = Some(cancel);
+    if resume.is_some() {
+        // ordering: Relaxed — monotonic diagnostic counter.
+        inner.stats.resumed_jobs.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "journal: resuming job {job} from round {}",
+            resume.as_ref().map(|r| r.rounds_done).unwrap_or(0)
+        );
+    }
+    config.resume = resume;
+    if inner.journal.is_some() {
+        // Journal every flush-is-commit boundary so a restart resumes
+        // from the last fully merged round instead of from scratch.
+        let commit_inner = Arc::clone(inner);
+        config.on_round_commit = Some(Arc::new(move |rounds_done, count, agg: &[u8]| {
+            commit_inner.journal_append(&Record::WordSetCommitted {
+                job,
+                rounds_done,
+                count,
+                agg: agg.to_vec(),
+            });
+            // Greppable marker for the restart chaos harness: seeing this
+            // line means a SIGKILL now provably tests resume-from-commit.
+            eprintln!("journal: committed job {job} round {rounds_done}");
+        }));
+    }
     // Stream coarse progress (decile steps) to subscribers.
     let progress_inner = Arc::clone(inner);
     let last_decile = Arc::new(AtomicU64::new(0));
@@ -550,10 +827,12 @@ fn execute_job(
         // ordering: Relaxed — a lost race only skips one coarse progress
         // event; the counter is monotonic within the driver thread.
         if decile > last_decile.swap(decile, Ordering::Relaxed) {
-            emit(
+            log_event(
                 &progress_inner,
                 job,
-                &event(job, EventKind::Progress, format!("round {round}"), done),
+                EventKind::Progress,
+                format!("round {round}"),
+                done,
             );
         }
     }));
@@ -579,6 +858,8 @@ fn execute_job(
     report.faults.jobs_admitted = inner.stats.jobs_admitted.load(Ordering::Relaxed);
     report.faults.jobs_rejected = inner.stats.jobs_rejected.load(Ordering::Relaxed);
     report.faults.snapshot_evictions = inner.stats.snapshot_evictions.load(Ordering::Relaxed);
+    report.faults.journal_replayed = inner.stats.journal_replayed.load(Ordering::Relaxed);
+    report.faults.resumed_jobs = inner.stats.resumed_jobs.load(Ordering::Relaxed);
     Ok(Some(JobOutcome {
         count: result.count,
         agg,
@@ -622,7 +903,9 @@ fn serve_client(inner: Arc<ServerInner>, stream: TcpStream) -> io::Result<()> {
                 priority,
                 snapshot,
                 app,
-            } => handle_submit(&inner, &conn, tenant, priority, snapshot, &app)?,
+                token,
+            } => handle_submit(&inner, &conn, tenant, priority, snapshot, &app, token)?,
+            Frame::Watch { job, after_seq } => handle_watch(&inner, &conn, job, after_seq)?,
             Frame::Status { job } => {
                 let reply = status_event(&inner, job);
                 conn.send(&reply)?;
@@ -652,7 +935,14 @@ fn serve_client(inner: Arc<ServerInner>, stream: TcpStream) -> io::Result<()> {
     }
 }
 
-/// Admission control: quota and capacity checks, queue insert, event.
+/// Admission control: idempotency-token dedup, quota and capacity
+/// checks, write-ahead journaling, queue insert, events.
+///
+/// Write-ahead ordering: the `JobAdmitted` record is fsynced *before*
+/// the job becomes schedulable and before the client sees `Accepted` —
+/// so an acknowledged job survives any crash, and a crash before the
+/// fsync only loses a job the client never saw admitted (its token
+/// retry re-admits it without double-running).
 fn handle_submit(
     inner: &Arc<ServerInner>,
     conn: &Arc<ClientConn>,
@@ -660,6 +950,7 @@ fn handle_submit(
     priority: u8,
     snapshot: String,
     app_blob: &[u8],
+    token: String,
 ) -> io::Result<()> {
     let app = match blob::decode_app_spec(app_blob) {
         Ok(app) => app,
@@ -674,8 +965,23 @@ fn handle_submit(
             ));
         }
     };
+    // Phase 1 (state lock): dedup + admission checks; reserve the id and
+    // the quota slot but do NOT make the job schedulable yet.
     let verdict = {
         let mut st = inner.state.lock();
+        if !token.is_empty() {
+            if let Some(&id) = st.tokens.get(&token) {
+                // Retry of an already-admitted submission: re-reply with
+                // the original id and attach this connection — never
+                // double-admit.
+                let rec = st.jobs.get_mut(&id).expect("token-indexed job");
+                if !rec.subscribers.iter().any(|s| Arc::ptr_eq(s, conn)) {
+                    rec.subscribers.push(Arc::clone(conn));
+                }
+                drop(st);
+                return conn.send(&event(id, EventKind::Accepted, "duplicate token", id));
+            }
+        }
         if st.queue.len() >= inner.config.max_queue {
             Err("queue full".to_string())
         } else if st
@@ -690,33 +996,72 @@ fn handle_submit(
             st.submit_seq += 1;
             let submit_seq = st.submit_seq;
             *st.tenant_inflight.entry(tenant.clone()).or_insert(0) += 1;
+            if !token.is_empty() {
+                st.tokens.insert(token.clone(), id);
+            }
             st.jobs.insert(
                 id,
                 JobRecord {
-                    tenant,
+                    tenant: tenant.clone(),
                     priority,
                     submit_seq,
                     app,
-                    snapshot,
+                    snapshot: snapshot.clone(),
+                    token: token.clone(),
                     state: JobState::Queued,
                     cancel: Arc::new(AtomicBool::new(false)),
                     outcome: None,
                     error: String::new(),
                     subscribers: vec![Arc::clone(conn)],
+                    quota_released: false,
+                    epoch_base: 0,
+                    events: Vec::new(),
+                    resume: None,
                 },
             );
-            st.queue.push(id);
-            Ok((id, st.queue.len() as u64))
+            Ok((id, submit_seq))
         }
     };
     match verdict {
-        Ok((id, qpos)) => {
-            // ordering: Relaxed — monotonic diagnostic counter.
-            inner.stats.jobs_admitted.fetch_add(1, Ordering::Relaxed);
-            conn.send(&event(id, EventKind::Accepted, "", id))?;
-            conn.send(&event(id, EventKind::Queued, "", qpos))?;
-            let _ = inner.sched_tx.send(());
-            Ok(())
+        Ok((id, submit_seq)) => {
+            // Phase 2 (no state lock): make the admission durable.
+            let durable = match &inner.journal {
+                None => Ok(()),
+                Some(j) => j.lock().append(&Record::JobAdmitted {
+                    job: id,
+                    token,
+                    tenant,
+                    priority,
+                    submit_seq,
+                    snapshot,
+                    app: app_blob.to_vec(),
+                }),
+            };
+            // Phase 3 (state lock): publish or roll back.
+            let mut st = inner.state.lock();
+            match durable {
+                Ok(()) => {
+                    st.queue.push(id);
+                    let qpos = st.queue.len() as u64;
+                    // ordering: Relaxed — monotonic diagnostic counter.
+                    inner.stats.jobs_admitted.fetch_add(1, Ordering::Relaxed);
+                    log_event_locked(&mut st, id, EventKind::Accepted, "", id);
+                    log_event_locked(&mut st, id, EventKind::Queued, "", qpos);
+                    drop(st);
+                    let _ = inner.sched_tx.send(());
+                    Ok(())
+                }
+                Err(e) => {
+                    release_quota(inner, &mut st, id);
+                    if let Some(rec) = st.jobs.remove(&id) {
+                        st.tokens.remove(&rec.token);
+                    }
+                    drop(st);
+                    // ordering: Relaxed — monotonic diagnostic counter.
+                    inner.stats.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+                    conn.send(&event(0, EventKind::Rejected, format!("journal: {e}"), 0))
+                }
+            }
         }
         Err(why) => {
             // ordering: Relaxed — monotonic diagnostic counter.
@@ -724,6 +1069,54 @@ fn handle_submit(
             conn.send(&event(0, EventKind::Rejected, why, 0))
         }
     }
+}
+
+/// `Watch { job, after_seq }`: subscribe this connection to `job`'s event
+/// stream and replay the sequenced events it missed. Subscribe + replay
+/// happen under the state lock, atomically against [`log_event_locked`]
+/// appends — the watcher sees every event exactly once, in order, even
+/// when it races a live emission.
+fn handle_watch(
+    inner: &Arc<ServerInner>,
+    conn: &Arc<ClientConn>,
+    job: u64,
+    after_seq: u64,
+) -> io::Result<()> {
+    let mut st = inner.state.lock();
+    let Some(rec) = st.jobs.get_mut(&job) else {
+        drop(st);
+        return conn.send(&event(job, EventKind::Failed, "unknown job", 0));
+    };
+    if !rec.subscribers.iter().any(|s| Arc::ptr_eq(s, conn)) {
+        rec.subscribers.push(Arc::clone(conn));
+    }
+    let mut logged_terminal = false;
+    for f in &rec.events {
+        if let Frame::JobEvent {
+            event_seq, kind, ..
+        } = f
+        {
+            logged_terminal |= kind.is_terminal();
+            if *event_seq > after_seq {
+                let _ = conn.send(f);
+            }
+        }
+    }
+    // A job that reached its terminal state in a *previous* daemon epoch
+    // (restored from the journal) has an empty event log this epoch:
+    // synthesize its terminal event (unsequenced = always delivered) so
+    // the watcher completes instead of hanging.
+    if !logged_terminal
+        && matches!(
+            rec.state,
+            JobState::Done | JobState::Cancelled | JobState::Failed
+        )
+    {
+        let terminal = status_event_unlocked(&st, job);
+        drop(st);
+        return conn.send(&terminal);
+    }
+    Ok(())
 }
 
 /// A `JobEvent` describing `job`'s current lifecycle state.
@@ -755,11 +1148,13 @@ fn handle_cancel(inner: &ServerInner, job: u64) -> Frame {
     match rec.state {
         JobState::Queued => {
             rec.state = JobState::Cancelled;
-            let tenant = rec.tenant.clone();
             st.queue.retain(|&j| j != job);
-            if let Some(n) = st.tenant_inflight.get_mut(&tenant) {
-                *n = n.saturating_sub(1);
-            }
+            release_quota(inner, &mut st, job);
+            // Journaled while holding the state lock: the lock order is
+            // state → journal everywhere, and durability must precede the
+            // terminal event below.
+            inner.journal_append(&Record::JobCancelled { job });
+            log_event_locked(&mut st, job, EventKind::Cancelled, "", 0);
             event(job, EventKind::Cancelled, "", 0)
         }
         JobState::Running => {

@@ -31,14 +31,18 @@ use crate::frame::{
     decode_frame, read_frame, ChannelSource, Frame, FrameSink, FrameSource, MuxSink, Role,
     MISS_WORD, SHUTDOWN_ROUND,
 };
+use crate::linkfault::{DedupSource, FaultySink};
 use fractal_apps::fsm::{fsm_fractoid, fsm_support_aggregator, DomainSupport};
 use fractal_apps::{cliques, motifs};
 use fractal_core::{Aggregator, FractalContext, FractalGraph, Fractoid};
 use fractal_pattern::CanonicalCode;
 use fractal_runtime::steal::{decode_unit, encode_unit, StolenUnit};
 use fractal_runtime::sync::Mutex;
-use fractal_runtime::sync::{AtomicBool, AtomicU32, Ordering};
-use fractal_runtime::{ClusterConfig, ExternalHooks, ExternalJobHandle, ExternalPull, WsMode};
+use fractal_runtime::sync::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use fractal_runtime::{
+    ClusterConfig, ExternalHooks, ExternalJobHandle, ExternalPull, LinkFaultConfig,
+    LinkFaultInjector, WsMode,
+};
 use std::collections::HashMap;
 use std::io;
 use std::net::{TcpListener, TcpStream};
@@ -77,6 +81,12 @@ struct Shared<K: FrameSink> {
     completed: Mutex<Vec<u64>>,
     handle: Mutex<Option<ExternalJobHandle>>,
     reply_tx: Mutex<Option<Sender<ReplySlot>>>,
+    /// The session's link-fault injector, when the link is armed; its
+    /// count feeds `link_faults_injected` in every flush's report.
+    injector: Option<Arc<LinkFaultInjector>>,
+    /// Injections already reported by earlier flushes (delta encoding —
+    /// the driver *sums* reports, so each flush carries only its own).
+    injected_reported: AtomicU64,
 }
 
 impl<K: FrameSink> Shared<K> {
@@ -217,6 +227,13 @@ fn run_round_seeded<K: FrameSink>(
     hooks: Option<Arc<dyn ExternalHooks>>,
 ) {
     let mut outcome = fractoid.execute_step_distributed(roots, app.counts(), hooks);
+    if let Some(inj) = &shared.injector {
+        let now = inj.injected();
+        // ordering: Relaxed — flushes are serialized per session; the
+        // swap only carries the high-water mark between them.
+        let last = shared.injected_reported.swap(now, Ordering::Relaxed);
+        outcome.report.faults.link_faults_injected = now.saturating_sub(last);
+    }
     let agg = match app {
         AppSpec::Motifs { .. } => {
             let map = Aggregator::<CanonicalCode, u64>::take_map(outcome.shards.remove(0));
@@ -242,8 +259,21 @@ fn run_round_seeded<K: FrameSink>(
 /// local stealing (cross-process balance goes through the driver instead
 /// of the in-process simulation).
 pub fn serve(listener: &TcpListener, cores: usize) -> io::Result<ServeOutcome> {
+    serve_with(listener, cores, None)
+}
+
+/// [`serve`] with an optional link-degradation fault plan (`fractal
+/// worker --link-fault <seed>`). Faults are armed only on multiplexed
+/// (serve-daemon) sessions: each job's virtual link gets a
+/// deterministic, job-seeded injector, and the daemon's router dedups
+/// the other end — classic single-job links stay exact.
+pub fn serve_with(
+    listener: &TcpListener,
+    cores: usize,
+    link_fault: Option<LinkFaultConfig>,
+) -> io::Result<ServeOutcome> {
     let (stream, _) = listener.accept()?;
-    serve_conn(stream, cores)
+    serve_conn_with(stream, cores, link_fault)
 }
 
 /// Serves one already-accepted connection (see [`serve`]). The first
@@ -251,14 +281,23 @@ pub fn serve(listener: &TcpListener, cores: usize) -> io::Result<ServeOutcome> {
 /// [`Frame::Mux`] envelope runs the multiplexing dispatcher until the
 /// physical connection shuts down.
 pub fn serve_conn(stream: TcpStream, cores: usize) -> io::Result<ServeOutcome> {
+    serve_conn_with(stream, cores, None)
+}
+
+/// [`serve_conn`] with an optional link-fault plan (see [`serve_with`]).
+pub fn serve_conn_with(
+    stream: TcpStream,
+    cores: usize,
+    link_fault: Option<LinkFaultConfig>,
+) -> io::Result<ServeOutcome> {
     stream.set_nodelay(true).ok();
     let mut reader = stream.try_clone()?;
     let first = read_frame(&mut reader)?;
     match &first.1 {
         Frame::Hello {
             role: Role::Driver, ..
-        } => run_session(reader, stream, cores, Some(first)),
-        Frame::Mux { .. } => serve_mux(reader, stream, cores, first),
+        } => run_session(reader, stream, cores, Some(first), None),
+        Frame::Mux { .. } => serve_mux(reader, stream, cores, first, link_fault),
         Frame::Done {
             round: SHUTDOWN_ROUND,
         } => Ok(ServeOutcome::Shutdown),
@@ -277,6 +316,7 @@ fn run_session<S, K>(
     sink: K,
     cores: usize,
     peeked: Option<(u32, Frame)>,
+    injector: Option<Arc<LinkFaultInjector>>,
 ) -> io::Result<ServeOutcome>
 where
     S: FrameSource,
@@ -291,6 +331,8 @@ where
         completed: Mutex::new(Vec::new()),
         handle: Mutex::new(None),
         reply_tx: Mutex::new(None),
+        injector,
+        injected_reported: AtomicU64::new(0),
     });
 
     // Handshake: driver speaks first.
@@ -466,7 +508,8 @@ where
             | Frame::Cancel { .. }
             | Frame::Result { .. }
             | Frame::JobEvent { .. }
-            | Frame::Mux { .. } => {}
+            | Frame::Mux { .. }
+            | Frame::Watch { .. } => {}
         }
     }
 
@@ -481,6 +524,10 @@ where
     }
     hb_stop.store(true, Ordering::SeqCst);
     let _ = hb.join();
+    // Flush-and-close the sink explicitly: an armed link may still hold
+    // one reordered frame in its stash, and losing it would turn the
+    // degraded link lossy (breaking the flush-is-commit contract).
+    shared.writer.lock().close();
     Ok(outcome)
 }
 
@@ -505,6 +552,7 @@ fn serve_mux(
     writer: TcpStream,
     cores: usize,
     first: (u32, Frame),
+    link_fault: Option<LinkFaultConfig>,
 ) -> io::Result<ServeOutcome> {
     let physical: Arc<Mutex<TcpStream>> = Arc::new(Mutex::new(writer));
     let physical_seq = Arc::new(AtomicU32::new(0));
@@ -530,7 +578,25 @@ fn serve_mux(
                         let sink =
                             MuxSink::new(job, Arc::clone(&physical), Arc::clone(&physical_seq));
                         // Detached on purpose — see the module doc above.
-                        thread::spawn(move || run_session(ChannelSource(rx), sink, cores, None));
+                        match &link_fault {
+                            Some(cfg) => {
+                                // Deterministic per-job plan: same seed +
+                                // same job id → identical fault stream.
+                                let mut cfg = *cfg;
+                                cfg.seed ^= job;
+                                let injector = Arc::new(LinkFaultInjector::new(cfg));
+                                let faulty = FaultySink::new(sink, Arc::clone(&injector));
+                                let source = DedupSource::new(ChannelSource(rx));
+                                thread::spawn(move || {
+                                    run_session(source, faulty, cores, None, Some(injector))
+                                });
+                            }
+                            None => {
+                                thread::spawn(move || {
+                                    run_session(ChannelSource(rx), sink, cores, None, None)
+                                });
+                            }
+                        }
                         tx
                     });
                     let dead = session.send(inner_frame).is_err();

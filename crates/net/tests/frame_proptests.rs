@@ -39,11 +39,11 @@ const EVENT_KINDS: [EventKind; 8] = [
     EventKind::Failed,
 ];
 
-/// An arbitrary frame spanning all fifteen wire types, including optional
+/// An arbitrary frame spanning all sixteen wire types, including optional
 /// blob presence/absence combinations and sentinel-adjacent integers.
 fn arb_frame() -> impl Strategy<Value = Frame> {
     (
-        0u8..15, // variant selector
+        0u8..16, // variant selector
         any::<u32>(),
         any::<u64>(),
         (0u8..8, arb_blob(40), arb_blob(40)),
@@ -87,10 +87,11 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                 },
                 8 => Frame::Done { round },
                 9 => Frame::Submit {
-                    tenant: text_a,
+                    tenant: text_a.clone(),
                     priority: flags,
                     snapshot: text_b,
                     app: blob_a,
+                    token: text_a,
                 },
                 10 => Frame::Status { job: word },
                 11 => Frame::Cancel { job: word },
@@ -105,13 +106,18 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                     kind: EVENT_KINDS[(flags % 8) as usize],
                     detail: text_a,
                     value: round as u64,
+                    event_seq: word.wrapping_mul(31),
                 },
                 // A mux envelope's payload is an opaque byte string at
                 // this layer — corruption inside it is caught by the
                 // outer checksum, so arbitrary bytes are the right test.
-                _ => Frame::Mux {
+                14 => Frame::Mux {
                     job: word,
                     inner: blob_a,
+                },
+                _ => Frame::Watch {
+                    job: word,
+                    after_seq: round as u64,
                 },
             },
         )

@@ -8,9 +8,12 @@
 use fractal_apps::{cliques, fsm, motifs};
 use fractal_core::FractalContext;
 use fractal_net::blob::{decode_fsm_seeds, decode_motifs_map, decode_report};
-use fractal_net::frame::EventKind;
+use fractal_net::frame::{read_frame, write_frame, EventKind, Frame, Role};
+use fractal_net::journal::{decode_record, Record, JOURNAL_FILE};
 use fractal_net::worker::{serve, ServeOutcome};
-use fractal_net::{load_snapshot, AppSpec, Client, JobTerminal, ServeConfig, Server};
+use fractal_net::{
+    load_snapshot, AppSpec, Client, JobTerminal, ReconnectPolicy, ServeConfig, Server,
+};
 use fractal_pattern::CanonicalCode;
 use fractal_runtime::ClusterConfig;
 use std::io;
@@ -92,7 +95,7 @@ fn concurrent_jobs_bit_identical_to_single_process() {
         let addr = addr.clone();
         thread::spawn(move || -> io::Result<(u64, Vec<u8>, Vec<u8>)> {
             let mut client = Client::connect(&addr)?;
-            let job = client.submit(tenant, 0, SNAPSHOT, &app)?;
+            let job = client.submit(tenant, 0, SNAPSHOT, &app, tenant)?;
             match client.wait(job)? {
                 JobTerminal::Done { .. } => {}
                 other => panic!("job {job} did not finish: {other:?}"),
@@ -168,10 +171,12 @@ fn tenant_over_quota_gets_clean_nack() {
         let app = AppSpec::Kclist { k: 3 };
 
         let mut client = Client::connect(&addr).expect("connect");
-        let first = client.submit("alice", 0, SNAPSHOT, &app).expect("admit");
+        let first = client
+            .submit("alice", 0, SNAPSHOT, &app, "tok-a1")
+            .expect("admit");
 
         let err = client
-            .submit("alice", 0, SNAPSHOT, &app)
+            .submit("alice", 0, SNAPSHOT, &app, "tok-a2")
             .expect_err("second job must be rejected");
         assert!(
             err.to_string().contains("over quota"),
@@ -180,14 +185,14 @@ fn tenant_over_quota_gets_clean_nack() {
 
         // Another tenant still has headroom.
         client
-            .submit("bob", 0, SNAPSHOT, &app)
+            .submit("bob", 0, SNAPSHOT, &app, "tok-b1")
             .expect("other tenant");
 
         // Cancelling the queued job frees alice's slot immediately.
         let (kind, _, _) = client.cancel(first).expect("cancel");
         assert_eq!(kind, EventKind::Cancelled);
         client
-            .submit("alice", 0, SNAPSHOT, &app)
+            .submit("alice", 0, SNAPSHOT, &app, "tok-a3")
             .expect("slot released");
 
         // Unknown job ids answer with a Failed status, not a hang.
@@ -214,10 +219,14 @@ fn full_queue_rejects_cleanly() {
         let app = AppSpec::Kclist { k: 3 };
 
         let mut client = Client::connect(&addr).expect("connect");
-        client.submit("a", 0, SNAPSHOT, &app).expect("first");
-        client.submit("b", 0, SNAPSHOT, &app).expect("second");
+        client
+            .submit("a", 0, SNAPSHOT, &app, "tok-q1")
+            .expect("first");
+        client
+            .submit("b", 0, SNAPSHOT, &app, "tok-q2")
+            .expect("second");
         let err = client
-            .submit("c", 0, SNAPSHOT, &app)
+            .submit("c", 0, SNAPSHOT, &app, "tok-q3")
             .expect_err("third must be rejected");
         assert!(
             err.to_string().contains("queue full"),
@@ -246,8 +255,12 @@ fn status_reports_queue_position() {
         let app = AppSpec::Kclist { k: 3 };
 
         let mut client = Client::connect(&addr).expect("connect");
-        let j1 = client.submit("a", 0, SNAPSHOT, &app).expect("first");
-        let j2 = client.submit("b", 0, SNAPSHOT, &app).expect("second");
+        let j1 = client
+            .submit("a", 0, SNAPSHOT, &app, "tok-p1")
+            .expect("first");
+        let j2 = client
+            .submit("b", 0, SNAPSHOT, &app, "tok-p2")
+            .expect("second");
 
         let (kind, _, _) = client.status(j1).expect("status j1");
         assert_eq!(kind, EventKind::Queued);
@@ -264,5 +277,306 @@ fn status_reports_queue_position() {
 
         fractal_net::serve::shutdown_workers(&server);
         join_shutdown(handles);
+    })
+}
+
+/// A fresh per-test journal directory under the system temp dir.
+fn journal_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fractal-serve-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir journal");
+    dir
+}
+
+/// Decodes FSM agg bytes into a sorted, order-independent pattern list
+/// (the raw blob iterates hash maps, so byte order is not stable).
+fn fsm_patterns(agg: &[u8]) -> Vec<(usize, CanonicalCode, u64)> {
+    let mut got: Vec<(usize, CanonicalCode, u64)> = decode_fsm_seeds(agg)
+        .expect("fsm agg")
+        .iter()
+        .enumerate()
+        .flat_map(|(r, map)| {
+            map.iter()
+                .map(move |(code, sup)| (r + 1, code.clone(), sup.support()))
+        })
+        .collect();
+    got.sort();
+    got
+}
+
+/// Crash-consistency end to end: run a multi-round FSM job to completion
+/// under one daemon, then rewind its journal to just after the *first*
+/// committed word-set — exactly the disk state a crash between round
+/// commits leaves behind — and boot a second daemon on the same journal
+/// directory. The job must be re-admitted, resume from the committed
+/// round rather than restarting, and produce results identical to both
+/// the pre-crash run and a single-process run.
+#[test]
+fn restart_resumes_from_committed_word_set_bit_identically() {
+    let graph = load_snapshot(SNAPSHOT).expect("snapshot");
+    let fg = FractalContext::new(ClusterConfig::local(1, 2)).fractal_graph(graph);
+    let single = fsm::fsm(&fg, 40, 2);
+    let mut expected: Vec<(usize, CanonicalCode, u64)> = single
+        .frequent
+        .iter()
+        .map(|p| (p.num_edges, p.code.clone(), p.support))
+        .collect();
+    expected.sort();
+
+    let dir = journal_dir("resume");
+    let app = AppSpec::Fsm {
+        min_support: 40,
+        max_edges: 2,
+    };
+
+    // Phase A: run the job to completion with the journal armed.
+    let (handles_a, workers_a) = start_workers(2, 2);
+    let config = ServeConfig {
+        journal_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let (server_a, addr_a) = start_server(workers_a, config);
+    let (job, count_a, agg_a) = within_secs(120, move || {
+        let mut client = Client::connect(&addr_a).expect("connect A");
+        let job = client
+            .submit("carol", 0, SNAPSHOT, &app, "tok-resume")
+            .expect("admit");
+        match client.wait(job).expect("wait A") {
+            JobTerminal::Done { .. } => {}
+            other => panic!("phase A did not finish: {other:?}"),
+        }
+        let (count, agg, _) = client.fetch_result(job).expect("result A");
+        (job, count, agg)
+    });
+    fractal_net::serve::shutdown_workers(&server_a);
+    join_shutdown(handles_a);
+    assert_eq!(fsm_patterns(&agg_a), expected);
+
+    // Rewind the journal: keep everything through the FIRST committed
+    // word-set and drop the rest (the second round's commit and the
+    // terminal record) — the disk image of a crash mid-job.
+    let path = dir.join(JOURNAL_FILE);
+    let bytes = std::fs::read(&path).expect("read journal");
+    let mut pos = 0;
+    let mut cut = 0;
+    while let Some((rec, used)) = decode_record(&bytes[pos..]) {
+        pos += used;
+        if let Record::WordSetCommitted { rounds_done, .. } = rec {
+            assert_eq!(rounds_done, 1, "first commit must be round 1");
+            cut = pos;
+            break;
+        }
+    }
+    assert!(cut > 0, "journal must contain a committed word-set");
+    assert!(cut < bytes.len(), "terminal records must follow the commit");
+    std::fs::write(&path, &bytes[..cut]).expect("rewind journal");
+
+    // Phase B: a second daemon on the same journal directory must
+    // re-admit the job and resume it from the committed round.
+    let (handles_b, workers_b) = start_workers(2, 2);
+    let config = ServeConfig {
+        journal_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let (server_b, addr_b) = start_server(workers_b, config);
+    let (terminal, count_b, agg_b) = within_secs(120, move || {
+        // A fresh connection that never submitted the job: Watch-based
+        // resumable waiting is the only way to observe it, exactly like
+        // a real `fractal client --wait` surviving a daemon restart.
+        let mut client = Client::connect(&addr_b).expect("connect B");
+        let terminal = client
+            .wait_resumable(job, &ReconnectPolicy::default(), |_, _, _| {})
+            .expect("wait B");
+        let (count, agg, _) = client.fetch_result(job).expect("result B");
+        (terminal, count, agg)
+    });
+
+    assert_eq!(terminal, JobTerminal::Done { count: count_b });
+    assert_eq!(
+        server_b.resumed_jobs(),
+        1,
+        "the job must resume from the journal, not restart"
+    );
+    assert_eq!(count_b, count_a, "resumed count must be bit-identical");
+    assert_eq!(fsm_patterns(&agg_b), expected);
+
+    fractal_net::serve::shutdown_workers(&server_b);
+    join_shutdown(handles_b);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Exactly-once quota accounting under a cancel-vs-dispatch race: fire
+/// submit-then-immediately-cancel pairs at a saturated scheduler so some
+/// cancels land while the job is still queued (synchronous release) and
+/// some after dispatch (cooperative release on the driver's thread).
+/// However each race resolves, every admitted job must release its
+/// tenant slot exactly once — `tenant_inflight` drains to zero and the
+/// release counter matches admissions exactly (a double release would
+/// overshoot; a leak would undershoot).
+#[test]
+fn quota_releases_exactly_once_under_cancel_dispatch_race() {
+    within_secs(90, || {
+        let (handles, workers) = start_workers(1, 1);
+        let config = ServeConfig {
+            max_per_tenant: 4,
+            max_running: 2,
+            ..ServeConfig::default()
+        };
+        let (server, addr) = start_server(workers, config);
+        let app = AppSpec::Kclist { k: 3 };
+
+        let mut submitter = Client::connect(&addr).expect("connect submitter");
+        // A second connection that never submits: its event stream only
+        // ever carries replies to its own status requests, so polling is
+        // not confused by events pushed for the submitter's jobs.
+        let mut poller = Client::connect(&addr).expect("connect poller");
+
+        let mut admitted = Vec::new();
+        for i in 0..8 {
+            match submitter.submit("alice", 0, SNAPSHOT, &app, &format!("tok-race-{i}")) {
+                Ok(job) => {
+                    admitted.push(job);
+                    // Race the cancel against dispatch. Any reply is
+                    // legal here (Cancelled if still queued, Running
+                    // "cancelling" if already dispatched).
+                    submitter.cancel(job).expect("cancel");
+                }
+                // Over quota is a legal outcome while slots drain; the
+                // audit below only covers what was actually admitted.
+                Err(err) => assert!(
+                    err.to_string().contains("over quota"),
+                    "unexpected rejection: {err}"
+                ),
+            }
+        }
+        assert!(!admitted.is_empty(), "at least one job must be admitted");
+
+        // Wait for every admitted job to reach a terminal state.
+        for &job in &admitted {
+            loop {
+                let (kind, _, _) = poller.status(job).expect("status");
+                match kind {
+                    EventKind::Done | EventKind::Cancelled | EventKind::Failed => break,
+                    _ => thread::sleep(Duration::from_millis(20)),
+                }
+            }
+        }
+
+        assert_eq!(
+            server.tenant_inflight("alice"),
+            0,
+            "every admitted job must release its quota slot"
+        );
+        assert_eq!(
+            server.quota_releases(),
+            admitted.len() as u64,
+            "each admitted job must release exactly once"
+        );
+
+        fractal_net::serve::shutdown_workers(&server);
+        join_shutdown(handles);
+    })
+}
+
+/// `wait_resumable` against a mock daemon that is killed and restarted
+/// mid-stream: the client must reconnect with backoff, re-subscribe with
+/// `Watch { after_seq }` naming exactly the last event it delivered,
+/// suppress the replayed duplicates, and hand the callback the complete
+/// event sequence with nothing lost and nothing repeated.
+#[test]
+fn client_reconnects_and_loses_no_events_across_mock_server_restart() {
+    within_secs(30, || {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind mock");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let (tx, rx) = channel();
+
+        let push =
+            |stream: &mut TcpStream, seq: &mut u32, event_seq: u64, kind: EventKind, value: u64| {
+                let frame = Frame::JobEvent {
+                    job: 7,
+                    kind,
+                    detail: String::new(),
+                    value,
+                    event_seq,
+                };
+                write_frame(stream, *seq, &frame).expect("push event");
+                *seq += 1;
+            };
+        let accept_watch = move |listener: &TcpListener| -> (TcpStream, u64) {
+            let (mut stream, _) = listener.accept().expect("accept");
+            match read_frame(&mut stream).expect("hello").1 {
+                Frame::Hello {
+                    role: Role::Client, ..
+                } => {}
+                other => panic!("expected client hello, got {other:?}"),
+            }
+            write_frame(
+                &mut stream,
+                0,
+                &Frame::Hello {
+                    role: Role::Driver,
+                    cores: 0,
+                },
+            )
+            .expect("hello reply");
+            match read_frame(&mut stream).expect("watch").1 {
+                Frame::Watch { job: 7, after_seq } => (stream, after_seq),
+                other => panic!("expected watch, got {other:?}"),
+            }
+        };
+
+        thread::spawn(move || {
+            // First incarnation: three events, then die mid-stream.
+            let (mut stream, after) = accept_watch(&listener);
+            tx.send(after).expect("report after_seq");
+            let mut seq = 1;
+            push(&mut stream, &mut seq, 1, EventKind::Running, 1);
+            push(&mut stream, &mut seq, 2, EventKind::Progress, 2);
+            push(&mut stream, &mut seq, 3, EventKind::Progress, 3);
+            drop(stream); // SIGKILL, as far as the client can tell
+
+            // Restart: the client re-subscribes; replay a duplicate
+            // suffix (a real daemon replays from its event log and the
+            // requested cursor may trail what the wire already carried),
+            // then finish the job.
+            let (mut stream, after) = accept_watch(&listener);
+            tx.send(after).expect("report after_seq");
+            let mut seq = 1;
+            push(&mut stream, &mut seq, 2, EventKind::Progress, 2);
+            push(&mut stream, &mut seq, 3, EventKind::Progress, 3);
+            push(&mut stream, &mut seq, 4, EventKind::Progress, 4);
+            push(&mut stream, &mut seq, 5, EventKind::Done, 42);
+        });
+
+        let policy = ReconnectPolicy {
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(100),
+            max_attempts: 20,
+            read_timeout: Duration::from_secs(5),
+            ..ReconnectPolicy::default()
+        };
+        let mut client = Client::connect(&addr).expect("connect");
+        let mut seen = Vec::new();
+        let terminal = client
+            .wait_resumable(7, &policy, |kind, _, value| seen.push((kind, value)))
+            .expect("wait_resumable");
+
+        assert_eq!(terminal, JobTerminal::Done { count: 42 });
+        assert_eq!(client.reconnects(), 1, "exactly one reconnect");
+        // No event lost, none duplicated, in order.
+        assert_eq!(
+            seen,
+            vec![
+                (EventKind::Running, 1),
+                (EventKind::Progress, 2),
+                (EventKind::Progress, 3),
+                (EventKind::Progress, 4),
+                (EventKind::Done, 42),
+            ]
+        );
+        // The first subscription starts at the beginning; the resumed one
+        // names exactly the last event the callback saw before the crash.
+        assert_eq!(rx.recv().expect("first watch"), 0);
+        assert_eq!(rx.recv().expect("resumed watch"), 3);
     })
 }

@@ -291,6 +291,16 @@ pub struct FaultStats {
     pub jobs_rejected: u64,
     /// Graph snapshots evicted from the serve daemon's LRU cache.
     pub snapshot_evictions: u64,
+    /// Journal records replayed at daemon startup (serve-path only).
+    pub journal_replayed: u64,
+    /// Jobs re-admitted from the journal that resumed from at least one
+    /// committed word-set instead of starting from scratch.
+    pub resumed_jobs: u64,
+    /// Link-degradation faults (delay/duplicate/reorder) injected at the
+    /// frame transport layer. Zero unless a link-fault seed is armed.
+    pub link_faults_injected: u64,
+    /// Client-side reconnects while streaming job events (`--wait`).
+    pub client_reconnects: u64,
 }
 
 impl FaultLedger {
@@ -312,6 +322,12 @@ impl FaultLedger {
             jobs_admitted: 0,
             jobs_rejected: 0,
             snapshot_evictions: 0,
+            journal_replayed: 0,
+            resumed_jobs: 0,
+            // Link faults are counted by the transport wrappers (the
+            // worker's session envelope), not the in-process ledger.
+            link_faults_injected: 0,
+            client_reconnects: 0,
         }
     }
 }
@@ -372,6 +388,125 @@ impl BudgetedSite {
             }
         }
         false
+    }
+}
+
+/// Deterministic link-degradation plan: seedable delay / duplicate /
+/// reorder faults injected at the frame transport layer (the
+/// `FrameSource`/`FrameSink` wrappers in `crates/net`). The decisions
+/// live here, next to the other injectors, so chaos tooling shares one
+/// seeding discipline; the transport wrappers only act on the verdicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkFaultConfig {
+    /// Seed for every link-fault decision on this link.
+    pub seed: u64,
+    /// Delay every `delay_period`-th outgoing frame (0 disables).
+    pub delay_period: u64,
+    /// Microseconds each fired delay sleeps.
+    pub delay_us: u64,
+    /// Duplicate every `dup_period`-th outgoing frame (0 disables)…
+    pub dup_period: u64,
+    /// …up to this many times.
+    pub dup_budget: u64,
+    /// Hold back every `reorder_period`-th outgoing frame and emit it
+    /// after its successor (0 disables)…
+    pub reorder_period: u64,
+    /// …up to this many times.
+    pub reorder_budget: u64,
+}
+
+impl LinkFaultConfig {
+    /// The standard flaky-link profile used by the chaos legs: frequent
+    /// small delays plus bounded duplication and reordering.
+    pub fn flaky(seed: u64) -> Self {
+        LinkFaultConfig {
+            seed,
+            delay_period: 7,
+            delay_us: 1_500,
+            dup_period: 5,
+            dup_budget: 64,
+            reorder_period: 11,
+            reorder_budget: 64,
+        }
+    }
+}
+
+/// What the transport wrapper should do with one outgoing frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFaultAction {
+    /// Send normally.
+    None,
+    /// Sleep this many microseconds, then send.
+    DelayUs(u64),
+    /// Send the frame twice back to back.
+    Duplicate,
+    /// Hold the frame back and emit it after the next one.
+    Reorder,
+}
+
+/// Live link-fault decisions for one transport link. At most one action
+/// fires per frame (reorder wins over duplicate wins over delay) so a
+/// single frame is never simultaneously held back and duplicated.
+#[derive(Debug)]
+pub struct LinkFaultInjector {
+    /// The plan this injector executes.
+    pub config: LinkFaultConfig,
+    delay_site: BudgetedSite,
+    dup_site: BudgetedSite,
+    reorder_site: BudgetedSite,
+    injected: AtomicU64,
+}
+
+impl LinkFaultInjector {
+    /// Builds the injector for one link.
+    pub fn new(config: LinkFaultConfig) -> Self {
+        let s = config.seed;
+        let armed = |period: u64, budget: u64| if period == 0 { 0 } else { budget };
+        LinkFaultInjector {
+            delay_site: BudgetedSite::new(
+                s,
+                21,
+                config.delay_period.max(1),
+                armed(config.delay_period, u64::MAX),
+            ),
+            dup_site: BudgetedSite::new(
+                s,
+                22,
+                config.dup_period.max(1),
+                armed(config.dup_period, config.dup_budget),
+            ),
+            reorder_site: BudgetedSite::new(
+                s,
+                23,
+                config.reorder_period.max(1),
+                armed(config.reorder_period, config.reorder_budget),
+            ),
+            injected: AtomicU64::new(0),
+            config,
+        }
+    }
+
+    /// The verdict for one outgoing frame.
+    pub fn on_send(&self) -> LinkFaultAction {
+        let action = if self.reorder_site.fire() {
+            LinkFaultAction::Reorder
+        } else if self.dup_site.fire() {
+            LinkFaultAction::Duplicate
+        } else if self.delay_site.fire() {
+            LinkFaultAction::DelayUs(self.config.delay_us)
+        } else {
+            return LinkFaultAction::None;
+        };
+        // ordering: Relaxed — monotonic diagnostic counter; readers only
+        // observe it after the link quiesces (flush/report boundaries).
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        action
+    }
+
+    /// Link faults fired so far on this link.
+    pub fn injected(&self) -> u64 {
+        // ordering: Relaxed — see `on_send`.
+        self.injected.load(Ordering::Relaxed)
     }
 }
 
@@ -913,5 +1048,52 @@ mod tests {
         assert_eq!(s.watchdog_trips, 1);
         assert!(s.any_recovery());
         assert!(!FaultStats::default().any_recovery());
+    }
+
+    #[test]
+    fn link_fault_injector_is_deterministic() {
+        let run = || {
+            let inj = LinkFaultInjector::new(LinkFaultConfig::flaky(77));
+            (0..200).map(|_| inj.on_send()).collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run(), "same seed must yield the same action stream");
+        assert!(a.contains(&LinkFaultAction::Duplicate));
+        assert!(a.contains(&LinkFaultAction::Reorder));
+        assert!(a.contains(&LinkFaultAction::DelayUs(1_500)));
+        let other = LinkFaultInjector::new(LinkFaultConfig::flaky(78));
+        let b: Vec<_> = (0..200).map(|_| other.on_send()).collect();
+        assert_ne!(a, b, "different seeds should diverge");
+    }
+
+    #[test]
+    fn link_fault_injector_counts_and_respects_budgets() {
+        let cfg = LinkFaultConfig {
+            seed: 5,
+            delay_period: 0, // disabled
+            delay_us: 10,
+            dup_period: 2,
+            dup_budget: 3,
+            reorder_period: 0, // disabled
+            reorder_budget: 9,
+        };
+        let inj = LinkFaultInjector::new(cfg);
+        let dups = (0..100)
+            .filter(|_| inj.on_send() == LinkFaultAction::Duplicate)
+            .count();
+        assert_eq!(dups, 3, "dup budget must cap firings");
+        assert_eq!(inj.injected(), 3);
+        // Fully disabled plan never fires and never counts.
+        let off = LinkFaultInjector::new(LinkFaultConfig {
+            seed: 5,
+            delay_period: 0,
+            delay_us: 0,
+            dup_period: 0,
+            dup_budget: 0,
+            reorder_period: 0,
+            reorder_budget: 0,
+        });
+        assert!((0..50).all(|_| off.on_send() == LinkFaultAction::None));
+        assert_eq!(off.injected(), 0);
     }
 }

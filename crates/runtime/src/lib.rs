@@ -44,7 +44,7 @@ pub use executor::{
     run_job, run_job_with, CoreCtx, CoreTask, ExternalHooks, ExternalJobHandle, ExternalPull,
     JobSpec,
 };
-pub use fault::{FaultConfig, FaultStats};
+pub use fault::{FaultConfig, FaultStats, LinkFaultAction, LinkFaultConfig, LinkFaultInjector};
 pub use level::{GlobalCoreId, LevelQueue};
 pub use stats::{CoreStats, JobReport};
 pub use trace::{EventKind, TraceConfig, TraceDump, TraceEvent};

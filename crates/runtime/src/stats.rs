@@ -301,6 +301,22 @@ impl JobReport {
             self.faults.snapshot_evictions
         ));
         out.push_str(&format!(
+            "  \"journal_replayed\": {},\n",
+            self.faults.journal_replayed
+        ));
+        out.push_str(&format!(
+            "  \"resumed_jobs\": {},\n",
+            self.faults.resumed_jobs
+        ));
+        out.push_str(&format!(
+            "  \"link_faults_injected\": {},\n",
+            self.faults.link_faults_injected
+        ));
+        out.push_str(&format!(
+            "  \"client_reconnects\": {},\n",
+            self.faults.client_reconnects
+        ));
+        out.push_str(&format!(
             "  \"worker_state_bytes\": {},\n",
             json_u64_array(&self.worker_state_bytes())
         ));
@@ -525,6 +541,12 @@ mod tests {
         assert!(json.contains("\"jobs_admitted\": 0"));
         assert!(json.contains("\"jobs_rejected\": 0"));
         assert!(json.contains("\"snapshot_evictions\": 0"));
+        // Durability / degraded-link counters: present and zero when the
+        // journal and link-fault envelope are idle.
+        assert!(json.contains("\"journal_replayed\": 0"));
+        assert!(json.contains("\"resumed_jobs\": 0"));
+        assert!(json.contains("\"link_faults_injected\": 0"));
+        assert!(json.contains("\"client_reconnects\": 0"));
         // A 4-bucket timeline over a fully-busy single core is all ones.
         assert!(json.contains("\"utilization_timeline\": [1.000000, 1.000000, 1.000000, 1.000000]"));
     }

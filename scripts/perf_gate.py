@@ -68,6 +68,14 @@ FAULT_COUNTERS = (
     "jobs_admitted",
     "jobs_rejected",
     "snapshot_evictions",
+    # Durability / degraded-link counters: fault-free single-process legs
+    # run with no journal and no link-fault seed armed, so replayed
+    # records, resumed jobs, injected link faults, or client reconnects
+    # all indicate the crash-consistency machinery leaked.
+    "journal_replayed",
+    "resumed_jobs",
+    "link_faults_injected",
+    "client_reconnects",
 )
 
 

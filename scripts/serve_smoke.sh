@@ -12,6 +12,14 @@
 # The survivors must still verify bit-identical — the corpse's obligations
 # are re-dispatched per affected job, never globally.
 #
+# Leg 3 (restart): a fresh daemon with a write-ahead journal and flaky
+# link-fault injection armed takes three jobs; once the multi-round job
+# journals its first committed word-set the WHOLE daemon is SIGKILLed and
+# restarted on the same address + journal directory. The waiting clients
+# must ride the outage out (reconnect + Watch resume), every job must
+# verify bit-identical, and the metrics artifact must prove a journal
+# replay actually resumed work (resumed_jobs > 0).
+#
 # Usage: scripts/serve_smoke.sh
 #   FRACTAL_BIN      override the CLI binary (default target/release/fractal-cli)
 #   SERVE_SMOKE_OUT  artifact directory (default target/serve-smoke)
@@ -155,5 +163,90 @@ grep -q "Cancelled" "$OUT/victim-status.out" \
 # A fresh job on the surviving workers must still verify.
 submit_wait postchaos tenant-d --app motifs -k 3 || fail "post-chaos client exited nonzero"
 check_job postchaos
+
+# ---- leg 3: SIGKILL the daemon mid-job, restart on the same journal ----
+
+echo "serve-smoke: leg 3 — daemon crash/restart with journal + flaky links"
+# Retire the leg-1/2 daemon; leg 3 runs its own crash-consistent one.
+pkill -P "$SERVE_PID" 2>/dev/null || true
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+JDIR="$OUT/journal"
+mkdir -p "$JDIR"
+
+"$BIN" serve --listen 127.0.0.1:0 --local-cluster 2 --cores 2 \
+    --journal "$JDIR" --link-fault 1234 --heartbeat-ms 3000 \
+    >"$OUT/serve-restart-a.log" 2>&1 &
+SERVE_PID=$!
+wait_for "^SERVING " "$OUT/serve-restart-a.log" \
+    || fail "journal daemon did not announce SERVING"
+ADDR=$(awk '/^SERVING /{print $2; exit}' "$OUT/serve-restart-a.log")
+echo "serve-smoke: journal daemon pid $SERVE_PID at $ADDR (journal $JDIR)"
+
+# One deliberately multi-round job on the big snapshot (so it is still
+# running at the kill) plus two quick companions.
+"$BIN" client submit --server "$ADDR" --tenant restart-a \
+    --snapshot "$CHAOS_SNAPSHOT" --app fsm --support 50 --max-edges 3 \
+    --wait --verify-single --metrics-out "$OUT/restart-fsm.metrics.json" \
+    >"$OUT/restart-fsm.out" 2>"$OUT/restart-fsm.err" &
+R1=$!
+"$BIN" client submit --server "$ADDR" --tenant restart-b --snapshot "$SNAPSHOT" \
+    --app motifs -k 3 --wait --verify-single \
+    --metrics-out "$OUT/restart-motifs.metrics.json" \
+    >"$OUT/restart-motifs.out" 2>"$OUT/restart-motifs.err" &
+R2=$!
+"$BIN" client submit --server "$ADDR" --tenant restart-c --snapshot "$SNAPSHOT" \
+    --app cliques -k 4 --wait --verify-single \
+    --metrics-out "$OUT/restart-cliques.metrics.json" \
+    >"$OUT/restart-cliques.out" 2>"$OUT/restart-cliques.err" &
+R3=$!
+
+# Kill only once the multi-round job's first word-set commit is durably
+# journaled — that is the state the restarted daemon must resume from.
+# (The quick companions commit and finish earlier; waiting on *their*
+# commit lines could kill before the long job has anything to resume.)
+wait_for "^JOB " "$OUT/restart-fsm.out" 150 || fail "restart-fsm was not admitted"
+FSM_JOB=$(awk '/^JOB /{print $2; exit}' "$OUT/restart-fsm.out")
+wait_for "^journal: committed job $FSM_JOB " "$OUT/serve-restart-a.log" 300 \
+    || fail "no committed word-set for job $FSM_JOB before the crash"
+echo "serve-smoke: SIGKILL daemon pid $SERVE_PID mid-job"
+pkill -9 -P "$SERVE_PID" 2>/dev/null || true
+kill -9 "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+
+# Restart on the SAME address and journal directory: waiting clients are
+# mid-backoff against that address right now.
+"$BIN" serve --listen "$ADDR" --local-cluster 2 --cores 2 \
+    --journal "$JDIR" --link-fault 1234 --heartbeat-ms 3000 \
+    >"$OUT/serve-restart-b.log" 2>&1 &
+SERVE_PID=$!
+wait_for "^SERVING " "$OUT/serve-restart-b.log" \
+    || fail "restarted daemon did not announce SERVING"
+echo "serve-smoke: daemon restarted as pid $SERVE_PID on $ADDR"
+
+wait "$R1" || fail "restart-fsm client exited nonzero across the restart"
+wait "$R2" || fail "restart-motifs client exited nonzero across the restart"
+wait "$R3" || fail "restart-cliques client exited nonzero across the restart"
+check_job restart-fsm
+check_job restart-motifs
+check_job restart-cliques
+
+# The multi-round job finished under the second incarnation, so its
+# metrics artifact must carry the proof of recovery: a journal replay,
+# at least one resumed job, injected link faults, and a client that
+# survived at least one reconnect.
+python3 - "$OUT/restart-fsm.metrics.json" <<'EOF' || fail "restart metrics do not prove recovery"
+import json, sys
+m = json.load(open(sys.argv[1]))
+assert m["journal_replayed"] > 0, f"journal_replayed = {m['journal_replayed']}"
+assert m["resumed_jobs"] > 0, f"resumed_jobs = {m['resumed_jobs']}"
+assert m["link_faults_injected"] > 0, f"link_faults_injected = {m['link_faults_injected']}"
+assert m["client_reconnects"] > 0, f"client_reconnects = {m['client_reconnects']}"
+EOF
+grep -q "^journal: committed job" "$OUT/serve-restart-b.log" \
+    || fail "restarted daemon never committed a word-set"
+echo "serve-smoke: restart leg ok" \
+    "($(python3 -c 'import json,sys; m=json.load(open(sys.argv[1])); print("replayed", m["journal_replayed"], "resumed", m["resumed_jobs"], "faults", m["link_faults_injected"], "reconnects", m["client_reconnects"])' "$OUT/restart-fsm.metrics.json"))"
 
 echo "serve-smoke: all legs passed (artifacts in $OUT)"

@@ -18,9 +18,11 @@
 //!              JSONL event trace plus the JSON metrics report; with
 //!              --per-worker, runs on a local cluster instead and renders
 //!              the driver-merged per-worker steal/recovery breakdown
-//!   worker     --listen <addr> --cores <n>
+//!   worker     --listen <addr> --cores <n> [--link-fault <seed>]
 //!              starts a cluster worker process: binds, prints
-//!              "LISTENING <addr>" and serves one driver session
+//!              "LISTENING <addr>" and serves one driver session;
+//!              --link-fault arms deterministic delay/duplicate/reorder
+//!              injection on serve-mode job links
 //!   submit     --app <motifs|cliques|fsm> plus the app's options, and
 //!              either --workers host:port,... or --local-cluster <n>
 //!              [--cores <n>] [--verify-single] [--per-worker]
@@ -34,14 +36,19 @@
 //!   serve      --listen <addr> (--local-cluster <n> | --workers a,b,...)
 //!              [--cores <n>] [--max-running <n>] [--max-queue <n>]
 //!              [--tenant-quota <n>] [--snapshot-budget-mb <n>]
-//!              [--heartbeat-ms <n>]
+//!              [--heartbeat-ms <n>] [--journal <dir>] [--link-fault <seed>]
 //!              starts the multi-tenant job server: prints
 //!              "SERVING <addr>" and accepts `fractal client` jobs,
-//!              multiplexing them over the shared worker pool
+//!              multiplexing them over the shared worker pool;
+//!              --journal makes admissions/commits/terminals durable so a
+//!              restarted daemon resumes incomplete jobs from their last
+//!              committed word-set; --link-fault (local-cluster only)
+//!              spawns the workers with degraded job links
 //!   client <submit|status|cancel|result> --server <addr>
 //!              submit: --tenant <t> --priority <p> --snapshot <spec>
 //!                      --app <motifs|cliques|fsm> plus app options
-//!                      [--wait] [--verify-single] [--metrics-out f.json]
+//!                      [--token <t>] [--wait] [--verify-single]
+//!                      [--metrics-out f.json]
 //!              status|cancel|result: --job <id> (result also takes the
 //!              submit decoding/verification options)
 //!              snapshots are specs: gen:<name>:<n>:<seed> or file:<path>
@@ -331,13 +338,17 @@ fn resolve_query(name: &str) -> Pattern {
 
 /// `fractal worker`: one cluster worker process, serving a single driver
 /// session. Prints `LISTENING <addr>` (the contract `LocalCluster` and
-/// remote drivers rely on) before blocking in the session loop.
+/// remote drivers rely on) before blocking in the session loop. With
+/// `--link-fault <seed>` the worker arms the deterministic link-degradation
+/// envelope (delay/duplicate/reorder) on its serve-mode job links.
 fn run_worker(opts: &HashMap<String, String>) {
     let listen = opts
         .get("listen")
         .map(String::as_str)
         .unwrap_or("127.0.0.1:0");
     let cores = opt_num(opts, "cores").unwrap_or(2);
+    let link_fault = opt_num(opts, "link-fault")
+        .map(|seed| fractal_runtime::LinkFaultConfig::flaky(seed as u64));
     let listener = std::net::TcpListener::bind(listen)
         .unwrap_or_else(|e| die(&format!("cannot bind {listen}: {e}")));
     let addr = listener
@@ -346,7 +357,7 @@ fn run_worker(opts: &HashMap<String, String>) {
     println!("LISTENING {addr}");
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
-    match crate::net::serve(&listener, cores) {
+    match crate::net::serve_with(&listener, cores, link_fault) {
         Ok(outcome) => eprintln!("worker: session ended ({outcome:?})"),
         Err(e) => die(&format!("worker session failed: {e}")),
     }
@@ -549,12 +560,31 @@ fn verify_app(
 fn run_serve(opts: &HashMap<String, String>) {
     use crate::net::{LocalCluster, ServeConfig, Server};
     let cores = opt_num(opts, "cores").unwrap_or(2);
+    let link_fault_seed = opt_num(opts, "link-fault");
     let (_lc, streams, names) = if let Some(n) = opt_num(opts, "local-cluster") {
         if n == 0 {
             die("--local-cluster needs at least 1 worker");
         }
-        let lc = LocalCluster::spawn(n, cores)
-            .unwrap_or_else(|e| die(&format!("cannot spawn local cluster: {e}")));
+        // With --link-fault, spawn each worker with the same flag so the
+        // whole fleet degrades its job links deterministically (each
+        // worker further mixes the job id into the seed).
+        let exe = std::env::current_exe()
+            .unwrap_or_else(|e| die(&format!("cannot resolve own binary: {e}")));
+        let lc = LocalCluster::spawn_with(n, |_| {
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.args([
+                "worker",
+                "--listen",
+                "127.0.0.1:0",
+                "--cores",
+                &cores.to_string(),
+            ]);
+            if let Some(seed) = link_fault_seed {
+                cmd.args(["--link-fault", &seed.to_string()]);
+            }
+            cmd
+        })
+        .unwrap_or_else(|e| die(&format!("cannot spawn local cluster: {e}")));
         let streams = lc
             .connect()
             .unwrap_or_else(|e| die(&format!("cannot connect to local workers: {e}")));
@@ -589,6 +619,9 @@ fn run_serve(opts: &HashMap<String, String>) {
     }
     if let Some(ms) = opt_num(opts, "heartbeat-ms") {
         config.heartbeat_timeout = std::time::Duration::from_millis(ms as u64);
+    }
+    if let Some(dir) = opts.get("journal") {
+        config.journal_dir = Some(std::path::PathBuf::from(dir));
     }
 
     let listen = opts
@@ -628,8 +661,12 @@ fn run_client(action: &str, opts: &HashMap<String, String>) {
             let app = parse_app_spec(opts);
             let tenant = opts.get("tenant").map(String::as_str).unwrap_or("default");
             let priority = opt_num(opts, "priority").unwrap_or(0) as u8;
+            // The idempotency token survives an ambiguous submit (daemon
+            // crashed after journaling admission): resubmitting the same
+            // token returns the original job id instead of double-admitting.
+            let token = opts.get("token").cloned().unwrap_or_else(gen_token);
             let job = client
-                .submit(tenant, priority, &snapshot, &app)
+                .submit(tenant, priority, &snapshot, &app, &token)
                 .unwrap_or_else(|e| die(&format!("submit rejected: {e}")));
             println!("JOB {job}");
             use std::io::Write as _;
@@ -653,10 +690,10 @@ fn run_client(action: &str, opts: &HashMap<String, String>) {
             let job = opt_num(opts, "job").unwrap_or_else(|| die("--job <id> required")) as u64;
             let app = parse_app_spec(opts);
             let snapshot = opts.get("snapshot").cloned().unwrap_or_default();
-            let (count, agg, report) = client
+            let result = client
                 .fetch_result(job)
                 .unwrap_or_else(|e| die(&format!("result failed: {e}")));
-            report_result(job, app, count, &agg, &report, &snapshot, opts);
+            report_result(job, app, &result, &snapshot, 0, opts);
         }
         other => die(&format!(
             "unknown client action {other:?} (submit|status|cancel|result)"
@@ -665,6 +702,9 @@ fn run_client(action: &str, opts: &HashMap<String, String>) {
 }
 
 /// Streams a submitted job's events until it terminates, then reports.
+/// Uses the resumable wait: transient disconnects (daemon restart, flaky
+/// network) are ridden out with capped exponential backoff, resuming the
+/// event stream from the last seen sequence number.
 fn wait_and_report(
     client: &mut crate::net::Client,
     job: u64,
@@ -672,18 +712,25 @@ fn wait_and_report(
     snapshot: &str,
     opts: &HashMap<String, String>,
 ) {
-    use crate::net::JobTerminal;
+    use crate::net::{JobTerminal, ReconnectPolicy};
+    let policy = ReconnectPolicy::default();
     let term = client
-        .wait_with(job, |kind, detail, value| {
+        .wait_resumable(job, &policy, |kind, detail, value| {
             eprintln!("job {job}: {kind:?} {detail} {value}");
         })
         .unwrap_or_else(|e| die(&format!("lost server while waiting: {e}")));
+    if client.reconnects() > 0 {
+        eprintln!(
+            "job {job}: stream survived {} reconnect(s)",
+            client.reconnects()
+        );
+    }
     match term {
         JobTerminal::Done { .. } => {
-            let (count, agg, report) = client
+            let result = client
                 .fetch_result(job)
                 .unwrap_or_else(|e| die(&format!("result fetch failed: {e}")));
-            report_result(job, app, count, &agg, &report, snapshot, opts);
+            report_result(job, app, &result, snapshot, client.reconnects(), opts);
         }
         JobTerminal::Cancelled => println!("CANCELLED {job}"),
         JobTerminal::Failed(why) => die(&format!("job {job} failed: {why}")),
@@ -696,13 +743,14 @@ fn wait_and_report(
 fn report_result(
     job: u64,
     app: crate::net::AppSpec,
-    count: u64,
-    agg: &[u8],
-    report: &[u8],
+    result: &(u64, Vec<u8>, Vec<u8>),
     snapshot: &str,
+    reconnects: u64,
     opts: &HashMap<String, String>,
 ) {
     use crate::net::AppSpec;
+    let (count, agg, report) = result;
+    let count = *count;
     let mut motifs = HashMap::new();
     let mut frequent = Vec::new();
     match app {
@@ -736,8 +784,11 @@ fn report_result(
         }
     }
     if let Some(path) = opts.get("metrics-out") {
-        let decoded = crate::net::blob::decode_report(report)
+        let mut decoded = crate::net::blob::decode_report(report)
             .unwrap_or_else(|e| die(&format!("bad report blob: {e}")));
+        // The daemon cannot see client-side reconnects; stamp them here so
+        // the metrics artifact carries the full fault picture.
+        decoded.faults.client_reconnects += reconnects;
         let buckets = opt_num(opts, "buckets").unwrap_or(32);
         std::fs::write(path, decoded.to_json(buckets))
             .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
@@ -863,7 +914,7 @@ fn usage() {
          trace:  -k <size> [--trace-out f.jsonl] [--metrics-out f.json] [--buckets N] [--ring N]\n\
                  [--per-worker [--local-cluster N]]\n\
          cluster (simulated): --workers N --cores N [--ws disabled|internal|external|both]\n\
-         worker: --listen <addr> --cores N\n\
+         worker: --listen <addr> --cores N [--link-fault seed]\n\
          submit: --app <motifs|cliques|fsm> (--local-cluster N | --workers host:port,...)\n\
                  [--cores N] [--verify-single] [--per-worker] [--chaos-kill i] [--metrics-out f.json]\n\
          check:  [--bound N | --unbounded] [--metrics-out f.json]\n\
@@ -872,12 +923,25 @@ fn usage() {
          serve:  --listen <addr> (--local-cluster N | --workers host:port,...) [--cores N]\n\
                  [--max-running N] [--max-queue N] [--tenant-quota N]\n\
                  [--snapshot-budget-mb N] [--heartbeat-ms N]\n\
+                 [--journal dir] [--link-fault seed]\n\
          client: <submit|status|cancel|result> --server <addr>\n\
                  submit: --tenant t --priority p --snapshot <gen:name:n:seed|file:path>\n\
                          --app <motifs|cliques|fsm> + app options\n\
-                         [--wait] [--verify-single] [--metrics-out f.json]\n\
+                         [--token t] [--wait] [--verify-single] [--metrics-out f.json]\n\
                  status|cancel|result: --job <id>"
     );
+}
+
+/// Generates a default idempotency token for `client submit` when the
+/// caller did not pass `--token`: unique enough across processes and
+/// retries that distinct submits never collide, while an explicit
+/// `--token` lets scripted retries stay idempotent.
+fn gen_token() -> String {
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    format!("cli-{}-{now:x}", std::process::id())
 }
 
 fn die(msg: &str) -> ! {
