@@ -10,6 +10,8 @@
 //!   (Listing 3), with and without transparent graph reduction,
 //! - [`query`] — subgraph querying (Listing 5) and the q1–q8 evaluation
 //!   queries (Fig. 14),
+//! - [`planned`] — the `--plan` policy: enumerate vs decomposition-compiled
+//!   counting plans, with cost-based auto selection,
 //! - [`keyword`] — keyword-based subgraph search (Listing 4) with the
 //!   graph-reduction optimization of §4.3.
 //!
@@ -20,4 +22,5 @@ pub mod cliques;
 pub mod fsm;
 pub mod keyword;
 pub mod motifs;
+pub mod planned;
 pub mod query;

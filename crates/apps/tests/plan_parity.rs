@@ -1,0 +1,165 @@
+//! Oracle parity for the decomposed execution path: compiled counting
+//! plans must reproduce the enumeration engine's results bit-for-bit.
+//!
+//! - Exhaustive sweep: every connected pattern with at most 5 vertices,
+//!   counted both ways on deterministic Erdős–Rényi graphs (n ≤ 12,
+//!   multiple seeds).
+//! - Property tests: random (pattern, graph) pairs drawn by proptest.
+//! - Hand-checked inclusion–exclusion coefficients of the Möbius motif
+//!   basis (the a_ij in N_sub(Q_i) = Σ_j a_ij · N_ind(Q_j)).
+
+use fractal_apps::planned::{count_matches_planned, motifs_planned, ExecPath, PlanMode};
+use fractal_apps::{motifs, query};
+use fractal_core::{FractalContext, FractalGraph};
+use fractal_graph::{gen, Graph};
+use fractal_pattern::canon::canonical_code;
+use fractal_pattern::decompose::{connected_shapes, MotifBasis};
+use fractal_pattern::Pattern;
+use fractal_runtime::ClusterConfig;
+use proptest::prelude::*;
+
+fn fg_of(g: &Graph) -> FractalGraph {
+    FractalContext::new(ClusterConfig::local(1, 2)).fractal_graph(g.clone())
+}
+
+fn oracle_graphs() -> Vec<Graph> {
+    vec![
+        gen::erdos_renyi(10, 22, 1, 3),
+        gen::erdos_renyi(12, 40, 1, 7),
+        gen::erdos_renyi(12, 18, 1, 11),
+    ]
+}
+
+/// Every connected pattern on ≤ 5 vertices: decomposed count == enumerator
+/// count on every oracle graph.
+#[test]
+fn decomposed_matches_enumerator_for_all_small_patterns() {
+    for g in oracle_graphs() {
+        let fg = fg_of(&g);
+        for k in 1..=5 {
+            for shape in connected_shapes(k) {
+                let (dec, _, choice) = count_matches_planned(&fg, &shape, PlanMode::Decomposed);
+                assert_eq!(choice.path, ExecPath::Decomposed);
+                let want = query::count_matches(&fg, &shape);
+                assert_eq!(dec, want, "pattern {shape:?} on n={}", g.num_vertices());
+            }
+        }
+    }
+}
+
+/// Decomposed motif maps are bit-identical to the enumerator's (same keys,
+/// same counts, zero-count shapes omitted by both).
+#[test]
+fn decomposed_motif_maps_match_enumerator() {
+    for g in oracle_graphs() {
+        let fg = fg_of(&g);
+        for k in 3..=5 {
+            let (dec, _, choice) = motifs_planned(&fg, k, false, PlanMode::Decomposed);
+            assert_eq!(choice.path, ExecPath::Decomposed);
+            assert_eq!(dec, motifs::motifs(&fg, k), "k={k}");
+        }
+    }
+}
+
+/// Index of a pattern's shape class within a motif basis.
+fn idx(basis: &MotifBasis, p: &Pattern) -> usize {
+    let code = canonical_code(p);
+    basis
+        .codes()
+        .iter()
+        .position(|c| *c == code)
+        .expect("shape not in basis")
+}
+
+/// Hand-checked Möbius coefficients a_ij = number of connected spanning
+/// subgraphs of Q_j isomorphic to Q_i.
+#[test]
+fn mobius_coefficients_match_hand_checked_values() {
+    let b3 = MotifBasis::new(3);
+    let p3 = idx(&b3, &Pattern::path(3));
+    let k3 = idx(&b3, &Pattern::clique(3));
+    // K3 has three spanning P3s (drop any one edge); diagonals are 1.
+    assert_eq!(b3.coeff(p3, k3), 3);
+    assert_eq!(b3.coeff(p3, p3), 1);
+    assert_eq!(b3.coeff(k3, k3), 1);
+    // Denser shapes never appear in sparser ones.
+    assert_eq!(b3.coeff(k3, p3), 0);
+
+    let b4 = MotifBasis::new(4);
+    let p4 = idx(&b4, &Pattern::path(4));
+    let s3 = idx(&b4, &Pattern::star(3));
+    let c4 = idx(&b4, &Pattern::cycle(4));
+    let k4 = idx(&b4, &Pattern::clique(4));
+    // C4 minus any one of its 4 edges is a P4.
+    assert_eq!(b4.coeff(p4, c4), 4);
+    // K4: 16 spanning trees = 12 paths + 4 stars; 3 spanning 4-cycles.
+    assert_eq!(b4.coeff(p4, k4), 12);
+    assert_eq!(b4.coeff(s3, k4), 4);
+    assert_eq!(b4.coeff(c4, k4), 3);
+    // A cycle contains no spanning star.
+    assert_eq!(b4.coeff(s3, c4), 0);
+}
+
+/// Hand-checked inversion: on K5, every 4-subset induces K4, so N_ind is
+/// concentrated on the clique while N_sub spreads per the coefficients.
+#[test]
+fn mobius_inversion_on_complete_graph() {
+    let b4 = MotifBasis::new(4);
+    let k4 = idx(&b4, &Pattern::clique(4));
+    let p4 = idx(&b4, &Pattern::path(4));
+    // K5 subgraph counts: 5 K4s; P4s = C(5,4)·12 = 60.
+    let mut subs = vec![0u64; b4.shapes().len()];
+    subs[k4] = 5;
+    subs[p4] = 60;
+    let c4 = idx(&b4, &Pattern::cycle(4));
+    let s3 = idx(&b4, &Pattern::star(3));
+    let diamond = idx(&b4, &query::diamond());
+    subs[c4] = 15; // C(5,4)·3
+    subs[s3] = 20; // C(5,4)·4
+    subs[diamond] = 30; // C(5,4)·6
+                        // Paw (triangle + tail): 10 triangles × 2 outside vertices × 3 anchors.
+    let paw = idx(
+        &b4,
+        &Pattern::unlabeled(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]),
+    );
+    subs[paw] = 60;
+    let induced = b4.induced_from_subgraph(&subs);
+    let mut want = vec![0u64; b4.shapes().len()];
+    want[k4] = 5;
+    assert_eq!(induced, want);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random pattern × random ER graph: decomposed count equals the
+    /// enumerator's.
+    #[test]
+    fn random_pattern_parity(
+        k in 2usize..=5,
+        shape_sel in any::<u32>(),
+        n in 6usize..=12,
+        m in 8usize..=34,
+        seed in any::<u64>(),
+    ) {
+        let shapes = connected_shapes(k);
+        let shape = &shapes[shape_sel as usize % shapes.len()];
+        let fg = fg_of(&gen::erdos_renyi(n, m, 1, seed));
+        let (dec, _, _) = count_matches_planned(&fg, shape, PlanMode::Decomposed);
+        prop_assert_eq!(dec, query::count_matches(&fg, shape));
+    }
+
+    /// Random ER graph: decomposed motif maps equal the enumerator's for
+    /// every size the planner supports.
+    #[test]
+    fn random_motif_map_parity(
+        n in 6usize..=12,
+        m in 8usize..=30,
+        seed in any::<u64>(),
+        k in 3usize..=5,
+    ) {
+        let fg = fg_of(&gen::erdos_renyi(n, m, 1, seed));
+        let (dec, _, _) = motifs_planned(&fg, k, false, PlanMode::Decomposed);
+        prop_assert_eq!(dec, motifs::motifs(&fg, k));
+    }
+}

@@ -166,6 +166,7 @@ fn cluster_kill(seed: u64) -> Result<(u64, u64, u64, u64), String> {
         AppSpec::Motifs {
             k: MOTIF_K as u32,
             use_labels: false,
+            decomposed: false,
         },
         gen::mico_like(220, 4, 7),
     );

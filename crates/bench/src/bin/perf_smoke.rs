@@ -1,5 +1,7 @@
-//! CI perf-smoke probe: runs the two kernel-gated workloads (KClist clique
-//! counting and generic motif enumeration) on a fixed Mico-like graph and
+//! CI perf-smoke probe: runs the kernel-gated workloads (KClist clique
+//! counting and generic motif enumeration) on a fixed Mico-like graph, plus
+//! the depth-bound 5-motif benchmark through *both* execution paths
+//! (enumerate vs. decomposed planner) on a sparser Patents-like graph, and
 //! emits their **work counters** as one JSON document.
 //!
 //! Two legs:
@@ -15,6 +17,7 @@
 //!
 //! Usage: `perf_smoke [--out <path>]` (default: stdout).
 
+use fractal_apps::planned::PlanMode;
 use fractal_core::{ExecutionReport, FractalContext, FractalGraph};
 use fractal_graph::gen;
 use fractal_runtime::{ClusterConfig, WsMode};
@@ -25,10 +28,21 @@ const LABELS: u32 = 4;
 const SEED: u64 = 42;
 const CLIQUE_K: usize = 4;
 const MOTIF_K: usize = 3;
+// The 5-motif pair runs on a sparser citation-shaped graph: depth-5
+// enumeration on the dense Mico-like instance would dominate CI wall-clock,
+// while this size keeps the enumerate leg measurable and the decomposed leg
+// clearly ahead of it.
+const MOTIF_K5: usize = 5;
+const K5_VERTICES: usize = 220;
 
 fn fractal_graph(config: ClusterConfig) -> FractalGraph {
     let fc = FractalContext::new(config);
     fc.fractal_graph(gen::mico_like(VERTICES, LABELS, SEED))
+}
+
+fn k5_fractal_graph(config: ClusterConfig) -> FractalGraph {
+    let fc = FractalContext::new(config);
+    fc.fractal_graph(gen::patents_like(K5_VERTICES, LABELS, SEED))
 }
 
 /// Deterministic work counters of one workload run (single step).
@@ -42,9 +56,13 @@ fn work_counters(name: &str, count: u64, report: &ExecutionReport, out: &mut Str
          \"total_units\": {units},\n      \"kernel_merge\": {km},\n      \
          \"kernel_gallop\": {kg},\n      \"kernel_bitset\": {kb},\n      \
          \"kernel_scanned\": {ks},\n      \"arena_peak_bytes\": {},\n      \
-         \"elapsed_ms\": {:.3}\n    }}",
+         \"plans_compiled\": {},\n      \"subpatterns_counted\": {},\n      \
+         \"ie_terms\": {},\n      \"elapsed_ms\": {:.3}\n    }}",
         step.total_ec(),
         step.arena_peak_bytes(),
+        step.planner.plans_compiled,
+        step.planner.subpatterns_counted,
+        step.planner.ie_terms,
         report.elapsed.as_secs_f64() * 1e3,
     );
 }
@@ -140,6 +158,20 @@ fn main() {
     let (motif_hist, motif_report) = fractal_apps::motifs::motifs_with_report(&det, MOTIF_K, false);
     let motif_total: u64 = motif_hist.values().sum();
 
+    // Depth-bound 5-motif benchmark: the same task through both execution
+    // paths. Bit-identity between the histograms is asserted here so a
+    // planner regression fails the smoke run itself, before the gate.
+    let k5 = k5_fractal_graph(ClusterConfig::local(1, 2).with_ws(WsMode::Disabled));
+    let (k5_enum_hist, k5_enum_report, _) =
+        fractal_apps::planned::motifs_planned(&k5, MOTIF_K5, false, PlanMode::Enumerate);
+    let (k5_dec_hist, k5_dec_report, _) =
+        fractal_apps::planned::motifs_planned(&k5, MOTIF_K5, false, PlanMode::Decomposed);
+    assert_eq!(
+        k5_enum_hist, k5_dec_hist,
+        "decomposed 5-motif counts must be bit-identical to the enumerator"
+    );
+    let k5_total: u64 = k5_enum_hist.values().sum();
+
     // Parallel leg: full hierarchical work stealing across two workers.
     let par = fractal_graph(ClusterConfig::local(2, 2));
     let (par_cliques, par_report) = fractal_apps::cliques::count_kclist_with_report(&par, CLIQUE_K);
@@ -150,6 +182,11 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"graph\": {{\"generator\": \"mico_like\", \"vertices\": {VERTICES}, \
+         \"labels\": {LABELS}, \"seed\": {SEED}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"graph_k5\": {{\"generator\": \"patents_like\", \"vertices\": {K5_VERTICES}, \
          \"labels\": {LABELS}, \"seed\": {SEED}}},"
     );
     json.push_str("  \"deterministic\": {\n");
@@ -167,7 +204,29 @@ fn main() {
         &mut json,
     );
     json.push_str(",\n");
-    fault_counters(&[&clique_report, &motif_report], &mut json);
+    work_counters(
+        &format!("motifs_k{MOTIF_K5}_enumerate"),
+        k5_total,
+        &k5_enum_report,
+        &mut json,
+    );
+    json.push_str(",\n");
+    work_counters(
+        &format!("motifs_k{MOTIF_K5}_decomposed"),
+        k5_total,
+        &k5_dec_report,
+        &mut json,
+    );
+    json.push_str(",\n");
+    fault_counters(
+        &[
+            &clique_report,
+            &motif_report,
+            &k5_enum_report,
+            &k5_dec_report,
+        ],
+        &mut json,
+    );
     json.push_str("\n  },\n  \"parallel\": {\n");
     balance_counters(
         &format!("kclist_k{CLIQUE_K}"),

@@ -31,12 +31,14 @@ pub mod aggregation;
 pub mod context;
 pub mod engine;
 pub mod fractoid;
+pub mod plan_run;
 pub mod view;
 
 pub use aggregation::{AggResult, AggShard, Aggregator};
 pub use context::{FractalContext, FractalGraph};
 pub use engine::{ExecutionReport, Participation, StepOutcome};
 pub use fractoid::Fractoid;
+pub use plan_run::{execute_plan_step_distributed, run_plan, run_plan_counts};
 pub use view::{SubgraphData, SubgraphView};
 
 /// The common public API surface.

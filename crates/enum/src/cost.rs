@@ -1,0 +1,56 @@
+//! Cost estimate for plain vertex-induced enumeration.
+//!
+//! The decomposition planner (`fractal-pattern`) carries a cost estimate
+//! per compiled plan; `--plan auto` needs a comparable figure for the
+//! enumeration path so it can pick the cheaper strategy. The model mirrors
+//! the planner's: the enumeration frontier at depth `i` holds roughly
+//! `n · d^(i-1)` connected subgraphs (with `d` the average degree), and
+//! extending each costs one scan of the candidate set — about `i · d`
+//! words, since a size-`i` subgraph's extension candidates are the union
+//! of its vertices' neighbourhoods.
+//!
+//! Both estimates are unitless "words touched" figures; only their ratio
+//! is meaningful, and only for steering `auto` — they are never reported
+//! as measurements.
+
+/// Estimated extension cost of enumerating all connected `k`-vertex
+/// subgraphs of a graph with `vertices` vertices and average degree
+/// `avg_degree`.
+pub fn expansion_cost_estimate(vertices: u64, avg_degree: f64, k: usize) -> f64 {
+    if k == 0 || vertices == 0 {
+        return 0.0;
+    }
+    let n = vertices as f64;
+    let d = avg_degree.max(1.0);
+    let mut cost = n; // emitting the root frontier
+    let mut frontier = n;
+    for i in 1..k {
+        cost += frontier * (i as f64) * d;
+        frontier *= d;
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_inputs_cost_nothing() {
+        assert_eq!(expansion_cost_estimate(0, 3.0, 4), 0.0);
+        assert_eq!(expansion_cost_estimate(100, 3.0, 0), 0.0);
+    }
+
+    #[test]
+    fn cost_grows_with_depth_and_degree() {
+        let base = expansion_cost_estimate(1000, 4.0, 3);
+        assert!(expansion_cost_estimate(1000, 4.0, 4) > base);
+        assert!(expansion_cost_estimate(1000, 8.0, 3) > base);
+        assert!(expansion_cost_estimate(2000, 4.0, 3) > base);
+    }
+
+    #[test]
+    fn single_vertex_exploration_costs_one_scan_per_root() {
+        assert_eq!(expansion_cost_estimate(42, 7.0, 1), 42.0);
+    }
+}

@@ -15,16 +15,20 @@
 //! - [`enumerator`] — the [`SubgraphEnumerator`] abstraction of Fig. 7 and
 //!   its vertex-, edge- and pattern-induced implementations,
 //! - [`kclist`] — the custom KClist clique enumerator of Appendix B,
+//! - [`cost`] — the enumeration cost estimate that `--plan auto` weighs
+//!   against a compiled decomposition plan's estimate,
 //! - [`queue`] — shared extension queues with atomic claim cursors, the
 //!   unit of work stealing (§4.2).
 
 pub mod canonical;
+pub mod cost;
 pub mod enumerator;
 pub mod kclist;
 pub mod queue;
 pub mod sampling;
 pub mod subgraph;
 
+pub use cost::expansion_cost_estimate;
 pub use enumerator::{
     EdgeInducedEnumerator, PatternEnumerator, SubgraphEnumerator, VertexInducedEnumerator,
 };

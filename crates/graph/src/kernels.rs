@@ -100,6 +100,14 @@ pub fn seek_above(list: &[u32], lo: u32) -> &[u32] {
     &list[list.partition_point(|&x| x <= lo)..]
 }
 
+/// The subslice of a sorted list whose elements are strictly smaller than
+/// `hi` — the upper-bound counterpart of [`seek_above`], used by the
+/// decomposed-counting executor for `must_be_less_than` symmetry bounds.
+#[inline]
+pub fn seek_below(list: &[u32], hi: u32) -> &[u32] {
+    &list[..list.partition_point(|&x| x < hi)]
+}
+
 /// Adaptive sorted-set intersection of `a` and `b` into `out` (cleared
 /// first). Picks merge or gallop from the length ratio; the bitset path
 /// needs scratch and is only reachable through [`ExtensionKernels`].
@@ -752,6 +760,18 @@ mod tests {
         assert_eq!(out, want);
         assert_eq!(seek_above(&a, 97), &[98, 99]);
         assert!(seek_above(&a, 99).is_empty());
+    }
+
+    #[test]
+    fn seek_below_truncates_at_bound() {
+        let a: Vec<u32> = vec![2, 5, 8, 11];
+        assert_eq!(seek_below(&a, 8), &[2, 5]);
+        assert_eq!(seek_below(&a, 9), &[2, 5, 8]);
+        assert_eq!(seek_below(&a, 100), &a[..]);
+        assert!(seek_below(&a, 2).is_empty());
+        assert!(seek_below(&a, 0).is_empty());
+        // Above + below compose into an open interval.
+        assert_eq!(seek_below(seek_above(&a, 2), 11), &[5, 8]);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use fractal_graph::Graph;
 use fractal_pattern::CanonicalCode;
 use fractal_runtime::fault::FaultStats;
 use fractal_runtime::level::GlobalCoreId;
-use fractal_runtime::stats::{CoreStats, JobReport};
+use fractal_runtime::stats::{CoreStats, JobReport, PlannerStats};
 use std::collections::{HashMap, HashSet};
 use std::time::Duration;
 
@@ -40,8 +40,15 @@ impl std::error::Error for BlobError {}
 /// Which GPM application a cluster job runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AppSpec {
-    /// Motif counting: `vfractoid.expand(k).aggregate("motifs", …)`.
-    Motifs { k: u32, use_labels: bool },
+    /// Motif counting: `vfractoid.expand(k).aggregate("motifs", …)`, or —
+    /// with `decomposed` — the compiled counting-plan path (workers
+    /// evaluate the shared plan DAG over their root partition and flush
+    /// raw per-node totals; the driver combines them by Möbius inversion).
+    Motifs {
+        k: u32,
+        use_labels: bool,
+        decomposed: bool,
+    },
     /// k-clique counting with the KClist enumerator.
     Kclist { k: u32 },
     /// Frequent subgraph mining (iterative, one round per pattern size).
@@ -133,10 +140,16 @@ impl<'a> Cursor<'a> {
 
 fn put_app(out: &mut Vec<u8>, app: &AppSpec) {
     match app {
-        AppSpec::Motifs { k, use_labels } => {
+        AppSpec::Motifs {
+            k,
+            use_labels,
+            decomposed,
+        } => {
             put_u8(out, 1);
             put_u32(out, *k);
-            put_u8(out, *use_labels as u8);
+            // Flags byte: bit 0 = use_labels, bit 1 = decomposed. Plain
+            // 0/1 values stay wire-compatible with the pre-planner layout.
+            put_u8(out, (*use_labels as u8) | ((*decomposed as u8) << 1));
         }
         AppSpec::Kclist { k } => {
             put_u8(out, 2);
@@ -155,14 +168,22 @@ fn put_app(out: &mut Vec<u8>, app: &AppSpec) {
 
 fn get_app(c: &mut Cursor<'_>) -> Result<AppSpec, BlobError> {
     Ok(match c.u8()? {
-        1 => AppSpec::Motifs {
-            k: c.u32()?,
-            use_labels: match c.u8()? {
-                0 => false,
-                1 => true,
-                _ => return Err(BlobError::Malformed("use_labels flag")),
-            },
-        },
+        1 => {
+            let k = c.u32()?;
+            let flags = c.u8()?;
+            if flags > 3 {
+                return Err(BlobError::Malformed("motifs flags"));
+            }
+            if flags == 3 {
+                // The planner compiles unlabeled plans only.
+                return Err(BlobError::Malformed("labeled decomposed motifs"));
+            }
+            AppSpec::Motifs {
+                k,
+                use_labels: flags & 1 != 0,
+                decomposed: flags & 2 != 0,
+            }
+        }
         2 => AppSpec::Kclist { k: c.u32()? },
         3 => AppSpec::Fsm {
             min_support: c.u64()?,
@@ -308,6 +329,34 @@ pub fn decode_motifs_map(bytes: &[u8]) -> Result<HashMap<CanonicalCode, u64>, Bl
     Ok(map)
 }
 
+// ---- plan totals (decomposed motifs aggregation) ----
+
+/// Encodes a decomposed-plan partial-totals vector: one `i128` per plan
+/// node, each split into two big-endian `u64` halves (high word first).
+pub fn encode_plan_totals(totals: &[i128]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, totals.len() as u32);
+    for &v in totals {
+        put_u64(&mut out, (v >> 64) as u64);
+        put_u64(&mut out, v as u64);
+    }
+    out
+}
+
+/// Decodes a totals vector encoded by [`encode_plan_totals`].
+pub fn decode_plan_totals(bytes: &[u8]) -> Result<Vec<i128>, BlobError> {
+    let mut c = Cursor::new(bytes);
+    let n = c.count(16)?;
+    let mut totals = Vec::with_capacity(n);
+    for _ in 0..n {
+        let hi = c.u64()?;
+        let lo = c.u64()?;
+        totals.push(((hi as i128) << 64) | (lo as i128));
+    }
+    c.finish()?;
+    Ok(totals)
+}
+
 // ---- FSM aggregation map ----
 
 /// Encodes an FSM support map: per canonical pattern, the per-position
@@ -418,6 +467,9 @@ pub fn encode_report(r: &JobReport) -> Vec<u8> {
         r.faults.resumed_jobs,
         r.faults.link_faults_injected,
         r.faults.client_reconnects,
+        r.planner.plans_compiled,
+        r.planner.subpatterns_counted,
+        r.planner.ie_terms,
     ] {
         put_u64(&mut out, v);
     }
@@ -471,6 +523,11 @@ pub fn decode_report(bytes: &[u8]) -> Result<JobReport, BlobError> {
         link_faults_injected: c.u64()?,
         client_reconnects: c.u64()?,
     };
+    let planner = PlannerStats {
+        plans_compiled: c.u64()?,
+        subpatterns_counted: c.u64()?,
+        ie_terms: c.u64()?,
+    };
     let ncores = c.count(8 + CORE_STAT_FIELDS * 8)?;
     let mut cores = Vec::with_capacity(ncores);
     for _ in 0..ncores {
@@ -506,6 +563,7 @@ pub fn decode_report(bytes: &[u8]) -> Result<JobReport, BlobError> {
         steal_requests,
         steal_hits,
         faults,
+        planner,
         trace: None,
     })
 }
@@ -541,6 +599,12 @@ mod tests {
             AppSpec::Motifs {
                 k: 3,
                 use_labels: true,
+                decomposed: false,
+            },
+            AppSpec::Motifs {
+                k: 5,
+                use_labels: false,
+                decomposed: true,
             },
             AppSpec::Kclist { k: 4 },
             AppSpec::Fsm {
@@ -564,6 +628,29 @@ mod tests {
         let bytes = encode_motifs_map(&map);
         assert_eq!(decode_motifs_map(&bytes).expect("decode"), map);
         assert_eq!(bytes, encode_motifs_map(&map.clone()));
+    }
+
+    #[test]
+    fn plan_totals_round_trip() {
+        let totals = vec![
+            0i128,
+            1,
+            -1,
+            u64::MAX as i128 + 17,
+            i128::MAX,
+            i128::MIN,
+            -(1i128 << 100),
+        ];
+        let bytes = encode_plan_totals(&totals);
+        assert_eq!(decode_plan_totals(&bytes).expect("decode"), totals);
+        assert_eq!(
+            decode_plan_totals(&encode_plan_totals(&[])).expect("decode"),
+            Vec::<i128>::new()
+        );
+        // Truncations error cleanly.
+        for cut in 0..bytes.len() {
+            assert!(decode_plan_totals(&bytes[..cut]).is_err());
+        }
     }
 
     #[test]
@@ -625,6 +712,11 @@ mod tests {
                 link_faults_injected: 13,
                 client_reconnects: 14,
             },
+            planner: PlannerStats {
+                plans_compiled: 15,
+                subpatterns_counted: 16,
+                ie_terms: 17,
+            },
             trace: None,
         };
         let bytes = encode_report(&r);
@@ -640,6 +732,9 @@ mod tests {
         assert_eq!(r2.faults.resumed_jobs, 12);
         assert_eq!(r2.faults.link_faults_injected, 13);
         assert_eq!(r2.faults.client_reconnects, 14);
+        assert_eq!(r2.planner.plans_compiled, 15);
+        assert_eq!(r2.planner.subpatterns_counted, 16);
+        assert_eq!(r2.planner.ie_terms, 17);
         assert_eq!(r2.steal_hits, 3);
     }
 
@@ -649,6 +744,12 @@ mod tests {
             AppSpec::Motifs {
                 k: 4,
                 use_labels: false,
+                decomposed: false,
+            },
+            AppSpec::Motifs {
+                k: 5,
+                use_labels: false,
+                decomposed: true,
             },
             AppSpec::Kclist { k: 5 },
             AppSpec::Fsm {
@@ -661,6 +762,10 @@ mod tests {
         }
         assert!(decode_app_spec(&[]).is_err());
         assert!(decode_app_spec(&[9]).is_err());
+        // Unknown flag bits and the labeled+decomposed combination are
+        // rejected at decode.
+        assert!(decode_app_spec(&[1, 0, 0, 0, 3, 4]).is_err());
+        assert!(decode_app_spec(&[1, 0, 0, 0, 3, 7]).is_err());
         // Trailing bytes after a valid spec are rejected.
         let mut bytes = encode_app_spec(&AppSpec::Kclist { k: 3 });
         bytes.push(0);

@@ -26,9 +26,11 @@ use fractal_apps::fsm::{fsm_fractoid, DomainSupport};
 use fractal_apps::{cliques, motifs};
 use fractal_core::FractalContext;
 use fractal_graph::Graph;
-use fractal_pattern::CanonicalCode;
+use fractal_pattern::{CanonicalCode, CountingPlan, GraphStats};
 use fractal_runtime::steal::{encode_unit, StolenUnit};
-use fractal_runtime::{ClusterConfig, CoreStats, FaultStats, GlobalCoreId, JobReport};
+use fractal_runtime::{
+    ClusterConfig, CoreStats, FaultStats, GlobalCoreId, JobReport, PlannerStats,
+};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, BufRead, BufReader};
 use std::net::{SocketAddr, TcpStream};
@@ -265,6 +267,9 @@ struct RoundState {
     done_broadcast: bool,
     count: u64,
     motifs: HashMap<CanonicalCode, u64>,
+    /// Element-wise sum of decomposed-plan partial totals (decomposed
+    /// motifs only); sized by the first flush of the round.
+    plan_totals: Vec<i128>,
     fsm: HashMap<CanonicalCode, DomainSupport>,
 }
 
@@ -279,6 +284,7 @@ impl RoundState {
             done_broadcast: false,
             count: 0,
             motifs: HashMap::new(),
+            plan_totals: Vec::new(),
             fsm: HashMap::new(),
         }
     }
@@ -299,6 +305,7 @@ struct Driver<K: FrameSink> {
     steal_requests: u64,
     steal_hits: u64,
     faults: FaultStats,
+    planner: PlannerStats,
 }
 
 impl<K: FrameSink> Driver<K> {
@@ -431,6 +438,9 @@ impl<K: FrameSink> Driver<K> {
         self.faults.resumed_jobs += report.faults.resumed_jobs;
         self.faults.link_faults_injected += report.faults.link_faults_injected;
         self.faults.client_reconnects += report.faults.client_reconnects;
+        // Every worker runs the same compiled plan: keep the shared
+        // counters instead of summing duplicates.
+        self.planner.absorb(&report.planner);
     }
 
     fn handle_frame(
@@ -629,6 +639,25 @@ impl<K: FrameSink> Driver<K> {
                 self.conns[i].passes.pop_front();
                 rs.count += count;
                 match self.app {
+                    // Decomposed motif workers flush raw per-plan-node
+                    // partial totals; per-root values are independent, so
+                    // the element-wise sum over workers is exact.
+                    AppSpec::Motifs {
+                        decomposed: true, ..
+                    } => {
+                        let totals = blob::decode_plan_totals(&agg)
+                            .map_err(|e| invalid(format!("plan totals flush: {e}")))?;
+                        if rs.plan_totals.is_empty() {
+                            rs.plan_totals = totals;
+                        } else {
+                            if rs.plan_totals.len() != totals.len() {
+                                return Err(invalid("plan totals length mismatch"));
+                            }
+                            for (t, v) in rs.plan_totals.iter_mut().zip(totals) {
+                                *t += v;
+                            }
+                        }
+                    }
                     AppSpec::Motifs { .. } => {
                         let map = blob::decode_motifs_map(&agg)
                             .map_err(|e| invalid(format!("motifs flush: {e}")))?;
@@ -736,11 +765,30 @@ where
     // process. For FSM they are the same every round (extensions of the
     // empty subgraph; aggregation filters prune only deeper levels).
     let roots = match &app {
-        AppSpec::Motifs { k, use_labels } => {
+        // Decomposed plans evaluate every vertex as a root (isolated
+        // vertices included — size-1 plan nodes count them).
+        AppSpec::Motifs {
+            decomposed: true, ..
+        } => (0..fg.graph().num_vertices() as u64).collect(),
+        AppSpec::Motifs { k, use_labels, .. } => {
             motifs::motifs_fractoid(&fg, *k as usize, *use_labels).step_roots()
         }
         AppSpec::Kclist { k } => cliques::cliques_kclist_fractoid(&fg, *k as usize).step_roots(),
         AppSpec::Fsm { min_support, .. } => fsm_fractoid(&fg, *min_support, 1).step_roots(),
+    };
+    // The driver compiles the same plan every worker compiles from the
+    // shipped graph (compilation is deterministic); it owns the
+    // inclusion–exclusion finalize over the summed totals.
+    let driver_plan = match &app {
+        AppSpec::Motifs {
+            k,
+            decomposed: true,
+            ..
+        } => Some(CountingPlan::plan_motifs(
+            *k as usize,
+            GraphStats::of(fg.graph()),
+        )),
+        _ => None,
     };
 
     let (tx, rx): (_, Receiver<Ev>) = channel();
@@ -810,6 +858,7 @@ where
         steal_requests: 0,
         steal_hits: 0,
         faults: FaultStats::default(),
+        planner: PlannerStats::default(),
     };
 
     // Resumed jobs pick up their committed accumulators and skip the
@@ -952,6 +1001,15 @@ where
         total_count += rs.count;
         let mut fsm_converged = false;
         match app {
+            AppSpec::Motifs {
+                decomposed: true, ..
+            } => {
+                let plan = driver_plan.as_ref().expect("decomposed plan compiled");
+                if rs.plan_totals.is_empty() {
+                    rs.plan_totals = vec![0; plan.nodes.len()];
+                }
+                motifs_result = plan.finalize(&rs.plan_totals).into_iter().collect();
+            }
             AppSpec::Motifs { .. } => motifs_result = rs.motifs,
             AppSpec::Kclist { .. } => {}
             AppSpec::Fsm { min_support, .. } => {
@@ -1006,6 +1064,7 @@ where
         steal_requests: drv.steal_requests,
         steal_hits: drv.steal_hits,
         faults: drv.faults,
+        planner: drv.planner,
         trace: None,
     };
     Ok(ClusterResult {

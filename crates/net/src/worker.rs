@@ -34,8 +34,10 @@ use crate::frame::{
 use crate::linkfault::{DedupSource, FaultySink};
 use fractal_apps::fsm::{fsm_fractoid, fsm_support_aggregator, DomainSupport};
 use fractal_apps::{cliques, motifs};
-use fractal_core::{Aggregator, FractalContext, FractalGraph, Fractoid};
-use fractal_pattern::CanonicalCode;
+use fractal_core::{
+    execute_plan_step_distributed, Aggregator, FractalContext, FractalGraph, Fractoid,
+};
+use fractal_pattern::{CanonicalCode, CountingPlan, GraphStats};
 use fractal_runtime::steal::{decode_unit, encode_unit, StolenUnit};
 use fractal_runtime::sync::Mutex;
 use fractal_runtime::sync::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -199,7 +201,9 @@ fn build_fractoid(
     seeds: &[HashMap<CanonicalCode, DomainSupport>],
 ) -> Fractoid {
     match app {
-        AppSpec::Motifs { k, use_labels } => motifs::motifs_fractoid(fg, *k as usize, *use_labels),
+        AppSpec::Motifs { k, use_labels, .. } => {
+            motifs::motifs_fractoid(fg, *k as usize, *use_labels)
+        }
         AppSpec::Kclist { k } => cliques::cliques_kclist_fractoid(fg, *k as usize),
         AppSpec::Fsm { min_support, .. } => {
             let fractoid = fsm_fractoid(fg, *min_support, round as usize + 1);
@@ -251,6 +255,36 @@ fn run_round_seeded<K: FrameSink>(
         count: outcome.count,
         agg,
         report: blob::encode_report(&outcome.report),
+    });
+}
+
+/// Runs one assigned round of a *decomposed* motif job: compile the
+/// counting plan from the shipped graph (deterministic — every worker and
+/// the driver compile the identical plan), evaluate the assigned roots,
+/// and flush the raw per-node partial totals. The driver sums partials
+/// element-wise and owns the inclusion–exclusion finalize.
+fn run_round_decomposed<K: FrameSink>(
+    shared: &Arc<Shared<K>>,
+    fg: &FractalGraph,
+    k: usize,
+    round: u32,
+    roots: Vec<u64>,
+    hooks: Option<Arc<dyn ExternalHooks>>,
+) {
+    let plan = CountingPlan::plan_motifs(k, GraphStats::of(fg.graph()));
+    let (totals, mut report) = execute_plan_step_distributed(fg, &plan, roots, hooks);
+    if let Some(inj) = &shared.injector {
+        let now = inj.injected();
+        // ordering: Relaxed — flushes are serialized per session; the
+        // swap only carries the high-water mark between them.
+        let last = shared.injected_reported.swap(now, Ordering::Relaxed);
+        report.faults.link_faults_injected = now.saturating_sub(last);
+    }
+    let _ = shared.send(&Frame::AggFlush {
+        round,
+        count: 0,
+        agg: blob::encode_plan_totals(&totals),
+        report: blob::encode_report(&report),
     });
 }
 
@@ -447,8 +481,17 @@ where
                 let shared_job = Arc::clone(&shared);
                 let seeds_job = seeds.clone();
                 job = Some(thread::spawn(move || {
-                    let fractoid = build_fractoid(&app, &fg, round, &seeds_job);
-                    run_round_seeded(&shared_job, &app, &fractoid, round, roots, hooks);
+                    if let AppSpec::Motifs {
+                        k,
+                        decomposed: true,
+                        ..
+                    } = app
+                    {
+                        run_round_decomposed(&shared_job, &fg, k as usize, round, roots, hooks);
+                    } else {
+                        let fractoid = build_fractoid(&app, &fg, round, &seeds_job);
+                        run_round_seeded(&shared_job, &app, &fractoid, round, roots, hooks);
+                    }
                 }));
             }
             Frame::StealRequest { round } => {

@@ -52,6 +52,7 @@ fn motifs_cluster_matches_single_process() {
         AppSpec::Motifs {
             k: 3,
             use_labels: false,
+            decomposed: false,
         },
         gen::mico_like(220, 4, 7),
     );
@@ -70,6 +71,41 @@ fn motifs_cluster_matches_single_process() {
     let completed: u64 = result.workers.iter().map(|w| w.completed).sum();
     let assigned: u64 = result.workers.iter().map(|w| w.assigned).sum();
     assert_eq!(completed, assigned);
+}
+
+/// Decomposed motif counting over the cluster substrate: workers flush raw
+/// per-plan-node partial totals, the driver sums and Möbius-finalizes —
+/// the result must be bit-identical to the single-process enumerator.
+#[test]
+fn decomposed_motifs_cluster_matches_enumerator() {
+    for k in [3u32, 4] {
+        let single = {
+            let fg = FractalContext::new(ClusterConfig::local(1, 2))
+                .fractal_graph(gen::mico_like(180, 4, 9));
+            motifs::motifs(&fg, k as usize)
+        };
+        let (handles, streams, names) = start_workers(2, 2);
+        let config = DriverConfig::new(
+            AppSpec::Motifs {
+                k,
+                use_labels: false,
+                decomposed: true,
+            },
+            gen::mico_like(180, 4, 9),
+        );
+        let result = run_cluster(streams, names, config).expect("cluster run");
+        join_shutdown(handles);
+        assert_eq!(result.motifs, single, "k={k}");
+        assert_eq!(result.deaths, 0);
+        // The merged report carries the shared planner counters (absorbed,
+        // not summed: every worker compiles the identical plan).
+        assert!(result.report.planner.plans_compiled > 0);
+        assert!(result.report.planner.subpatterns_counted > 0);
+        // Exactly-once word accounting holds on the plan path too.
+        let completed: u64 = result.workers.iter().map(|w| w.completed).sum();
+        let assigned: u64 = result.workers.iter().map(|w| w.assigned).sum();
+        assert_eq!(completed, assigned);
+    }
 }
 
 #[test]
@@ -143,6 +179,7 @@ fn single_worker_cluster_matches_and_uses_no_steals() {
         AppSpec::Motifs {
             k: 3,
             use_labels: false,
+            decomposed: false,
         },
         gen::mico_like(150, 4, 5),
     );
@@ -223,7 +260,7 @@ fn scripted_quiet_flush_worker(listener: TcpListener) -> thread::JoinHandle<()> 
         let (app, graph) = fractal_net::blob::decode_job(&job).expect("job");
         let fg = FractalContext::new(ClusterConfig::local(1, 1)).fractal_graph(graph);
         let fractoid = match app {
-            AppSpec::Motifs { k, use_labels } => {
+            AppSpec::Motifs { k, use_labels, .. } => {
                 motifs::motifs_fractoid(&fg, k as usize, use_labels)
             }
             other => panic!("scripted worker only runs motifs, got {other:?}"),
@@ -309,6 +346,7 @@ fn post_done_flush_survives_slow_driver_iteration() {
         AppSpec::Motifs {
             k: 3,
             use_labels: false,
+            decomposed: false,
         },
         graph,
     );
@@ -366,6 +404,7 @@ fn worker_survives_driver_disconnect_mid_round() {
     let app = AppSpec::Motifs {
         k: 3,
         use_labels: false,
+        decomposed: false,
     };
     let job = fractal_net::blob::encode_job(&app, &graph);
     let fg = FractalContext::new(ClusterConfig::local(1, 1)).fractal_graph(graph);
@@ -402,6 +441,7 @@ fn late_steal_request_after_done_gets_a_miss() {
     let app = AppSpec::Motifs {
         k: 3,
         use_labels: false,
+        decomposed: false,
     };
     let job = fractal_net::blob::encode_job(&app, &graph);
     let fg = FractalContext::new(ClusterConfig::local(1, 1)).fractal_graph(graph);

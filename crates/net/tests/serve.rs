@@ -108,6 +108,7 @@ fn concurrent_jobs_bit_identical_to_single_process() {
         AppSpec::Motifs {
             k: 3,
             use_labels: false,
+            decomposed: false,
         },
     );
     let jk = submit("bob", AppSpec::Kclist { k: 4 });

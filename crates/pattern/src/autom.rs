@@ -66,6 +66,48 @@ fn backtrack(
     }
 }
 
+/// The order of the automorphism group of `p`, computed per connected
+/// component: the group of a disconnected pattern is the direct product of
+/// each component's group, extended by the wreath-product permutations of
+/// mutually isomorphic components, so
+///
+/// ```text
+/// |Aut(p)| = Π over isomorphism classes  |Aut(rep)|^m · m!
+/// ```
+///
+/// where `m` is the class multiplicity. For connected patterns this is just
+/// `automorphisms(p).len()`; for disconnected sub-patterns (which the
+/// decomposition planner produces) the product form avoids enumerating the
+/// cross-component permutations explicitly and is validated against the
+/// enumerated group in the tests.
+pub fn automorphism_count(p: &Pattern) -> u64 {
+    let comps = p.components();
+    if comps.len() <= 1 {
+        return automorphisms(p).len() as u64;
+    }
+    // (canonical code, |Aut(representative)|, multiplicity) per class.
+    let mut classes: Vec<(crate::CanonicalCode, u64, u64)> = Vec::new();
+    for comp in &comps {
+        let sub = p.induced_on(comp);
+        let code = crate::canon::canonical_code(&sub);
+        match classes.iter_mut().find(|(c, _, _)| *c == code) {
+            Some((_, _, m)) => *m += 1,
+            None => {
+                let aut = automorphisms(&sub).len() as u64;
+                classes.push((code, aut, 1));
+            }
+        }
+    }
+    classes
+        .iter()
+        .map(|&(_, aut, m)| aut.pow(m as u32) * factorial(m))
+        .product()
+}
+
+fn factorial(m: u64) -> u64 {
+    (2..=m).product::<u64>().max(1)
+}
+
 /// The orbit of vertex `v` under the group `auts`: the sorted set of images
 /// of `v`.
 pub fn orbit(auts: &[Vec<u8>], v: usize) -> Vec<u8> {
@@ -142,6 +184,65 @@ mod tests {
         // A path with distinct labels has only the identity.
         let p = Pattern::new(vec![0, 1, 2], vec![(0, 1, 0), (1, 2, 0)]);
         assert_eq!(automorphisms(&p).len(), 1);
+    }
+
+    #[test]
+    fn disconnected_group_is_component_product() {
+        // Two disjoint edges: each edge flips (2·2) and the edges swap (2!)
+        // -> 8. The enumerated group and the product formula must agree.
+        let two_edges = Pattern::unlabeled(4, &[(0, 1), (2, 3)]);
+        assert_eq!(automorphisms(&two_edges).len(), 8);
+        assert_eq!(automorphism_count(&two_edges), 8);
+
+        // Triangle plus isolated vertex: 6·1.
+        let k3_k1 = Pattern::unlabeled(4, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(automorphism_count(&k3_k1), 6);
+        assert_eq!(
+            automorphisms(&k3_k1).len() as u64,
+            automorphism_count(&k3_k1)
+        );
+
+        // Three isolated vertices: S_3.
+        let bare = Pattern::unlabeled(3, &[]);
+        assert_eq!(automorphism_count(&bare), 6);
+
+        // Edge + path3: non-isomorphic components, no cross swap: 2·2.
+        let mixed = Pattern::unlabeled(5, &[(0, 1), (2, 3), (3, 4)]);
+        assert_eq!(automorphism_count(&mixed), 4);
+        assert_eq!(
+            automorphisms(&mixed).len() as u64,
+            automorphism_count(&mixed)
+        );
+
+        // Labels block the component swap: two edges, one labeled.
+        let labeled = Pattern::new(vec![1, 1, 0, 0], vec![(0, 1, 0), (2, 3, 0)]);
+        assert_eq!(automorphism_count(&labeled), 4);
+        assert_eq!(
+            automorphisms(&labeled).len() as u64,
+            automorphism_count(&labeled)
+        );
+    }
+
+    #[test]
+    fn product_formula_matches_enumeration_on_random_patterns() {
+        // Cross-validate the component-product count against the enumerated
+        // group on every 5-vertex pattern over a fixed edge menu (includes
+        // many disconnected shapes).
+        let pairs = [(0u8, 1u8), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)];
+        for mask in 0u32..64 {
+            let edges: Vec<(u8, u8)> = pairs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &e)| e)
+                .collect();
+            let p = Pattern::unlabeled(5, &edges);
+            assert_eq!(
+                automorphisms(&p).len() as u64,
+                automorphism_count(&p),
+                "mask {mask:#x}: {p}"
+            );
+        }
     }
 
     #[test]

@@ -418,6 +418,43 @@ mod tests {
     }
 
     #[test]
+    fn disconnected_codes_are_permutation_invariant() {
+        // The decomposition planner canonicalizes disconnected
+        // sub-patterns; the branch-and-bound search must stay invariant and
+        // round-trippable there too.
+        let shapes = [
+            Pattern::unlabeled(4, &[(0, 1), (2, 3)]),         // 2 edges
+            Pattern::unlabeled(4, &[(0, 1), (1, 2), (0, 2)]), // K3 + K1
+            Pattern::unlabeled(5, &[(0, 1), (2, 3), (3, 4)]), // edge + P3
+            Pattern::new(vec![0, 1, 0, 1], vec![(0, 1, 2), (2, 3, 2)]),
+        ];
+        for p in &shapes {
+            let base = canonical_code(p);
+            for perm in permutations(p.num_vertices()) {
+                assert_eq!(canonical_code(&p.permuted(&perm)), base, "perm {perm:?}");
+            }
+            assert_eq!(canonical_code(&base.to_pattern()), base);
+        }
+    }
+
+    #[test]
+    fn disconnected_codes_distinguish_shapes() {
+        // All of these have 4 vertices and ≤ 3 edges; none may collide.
+        let shapes = [
+            Pattern::unlabeled(4, &[(0, 1), (2, 3)]),         // 2K2
+            Pattern::unlabeled(4, &[(0, 1), (1, 2)]),         // P3 + K1
+            Pattern::unlabeled(4, &[(0, 1), (1, 2), (0, 2)]), // K3 + K1
+            Pattern::unlabeled(4, &[(0, 1), (1, 2), (2, 3)]), // P4 (connected)
+            Pattern::unlabeled(4, &[(0, 1)]),                 // K2 + 2K1
+        ];
+        for (i, a) in shapes.iter().enumerate() {
+            for (j, b) in shapes.iter().enumerate() {
+                assert_eq!(canonical_code(a) == canonical_code(b), i == j, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
     fn cache_hits() {
         let mut cache = CodeCache::new();
         let p = Pattern::clique(3);

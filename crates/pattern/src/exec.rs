@@ -1,0 +1,366 @@
+//! Single-root execution of compiled counting plans.
+//!
+//! [`PlanExecutor`] evaluates every node of a [`CountingPlan`] for one root
+//! vertex: direct nodes run a symmetry-broken rooted DFS whose candidate
+//! sets come from the PR-2 intersection kernels
+//! ([`fractal_graph::kernels`]), product nodes combine already-evaluated
+//! children with the inclusion–exclusion corrections. Because nodes are in
+//! topological order, one linear pass suffices per root.
+//!
+//! Per-root evaluation is what lets the engine distribute this exactly like
+//! enumeration jobs: each root vertex is one work unit, node values are
+//! additive over roots, and a worker's kernel counters drain into the same
+//! `fractal-metrics/1` fields the enumerator uses.
+
+use fractal_graph::kernels::{intersect, intersect_above, seek_above, seek_below, KernelCounters};
+use fractal_graph::{Graph, VertexId};
+
+use crate::planner::{CountingPlan, PlanKind};
+use crate::{CanonicalCode, ExplorationPlan, Pattern};
+
+/// Evaluates a compiled counting plan one root vertex at a time.
+pub struct PlanExecutor<'a> {
+    g: &'a Graph,
+    plan: &'a CountingPlan,
+    /// Per-node value for the current root (scratch, overwritten per root).
+    vals: Vec<i128>,
+    /// One candidate buffer per DFS depth.
+    bufs: Vec<Vec<u32>>,
+    scratch: Vec<u32>,
+    matched: Vec<u32>,
+    counters: KernelCounters,
+    ec: u64,
+}
+
+impl<'a> PlanExecutor<'a> {
+    /// Prepares an executor for `plan` over `g`.
+    pub fn new(g: &'a Graph, plan: &'a CountingPlan) -> Self {
+        let max_len = plan.nodes.iter().map(|n| n.rooted.len()).max().unwrap_or(1);
+        PlanExecutor {
+            g,
+            plan,
+            vals: vec![0; plan.nodes.len()],
+            bufs: vec![Vec::new(); max_len],
+            scratch: Vec::new(),
+            matched: Vec::with_capacity(max_len),
+            counters: KernelCounters::default(),
+            ec: 0,
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &'a CountingPlan {
+        self.plan
+    }
+
+    /// Evaluates every node for root `v` and adds the per-node values into
+    /// `acc` (length = number of plan nodes). Summing `acc` over all graph
+    /// vertices yields the totals [`CountingPlan::finalize`] expects.
+    pub fn eval_root(&mut self, v: u32, acc: &mut [i128]) {
+        debug_assert_eq!(acc.len(), self.plan.nodes.len());
+        for (i, slot) in acc.iter_mut().enumerate() {
+            let val = match &self.plan.nodes[i].kind {
+                PlanKind::Direct { plan, stab_size } => {
+                    let count = rooted_count(
+                        self.g,
+                        plan,
+                        v,
+                        &mut self.matched,
+                        &mut self.bufs,
+                        &mut self.scratch,
+                        &mut self.counters,
+                        &mut self.ec,
+                    );
+                    count as i128 * *stab_size as i128
+                }
+                PlanKind::Product {
+                    left,
+                    right,
+                    corrections,
+                } => {
+                    let mut val = self.vals[*left] * self.vals[*right];
+                    for &(m, node) in corrections {
+                        val -= m as i128 * self.vals[node];
+                    }
+                    debug_assert!(val >= 0, "per-root embedding count is non-negative");
+                    val
+                }
+            };
+            self.vals[i] = val;
+            *slot += val;
+        }
+    }
+
+    /// Drains the kernel counters accumulated since the last take.
+    pub fn take_counters(&mut self) -> KernelCounters {
+        self.counters.take()
+    }
+
+    /// Drains the extension-candidate count (one per accepted DFS
+    /// candidate) accumulated since the last take.
+    pub fn take_ec(&mut self) -> u64 {
+        std::mem::take(&mut self.ec)
+    }
+}
+
+/// Rooted symmetry-broken DFS: the number of injective embeddings of
+/// `plan.pattern()` with position 0 pinned to `root`, restricted to the
+/// plan's symmetry-condition representatives.
+#[allow(clippy::too_many_arguments)]
+fn rooted_count(
+    g: &Graph,
+    plan: &ExplorationPlan,
+    root: u32,
+    matched: &mut Vec<u32>,
+    bufs: &mut [Vec<u32>],
+    scratch: &mut Vec<u32>,
+    c: &mut KernelCounters,
+    ec: &mut u64,
+) -> u64 {
+    matched.clear();
+    matched.push(root);
+    if plan.len() == 1 {
+        *ec += 1;
+        return 1;
+    }
+    dfs(g, plan, 1, matched, &mut bufs[1..], scratch, c, ec)
+}
+
+/// One DFS level: `bufs[0]` is this position's candidate buffer, deeper
+/// positions use the tail.
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    g: &Graph,
+    plan: &ExplorationPlan,
+    pos: usize,
+    matched: &mut Vec<u32>,
+    bufs: &mut [Vec<u32>],
+    scratch: &mut Vec<u32>,
+    c: &mut KernelCounters,
+    ec: &mut u64,
+) -> u64 {
+    let lo = plan
+        .must_be_greater_than(pos)
+        .iter()
+        .map(|&p| matched[p as usize])
+        .max();
+    let hi = plan
+        .must_be_less_than(pos)
+        .iter()
+        .map(|&p| matched[p as usize])
+        .min();
+    let bes = plan.back_edges(pos);
+    debug_assert!(!bes.is_empty(), "orders are connected");
+    let last = pos + 1 == plan.len();
+
+    let (head, tail) = bufs.split_at_mut(1);
+    let cands: &[u32] = if bes.len() == 1 {
+        // Single back edge: the neighbor slice itself, bound-trimmed with
+        // zero copies.
+        let mut slice = g.neighbors(VertexId(matched[bes[0].0 as usize]));
+        if let Some(lo) = lo {
+            slice = seek_above(slice, lo);
+        }
+        if let Some(hi) = hi {
+            slice = seek_below(slice, hi);
+        }
+        slice
+    } else {
+        // Fold the back-edge neighborhoods through the adaptive kernels.
+        let buf = &mut head[0];
+        let a = g.neighbors(VertexId(matched[bes[0].0 as usize]));
+        let b = g.neighbors(VertexId(matched[bes[1].0 as usize]));
+        match lo {
+            Some(lo) => intersect_above(a, b, lo, buf, c),
+            None => intersect(a, b, buf, c),
+        }
+        for &(bp, _) in &bes[2..] {
+            let nbrs = g.neighbors(VertexId(matched[bp as usize]));
+            intersect(buf, nbrs, scratch, c);
+            std::mem::swap(buf, scratch);
+        }
+        if let Some(hi) = hi {
+            let keep = seek_below(buf, hi).len();
+            buf.truncate(keep);
+        }
+        buf
+    };
+
+    let mut count = 0u64;
+    for &cand in cands.iter() {
+        if matched.contains(&cand) {
+            continue; // injectivity
+        }
+        *ec += 1;
+        if last {
+            count += 1;
+        } else {
+            matched.push(cand);
+            count += dfs(g, plan, pos + 1, matched, tail, scratch, c, ec);
+            matched.pop();
+        }
+    }
+    count
+}
+
+/// Evaluates `plan` over every vertex of `g` single-threaded, returning the
+/// per-node totals plus the drained kernel counters and extension count.
+/// The engine's parallel path (`fractal-core::plan_run`) partitions the
+/// same loop over root words instead.
+pub fn count_all_roots(g: &Graph, plan: &CountingPlan) -> (Vec<i128>, KernelCounters, u64) {
+    let mut exec = PlanExecutor::new(g, plan);
+    let mut acc = vec![0i128; plan.nodes.len()];
+    for v in 0..g.num_vertices() as u32 {
+        exec.eval_root(v, &mut acc);
+    }
+    (acc, exec.take_counters(), exec.take_ec())
+}
+
+/// Decomposed induced `k`-motif counting (single-threaded convenience):
+/// plans against `g`'s statistics, evaluates every root, and finalizes.
+/// Bit-identical to the enumerator's motif map on every input.
+pub fn motifs_decomposed(g: &Graph, k: usize) -> Vec<(CanonicalCode, u64)> {
+    let plan = CountingPlan::plan_motifs(k, crate::planner::GraphStats::of(g));
+    let (totals, _, _) = count_all_roots(g, &plan);
+    plan.finalize(&totals)
+}
+
+/// Decomposed non-induced count of one connected unlabeled pattern
+/// (single-threaded convenience). Matches the enumerator's symmetry-broken
+/// match count.
+pub fn count_pattern_decomposed(g: &Graph, p: &Pattern) -> u64 {
+    let plan = CountingPlan::plan_pattern(p, crate::planner::GraphStats::of(g));
+    let (totals, _, _) = count_all_roots(g, &plan);
+    plan.finalize(&totals)[0].1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::canonical_code;
+    use crate::decompose::connected_shapes;
+    use fractal_graph::builder::graph_from_edges;
+
+    fn complete_graph(n: u32) -> Graph {
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                edges.push((u, v, 0));
+            }
+        }
+        graph_from_edges(&vec![0; n as usize], &edges)
+    }
+
+    fn path_graph(n: u32) -> Graph {
+        let edges: Vec<(u32, u32, u32)> = (1..n).map(|v| (v - 1, v, 0)).collect();
+        graph_from_edges(&vec![0; n as usize], &edges)
+    }
+
+    #[test]
+    fn triangles_in_k4() {
+        assert_eq!(
+            count_pattern_decomposed(&complete_graph(4), &Pattern::clique(3)),
+            4
+        );
+        assert_eq!(
+            count_pattern_decomposed(&complete_graph(5), &Pattern::clique(3)),
+            10
+        );
+        assert_eq!(
+            count_pattern_decomposed(&complete_graph(5), &Pattern::clique(4)),
+            5
+        );
+    }
+
+    #[test]
+    fn paths_and_stars() {
+        // Path graph 0-1-2-3: two P3 subgraphs, one P4.
+        let g = path_graph(4);
+        assert_eq!(count_pattern_decomposed(&g, &Pattern::path(3)), 2);
+        assert_eq!(count_pattern_decomposed(&g, &Pattern::path(4)), 1);
+        assert_eq!(count_pattern_decomposed(&g, &Pattern::star(3)), 0);
+        // Star graph: center 0 with 3 leaves.
+        let s = graph_from_edges(&[0, 0, 0, 0], &[(0, 1, 0), (0, 2, 0), (0, 3, 0)]);
+        assert_eq!(count_pattern_decomposed(&s, &Pattern::star(3)), 1);
+        assert_eq!(count_pattern_decomposed(&s, &Pattern::path(3)), 3);
+    }
+
+    #[test]
+    fn motif_maps_omit_zero_shapes() {
+        // K4: only the triangle motif appears at k = 3.
+        let m = motifs_decomposed(&complete_graph(4), 3);
+        assert_eq!(m, vec![(canonical_code(&Pattern::clique(3)), 4)]);
+        // Path 0-1-2-3: only the open wedge.
+        let m = motifs_decomposed(&path_graph(4), 3);
+        assert_eq!(m, vec![(canonical_code(&Pattern::path(3)), 2)]);
+    }
+
+    #[test]
+    fn kernel_and_ec_counters_accumulate() {
+        let g = complete_graph(6);
+        let plan = CountingPlan::plan_pattern(&Pattern::clique(4), crate::GraphStats::of(&g));
+        let (_, kc, ec) = count_all_roots(&g, &plan);
+        assert!(kc.calls() > 0, "clique counting intersects");
+        assert!(ec > 0);
+    }
+
+    /// Deterministic LCG graph for brute-force cross-checks.
+    fn lcg_graph(n: u32, seed: u64, density_pct: u64) -> Graph {
+        let mut edges = Vec::new();
+        let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if (s >> 33) % 100 < density_pct {
+                    edges.push((u, v, 0));
+                }
+            }
+        }
+        graph_from_edges(&vec![0; n as usize], &edges)
+    }
+
+    /// Brute-force N_sub: injective homomorphisms / |Aut|.
+    fn brute_count(g: &Graph, p: &Pattern) -> u64 {
+        let mut homs = 0u64;
+        let mut map: Vec<u32> = Vec::new();
+        fn rec(g: &Graph, p: &Pattern, map: &mut Vec<u32>, homs: &mut u64) {
+            let pos = map.len();
+            if pos == p.num_vertices() {
+                *homs += 1;
+                return;
+            }
+            for v in 0..g.num_vertices() as u32 {
+                if map.contains(&v) {
+                    continue;
+                }
+                let ok = (0..pos)
+                    .all(|u| !p.adjacent(u, pos) || g.are_adjacent(VertexId(map[u]), VertexId(v)));
+                if ok {
+                    map.push(v);
+                    rec(g, p, map, homs);
+                    map.pop();
+                }
+            }
+        }
+        rec(g, p, &mut map, &mut homs);
+        homs / crate::autom::automorphisms(p).len() as u64
+    }
+
+    #[test]
+    fn decomposed_counts_match_brute_force() {
+        for (seed, density) in [(1u64, 40), (5, 65)] {
+            let g = lcg_graph(9, seed, density);
+            for k in 2..=4usize {
+                for shape in connected_shapes(k) {
+                    assert_eq!(
+                        count_pattern_decomposed(&g, &shape),
+                        brute_count(&g, &shape),
+                        "seed={seed} shape={shape}"
+                    );
+                }
+            }
+        }
+    }
+}

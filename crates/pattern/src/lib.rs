@@ -17,15 +17,26 @@
 //! - [`canon`] — canonical codes ([`CanonicalCode`]) and permutations,
 //! - [`autom`] — automorphism-group enumeration,
 //! - [`symmetry`] — Grochow–Kellis symmetry-breaking conditions [24],
-//! - [`plan`] — connected matching orders for pattern-induced extension.
+//! - [`plan`] — connected matching orders for pattern-induced extension,
+//! - [`decompose`] — rooted pattern decomposition and the Möbius motif
+//!   basis (DwarvesGraph-style counting, DESIGN.md §14),
+//! - [`planner`] — cost-modelled compilation of counting plans,
+//! - [`exec`] — single-root execution of compiled plans over the
+//!   intersection kernels.
 
 pub mod autom;
 pub mod canon;
+pub mod decompose;
+pub mod exec;
 pub mod pattern;
 pub mod plan;
+pub mod planner;
 pub mod symmetry;
 
 pub use canon::CanonicalCode;
+pub use decompose::{MotifBasis, RootedPattern};
+pub use exec::PlanExecutor;
 pub use pattern::Pattern;
 pub use plan::ExplorationPlan;
+pub use planner::{CountingPlan, GraphStats, PlannerCounters};
 pub use symmetry::SymmetryConditions;

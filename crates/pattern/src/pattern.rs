@@ -215,6 +215,64 @@ impl Pattern {
         seen.count_ones() as usize == n
     }
 
+    /// Connected components, each as a sorted list of vertex ids. A
+    /// connected pattern yields one component holding every vertex; the
+    /// decomposition planner and the component-product automorphism count
+    /// rely on this for disconnected sub-patterns.
+    pub fn components(&self) -> Vec<Vec<u8>> {
+        let n = self.num_vertices();
+        let mut assigned = 0u32;
+        let mut out = Vec::new();
+        for s in 0..n {
+            if assigned >> s & 1 == 1 {
+                continue;
+            }
+            let mut comp = 1u32 << s;
+            let mut frontier = comp;
+            while frontier != 0 {
+                let mut next = 0u32;
+                let mut f = frontier;
+                while f != 0 {
+                    let v = f.trailing_zeros() as usize;
+                    f &= f - 1;
+                    next |= self.adj[v] & !comp;
+                }
+                comp |= next;
+                frontier = next;
+            }
+            assigned |= comp;
+            let mut verts = Vec::with_capacity(comp.count_ones() as usize);
+            let mut c = comp;
+            while c != 0 {
+                verts.push(c.trailing_zeros() as u8);
+                c &= c - 1;
+            }
+            out.push(verts);
+        }
+        out
+    }
+
+    /// The sub-pattern induced on `vertices`: position `i` of the slice
+    /// becomes vertex `i` of the result, keeping labels and every edge of
+    /// `self` between selected vertices. Panics on out-of-range or
+    /// duplicated entries (via [`Pattern::new`]'s edge checks).
+    pub fn induced_on(&self, vertices: &[u8]) -> Pattern {
+        let labels = vertices
+            .iter()
+            .map(|&v| self.vertex_labels[v as usize])
+            .collect();
+        let mut edges = Vec::new();
+        for (i, &u) in vertices.iter().enumerate() {
+            for (j, &v) in vertices.iter().enumerate().skip(i + 1) {
+                if self.adjacent(u as usize, v as usize) {
+                    let l = self.edge_label(u as usize, v as usize).unwrap();
+                    edges.push((i as u8, j as u8, l));
+                }
+            }
+        }
+        Pattern::new(labels, edges)
+    }
+
     /// Whether this pattern is a clique.
     pub fn is_clique(&self) -> bool {
         let n = self.num_vertices();
@@ -337,6 +395,34 @@ mod tests {
         assert!(!Pattern::cycle(4).is_clique());
         assert_eq!(Pattern::star(3).degree(0), 3);
         assert_eq!(Pattern::cycle(5).num_edges(), 5);
+    }
+
+    #[test]
+    fn components_partition_vertices() {
+        // Connected: one component with everything.
+        assert_eq!(Pattern::clique(4).components(), vec![vec![0, 1, 2, 3]]);
+        // Two disjoint edges plus an isolated vertex.
+        let p = Pattern::unlabeled(5, &[(0, 3), (1, 4)]);
+        let comps = p.components();
+        assert_eq!(comps, vec![vec![0, 3], vec![1, 4], vec![2]]);
+        // Empty pattern: no components.
+        assert!(Pattern::unlabeled(0, &[]).components().is_empty());
+    }
+
+    #[test]
+    fn induced_on_remaps_edges_and_labels() {
+        let p = Pattern::new(
+            vec![7, 8, 9, 10],
+            vec![(0, 1, 1), (1, 2, 2), (0, 2, 3), (2, 3, 4)],
+        );
+        // Take the triangle in reversed order: new 0 = old 2, new 2 = old 0.
+        let q = p.induced_on(&[2, 1, 0]);
+        assert_eq!(q.num_vertices(), 3);
+        assert_eq!(q.num_edges(), 3);
+        assert_eq!(q.vertex_label(0), 9);
+        assert_eq!(q.vertex_label(2), 7);
+        assert_eq!(q.edge_label(0, 1), Some(2));
+        assert_eq!(q.edge_label(0, 2), Some(3));
     }
 
     #[test]

@@ -56,11 +56,44 @@ impl ExplorationPlan {
         let n = pattern.num_vertices();
         assert!(n > 0, "cannot plan an empty pattern");
         assert!(pattern.is_connected(), "query pattern must be connected");
+        Self::build(pattern, Self::greedy_order(pattern), conditions)
+    }
 
-        // Greedy order: start at the max-degree vertex, then repeatedly take
-        // the vertex with the most already-ordered neighbors (ties: higher
-        // degree, then smaller id). More constrained positions come earlier,
-        // which shrinks the candidate sets.
+    /// Compiles a plan with an explicit matching order (the planner's cost
+    /// model picks orders itself instead of relying on the greedy default).
+    ///
+    /// Panics if `order` is not a permutation of the pattern vertices or is
+    /// not connected (every position after the first must have an earlier
+    /// pattern neighbor).
+    pub fn with_order(pattern: &Pattern, order: Vec<u8>, conditions: SymmetryConditions) -> Self {
+        let n = pattern.num_vertices();
+        assert!(n > 0, "cannot plan an empty pattern");
+        assert_eq!(order.len(), n, "order must cover every pattern vertex");
+        let mut seen = vec![false; n];
+        for &v in &order {
+            assert!(
+                (v as usize) < n && !seen[v as usize],
+                "order must be a permutation"
+            );
+            seen[v as usize] = true;
+        }
+        for pos in 1..n {
+            assert!(
+                order[..pos]
+                    .iter()
+                    .any(|&u| pattern.adjacent(u as usize, order[pos] as usize)),
+                "matching order must be connected (position {pos} has no earlier neighbor)"
+            );
+        }
+        Self::build(pattern, order, conditions)
+    }
+
+    /// Greedy order: start at the max-degree vertex, then repeatedly take
+    /// the vertex with the most already-ordered neighbors (ties: higher
+    /// degree, then smaller id). More constrained positions come earlier,
+    /// which shrinks the candidate sets.
+    fn greedy_order(pattern: &Pattern) -> Vec<u8> {
+        let n = pattern.num_vertices();
         let mut order: Vec<u8> = Vec::with_capacity(n);
         let mut placed = vec![false; n];
         let first = (0..n)
@@ -86,7 +119,11 @@ impl ExplorationPlan {
             order.push(next as u8);
             placed[next] = true;
         }
+        order
+    }
 
+    fn build(pattern: &Pattern, order: Vec<u8>, conditions: SymmetryConditions) -> Self {
+        let n = pattern.num_vertices();
         let mut pos_of = vec![0u8; n];
         for (pos, &v) in order.iter().enumerate() {
             pos_of[v as usize] = pos as u8;
@@ -272,6 +309,55 @@ mod tests {
             assert!(plan.must_be_less_than(pos).is_empty());
             assert!(plan.must_be_greater_than(pos).is_empty());
         }
+    }
+
+    #[test]
+    fn explicit_order_is_honored() {
+        let p = Pattern::path(4); // 0-1-2-3
+        let order = vec![1u8, 2, 3, 0];
+        let plan = ExplorationPlan::with_order(&p, order.clone(), SymmetryConditions::none());
+        for (pos, &v) in order.iter().enumerate() {
+            assert_eq!(plan.vertex_at(pos), v);
+            assert_eq!(plan.position_of(v as usize), pos as u8);
+        }
+        // Back edges follow the explicit order: pos 1 (vertex 2) attaches to
+        // pos 0 (vertex 1); pos 3 (vertex 0) attaches to pos 0 (vertex 1).
+        assert_eq!(plan.back_edges(1), &[(0, 0)]);
+        assert_eq!(plan.back_edges(3), &[(0, 0)]);
+    }
+
+    #[test]
+    fn explicit_order_translates_conditions() {
+        // Triangle with root 0 fixed: stabilizer swaps {1,2}, giving the
+        // single condition 1 < 2. Root-first order keeps position 0 clean.
+        use crate::autom::{automorphisms, stabilizer};
+        let p = Pattern::clique(3);
+        let stab = stabilizer(&automorphisms(&p), 0);
+        let conds = SymmetryConditions::for_group(3, stab);
+        let plan = ExplorationPlan::with_order(&p, vec![0, 1, 2], conds);
+        assert!(plan.must_be_less_than(0).is_empty());
+        assert!(plan.must_be_greater_than(0).is_empty());
+        let total: usize = (0..3)
+            .map(|pos| plan.must_be_less_than(pos).len() + plan.must_be_greater_than(pos).len())
+            .sum();
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn explicit_order_rejects_duplicates() {
+        ExplorationPlan::with_order(&Pattern::path(3), vec![0, 0, 1], SymmetryConditions::none());
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn explicit_order_rejects_disconnected_order() {
+        // 0-1-2-3 path: order 0,3 is disconnected at position 1.
+        ExplorationPlan::with_order(
+            &Pattern::path(4),
+            vec![0, 3, 1, 2],
+            SymmetryConditions::none(),
+        );
     }
 
     #[test]

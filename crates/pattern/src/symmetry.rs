@@ -22,9 +22,18 @@ impl SymmetryConditions {
     /// Derives the conditions for `p` by iteratively fixing the smallest
     /// vertex of a non-trivial orbit and descending into its stabilizer.
     pub fn for_pattern(p: &Pattern) -> Self {
-        let mut group = automorphisms(p);
+        Self::for_group(p.num_vertices(), automorphisms(p))
+    }
+
+    /// Derives conditions for an arbitrary permutation group over `n`
+    /// vertices (the Grochow–Kellis loop is valid for any subgroup, not
+    /// just the full automorphism group): exactly one member of each
+    /// group-orbit of injective assignments satisfies them. The planner
+    /// uses this with the *stabilizer* of a rooted pattern's root, whose
+    /// conditions then never constrain the root itself.
+    pub fn for_group(n: usize, group: Vec<Vec<u8>>) -> Self {
+        let mut group = group;
         let mut less_than = Vec::new();
-        let n = p.num_vertices();
         while group.len() > 1 {
             // Smallest vertex with a non-trivial orbit.
             let mut fixed = None;
@@ -175,6 +184,80 @@ mod tests {
             vec![(0, 1, 0), (1, 2, 0), (2, 3, 0), (0, 3, 0)],
         );
         assert_one_per_class(&q);
+    }
+
+    /// Like [`assert_one_per_class`] but for an explicit subgroup: each
+    /// subgroup-orbit of injective assignments has exactly one
+    /// representative satisfying the derived conditions.
+    fn assert_one_per_subgroup_class(n: usize, group: &[Vec<u8>]) {
+        let conds = SymmetryConditions::for_group(n, group.to_vec());
+        let universe = n + 2;
+        let mut all: Vec<Vec<u32>> = Vec::new();
+        let mut assignment = vec![u32::MAX; n];
+        let mut used = vec![false; universe];
+        fn rec(
+            pos: usize,
+            n: usize,
+            universe: usize,
+            assignment: &mut Vec<u32>,
+            used: &mut Vec<bool>,
+            all: &mut Vec<Vec<u32>>,
+        ) {
+            if pos == n {
+                all.push(assignment.clone());
+                return;
+            }
+            for g in 0..universe {
+                if !used[g] {
+                    used[g] = true;
+                    assignment[pos] = g as u32;
+                    rec(pos + 1, n, universe, assignment, used, all);
+                    used[g] = false;
+                }
+            }
+        }
+        rec(0, n, universe, &mut assignment, &mut used, &mut all);
+        use std::collections::HashSet;
+        let mut seen: HashSet<Vec<u32>> = HashSet::new();
+        for m in &all {
+            if seen.contains(m) {
+                continue;
+            }
+            let mut class = Vec::new();
+            for a in group {
+                let img: Vec<u32> = (0..n).map(|v| m[a[v] as usize]).collect();
+                class.push(img);
+            }
+            class.sort();
+            class.dedup();
+            let satisfying = class.iter().filter(|mm| conds.check(mm)).count();
+            assert_eq!(satisfying, 1, "class of {m:?}: {satisfying} satisfy");
+            for mm in class {
+                seen.insert(mm);
+            }
+        }
+    }
+
+    #[test]
+    fn subgroup_conditions_fix_one_per_stabilizer_orbit() {
+        use crate::autom::stabilizer;
+        // Root stabilizers: the subgroup the rooted planner breaks by.
+        for (p, root) in [
+            (Pattern::clique(4), 0usize),
+            (Pattern::star(3), 0),
+            (Pattern::cycle(4), 1),
+            (Pattern::path(4), 1),
+        ] {
+            let stab = stabilizer(&automorphisms(&p), root);
+            let conds = SymmetryConditions::for_group(p.num_vertices(), stab.clone());
+            // The root is fixed by the whole subgroup, so no condition may
+            // mention it.
+            for &(a, b) in &conds.less_than {
+                assert_ne!(a as usize, root, "{p} root {root}");
+                assert_ne!(b as usize, root, "{p} root {root}");
+            }
+            assert_one_per_subgroup_class(p.num_vertices(), &stab);
+        }
     }
 
     #[test]

@@ -661,6 +661,7 @@ pub fn run_job_with(
         steal_requests: sum(|s| s.requests.load(Ordering::Relaxed)),
         steal_hits: sum(|s| s.hits.load(Ordering::Relaxed)),
         faults: fcx.ledger.snapshot(),
+        planner: Default::default(),
         trace: if config.trace.enabled {
             Some(TraceDump { cores: core_traces })
         } else {

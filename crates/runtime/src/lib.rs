@@ -46,7 +46,7 @@ pub use executor::{
 };
 pub use fault::{FaultConfig, FaultStats, LinkFaultAction, LinkFaultConfig, LinkFaultInjector};
 pub use level::{GlobalCoreId, LevelQueue};
-pub use stats::{CoreStats, JobReport};
+pub use stats::{CoreStats, JobReport, PlannerStats};
 pub use trace::{EventKind, TraceConfig, TraceDump, TraceEvent};
 
 /// Which levels of the hierarchical work stealing are active (§5.2.2

@@ -74,6 +74,30 @@ impl CoreStats {
     }
 }
 
+/// Planner activity for jobs running a decomposed counting plan (all zero
+/// on enumeration jobs — the perf gate pins them on `--plan enumerate`
+/// legs).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PlannerStats {
+    /// Direct rooted sub-plans compiled to a matching order.
+    pub plans_compiled: u64,
+    /// Rooted sub-patterns in the plan DAG.
+    pub subpatterns_counted: u64,
+    /// Inclusion–exclusion correction terms applied.
+    pub ie_terms: u64,
+}
+
+impl PlannerStats {
+    /// Folds `other` into `self` (used when merging per-worker reports;
+    /// the plan is identical on every worker, so merge takes the max
+    /// rather than summing duplicates).
+    pub fn absorb(&mut self, other: &PlannerStats) {
+        self.plans_compiled = self.plans_compiled.max(other.plans_compiled);
+        self.subpatterns_counted = self.subpatterns_counted.max(other.subpatterns_counted);
+        self.ie_terms = self.ie_terms.max(other.ie_terms);
+    }
+}
+
 /// The result of executing one job on the simulated cluster.
 #[derive(Debug, Clone)]
 pub struct JobReport {
@@ -90,6 +114,8 @@ pub struct JobReport {
     /// Fault-injection and recovery counters (all zero on a fault-free
     /// run; the perf gate asserts this).
     pub faults: FaultStats,
+    /// Decomposed-plan counters (all zero on enumeration jobs).
+    pub planner: PlannerStats,
     /// The flight-recorder dump, present when the job ran with
     /// [`TraceConfig::enabled`](crate::trace::TraceConfig) tracing.
     pub trace: Option<TraceDump>,
@@ -317,6 +343,15 @@ impl JobReport {
             self.faults.client_reconnects
         ));
         out.push_str(&format!(
+            "  \"plans_compiled\": {},\n",
+            self.planner.plans_compiled
+        ));
+        out.push_str(&format!(
+            "  \"subpatterns_counted\": {},\n",
+            self.planner.subpatterns_counted
+        ));
+        out.push_str(&format!("  \"ie_terms\": {},\n", self.planner.ie_terms));
+        out.push_str(&format!(
             "  \"worker_state_bytes\": {},\n",
             json_u64_array(&self.worker_state_bytes())
         ));
@@ -448,6 +483,7 @@ mod tests {
             steal_requests: 0,
             steal_hits: 0,
             faults: FaultStats::default(),
+            planner: PlannerStats::default(),
             trace: None,
         }
     }
@@ -508,6 +544,7 @@ mod tests {
             steal_requests: 0,
             steal_hits: 0,
             faults: FaultStats::default(),
+            planner: PlannerStats::default(),
             trace: None,
         };
         assert_eq!(r.worker_state_bytes(), vec![100, 50]);
@@ -547,6 +584,10 @@ mod tests {
         assert!(json.contains("\"resumed_jobs\": 0"));
         assert!(json.contains("\"link_faults_injected\": 0"));
         assert!(json.contains("\"client_reconnects\": 0"));
+        // Planner counters: present and zero on enumeration jobs.
+        assert!(json.contains("\"plans_compiled\": 0"));
+        assert!(json.contains("\"subpatterns_counted\": 0"));
+        assert!(json.contains("\"ie_terms\": 0"));
         // A 4-bucket timeline over a fully-busy single core is all ones.
         assert!(json.contains("\"utilization_timeline\": [1.000000, 1.000000, 1.000000, 1.000000]"));
     }
@@ -599,6 +640,29 @@ mod tests {
         assert!(json.contains("\"kernel_bitset\": 2"));
         assert!(json.contains("\"kernel_scanned\": 150"));
         assert!(json.contains("\"arena_peak_bytes\": 8192"));
+    }
+
+    #[test]
+    fn planner_stats_serialize_and_merge() {
+        let mut r = report(vec![CoreStats::default()], 1000);
+        r.planner = PlannerStats {
+            plans_compiled: 9,
+            subpatterns_counted: 17,
+            ie_terms: 12,
+        };
+        let json = r.to_json(1);
+        assert!(json.contains("\"plans_compiled\": 9"));
+        assert!(json.contains("\"subpatterns_counted\": 17"));
+        assert!(json.contains("\"ie_terms\": 12"));
+        // Worker merge keeps the shared plan's counters instead of
+        // double-counting them.
+        let mut a = r.planner;
+        a.absorb(&PlannerStats {
+            plans_compiled: 9,
+            subpatterns_counted: 17,
+            ie_terms: 12,
+        });
+        assert_eq!(a, r.planner);
     }
 
     #[test]

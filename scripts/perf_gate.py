@@ -40,7 +40,21 @@ DETERMINISTIC_TOLERANCES = {
     # fails loudly.
     "kernel_scanned": 0.02,
     "arena_peak_bytes": 0.10,
+    # Planner counters are a pure function of (task, graph): pinned at zero
+    # on every enumerate leg (the planner must not run when not asked) and
+    # at the compiled plan's exact shape on the decomposed leg.
+    "plans_compiled": 0.0,
+    "subpatterns_counted": 0.0,
+    "ie_terms": 0.0,
 }
+
+# Cross-workload speedup gates: the first workload's counter must be
+# strictly below the second's in the *smoke* run. The decomposed 5-motif
+# plan exists to beat plain enumeration on extension cost; losing that edge
+# is a planner regression even if both legs stay individually stable.
+SPEEDUP_GATES = (
+    ("total_ec", "motifs_k5_decomposed", "motifs_k5_enumerate"),
+)
 
 # Absolute upper bounds for the scheduling-dependent parallel leg.
 PARALLEL_BOUNDS = {
@@ -122,6 +136,20 @@ def check(smoke_path, baseline_path):
             print(f"  [{status}] {workload}.{key}: {got} vs baseline {base} ({window})")
             if not ok:
                 failures.append(f"{workload}.{key}: {got} vs baseline {base} ({window})")
+
+    for key, faster, slower in SPEEDUP_GATES:
+        det = smoke.get("deterministic", {})
+        lo = det.get(faster, {}).get(key)
+        hi = det.get(slower, {}).get(key)
+        if lo is None or hi is None:
+            failures.append(f"speedup gate {faster}.{key} < {slower}.{key}: counters missing")
+            continue
+        checked += 1
+        ok = lo < hi
+        status = "ok" if ok else "FAIL"
+        print(f"  [{status}] speedup: {faster}.{key} ({lo}) < {slower}.{key} ({hi})")
+        if not ok:
+            failures.append(f"speedup gate: {faster}.{key} ({lo}) not below {slower}.{key} ({hi})")
 
     for workload, got_counters in sorted(smoke.get("parallel", {}).items()):
         if workload == "faults":

@@ -6,11 +6,17 @@
 //! fractal-cli <app> [options]
 //!
 //! apps:
-//!   motifs     -k <size>
+//!   motifs     -k <size> [--plan enumerate|decomposed|auto]
 //!   cliques    -k <size> [--kclist]
 //!   triangles
 //!   fsm        --support <n> [--max-edges <n>] [--reduce]
 //!   query      --query <q1..q8|clique<k>|path<k>|cycle<k>>
+//!              [--plan enumerate|decomposed|auto]
+//!   plan       -k <size> | --query <q>  [--plan mode]
+//!              dry run of the pattern-decomposition planner: prints the
+//!              compiled counting plan (sub-patterns, matching orders,
+//!              inclusion–exclusion terms), its cost estimate against the
+//!              enumeration estimate, and which path the mode would take
 //!   keywords   --words w1,w2,... [--no-reduce]
 //!   trace      -k <size> [--trace-out f.jsonl] [--metrics-out f.json]
 //!              [--buckets <n>] [--ring <events>] [--per-worker]
@@ -25,9 +31,12 @@
 //!              injection on serve-mode job links
 //!   submit     --app <motifs|cliques|fsm> plus the app's options, and
 //!              either --workers host:port,... or --local-cluster <n>
-//!              [--cores <n>] [--verify-single] [--per-worker]
+//!              [--plan enumerate|decomposed|auto] [--cores <n>]
+//!              [--verify-single] [--per-worker]
 //!              [--chaos-kill <i>] [--metrics-out f.json]
-//!              runs the job on a real multi-process cluster
+//!              runs the job on a real multi-process cluster; --plan is
+//!              resolved driver-side (auto compares cost estimates) and
+//!              the summary names the execution path taken and why
 //!   check      [--bound <n> | --unbounded] [--metrics-out f.json]
 //!              runs the concurrency model-check suite of `crates/check`
 //!              (mirror models of the lock-free protocols, including the
@@ -127,13 +136,15 @@ pub fn run() {
     match app.as_str() {
         "motifs" => {
             let k = opt_num(&opts, "k").unwrap_or(3);
-            let motifs = crate::apps::motifs::motifs(&fg, k);
+            let mode = parse_plan_mode(&opts, crate::apps::planned::PlanMode::Enumerate);
+            let (motifs, _, choice) = crate::apps::planned::motifs_planned(&fg, k, false, mode);
             let mut rows: Vec<_> = motifs.into_iter().collect();
             rows.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
             for (code, count) in rows {
                 let p = code.to_pattern();
                 println!("{count:>12}  {p}");
             }
+            eprintln!("execution path: {}", choice.summary());
         }
         "cliques" => {
             let k = opt_num(&opts, "k").unwrap_or(3);
@@ -168,11 +179,64 @@ pub fn run() {
         "query" => {
             let qname = opts.get("query").unwrap_or_else(|| die("--query required"));
             let q = resolve_query(qname);
-            let n = crate::apps::query::count_matches(&fg, &q);
+            let mode = parse_plan_mode(&opts, crate::apps::planned::PlanMode::Enumerate);
+            let (n, _, choice) = crate::apps::planned::count_matches_planned(&fg, &q, mode);
             println!(
                 "{qname} ({}v {}e): {n} matches",
                 q.num_vertices(),
                 q.num_edges()
+            );
+            eprintln!("execution path: {}", choice.summary());
+        }
+        "plan" => {
+            // Dry run: print the compiled decomposition, its cost estimate,
+            // the enumeration estimate and what `--plan auto` would choose.
+            use crate::pattern::{CountingPlan, GraphStats};
+            let mode = parse_plan_mode(&opts, crate::apps::planned::PlanMode::Auto);
+            let stats = GraphStats::of(fg.graph());
+            let (choice, plan) = if let Some(qname) = opts.get("query") {
+                let q = resolve_query(qname);
+                println!(
+                    "task: query {qname} ({}v {}e)",
+                    q.num_vertices(),
+                    q.num_edges()
+                );
+                let plan = (q.is_connected() && crate::pattern::planner::is_unlabeled(&q))
+                    .then(|| CountingPlan::plan_pattern(&q, stats));
+                (
+                    crate::apps::planned::choose_query_path(fg.graph(), &q, mode),
+                    plan,
+                )
+            } else {
+                let k = opt_num(&opts, "k").unwrap_or(3);
+                println!("task: motifs k={k}");
+                let plan = crate::apps::planned::motif_plan_blocker(k, false)
+                    .is_none()
+                    .then(|| CountingPlan::plan_motifs(k, stats));
+                (
+                    crate::apps::planned::choose_motifs_path(fg.graph(), k, false, mode),
+                    plan,
+                )
+            };
+            match &plan {
+                Some(plan) => {
+                    print!("{}", plan.describe());
+                    let enum_cost = crate::subgraph::expansion_cost_estimate(
+                        stats.vertices,
+                        stats.avg_degree(),
+                        plan.k,
+                    );
+                    println!(
+                        "enumeration estimate: {enum_cost:.3e} words (plan: {:.3e})",
+                        plan.total_cost()
+                    );
+                }
+                None => println!("no counting plan: task is out of the planner's scope"),
+            }
+            println!(
+                "choice ({}): {}",
+                choice.requested.as_str(),
+                choice.summary()
             );
         }
         "keywords" => {
@@ -292,6 +356,72 @@ fn parse_opts(args: &[String]) -> HashMap<String, String> {
     opts
 }
 
+/// Parses the `--plan` flag (`enumerate|decomposed|auto`), defaulting to
+/// `default` when absent.
+fn parse_plan_mode(
+    opts: &HashMap<String, String>,
+    default: crate::apps::planned::PlanMode,
+) -> crate::apps::planned::PlanMode {
+    match opts.get("plan") {
+        None => default,
+        Some(v) => crate::apps::planned::PlanMode::parse(v)
+            .unwrap_or_else(|| die(&format!("unknown --plan {v:?} (enumerate|decomposed|auto)"))),
+    }
+}
+
+/// Applies `--plan` to a cluster app spec, resolving the mode to a
+/// concrete strategy *before* the job ships — every worker must receive
+/// either enumerate or decomposed, never `auto`. With the graph in hand
+/// (`fractal submit`) `auto` compares cost estimates; without it
+/// (`fractal client`, which only holds a snapshot spec) `auto` dies and a
+/// concrete mode must be picked. Returns the concrete spec and the
+/// summary line naming the execution path and why it was chosen.
+fn apply_plan_flag(
+    opts: &HashMap<String, String>,
+    app: crate::net::AppSpec,
+    graph: Option<&crate::graph::Graph>,
+) -> (crate::net::AppSpec, Option<String>) {
+    use crate::apps::planned::{choose_motifs_path, choose_motifs_path_blind, ExecPath, PlanMode};
+    use crate::net::AppSpec;
+    let mode = parse_plan_mode(opts, PlanMode::Enumerate);
+    match app {
+        AppSpec::Motifs { k, use_labels, .. } => {
+            let choice = match graph {
+                Some(g) => choose_motifs_path(g, k as usize, use_labels, mode),
+                None => {
+                    choose_motifs_path_blind(k as usize, use_labels, mode).unwrap_or_else(|| {
+                        die(
+                            "--plan auto needs the graph's cost estimates (fractal submit \
+                             resolves it); client jobs must pick enumerate or decomposed",
+                        )
+                    })
+                }
+            };
+            let reason = if opts.contains_key("plan") {
+                choice.reason.clone()
+            } else {
+                "default; pass --plan decomposed|auto to engage the planner".to_string()
+            };
+            let app = AppSpec::Motifs {
+                k,
+                use_labels,
+                decomposed: choice.path == ExecPath::Decomposed,
+            };
+            let summary = format!("execution path: {} ({reason})", choice.path.as_str());
+            (app, Some(summary))
+        }
+        other => {
+            let summary = (mode != PlanMode::Enumerate).then(|| {
+                format!(
+                    "execution path: enumerate ({} has no decomposed path)",
+                    other.name()
+                )
+            });
+            (other, summary)
+        }
+    }
+}
+
 fn opt_num(opts: &HashMap<String, String>, key: &str) -> Option<usize> {
     opts.get(key).map(|v| {
         v.parse()
@@ -369,6 +499,7 @@ fn parse_app_spec(opts: &HashMap<String, String>) -> crate::net::AppSpec {
         Some("motifs") => AppSpec::Motifs {
             k: opt_num(opts, "k").unwrap_or(3) as u32,
             use_labels: false,
+            decomposed: false,
         },
         Some("cliques") | Some("kclist") => AppSpec::Kclist {
             k: opt_num(opts, "k").unwrap_or(3) as u32,
@@ -394,7 +525,10 @@ fn run_submit(opts: &HashMap<String, String>) {
         graph.num_edges(),
         graph.num_vertex_labels()
     );
-    let app = parse_app_spec(opts);
+    let (app, plan_summary) = apply_plan_flag(opts, parse_app_spec(opts), Some(&graph));
+    if let Some(s) = &plan_summary {
+        eprintln!("{s}");
+    }
     let cores = opt_num(opts, "cores").unwrap_or(2);
     let (cluster, streams, names) = if let Some(n) = opt_num(opts, "local-cluster") {
         if n == 0 {
@@ -445,6 +579,9 @@ fn run_submit(opts: &HashMap<String, String>) {
                 println!("{count:>12}  {}", code.to_pattern());
             }
             eprintln!("motifs k={k}: {} pattern classes", result.motifs.len());
+            if let Some(s) = &plan_summary {
+                eprintln!("{s}");
+            }
         }
         AppSpec::Kclist { k } => println!("{k}-cliques: {}", result.count),
         AppSpec::Fsm { min_support, .. } => {
@@ -511,7 +648,10 @@ fn verify_app(
     use crate::net::AppSpec;
     let fg = FractalContext::new(ClusterConfig::local(1, cores)).fractal_graph(graph);
     match app {
-        AppSpec::Motifs { k, use_labels } => {
+        // The decomposed path verifies against the *enumerator*: this is
+        // the cross-strategy bit-identity gate, not just a cluster-vs-
+        // single-process one.
+        AppSpec::Motifs { k, use_labels, .. } => {
             let single = if use_labels {
                 crate::apps::motifs::motifs_labeled(&fg, k as usize)
             } else {
@@ -658,7 +798,10 @@ fn run_client(action: &str, opts: &HashMap<String, String>) {
                 .get("snapshot")
                 .unwrap_or_else(|| die("--snapshot <spec> required"))
                 .clone();
-            let app = parse_app_spec(opts);
+            let (app, plan_summary) = apply_plan_flag(opts, parse_app_spec(opts), None);
+            if let Some(s) = &plan_summary {
+                eprintln!("{s}");
+            }
             let tenant = opts.get("tenant").map(String::as_str).unwrap_or("default");
             let priority = opt_num(opts, "priority").unwrap_or(0) as u8;
             // The idempotency token survives an ambiguous submit (daemon
@@ -823,6 +966,7 @@ fn run_trace_per_worker(opts: &HashMap<String, String>) {
         AppSpec::Motifs {
             k: k as u32,
             use_labels: false,
+            decomposed: false,
         },
         graph,
     );
@@ -907,16 +1051,20 @@ fn run_check(opts: &HashMap<String, String>) {
 
 fn usage() {
     println!(
-        "fractal-cli <motifs|cliques|triangles|fsm|query|keywords|trace|worker|submit|check|serve|client> [options]\n\
+        "fractal-cli <motifs|cliques|triangles|fsm|query|keywords|plan|trace|worker|submit|check|serve|client> [options]\n\
          input:  --graph <path.adj> | --gen <mico|patents|youtube|wikidata|orkut> [--n N] [--seed S]\n\
          app:    -k <size> [--kclist] | --support N [--max-edges N] [--reduce]\n\
                  | --query <q1..q8|clique<k>|path<k>|cycle<k>> | --words a,b,c [--no-reduce]\n\
+         plan:   motifs/query take --plan <enumerate|decomposed|auto> to pick the\n\
+                 execution strategy; the `plan` verb (-k N | --query q) prints the\n\
+                 compiled decomposition, cost estimates and the auto choice\n\
          trace:  -k <size> [--trace-out f.jsonl] [--metrics-out f.json] [--buckets N] [--ring N]\n\
                  [--per-worker [--local-cluster N]]\n\
          cluster (simulated): --workers N --cores N [--ws disabled|internal|external|both]\n\
          worker: --listen <addr> --cores N [--link-fault seed]\n\
          submit: --app <motifs|cliques|fsm> (--local-cluster N | --workers host:port,...)\n\
-                 [--cores N] [--verify-single] [--per-worker] [--chaos-kill i] [--metrics-out f.json]\n\
+                 [--plan enumerate|decomposed|auto] [--cores N] [--verify-single]\n\
+                 [--per-worker] [--chaos-kill i] [--metrics-out f.json]\n\
          check:  [--bound N | --unbounded] [--metrics-out f.json]\n\
                  runs the concurrency model-check suite (crates/check) and prints\n\
                  per-model explored-interleaving counts as fractal-metrics/1 JSON\n\
