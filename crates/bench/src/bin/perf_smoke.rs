@@ -102,6 +102,7 @@ fn fault_counters(reports: &[&ExecutionReport], out: &mut String) {
             sum.watchdog_trips += step.faults.watchdog_trips;
             sum.recovery_ns += step.faults.recovery_ns;
             sum.units_lost += step.faults.units_lost;
+            sum.tap_drained += step.faults.tap_drained;
             sum.jobs_admitted += step.faults.jobs_admitted;
             sum.jobs_rejected += step.faults.jobs_rejected;
             sum.snapshot_evictions += step.faults.snapshot_evictions;
@@ -116,7 +117,8 @@ fn fault_counters(reports: &[&ExecutionReport], out: &mut String) {
         out,
         "    \"faults\": {{\n      \"faults_injected\": {},\n      \"units_retried\": {},\n      \
          \"units_reexecuted\": {},\n      \"watchdog_trips\": {},\n      \
-         \"recovery_ns\": {},\n      \"units_lost\": {},\n      \"net_units\": {},\n      \
+         \"recovery_ns\": {},\n      \"units_lost\": {},\n      \"tap_drained\": {},\n      \
+         \"net_units\": {},\n      \
          \"jobs_admitted\": {},\n      \"jobs_rejected\": {},\n      \
          \"snapshot_evictions\": {},\n      \"journal_replayed\": {},\n      \
          \"resumed_jobs\": {},\n      \"link_faults_injected\": {},\n      \
@@ -127,6 +129,7 @@ fn fault_counters(reports: &[&ExecutionReport], out: &mut String) {
         sum.watchdog_trips,
         sum.recovery_ns,
         sum.units_lost,
+        sum.tap_drained,
         net_units,
         sum.jobs_admitted,
         sum.jobs_rejected,

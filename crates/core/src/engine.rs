@@ -160,6 +160,9 @@ pub(crate) fn split_steps(fractoid: &Fractoid) -> Vec<usize> {
     let mut ends = Vec::new();
     for (i, p) in prims.iter().enumerate() {
         if let Primitive::AggFilter { name, .. } = p {
+            // panic-ok: plan-split-time validation, once per job — an unknown
+            // aggregation name is a programming error in the workflow and must
+            // surface before any work runs.
             let source = resolve_source(prims, i, name);
             let source = source
                 .unwrap_or_else(|| panic!("aggregation filter reads unknown aggregation {name:?}"));
@@ -197,6 +200,8 @@ pub(crate) fn execute(fractoid: &Fractoid, mode: OutputMode) -> (ExecutionReport
         "a fractal workflow must start with expand()"
     );
     let ends = split_steps(fractoid);
+    // panic-ok: split_steps returns at least one boundary for a workflow
+    // that passed the expand() assert above.
     let last = *ends.last().unwrap();
     let mut reports = Vec::with_capacity(ends.len());
     let mut output = OutputData::default();
@@ -369,11 +374,15 @@ impl<'a> StepSpec<'a> {
                 }
                 Primitive::Filter(f) => resolved.push(Resolved::Filter(f.clone())),
                 Primitive::AggFilter { name, f } => {
+                    // panic-ok: resolution re-walks the same primitives split_steps
+                    // already validated; a miss here is unreachable.
                     let uid = resolve_source(prims, i, name)
                         .expect("aggregation filter reads unknown aggregation");
                     let source = fractoid
                         .store
                         .get(uid)
+                        // panic-ok: the source aggregation was computed by an
+                        // earlier step in the order split_steps produced.
                         .expect("step splitting must have computed the source aggregation");
                     resolved.push(Resolved::AggFilter {
                         f: f.clone(),
@@ -514,6 +523,8 @@ impl StepTask<'_> {
             }
             OutputMode::Count => self.staged_count += 1,
             OutputMode::TrackOnly => {
+                // panic-ok: participation is Some whenever the mode is TrackOnly; both
+                // are set together at engine construction.
                 let p = self.part.as_mut().expect("participation mask missing");
                 for &v in self.sg.vertices() {
                     p.vertices.set(v as usize);

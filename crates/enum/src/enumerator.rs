@@ -277,6 +277,9 @@ impl PatternEnumerator {
         }
         if self.match_edge_labels {
             for &(epos, elabel) in self.plan.back_edges(pos) {
+                // panic-ok: the candidate came out of intersecting the matched
+                // vertices' adjacency lists, so every back edge exists; a miss is a
+                // kernel bug that must abort rather than silently skew counts.
                 let e = g
                     .edge_between(VertexId(matched[epos as usize]), VertexId(cand))
                     .expect("intersection produced a non-adjacent candidate");
@@ -364,6 +367,8 @@ impl SubgraphEnumerator for PatternEnumerator {
         self.edge_scratch.clear();
         for &(epos, _) in self.plan.back_edges(pos) {
             let u = sg.vertices()[epos as usize];
+            // panic-ok: extend candidates are adjacency-intersection members (same
+            // invariant as label matching above).
             let e = g
                 .edge_between(VertexId(u), VertexId(v))
                 .expect("extend called with a non-adjacent candidate");

@@ -156,11 +156,16 @@ impl Subgraph {
 
     /// Undoes the most recent [`push_vertex_induced`](Self::push_vertex_induced).
     pub fn pop_vertex_induced(&mut self) {
+        // panic-ok: push/pop discipline is enforced by the enumerator's
+        // recursion; an underflow is a traversal bug and must fail loudly, not
+        // corrupt counts.
         let added = self.level_edges.pop().expect("pop on empty subgraph") as usize;
         for _ in 0..added {
             let e = self.edges.pop().unwrap();
             self.emember.clear(e as usize);
         }
+        // panic-ok: same pop discipline — vertices/edges stay balanced with
+        // level_edges.
         let v = self.vertices.pop().unwrap();
         self.vmember.clear(v as usize);
     }
@@ -185,11 +190,14 @@ impl Subgraph {
 
     /// Undoes the most recent [`push_edge`](Self::push_edge).
     pub fn pop_edge(&mut self) {
+        // panic-ok: push/pop discipline, see pop_vertex_induced.
         let added = self.level_vertices.pop().expect("pop on empty subgraph") as usize;
         for _ in 0..added {
             let v = self.vertices.pop().unwrap();
             self.vmember.clear(v as usize);
         }
+        // panic-ok: same pop discipline — the edge pushed with this level is
+        // still present.
         let e = self.edges.pop().unwrap();
         self.emember.clear(e as usize);
     }
@@ -246,6 +254,8 @@ impl Subgraph {
                 .collect();
             return Pattern::new(labels, Vec::new());
         }
+        // panic-ok: the canonical relabeling looks up vertices taken from this
+        // subgraph's own vertex list; a miss is impossible by construction.
         let local_of = |v: u32| -> u8 { self.vertices.iter().position(|&x| x == v).unwrap() as u8 };
         let labels = self
             .vertices

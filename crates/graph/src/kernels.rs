@@ -343,6 +343,8 @@ impl ExtensionKernels {
     /// The top (deepest) candidate set.
     #[inline]
     pub fn top(&self) -> &[u32] {
+        // panic-ok: callers never read top() of an empty stack — a level is
+        // pushed before any read (enumerator recursion invariant).
         let lo = *self.marks.last().expect("no live level");
         &self.arena[lo..]
     }
@@ -358,6 +360,8 @@ impl ExtensionKernels {
     /// adaptively. The parent level is read in place while the result is
     /// bump-allocated behind it.
     pub fn push_level_intersect(&mut self, other: &[u32]) {
+        // panic-ok: intersect is only called with a parent level open;
+        // enforced by the enumerator's push/pop pairing.
         let plo = *self.marks.last().expect("no parent level");
         let phi = self.arena.len();
         self.marks.push(phi);
@@ -377,6 +381,8 @@ impl ExtensionKernels {
 
     /// Closes the top level, reclaiming its arena region.
     pub fn pop_level(&mut self) {
+        // panic-ok: pop pairs a prior push in the same recursion; underflow is
+        // a kernel bug that must abort the count.
         let lo = self.marks.pop().expect("pop on empty level stack");
         self.arena.truncate(lo);
     }

@@ -1,0 +1,351 @@
+//! Pass 4: cross-artifact consistency. The repo's contract surfaces —
+//! the `fractal-metrics/1` counter schema, the perf baseline, and the
+//! `crates/net` wire codecs — are spread across Rust source and JSON
+//! artifacts that nothing previously tied together. This pass makes the
+//! following drift a lint failure:
+//!
+//! - a counter field added to `CoreStats`/`PlannerStats`/`FaultStats`
+//!   but never serialized into the metrics JSON,
+//! - a serialized counter that no gate pins: neither
+//!   `fault_free_counters` nor a `tolerances` entry in
+//!   `ci/perf-baseline.json`, nor a `counter-pin` allow-list entry with
+//!   a reason (for scheduling-dependent counters that cannot be pinned),
+//! - a `Frame`/`AppSpec` enum variant without encode *and* decode match
+//!   arms, or never mentioned in the `crates/net` round-trip tests.
+
+use crate::lexer::TokKind;
+use crate::passes::Code;
+use crate::source::SourceFile;
+use crate::waivers::Waivers;
+use crate::{json, Finding, LintConfig, RULE_ARTIFACT};
+
+fn file<'a>(files: &'a [SourceFile], rel: &str) -> Option<&'a SourceFile> {
+    files.iter().find(|f| f.rel == rel)
+}
+
+/// `pub <name>: u64` fields of struct `name` — the counter convention
+/// in the stats/fault structs (non-u64 fields are not counters).
+fn counter_fields(sf: &SourceFile, struct_name: &str) -> Vec<(String, u32)> {
+    let code = Code::of(sf);
+    let mut out = Vec::new();
+    for k in 0..code.len().saturating_sub(2) {
+        if !(code.tok(k).is_ident("struct") && code.tok(k + 1).is_ident(struct_name)) {
+            continue;
+        }
+        // Find the body open brace (skip generics — none in practice).
+        let mut open = None;
+        for j in k + 2..code.len() {
+            if code.tok(j).is_punct('{') {
+                open = Some(j);
+                break;
+            }
+            if code.tok(j).is_punct(';') {
+                break; // unit struct
+            }
+        }
+        let Some(open) = open else { continue };
+        let end = code.group_end(open);
+        let mut depth = 0usize;
+        for j in open..end {
+            let t = code.tok(j);
+            if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if depth == 1
+                && t.is_ident("pub")
+                && j + 3 < end
+                && code.tok(j + 1).kind == TokKind::Ident
+                && code.tok(j + 2).is_punct(':')
+                && code.tok(j + 3).is_ident("u64")
+            {
+                out.push((code.tok(j + 1).text.clone(), code.tok(j + 1).line));
+            }
+        }
+        break;
+    }
+    out
+}
+
+/// Does any string literal in `sf` serialize `name` as a quoted JSON
+/// key? Handles both cooked (`\"name\"`) and raw (`"name"`) literal
+/// spellings.
+fn serialized_in(sf: &SourceFile, name: &str) -> bool {
+    let cooked = format!("\\\"{}\\\"", name);
+    let raw = format!("\"{}\"", name);
+    sf.toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .any(|t| t.text.contains(&cooked) || t.text.contains(&raw))
+}
+
+/// Variant names of `enum name` in `sf`.
+fn enum_variants(sf: &SourceFile, enum_name: &str) -> Vec<String> {
+    let code = Code::of(sf);
+    let mut out = Vec::new();
+    for k in 0..code.len().saturating_sub(2) {
+        if !(code.tok(k).is_ident("enum") && code.tok(k + 1).is_ident(enum_name)) {
+            continue;
+        }
+        let mut open = None;
+        for j in k + 2..code.len() {
+            if code.tok(j).is_punct('{') {
+                open = Some(j);
+                break;
+            }
+        }
+        let Some(open) = open else { continue };
+        let end = code.group_end(open);
+        let mut depth = 0usize;
+        let mut expect_variant = false;
+        let mut j = open;
+        while j < end {
+            let t = code.tok(j);
+            if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+                if depth == 1 {
+                    expect_variant = true;
+                }
+            } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if depth == 1 {
+                if t.is_punct('#') {
+                    // Skip the attribute's bracket group.
+                    if j + 1 < end && code.tok(j + 1).is_punct('[') {
+                        j = code.group_end(j + 1);
+                        continue;
+                    }
+                } else if t.is_punct(',') {
+                    expect_variant = true;
+                } else if expect_variant && t.kind == TokKind::Ident {
+                    out.push(t.text.clone());
+                    expect_variant = false;
+                }
+            }
+            j += 1;
+        }
+        break;
+    }
+    out
+}
+
+/// Token span (code indices) of `fn name`'s body, if present.
+fn fn_body(code: &Code, name: &str) -> Option<(usize, usize)> {
+    for k in 0..code.len().saturating_sub(1) {
+        if !(code.tok(k).is_ident("fn") && code.tok(k + 1).is_ident(name)) {
+            continue;
+        }
+        for j in k + 2..code.len() {
+            if code.tok(j).is_punct('{') {
+                return Some((j, code.group_end(j)));
+            }
+            if code.tok(j).is_punct(';') {
+                break;
+            }
+        }
+    }
+    None
+}
+
+/// Does `Enum::Variant` appear in the code span?
+fn mentions_variant(code: &Code, span: (usize, usize), enum_name: &str, variant: &str) -> bool {
+    for k in span.0..span.1 {
+        if k + 3 >= span.1 {
+            break;
+        }
+        if code.tok(k).is_ident(enum_name)
+            && code.is_path_sep(k + 1)
+            && k + 3 < span.1
+            && code.tok(k + 3).is_ident(variant)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+pub fn artifact_pass(
+    cfg: &LintConfig,
+    files: &[SourceFile],
+    waivers: &mut Waivers,
+    out: &mut Vec<Finding>,
+) {
+    // --- counters ---------------------------------------------------
+    let baseline_path = cfg.root.join(&cfg.baseline);
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| json::parse(&t));
+    let (pinned, tolerated): (Vec<String>, Vec<String>) = match &baseline {
+        Ok(v) => (
+            v.get("fault_free_counters")
+                .and_then(|a| a.as_arr())
+                .map(|a| {
+                    a.iter()
+                        .filter_map(|s| s.as_str().map(String::from))
+                        .collect()
+                })
+                .unwrap_or_default(),
+            v.get("tolerances")
+                .and_then(|o| o.as_obj())
+                .map(|m| m.keys().cloned().collect())
+                .unwrap_or_default(),
+        ),
+        Err(e) => {
+            out.push(Finding::new(
+                RULE_ARTIFACT,
+                &cfg.baseline,
+                0,
+                format!("cannot load perf baseline: {}", e),
+            ));
+            (Vec::new(), Vec::new())
+        }
+    };
+
+    let schema_files: Vec<&SourceFile> = cfg
+        .schema_files
+        .iter()
+        .filter_map(|rel| file(files, rel))
+        .collect();
+
+    for (rel, structs) in &cfg.counter_structs {
+        let Some(sf) = file(files, rel) else {
+            out.push(Finding::new(
+                RULE_ARTIFACT,
+                rel,
+                0,
+                "counter-struct file missing from the tree (stale lint config?)".to_string(),
+            ));
+            continue;
+        };
+        for st in structs {
+            let fields = counter_fields(sf, st);
+            if fields.is_empty() {
+                out.push(Finding::new(
+                    RULE_ARTIFACT,
+                    rel,
+                    0,
+                    format!(
+                        "struct `{}` has no `pub …: u64` counters (stale lint config?)",
+                        st
+                    ),
+                ));
+                continue;
+            }
+            for (name, line) in fields {
+                if !schema_files.iter().any(|s| serialized_in(s, &name)) {
+                    out.push(Finding::new(
+                        RULE_ARTIFACT,
+                        rel,
+                        line,
+                        format!(
+                            "counter `{}.{}` is never serialized as a quoted key into the fractal-metrics/1 JSON",
+                            st, name
+                        ),
+                    ));
+                }
+                // `units`/`ec` are summed into `total_units`/`total_ec`
+                // before pinning; accept either spelling.
+                let total = format!("total_{}", name);
+                let is_pinned = pinned.contains(&name)
+                    || pinned.contains(&total)
+                    || tolerated.contains(&name)
+                    || tolerated.contains(&total);
+                if !is_pinned && waivers.consume("counter-pin", &name).is_none() {
+                    out.push(Finding::new(
+                        RULE_ARTIFACT,
+                        rel,
+                        line,
+                        format!(
+                            "counter `{}.{}` is neither pinned in {} (fault_free_counters / tolerances) nor allow-listed (`counter-pin`) in {}",
+                            st, name, cfg.baseline, cfg.waiver_file
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // --- enum codecs ------------------------------------------------
+    let mut test_corpus = String::new();
+    let tests_dir = cfg.root.join(&cfg.codec_tests_dir);
+    if let Ok(entries) = std::fs::read_dir(&tests_dir) {
+        let mut paths: Vec<_> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+            .collect();
+        paths.sort();
+        for p in paths {
+            if let Ok(t) = std::fs::read_to_string(&p) {
+                test_corpus.push_str(&t);
+            }
+        }
+    }
+
+    for (rel, enum_name, codec_fns) in &cfg.enums {
+        let Some(sf) = file(files, rel) else {
+            out.push(Finding::new(
+                RULE_ARTIFACT,
+                rel,
+                0,
+                "codec file missing from the tree (stale lint config?)".to_string(),
+            ));
+            continue;
+        };
+        let code = Code::of(sf);
+        let variants = enum_variants(sf, enum_name);
+        if variants.is_empty() {
+            out.push(Finding::new(
+                RULE_ARTIFACT,
+                rel,
+                0,
+                format!("enum `{}` not found (stale lint config?)", enum_name),
+            ));
+            continue;
+        }
+        let spans: Vec<(String, Option<(usize, usize)>)> = codec_fns
+            .iter()
+            .map(|f| (f.clone(), fn_body(&code, f)))
+            .collect();
+        for (fname, span) in &spans {
+            if span.is_none() {
+                out.push(Finding::new(
+                    RULE_ARTIFACT,
+                    rel,
+                    0,
+                    format!("codec fn `{}` not found (stale lint config?)", fname),
+                ));
+            }
+        }
+        for v in &variants {
+            for (fname, span) in &spans {
+                if let Some(span) = span {
+                    if !mentions_variant(&code, *span, enum_name, v) {
+                        out.push(Finding::new(
+                            RULE_ARTIFACT,
+                            rel,
+                            0,
+                            format!(
+                                "`{}::{}` has no match arm in `{}` — wire codec incomplete",
+                                enum_name, v, fname
+                            ),
+                        ));
+                    }
+                }
+            }
+            let mention = format!("{}::{}", enum_name, v);
+            if !test_corpus.contains(&mention) && waivers.consume("codec-test", &mention).is_none()
+            {
+                out.push(Finding::new(
+                    RULE_ARTIFACT,
+                    rel,
+                    0,
+                    format!(
+                        "`{}` never exercised in {}/*.rs round-trip tests (or `codec-test` allow-list)",
+                        mention, cfg.codec_tests_dir
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Minimal recursive-descent JSON reader — enough to load
+//! `ci/perf-baseline.json`, `ci/lint-waivers.json` and
+//! `ci/unsafe-inventory.json` without a crates.io dependency (same
+//! philosophy as the compat shims). Numbers are kept as `f64`; the
+//! artifact files only hold small integers and tolerances.
+
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+pub fn parse(src: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        b: src.as_bytes(),
+        i: 0,
+    };
+    p.ws();
+    let v = p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing bytes at offset {}", p.i));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> u8 {
+        *self.b.get(self.i).unwrap_or(&0)
+    }
+    fn ws(&mut self) {
+        while self.peek().is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == c {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at offset {}, found '{}'",
+                c as char,
+                self.i,
+                self.peek() as char
+            ))
+        }
+    }
+    fn lit(&mut self, s: &str, v: Value) -> Result<Value, String> {
+        if self.b[self.i..].starts_with(s.as_bytes()) {
+            self.i += s.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Value::Str(self.string()?)),
+            b't' => self.lit("true", Value::Bool(true)),
+            b'f' => self.lit("false", Value::Bool(false)),
+            b'n' => self.lit("null", Value::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            c => Err(format!("unexpected '{}' at offset {}", c as char, self.i)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut m = BTreeMap::new();
+        self.ws();
+        if self.peek() == b'}' {
+            self.i += 1;
+            return Ok(Value::Obj(m));
+        }
+        loop {
+            self.ws();
+            let k = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            let v = self.value()?;
+            m.insert(k, v);
+            self.ws();
+            match self.peek() {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Ok(Value::Obj(m));
+                }
+                c => return Err(format!("expected ',' or '}}', found '{}'", c as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut v = Vec::new();
+        self.ws();
+        if self.peek() == b']' {
+            self.i += 1;
+            return Ok(Value::Arr(v));
+        }
+        loop {
+            self.ws();
+            v.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                b',' => self.i += 1,
+                b']' => {
+                    self.i += 1;
+                    return Ok(Value::Arr(v));
+                }
+                c => return Err(format!("expected ',' or ']', found '{}'", c as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                0 => return Err("unterminated string".into()),
+                b'"' => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.i += 1;
+                    let e = self.peek();
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.i..self.i + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            self.i += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        c => return Err(format!("bad escape '\\{}'", c as char)),
+                    }
+                }
+                _ => {
+                    // Copy one UTF-8 code point verbatim.
+                    let start = self.i;
+                    self.i += 1;
+                    while self.i < self.b.len() && (self.b[self.i] & 0xc0) == 0x80 {
+                        self.i += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.b[start..self.i]).map_err(|e| e.to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.i;
+        if self.peek() == b'-' {
+            self.i += 1;
+        }
+        while matches!(self.peek(), b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map(Value::Num)
+            .map_err(|e| format!("bad number at offset {}: {}", start, e))
+    }
+}
+
+/// Escape a string for embedding in JSON output.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_baseline_shapes() {
+        let v = parse(
+            r#"{"schema":"fractal-perf-baseline/1","tolerances":{"count":0.0,"x":0.02},
+                "fault_free_counters":["a","b"],"nested":[1,-2,3.5,true,false,null]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            v.get("schema").unwrap().as_str(),
+            Some("fractal-perf-baseline/1")
+        );
+        assert_eq!(
+            v.get("tolerances").unwrap().get("x").unwrap().as_num(),
+            Some(0.02)
+        );
+        assert_eq!(
+            v.get("fault_free_counters")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .len(),
+            2
+        );
+        assert_eq!(
+            v.get("nested").unwrap().as_arr().unwrap()[1],
+            Value::Num(-2.0)
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = parse(r#""a\nb\"cA""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\nb\"cA"));
+        assert_eq!(escape("a\nb\"c"), "a\\nb\\\"c");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{}extra").is_err());
+    }
+}

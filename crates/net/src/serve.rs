@@ -265,6 +265,8 @@ impl WorkerLink {
                     Err(_) => break,
                 }
             }
+            // ordering: SeqCst — the death flag is the only cross-thread signal
+            // from the demux thread; pair it conservatively with the reader side.
             dead.store(true, Ordering::SeqCst);
             // Channel EOF is the per-job death signal.
             routes.lock().clear();
@@ -273,6 +275,8 @@ impl WorkerLink {
     }
 
     fn is_dead(&self) -> bool {
+        // ordering: SeqCst — pairs with the demux thread's store; worker death
+        // is rare, so the stronger ordering costs nothing on the dispatch path.
         self.dead.load(Ordering::SeqCst)
     }
 
@@ -1161,6 +1165,8 @@ fn handle_cancel(inner: &ServerInner, job: u64) -> Frame {
             // Cooperative: the job's driver notices at its next event-loop
             // iteration, winds the virtual sessions down and publishes the
             // terminal Cancelled event itself.
+            // ordering: SeqCst — cancel is a rare control-plane flag; the driver
+            // polls it between event-loop iterations, no tight loop reads it.
             rec.cancel.store(true, Ordering::SeqCst);
             event(job, EventKind::Running, "cancelling", 0)
         }

@@ -105,6 +105,9 @@ impl<K: FrameSink> Shared<K> {
         let mut w = self.writer.lock();
         let res = w.send(seq, frame);
         if res.is_err() {
+            // ordering: SeqCst — disconnect flag; set once on send failure, polled by
+            // pull()/serve loop. Rare transition, not a hot read, so the strongest
+            // ordering is free.
             self.disconnected.store(true, Ordering::SeqCst);
         }
         res
@@ -151,6 +154,9 @@ impl<K: FrameSink + 'static> ExternalHooks for WorkerHooks<K> {
     }
 
     fn pull(&self) -> ExternalPull {
+        // ordering: SeqCst — pairs with the serve loop's SeqCst stores of
+        // disconnected/round_done; pull() runs between units, not in the kernel
+        // hot loop.
         if self.shared.disconnected.load(Ordering::SeqCst)
             || self.shared.round_done.load(Ordering::SeqCst)
         {
@@ -399,6 +405,8 @@ where
     let hb = {
         let shared = Arc::clone(&shared);
         let stop = Arc::clone(&hb_stop);
+        // ordering: SeqCst — heartbeat control: stop flag and current round are
+        // rare control-plane reads on a 1-per-interval thread.
         thread::spawn(move || {
             while !stop.load(Ordering::SeqCst) {
                 thread::sleep(HEARTBEAT_EVERY);
@@ -460,6 +468,9 @@ where
                         ))
                     }
                 };
+                // ordering: SeqCst — round/round_done must be visible to the serve loop
+                // before any steal for this round is answered; all worker-protocol flags
+                // stay SeqCst.
                 shared.round.store(round, Ordering::SeqCst);
                 shared.round_done.store(false, Ordering::SeqCst);
                 *shared.handle.lock() = None;
@@ -497,6 +508,8 @@ where
             Frame::StealRequest { round } => {
                 // Relayed on behalf of a thief: serve out of the running
                 // job's root queues, echoing the request's seq.
+                // ordering: SeqCst — steal service is gated on the same round/round_done
+                // flags the Assign arm stores with SeqCst.
                 let word = if round == shared.round.load(Ordering::SeqCst)
                     && !shared.round_done.load(Ordering::SeqCst)
                 {
@@ -525,6 +538,8 @@ where
                 }
             }
             Frame::StealReply { round, word, unit } => {
+                // ordering: SeqCst — stale-round steal replies are dropped; same SeqCst
+                // protocol flags as above.
                 if round == shared.round.load(Ordering::SeqCst) {
                     if let Some(tx) = shared.reply_tx.lock().as_ref() {
                         let _ = tx.send((word, unit));
@@ -536,6 +551,8 @@ where
                     outcome = ServeOutcome::Shutdown;
                     break;
                 }
+                // ordering: SeqCst — Done marks the round drained for pull(); pairs with
+                // the SeqCst loads in pull() and the steal arms.
                 if round == shared.round.load(Ordering::SeqCst) {
                     shared.round_done.store(true, Ordering::SeqCst);
                 }
@@ -559,6 +576,8 @@ where
     // Unblock and reap everything: a running job sees Drained immediately
     // (round_done + dropped reply sender), the heartbeat thread stops on
     // its next tick.
+    // ordering: SeqCst — teardown: publish disconnected/round_done before
+    // reaping threads so blocked pulls see Drained, not a hang.
     shared.disconnected.store(true, Ordering::SeqCst);
     shared.round_done.store(true, Ordering::SeqCst);
     *shared.reply_tx.lock() = None;

@@ -47,10 +47,10 @@ use crate::stats::{CoreStats, JobReport};
 use crate::steal::{
     decode_unit, steal_from_registry, steal_server, ServerStats, StealRequest, StolenUnit,
 };
+use crate::sync::channel::{bounded, unbounded, RecvTimeoutError, Sender};
 use crate::sync::{AtomicBool, AtomicI64, Ordering};
 use crate::trace::{CoreTrace, EventKind, Recorder, TraceDump};
 use crate::{ClusterConfig, WsMode};
-use crossbeam::channel::{bounded, unbounded, RecvTimeoutError, Sender};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -73,6 +73,9 @@ impl JobState {
     }
 
     /// Adds `n` in-flight units (stolen-unit inflation).
+    // ordering: SeqCst — exact-termination counter (§4.2): every pending
+    // transition must be totally ordered against the done flag, or a core
+    // could observe done=true while a stolen unit is still in flight.
     #[inline]
     pub fn add_pending(&self, n: i64) {
         self.pending.fetch_add(n, Ordering::SeqCst);
@@ -86,6 +89,8 @@ impl JobState {
     /// degrades to a too-early `done` instead of a counter wrapped
     /// negative that can never terminate.
     #[inline]
+    // ordering: SeqCst — the decrement, the saturating undo and the done
+    // store form one totally-ordered protocol; see add_pending.
     pub fn sub_pending(&self) {
         let prev = self.pending.fetch_sub(1, Ordering::SeqCst);
         debug_assert!(prev > 0, "sub_pending underflow: pending was {prev}");
@@ -99,12 +104,15 @@ impl JobState {
     }
 
     /// Whether the job has fully completed.
+    // ordering: SeqCst — pairs with sub_pending's store; done is polled
+    // between units, never in the kernel inner loop.
     #[inline]
     pub fn done(&self) -> bool {
         self.done.load(Ordering::SeqCst)
     }
 
     /// Current pending count (diagnostics).
+    // ordering: SeqCst — diagnostics read of the same SeqCst counter.
     pub fn pending(&self) -> i64 {
         self.pending.load(Ordering::SeqCst)
     }
@@ -490,6 +498,7 @@ fn dispatch_unit(
                 // set so the re-execution skips work already committed
                 // elsewhere.
                 while ctx.slot.depth() > depth0 {
+                    // panic-ok: depth > depth0 is the loop condition; pop_top cannot miss.
                     let lvl = ctx.slot.pop_top().expect("depth checked above");
                     let stolen = lvl.retire_collect();
                     if !stolen.is_empty() {
@@ -636,14 +645,20 @@ pub fn run_job_with(
             .is_some()
             .then(|| s.spawn(|| watchdog_loop(&fcx, &registries, &job, t0)));
         for (id, h) in handles {
+            // panic-ok: a core-thread panic is a runtime bug (injected unit panics
+            // are caught per-unit, not here); propagating it is the fail-loud
+            // path.
             let (stats, trace) = h.join().expect("core thread panicked");
             core_stats.push((id, stats));
             core_traces.push(trace);
         }
         for h in server_handles {
+            // panic-ok: steal servers only panic on runtime bugs; join propagates
+            // them.
             h.join().expect("steal server panicked");
         }
         if let Some(h) = watchdog {
+            // panic-ok: watchdog likewise — propagate, never swallow.
             h.join().expect("watchdog panicked");
         }
     });
@@ -688,6 +703,8 @@ fn watchdog_loop(fcx: &FaultCtx, registries: &[Arc<WorkerRegistry>], job: &JobSt
         std::thread::sleep(poll);
         let now = t0.elapsed().as_nanos() as u64;
         for (gi, health) in fcx.health.cores.iter().enumerate() {
+            // ordering: SeqCst — reconciled is the watchdog/recovery handshake; a
+            // missed edge here would double-recover a core's obligations.
             if health.reconciled.load(Ordering::SeqCst) {
                 continue;
             }
@@ -963,6 +980,9 @@ fn steal_loop(
                     }
                     ExternalPull::Empty => {}
                     ExternalPull::Drained => {
+                        // ordering: SeqCst — hold_released must flip exactly once across
+                        // executor and watchdog threads; the swap's total order guarantees a
+                        // single sub_pending.
                         if !e.hold_released.swap(true, Ordering::SeqCst) {
                             job.sub_pending();
                         }

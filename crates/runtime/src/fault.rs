@@ -569,6 +569,8 @@ impl FaultInjector {
 
     /// Whether the kill has fired (the worker is dead or dying).
     pub fn kill_fired(&self) -> bool {
+        // ordering: SeqCst — kill_fired pairs with the injector's one-shot
+        // store; read by the watchdog, never in a hot loop.
         self.kill_fired.load(Ordering::SeqCst)
     }
 
@@ -657,6 +659,8 @@ impl FaultInjector {
         if self.config.stall_core != Some((worker, core)) {
             return 0;
         }
+        // ordering: SeqCst — the one-shot arm/disarm must be seen exactly once
+        // across cores, or one stall config would stall twice.
         if self.stall_armed.swap(false, Ordering::SeqCst) {
             // ordering: Relaxed — diagnostic counter, read after workers join.
             ledger.faults_injected.fetch_add(1, Ordering::Relaxed);
@@ -830,11 +834,14 @@ impl CoreHealth {
 
     /// Marks this core fail-stopped.
     pub fn mark_dead(&self) {
+        // ordering: SeqCst — fail-stop flag: the watchdog must never recover
+        // obligations of a core that hasn't published its death.
         self.dead.store(true, Ordering::SeqCst);
     }
 
     /// Whether the core has fail-stopped.
     pub fn is_dead(&self) -> bool {
+        // ordering: SeqCst — pairs with mark_dead's store.
         self.dead.load(Ordering::SeqCst)
     }
 }

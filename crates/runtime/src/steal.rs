@@ -24,9 +24,9 @@
 use crate::executor::JobState;
 use crate::fault::{FaultCtx, RecoveryUnit};
 use crate::level::{LevelQueue, WorkerRegistry};
+use crate::sync::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use crate::sync::{AtomicU64, Ordering};
 use bytes::{Buf, BufMut, BytesMut};
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
 use std::time::{Duration, Instant};
 
@@ -209,6 +209,8 @@ pub fn decode_unit(bytes: &[u8]) -> Result<StolenUnit, DecodeError> {
         return Err(DecodeError::TrailingBytes(total - needed));
     }
     let expected = fnv1a64(&bytes[..total - 8]);
+    // panic-ok: the slice is exactly 8 bytes by the length checks above;
+    // try_into cannot fail.
     let carried = u64::from_be_bytes(bytes[total - 8..].try_into().unwrap());
     if carried != expected {
         return Err(DecodeError::ChecksumMismatch {
@@ -561,10 +563,10 @@ mod tests {
         stats: Arc<ServerStats>,
         fcx: Arc<FaultCtx>,
     ) -> (
-        crossbeam::channel::Sender<StealRequest>,
+        crate::sync::channel::Sender<StealRequest>,
         std::thread::JoinHandle<()>,
     ) {
-        let (tx, rx) = crossbeam::channel::unbounded::<StealRequest>();
+        let (tx, rx) = crate::sync::channel::unbounded::<StealRequest>();
         let h = std::thread::spawn(move || steal_server(&reg, 0, &job, &rx, 0, &stats, &fcx));
         (tx, h)
     }
@@ -575,7 +577,7 @@ mod tests {
         let reg = Arc::new(WorkerRegistry::new(1));
         let stats = Arc::new(ServerStats::new());
         let (tx, h) = spawn_server(reg, job.clone(), stats.clone(), fcx());
-        let (rtx, rrx) = crossbeam::channel::bounded(1);
+        let (rtx, rrx) = crate::sync::channel::bounded(1);
         tx.send(StealRequest { reply: rtx }).unwrap();
         assert!(rrx.recv_timeout(Duration::from_secs(2)).unwrap().is_none());
         job.sub_pending(); // -> done
@@ -593,7 +595,7 @@ mod tests {
         let stats = Arc::new(ServerStats::new());
         let f = fcx();
         let (tx, h) = spawn_server(reg, job.clone(), stats.clone(), f.clone());
-        let (rtx, rrx) = crossbeam::channel::bounded(1);
+        let (rtx, rrx) = crate::sync::channel::bounded(1);
         tx.send(StealRequest { reply: rtx }).unwrap();
         let reply = rrx.recv_timeout(Duration::from_secs(2)).unwrap().unwrap();
         let unit = decode_unit(&reply.bytes).unwrap();
@@ -623,7 +625,7 @@ mod tests {
         let stats = Arc::new(ServerStats::new());
         let f = fcx();
         let (tx, h) = spawn_server(reg, job.clone(), stats.clone(), f.clone());
-        let (rtx, rrx) = crossbeam::channel::bounded(1);
+        let (rtx, rrx) = crate::sync::channel::bounded(1);
         tx.send(StealRequest { reply: rtx }).unwrap();
         let reply = rrx.recv_timeout(Duration::from_secs(2)).unwrap().unwrap();
         // Requester reports the payload corrupt.
@@ -654,7 +656,7 @@ mod tests {
         let stats = Arc::new(ServerStats::new());
         let f = fcx();
         let (tx, h) = spawn_server(reg, job.clone(), stats.clone(), f.clone());
-        let (rtx, rrx) = crossbeam::channel::bounded(1);
+        let (rtx, rrx) = crate::sync::channel::bounded(1);
         tx.send(StealRequest { reply: rtx }).unwrap();
         // Requester "dies" without ever reading the reply.
         drop(rrx);
@@ -686,7 +688,7 @@ mod tests {
         let (tx, h) = spawn_server(reg, job.clone(), stats, fcx());
         job.sub_pending(); // done before any request arrives
                            // Race a request against the server's drain-and-exit.
-        let (rtx, rrx) = crossbeam::channel::bounded(1);
+        let (rtx, rrx) = crate::sync::channel::bounded(1);
         let sent = tx.send(StealRequest { reply: rtx }).is_ok();
         // Whether or not the send won the race, the requester-side wait
         // terminates quickly: a None reply, or a disconnect once the

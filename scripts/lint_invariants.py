@@ -1,337 +1,47 @@
 #!/usr/bin/env python3
-"""Custom invariant lints for the Fractal workspace.
+"""Thin wrapper over `fractal lint` (the in-tree static analyzer).
 
-Four rules, enforced over product source (`crates/*/src`, `src/`):
-
-  facade-import   Concurrency primitives must come from the sync facade
-                  (`fractal_runtime::sync` / `fractal_check::facade` /
-                  `crate::sync`), never from `std::sync::atomic`,
-                  `std::sync::Mutex`/`RwLock`/`Condvar` or `parking_lot`
-                  directly — otherwise the type silently escapes the
-                  model checker's instrumentation.
-
-  ordering-comment
-                  Every `Ordering::Relaxed` must carry a justification:
-                  a `// ordering:` comment on the same line or within
-                  the ORDERING_WINDOW lines above. Relaxed is the only
-                  ordering weak enough to need an argument; the comment
-                  records it next to the code.
-
-  net-read-unwrap In `crates/net/src`, the result of a socket read must
-                  not be `.unwrap()`ed / `.expect()`ed in protocol
-                  paths: a peer that hangs up mid-frame must surface as
-                  an `io::Result`, not a worker panic.
-
-  safety-comment  Every `unsafe` must be preceded (within
-                  SAFETY_WINDOW lines) or accompanied by a `// SAFETY:`
-                  comment stating the proof obligation.
-
-Exemptions:
-
-  * `crates/compat/` entirely (it *implements* shims over std).
-  * `crates/check/src/` from facade-import and ordering-comment (it
-    implements the facade and the instrumented primitives).
-  * `#[cfg(test)] mod` regions, `tests/` and `benches/` directories
-    (tests may use std primitives and unwrap freely).
+The invariant lints that used to live here as line-based regexes —
+facade imports, `// ordering:` justifications, `// SAFETY:` comments,
+net-read unwraps — moved into `crates/lint` (DESIGN.md §15), where a
+real tokenizer handles strings, block comments and `#[cfg(test)]`
+regions correctly, and two more passes (cross-artifact consistency,
+hot-path panic audit) run alongside them. This script survives so
+existing CI entry points and muscle memory keep working; it locates the
+`fractal` binary and delegates.
 
 Usage:
   scripts/lint_invariants.py [--root DIR]   lint the tree (exit 1 on findings)
-  scripts/lint_invariants.py --self-test    inject one violation per rule into
-                                            a scratch tree and assert each is
-                                            caught (exit 1 if any slips through)
+  scripts/lint_invariants.py --self-test    delegate to `fractal lint
+                                            --self-test`: plant one violation
+                                            per pass in a scratch tree and
+                                            assert each is caught
+
+Binary resolution order:
+  1. $FRACTAL_BIN, if set
+  2. target/release/fractal, then target/debug/fractal (under --root)
+  3. `cargo run --release --locked --bin fractal --` as a fallback
 """
 
 from __future__ import annotations
 
 import argparse
 import os
-import re
+import subprocess
 import sys
-import tempfile
-
-ORDERING_WINDOW = 10  # lines above a Relaxed that may hold `// ordering:`
-SAFETY_WINDOW = 3  # lines above an `unsafe` that may hold `// SAFETY:`
-
-FACADE_BANNED = [
-    re.compile(r"\bstd::sync::atomic\b"),
-    re.compile(r"\bcore::sync::atomic\b"),
-    re.compile(r"\bstd::sync::(Mutex|RwLock|Condvar)\b"),
-    re.compile(r"\bparking_lot\b"),
-    # `use std::sync::{..., Mutex, ...}` style grouped imports.
-    re.compile(r"use\s+std::sync::\{[^}]*\b(Mutex|RwLock|Condvar|atomic)\b"),
-]
-
-RELAXED = re.compile(r"\bOrdering::Relaxed\b")
-ORDERING_COMMENT = re.compile(r"//.*\bordering:")
-
-NET_READ = re.compile(
-    r"(read_exact\s*\(|read_to_end\s*\(|read_frame\s*\(|\.recv\s*\(|recv_timeout\s*\(|\.peek\s*\()"
-)
-UNWRAP = re.compile(r"\.(unwrap|expect)\s*\(")
-
-UNSAFE = re.compile(r"\bunsafe\b")
-SAFETY_COMMENT = re.compile(r"//.*\bSAFETY:")
-
-CFG_TEST = re.compile(r"#\[cfg\((test|all\(test)")
 
 
-def strip_comments_and_strings(line: str) -> str:
-    """Best-effort removal of `//...`, string and char literals so lint
-    patterns only see code. Line-based (no multiline strings/comments in
-    this tree's style); good enough for a repo-specific lint."""
-    out = []
-    i, n = 0, len(line)
-    while i < n:
-        c = line[i]
-        if c == "/" and i + 1 < n and line[i + 1] == "/":
-            break  # rest is a comment
-        if c == '"':
-            i += 1
-            while i < n and line[i] != '"':
-                i += 2 if line[i] == "\\" else 1
-            i += 1
-            out.append('""')
-            continue
-        if c == "'" and i + 2 < n and (line[i + 1] == "\\" or line[i + 2] == "'"):
-            # char literal (skip; lifetimes like 'a don't match this shape)
-            j = i + 1
-            if line[j] == "\\":
-                j += 1
-            i = j + 2
-            out.append("''")
-            continue
-        out.append(c)
-        i += 1
-    return "".join(out)
-
-
-def test_region_mask(lines: list[str]) -> list[bool]:
-    """True for lines inside a `#[cfg(test)] mod { ... }` region."""
-    mask = [False] * len(lines)
-    i = 0
-    while i < len(lines):
-        if CFG_TEST.search(lines[i]):
-            # Find the mod (or fn/impl) the cfg applies to, then span its
-            # braces. Scan a few lines ahead for the opening `{`.
-            depth = 0
-            opened = False
-            j = i
-            while j < len(lines):
-                mask[j] = True
-                code = strip_comments_and_strings(lines[j])
-                depth += code.count("{") - code.count("}")
-                if "{" in code:
-                    opened = True
-                if opened and depth <= 0:
-                    break
-                j += 1
-            i = j + 1
-        else:
-            i += 1
-    return mask
-
-
-def is_exempt_path(rel: str, rule: str) -> bool:
-    parts = rel.replace("\\", "/").split("/")
-    if "compat" in parts and "crates" in parts:
-        return True  # crates/compat implements the shims
-    if "tests" in parts or "benches" in parts:
-        return True  # test code may use std primitives and unwrap
-    if rule in ("facade-import", "ordering-comment"):
-        if rel.startswith("crates/check/src"):
-            return True  # the facade and instrumented types themselves
-    return False
-
-
-def lint_file(root: str, rel: str) -> list[tuple[str, int, str, str]]:
-    """Returns (rule, line_no, line, message) findings for one file."""
-    path = os.path.join(root, rel)
-    try:
-        with open(path, encoding="utf-8") as f:
-            lines = f.read().splitlines()
-    except (OSError, UnicodeDecodeError):
-        return []
-    in_test = test_region_mask(lines)
-    findings = []
-
-    for idx, raw in enumerate(lines):
-        if in_test[idx]:
-            continue
-        no = idx + 1
-        code = strip_comments_and_strings(raw)
-
-        if not is_exempt_path(rel, "facade-import"):
-            for pat in FACADE_BANNED:
-                if pat.search(code):
-                    findings.append(
-                        (
-                            "facade-import",
-                            no,
-                            raw.strip(),
-                            "import concurrency primitives via the sync facade "
-                            "(fractal_runtime::sync / fractal_check::facade / crate::sync), "
-                            "not std::sync / parking_lot directly",
-                        )
-                    )
-                    break
-
-        if not is_exempt_path(rel, "ordering-comment") and RELAXED.search(code):
-            lo = max(0, idx - ORDERING_WINDOW)
-            window = lines[lo : idx + 1]
-            if not any(ORDERING_COMMENT.search(w) for w in window):
-                findings.append(
-                    (
-                        "ordering-comment",
-                        no,
-                        raw.strip(),
-                        "Ordering::Relaxed needs a `// ordering:` justification on the "
-                        f"same line or within {ORDERING_WINDOW} lines above",
-                    )
-                )
-
-        if rel.startswith("crates/net/src") and NET_READ.search(code) and UNWRAP.search(code):
-            findings.append(
-                (
-                    "net-read-unwrap",
-                    no,
-                    raw.strip(),
-                    "socket reads in protocol paths must propagate io::Result, "
-                    "not unwrap()/expect()",
-                )
-            )
-
-        if not is_exempt_path(rel, "safety-comment") and UNSAFE.search(code):
-            lo = max(0, idx - SAFETY_WINDOW)
-            window = lines[lo : idx + 1]
-            if not any(SAFETY_COMMENT.search(w) for w in window):
-                findings.append(
-                    (
-                        "safety-comment",
-                        no,
-                        raw.strip(),
-                        "unsafe needs a `// SAFETY:` comment on the same line or "
-                        f"within {SAFETY_WINDOW} lines above",
-                    )
-                )
-
-    return [(rule, no, line, msg) for rule, no, line, msg in findings]
-
-
-def source_files(root: str) -> list[str]:
-    rels = []
-    for base in ("crates", "src"):
-        top = os.path.join(root, base)
-        if not os.path.isdir(top):
-            continue
-        for dirpath, dirnames, filenames in os.walk(top):
-            dirnames[:] = [d for d in dirnames if d != "target"]
-            for name in filenames:
-                if name.endswith(".rs"):
-                    rels.append(os.path.relpath(os.path.join(dirpath, name), root))
-    return sorted(rels)
-
-
-def run_lint(root: str) -> int:
-    total = 0
-    for rel in source_files(root):
-        for rule, no, line, msg in lint_file(root, rel):
-            total += 1
-            print(f"{rel}:{no}: [{rule}] {msg}\n    {line}")
-    if total:
-        print(f"\nlint_invariants: {total} finding(s)")
-        return 1
-    print(f"lint_invariants: clean ({len(source_files(root))} files)")
-    return 0
-
-
-# ---------------------------------------------------------------------------
-# Self-test: inject one violation per rule, assert each is caught.
-# ---------------------------------------------------------------------------
-
-VIOLATIONS = {
-    "facade-import": "use std::sync::atomic::{AtomicUsize, Ordering};\n",
-    "ordering-comment": (
-        "fn f(c: &AtomicUsize) -> usize {\n"
-        "    c.load(Ordering::Relaxed)\n"
-        "}\n"
-    ),
-    "net-read-unwrap": (
-        "fn g(s: &mut std::net::TcpStream, buf: &mut [u8]) {\n"
-        "    s.read_exact(buf).unwrap();\n"
-        "}\n"
-    ),
-    "safety-comment": (
-        "fn h(p: *const u8) -> u8 {\n"
-        "    unsafe { *p }\n"
-        "}\n"
-    ),
-}
-
-CLEAN_FILE = """\
-use fractal_runtime::sync::{AtomicUsize, Ordering};
-
-fn ok(c: &AtomicUsize) -> usize {
-    // ordering: Relaxed — diagnostic counter, read after join.
-    c.load(Ordering::Relaxed)
-}
-
-// SAFETY: p is valid for reads by contract.
-fn ok_unsafe(p: *const u8) -> u8 {
-    unsafe { *p }
-}
-
-#[cfg(test)]
-mod tests {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    #[test]
-    fn std_is_fine_in_tests() {
-        let c = AtomicUsize::new(0);
-        assert_eq!(c.load(Ordering::Relaxed), 0);
-    }
-}
-"""
-
-
-def self_test() -> int:
-    failures = []
-    with tempfile.TemporaryDirectory() as tmp:
-        # One scratch crate per injected violation; net rule needs the
-        # crates/net/src path prefix to arm.
-        for rule, snippet in VIOLATIONS.items():
-            crate = "net" if rule == "net-read-unwrap" else f"scratch_{rule.replace('-', '_')}"
-            d = os.path.join(tmp, "crates", crate, "src")
-            os.makedirs(d, exist_ok=True)
-            with open(os.path.join(d, "lib.rs"), "w", encoding="utf-8") as f:
-                f.write(snippet)
-            rel = os.path.join("crates", crate, "src", "lib.rs")
-            caught = [r for r, *_ in lint_file(tmp, rel)]
-            if rule in caught:
-                print(f"self-test: [{rule}] injected violation caught")
-            else:
-                failures.append(rule)
-                print(f"self-test: [{rule}] MISSED (caught: {caught})")
-            os.remove(os.path.join(d, "lib.rs"))
-
-        # A compliant file (including a std-using test mod) must be clean.
-        d = os.path.join(tmp, "crates", "clean", "src")
-        os.makedirs(d)
-        with open(os.path.join(d, "lib.rs"), "w", encoding="utf-8") as f:
-            f.write(CLEAN_FILE)
-        rel = os.path.join("crates", "clean", "src", "lib.rs")
-        extra = lint_file(tmp, rel)
-        if extra:
-            failures.append("clean-file")
-            for rule, no, line, msg in extra:
-                print(f"self-test: FALSE POSITIVE {rel}:{no}: [{rule}]\n    {line}")
-        else:
-            print("self-test: compliant file (with std-using test mod) is clean")
-
-    if failures:
-        print(f"\nself-test FAILED: {failures}")
-        return 1
-    print("\nself-test passed: every injected violation caught, no false positives")
-    return 0
+def find_fractal(root: str) -> list[str]:
+    env_bin = os.environ.get("FRACTAL_BIN")
+    if env_bin:
+        return [env_bin]
+    for profile in ("release", "debug"):
+        cand = os.path.join(root, "target", profile, "fractal")
+        if os.name == "nt":
+            cand += ".exe"
+        if os.path.isfile(cand) and os.access(cand, os.X_OK):
+            return [cand]
+    return ["cargo", "run", "--release", "--locked", "--bin", "fractal", "--"]
 
 
 def main() -> int:
@@ -343,9 +53,24 @@ def main() -> int:
         help="verify the linter catches injected violations, then exit",
     )
     args = ap.parse_args()
+    root = os.path.abspath(args.root)
+
+    cmd = find_fractal(root) + ["lint"]
     if args.self_test:
-        return self_test()
-    return run_lint(os.path.abspath(args.root))
+        cmd.append("--self-test")
+    else:
+        cmd += ["--root", root]
+
+    try:
+        return subprocess.call(cmd, cwd=root)
+    except OSError as e:
+        print(f"lint_invariants: failed to run {cmd[0]}: {e}", file=sys.stderr)
+        print(
+            "lint_invariants: build the binary first (cargo build --release --locked) "
+            "or set $FRACTAL_BIN",
+            file=sys.stderr,
+        )
+        return 2
 
 
 if __name__ == "__main__":

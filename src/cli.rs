@@ -53,6 +53,13 @@
 //!              restarted daemon resumes incomplete jobs from their last
 //!              committed word-set; --link-fault (local-cluster only)
 //!              spawns the workers with degraded job links
+//!   lint       [--root <dir>] [--metrics-out f.json] [--update-inventory]
+//!              [--self-test]
+//!              runs the in-tree static analyzer (`crates/lint`) over the
+//!              workspace: facade-escape, ordering/SAFETY audits,
+//!              cross-artifact consistency and hot-path panic checks;
+//!              --self-test plants one violation per pass in a scratch
+//!              tree and asserts each is caught
 //!   client <submit|status|cancel|result> --server <addr>
 //!              submit: --tenant <t> --priority <p> --snapshot <spec>
 //!                      --app <motifs|cliques|fsm> plus app options
@@ -99,6 +106,7 @@ pub fn run() {
         "submit" => return run_submit(&opts),
         "check" => return run_check(&opts),
         "serve" => return run_serve(&opts),
+        "lint" => return run_lint(&opts),
         "trace" if opts.contains_key("per-worker") => return run_trace_per_worker(&opts),
         _ => {}
     }
@@ -332,6 +340,8 @@ fn parse_opts(args: &[String]) -> HashMap<String, String> {
                     | "verify-single"
                     | "unbounded"
                     | "wait"
+                    | "self-test"
+                    | "update-inventory"
             );
             if flaggy {
                 opts.insert(key.to_string(), "true".to_string());
@@ -1049,6 +1059,50 @@ fn run_check(opts: &HashMap<String, String>) {
     }
 }
 
+/// `fractal lint`: the in-tree static analysis pass (DESIGN.md §15).
+/// Exit 0 on a clean tree, 1 on findings, 2 on usage/environment errors
+/// — mirroring the perf/chaos gate conventions so CI can tell "dirty
+/// tree" from "broken run".
+fn run_lint(opts: &HashMap<String, String>) {
+    if opts.contains_key("self-test") {
+        match fractal_lint::selftest::self_test() {
+            Ok(log) => {
+                print!("{log}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let root = opts
+        .get("root")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let mut cfg = fractal_lint::LintConfig::default_for(&root);
+    cfg.update_inventory = opts.contains_key("update-inventory");
+    let outcome = match fractal_lint::run(&cfg) {
+        Ok(o) => o,
+        Err(e) => die(&format!("lint: {e}")),
+    };
+    if cfg.update_inventory {
+        eprintln!("lint: rewrote {}", cfg.inventory_file);
+    }
+    let json = fractal_lint::metrics_json(&outcome);
+    if let Some(path) = opts.get("metrics-out") {
+        std::fs::write(path, &json)
+            .unwrap_or_else(|e| die(&format!("writing --metrics-out {path}: {e}")));
+        eprintln!("lint: wrote metrics to {path}");
+    } else if outcome.ok() {
+        print!("{json}");
+    }
+    eprint!("{}", fractal_lint::render_text(&outcome));
+    if !outcome.ok() {
+        std::process::exit(1);
+    }
+}
+
 fn usage() {
     println!(
         "fractal-cli <motifs|cliques|triangles|fsm|query|keywords|plan|trace|worker|submit|check|serve|client> [options]\n\
@@ -1076,7 +1130,10 @@ fn usage() {
                  submit: --tenant t --priority p --snapshot <gen:name:n:seed|file:path>\n\
                          --app <motifs|cliques|fsm> + app options\n\
                          [--token t] [--wait] [--verify-single] [--metrics-out f.json]\n\
-                 status|cancel|result: --job <id>"
+                 status|cancel|result: --job <id>\n\
+         lint:   [--root dir] [--metrics-out f.json] [--self-test] [--update-inventory]\n\
+                 static analysis (DESIGN.md \u{a7}15): facade coverage, ordering/SAFETY\n\
+                 audits, cross-artifact consistency, hot-path panic audit"
     );
 }
 
